@@ -1,0 +1,26 @@
+//! # accessgrid — an Access Grid analog
+//!
+//! The Access Grid (§1 of the paper) coordinates "multiple channels of
+//! communication within a virtual space (the Virtual Venue of the
+//! meeting)": rooms hosting participants, vic video streams, rat audio
+//! streams, and — in HLRS's extended venue server (§4.6) — *shared
+//! applications* started consistently at every site ("a special venue
+//! server compatible to Access Grid 1.2 … allows to start application
+//! sessions such as COVISE consistently within the Access Grid group
+//! collaboration sessions").
+//!
+//! * [`venue`] — venue server, venues (rooms), participants with roles,
+//!   per-room shared-application registry, unicast-bridge support for
+//!   NAT'd sites (§4.6: VR systems "are often behind firewalls which do
+//!   not support multicast and sometimes even do NAT").
+//! * [`media`] — the media channels: [`media::VicStream`] (tiled video of
+//!   a framebuffer source, delta+RLE coded — the vtkNetwork path of §2.4),
+//!   [`media::RatStream`] (constant-bit-rate audio model), and
+//!   [`media::VncShare`] (full-desktop sharing used to distribute the
+//!   steering GUI, §1/§3.4).
+
+pub mod media;
+pub mod venue;
+
+pub use media::{MediaStats, RatStream, VicStream, VncShare};
+pub use venue::{ParticipantId, Role, Venue, VenueServer};

@@ -1,0 +1,315 @@
+//! Venue server, venues and participants.
+//!
+//! §3.4 sorts Access Grid sites into "Constellation, Satellite and
+//! Observer Sites" with different capabilities; §2.4 distinguishes
+//! *passive* collaboration (watching the multicast visualization) from
+//! *active* participation (sharing control). [`Role`] captures that
+//! spectrum; [`Venue`] tracks membership, media groups and the shared
+//! applications of the HLRS venue server (§4.6).
+
+use netsim::{Bridge, Link, MulticastGroup, NetModel, SiteId};
+use std::collections::HashMap;
+
+/// Identifies a participant within a venue server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ParticipantId(pub u64);
+
+/// What a site may do in the session (§2.4's passive/active modes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Watches streams only.
+    Observer,
+    /// Watches and speaks (a normal AG node).
+    Participant,
+    /// May steer shared applications (the "full access" granted to the
+    /// Phoenix node in §3.4).
+    Steerer,
+}
+
+/// A participant record.
+#[derive(Debug, Clone)]
+pub struct Participant {
+    /// Display name.
+    pub name: String,
+    /// Home site in the network model.
+    pub site: SiteId,
+    /// Capability level.
+    pub role: Role,
+    /// True if reached through a unicast bridge.
+    pub bridged: bool,
+}
+
+/// A shared application registered in a room (§4.6: the venue server
+/// "stores additional information on a per room basis which allows the
+/// start-up of shared applications").
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharedApp {
+    /// Application name (e.g. `"covise"`).
+    pub name: String,
+    /// Launch descriptor (opaque to the venue).
+    pub descriptor: String,
+    /// Participants that have joined the application session.
+    pub members: Vec<ParticipantId>,
+}
+
+/// One virtual venue (room).
+pub struct Venue {
+    /// Room name.
+    pub name: String,
+    participants: HashMap<ParticipantId, Participant>,
+    /// Media distribution group for this room.
+    pub group: MulticastGroup,
+    apps: HashMap<String, SharedApp>,
+}
+
+impl Venue {
+    fn new(name: &str) -> Venue {
+        Venue {
+            name: name.to_string(),
+            participants: HashMap::new(),
+            group: MulticastGroup::new(),
+            apps: HashMap::new(),
+        }
+    }
+
+    /// Number of participants present.
+    pub fn occupancy(&self) -> usize {
+        self.participants.len()
+    }
+
+    /// Participant lookup.
+    pub fn participant(&self, id: ParticipantId) -> Option<&Participant> {
+        self.participants.get(&id)
+    }
+
+    /// Register a shared application for this room.
+    pub fn register_app(&mut self, name: &str, descriptor: &str) {
+        self.apps.insert(
+            name.to_string(),
+            SharedApp {
+                name: name.to_string(),
+                descriptor: descriptor.to_string(),
+                members: Vec::new(),
+            },
+        );
+    }
+
+    /// Join a participant to a shared application session. Only
+    /// `Steerer`s and `Participant`s may join; observers watch streams.
+    pub fn join_app(&mut self, app: &str, id: ParticipantId) -> bool {
+        let Some(p) = self.participants.get(&id) else {
+            return false;
+        };
+        if p.role == Role::Observer {
+            return false;
+        }
+        match self.apps.get_mut(app) {
+            Some(a) => {
+                if !a.members.contains(&id) {
+                    a.members.push(id);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Shared application lookup.
+    pub fn app(&self, name: &str) -> Option<&SharedApp> {
+        self.apps.get(name)
+    }
+}
+
+/// The venue server: rooms + participant registry over a network model.
+pub struct VenueServer {
+    /// Server's own site (bridge host for NAT'd members).
+    pub site: SiteId,
+    venues: HashMap<String, Venue>,
+    next_id: u64,
+}
+
+impl VenueServer {
+    /// A venue server homed at `site`.
+    pub fn new(site: SiteId) -> VenueServer {
+        VenueServer {
+            site,
+            venues: HashMap::new(),
+            next_id: 1,
+        }
+    }
+
+    /// Create (or get) a room.
+    pub fn create_venue(&mut self, name: &str) -> &mut Venue {
+        self.venues
+            .entry(name.to_string())
+            .or_insert_with(|| Venue::new(name))
+    }
+
+    /// Room accessor.
+    pub fn venue(&self, name: &str) -> Option<&Venue> {
+        self.venues.get(name)
+    }
+
+    /// Mutable room accessor.
+    pub fn venue_mut(&mut self, name: &str) -> Option<&mut Venue> {
+        self.venues.get_mut(name)
+    }
+
+    /// Enter a room with native multicast connectivity.
+    pub fn enter(
+        &mut self,
+        venue: &str,
+        name: &str,
+        site: SiteId,
+        role: Role,
+        model: &NetModel,
+    ) -> ParticipantId {
+        let id = ParticipantId(self.next_id);
+        self.next_id += 1;
+        let server_site = self.site;
+        let v = self.create_venue(venue);
+        v.participants.insert(
+            id,
+            Participant {
+                name: name.to_string(),
+                site,
+                role,
+                bridged: false,
+            },
+        );
+        v.group.join_native(site, model.link(server_site, site));
+        id
+    }
+
+    /// Enter a room through a unicast bridge (NAT'd site, §4.6).
+    pub fn enter_bridged(
+        &mut self,
+        venue: &str,
+        name: &str,
+        site: SiteId,
+        role: Role,
+        model: &NetModel,
+    ) -> ParticipantId {
+        let id = ParticipantId(self.next_id);
+        self.next_id += 1;
+        let server_site = self.site;
+        let uplink: Link = model.link(server_site, server_site);
+        let downlink: Link = model.link(server_site, site);
+        let v = self.create_venue(venue);
+        v.participants.insert(
+            id,
+            Participant {
+                name: name.to_string(),
+                site,
+                role,
+                bridged: true,
+            },
+        );
+        v.group.join_bridged(site, Bridge::new(uplink, downlink));
+        id
+    }
+
+    /// Leave a room.
+    pub fn leave(&mut self, venue: &str, id: ParticipantId) -> bool {
+        let Some(v) = self.venues.get_mut(venue) else {
+            return false;
+        };
+        match v.participants.remove(&id) {
+            Some(p) => {
+                v.group.leave(p.site);
+                for app in v.apps.values_mut() {
+                    app.members.retain(|&m| m != id);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> (NetModel, Vec<SiteId>) {
+        let (m, ids) = NetModel::sc2003();
+        let sites = ["manchester", "juelich", "stuttgart", "phoenix"]
+            .iter()
+            .map(|n| ids[*n])
+            .collect();
+        (m, sites)
+    }
+
+    #[test]
+    fn enter_and_occupancy() {
+        let (m, s) = model();
+        let mut vs = VenueServer::new(s[0]);
+        let a = vs.enter("sc03-showcase", "manchester-node", s[0], Role::Steerer, &m);
+        let _b = vs.enter("sc03-showcase", "juelich-node", s[1], Role::Participant, &m);
+        let v = vs.venue("sc03-showcase").unwrap();
+        assert_eq!(v.occupancy(), 2);
+        assert_eq!(v.participant(a).unwrap().role, Role::Steerer);
+    }
+
+    #[test]
+    fn bridged_participant_flagged_and_in_group() {
+        let (m, s) = model();
+        let mut vs = VenueServer::new(s[0]);
+        let id = vs.enter_bridged("room", "hlrs-cave", s[2], Role::Participant, &m);
+        let v = vs.venue("room").unwrap();
+        assert!(v.participant(id).unwrap().bridged);
+        assert_eq!(v.group.len(), 1);
+    }
+
+    #[test]
+    fn shared_app_lifecycle() {
+        let (m, s) = model();
+        let mut vs = VenueServer::new(s[0]);
+        let steerer = vs.enter("room", "a", s[0], Role::Steerer, &m);
+        let observer = vs.enter("room", "b", s[3], Role::Observer, &m);
+        let v = vs.venue_mut("room").unwrap();
+        v.register_app("covise", "pipeline=building_airflow");
+        assert!(v.join_app("covise", steerer));
+        assert!(!v.join_app("covise", observer), "observers cannot join apps");
+        assert!(!v.join_app("nonexistent", steerer));
+        assert_eq!(v.app("covise").unwrap().members.len(), 1);
+    }
+
+    #[test]
+    fn join_app_idempotent() {
+        let (m, s) = model();
+        let mut vs = VenueServer::new(s[0]);
+        let p = vs.enter("room", "a", s[0], Role::Participant, &m);
+        let v = vs.venue_mut("room").unwrap();
+        v.register_app("covise", "");
+        v.join_app("covise", p);
+        v.join_app("covise", p);
+        assert_eq!(v.app("covise").unwrap().members.len(), 1);
+    }
+
+    #[test]
+    fn leave_cleans_up_everything() {
+        let (m, s) = model();
+        let mut vs = VenueServer::new(s[0]);
+        let p = vs.enter("room", "a", s[1], Role::Steerer, &m);
+        vs.venue_mut("room").unwrap().register_app("covise", "");
+        vs.venue_mut("room").unwrap().join_app("covise", p);
+        assert!(vs.leave("room", p));
+        let v = vs.venue("room").unwrap();
+        assert_eq!(v.occupancy(), 0);
+        assert!(v.group.is_empty());
+        assert!(v.app("covise").unwrap().members.is_empty());
+        assert!(!vs.leave("room", p), "double leave");
+        assert!(!vs.leave("no-room", p));
+    }
+
+    #[test]
+    fn venues_are_isolated() {
+        let (m, s) = model();
+        let mut vs = VenueServer::new(s[0]);
+        vs.enter("room1", "a", s[0], Role::Participant, &m);
+        vs.enter("room2", "b", s[1], Role::Participant, &m);
+        assert_eq!(vs.venue("room1").unwrap().occupancy(), 1);
+        assert_eq!(vs.venue("room2").unwrap().occupancy(), 1);
+    }
+}

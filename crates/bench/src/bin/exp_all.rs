@@ -1,0 +1,4 @@
+//! Run every experiment in index order (regenerates EXPERIMENTS.md data).
+fn main() {
+    gridsteer_bench::run_all();
+}

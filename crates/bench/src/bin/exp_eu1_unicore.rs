@@ -1,0 +1,4 @@
+//! Experiment binary — see DESIGN.md §4 and EXPERIMENTS.md.
+fn main() {
+    gridsteer_bench::exp_eu1_unicore();
+}

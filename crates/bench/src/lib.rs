@@ -1,0 +1,11 @@
+//! # gridsteer-bench — the experiment harness
+//!
+//! One function per experiment in DESIGN.md §4. Each prints the rows the
+//! paper's corresponding figure/claim implies and returns them as
+//! machine-readable JSON for EXPERIMENTS.md. The paper is a showcase paper
+//! with four figures and prose budgets rather than numeric tables; every
+//! figure and every quantitative claim has an `exp_*` binary here.
+
+pub mod experiments;
+
+pub use experiments::*;

@@ -1,0 +1,210 @@
+//! Feedback-loop budgets of §4.2–4.4.
+//!
+//! The paper's only quantitative requirements table, in prose:
+//!
+//! * **VR rendering loop** (§4.2): "at least 10 to 15 updates per second"
+//!   when the viewer moves — budget 66–100 ms; we use the lenient bound.
+//! * **Desktop rendering loop** (§4.2): "at least 3 to 5 frames per second
+//!   should be reached with one frame delay" — budget 333 ms, divergence
+//!   between sites at most one frame.
+//! * **Post-processing loop** (§4.3): "in the range of parts of a second
+//!   to multiple seconds"; we take 5 s, with the harder requirement being
+//!   *synchrony* across sites.
+//! * **Simulation loop** (§4.4): "people can tolerate delays of up to a
+//!   minute while waiting for new simulation results."
+
+use netsim::SimTime;
+
+/// One of the paper's reaction-time budgets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopBudget {
+    /// §4.2, CAVE/VR: 10–15 fps ⇒ ≤100 ms per update.
+    VrRender,
+    /// §4.2, desktop: 3–5 fps ⇒ ≤333 ms per update.
+    DesktopRender,
+    /// §4.3: parameter change → updated scene, ≤5 s.
+    PostProcessing,
+    /// §4.4: simulation parameter change → new results, ≤60 s.
+    Simulation,
+}
+
+impl LoopBudget {
+    /// The latency budget.
+    pub fn budget(self) -> SimTime {
+        match self {
+            LoopBudget::VrRender => SimTime::from_millis(100),
+            LoopBudget::DesktopRender => SimTime::from_millis(333),
+            LoopBudget::PostProcessing => SimTime::from_secs(5),
+            LoopBudget::Simulation => SimTime::from_secs(60),
+        }
+    }
+
+    /// The cross-site divergence bound, where the paper states one
+    /// ("a variation of one frame does not influence a discussion process,
+    /// while multiple frames difference … might lead to misunderstanding",
+    /// §4.2).
+    pub fn max_skew(self) -> Option<SimTime> {
+        match self {
+            LoopBudget::VrRender => Some(SimTime::from_millis(100)),
+            LoopBudget::DesktopRender => Some(SimTime::from_millis(333)),
+            // §4.3: "the update takes place at the same time at the
+            // different participating sites" — within one desktop frame
+            LoopBudget::PostProcessing => Some(SimTime::from_millis(333)),
+            LoopBudget::Simulation => None,
+        }
+    }
+
+    /// Human-readable name (appears in experiment output).
+    pub fn name(self) -> &'static str {
+        match self {
+            LoopBudget::VrRender => "vr-render",
+            LoopBudget::DesktopRender => "desktop-render",
+            LoopBudget::PostProcessing => "post-processing",
+            LoopBudget::Simulation => "simulation",
+        }
+    }
+}
+
+/// Records measurements of one feedback loop and checks them against the
+/// budget.
+#[derive(Debug, Clone)]
+pub struct LoopMonitor {
+    /// Which loop is measured.
+    pub budget: LoopBudget,
+    samples: Vec<SimTime>,
+    skews: Vec<SimTime>,
+}
+
+/// Summary of a monitored loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopReport {
+    /// The loop.
+    pub budget: LoopBudget,
+    /// Number of measurements.
+    pub count: usize,
+    /// Mean latency.
+    pub mean: SimTime,
+    /// Worst latency.
+    pub max: SimTime,
+    /// Worst cross-site skew.
+    pub max_skew: SimTime,
+    /// True if every latency met the budget.
+    pub within_budget: bool,
+    /// True if every skew met the divergence bound (vacuously true when
+    /// the budget has none).
+    pub within_skew: bool,
+    /// Achieved update rate implied by the mean latency (Hz).
+    pub rate_hz: f64,
+}
+
+impl LoopMonitor {
+    /// Monitor for one budget.
+    pub fn new(budget: LoopBudget) -> Self {
+        LoopMonitor {
+            budget,
+            samples: Vec::new(),
+            skews: Vec::new(),
+        }
+    }
+
+    /// Record one loop latency.
+    pub fn record(&mut self, latency: SimTime) {
+        self.samples.push(latency);
+    }
+
+    /// Record one cross-site skew observation.
+    pub fn record_skew(&mut self, skew: SimTime) {
+        self.skews.push(skew);
+    }
+
+    /// Number of latency samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Summarize.
+    pub fn report(&self) -> LoopReport {
+        let count = self.samples.len();
+        let sum: u64 = self.samples.iter().map(|t| t.as_nanos()).sum();
+        let mean = SimTime::from_nanos(if count > 0 { sum / count as u64 } else { 0 });
+        let max = self.samples.iter().copied().max().unwrap_or(SimTime::ZERO);
+        let max_skew = self.skews.iter().copied().max().unwrap_or(SimTime::ZERO);
+        let within_budget = count > 0 && max <= self.budget.budget();
+        let within_skew = match self.budget.max_skew() {
+            Some(bound) => max_skew <= bound,
+            None => true,
+        };
+        let rate_hz = if mean.as_nanos() > 0 {
+            1e9 / mean.as_nanos() as f64
+        } else {
+            f64::INFINITY
+        };
+        LoopReport {
+            budget: self.budget,
+            count,
+            mean,
+            max,
+            max_skew,
+            within_budget,
+            within_skew,
+            rate_hz,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budgets_match_the_paper() {
+        assert_eq!(LoopBudget::VrRender.budget(), SimTime::from_millis(100));
+        assert_eq!(LoopBudget::DesktopRender.budget(), SimTime::from_millis(333));
+        assert_eq!(LoopBudget::PostProcessing.budget(), SimTime::from_secs(5));
+        assert_eq!(LoopBudget::Simulation.budget(), SimTime::from_secs(60));
+        assert!(LoopBudget::Simulation.max_skew().is_none());
+    }
+
+    #[test]
+    fn within_budget_detection() {
+        let mut m = LoopMonitor::new(LoopBudget::VrRender);
+        for ms in [20, 40, 60] {
+            m.record(SimTime::from_millis(ms));
+        }
+        let r = m.report();
+        assert!(r.within_budget);
+        assert_eq!(r.max, SimTime::from_millis(60));
+        assert_eq!(r.mean, SimTime::from_millis(40));
+        assert!((r.rate_hz - 25.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn budget_violation_detected() {
+        let mut m = LoopMonitor::new(LoopBudget::VrRender);
+        m.record(SimTime::from_millis(50));
+        m.record(SimTime::from_millis(150)); // a remote-render round trip
+        assert!(!m.report().within_budget);
+    }
+
+    #[test]
+    fn skew_bound_checked() {
+        let mut m = LoopMonitor::new(LoopBudget::DesktopRender);
+        m.record(SimTime::from_millis(100));
+        m.record_skew(SimTime::from_millis(400));
+        let r = m.report();
+        assert!(r.within_budget);
+        assert!(!r.within_skew, "multi-frame divergence must fail");
+    }
+
+    #[test]
+    fn empty_monitor_not_within_budget() {
+        let m = LoopMonitor::new(LoopBudget::Simulation);
+        assert!(m.is_empty());
+        assert!(!m.report().within_budget, "no evidence ⇒ no pass");
+    }
+}

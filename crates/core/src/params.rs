@@ -1,0 +1,274 @@
+//! Steerable parameters: registry, bounds, history, application adapters.
+//!
+//! §2.3: "the RealityGrid project has defined APIs for the steering calls
+//! which can be used to link from the application to the services." The
+//! [`ParamRegistry`] is the session-side half of that API; the adapters
+//! ([`LbmSteerAdapter`], [`PepcSteerAdapter`]) are the application-side
+//! half, exposing each code's physics knobs as bounded named parameters
+//! and implementing [`ogsa::Steerable`] so the same applications are
+//! steerable through the Figure-2 service stack.
+
+use lbm::TwoFluidLbm;
+use ogsa::Steerable;
+use parking_lot::Mutex;
+use pepc::PepcSim;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Declaration of one steerable parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamSpec {
+    /// Parameter name.
+    pub name: String,
+    /// Lower bound (inclusive).
+    pub min: f64,
+    /// Upper bound (inclusive).
+    pub max: f64,
+    /// Initial value.
+    pub initial: f64,
+}
+
+/// A typed registry of steerable parameters with change history.
+#[derive(Debug, Default)]
+pub struct ParamRegistry {
+    specs: BTreeMap<String, ParamSpec>,
+    values: BTreeMap<String, f64>,
+    /// `(sequence, name, value)` change log.
+    history: Vec<(u64, String, f64)>,
+    seq: u64,
+}
+
+impl ParamRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a parameter.
+    pub fn declare(&mut self, spec: ParamSpec) {
+        self.values.insert(spec.name.clone(), spec.initial);
+        self.specs.insert(spec.name.clone(), spec);
+    }
+
+    /// Parameter names.
+    pub fn names(&self) -> Vec<String> {
+        self.specs.keys().cloned().collect()
+    }
+
+    /// Current value.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.values.get(name).copied()
+    }
+
+    /// Apply a steer. Returns `Err` on unknown names or out-of-bounds
+    /// values (the steer is *rejected*, not clamped — collaborators must
+    /// see exactly what was applied).
+    pub fn set(&mut self, name: &str, value: f64) -> Result<(), String> {
+        let spec = self
+            .specs
+            .get(name)
+            .ok_or_else(|| format!("unknown parameter: {name}"))?;
+        if value < spec.min || value > spec.max {
+            return Err(format!(
+                "{name}={value} outside [{}, {}]",
+                spec.min, spec.max
+            ));
+        }
+        self.values.insert(name.to_string(), value);
+        self.seq += 1;
+        self.history.push((self.seq, name.to_string(), value));
+        Ok(())
+    }
+
+    /// Change log (oldest first).
+    pub fn history(&self) -> &[(u64, String, f64)] {
+        &self.history
+    }
+
+    /// Monotone change counter.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+}
+
+/// [`Steerable`] adapter for the Lattice-Boltzmann fluid: exposes the
+/// §2.2 steering parameter, `miscibility ∈ [0,1]`.
+pub struct LbmSteerAdapter {
+    sim: Arc<Mutex<TwoFluidLbm>>,
+}
+
+impl LbmSteerAdapter {
+    /// Wrap a shared simulation.
+    pub fn new(sim: Arc<Mutex<TwoFluidLbm>>) -> Self {
+        LbmSteerAdapter { sim }
+    }
+}
+
+impl Steerable for LbmSteerAdapter {
+    fn param_names(&self) -> Vec<String> {
+        vec!["miscibility".into()]
+    }
+
+    fn get_param(&self, name: &str) -> Option<f64> {
+        (name == "miscibility").then(|| self.sim.lock().miscibility())
+    }
+
+    fn set_param(&mut self, name: &str, value: f64) -> Result<(), String> {
+        if name != "miscibility" {
+            return Err(format!("unknown parameter: {name}"));
+        }
+        if !(0.0..=1.0).contains(&value) {
+            return Err(format!("miscibility={value} outside [0,1]"));
+        }
+        self.sim.lock().set_miscibility(value);
+        Ok(())
+    }
+
+    fn sequence_number(&self) -> u64 {
+        self.sim.lock().steps()
+    }
+}
+
+/// [`Steerable`] adapter for PEPC: the §3.4 beam/laser/assist knobs.
+pub struct PepcSteerAdapter {
+    sim: Arc<Mutex<PepcSim>>,
+}
+
+impl PepcSteerAdapter {
+    /// Wrap a shared simulation.
+    pub fn new(sim: Arc<Mutex<PepcSim>>) -> Self {
+        PepcSteerAdapter { sim }
+    }
+
+    /// The registry specs matching this adapter.
+    pub fn specs() -> Vec<ParamSpec> {
+        vec![
+            ParamSpec { name: "beam_intensity".into(), min: 0.0, max: 100.0, initial: 0.0 },
+            ParamSpec { name: "beam_theta".into(), min: -std::f64::consts::PI, max: std::f64::consts::PI, initial: 0.0 },
+            ParamSpec { name: "laser_amplitude".into(), min: 0.0, max: 100.0, initial: 0.0 },
+            ParamSpec { name: "damping".into(), min: 0.0, max: 1.0, initial: 0.0 },
+        ]
+    }
+}
+
+impl Steerable for PepcSteerAdapter {
+    fn param_names(&self) -> Vec<String> {
+        Self::specs().into_iter().map(|s| s.name).collect()
+    }
+
+    fn get_param(&self, name: &str) -> Option<f64> {
+        let p = self.sim.lock().params();
+        match name {
+            "beam_intensity" => Some(p.beam_intensity),
+            "beam_theta" => Some(p.beam_dir[2].atan2(p.beam_dir[0])),
+            "laser_amplitude" => Some(p.laser_amplitude),
+            "damping" => Some(p.damping),
+            _ => None,
+        }
+    }
+
+    fn set_param(&mut self, name: &str, value: f64) -> Result<(), String> {
+        let mut sim = self.sim.lock();
+        let mut p = sim.params();
+        match name {
+            "beam_intensity" if (0.0..=100.0).contains(&value) => p.beam_intensity = value,
+            "beam_theta" => {
+                // steer the beam direction in the x–z plane (§3.4:
+                // "direction … altered by the user interactively")
+                p.beam_dir = [value.cos(), 0.0, value.sin()];
+            }
+            "laser_amplitude" if (0.0..=100.0).contains(&value) => p.laser_amplitude = value,
+            "damping" if (0.0..=1.0).contains(&value) => p.damping = value,
+            known @ ("beam_intensity" | "laser_amplitude" | "damping") => {
+                return Err(format!("{known}={value} out of bounds"))
+            }
+            other => return Err(format!("unknown parameter: {other}")),
+        }
+        sim.set_params(p);
+        Ok(())
+    }
+
+    fn sequence_number(&self) -> u64 {
+        self.sim.lock().step_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbm::LbmConfig;
+    use pepc::PepcConfig;
+
+    #[test]
+    fn registry_declares_gets_sets() {
+        let mut r = ParamRegistry::new();
+        r.declare(ParamSpec { name: "miscibility".into(), min: 0.0, max: 1.0, initial: 1.0 });
+        assert_eq!(r.get("miscibility"), Some(1.0));
+        r.set("miscibility", 0.25).unwrap();
+        assert_eq!(r.get("miscibility"), Some(0.25));
+        assert_eq!(r.seq(), 1);
+        assert_eq!(r.history().len(), 1);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected_not_clamped() {
+        let mut r = ParamRegistry::new();
+        r.declare(ParamSpec { name: "x".into(), min: 0.0, max: 1.0, initial: 0.5 });
+        assert!(r.set("x", 2.0).is_err());
+        assert_eq!(r.get("x"), Some(0.5), "value must be untouched");
+        assert_eq!(r.seq(), 0);
+    }
+
+    #[test]
+    fn unknown_parameter_rejected() {
+        let mut r = ParamRegistry::new();
+        assert!(r.set("ghost", 1.0).is_err());
+        assert_eq!(r.get("ghost"), None);
+    }
+
+    #[test]
+    fn lbm_adapter_steers_the_simulation() {
+        let sim = Arc::new(Mutex::new(TwoFluidLbm::new(LbmConfig::small())));
+        let mut a = LbmSteerAdapter::new(sim.clone());
+        a.set_param("miscibility", 0.1).unwrap();
+        assert_eq!(sim.lock().miscibility(), 0.1);
+        assert!(a.set_param("miscibility", 2.0).is_err());
+        assert!(a.set_param("temperature", 1.0).is_err());
+        assert_eq!(a.get_param("miscibility"), Some(0.1));
+    }
+
+    #[test]
+    fn pepc_adapter_round_trips_all_params() {
+        let sim = Arc::new(Mutex::new(PepcSim::new(PepcConfig::small())));
+        let mut a = PepcSteerAdapter::new(sim.clone());
+        a.set_param("beam_intensity", 2.0).unwrap();
+        a.set_param("laser_amplitude", 1.5).unwrap();
+        a.set_param("damping", 0.3).unwrap();
+        a.set_param("beam_theta", std::f64::consts::FRAC_PI_2).unwrap();
+        assert_eq!(a.get_param("beam_intensity"), Some(2.0));
+        assert_eq!(a.get_param("laser_amplitude"), Some(1.5));
+        assert_eq!(a.get_param("damping"), Some(0.3));
+        let th = a.get_param("beam_theta").unwrap();
+        assert!((th - std::f64::consts::FRAC_PI_2).abs() < 1e-9);
+        // the underlying sim actually changed
+        let p = sim.lock().params();
+        assert!(p.beam_dir[2] > 0.99);
+    }
+
+    #[test]
+    fn pepc_adapter_rejects_bad_values() {
+        let sim = Arc::new(Mutex::new(PepcSim::new(PepcConfig::small())));
+        let mut a = PepcSteerAdapter::new(sim);
+        assert!(a.set_param("damping", 5.0).is_err());
+        assert!(a.set_param("warp_factor", 9.0).is_err());
+    }
+
+    #[test]
+    fn sequence_number_tracks_sim_progress() {
+        let sim = Arc::new(Mutex::new(TwoFluidLbm::new(LbmConfig::small())));
+        let a = LbmSteerAdapter::new(sim.clone());
+        assert_eq!(a.sequence_number(), 0);
+        sim.lock().step_n(3);
+        assert_eq!(a.sequence_number(), 3);
+    }
+}

@@ -1,0 +1,399 @@
+//! The multi-client TCP steering server.
+//!
+//! This is the "steering client … integrated into the collaborative
+//! environment" path made concrete: one process owns the
+//! [`SteeringSession`]; any number of client processes connect over TCP
+//! (loopback in the examples, but the protocol is location-transparent),
+//! join with a name, and steer subject to the master-token rules. The
+//! wire format is a tiny hand-rolled binary protocol over the
+//! length-prefixed [`TcpLink`](visit::TcpLink) framing.
+
+use crate::session::SteeringSession;
+use bytes::{Buf, BufMut, BytesMut};
+use parking_lot::Mutex;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use visit::link::{FrameLink, LinkError, TcpLink};
+
+/// Protocol ops.
+const OP_HELLO: u8 = 4;
+const OP_SET: u8 = 1;
+const OP_GET: u8 = 2;
+const OP_PASS: u8 = 3;
+const OP_OK: u8 = 6;
+const OP_ERR: u8 = 7;
+const OP_VALUE: u8 = 8;
+const OP_WELCOME: u8 = 9;
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u16_le(s.len() as u16);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut &[u8]) -> Option<String> {
+    if buf.len() < 2 {
+        return None;
+    }
+    let len = buf.get_u16_le() as usize;
+    if buf.len() < len {
+        return None;
+    }
+    let s = String::from_utf8(buf[..len].to_vec()).ok()?;
+    buf.advance(len);
+    Some(s)
+}
+
+/// The server: owns the listener and the per-client threads.
+pub struct CollabServer {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    session: Arc<Mutex<SteeringSession>>,
+}
+
+impl CollabServer {
+    /// Start serving `session` on an ephemeral loopback port.
+    pub fn start(session: Arc<Mutex<SteeringSession>>) -> std::io::Result<CollabServer> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = stop.clone();
+        let accept_session = session.clone();
+        let accept_thread = std::thread::spawn(move || {
+            let mut workers: Vec<JoinHandle<()>> = Vec::new();
+            while !accept_stop.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let sess = accept_session.clone();
+                        let stop = accept_stop.clone();
+                        workers.push(std::thread::spawn(move || {
+                            let _ = serve_client(stream, sess, stop);
+                        }));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+            for w in workers {
+                let _ = w.join();
+            }
+        });
+        Ok(CollabServer {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            session,
+        })
+    }
+
+    /// The address clients connect to.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// The shared session (e.g. for the simulation loop to broadcast
+    /// samples and read steered parameters).
+    pub fn session(&self) -> Arc<Mutex<SteeringSession>> {
+        self.session.clone()
+    }
+
+    /// Stop accepting and wind down client threads.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for CollabServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// One client connection's server-side loop.
+fn serve_client(
+    stream: TcpStream,
+    session: Arc<Mutex<SteeringSession>>,
+    stop: Arc<AtomicBool>,
+) -> Result<(), LinkError> {
+    let mut link = TcpLink::new(stream).map_err(|e| LinkError::Io(e.to_string()))?;
+    let mut my_name: Option<String> = None;
+    let result = loop {
+        if stop.load(Ordering::Relaxed) {
+            break Ok(());
+        }
+        let frame = match link.recv_timeout(Duration::from_millis(100)) {
+            Ok(f) => f,
+            Err(LinkError::Timeout) => continue,
+            Err(e) => break Err(e),
+        };
+        let mut reply = BytesMut::new();
+        let mut body: &[u8] = &frame[1..];
+        match frame.first().copied() {
+            Some(OP_HELLO) => {
+                let Some(base) = get_str(&mut body) else {
+                    break Err(LinkError::Io("bad hello".into()));
+                };
+                let mut s = session.lock();
+                // names must be unique: disambiguate with a counter
+                let mut name = base.clone();
+                let mut k = 1;
+                while s.index_of(&name).is_some() {
+                    name = format!("{base}-{k}");
+                    k += 1;
+                }
+                let idx = s.join(&name);
+                let is_master = s.master() == Some(idx);
+                my_name = Some(name.clone());
+                reply.put_u8(OP_WELCOME);
+                reply.put_u8(u8::from(is_master));
+                put_str(&mut reply, &name);
+            }
+            Some(OP_SET) => {
+                let (Some(name), true) = (get_str(&mut body), body.len() == 8) else {
+                    break Err(LinkError::Io("bad set".into()));
+                };
+                let value = body.get_f64_le();
+                let who = my_name.clone().unwrap_or_default();
+                let mut s = session.lock();
+                let r = match s.index_of(&who) {
+                    Some(idx) => s.steer(idx, &name, value),
+                    None => Err("not joined".into()),
+                };
+                match r {
+                    Ok(()) => reply.put_u8(OP_OK),
+                    Err(e) => {
+                        reply.put_u8(OP_ERR);
+                        put_str(&mut reply, &e);
+                    }
+                }
+            }
+            Some(OP_GET) => {
+                let Some(name) = get_str(&mut body) else {
+                    break Err(LinkError::Io("bad get".into()));
+                };
+                let s = session.lock();
+                match s.params.get(&name) {
+                    Some(v) => {
+                        reply.put_u8(OP_VALUE);
+                        reply.put_f64_le(v);
+                    }
+                    None => {
+                        reply.put_u8(OP_ERR);
+                        put_str(&mut reply, &format!("unknown parameter: {name}"));
+                    }
+                }
+            }
+            Some(OP_PASS) => {
+                let Some(target) = get_str(&mut body) else {
+                    break Err(LinkError::Io("bad pass".into()));
+                };
+                let who = my_name.clone().unwrap_or_default();
+                let mut s = session.lock();
+                let ok = match (s.index_of(&who), s.index_of(&target)) {
+                    (Some(from), Some(to)) => s.pass_master(from, to),
+                    _ => false,
+                };
+                if ok {
+                    reply.put_u8(OP_OK);
+                } else {
+                    reply.put_u8(OP_ERR);
+                    put_str(&mut reply, "pass refused");
+                }
+            }
+            _ => break Err(LinkError::Io("unknown op".into())),
+        }
+        if link.send(&reply).is_err() {
+            break Ok(());
+        }
+    };
+    // departure: remove from the session (auto-promotes a new master)
+    if let Some(name) = my_name {
+        let mut s = session.lock();
+        if let Some(idx) = s.index_of(&name) {
+            s.leave(idx);
+        }
+    }
+    result
+}
+
+/// Client-side handle speaking the protocol.
+pub struct ClientHandle {
+    link: TcpLink,
+    /// Server-assigned unique name.
+    pub name: String,
+    /// True if this client held the master token at join time.
+    pub joined_as_master: bool,
+}
+
+impl ClientHandle {
+    /// Connect and join with the requested name.
+    pub fn connect(addr: &str, name: &str) -> Result<ClientHandle, LinkError> {
+        let mut link = TcpLink::connect(addr, Duration::from_secs(2))?;
+        let mut req = BytesMut::new();
+        req.put_u8(OP_HELLO);
+        put_str(&mut req, name);
+        link.send(&req)?;
+        let reply = link.recv_timeout(Duration::from_secs(2))?;
+        let mut body: &[u8] = &reply;
+        if body.is_empty() || body.get_u8() != OP_WELCOME {
+            return Err(LinkError::Io("bad welcome".into()));
+        }
+        let is_master = body.get_u8() != 0;
+        let assigned = get_str(&mut body).ok_or(LinkError::Io("bad welcome name".into()))?;
+        Ok(ClientHandle {
+            link,
+            name: assigned,
+            joined_as_master: is_master,
+        })
+    }
+
+    fn roundtrip(&mut self, req: BytesMut) -> Result<Vec<u8>, LinkError> {
+        self.link.send(&req)?;
+        self.link.recv_timeout(Duration::from_secs(2))
+    }
+
+    /// Steer a parameter. `Err` carries the server's refusal reason.
+    pub fn set(&mut self, param: &str, value: f64) -> Result<(), String> {
+        let mut req = BytesMut::new();
+        req.put_u8(OP_SET);
+        put_str(&mut req, param);
+        req.put_f64_le(value);
+        let reply = self.roundtrip(req).map_err(|e| format!("{e:?}"))?;
+        let mut body: &[u8] = &reply;
+        match body.get_u8() {
+            OP_OK => Ok(()),
+            OP_ERR => Err(get_str(&mut body).unwrap_or_default()),
+            _ => Err("protocol error".into()),
+        }
+    }
+
+    /// Read a parameter.
+    pub fn get(&mut self, param: &str) -> Result<f64, String> {
+        let mut req = BytesMut::new();
+        req.put_u8(OP_GET);
+        put_str(&mut req, param);
+        let reply = self.roundtrip(req).map_err(|e| format!("{e:?}"))?;
+        let mut body: &[u8] = &reply;
+        match body.get_u8() {
+            OP_VALUE => Ok(body.get_f64_le()),
+            OP_ERR => Err(get_str(&mut body).unwrap_or_default()),
+            _ => Err("protocol error".into()),
+        }
+    }
+
+    /// Pass the master token to another named client.
+    pub fn pass_master(&mut self, to: &str) -> Result<(), String> {
+        let mut req = BytesMut::new();
+        req.put_u8(OP_PASS);
+        put_str(&mut req, to);
+        let reply = self.roundtrip(req).map_err(|e| format!("{e:?}"))?;
+        let mut body: &[u8] = &reply;
+        match body.get_u8() {
+            OP_OK => Ok(()),
+            OP_ERR => Err(get_str(&mut body).unwrap_or_default()),
+            _ => Err("protocol error".into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{ParamRegistry, ParamSpec};
+
+    fn server() -> CollabServer {
+        let mut reg = ParamRegistry::new();
+        reg.declare(ParamSpec { name: "miscibility".into(), min: 0.0, max: 1.0, initial: 1.0 });
+        CollabServer::start(Arc::new(Mutex::new(SteeringSession::new(reg)))).unwrap()
+    }
+
+    #[test]
+    fn two_clients_master_rules_enforced_over_tcp() {
+        let srv = server();
+        let addr = srv.addr().to_string();
+        let mut a = ClientHandle::connect(&addr, "brooke").unwrap();
+        let mut b = ClientHandle::connect(&addr, "woessner").unwrap();
+        assert!(a.joined_as_master);
+        assert!(!b.joined_as_master);
+        // master steers, viewer refused
+        a.set("miscibility", 0.3).unwrap();
+        assert_eq!(b.set("miscibility", 0.9).unwrap_err(), "not the master");
+        assert_eq!(b.get("miscibility").unwrap(), 0.3);
+        // hand over and steer from the new master
+        a.pass_master(&b.name).unwrap();
+        b.set("miscibility", 0.7).unwrap();
+        assert_eq!(a.get("miscibility").unwrap(), 0.7);
+        assert!(a.set("miscibility", 0.1).is_err());
+    }
+
+    #[test]
+    fn duplicate_names_get_disambiguated() {
+        let srv = server();
+        let addr = srv.addr().to_string();
+        let a = ClientHandle::connect(&addr, "node").unwrap();
+        let b = ClientHandle::connect(&addr, "node").unwrap();
+        assert_eq!(a.name, "node");
+        assert_eq!(b.name, "node-1");
+    }
+
+    #[test]
+    fn unknown_parameter_and_bounds_errors_propagate() {
+        let srv = server();
+        let addr = srv.addr().to_string();
+        let mut a = ClientHandle::connect(&addr, "x").unwrap();
+        assert!(a.get("ghost").is_err());
+        assert!(a.set("miscibility", 4.0).unwrap_err().contains("outside"));
+    }
+
+    #[test]
+    fn master_disconnect_promotes_survivor() {
+        let srv = server();
+        let addr = srv.addr().to_string();
+        let a = ClientHandle::connect(&addr, "first").unwrap();
+        let mut b = ClientHandle::connect(&addr, "second").unwrap();
+        assert!(b.set("miscibility", 0.5).is_err());
+        drop(a); // master walks away
+        // wait for the server to notice the disconnect
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        loop {
+            if b.set("miscibility", 0.5).is_ok() {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "survivor never promoted"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    #[test]
+    fn many_concurrent_clients() {
+        let srv = server();
+        let addr = srv.addr().to_string();
+        let _master = ClientHandle::connect(&addr, "master").unwrap();
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            let addr = addr.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut c = ClientHandle::connect(&addr, &format!("viewer{i}")).unwrap();
+                // all viewers read; none may steer
+                assert!(c.get("miscibility").is_ok());
+                assert!(c.set("miscibility", 0.1).is_err());
+                c // keep the connection alive past the assertions
+            }));
+        }
+        let clients: Vec<ClientHandle> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(srv.session().lock().len(), 9);
+        drop(clients);
+    }
+}

@@ -1,0 +1,326 @@
+//! Collaborative steering sessions.
+//!
+//! The session layer merges the paper's two collaboration models: the
+//! vbroker master semantics of §3.3 ("only that master is able to actively
+//! steer the application. The master-role can be moved … allowing for a
+//! coordinated cooperative steering") and the role split of §3.3's control
+//! server ("one role allows to change visualization parameters … a second
+//! role is just for passive viewers").
+
+use crate::params::ParamRegistry;
+use netsim::SimTime;
+
+/// What a participant may do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Holds the steering token: may change simulation parameters.
+    Master,
+    /// May request the token and change visualization parameters.
+    Steerer,
+    /// Watches only.
+    Viewer,
+}
+
+/// A session participant.
+#[derive(Debug, Clone)]
+pub struct Participant {
+    /// Display name.
+    pub name: String,
+    /// Current role.
+    pub role: Role,
+    /// Samples delivered to this participant.
+    pub samples_received: u64,
+}
+
+/// Auditable session events.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionEvent {
+    /// Someone joined.
+    Joined(String),
+    /// Someone left.
+    Left(String),
+    /// The master token moved.
+    MasterPassed { from: String, to: String },
+    /// A steer was applied.
+    Steered { who: String, param: String, value: f64 },
+    /// A steer was refused (not master / bad value).
+    SteerRefused { who: String, param: String, reason: String },
+    /// A sample was fanned out to all participants.
+    SampleBroadcast { seq: u64, bytes: usize },
+}
+
+/// The collaborative steering session.
+pub struct SteeringSession {
+    participants: Vec<Participant>,
+    /// The shared parameter registry.
+    pub params: ParamRegistry,
+    events: Vec<SessionEvent>,
+    sample_seq: u64,
+    /// Total bytes fanned out (bytes × recipients).
+    pub fanout_bytes: u64,
+}
+
+impl SteeringSession {
+    /// Empty session around a parameter registry.
+    pub fn new(params: ParamRegistry) -> Self {
+        SteeringSession {
+            participants: Vec::new(),
+            params,
+            events: Vec::new(),
+            sample_seq: 0,
+            fanout_bytes: 0,
+        }
+    }
+
+    /// Join; the first participant becomes master, later ones join as
+    /// viewers (they can be promoted).
+    pub fn join(&mut self, name: &str) -> usize {
+        let role = if self.participants.iter().any(|p| p.role == Role::Master) {
+            Role::Viewer
+        } else {
+            Role::Master
+        };
+        self.participants.push(Participant {
+            name: name.to_string(),
+            role,
+            samples_received: 0,
+        });
+        self.events.push(SessionEvent::Joined(name.to_string()));
+        self.participants.len() - 1
+    }
+
+    /// Leave. If the master leaves, the token passes to the
+    /// longest-present remaining participant (auto-promotion — the session
+    /// must stay steerable, mirroring the vbroker rule).
+    pub fn leave(&mut self, idx: usize) {
+        if idx >= self.participants.len() {
+            return;
+        }
+        let was_master = self.participants[idx].role == Role::Master;
+        let name = self.participants.remove(idx).name;
+        self.events.push(SessionEvent::Left(name.clone()));
+        if was_master {
+            if let Some(next) = self.participants.first_mut() {
+                next.role = Role::Master;
+                let to = next.name.clone();
+                self.events.push(SessionEvent::MasterPassed { from: name, to });
+            }
+        }
+    }
+
+    /// Number of participants.
+    pub fn len(&self) -> usize {
+        self.participants.len()
+    }
+
+    /// True if nobody is present.
+    pub fn is_empty(&self) -> bool {
+        self.participants.is_empty()
+    }
+
+    /// Participant accessor.
+    pub fn participant(&self, idx: usize) -> Option<&Participant> {
+        self.participants.get(idx)
+    }
+
+    /// Index of a participant by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.participants.iter().position(|p| p.name == name)
+    }
+
+    /// Index of the current master.
+    pub fn master(&self) -> Option<usize> {
+        self.participants.iter().position(|p| p.role == Role::Master)
+    }
+
+    /// Pass the master token. Only the current master may pass it, and
+    /// only to a present participant.
+    pub fn pass_master(&mut self, from: usize, to: usize) -> bool {
+        if from == to
+            || from >= self.participants.len()
+            || to >= self.participants.len()
+            || self.participants[from].role != Role::Master
+        {
+            return false;
+        }
+        self.participants[from].role = Role::Steerer;
+        self.participants[to].role = Role::Master;
+        self.events.push(SessionEvent::MasterPassed {
+            from: self.participants[from].name.clone(),
+            to: self.participants[to].name.clone(),
+        });
+        true
+    }
+
+    /// Apply a steer from participant `idx`. Only the master steers the
+    /// application; refusals are logged, not silent.
+    pub fn steer(&mut self, idx: usize, param: &str, value: f64) -> Result<(), String> {
+        let Some(p) = self.participants.get(idx) else {
+            return Err("no such participant".into());
+        };
+        let who = p.name.clone();
+        if p.role != Role::Master {
+            let reason = "not the master".to_string();
+            self.events.push(SessionEvent::SteerRefused {
+                who,
+                param: param.to_string(),
+                reason: reason.clone(),
+            });
+            return Err(reason);
+        }
+        match self.params.set(param, value) {
+            Ok(()) => {
+                self.events.push(SessionEvent::Steered {
+                    who,
+                    param: param.to_string(),
+                    value,
+                });
+                Ok(())
+            }
+            Err(reason) => {
+                self.events.push(SessionEvent::SteerRefused {
+                    who,
+                    param: param.to_string(),
+                    reason: reason.clone(),
+                });
+                Err(reason)
+            }
+        }
+    }
+
+    /// Broadcast one sample of `bytes` to every participant (accounting
+    /// only; transport lives in the server/vbroker layers). Returns the
+    /// sample sequence number.
+    pub fn broadcast_sample(&mut self, bytes: usize) -> u64 {
+        self.sample_seq += 1;
+        for p in &mut self.participants {
+            p.samples_received += 1;
+            self.fanout_bytes += bytes as u64;
+        }
+        self.events.push(SessionEvent::SampleBroadcast {
+            seq: self.sample_seq,
+            bytes,
+        });
+        self.sample_seq
+    }
+
+    /// The audit log.
+    pub fn events(&self) -> &[SessionEvent] {
+        &self.events
+    }
+
+    /// §4.4's tolerance rule: the acceptable simulation-loop delay is
+    /// ~60 s, and "this tolerance can even be increased if intermediate
+    /// results … are displayed in-between". Returns the effective budget
+    /// given how often intermediate samples arrive.
+    pub fn effective_sim_budget(sample_interval: SimTime) -> SimTime {
+        let base = SimTime::from_secs(60);
+        if sample_interval <= SimTime::from_secs(10) {
+            // steady intermediate results: tolerance roughly doubles
+            SimTime::from_secs(120)
+        } else {
+            base
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ParamSpec;
+
+    fn session() -> SteeringSession {
+        let mut reg = ParamRegistry::new();
+        reg.declare(ParamSpec { name: "miscibility".into(), min: 0.0, max: 1.0, initial: 1.0 });
+        SteeringSession::new(reg)
+    }
+
+    #[test]
+    fn first_joiner_is_master() {
+        let mut s = session();
+        let a = s.join("brooke");
+        let b = s.join("eickermann");
+        assert_eq!(s.participant(a).unwrap().role, Role::Master);
+        assert_eq!(s.participant(b).unwrap().role, Role::Viewer);
+        assert_eq!(s.master(), Some(a));
+    }
+
+    #[test]
+    fn only_master_steers() {
+        let mut s = session();
+        let a = s.join("master");
+        let b = s.join("viewer");
+        assert!(s.steer(a, "miscibility", 0.5).is_ok());
+        assert!(s.steer(b, "miscibility", 0.2).is_err());
+        assert_eq!(s.params.get("miscibility"), Some(0.5));
+        assert!(matches!(
+            s.events().last(),
+            Some(SessionEvent::SteerRefused { .. })
+        ));
+    }
+
+    #[test]
+    fn token_passing_moves_steering_rights() {
+        let mut s = session();
+        let a = s.join("a");
+        let b = s.join("b");
+        assert!(s.pass_master(a, b));
+        assert!(s.steer(a, "miscibility", 0.2).is_err());
+        assert!(s.steer(b, "miscibility", 0.2).is_ok());
+        // non-master cannot pass the token
+        assert!(!s.pass_master(a, b));
+        // passing to self is refused
+        assert!(!s.pass_master(b, b));
+    }
+
+    #[test]
+    fn master_departure_auto_promotes() {
+        let mut s = session();
+        let a = s.join("a");
+        let _b = s.join("b");
+        let _c = s.join("c");
+        s.leave(a);
+        assert_eq!(s.master(), Some(0)); // "b" promoted
+        assert!(s
+            .events()
+            .iter()
+            .any(|e| matches!(e, SessionEvent::MasterPassed { .. })));
+    }
+
+    #[test]
+    fn out_of_bounds_steer_logged_and_refused() {
+        let mut s = session();
+        let a = s.join("a");
+        assert!(s.steer(a, "miscibility", 5.0).is_err());
+        assert_eq!(s.params.get("miscibility"), Some(1.0));
+    }
+
+    #[test]
+    fn sample_fanout_accounting() {
+        let mut s = session();
+        s.join("a");
+        s.join("b");
+        s.join("c");
+        let seq = s.broadcast_sample(1000);
+        assert_eq!(seq, 1);
+        assert_eq!(s.fanout_bytes, 3000);
+        assert!(s.participant(0).unwrap().samples_received == 1);
+    }
+
+    #[test]
+    fn empty_session_edge_cases() {
+        let mut s = session();
+        assert!(s.is_empty());
+        assert_eq!(s.master(), None);
+        s.leave(0); // no panic
+        assert!(s.steer(0, "miscibility", 0.5).is_err());
+    }
+
+    #[test]
+    fn sim_budget_extends_with_intermediate_results() {
+        let fast = SteeringSession::effective_sim_budget(SimTime::from_secs(2));
+        let slow = SteeringSession::effective_sim_budget(SimTime::from_secs(30));
+        assert_eq!(slow, SimTime::from_secs(60));
+        assert!(fast > slow);
+    }
+}

@@ -1,0 +1,37 @@
+//! # covise — a COVISE-style collaborative visualization environment
+//!
+//! §4.5 of the paper describes COVISE's architecture, reproduced here
+//! piece by piece:
+//!
+//! * "COVISE in contrast to other visualization systems uses the notion of
+//!   **data objects** instead of relying on a pure data flow paradigm. The
+//!   underlying data management takes care of assigning system-wide unique
+//!   names to data generated during a session in the shared data spaces"
+//!   → [`data::DataObject`], [`data::SharedDataSpace`].
+//! * "**Request brokers** on each participating host take care of data
+//!   management, efficient data transfer and conversion between different
+//!   platforms" → [`broker::RequestBroker`].
+//! * "Distributed applications can be built by combining **modules**
+//!   (modeled as processes) from different application categories on
+//!   different hosts to form module networks" → [`module::Module`] and the
+//!   stock modules (ReadField, CutPlane, IsoSurface, Colors, Renderer).
+//! * "Session management … is done in a central **controller** which has
+//!   the only knowledge about the whole application topology" →
+//!   [`controller::Controller`].
+//! * "In a **collaborative session** all partners see the same screen
+//!   representations at the same time … only synchronisation information
+//!   such as the parameter set for the cutting plane determination is
+//!   exchanged" → [`collab::CollabSession`] with its two sync modes
+//!   (parameter-sync vs pixel-stream), the subject of experiments E43/EC1.
+
+pub mod broker;
+pub mod collab;
+pub mod controller;
+pub mod data;
+pub mod module;
+
+pub use broker::RequestBroker;
+pub use collab::{CollabSession, SyncMode, SyncReport};
+pub use controller::{Controller, ExecError, ModuleId};
+pub use data::{DataObject, Payload, SharedDataSpace};
+pub use module::{CutPlane, IsoSurface, Module, ReadField, Renderer};

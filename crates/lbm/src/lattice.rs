@@ -1,0 +1,156 @@
+//! The D3Q19 velocity set.
+//!
+//! Nineteen discrete velocities: the rest vector, six axis neighbours and
+//! twelve edge diagonals, with the standard lattice weights (1/3, 1/18,
+//! 1/36) and sound speed c_s² = 1/3.
+
+/// Number of discrete velocities.
+pub const Q: usize = 19;
+
+/// Lattice sound speed squared.
+pub const CS2: f64 = 1.0 / 3.0;
+
+/// x-components of the velocity set.
+pub const CX: [i32; Q] = [0, 1, -1, 0, 0, 0, 0, 1, -1, 1, -1, 1, -1, 1, -1, 0, 0, 0, 0];
+/// y-components of the velocity set.
+pub const CY: [i32; Q] = [0, 0, 0, 1, -1, 0, 0, 1, -1, -1, 1, 0, 0, 0, 0, 1, -1, 1, -1];
+/// z-components of the velocity set.
+pub const CZ: [i32; Q] = [0, 0, 0, 0, 0, 1, -1, 0, 0, 0, 0, 1, -1, -1, 1, 1, -1, -1, 1];
+
+/// Quadrature weights.
+pub const WEIGHTS: [f64; Q] = [
+    1.0 / 3.0,
+    1.0 / 18.0,
+    1.0 / 18.0,
+    1.0 / 18.0,
+    1.0 / 18.0,
+    1.0 / 18.0,
+    1.0 / 18.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+];
+
+/// Index of the opposite velocity (−c_i), used for bounce-back and tests.
+pub const OPPOSITE: [usize; Q] = {
+    let mut opp = [0usize; Q];
+    let mut i = 0;
+    while i < Q {
+        let mut j = 0;
+        while j < Q {
+            if CX[i] == -CX[j] && CY[i] == -CY[j] && CZ[i] == -CZ[j] {
+                opp[i] = j;
+            }
+            j += 1;
+        }
+        i += 1;
+    }
+    opp
+};
+
+/// Discrete equilibrium distribution for direction `i` at density `rho`
+/// and velocity `u` (second-order expansion).
+#[inline]
+pub fn equilibrium(i: usize, rho: f64, ux: f64, uy: f64, uz: f64) -> f64 {
+    let cu = CX[i] as f64 * ux + CY[i] as f64 * uy + CZ[i] as f64 * uz;
+    let uu = ux * ux + uy * uy + uz * uz;
+    WEIGHTS[i] * rho * (1.0 + 3.0 * cu + 4.5 * cu * cu - 1.5 * uu)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_sum_to_one() {
+        let s: f64 = WEIGHTS.iter().sum();
+        assert!((s - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn velocity_set_sums_to_zero() {
+        assert_eq!(CX.iter().sum::<i32>(), 0);
+        assert_eq!(CY.iter().sum::<i32>(), 0);
+        assert_eq!(CZ.iter().sum::<i32>(), 0);
+    }
+
+    #[test]
+    fn second_moment_is_isotropic() {
+        // Σ w_i c_iα c_iβ = c_s² δ_αβ
+        let mut m = [[0.0f64; 3]; 3];
+        for i in 0..Q {
+            let c = [CX[i] as f64, CY[i] as f64, CZ[i] as f64];
+            for a in 0..3 {
+                for b in 0..3 {
+                    m[a][b] += WEIGHTS[i] * c[a] * c[b];
+                }
+            }
+        }
+        for a in 0..3 {
+            for b in 0..3 {
+                let expect = if a == b { CS2 } else { 0.0 };
+                assert!((m[a][b] - expect).abs() < 1e-15, "m[{a}][{b}]={}", m[a][b]);
+            }
+        }
+    }
+
+    #[test]
+    fn opposites_are_involutive_and_correct() {
+        for i in 0..Q {
+            let j = OPPOSITE[i];
+            assert_eq!(OPPOSITE[j], i);
+            assert_eq!(CX[i], -CX[j]);
+            assert_eq!(CY[i], -CY[j]);
+            assert_eq!(CZ[i], -CZ[j]);
+        }
+        assert_eq!(OPPOSITE[0], 0);
+    }
+
+    #[test]
+    fn velocities_are_distinct() {
+        for i in 0..Q {
+            for j in (i + 1)..Q {
+                assert!(
+                    CX[i] != CX[j] || CY[i] != CY[j] || CZ[i] != CZ[j],
+                    "duplicate velocity {i},{j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn equilibrium_moments_at_rest() {
+        // Σ f_eq = ρ, Σ f_eq c = 0 at u=0
+        let rho = 0.8;
+        let sum: f64 = (0..Q).map(|i| equilibrium(i, rho, 0.0, 0.0, 0.0)).sum();
+        assert!((sum - rho).abs() < 1e-14);
+        let px: f64 = (0..Q)
+            .map(|i| equilibrium(i, rho, 0.0, 0.0, 0.0) * CX[i] as f64)
+            .sum();
+        assert!(px.abs() < 1e-15);
+    }
+
+    #[test]
+    fn equilibrium_first_moment_matches_velocity() {
+        let (rho, ux, uy, uz) = (1.0, 0.05, -0.02, 0.01);
+        let mut p = [0.0f64; 3];
+        for i in 0..Q {
+            let f = equilibrium(i, rho, ux, uy, uz);
+            p[0] += f * CX[i] as f64;
+            p[1] += f * CY[i] as f64;
+            p[2] += f * CZ[i] as f64;
+        }
+        assert!((p[0] - rho * ux).abs() < 1e-14);
+        assert!((p[1] - rho * uy).abs() < 1e-14);
+        assert!((p[2] - rho * uz).abs() < 1e-14);
+    }
+}

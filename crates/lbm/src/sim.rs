@@ -1,0 +1,657 @@
+//! The two-component solver.
+//!
+//! Physics: two BGK components A and B on D3Q19, coupled by the Shan–Chen
+//! pseudopotential force with ψ = ρ:
+//!
+//! ```text
+//! F_A(x) = −g ρ_A(x) Σ_i w_i ρ_B(x + c_i) c_i      (and symmetrically F_B)
+//! ```
+//!
+//! `g` is the inter-component coupling. The *steering parameter* exposed to
+//! users is the paper's **miscibility** m ∈ [0, 1], mapped as
+//! `g = g_max · (1 − m)`: fully miscible fluids feel no coupling; as the
+//! steerer lowers m the mixture crosses the spinodal and domains form —
+//! the structures the SC2003 demo rendered as isosurfaces live.
+//!
+//! Each step runs three parallel passes (density → force/velocity → pull
+//! stream-collide), all race-free and deterministic for any thread count.
+
+use crate::lattice::{equilibrium, CX, CY, CZ, Q, WEIGHTS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use viz::Field3;
+
+/// Solver configuration.
+#[derive(Debug, Clone)]
+pub struct LbmConfig {
+    /// Grid extent in x.
+    pub nx: usize,
+    /// Grid extent in y.
+    pub ny: usize,
+    /// Grid extent in z.
+    pub nz: usize,
+    /// BGK relaxation time (both components).
+    pub tau: f64,
+    /// Coupling at miscibility 0 (full demixing).
+    pub g_max: f64,
+    /// Mean density per component.
+    pub rho0: f64,
+    /// Initial density perturbation amplitude (seeds spinodal noise).
+    pub noise: f64,
+    /// RNG seed for the initial perturbation.
+    pub seed: u64,
+    /// Worker threads for the parallel passes.
+    pub threads: usize,
+}
+
+impl Default for LbmConfig {
+    fn default() -> Self {
+        LbmConfig {
+            nx: 32,
+            ny: 32,
+            nz: 32,
+            tau: 1.0,
+            g_max: 2.5,
+            rho0: 0.5,
+            noise: 0.01,
+            seed: 42,
+            threads: 4,
+        }
+    }
+}
+
+impl LbmConfig {
+    /// A small fast configuration for tests.
+    pub fn small() -> Self {
+        LbmConfig {
+            nx: 12,
+            ny: 12,
+            nz: 12,
+            threads: 2,
+            ..Default::default()
+        }
+    }
+}
+
+
+/// Copyable grid geometry shared by the parallel passes (avoids borrowing
+/// `self` inside scoped threads).
+#[derive(Debug, Clone, Copy)]
+struct Geom {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    plane: usize,
+    threads: usize,
+}
+
+impl Geom {
+    #[inline]
+    fn idx(&self, x: usize, y: usize, z: usize) -> usize {
+        x + self.nx * (y + self.ny * z)
+    }
+
+    /// Periodic neighbour index in direction `i`.
+    #[inline]
+    fn neighbor(&self, x: usize, y: usize, z: usize, i: usize) -> usize {
+        let px = (x as i32 + CX[i]).rem_euclid(self.nx as i32) as usize;
+        let py = (y as i32 + CY[i]).rem_euclid(self.ny as i32) as usize;
+        let pz = (z as i32 + CZ[i]).rem_euclid(self.nz as i32) as usize;
+        self.idx(px, py, pz)
+    }
+
+    /// Split a node-indexed output slice into per-thread chunks aligned to
+    /// whole z-planes, returning `(start_node, chunk)` pairs.
+    fn plane_chunks<'a, T>(&self, data: &'a mut [T], per_node: usize) -> Vec<(usize, &'a mut [T])> {
+        let planes_per = self.nz.div_ceil(self.threads.max(1));
+        let chunk_len = planes_per * self.plane * per_node;
+        let mut out = Vec::new();
+        let mut start = 0usize;
+        for c in data.chunks_mut(chunk_len.max(1)) {
+            let len = c.len();
+            out.push((start / per_node, c));
+            start += len;
+        }
+        out
+    }
+}
+
+/// The two-fluid Lattice-Boltzmann simulation.
+pub struct TwoFluidLbm {
+    cfg: LbmConfig,
+    n: usize,
+    plane: usize,
+    /// Distributions, AoS layout `f[node*Q + i]`, per component.
+    fa: Vec<f64>,
+    fb: Vec<f64>,
+    /// Scratch buffers for the pull pass.
+    fa_new: Vec<f64>,
+    fb_new: Vec<f64>,
+    /// Densities (refreshed each step).
+    rho_a: Vec<f64>,
+    rho_b: Vec<f64>,
+    /// Per-component equilibrium velocities (refreshed each step).
+    ua: Vec<[f64; 3]>,
+    ub: Vec<[f64; 3]>,
+    /// Current miscibility m ∈ [0,1].
+    miscibility: f64,
+    steps: u64,
+}
+
+impl TwoFluidLbm {
+    /// Initialize a perturbed symmetric mixture at rest.
+    pub fn new(cfg: LbmConfig) -> Self {
+        assert!(cfg.nx >= 2 && cfg.ny >= 2 && cfg.nz >= 2, "grid too small");
+        assert!(cfg.tau > 0.5, "tau must exceed 0.5 for stability");
+        let n = cfg.nx * cfg.ny * cfg.nz;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut fa = vec![0.0; n * Q];
+        let mut fb = vec![0.0; n * Q];
+        for node in 0..n {
+            let eps: f64 = rng.gen_range(-1.0..1.0) * cfg.noise;
+            let ra = cfg.rho0 * (1.0 + eps);
+            let rb = cfg.rho0 * (1.0 - eps);
+            for i in 0..Q {
+                fa[node * Q + i] = WEIGHTS[i] * ra;
+                fb[node * Q + i] = WEIGHTS[i] * rb;
+            }
+        }
+        TwoFluidLbm {
+            plane: cfg.nx * cfg.ny,
+            n,
+            fa_new: vec![0.0; n * Q],
+            fb_new: vec![0.0; n * Q],
+            rho_a: vec![0.0; n],
+            rho_b: vec![0.0; n],
+            ua: vec![[0.0; 3]; n],
+            ub: vec![[0.0; 3]; n],
+            fa,
+            fb,
+            miscibility: 1.0,
+            cfg,
+            steps: 0,
+        }
+    }
+
+    /// Grid dimensions.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.cfg.nx, self.cfg.ny, self.cfg.nz)
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Current miscibility (the steering parameter of §2.2).
+    pub fn miscibility(&self) -> f64 {
+        self.miscibility
+    }
+
+    /// Steer the miscibility; values are clamped to [0, 1].
+    pub fn set_miscibility(&mut self, m: f64) {
+        self.miscibility = m.clamp(0.0, 1.0);
+    }
+
+    /// Effective inter-component coupling `g`.
+    pub fn coupling(&self) -> f64 {
+        self.cfg.g_max * (1.0 - self.miscibility)
+    }
+
+    fn geom(&self) -> Geom {
+        Geom {
+            nx: self.cfg.nx,
+            ny: self.cfg.ny,
+            nz: self.cfg.nz,
+            plane: self.plane,
+            threads: self.cfg.threads,
+        }
+    }
+
+    /// Advance one time step.
+    pub fn step(&mut self) {
+        self.pass_density();
+        self.pass_velocity();
+        self.pass_stream_collide();
+        std::mem::swap(&mut self.fa, &mut self.fa_new);
+        std::mem::swap(&mut self.fb, &mut self.fb_new);
+        self.steps += 1;
+    }
+
+    /// Advance `n` steps.
+    pub fn step_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    fn pass_density(&mut self) {
+        let geom = self.geom();
+        let fa = &self.fa;
+        let fb = &self.fb;
+        let mut rho_a = std::mem::take(&mut self.rho_a);
+        let mut rho_b = std::mem::take(&mut self.rho_b);
+        {
+            let chunks_a = geom.plane_chunks(&mut rho_a, 1);
+            // pair chunks of rho_b with identical geometry
+            let chunks_b = geom.plane_chunks(&mut rho_b, 1);
+            crossbeam::thread::scope(|s| {
+                for ((start, ca), (_, cb)) in chunks_a.into_iter().zip(chunks_b) {
+                    s.spawn(move |_| {
+                        for (k, (ra, rb)) in ca.iter_mut().zip(cb.iter_mut()).enumerate() {
+                            let node = start + k;
+                            let mut sa = 0.0;
+                            let mut sb = 0.0;
+                            for i in 0..Q {
+                                sa += fa[node * Q + i];
+                                sb += fb[node * Q + i];
+                            }
+                            *ra = sa;
+                            *rb = sb;
+                        }
+                    });
+                }
+            })
+            .expect("density pass");
+        }
+        self.rho_a = rho_a;
+        self.rho_b = rho_b;
+    }
+
+    fn pass_velocity(&mut self) {
+        let g = self.coupling();
+        let tau = self.cfg.tau;
+        let (nx, ny) = (self.cfg.nx, self.cfg.ny);
+        let fa = &self.fa;
+        let fb = &self.fb;
+        let rho_a = &self.rho_a;
+        let rho_b = &self.rho_b;
+        let geom = self.geom();
+        let mut ua = std::mem::take(&mut self.ua);
+        let mut ub = std::mem::take(&mut self.ub);
+        {
+            let chunks_a = geom.plane_chunks(&mut ua, 1);
+            let chunks_b = geom.plane_chunks(&mut ub, 1);
+            crossbeam::thread::scope(|s| {
+                for ((start, ca), (_, cb)) in chunks_a.into_iter().zip(chunks_b) {
+                    s.spawn(move |_| {
+                        for (k, (va, vb)) in ca.iter_mut().zip(cb.iter_mut()).enumerate() {
+                            let node = start + k;
+                            let z = node / (nx * ny);
+                            let rem = node % (nx * ny);
+                            let y = rem / nx;
+                            let x = rem % nx;
+                            // momenta
+                            let mut j = [0.0f64; 3];
+                            for i in 0..Q {
+                                let f = fa[node * Q + i] + fb[node * Q + i];
+                                j[0] += f * CX[i] as f64;
+                                j[1] += f * CY[i] as f64;
+                                j[2] += f * CZ[i] as f64;
+                            }
+                            let ra = rho_a[node];
+                            let rb = rho_b[node];
+                            let rho_tot = (ra + rb).max(1e-12);
+                            let u = [j[0] / rho_tot, j[1] / rho_tot, j[2] / rho_tot];
+                            // Shan–Chen forces
+                            let mut grad_b = [0.0f64; 3];
+                            let mut grad_a = [0.0f64; 3];
+                            for i in 1..Q {
+                                let nb = geom.neighbor(x, y, z, i);
+                                let w = WEIGHTS[i];
+                                grad_b[0] += w * rho_b[nb] * CX[i] as f64;
+                                grad_b[1] += w * rho_b[nb] * CY[i] as f64;
+                                grad_b[2] += w * rho_b[nb] * CZ[i] as f64;
+                                grad_a[0] += w * rho_a[nb] * CX[i] as f64;
+                                grad_a[1] += w * rho_a[nb] * CY[i] as f64;
+                                grad_a[2] += w * rho_a[nb] * CZ[i] as f64;
+                            }
+                            let fa_force = [
+                                -g * ra * grad_b[0],
+                                -g * ra * grad_b[1],
+                                -g * ra * grad_b[2],
+                            ];
+                            let fb_force = [
+                                -g * rb * grad_a[0],
+                                -g * rb * grad_a[1],
+                                -g * rb * grad_a[2],
+                            ];
+                            // per-component equilibrium velocity (velocity-shift forcing)
+                            let ra_s = ra.max(1e-12);
+                            let rb_s = rb.max(1e-12);
+                            *va = [
+                                u[0] + tau * fa_force[0] / ra_s,
+                                u[1] + tau * fa_force[1] / ra_s,
+                                u[2] + tau * fa_force[2] / ra_s,
+                            ];
+                            *vb = [
+                                u[0] + tau * fb_force[0] / rb_s,
+                                u[1] + tau * fb_force[1] / rb_s,
+                                u[2] + tau * fb_force[2] / rb_s,
+                            ];
+                        }
+                    });
+                }
+            })
+            .expect("velocity pass");
+        }
+        self.ua = ua;
+        self.ub = ub;
+    }
+
+    fn pass_stream_collide(&mut self) {
+        let omega = 1.0 / self.cfg.tau;
+        let (nx, ny) = (self.cfg.nx, self.cfg.ny);
+        let fa = &self.fa;
+        let fb = &self.fb;
+        let rho_a = &self.rho_a;
+        let rho_b = &self.rho_b;
+        let ua = &self.ua;
+        let ub = &self.ub;
+        let geom = self.geom();
+        let mut fa_new = std::mem::take(&mut self.fa_new);
+        let mut fb_new = std::mem::take(&mut self.fb_new);
+        {
+            let chunks_a = geom.plane_chunks(&mut fa_new, Q);
+            let chunks_b = geom.plane_chunks(&mut fb_new, Q);
+            crossbeam::thread::scope(|s| {
+                for ((start, ca), (_, cb)) in chunks_a.into_iter().zip(chunks_b) {
+                    s.spawn(move |_| {
+                        for (k, (slot_a, slot_b)) in
+                            ca.chunks_exact_mut(Q).zip(cb.chunks_exact_mut(Q)).enumerate()
+                        {
+                            let node = start + k;
+                            let z = node / (nx * ny);
+                            let rem = node % (nx * ny);
+                            let y = rem / nx;
+                            let x = rem % nx;
+                            for i in 0..Q {
+                                // pull: the value streaming into (node, i)
+                                // comes from the node at −c_i
+                                let opp = crate::lattice::OPPOSITE[i];
+                                let src = geom.neighbor(x, y, z, opp);
+                                let (sa, sb) = (fa[src * Q + i], fb[src * Q + i]);
+                                let va = ua[src];
+                                let vb = ub[src];
+                                let ea = equilibrium(i, rho_a[src], va[0], va[1], va[2]);
+                                let eb = equilibrium(i, rho_b[src], vb[0], vb[1], vb[2]);
+                                slot_a[i] = sa + omega * (ea - sa);
+                                slot_b[i] = sb + omega * (eb - sb);
+                            }
+                        }
+                    });
+                }
+            })
+            .expect("stream pass");
+        }
+        self.fa_new = fa_new;
+        self.fb_new = fb_new;
+    }
+
+    /// Total mass per component.
+    pub fn total_mass(&self) -> (f64, f64) {
+        (self.fa.iter().sum(), self.fb.iter().sum())
+    }
+
+    /// Total momentum (both components).
+    pub fn total_momentum(&self) -> [f64; 3] {
+        let mut p = [0.0f64; 3];
+        for node in 0..self.n {
+            for i in 0..Q {
+                let f = self.fa[node * Q + i] + self.fb[node * Q + i];
+                p[0] += f * CX[i] as f64;
+                p[1] += f * CY[i] as f64;
+                p[2] += f * CZ[i] as f64;
+            }
+        }
+        p
+    }
+
+    /// The order parameter φ = ρA − ρB as a renderable field — the
+    /// "sample" the simulation component emits for the visualization
+    /// (§2.1: "the simulation component periodically … emits 'samples' for
+    /// consumption by the visualization component").
+    pub fn order_parameter(&self) -> Field3 {
+        let mut data = Vec::with_capacity(self.n);
+        for node in 0..self.n {
+            let mut ra = 0.0;
+            let mut rb = 0.0;
+            for i in 0..Q {
+                ra += self.fa[node * Q + i];
+                rb += self.fb[node * Q + i];
+            }
+            data.push((ra - rb) as f32);
+        }
+        Field3::from_vec(self.cfg.nx, self.cfg.ny, self.cfg.nz, data)
+    }
+
+    /// Spatial variance of φ — a scalar demixing metric: near zero for a
+    /// mixed state, growing as domains form.
+    pub fn demix_metric(&self) -> f64 {
+        let phi = self.order_parameter();
+        let mean = phi.mean() as f64;
+        phi.data()
+            .iter()
+            .map(|&v| {
+                let d = v as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / phi.len() as f64
+    }
+
+    /// True if any distribution value is non-finite (stability check).
+    pub fn is_unstable(&self) -> bool {
+        self.fa.iter().chain(self.fb.iter()).any(|v| !v.is_finite())
+    }
+
+    /// Snapshot the full solver state for migration — §2.4: "RealityGrid
+    /// is developing the ability to migrate both computation and
+    /// visualization within a session without any disturbance or
+    /// intervention on the part of the participating clients."
+    pub fn checkpoint(&self) -> LbmCheckpoint {
+        LbmCheckpoint {
+            cfg: self.cfg.clone(),
+            fa: self.fa.clone(),
+            fb: self.fb.clone(),
+            miscibility: self.miscibility,
+            steps: self.steps,
+        }
+    }
+
+    /// Resume a checkpointed run, bit-identically.
+    pub fn from_checkpoint(ck: LbmCheckpoint) -> TwoFluidLbm {
+        let n = ck.cfg.nx * ck.cfg.ny * ck.cfg.nz;
+        assert_eq!(ck.fa.len(), n * Q, "corrupt checkpoint");
+        assert_eq!(ck.fb.len(), n * Q, "corrupt checkpoint");
+        TwoFluidLbm {
+            plane: ck.cfg.nx * ck.cfg.ny,
+            n,
+            fa_new: vec![0.0; n * Q],
+            fb_new: vec![0.0; n * Q],
+            rho_a: vec![0.0; n],
+            rho_b: vec![0.0; n],
+            ua: vec![[0.0; 3]; n],
+            ub: vec![[0.0; 3]; n],
+            fa: ck.fa,
+            fb: ck.fb,
+            miscibility: ck.miscibility,
+            cfg: ck.cfg,
+            steps: ck.steps,
+        }
+    }
+}
+
+/// A full solver checkpoint (see [`TwoFluidLbm::checkpoint`]).
+#[derive(Debug, Clone)]
+pub struct LbmCheckpoint {
+    /// Solver configuration.
+    pub cfg: LbmConfig,
+    /// Component-A distributions.
+    pub fa: Vec<f64>,
+    /// Component-B distributions.
+    pub fb: Vec<f64>,
+    /// Steering parameter at checkpoint time.
+    pub miscibility: f64,
+    /// Step counter at checkpoint time.
+    pub steps: u64,
+}
+
+impl LbmCheckpoint {
+    /// Serialized size in bytes (what migration must move between sites).
+    pub fn byte_size(&self) -> usize {
+        (self.fa.len() + self.fb.len()) * 8 + 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mass_conserved_over_steps() {
+        let mut sim = TwoFluidLbm::new(LbmConfig::small());
+        sim.set_miscibility(0.2); // strong coupling
+        let (ma0, mb0) = sim.total_mass();
+        sim.step_n(30);
+        let (ma, mb) = sim.total_mass();
+        assert!(((ma - ma0) / ma0).abs() < 1e-10, "A mass drift {}", ma - ma0);
+        assert!(((mb - mb0) / mb0).abs() < 1e-10, "B mass drift {}", mb - mb0);
+    }
+
+    #[test]
+    fn momentum_conserved_without_coupling() {
+        let mut sim = TwoFluidLbm::new(LbmConfig::small());
+        sim.set_miscibility(1.0); // g = 0
+        sim.step_n(20);
+        let p = sim.total_momentum();
+        for c in p {
+            assert!(c.abs() < 1e-10, "momentum drift {c}");
+        }
+    }
+
+    #[test]
+    fn momentum_nearly_conserved_with_coupling() {
+        // pairwise SC forces cancel globally on a periodic lattice up to
+        // the O(F²) error of the velocity-shift forcing
+        let mut sim = TwoFluidLbm::new(LbmConfig::small());
+        sim.set_miscibility(0.3);
+        sim.step_n(20);
+        let p = sim.total_momentum();
+        let (ma, mb) = sim.total_mass();
+        for c in p {
+            assert!(c.abs() / (ma + mb) < 1e-3, "momentum drift {c}");
+        }
+    }
+
+    #[test]
+    fn uniform_mixture_stays_uniform_without_noise() {
+        let cfg = LbmConfig {
+            noise: 0.0,
+            ..LbmConfig::small()
+        };
+        let mut sim = TwoFluidLbm::new(cfg);
+        sim.set_miscibility(0.0); // even at max coupling: no seed, no domains
+        sim.step_n(10);
+        assert!(sim.demix_metric() < 1e-20);
+    }
+
+    #[test]
+    fn strong_coupling_demixes_weak_does_not() {
+        let mut miscible = TwoFluidLbm::new(LbmConfig::small());
+        miscible.set_miscibility(1.0);
+        let mut immiscible = TwoFluidLbm::new(LbmConfig::small());
+        immiscible.set_miscibility(0.0);
+        let v0 = immiscible.demix_metric();
+        miscible.step_n(60);
+        immiscible.step_n(60);
+        assert!(!immiscible.is_unstable(), "solver went unstable");
+        let v_mix = miscible.demix_metric();
+        let v_demix = immiscible.demix_metric();
+        // the paper's observable: lowering miscibility forms structures
+        assert!(
+            v_demix > v0 * 3.0,
+            "no domain growth: v0={v0:.3e} v={v_demix:.3e}"
+        );
+        assert!(
+            v_demix > v_mix * 5.0,
+            "demixed variance {v_demix:.3e} not ≫ mixed {v_mix:.3e}"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let mk = |threads| {
+            let cfg = LbmConfig {
+                threads,
+                ..LbmConfig::small()
+            };
+            let mut sim = TwoFluidLbm::new(cfg);
+            sim.set_miscibility(0.1);
+            sim.step_n(10);
+            sim.order_parameter()
+        };
+        let a = mk(1);
+        let b = mk(4);
+        assert_eq!(a.data(), b.data(), "thread count changed the physics");
+    }
+
+    #[test]
+    fn steering_mid_run_changes_behaviour() {
+        let mut sim = TwoFluidLbm::new(LbmConfig::small());
+        sim.set_miscibility(1.0);
+        sim.step_n(30);
+        let v_before = sim.demix_metric();
+        // the SC2003 steering moment: turn the miscibility down live
+        sim.set_miscibility(0.0);
+        sim.step_n(60);
+        let v_after = sim.demix_metric();
+        assert!(
+            v_after > v_before * 3.0,
+            "steering had no effect: {v_before:.3e} → {v_after:.3e}"
+        );
+    }
+
+    #[test]
+    fn miscibility_is_clamped() {
+        let mut sim = TwoFluidLbm::new(LbmConfig::small());
+        sim.set_miscibility(7.0);
+        assert_eq!(sim.miscibility(), 1.0);
+        sim.set_miscibility(-2.0);
+        assert_eq!(sim.miscibility(), 0.0);
+        assert_eq!(sim.coupling(), sim.cfg.g_max);
+    }
+
+    #[test]
+    fn order_parameter_field_has_grid_dims() {
+        let sim = TwoFluidLbm::new(LbmConfig::small());
+        let phi = sim.order_parameter();
+        assert_eq!(phi.dims(), sim.dims());
+        // symmetric mixture: mean φ ≈ 0
+        assert!(phi.mean().abs() < 1e-2);
+    }
+
+    #[test]
+    fn checkpoint_restore_is_bit_identical() {
+        let mut a = TwoFluidLbm::new(LbmConfig::small());
+        a.set_miscibility(0.3);
+        a.step_n(7);
+        let ck = a.checkpoint();
+        let mut b = TwoFluidLbm::from_checkpoint(ck);
+        assert_eq!(b.steps(), 7);
+        assert_eq!(b.miscibility(), 0.3);
+        a.step_n(5);
+        b.step_n(5);
+        assert_eq!(a.order_parameter().data(), b.order_parameter().data());
+    }
+
+    #[test]
+    #[should_panic(expected = "tau must exceed 0.5")]
+    fn invalid_tau_rejected() {
+        let cfg = LbmConfig {
+            tau: 0.4,
+            ..LbmConfig::small()
+        };
+        let _ = TwoFluidLbm::new(cfg);
+    }
+}

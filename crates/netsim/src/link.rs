@@ -1,0 +1,289 @@
+//! Point-to-point link model.
+//!
+//! A [`Link`] turns a message size and departure time into an arrival time:
+//!
+//! ```text
+//! arrival = departure + latency + size/bandwidth + jitter(seed, seq)
+//! ```
+//!
+//! Jitter is produced by a small deterministic hash of `(seed, sequence
+//! number)`, so a given link replays identically on every run — which is
+//! what makes the paper's feedback-loop experiments reproducible. Loss is
+//! likewise deterministic per sequence number.
+
+use crate::time::SimTime;
+
+/// Deterministic per-link behaviour parameters.
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// One-way propagation delay.
+    pub latency: SimTime,
+    /// Throughput in bytes per second. `u64::MAX` means "infinite".
+    pub bandwidth_bps: u64,
+    /// Maximum extra delay added by jitter (uniform in `[0, jitter]`).
+    pub jitter: SimTime,
+    /// Packet loss probability in parts-per-million (0 = lossless).
+    pub loss_ppm: u32,
+    /// Seed for the deterministic jitter/loss stream.
+    pub seed: u64,
+    /// Per-link monotone message counter (drives jitter/loss streams).
+    seq: u64,
+}
+
+impl Default for Link {
+    fn default() -> Self {
+        Link::builder().build()
+    }
+}
+
+/// Builder for [`Link`], with LAN-like defaults (0.1 ms, 1 GB/s, lossless).
+#[derive(Debug, Clone)]
+pub struct LinkBuilder {
+    latency: SimTime,
+    bandwidth_bps: u64,
+    jitter: SimTime,
+    loss_ppm: u32,
+    seed: u64,
+}
+
+impl LinkBuilder {
+    /// One-way propagation delay.
+    pub fn latency(mut self, l: SimTime) -> Self {
+        self.latency = l;
+        self
+    }
+
+    /// Convenience: latency in milliseconds.
+    pub fn latency_ms(mut self, ms: u64) -> Self {
+        self.latency = SimTime::from_millis(ms);
+        self
+    }
+
+    /// Bandwidth in bytes/second.
+    pub fn bandwidth_bps(mut self, b: u64) -> Self {
+        self.bandwidth_bps = b.max(1);
+        self
+    }
+
+    /// Convenience: bandwidth in megabits/second (the unit the paper's
+    /// networks were quoted in — SuperJanet, Gigabit Testbed West).
+    pub fn bandwidth_mbit(mut self, mbit: u64) -> Self {
+        self.bandwidth_bps = mbit * 1_000_000 / 8;
+        self
+    }
+
+    /// Maximum jitter.
+    pub fn jitter(mut self, j: SimTime) -> Self {
+        self.jitter = j;
+        self
+    }
+
+    /// Loss in parts-per-million.
+    pub fn loss_ppm(mut self, p: u32) -> Self {
+        self.loss_ppm = p.min(1_000_000);
+        self
+    }
+
+    /// Seed for the deterministic jitter/loss stream.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Finalize.
+    pub fn build(self) -> Link {
+        Link {
+            latency: self.latency,
+            bandwidth_bps: self.bandwidth_bps,
+            jitter: self.jitter,
+            loss_ppm: self.loss_ppm,
+            seed: self.seed,
+            seq: 0,
+        }
+    }
+}
+
+/// SplitMix64 — tiny, high-quality deterministic hash used for the
+/// jitter/loss streams (no external RNG needed on this hot path).
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl Link {
+    /// Start building a link with LAN defaults.
+    pub fn builder() -> LinkBuilder {
+        LinkBuilder {
+            latency: SimTime::from_micros(100),
+            bandwidth_bps: 1_000_000_000,
+            jitter: SimTime::ZERO,
+            loss_ppm: 0,
+            seed: 0x5EED,
+        }
+    }
+
+    /// A loopback link: zero latency, infinite bandwidth.
+    pub fn loopback() -> Link {
+        Link::builder()
+            .latency(SimTime::ZERO)
+            .bandwidth_bps(u64::MAX)
+            .build()
+    }
+
+    /// A link shaped like the paper's UK national network segment
+    /// (Manchester–London over SuperJanet, 2003): ~5 ms one way, 155 Mbit.
+    pub fn uk_janet() -> Link {
+        Link::builder()
+            .latency_ms(5)
+            .bandwidth_mbit(155)
+            .jitter(SimTime::from_micros(500))
+            .build()
+    }
+
+    /// A continental-European link (Jülich–Stuttgart over G-WiN):
+    /// ~10 ms one way, 622 Mbit.
+    pub fn gwin() -> Link {
+        Link::builder()
+            .latency_ms(10)
+            .bandwidth_mbit(622)
+            .jitter(SimTime::from_millis(1))
+            .build()
+    }
+
+    /// A transatlantic link (Europe–Phoenix show floor): ~75 ms one way,
+    /// 45 Mbit effective, mild loss — the worst case in the paper's demos.
+    pub fn transatlantic() -> Link {
+        Link::builder()
+            .latency_ms(75)
+            .bandwidth_mbit(45)
+            .jitter(SimTime::from_millis(3))
+            .loss_ppm(100)
+            .build()
+    }
+
+    /// Serialization delay for `size` bytes at this link's bandwidth.
+    pub fn transfer_time(&self, size_bytes: usize) -> SimTime {
+        if self.bandwidth_bps == u64::MAX {
+            return SimTime::ZERO;
+        }
+        // ceil(size * 1e9 / bw) without overflow for realistic sizes
+        let ns = (size_bytes as u128 * 1_000_000_000u128).div_ceil(self.bandwidth_bps as u128);
+        SimTime::from_nanos(ns.min(u64::MAX as u128) as u64)
+    }
+
+    /// Deterministic jitter for the `seq`-th message.
+    fn jitter_for(&self, seq: u64) -> SimTime {
+        if self.jitter == SimTime::ZERO {
+            return SimTime::ZERO;
+        }
+        let h = splitmix64(self.seed ^ seq.wrapping_mul(0xA24B_AED4_963E_E407));
+        SimTime::from_nanos(h % (self.jitter.as_nanos() + 1))
+    }
+
+    /// Deterministic loss decision for the `seq`-th message.
+    fn lost(&self, seq: u64) -> bool {
+        if self.loss_ppm == 0 {
+            return false;
+        }
+        let h = splitmix64(self.seed.rotate_left(17) ^ seq);
+        (h % 1_000_000) < self.loss_ppm as u64
+    }
+
+    /// Compute the arrival time of a `size_bytes` message departing at
+    /// `departure`, consuming one sequence number. Returns `None` if the
+    /// message is lost.
+    pub fn deliver(&mut self, departure: SimTime, size_bytes: usize) -> Option<SimTime> {
+        let seq = self.seq;
+        self.seq += 1;
+        if self.lost(seq) {
+            return None;
+        }
+        Some(departure + self.latency + self.transfer_time(size_bytes) + self.jitter_for(seq))
+    }
+
+    /// Like [`Link::deliver`] but without consuming a sequence number or
+    /// modeling loss/jitter — the *nominal* arrival. Useful for analytic
+    /// expectations in benchmarks.
+    pub fn nominal_arrival(&self, departure: SimTime, size_bytes: usize) -> SimTime {
+        departure + self.latency + self.transfer_time(size_bytes)
+    }
+
+    /// One-way latency + per-byte cost summary line (human-readable).
+    pub fn describe(&self) -> String {
+        format!(
+            "latency={} bw={}B/s jitter={} loss={}ppm",
+            self.latency, self.bandwidth_bps, self.jitter, self.loss_ppm
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_scales_with_size() {
+        let l = Link::builder().bandwidth_bps(1_000_000).build(); // 1 MB/s
+        assert_eq!(l.transfer_time(1_000_000), SimTime::from_secs(1));
+        assert_eq!(l.transfer_time(500_000), SimTime::from_millis(500));
+        assert_eq!(l.transfer_time(0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn infinite_bandwidth_is_free() {
+        let l = Link::loopback();
+        assert_eq!(l.transfer_time(usize::MAX / 2), SimTime::ZERO);
+    }
+
+    #[test]
+    fn delivery_is_deterministic() {
+        let mk = || Link::builder().latency_ms(10).jitter(SimTime::from_millis(2)).seed(42).build();
+        let mut a = mk();
+        let mut b = mk();
+        for i in 0..100 {
+            let t = SimTime::from_millis(i);
+            assert_eq!(a.deliver(t, 128), b.deliver(t, 128));
+        }
+    }
+
+    #[test]
+    fn jitter_bounded() {
+        let mut l = Link::builder()
+            .latency_ms(5)
+            .jitter(SimTime::from_millis(2))
+            .bandwidth_bps(u64::MAX)
+            .build();
+        for _ in 0..1000 {
+            let arr = l.deliver(SimTime::ZERO, 0).unwrap();
+            assert!(arr >= SimTime::from_millis(5));
+            assert!(arr <= SimTime::from_millis(7));
+        }
+    }
+
+    #[test]
+    fn loss_rate_approximates_ppm() {
+        let mut l = Link::builder().loss_ppm(100_000).seed(7).build(); // 10%
+        let lost = (0..10_000)
+            .filter(|_| l.deliver(SimTime::ZERO, 1).is_none())
+            .count();
+        // within a generous band around 1000/10000
+        assert!((700..1300).contains(&lost), "lost={lost}");
+    }
+
+    #[test]
+    fn lossless_never_drops() {
+        let mut l = Link::uk_janet();
+        for _ in 0..1000 {
+            assert!(l.deliver(SimTime::ZERO, 1500).is_some());
+        }
+    }
+
+    #[test]
+    fn presets_are_ordered_by_distance() {
+        assert!(Link::uk_janet().latency < Link::gwin().latency);
+        assert!(Link::gwin().latency < Link::transatlantic().latency);
+    }
+}

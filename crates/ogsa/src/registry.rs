@@ -1,0 +1,198 @@
+//! The service registry of Figure 2.
+//!
+//! §2.3: "[The steering client] contacts a registry which ha[s] details of
+//! the steering services that have published to the registry. … The client
+//! chooses the services it will require and binds them to the client."
+//! [`Registry`] is itself a [`GridService`], so it can be hosted in the
+//! same [`HostingEnv`](crate::hosting::HostingEnv) and discovered like
+//! anything else — the OGSI bootstrapping story.
+
+use crate::service::{unknown_op, GridService, Gsh, InvokeResult, SdeValue, ServiceData};
+
+/// One published entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    /// The published service handle.
+    pub handle: Gsh,
+    /// Port type it offers, e.g. `"reality-grid:steering"`.
+    pub port_type: String,
+    /// Free-text description shown to users choosing a service.
+    pub description: String,
+}
+
+/// A registry of published services.
+#[derive(Debug, Default)]
+pub struct Registry {
+    entries: Vec<Entry>,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publish a handle under a port type. Re-publishing the same handle
+    /// and port type replaces the description.
+    pub fn publish(&mut self, handle: &str, port_type: &str, description: &str) {
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.handle == handle && e.port_type == port_type)
+        {
+            e.description = description.to_string();
+            return;
+        }
+        self.entries.push(Entry {
+            handle: handle.to_string(),
+            port_type: port_type.to_string(),
+            description: description.to_string(),
+        });
+    }
+
+    /// Remove every entry for a handle (a destroyed service must vanish
+    /// from discovery).
+    pub fn unpublish(&mut self, handle: &str) {
+        self.entries.retain(|e| e.handle != handle);
+    }
+
+    /// Discover handles by port type, in publication order.
+    pub fn discover(&self, port_type: &str) -> Vec<&Entry> {
+        self.entries
+            .iter()
+            .filter(|e| e.port_type == port_type)
+            .collect()
+    }
+
+    /// Total published entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is published.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl GridService for Registry {
+    fn port_types(&self) -> Vec<String> {
+        vec!["ogsi:registry".into()]
+    }
+
+    fn service_data(&self) -> ServiceData {
+        let mut sd = ServiceData::new();
+        sd.set("entryCount", SdeValue::I64(self.entries.len() as i64));
+        let mut types: Vec<String> = self.entries.iter().map(|e| e.port_type.clone()).collect();
+        types.sort();
+        types.dedup();
+        sd.set("portTypes", SdeValue::List(types));
+        sd
+    }
+
+    fn invoke(&mut self, op: &str, args: &[SdeValue]) -> InvokeResult {
+        match op {
+            // publish(handle, portType, description)
+            "publish" => {
+                let (Some(h), Some(p)) = (
+                    args.first().and_then(SdeValue::as_str),
+                    args.get(1).and_then(SdeValue::as_str),
+                ) else {
+                    return InvokeResult::Fault("publish needs (handle, portType)".into());
+                };
+                let d = args.get(2).and_then(SdeValue::as_str).unwrap_or("");
+                // clone to appease the borrow of args vs self
+                let (h, p, d) = (h.to_string(), p.to_string(), d.to_string());
+                self.publish(&h, &p, &d);
+                InvokeResult::Ok(vec![])
+            }
+            // discover(portType) -> list of handles
+            "discover" => {
+                let Some(p) = args.first().and_then(SdeValue::as_str) else {
+                    return InvokeResult::Fault("discover needs (portType)".into());
+                };
+                let handles: Vec<String> =
+                    self.discover(p).iter().map(|e| e.handle.clone()).collect();
+                InvokeResult::Ok(vec![SdeValue::List(handles)])
+            }
+            // unpublish(handle)
+            "unpublish" => {
+                let Some(h) = args.first().and_then(SdeValue::as_str) else {
+                    return InvokeResult::Fault("unpublish needs (handle)".into());
+                };
+                let h = h.to_string();
+                self.unpublish(&h);
+                InvokeResult::Ok(vec![])
+            }
+            other => unknown_op(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hosting::HostingEnv;
+
+    #[test]
+    fn publish_discover_unpublish() {
+        let mut r = Registry::new();
+        r.publish("gsh://steer/1", "reality-grid:steering", "LB sim steering");
+        r.publish("gsh://vis/1", "reality-grid:vis-steering", "isosurface control");
+        r.publish("gsh://steer/2", "reality-grid:steering", "PEPC steering");
+        let found = r.discover("reality-grid:steering");
+        assert_eq!(found.len(), 2);
+        assert_eq!(found[0].handle, "gsh://steer/1");
+        r.unpublish("gsh://steer/1");
+        assert_eq!(r.discover("reality-grid:steering").len(), 1);
+    }
+
+    #[test]
+    fn republish_updates_description() {
+        let mut r = Registry::new();
+        r.publish("h", "t", "old");
+        r.publish("h", "t", "new");
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.discover("t")[0].description, "new");
+    }
+
+    #[test]
+    fn discovery_of_unknown_type_is_empty() {
+        let r = Registry::new();
+        assert!(r.discover("nothing").is_empty());
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn registry_as_grid_service() {
+        let mut env = HostingEnv::new();
+        let gsh = env.host("registry", Box::new(Registry::new()), None);
+        env.invoke(
+            &gsh,
+            "publish",
+            &[
+                SdeValue::Str("gsh://steer/9".into()),
+                SdeValue::Str("reality-grid:steering".into()),
+                SdeValue::Str("demo".into()),
+            ],
+        )
+        .unwrap();
+        let r = env
+            .invoke(&gsh, "discover", &[SdeValue::Str("reality-grid:steering".into())])
+            .unwrap();
+        assert_eq!(
+            r.first().unwrap().as_list().unwrap(),
+            &["gsh://steer/9".to_string()]
+        );
+        let sd = env.service_data(&gsh).unwrap();
+        assert_eq!(sd.get("entryCount"), Some(&SdeValue::I64(1)));
+    }
+
+    #[test]
+    fn malformed_invocations_fault() {
+        let mut r = Registry::new();
+        assert!(!r.invoke("publish", &[]).is_ok());
+        assert!(!r.invoke("discover", &[SdeValue::I64(3)]).is_ok());
+        assert!(!r.invoke("no-such-op", &[]).is_ok());
+    }
+}

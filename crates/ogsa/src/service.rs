@@ -1,0 +1,186 @@
+//! The Grid service abstraction.
+//!
+//! OGSI modeled every grid entity as a *service* with typed operations,
+//! queryable *service data elements* (SDEs) and an explicit lifetime. The
+//! paper's steering service "simulated the behaviour of a possible OGSA
+//! service before the OGSI working group had formulated its standards
+//! recommendations" (§2.2); we implement the subset that architecture
+//! uses.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A Grid Service Handle — the stable name a registry hands out.
+pub type Gsh = String;
+
+/// Values carried by service data elements and operation arguments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SdeValue {
+    /// A string.
+    Str(String),
+    /// A double.
+    F64(f64),
+    /// An integer.
+    I64(i64),
+    /// A boolean.
+    Bool(bool),
+    /// A list of strings (e.g. parameter names).
+    List(Vec<String>),
+}
+
+impl SdeValue {
+    /// String accessor.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            SdeValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Double accessor (also accepts integers).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            SdeValue::F64(v) => Some(*v),
+            SdeValue::I64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Integer accessor.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            SdeValue::I64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// List accessor.
+    pub fn as_list(&self) -> Option<&[String]> {
+        match self {
+            SdeValue::List(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// An ordered set of named service data elements (ordered so queries and
+/// test output are deterministic).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServiceData {
+    entries: BTreeMap<String, SdeValue>,
+}
+
+impl ServiceData {
+    /// Empty SDE set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert/replace an element.
+    pub fn set(&mut self, name: &str, value: SdeValue) {
+        self.entries.insert(name.to_string(), value);
+    }
+
+    /// Query one element (OGSI `findServiceData` by name).
+    pub fn get(&self, name: &str) -> Option<&SdeValue> {
+        self.entries.get(name)
+    }
+
+    /// All element names.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no elements.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Result of invoking an operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InvokeResult {
+    /// Operation succeeded with these outputs.
+    Ok(Vec<SdeValue>),
+    /// Operation faulted (OGSI fault message).
+    Fault(String),
+}
+
+impl InvokeResult {
+    /// First output value, if Ok and non-empty.
+    pub fn first(&self) -> Option<&SdeValue> {
+        match self {
+            InvokeResult::Ok(v) => v.first(),
+            InvokeResult::Fault(_) => None,
+        }
+    }
+
+    /// True if the invocation succeeded.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, InvokeResult::Ok(_))
+    }
+}
+
+/// A hosted Grid service: port types for discovery, operations for use,
+/// SDEs for inspection.
+pub trait GridService: Send {
+    /// Port types this service implements (used for registry discovery;
+    /// e.g. `"reality-grid:steering"`).
+    fn port_types(&self) -> Vec<String>;
+
+    /// Current service data.
+    fn service_data(&self) -> ServiceData;
+
+    /// Invoke a named operation.
+    fn invoke(&mut self, op: &str, args: &[SdeValue]) -> InvokeResult;
+}
+
+/// The standard fault for an unknown operation.
+pub fn unknown_op(op: &str) -> InvokeResult {
+    InvokeResult::Fault(format!("unknown operation: {op}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sde_accessors() {
+        assert_eq!(SdeValue::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(SdeValue::F64(2.5).as_f64(), Some(2.5));
+        assert_eq!(SdeValue::I64(3).as_f64(), Some(3.0));
+        assert_eq!(SdeValue::I64(3).as_i64(), Some(3));
+        assert_eq!(SdeValue::Str("x".into()).as_f64(), None);
+        assert_eq!(
+            SdeValue::List(vec!["a".into()]).as_list(),
+            Some(&["a".to_string()][..])
+        );
+    }
+
+    #[test]
+    fn service_data_set_get_names() {
+        let mut sd = ServiceData::new();
+        sd.set("b", SdeValue::I64(1));
+        sd.set("a", SdeValue::I64(2));
+        sd.set("b", SdeValue::I64(3)); // replace
+        assert_eq!(sd.len(), 2);
+        assert_eq!(sd.get("b"), Some(&SdeValue::I64(3)));
+        assert_eq!(sd.names(), vec!["a", "b"]); // deterministic order
+    }
+
+    #[test]
+    fn invoke_result_helpers() {
+        let ok = InvokeResult::Ok(vec![SdeValue::F64(1.0)]);
+        assert!(ok.is_ok());
+        assert_eq!(ok.first(), Some(&SdeValue::F64(1.0)));
+        let fault = unknown_op("zap");
+        assert!(!fault.is_ok());
+        assert_eq!(fault.first(), None);
+        assert!(matches!(fault, InvokeResult::Fault(m) if m.contains("zap")));
+    }
+}

@@ -1,0 +1,350 @@
+//! Steering and visualization services (the two services of Figure 2).
+//!
+//! §2.3: "For illustration we show one service that steers the application
+//! and another that steers the visualization. … The steering services allow
+//! all of these components of the workflow to be steered." The RealityGrid
+//! project "has defined APIs for the steering calls which can be used to
+//! link from the application to the services" — our [`Steerable`] trait is
+//! that application-side API; [`SteeringService`] exposes any `Steerable`
+//! as a Grid service.
+
+use crate::service::{unknown_op, GridService, InvokeResult, SdeValue, ServiceData};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// The application-side steering API (the "RealityGrid steering API"
+/// analog). A simulation implements this; the service wraps it.
+pub trait Steerable: Send {
+    /// Names of steerable parameters.
+    fn param_names(&self) -> Vec<String>;
+    /// Read a parameter.
+    fn get_param(&self, name: &str) -> Option<f64>;
+    /// Write a parameter; `Err` carries a human-readable reason (unknown
+    /// name, out of bounds…).
+    fn set_param(&mut self, name: &str, value: f64) -> Result<(), String>;
+    /// Monotone sample sequence number (how much output the application
+    /// has emitted — lets clients detect progress).
+    fn sequence_number(&self) -> u64;
+}
+
+/// A steering service wrapping a shared steerable application.
+pub struct SteeringService {
+    /// Human-readable application name (appears in service data).
+    pub app_name: String,
+    target: Arc<Mutex<dyn Steerable>>,
+    /// Count of successful setParam calls (steering activity metric).
+    steers_applied: u64,
+}
+
+impl SteeringService {
+    /// Wrap a steerable application.
+    pub fn new(app_name: &str, target: Arc<Mutex<dyn Steerable>>) -> Self {
+        SteeringService {
+            app_name: app_name.to_string(),
+            target,
+            steers_applied: 0,
+        }
+    }
+
+    /// The port type used for registry discovery.
+    pub const PORT_TYPE: &'static str = "reality-grid:steering";
+}
+
+impl GridService for SteeringService {
+    fn port_types(&self) -> Vec<String> {
+        vec![Self::PORT_TYPE.to_string()]
+    }
+
+    fn service_data(&self) -> ServiceData {
+        let t = self.target.lock();
+        let mut sd = ServiceData::new();
+        sd.set("application", SdeValue::Str(self.app_name.clone()));
+        sd.set("paramNames", SdeValue::List(t.param_names()));
+        sd.set("sequenceNumber", SdeValue::I64(t.sequence_number() as i64));
+        sd.set("steersApplied", SdeValue::I64(self.steers_applied as i64));
+        for name in t.param_names() {
+            if let Some(v) = t.get_param(&name) {
+                sd.set(&format!("param:{name}"), SdeValue::F64(v));
+            }
+        }
+        sd
+    }
+
+    fn invoke(&mut self, op: &str, args: &[SdeValue]) -> InvokeResult {
+        match op {
+            "listParams" => {
+                let names = self.target.lock().param_names();
+                InvokeResult::Ok(vec![SdeValue::List(names)])
+            }
+            "getParam" => {
+                let Some(name) = args.first().and_then(SdeValue::as_str) else {
+                    return InvokeResult::Fault("getParam needs (name)".into());
+                };
+                match self.target.lock().get_param(name) {
+                    Some(v) => InvokeResult::Ok(vec![SdeValue::F64(v)]),
+                    None => InvokeResult::Fault(format!("unknown parameter: {name}")),
+                }
+            }
+            "setParam" => {
+                let (Some(name), Some(value)) = (
+                    args.first().and_then(SdeValue::as_str),
+                    args.get(1).and_then(SdeValue::as_f64),
+                ) else {
+                    return InvokeResult::Fault("setParam needs (name, value)".into());
+                };
+                let name = name.to_string();
+                match self.target.lock().set_param(&name, value) {
+                    Ok(()) => {
+                        self.steers_applied += 1;
+                        InvokeResult::Ok(vec![])
+                    }
+                    Err(e) => InvokeResult::Fault(e),
+                }
+            }
+            "sequenceNumber" => {
+                let n = self.target.lock().sequence_number();
+                InvokeResult::Ok(vec![SdeValue::I64(n as i64)])
+            }
+            other => unknown_op(other),
+        }
+    }
+}
+
+/// Shared visualization control state steered by a [`VisService`]: the
+/// isovalue and viewpoint of the remote rendering pipeline (the second
+/// service box in Figure 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VisControl {
+    /// Isosurface threshold.
+    pub isovalue: f64,
+    /// Camera yaw (radians).
+    pub yaw: f64,
+    /// Frames rendered so far.
+    pub frames: u64,
+}
+
+impl Default for VisControl {
+    fn default() -> Self {
+        VisControl {
+            isovalue: 0.0,
+            yaw: 0.0,
+            frames: 0,
+        }
+    }
+}
+
+/// A visualization-steering service over shared [`VisControl`] state.
+pub struct VisService {
+    state: Arc<Mutex<VisControl>>,
+}
+
+impl VisService {
+    /// Wrap shared control state.
+    pub fn new(state: Arc<Mutex<VisControl>>) -> Self {
+        VisService { state }
+    }
+
+    /// The port type used for registry discovery.
+    pub const PORT_TYPE: &'static str = "reality-grid:vis-steering";
+}
+
+impl GridService for VisService {
+    fn port_types(&self) -> Vec<String> {
+        vec![Self::PORT_TYPE.to_string()]
+    }
+
+    fn service_data(&self) -> ServiceData {
+        let s = self.state.lock();
+        let mut sd = ServiceData::new();
+        sd.set("isovalue", SdeValue::F64(s.isovalue));
+        sd.set("yaw", SdeValue::F64(s.yaw));
+        sd.set("frames", SdeValue::I64(s.frames as i64));
+        sd
+    }
+
+    fn invoke(&mut self, op: &str, args: &[SdeValue]) -> InvokeResult {
+        match op {
+            "setIsovalue" => {
+                let Some(v) = args.first().and_then(SdeValue::as_f64) else {
+                    return InvokeResult::Fault("setIsovalue needs (value)".into());
+                };
+                self.state.lock().isovalue = v;
+                InvokeResult::Ok(vec![])
+            }
+            "setYaw" => {
+                let Some(v) = args.first().and_then(SdeValue::as_f64) else {
+                    return InvokeResult::Fault("setYaw needs (value)".into());
+                };
+                self.state.lock().yaw = v;
+                InvokeResult::Ok(vec![])
+            }
+            other => unknown_op(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hosting::HostingEnv;
+    use crate::registry::Registry;
+
+    /// A toy steerable for tests: two bounded parameters + a step counter.
+    pub struct ToySim {
+        miscibility: f64,
+        temperature: f64,
+        steps: u64,
+    }
+
+    impl ToySim {
+        pub fn new() -> Self {
+            ToySim {
+                miscibility: 0.05,
+                temperature: 1.0,
+                steps: 0,
+            }
+        }
+    }
+
+    impl Steerable for ToySim {
+        fn param_names(&self) -> Vec<String> {
+            vec!["miscibility".into(), "temperature".into()]
+        }
+        fn get_param(&self, name: &str) -> Option<f64> {
+            match name {
+                "miscibility" => Some(self.miscibility),
+                "temperature" => Some(self.temperature),
+                _ => None,
+            }
+        }
+        fn set_param(&mut self, name: &str, value: f64) -> Result<(), String> {
+            match name {
+                "miscibility" if (0.0..=1.0).contains(&value) => {
+                    self.miscibility = value;
+                    Ok(())
+                }
+                "miscibility" => Err("miscibility out of [0,1]".into()),
+                "temperature" if value > 0.0 => {
+                    self.temperature = value;
+                    Ok(())
+                }
+                "temperature" => Err("temperature must be positive".into()),
+                other => Err(format!("unknown parameter: {other}")),
+            }
+        }
+        fn sequence_number(&self) -> u64 {
+            self.steps
+        }
+    }
+
+    #[test]
+    fn steering_service_get_set_roundtrip() {
+        let sim: Arc<Mutex<dyn Steerable>> = Arc::new(Mutex::new(ToySim::new()));
+        let mut svc = SteeringService::new("lbm", sim.clone());
+        let r = svc.invoke(
+            "setParam",
+            &[SdeValue::Str("miscibility".into()), SdeValue::F64(0.08)],
+        );
+        assert!(r.is_ok());
+        let r = svc.invoke("getParam", &[SdeValue::Str("miscibility".into())]);
+        assert_eq!(r.first().unwrap().as_f64(), Some(0.08));
+        // the application itself sees the steer
+        assert_eq!(sim.lock().get_param("miscibility"), Some(0.08));
+    }
+
+    #[test]
+    fn out_of_bounds_steer_faults_and_leaves_value() {
+        let sim: Arc<Mutex<dyn Steerable>> = Arc::new(Mutex::new(ToySim::new()));
+        let mut svc = SteeringService::new("lbm", sim.clone());
+        let r = svc.invoke(
+            "setParam",
+            &[SdeValue::Str("miscibility".into()), SdeValue::F64(5.0)],
+        );
+        assert!(!r.is_ok());
+        assert_eq!(sim.lock().get_param("miscibility"), Some(0.05));
+    }
+
+    #[test]
+    fn service_data_mirrors_params() {
+        let sim: Arc<Mutex<dyn Steerable>> = Arc::new(Mutex::new(ToySim::new()));
+        let svc = SteeringService::new("lbm", sim);
+        let sd = svc.service_data();
+        assert_eq!(sd.get("application").unwrap().as_str(), Some("lbm"));
+        assert_eq!(sd.get("param:miscibility").unwrap().as_f64(), Some(0.05));
+        assert_eq!(
+            sd.get("paramNames").unwrap().as_list().unwrap().len(),
+            2
+        );
+    }
+
+    #[test]
+    fn figure2_flow_discover_bind_steer_both_services() {
+        // the complete Figure 2 client flow: registry → discover → bind →
+        // steer the simulation AND the visualization
+        let mut env = HostingEnv::new();
+        let sim: Arc<Mutex<dyn Steerable>> = Arc::new(Mutex::new(ToySim::new()));
+        let vis = Arc::new(Mutex::new(VisControl::default()));
+        let steer_gsh = env.host(
+            "steer",
+            Box::new(SteeringService::new("lbm", sim.clone())),
+            Some(600),
+        );
+        let vis_gsh = env.host("vis", Box::new(VisService::new(vis.clone())), Some(600));
+        let reg_gsh = env.host("registry", Box::new(Registry::new()), None);
+        for (h, t) in [
+            (&steer_gsh, SteeringService::PORT_TYPE),
+            (&vis_gsh, VisService::PORT_TYPE),
+        ] {
+            env.invoke(
+                &reg_gsh,
+                "publish",
+                &[SdeValue::Str(h.clone()), SdeValue::Str(t.into()), SdeValue::Str("demo".into())],
+            )
+            .unwrap();
+        }
+        // client: discover steering services
+        let found = env
+            .invoke(&reg_gsh, "discover", &[SdeValue::Str(SteeringService::PORT_TYPE.into())])
+            .unwrap();
+        let handle = found.first().unwrap().as_list().unwrap()[0].clone();
+        assert_eq!(handle, steer_gsh);
+        // bind + steer
+        env.invoke(
+            &handle,
+            "setParam",
+            &[SdeValue::Str("miscibility".into()), SdeValue::F64(0.12)],
+        )
+        .unwrap();
+        assert_eq!(sim.lock().get_param("miscibility"), Some(0.12));
+        // steer the visualization too
+        let found = env
+            .invoke(&reg_gsh, "discover", &[SdeValue::Str(VisService::PORT_TYPE.into())])
+            .unwrap();
+        let vh = found.first().unwrap().as_list().unwrap()[0].clone();
+        env.invoke(&vh, "setIsovalue", &[SdeValue::F64(0.3)]).unwrap();
+        assert_eq!(vis.lock().isovalue, 0.3);
+    }
+
+    #[test]
+    fn vis_service_faults_on_bad_args() {
+        let mut svc = VisService::new(Arc::new(Mutex::new(VisControl::default())));
+        assert!(!svc.invoke("setIsovalue", &[]).is_ok());
+        assert!(!svc.invoke("spin", &[]).is_ok());
+    }
+
+    #[test]
+    fn steers_applied_counter_increments_only_on_success() {
+        let sim: Arc<Mutex<dyn Steerable>> = Arc::new(Mutex::new(ToySim::new()));
+        let mut svc = SteeringService::new("lbm", sim);
+        svc.invoke(
+            "setParam",
+            &[SdeValue::Str("miscibility".into()), SdeValue::F64(0.2)],
+        );
+        svc.invoke(
+            "setParam",
+            &[SdeValue::Str("miscibility".into()), SdeValue::F64(7.0)],
+        );
+        let sd = svc.service_data();
+        assert_eq!(sd.get("steersApplied"), Some(&SdeValue::I64(1)));
+    }
+}

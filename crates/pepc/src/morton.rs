@@ -1,0 +1,251 @@
+//! Morton keys and space-filling-curve domain decomposition.
+//!
+//! PEPC (like the Warren–Salmon hashed octrees it descends from) assigns
+//! particles to processors by sorting on Morton/Z-order keys and cutting
+//! the sorted list into equal contiguous ranges: nearby particles get
+//! nearby keys, so each range is spatially compact. The resulting
+//! per-worker bounding boxes are the "processor domains" the SC2003 demo
+//! renders as boxes around the particle cloud (§3.4).
+
+use crate::Particle;
+
+/// Bits per axis in a Morton key (3 × 21 = 63 bits total).
+pub const BITS: u32 = 21;
+
+/// Spread the low 21 bits of `v` so consecutive bits land 3 apart.
+#[inline]
+fn spread(v: u64) -> u64 {
+    let mut x = v & 0x1F_FFFF; // 21 bits
+    x = (x | (x << 32)) & 0x1F00000000FFFF;
+    x = (x | (x << 16)) & 0x1F0000FF0000FF;
+    x = (x | (x << 8)) & 0x100F00F00F00F00F;
+    x = (x | (x << 4)) & 0x10C30C30C30C30C3;
+    x = (x | (x << 2)) & 0x1249249249249249;
+    x
+}
+
+/// Inverse of [`spread`].
+#[inline]
+fn compact(v: u64) -> u64 {
+    let mut x = v & 0x1249249249249249;
+    x = (x | (x >> 2)) & 0x10C30C30C30C30C3;
+    x = (x | (x >> 4)) & 0x100F00F00F00F00F;
+    x = (x | (x >> 8)) & 0x1F0000FF0000FF;
+    x = (x | (x >> 16)) & 0x1F00000000FFFF;
+    x = (x | (x >> 32)) & 0x1F_FFFF;
+    x
+}
+
+/// Interleave three 21-bit integer coordinates into a Morton key.
+pub fn morton_key(ix: u64, iy: u64, iz: u64) -> u64 {
+    spread(ix) | (spread(iy) << 1) | (spread(iz) << 2)
+}
+
+/// Recover the three coordinates from a key.
+pub fn morton_unkey(key: u64) -> (u64, u64, u64) {
+    (compact(key), compact(key >> 1), compact(key >> 2))
+}
+
+/// Quantize a position inside `(min, extent)` to 21-bit grid coordinates.
+pub fn quantize(pos: [f64; 3], min: [f64; 3], extent: f64) -> (u64, u64, u64) {
+    let max_coord = ((1u64 << BITS) - 1) as f64;
+    let q = |p: f64, lo: f64| -> u64 {
+        let t = ((p - lo) / extent).clamp(0.0, 1.0);
+        (t * max_coord) as u64
+    };
+    (q(pos[0], min[0]), q(pos[1], min[1]), q(pos[2], min[2]))
+}
+
+/// One worker's domain after decomposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Domain {
+    /// Worker rank.
+    pub rank: u16,
+    /// Indices (into the particle slice) owned by this worker.
+    pub members: Vec<usize>,
+    /// Axis-aligned bounds of the owned particles (`None` if empty).
+    pub bounds: Option<([f64; 3], [f64; 3])>,
+}
+
+/// The bounding cube of a particle set: `(min_corner, edge_length)`.
+pub fn bounding_cube(particles: &[Particle]) -> ([f64; 3], f64) {
+    if particles.is_empty() {
+        return ([0.0; 3], 1.0);
+    }
+    let mut lo = [f64::INFINITY; 3];
+    let mut hi = [f64::NEG_INFINITY; 3];
+    for p in particles {
+        for a in 0..3 {
+            lo[a] = lo[a].min(p.pos[a]);
+            hi[a] = hi[a].max(p.pos[a]);
+        }
+    }
+    let extent = (hi[0] - lo[0]).max(hi[1] - lo[1]).max(hi[2] - lo[2]).max(1e-9);
+    (lo, extent)
+}
+
+/// Decompose particles over `ranks` workers by Morton-sorted equal chunks.
+/// Mutates each particle's `rank` and returns the per-rank domains
+/// (including their bounding boxes for the visualization).
+pub fn decompose(particles: &mut [Particle], ranks: u16) -> Vec<Domain> {
+    assert!(ranks > 0, "need at least one rank");
+    let (lo, extent) = bounding_cube(particles);
+    let mut keyed: Vec<(u64, usize)> = particles
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let (ix, iy, iz) = quantize(p.pos, lo, extent);
+            (morton_key(ix, iy, iz), i)
+        })
+        .collect();
+    keyed.sort_unstable();
+    let n = keyed.len();
+    let r = ranks as usize;
+    let mut domains: Vec<Domain> = (0..ranks)
+        .map(|rank| Domain {
+            rank,
+            members: Vec::new(),
+            bounds: None,
+        })
+        .collect();
+    for (pos_in_order, &(_, idx)) in keyed.iter().enumerate() {
+        // equal contiguous chunks of the sorted order
+        let rank = ((pos_in_order * r) / n.max(1)).min(r - 1) as u16;
+        particles[idx].rank = rank;
+        domains[rank as usize].members.push(idx);
+    }
+    for d in &mut domains {
+        let mut blo = [f64::INFINITY; 3];
+        let mut bhi = [f64::NEG_INFINITY; 3];
+        for &i in &d.members {
+            for a in 0..3 {
+                blo[a] = blo[a].min(particles[i].pos[a]);
+                bhi[a] = bhi[a].max(particles[i].pos[a]);
+            }
+        }
+        d.bounds = (!d.members.is_empty()).then_some((blo, bhi));
+    }
+    domains
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn spread_compact_roundtrip() {
+        for v in [0u64, 1, 7, 0xABCDE, 0x1F_FFFF] {
+            assert_eq!(compact(spread(v)), v);
+        }
+    }
+
+    #[test]
+    fn morton_key_bijective_on_random_coords() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let (x, y, z) = (
+                rng.gen_range(0..1u64 << BITS),
+                rng.gen_range(0..1u64 << BITS),
+                rng.gen_range(0..1u64 << BITS),
+            );
+            assert_eq!(morton_unkey(morton_key(x, y, z)), (x, y, z));
+        }
+    }
+
+    #[test]
+    fn morton_key_orders_octants() {
+        // the key's top bits are the octant: all of octant 0 sorts before 7
+        let half = 1u64 << (BITS - 1);
+        let low = morton_key(half - 1, half - 1, half - 1);
+        let high = morton_key(half, half, half);
+        assert!(low < high);
+    }
+
+    fn cloud(n: usize, seed: u64) -> Vec<Particle> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                Particle::at(
+                    [
+                        rng.gen_range(-1.0..1.0),
+                        rng.gen_range(-1.0..1.0),
+                        rng.gen_range(-1.0..1.0),
+                    ],
+                    1.0,
+                    i as u32,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn decomposition_partitions_all_particles() {
+        let mut p = cloud(1000, 2);
+        let domains = decompose(&mut p, 7);
+        let total: usize = domains.iter().map(|d| d.members.len()).sum();
+        assert_eq!(total, 1000);
+        // every particle's rank matches its domain
+        for d in &domains {
+            for &i in &d.members {
+                assert_eq!(p[i].rank, d.rank);
+            }
+        }
+    }
+
+    #[test]
+    fn decomposition_is_balanced() {
+        let mut p = cloud(1000, 3);
+        let domains = decompose(&mut p, 8);
+        for d in &domains {
+            assert!((124..=126).contains(&d.members.len()), "rank {} has {}", d.rank, d.members.len());
+        }
+    }
+
+    #[test]
+    fn domain_bounds_contain_members() {
+        let mut p = cloud(500, 4);
+        let domains = decompose(&mut p, 4);
+        for d in &domains {
+            let (lo, hi) = d.bounds.unwrap();
+            for &i in &d.members {
+                for a in 0..3 {
+                    assert!(p[i].pos[a] >= lo[a] && p[i].pos[a] <= hi[a]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn domains_are_spatially_compact() {
+        // SFC decomposition: average domain volume should be a small
+        // fraction of the global volume (8 ranks in a [-1,1]³ cube)
+        let mut p = cloud(4000, 5);
+        let domains = decompose(&mut p, 8);
+        let mean_vol: f64 = domains
+            .iter()
+            .filter_map(|d| d.bounds)
+            .map(|(lo, hi)| (hi[0] - lo[0]) * (hi[1] - lo[1]) * (hi[2] - lo[2]))
+            .sum::<f64>()
+            / 8.0;
+        assert!(mean_vol < 8.0 * 0.6, "domains not compact: mean vol {mean_vol}");
+    }
+
+    #[test]
+    fn single_rank_owns_everything() {
+        let mut p = cloud(100, 6);
+        let domains = decompose(&mut p, 1);
+        assert_eq!(domains.len(), 1);
+        assert_eq!(domains[0].members.len(), 100);
+        assert!(p.iter().all(|q| q.rank == 0));
+    }
+
+    #[test]
+    fn empty_particle_set() {
+        let mut p: Vec<Particle> = Vec::new();
+        let domains = decompose(&mut p, 3);
+        assert_eq!(domains.len(), 3);
+        assert!(domains.iter().all(|d| d.bounds.is_none()));
+    }
+}

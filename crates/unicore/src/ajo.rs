@@ -1,0 +1,319 @@
+//! Abstract Job Objects.
+//!
+//! §2.2: "The workflows being instantiated are known in UNICORE as Abstract
+//! Job Objects (AJOs) and are sent via ssl as serialised Java objects."
+//! An [`Ajo`] is a named task DAG destined for one Vsite; tasks cover
+//! execution, file staging, cross-Vsite transfer, and — for the steering
+//! extension — starting a VISIT proxy next to the job. The NJS *incarnates*
+//! the abstract tasks into target-system scripts (see [`crate::njs`]).
+
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// One abstract task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Task {
+    /// Run a registered application on the target system.
+    Execute {
+        /// Application name looked up in the TSI's application registry.
+        command: String,
+        /// Arguments.
+        args: Vec<String>,
+    },
+    /// Materialize a file in the job's working directory before execution.
+    StageIn {
+        /// Path within the job directory.
+        path: String,
+        /// File contents.
+        data: Vec<u8>,
+    },
+    /// Spool a produced file back to the client after execution.
+    StageOut {
+        /// Path within the job directory.
+        path: String,
+    },
+    /// Transfer a produced file to another Vsite's job directory — the
+    /// "grid middleware is responsible for the transfer of data between
+    /// components" of the RealityGrid scenario (§2.1), e.g. samples moving
+    /// from the compute Vsite to the visualization Vsite.
+    TransferToVsite {
+        /// Source path in this job's directory.
+        path: String,
+        /// Destination Vsite name.
+        vsite: String,
+    },
+    /// Start a VISIT proxy-server next to the job (the steering extension,
+    /// §3.3). `service` names the steering endpoint.
+    StartVisitProxy {
+        /// Steering service name published to the client plugin.
+        service: String,
+    },
+}
+
+/// A task plus its DAG position.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AjoTask {
+    /// Task id, unique within the AJO.
+    pub id: u32,
+    /// The abstract task.
+    pub task: Task,
+    /// Ids of tasks that must complete first.
+    pub after: Vec<u32>,
+}
+
+/// Validation errors for an AJO.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AjoError {
+    /// Two tasks share an id.
+    DuplicateId(u32),
+    /// A dependency references a missing id.
+    UnknownDependency { task: u32, missing: u32 },
+    /// The dependency graph has a cycle.
+    Cycle,
+    /// The AJO has no tasks.
+    Empty,
+}
+
+/// An Abstract Job Object: a named task DAG for one Vsite.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ajo {
+    /// Human-readable job name.
+    pub name: String,
+    /// Destination virtual site.
+    pub vsite: String,
+    /// Task DAG.
+    pub tasks: Vec<AjoTask>,
+}
+
+impl Ajo {
+    /// New empty AJO for a Vsite.
+    pub fn new(name: &str, vsite: &str) -> Self {
+        Ajo {
+            name: name.to_string(),
+            vsite: vsite.to_string(),
+            tasks: Vec::new(),
+        }
+    }
+
+    /// Append a task depending on `after`, returning its id.
+    pub fn add_task(&mut self, task: Task, after: &[u32]) -> u32 {
+        let id = self.tasks.iter().map(|t| t.id + 1).max().unwrap_or(0);
+        self.tasks.push(AjoTask {
+            id,
+            task,
+            after: after.to_vec(),
+        });
+        id
+    }
+
+    /// Validate and produce a topological execution order (stable: ready
+    /// tasks run in id order, so incarnation is deterministic).
+    pub fn topo_order(&self) -> Result<Vec<u32>, AjoError> {
+        if self.tasks.is_empty() {
+            return Err(AjoError::Empty);
+        }
+        let mut seen = HashSet::new();
+        for t in &self.tasks {
+            if !seen.insert(t.id) {
+                return Err(AjoError::DuplicateId(t.id));
+            }
+        }
+        let ids: HashSet<u32> = self.tasks.iter().map(|t| t.id).collect();
+        let mut indegree: HashMap<u32, usize> = HashMap::new();
+        let mut dependents: HashMap<u32, Vec<u32>> = HashMap::new();
+        for t in &self.tasks {
+            indegree.entry(t.id).or_insert(0);
+            for &d in &t.after {
+                if !ids.contains(&d) {
+                    return Err(AjoError::UnknownDependency {
+                        task: t.id,
+                        missing: d,
+                    });
+                }
+                *indegree.entry(t.id).or_insert(0) += 1;
+                dependents.entry(d).or_default().push(t.id);
+            }
+        }
+        // Kahn's algorithm with a sorted ready set for determinism
+        let mut ready: VecDeque<u32> = {
+            let mut r: Vec<u32> = indegree
+                .iter()
+                .filter(|(_, &d)| d == 0)
+                .map(|(&id, _)| id)
+                .collect();
+            r.sort_unstable();
+            r.into()
+        };
+        let mut order = Vec::with_capacity(self.tasks.len());
+        while let Some(id) = ready.pop_front() {
+            order.push(id);
+            if let Some(deps) = dependents.get(&id) {
+                let mut newly: Vec<u32> = Vec::new();
+                for &d in deps {
+                    let e = indegree.get_mut(&d).unwrap();
+                    *e -= 1;
+                    if *e == 0 {
+                        newly.push(d);
+                    }
+                }
+                newly.sort_unstable();
+                ready.extend(newly);
+            }
+        }
+        if order.len() != self.tasks.len() {
+            return Err(AjoError::Cycle);
+        }
+        Ok(order)
+    }
+
+    /// Task lookup by id.
+    pub fn task(&self, id: u32) -> Option<&AjoTask> {
+        self.tasks.iter().find(|t| t.id == id)
+    }
+
+    /// Serialize ("serialised Java objects" analog).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("AJO serializes")
+    }
+
+    /// Deserialize.
+    pub fn from_bytes(data: &[u8]) -> Option<Ajo> {
+        serde_json::from_slice(data).ok()
+    }
+
+    /// Convenience: the standard steered-simulation job shape used by the
+    /// demos — stage in a config, start a VISIT proxy, run the simulation,
+    /// spool results.
+    pub fn steered_simulation(name: &str, vsite: &str, command: &str, args: &[&str], config: &[u8]) -> Ajo {
+        let mut ajo = Ajo::new(name, vsite);
+        let stage = ajo.add_task(
+            Task::StageIn {
+                path: "input.cfg".into(),
+                data: config.to_vec(),
+            },
+            &[],
+        );
+        let proxy = ajo.add_task(
+            Task::StartVisitProxy {
+                service: format!("{name}-steer"),
+            },
+            &[],
+        );
+        let run = ajo.add_task(
+            Task::Execute {
+                command: command.to_string(),
+                args: args.iter().map(|s| s.to_string()).collect(),
+            },
+            &[stage, proxy],
+        );
+        ajo.add_task(
+            Task::StageOut {
+                path: "output.dat".into(),
+            },
+            &[run],
+        );
+        ajo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_chain_orders_correctly() {
+        let mut ajo = Ajo::new("j", "vsite");
+        let a = ajo.add_task(Task::StageIn { path: "f".into(), data: vec![] }, &[]);
+        let b = ajo.add_task(
+            Task::Execute { command: "sim".into(), args: vec![] },
+            &[a],
+        );
+        let c = ajo.add_task(Task::StageOut { path: "o".into() }, &[b]);
+        assert_eq!(ajo.topo_order().unwrap(), vec![a, b, c]);
+    }
+
+    #[test]
+    fn diamond_orders_deterministically() {
+        let mut ajo = Ajo::new("j", "v");
+        let root = ajo.add_task(Task::StageIn { path: "f".into(), data: vec![] }, &[]);
+        let l = ajo.add_task(Task::Execute { command: "a".into(), args: vec![] }, &[root]);
+        let r = ajo.add_task(Task::Execute { command: "b".into(), args: vec![] }, &[root]);
+        let sink = ajo.add_task(Task::StageOut { path: "o".into() }, &[l, r]);
+        let order = ajo.topo_order().unwrap();
+        assert_eq!(order, vec![root, l, r, sink]);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut ajo = Ajo::new("j", "v");
+        ajo.tasks.push(AjoTask {
+            id: 0,
+            task: Task::StageOut { path: "x".into() },
+            after: vec![1],
+        });
+        ajo.tasks.push(AjoTask {
+            id: 1,
+            task: Task::StageOut { path: "y".into() },
+            after: vec![0],
+        });
+        assert_eq!(ajo.topo_order(), Err(AjoError::Cycle));
+    }
+
+    #[test]
+    fn unknown_dependency_detected() {
+        let mut ajo = Ajo::new("j", "v");
+        ajo.tasks.push(AjoTask {
+            id: 0,
+            task: Task::StageOut { path: "x".into() },
+            after: vec![9],
+        });
+        assert_eq!(
+            ajo.topo_order(),
+            Err(AjoError::UnknownDependency { task: 0, missing: 9 })
+        );
+    }
+
+    #[test]
+    fn duplicate_id_detected() {
+        let mut ajo = Ajo::new("j", "v");
+        for _ in 0..2 {
+            ajo.tasks.push(AjoTask {
+                id: 3,
+                task: Task::StageOut { path: "x".into() },
+                after: vec![],
+            });
+        }
+        assert_eq!(ajo.topo_order(), Err(AjoError::DuplicateId(3)));
+    }
+
+    #[test]
+    fn empty_ajo_rejected() {
+        assert_eq!(Ajo::new("j", "v").topo_order(), Err(AjoError::Empty));
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let ajo = Ajo::steered_simulation("lbm-run", "manchester-csar", "lbm", &["--nx", "64"], b"misc=0.05");
+        let back = Ajo::from_bytes(&ajo.to_bytes()).unwrap();
+        assert_eq!(back, ajo);
+    }
+
+    #[test]
+    fn steered_simulation_shape() {
+        let ajo = Ajo::steered_simulation("j", "v", "pepc", &[], b"");
+        let order = ajo.topo_order().unwrap();
+        // execute must come after both stage-in and proxy start
+        let pos = |id: u32| order.iter().position(|&x| x == id).unwrap();
+        let exec_id = ajo
+            .tasks
+            .iter()
+            .find(|t| matches!(t.task, Task::Execute { .. }))
+            .unwrap()
+            .id;
+        for t in &ajo.tasks {
+            if matches!(t.task, Task::StageIn { .. } | Task::StartVisitProxy { .. }) {
+                assert!(pos(t.id) < pos(exec_id));
+            }
+        }
+    }
+}

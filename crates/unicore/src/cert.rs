@@ -1,0 +1,283 @@
+//! Certificate and trust-flow model.
+//!
+//! UNICORE's security promise (§3.1): "single sign-on with strong
+//! authentication and encryption" using X.509 certificates checked at the
+//! gateway. We model the *trust topology* — CAs, user certificates, signed
+//! requests, gateway trust stores — with toy digests instead of real
+//! asymmetric cryptography (DESIGN.md §2 records the substitution). Every
+//! structural property the paper relies on holds: untrusted issuers are
+//! rejected, tampered payloads are rejected, identities are bound to
+//! requests, and one sign-on covers all Vsites behind a gateway.
+
+use serde::{Deserialize, Serialize};
+
+/// Toy 64-bit FNV-1a digest (shared with visit's keyed auth mode).
+pub fn digest(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// A certificate binding a subject name to a (toy) public key, signed by a
+/// certificate authority.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Certificate {
+    /// Subject distinguished name, e.g. `"CN=J.Brooke,O=UoM"`.
+    pub subject: String,
+    /// Issuing CA name.
+    pub issuer: String,
+    /// Subject's public key (model).
+    pub pubkey: u64,
+    /// CA signature over (subject, pubkey).
+    pub signature: u64,
+}
+
+/// A certificate authority that can issue certificates.
+#[derive(Debug, Clone)]
+pub struct CertAuthority {
+    /// CA name (appears as `issuer` in issued certs).
+    pub name: String,
+    secret: u64,
+}
+
+impl CertAuthority {
+    /// Create a CA with a deterministic secret derived from a seed.
+    pub fn new(name: &str, seed: u64) -> Self {
+        CertAuthority {
+            name: name.to_string(),
+            secret: digest(&seed.to_le_bytes()) ^ digest(name.as_bytes()),
+        }
+    }
+
+    /// The CA's public verification key (model: derived from the secret).
+    pub fn verify_key(&self) -> u64 {
+        digest(&self.secret.to_le_bytes())
+    }
+
+    fn sign_payload(&self, subject: &str, pubkey: u64) -> u64 {
+        let mut buf = self.verify_key().to_le_bytes().to_vec();
+        buf.extend_from_slice(subject.as_bytes());
+        buf.extend_from_slice(&pubkey.to_le_bytes());
+        digest(&buf)
+    }
+
+    /// Issue a certificate + private signing key for `subject`.
+    pub fn issue(&self, subject: &str) -> (Certificate, PrivateKey) {
+        let private = PrivateKey(digest(
+            &[self.secret.to_le_bytes().as_slice(), subject.as_bytes()].concat(),
+        ));
+        let pubkey = private.public();
+        let cert = Certificate {
+            subject: subject.to_string(),
+            issuer: self.name.clone(),
+            pubkey,
+            signature: self.sign_payload(subject, pubkey),
+        };
+        (cert, private)
+    }
+}
+
+/// A user's private key (model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrivateKey(pub u64);
+
+impl PrivateKey {
+    /// The matching public key.
+    pub fn public(&self) -> u64 {
+        digest(&self.0.to_le_bytes())
+    }
+
+    /// Sign a payload. Model scheme: `inner = H(priv ‖ H(payload))`,
+    /// `outer = H(pub ‖ H(payload) ‖ inner)`. Verification (below) only
+    /// needs `pub`, and any mutation of payload, key, or signature breaks
+    /// the `outer` equation. This detects *tampering* (the property the
+    /// middleware flow depends on) but is forgeable by an adversary who can
+    /// choose `inner` freely — acceptable for a trust-topology model, not
+    /// for production cryptography.
+    pub fn sign(&self, payload: &[u8]) -> Signature {
+        let ptag = digest(payload);
+        let inner = digest(&[&self.0.to_le_bytes()[..], &ptag.to_le_bytes()[..]].concat());
+        let outer = digest(
+            &[
+                &self.public().to_le_bytes()[..],
+                &ptag.to_le_bytes()[..],
+                &inner.to_le_bytes()[..],
+            ]
+            .concat(),
+        );
+        Signature { inner, outer }
+    }
+}
+
+/// A (model) signature pair. See [`PrivateKey::sign`] for the scheme and
+/// its honest limitations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Signature {
+    inner: u64,
+    outer: u64,
+}
+
+impl Signature {
+    /// Verify against a public key and payload: recompute the `outer`
+    /// binding equation.
+    pub fn verify(&self, pubkey: u64, payload: &[u8]) -> bool {
+        let ptag = digest(payload);
+        let expect = digest(
+            &[
+                &pubkey.to_le_bytes()[..],
+                &ptag.to_le_bytes()[..],
+                &self.inner.to_le_bytes()[..],
+            ]
+            .concat(),
+        );
+        self.outer == expect
+    }
+}
+
+/// The gateway's set of trusted CAs.
+#[derive(Debug, Clone, Default)]
+pub struct TrustStore {
+    /// (CA name, CA verify key).
+    trusted: Vec<(String, u64)>,
+}
+
+impl TrustStore {
+    /// Empty store (trusts nobody).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trust a CA.
+    pub fn trust(&mut self, ca: &CertAuthority) {
+        self.trusted.push((ca.name.clone(), ca.verify_key()));
+    }
+
+    /// Validate a certificate: known issuer and intact CA signature.
+    pub fn validate(&self, cert: &Certificate) -> bool {
+        self.trusted.iter().any(|(name, vkey)| {
+            if name != &cert.issuer {
+                return false;
+            }
+            let mut buf = vkey.to_le_bytes().to_vec();
+            buf.extend_from_slice(cert.subject.as_bytes());
+            buf.extend_from_slice(&cert.pubkey.to_le_bytes());
+            digest(&buf) == cert.signature
+        })
+    }
+}
+
+/// A request carrying its signer's certificate and a signature over the
+/// serialized payload — the unit of everything that crosses a gateway.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SignedRequest<T> {
+    /// The signer's certificate.
+    pub cert: Certificate,
+    /// The payload.
+    pub payload: T,
+    /// Signature over the serde_json serialization of `payload`.
+    pub signature: Signature,
+}
+
+impl<T: Serialize> SignedRequest<T> {
+    /// Sign `payload` with `key`, attaching `cert`.
+    pub fn new(cert: Certificate, key: &PrivateKey, payload: T) -> Self {
+        let bytes = serde_json::to_vec(&payload).expect("payload serializes");
+        let signature = key.sign(&bytes);
+        SignedRequest {
+            cert,
+            payload,
+            signature,
+        }
+    }
+
+    /// Verify: certificate chains to a trusted CA, and the signature binds
+    /// this payload to the certificate's key.
+    pub fn verify(&self, trust: &TrustStore) -> bool {
+        if !trust.validate(&self.cert) {
+            return false;
+        }
+        let bytes = serde_json::to_vec(&self.payload).expect("payload serializes");
+        self.signature.verify(self.cert.pubkey, &bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn issued_certs_validate_against_trusting_store() {
+        let ca = CertAuthority::new("UK-eScience-CA", 1);
+        let (cert, _key) = ca.issue("CN=brooke");
+        let mut store = TrustStore::new();
+        store.trust(&ca);
+        assert!(store.validate(&cert));
+    }
+
+    #[test]
+    fn untrusted_issuer_rejected() {
+        let ca = CertAuthority::new("UK-eScience-CA", 1);
+        let rogue = CertAuthority::new("Rogue-CA", 2);
+        let (cert, _) = rogue.issue("CN=mallory");
+        let mut store = TrustStore::new();
+        store.trust(&ca);
+        assert!(!store.validate(&cert));
+    }
+
+    #[test]
+    fn tampered_cert_rejected() {
+        let ca = CertAuthority::new("CA", 1);
+        let (mut cert, _) = ca.issue("CN=alice");
+        let mut store = TrustStore::new();
+        store.trust(&ca);
+        cert.subject = "CN=eve".into(); // rebind name without re-signing
+        assert!(!store.validate(&cert));
+    }
+
+    #[test]
+    fn signed_request_roundtrip() {
+        let ca = CertAuthority::new("CA", 1);
+        let (cert, key) = ca.issue("CN=alice");
+        let mut store = TrustStore::new();
+        store.trust(&ca);
+        let req = SignedRequest::new(cert, &key, "submit job".to_string());
+        assert!(req.verify(&store));
+    }
+
+    #[test]
+    fn tampered_payload_rejected() {
+        let ca = CertAuthority::new("CA", 1);
+        let (cert, key) = ca.issue("CN=alice");
+        let mut store = TrustStore::new();
+        store.trust(&ca);
+        let mut req = SignedRequest::new(cert, &key, "run A".to_string());
+        req.payload = "run B".to_string();
+        assert!(!req.verify(&store));
+    }
+
+    #[test]
+    fn signature_bound_to_key() {
+        let ca = CertAuthority::new("CA", 1);
+        let (cert_a, key_a) = ca.issue("CN=alice");
+        let (cert_b, _key_b) = ca.issue("CN=bob");
+        let mut store = TrustStore::new();
+        store.trust(&ca);
+        // alice signs, but the request claims bob's cert
+        let bytes_payload = "x".to_string();
+        let mut req = SignedRequest::new(cert_a, &key_a, bytes_payload);
+        req.cert = cert_b;
+        assert!(!req.verify(&store));
+    }
+
+    #[test]
+    fn deterministic_issuance() {
+        let ca = CertAuthority::new("CA", 7);
+        let (c1, k1) = ca.issue("CN=x");
+        let (c2, k2) = ca.issue("CN=x");
+        assert_eq!(c1, c2);
+        assert_eq!(k1, k2);
+    }
+}

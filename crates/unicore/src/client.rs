@@ -1,0 +1,205 @@
+//! The user-side UNICORE client.
+//!
+//! §3.1: the client provides "functions to construct, submit and control
+//! the execution of computational jobs" with "single sign-on with strong
+//! authentication": the user holds one certificate and every request to any
+//! gateway is signed with it. The steering plugin of §3.3 lives here too:
+//! [`UnicoreClient::proxy_attach`] / [`UnicoreClient::proxy_poll`] drive a
+//! [`VisitProxyClient`](crate::proxy::VisitProxyClient) through gateway
+//! transactions.
+
+use crate::ajo::Ajo;
+use crate::cert::{Certificate, PrivateKey, SignedRequest};
+use crate::gateway::{Gateway, GatewayError, GatewayMsg, GatewayReply};
+use crate::njs::{JobId, JobStatus};
+use crate::proxy::{ProxySessionId, VisitProxyClient};
+
+/// Client-side failure modes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientError {
+    /// The gateway refused the request.
+    Denied(GatewayError),
+    /// The gateway replied with something unexpected for this request.
+    Protocol,
+}
+
+/// A user with a certificate, talking to gateways.
+pub struct UnicoreClient {
+    /// The user's certificate (single sign-on identity).
+    pub cert: Certificate,
+    key: PrivateKey,
+}
+
+impl UnicoreClient {
+    /// A client for the given identity.
+    pub fn new(cert: Certificate, key: PrivateKey) -> Self {
+        UnicoreClient { cert, key }
+    }
+
+    /// The identity string gateways see.
+    pub fn subject(&self) -> &str {
+        &self.cert.subject
+    }
+
+    fn send(&self, gw: &mut Gateway, msg: GatewayMsg) -> GatewayReply {
+        gw.transact(&SignedRequest::new(self.cert.clone(), &self.key, msg))
+    }
+
+    /// Submit an AJO.
+    pub fn consign(&self, gw: &mut Gateway, ajo: Ajo) -> Result<JobId, ClientError> {
+        match self.send(gw, GatewayMsg::Consign(ajo)) {
+            GatewayReply::Accepted(id) => Ok(id),
+            GatewayReply::Denied(e) => Err(ClientError::Denied(e)),
+            _ => Err(ClientError::Protocol),
+        }
+    }
+
+    /// Tick a Vsite's queue (synchronous target-system model).
+    pub fn run_queued(&self, gw: &mut Gateway, vsite: &str) -> Result<usize, ClientError> {
+        match self.send(gw, GatewayMsg::RunQueued { vsite: vsite.into() }) {
+            GatewayReply::Ran(n) => Ok(n),
+            GatewayReply::Denied(e) => Err(ClientError::Denied(e)),
+            _ => Err(ClientError::Protocol),
+        }
+    }
+
+    /// Poll a job's status.
+    pub fn status(&self, gw: &mut Gateway, vsite: &str, job: JobId) -> Result<JobStatus, ClientError> {
+        match self.send(gw, GatewayMsg::Status { vsite: vsite.into(), job: job.0 }) {
+            GatewayReply::Status(s) => Ok(s),
+            GatewayReply::Denied(e) => Err(ClientError::Denied(e)),
+            _ => Err(ClientError::Protocol),
+        }
+    }
+
+    /// Fetch spooled outcome files.
+    pub fn fetch(&self, gw: &mut Gateway, vsite: &str, job: JobId) -> Result<Vec<(String, Vec<u8>)>, ClientError> {
+        match self.send(gw, GatewayMsg::Fetch { vsite: vsite.into(), job: job.0 }) {
+            GatewayReply::Outcome(files) => Ok(files),
+            GatewayReply::Denied(e) => Err(ClientError::Denied(e)),
+            _ => Err(ClientError::Protocol),
+        }
+    }
+
+    /// Attach to a job's steering proxy, returning a plugin bound to the
+    /// new session.
+    pub fn proxy_attach(&self, gw: &mut Gateway, vsite: &str, service: &str) -> Result<VisitProxyClient, ClientError> {
+        match self.send(
+            gw,
+            GatewayMsg::ProxyAttach { vsite: vsite.into(), service: service.into() },
+        ) {
+            GatewayReply::ProxySession(id) => Ok(VisitProxyClient::new(id)),
+            GatewayReply::Denied(e) => Err(ClientError::Denied(e)),
+            _ => Err(ClientError::Protocol),
+        }
+    }
+
+    /// One steering poll for an attached plugin: ships its queued params,
+    /// ingests fresh frames. Returns the number of new data frames.
+    pub fn proxy_poll(
+        &self,
+        gw: &mut Gateway,
+        vsite: &str,
+        service: &str,
+        plugin: &mut VisitProxyClient,
+    ) -> Result<usize, ClientError> {
+        let mut denied = None;
+        let n = plugin.poll_with(|session, params| {
+            match self.send(
+                gw,
+                GatewayMsg::ProxyExchange {
+                    vsite: vsite.into(),
+                    service: service.into(),
+                    session,
+                    params,
+                },
+            ) {
+                GatewayReply::ProxyFrames(frames) => Some(frames),
+                GatewayReply::Denied(e) => {
+                    denied = Some(e);
+                    None
+                }
+                _ => None,
+            }
+        });
+        match denied {
+            Some(e) => Err(ClientError::Denied(e)),
+            None => Ok(n),
+        }
+    }
+
+    /// Move the steering master role to another session.
+    pub fn proxy_pass_master(
+        &self,
+        gw: &mut Gateway,
+        vsite: &str,
+        service: &str,
+        to: ProxySessionId,
+    ) -> Result<bool, ClientError> {
+        match self.send(
+            gw,
+            GatewayMsg::ProxyPassMaster { vsite: vsite.into(), service: service.into(), to },
+        ) {
+            GatewayReply::MasterPassed(ok) => Ok(ok),
+            GatewayReply::Denied(e) => Err(ClientError::Denied(e)),
+            _ => Err(ClientError::Protocol),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ajo::Task;
+    use crate::cert::{CertAuthority, TrustStore};
+    use crate::njs::Njs;
+    use crate::tsi::Tsi;
+
+    fn rig() -> (UnicoreClient, Gateway) {
+        let ca = CertAuthority::new("CA", 1);
+        let mut trust = TrustStore::new();
+        trust.trust(&ca);
+        let (cert, key) = ca.issue("CN=porter");
+        let mut gw = Gateway::new("gw", trust);
+        gw.add_vsite(Njs::new("csar", Tsi::with_builtins()));
+        (UnicoreClient::new(cert, key), gw)
+    }
+
+    fn job() -> Ajo {
+        let mut ajo = Ajo::new("j", "csar");
+        let w = ajo.add_task(
+            Task::Execute {
+                command: "write".into(),
+                args: vec!["result.txt".into(), "ok".into()],
+            },
+            &[],
+        );
+        ajo.add_task(Task::StageOut { path: "result.txt".into() }, &[w]);
+        ajo
+    }
+
+    #[test]
+    fn submit_run_fetch_happy_path() {
+        let (client, mut gw) = rig();
+        let id = client.consign(&mut gw, job()).unwrap();
+        assert_eq!(client.status(&mut gw, "csar", id).unwrap(), JobStatus::Queued);
+        assert_eq!(client.run_queued(&mut gw, "csar").unwrap(), 1);
+        assert_eq!(client.status(&mut gw, "csar", id).unwrap(), JobStatus::Done);
+        let files = client.fetch(&mut gw, "csar", id).unwrap();
+        assert_eq!(files, vec![("result.txt".to_string(), b"ok".to_vec())]);
+    }
+
+    #[test]
+    fn status_of_unknown_job_denied() {
+        let (client, mut gw) = rig();
+        let r = client.status(&mut gw, "csar", JobId(777));
+        assert_eq!(r, Err(ClientError::Denied(GatewayError::UnknownJob)));
+    }
+
+    #[test]
+    fn proxy_attach_to_missing_service_denied() {
+        let (client, mut gw) = rig();
+        let r = client.proxy_attach(&mut gw, "csar", "no-service");
+        assert!(matches!(r, Err(ClientError::Denied(GatewayError::UnknownService(_)))));
+    }
+}

@@ -1,0 +1,50 @@
+//! # unicore — UNICORE-style grid middleware
+//!
+//! §3.1 of the paper: "The UNICORE Grid system consists of three distinct
+//! software tiers: [the] UNICORE client …, UNICORE servers that are divided
+//! into gateways acting as point-of-entry into the protected domains of the
+//! HPC centres and Network Job Supervisors (NJSs) that adapt the abstract
+//! UNICORE job for the specific HPC system, [and] UNICORE target systems …
+//! [where] a Target System Interface (TSI) … performs the communication
+//! with the NJS."
+//!
+//! This crate rebuilds that stack:
+//!
+//! * [`cert`] — the X.509/SSO *trust-flow model*: certificate authorities,
+//!   user certificates, signed requests (toy digests, real trust topology —
+//!   see DESIGN.md §2 on substitutions).
+//! * [`ajo`] — Abstract Job Objects: serialized task DAGs, "sent via ssl as
+//!   serialised Java objects" (§2.2) — here serialized with serde.
+//! * [`njs`] — the NJS with *incarnation*: "the AJOs are translated into
+//!   Perl scripts for a target machine. This process is known as
+//!   incarnation … it allows the details of the scripts used to run the
+//!   workflow to be hidden from the application" (§2.2).
+//! * [`tsi`] — the Target System Interface: executes incarnated scripts in
+//!   a sandboxed in-process target system (spool directories, registered
+//!   applications).
+//! * [`gateway`] — the single-port security gateway: "handling of all
+//!   communication over a single fixed TCP server-port" (§3.1); every
+//!   operation is one [`gateway::GatewayMsg`] transaction.
+//! * [`client`] — the user-side client: build, consign, poll, fetch.
+//! * [`proxy`] — the paper's contribution (§3.3): the VISIT proxy-server /
+//!   proxy-client pair that emulates VISIT's connection-oriented protocol
+//!   by *polling* over UNICORE's transactional protocol, including the
+//!   collaborative fan-out with master-only steering folded into the
+//!   proxy-server "so that all users participating in the collaboration
+//!   have to authenticate to the UNICORE system".
+
+pub mod ajo;
+pub mod cert;
+pub mod client;
+pub mod gateway;
+pub mod njs;
+pub mod proxy;
+pub mod tsi;
+
+pub use ajo::{Ajo, AjoTask, Task};
+pub use cert::{CertAuthority, Certificate, SignedRequest, TrustStore};
+pub use client::UnicoreClient;
+pub use gateway::{Gateway, GatewayError, GatewayMsg, GatewayReply};
+pub use njs::{JobId, JobStatus, Njs};
+pub use proxy::{ProxySessionId, VisitProxyClient, VisitProxyServer};
+pub use tsi::{Tsi, TsiOutcome};

@@ -1,0 +1,343 @@
+//! Typed VISIT values and the transparent conversions of §3.2.
+//!
+//! "VISIT uses an MPI-like data transport mechanism based on messages that
+//! are distinguished via tags to transfer simple data types like strings,
+//! integers, floats, user defined structures, and arrays of these." A
+//! [`VisitValue`] is one such payload; scalars are length-1 arrays, and
+//! user-defined structures travel as [`VisitValue::Bytes`] (the application
+//! owns their layout, as in the C API).
+//!
+//! "Any data conversions (byte order, precision, integer-float) are
+//! performed transparently by the server" — [`VisitValue::decode`] performs
+//! byte-order conversion from the client's declared [`Endianness`], and the
+//! `to_f64` / `to_f32_lossy` / `to_i64` methods perform the
+//! precision/int-float conversions at the server's request.
+
+use bytes::{Buf, BufMut, BytesMut};
+
+/// Byte order declared by a client at connection time. The paper's
+/// "classic supercomputers" (Cray T3E, SGI Onyx, IBM SP2) were big-endian;
+/// the laptops steering them were little-endian — conversion was a daily
+/// reality, not an edge case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endianness {
+    Little,
+    Big,
+}
+
+impl Endianness {
+    /// The byte order of the machine this code runs on.
+    pub fn native() -> Endianness {
+        if cfg!(target_endian = "big") {
+            Endianness::Big
+        } else {
+            Endianness::Little
+        }
+    }
+
+    /// Encode as the wire flag byte.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            Endianness::Little => 0,
+            Endianness::Big => 1,
+        }
+    }
+
+    /// Decode from the wire flag byte.
+    pub fn from_byte(b: u8) -> Option<Endianness> {
+        match b {
+            0 => Some(Endianness::Little),
+            1 => Some(Endianness::Big),
+            _ => None,
+        }
+    }
+}
+
+/// Data type codes on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum DType {
+    I32 = 1,
+    I64 = 2,
+    F32 = 3,
+    F64 = 4,
+    Str = 5,
+    Bytes = 6,
+}
+
+impl DType {
+    /// Decode from the wire byte.
+    pub fn from_byte(b: u8) -> Option<DType> {
+        Some(match b {
+            1 => DType::I32,
+            2 => DType::I64,
+            3 => DType::F32,
+            4 => DType::F64,
+            5 => DType::Str,
+            6 => DType::Bytes,
+            _ => return None,
+        })
+    }
+}
+
+/// A typed VISIT payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VisitValue {
+    /// 32-bit integers.
+    I32(Vec<i32>),
+    /// 64-bit integers.
+    I64(Vec<i64>),
+    /// Single-precision floats.
+    F32(Vec<f32>),
+    /// Double-precision floats.
+    F64(Vec<f64>),
+    /// A UTF-8 string.
+    Str(String),
+    /// Opaque bytes (user-defined structures).
+    Bytes(Vec<u8>),
+}
+
+impl VisitValue {
+    /// Scalar f64 convenience constructor.
+    pub fn scalar_f64(v: f64) -> VisitValue {
+        VisitValue::F64(vec![v])
+    }
+
+    /// Scalar i32 convenience constructor.
+    pub fn scalar_i32(v: i32) -> VisitValue {
+        VisitValue::I32(vec![v])
+    }
+
+    /// Wire dtype code.
+    pub fn dtype(&self) -> DType {
+        match self {
+            VisitValue::I32(_) => DType::I32,
+            VisitValue::I64(_) => DType::I64,
+            VisitValue::F32(_) => DType::F32,
+            VisitValue::F64(_) => DType::F64,
+            VisitValue::Str(_) => DType::Str,
+            VisitValue::Bytes(_) => DType::Bytes,
+        }
+    }
+
+    /// Element count (bytes/strings count bytes).
+    pub fn count(&self) -> usize {
+        match self {
+            VisitValue::I32(v) => v.len(),
+            VisitValue::I64(v) => v.len(),
+            VisitValue::F32(v) => v.len(),
+            VisitValue::F64(v) => v.len(),
+            VisitValue::Str(s) => s.len(),
+            VisitValue::Bytes(b) => b.len(),
+        }
+    }
+
+    /// Payload size on the wire in bytes.
+    pub fn byte_len(&self) -> usize {
+        match self {
+            VisitValue::I32(v) => v.len() * 4,
+            VisitValue::I64(v) => v.len() * 8,
+            VisitValue::F32(v) => v.len() * 4,
+            VisitValue::F64(v) => v.len() * 8,
+            VisitValue::Str(s) => s.len(),
+            VisitValue::Bytes(b) => b.len(),
+        }
+    }
+
+    /// Encode the payload in the given byte order (the *client's native*
+    /// order — the client never converts; see module docs).
+    pub fn encode(&self, order: Endianness, out: &mut BytesMut) {
+        macro_rules! put_all {
+            ($vec:expr, $put_le:ident, $put_be:ident) => {
+                for &v in $vec {
+                    match order {
+                        Endianness::Little => out.$put_le(v),
+                        Endianness::Big => out.$put_be(v),
+                    }
+                }
+            };
+        }
+        match self {
+            VisitValue::I32(v) => put_all!(v, put_i32_le, put_i32),
+            VisitValue::I64(v) => put_all!(v, put_i64_le, put_i64),
+            VisitValue::F32(v) => put_all!(v, put_f32_le, put_f32),
+            VisitValue::F64(v) => put_all!(v, put_f64_le, put_f64),
+            VisitValue::Str(s) => out.put_slice(s.as_bytes()),
+            VisitValue::Bytes(b) => out.put_slice(b),
+        }
+    }
+
+    /// Decode a payload of `count` elements of `dtype`, converting from the
+    /// client's byte order (the server-side conversion of §3.2). Returns
+    /// `None` on malformed input.
+    pub fn decode(dtype: DType, count: usize, order: Endianness, mut buf: &[u8]) -> Option<VisitValue> {
+        macro_rules! get_all {
+            ($get_le:ident, $get_be:ident, $ty:ty, $size:expr, $variant:ident) => {{
+                if buf.len() != count * $size {
+                    return None;
+                }
+                let mut v: Vec<$ty> = Vec::with_capacity(count);
+                for _ in 0..count {
+                    v.push(match order {
+                        Endianness::Little => buf.$get_le(),
+                        Endianness::Big => buf.$get_be(),
+                    });
+                }
+                Some(VisitValue::$variant(v))
+            }};
+        }
+        match dtype {
+            DType::I32 => get_all!(get_i32_le, get_i32, i32, 4, I32),
+            DType::I64 => get_all!(get_i64_le, get_i64, i64, 8, I64),
+            DType::F32 => get_all!(get_f32_le, get_f32, f32, 4, F32),
+            DType::F64 => get_all!(get_f64_le, get_f64, f64, 8, F64),
+            DType::Str => {
+                if buf.len() != count {
+                    return None;
+                }
+                String::from_utf8(buf.to_vec()).ok().map(VisitValue::Str)
+            }
+            DType::Bytes => {
+                if buf.len() != count {
+                    return None;
+                }
+                Some(VisitValue::Bytes(buf.to_vec()))
+            }
+        }
+    }
+
+    /// Widening conversion to f64 (precision + integer-float conversion).
+    /// Integer values ≤ 2⁵³ convert exactly. Strings/bytes yield `None`.
+    pub fn to_f64(&self) -> Option<Vec<f64>> {
+        Some(match self {
+            VisitValue::I32(v) => v.iter().map(|&x| x as f64).collect(),
+            VisitValue::I64(v) => v.iter().map(|&x| x as f64).collect(),
+            VisitValue::F32(v) => v.iter().map(|&x| x as f64).collect(),
+            VisitValue::F64(v) => v.clone(),
+            _ => return None,
+        })
+    }
+
+    /// Narrowing conversion to f32 (lossy for doubles/large ints).
+    pub fn to_f32_lossy(&self) -> Option<Vec<f32>> {
+        Some(match self {
+            VisitValue::I32(v) => v.iter().map(|&x| x as f32).collect(),
+            VisitValue::I64(v) => v.iter().map(|&x| x as f32).collect(),
+            VisitValue::F32(v) => v.clone(),
+            VisitValue::F64(v) => v.iter().map(|&x| x as f32).collect(),
+            _ => return None,
+        })
+    }
+
+    /// Integer view; floats must be integral or `None` is returned.
+    pub fn to_i64(&self) -> Option<Vec<i64>> {
+        match self {
+            VisitValue::I32(v) => Some(v.iter().map(|&x| x as i64).collect()),
+            VisitValue::I64(v) => Some(v.clone()),
+            VisitValue::F32(v) => v
+                .iter()
+                .map(|&x| if x.fract() == 0.0 { Some(x as i64) } else { None })
+                .collect(),
+            VisitValue::F64(v) => v
+                .iter()
+                .map(|&x| if x.fract() == 0.0 { Some(x as i64) } else { None })
+                .collect(),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &VisitValue, order: Endianness) -> VisitValue {
+        let mut buf = BytesMut::new();
+        v.encode(order, &mut buf);
+        VisitValue::decode(v.dtype(), v.count(), order, &buf).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_all_types_both_orders() {
+        let values = [
+            VisitValue::I32(vec![1, -2, i32::MAX, i32::MIN]),
+            VisitValue::I64(vec![42, -9e15 as i64]),
+            VisitValue::F32(vec![1.5, -0.25, f32::MAX]),
+            VisitValue::F64(vec![std::f64::consts::PI, -1e300]),
+            VisitValue::Str("miscibility=0.08".to_string()),
+            VisitValue::Bytes(vec![0, 255, 7, 8]),
+        ];
+        for v in &values {
+            for order in [Endianness::Little, Endianness::Big] {
+                assert_eq!(&roundtrip(v, order), v);
+            }
+        }
+    }
+
+    #[test]
+    fn cross_endian_decode_differs_from_same_endian_bytes() {
+        // encoding BE and decoding LE must NOT give the same numbers back
+        let v = VisitValue::I32(vec![0x0102_0304]);
+        let mut buf = BytesMut::new();
+        v.encode(Endianness::Big, &mut buf);
+        let wrong = VisitValue::decode(DType::I32, 1, Endianness::Little, &buf).unwrap();
+        assert_eq!(wrong, VisitValue::I32(vec![0x0403_0201]));
+    }
+
+    #[test]
+    fn decode_rejects_wrong_length() {
+        assert!(VisitValue::decode(DType::F64, 2, Endianness::Little, &[0u8; 15]).is_none());
+        assert!(VisitValue::decode(DType::I32, 1, Endianness::Little, &[0u8; 3]).is_none());
+    }
+
+    #[test]
+    fn decode_rejects_invalid_utf8() {
+        assert!(VisitValue::decode(DType::Str, 2, Endianness::Little, &[0xFF, 0xFE]).is_none());
+    }
+
+    #[test]
+    fn widening_is_exact_for_small_ints() {
+        let v = VisitValue::I64(vec![1 << 52, -(1 << 52), 7]);
+        let f = v.to_f64().unwrap();
+        assert_eq!(f, vec![(1i64 << 52) as f64, -((1i64 << 52) as f64), 7.0]);
+    }
+
+    #[test]
+    fn int_float_conversion() {
+        let v = VisitValue::F64(vec![3.0, -4.0]);
+        assert_eq!(v.to_i64().unwrap(), vec![3, -4]);
+        let frac = VisitValue::F64(vec![3.5]);
+        assert!(frac.to_i64().is_none());
+        let s = VisitValue::Str("x".into());
+        assert!(s.to_f64().is_none());
+    }
+
+    #[test]
+    fn narrowing_is_lossy_but_defined() {
+        let v = VisitValue::F64(vec![1e300]);
+        let f = v.to_f32_lossy().unwrap();
+        assert!(f[0].is_infinite());
+    }
+
+    #[test]
+    fn byte_len_matches_encoding() {
+        let values = [
+            VisitValue::I32(vec![0; 3]),
+            VisitValue::F64(vec![0.0; 5]),
+            VisitValue::Str("abc".into()),
+        ];
+        for v in values {
+            let mut buf = BytesMut::new();
+            v.encode(Endianness::Little, &mut buf);
+            assert_eq!(buf.len(), v.byte_len());
+        }
+    }
+
+    #[test]
+    fn dtype_codes_roundtrip() {
+        for d in [DType::I32, DType::I64, DType::F32, DType::F64, DType::Str, DType::Bytes] {
+            assert_eq!(DType::from_byte(d as u8), Some(d));
+        }
+        assert_eq!(DType::from_byte(99), None);
+    }
+}

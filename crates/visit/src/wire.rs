@@ -1,0 +1,236 @@
+//! Frame layout of the VISIT wire protocol.
+//!
+//! "The client either sends data along with a header describing its content
+//! or requests data from the server by sending a header that describes what
+//! is requested" (§3.2). A [`Frame`] is one such header+payload unit:
+//!
+//! ```text
+//! offset  size  field
+//! 0       1     message kind (Hello/Data/Request/Reply/…)
+//! 1       1     payload byte order (Endianness)
+//! 2       1     payload dtype (DType; 0 = no payload)
+//! 3       1     reserved
+//! 4       4     tag (u32, little-endian — header is always LE)
+//! 8       4     element count (u32 LE)
+//! 12      n     payload bytes, in the order declared at offset 1
+//! ```
+//!
+//! The *header* is fixed little-endian so any server can parse it; the
+//! *payload* stays in client-native order and is converted server-side —
+//! the asymmetry that keeps the simulation cheap.
+
+use crate::value::{DType, Endianness, VisitValue};
+use bytes::{Buf, BufMut, BytesMut};
+
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 12;
+
+/// Protocol message kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum MsgKind {
+    /// Client → server: connection open (payload = password bytes).
+    Hello = 1,
+    /// Server → client: connection accepted.
+    HelloAck = 2,
+    /// Server → client: connection refused (bad password).
+    HelloReject = 3,
+    /// Client → server: here is data for tag T.
+    Data = 4,
+    /// Client → server: do you have new data for tag T?
+    Request = 5,
+    /// Server → client: reply carrying data for tag T.
+    Reply = 6,
+    /// Server → client: nothing pending for tag T.
+    NoData = 7,
+    /// Either direction: orderly shutdown.
+    Bye = 8,
+}
+
+impl MsgKind {
+    /// Decode from the wire byte.
+    pub fn from_byte(b: u8) -> Option<MsgKind> {
+        Some(match b {
+            1 => MsgKind::Hello,
+            2 => MsgKind::HelloAck,
+            3 => MsgKind::HelloReject,
+            4 => MsgKind::Data,
+            5 => MsgKind::Request,
+            6 => MsgKind::Reply,
+            7 => MsgKind::NoData,
+            8 => MsgKind::Bye,
+            _ => return None,
+        })
+    }
+}
+
+/// One protocol frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Message kind.
+    pub kind: MsgKind,
+    /// MPI-like tag distinguishing data streams.
+    pub tag: u32,
+    /// Payload byte order (meaningful only when `value` is `Some`).
+    pub order: Endianness,
+    /// Optional typed payload.
+    pub value: Option<VisitValue>,
+}
+
+impl Frame {
+    /// A frame with no payload.
+    pub fn bare(kind: MsgKind, tag: u32) -> Frame {
+        Frame {
+            kind,
+            tag,
+            order: Endianness::Little,
+            value: None,
+        }
+    }
+
+    /// A data-carrying frame in the given byte order.
+    pub fn with_value(kind: MsgKind, tag: u32, order: Endianness, value: VisitValue) -> Frame {
+        Frame {
+            kind,
+            tag,
+            order,
+            value: Some(value),
+        }
+    }
+
+    /// Serialize to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(
+            HEADER_LEN + self.value.as_ref().map_or(0, |v| v.byte_len()),
+        );
+        buf.put_u8(self.kind as u8);
+        buf.put_u8(self.order.to_byte());
+        match &self.value {
+            Some(v) => {
+                buf.put_u8(v.dtype() as u8);
+                buf.put_u8(0);
+                buf.put_u32_le(self.tag);
+                buf.put_u32_le(v.count() as u32);
+                v.encode(self.order, &mut buf);
+            }
+            None => {
+                buf.put_u8(0);
+                buf.put_u8(0);
+                buf.put_u32_le(self.tag);
+                buf.put_u32_le(0);
+            }
+        }
+        buf.to_vec()
+    }
+
+    /// Parse from bytes (performing the server-side byte-order conversion
+    /// for the payload). Returns `None` on any malformation.
+    pub fn decode(mut data: &[u8]) -> Option<Frame> {
+        if data.len() < HEADER_LEN {
+            return None;
+        }
+        let kind = MsgKind::from_byte(data.get_u8())?;
+        let order = Endianness::from_byte(data.get_u8())?;
+        let dtype_byte = data.get_u8();
+        let _reserved = data.get_u8();
+        let tag = data.get_u32_le();
+        let count = data.get_u32_le() as usize;
+        let value = if dtype_byte == 0 {
+            if !data.is_empty() || count != 0 {
+                return None;
+            }
+            None
+        } else {
+            let dtype = DType::from_byte(dtype_byte)?;
+            Some(VisitValue::decode(dtype, count, order, data)?)
+        };
+        Some(Frame {
+            kind,
+            tag,
+            order,
+            value,
+        })
+    }
+
+    /// Total encoded size.
+    pub fn wire_size(&self) -> usize {
+        HEADER_LEN + self.value.as_ref().map_or(0, |v| v.byte_len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_frame_roundtrip() {
+        let f = Frame::bare(MsgKind::Request, 77);
+        let d = f.encode();
+        assert_eq!(d.len(), HEADER_LEN);
+        assert_eq!(Frame::decode(&d).unwrap(), f);
+    }
+
+    #[test]
+    fn data_frame_roundtrip_little_endian() {
+        let f = Frame::with_value(
+            MsgKind::Data,
+            3,
+            Endianness::Little,
+            VisitValue::F64(vec![1.5, -2.25]),
+        );
+        assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    fn data_frame_roundtrip_big_endian() {
+        // a big-endian client (the paper's Cray/SGI case) encodes BE; the
+        // decode (server side) converts transparently.
+        let f = Frame::with_value(
+            MsgKind::Data,
+            9,
+            Endianness::Big,
+            VisitValue::I32(vec![0x01020304, -7]),
+        );
+        let decoded = Frame::decode(&f.encode()).unwrap();
+        assert_eq!(decoded.value, f.value);
+    }
+
+    #[test]
+    fn truncated_frames_rejected() {
+        let f = Frame::with_value(
+            MsgKind::Data,
+            1,
+            Endianness::Little,
+            VisitValue::I32(vec![1, 2, 3]),
+        );
+        let d = f.encode();
+        for cut in 0..d.len() {
+            assert!(Frame::decode(&d[..cut]).is_none(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn garbage_kind_rejected() {
+        let mut d = Frame::bare(MsgKind::Bye, 0).encode();
+        d[0] = 200;
+        assert!(Frame::decode(&d).is_none());
+    }
+
+    #[test]
+    fn bare_frame_with_trailing_bytes_rejected() {
+        let mut d = Frame::bare(MsgKind::Bye, 0).encode();
+        d.push(1);
+        assert!(Frame::decode(&d).is_none());
+    }
+
+    #[test]
+    fn wire_size_matches_encoding() {
+        let f = Frame::with_value(
+            MsgKind::Reply,
+            5,
+            Endianness::Little,
+            VisitValue::Str("plasma".into()),
+        );
+        assert_eq!(f.encode().len(), f.wire_size());
+    }
+}

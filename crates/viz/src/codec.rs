@@ -1,0 +1,236 @@
+//! Framebuffer codecs: delta + run-length encoding.
+//!
+//! §2.4: VizServer "greatly reduces network traffic since only compressed
+//! bitmaps need to be sent to the participating sites". This module is that
+//! compressed-bitmap path. The codec is deliberately simple and fast —
+//! the point of experiment EC1 is the *byte-volume shape* (pixels vs
+//! geometry vs parameter-sync), not codec sophistication:
+//!
+//! 1. **Delta stage** — XOR against the previous frame (inter-frame
+//!    coherence: a slowly rotating isosurface changes few pixels).
+//! 2. **RLE stage** — byte-wise run-length encoding of the (mostly zero)
+//!    delta, or of the raw frame for keyframes.
+
+use crate::framebuffer::Framebuffer;
+
+/// An encoded frame: either a keyframe (self-contained) or a delta against
+/// the previous frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncodedFrame {
+    /// True if this frame can be decoded without history.
+    pub keyframe: bool,
+    /// RLE payload.
+    pub payload: Vec<u8>,
+    /// Original (uncompressed) size in bytes.
+    pub raw_size: usize,
+}
+
+impl EncodedFrame {
+    /// Compressed size in bytes (what actually crosses the network).
+    pub fn wire_size(&self) -> usize {
+        self.payload.len() + 8 // payload + tiny header
+    }
+
+    /// Compression ratio `raw / wire` (>1 means compression won).
+    pub fn ratio(&self) -> f64 {
+        self.raw_size as f64 / self.wire_size() as f64
+    }
+}
+
+/// Byte-wise run-length encode: pairs `(count, byte)` with count ∈ 1..=255.
+pub fn rle_encode(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 4 + 16);
+    let mut i = 0;
+    while i < data.len() {
+        let b = data[i];
+        let mut run = 1usize;
+        while run < 255 && i + run < data.len() && data[i + run] == b {
+            run += 1;
+        }
+        out.push(run as u8);
+        out.push(b);
+        i += run;
+    }
+    out
+}
+
+/// Inverse of [`rle_encode`]. Returns `None` on malformed input.
+pub fn rle_decode(data: &[u8]) -> Option<Vec<u8>> {
+    if data.len() % 2 != 0 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(data.len() * 4);
+    for pair in data.chunks_exact(2) {
+        let (count, b) = (pair[0], pair[1]);
+        if count == 0 {
+            return None;
+        }
+        out.extend(std::iter::repeat_n(b, count as usize));
+    }
+    Some(out)
+}
+
+/// Stateful delta+RLE codec. Encoder and decoder each keep the previous
+/// frame; a decoder fed every frame in order reconstructs exactly.
+#[derive(Debug, Default)]
+pub struct DeltaRleCodec {
+    prev: Option<Vec<u8>>,
+    /// Force a keyframe every `keyframe_interval` frames (0 = only first).
+    pub keyframe_interval: usize,
+    frame_count: usize,
+}
+
+impl DeltaRleCodec {
+    /// New codec; first frame is always a keyframe.
+    pub fn new() -> Self {
+        DeltaRleCodec {
+            prev: None,
+            keyframe_interval: 0,
+            frame_count: 0,
+        }
+    }
+
+    /// Reset history (forces the next frame to be a keyframe).
+    pub fn reset(&mut self) {
+        self.prev = None;
+        self.frame_count = 0;
+    }
+
+    /// Encode a framebuffer.
+    pub fn encode(&mut self, fb: &Framebuffer) -> EncodedFrame {
+        let raw = fb.bytes();
+        let force_key = self.keyframe_interval > 0
+            && self.frame_count % self.keyframe_interval == 0;
+        self.frame_count += 1;
+        match (&self.prev, force_key) {
+            (Some(prev), false) if prev.len() == raw.len() => {
+                let delta: Vec<u8> = raw.iter().zip(prev.iter()).map(|(a, b)| a ^ b).collect();
+                let payload = rle_encode(&delta);
+                self.prev = Some(raw.to_vec());
+                EncodedFrame {
+                    keyframe: false,
+                    payload,
+                    raw_size: raw.len(),
+                }
+            }
+            _ => {
+                let payload = rle_encode(raw);
+                self.prev = Some(raw.to_vec());
+                EncodedFrame {
+                    keyframe: true,
+                    payload,
+                    raw_size: raw.len(),
+                }
+            }
+        }
+    }
+
+    /// Decode into a framebuffer of the given dimensions. Returns `None` if
+    /// the payload is malformed, sizes mismatch, or a delta frame arrives
+    /// without history.
+    pub fn decode(&mut self, frame: &EncodedFrame, width: usize, height: usize) -> Option<Framebuffer> {
+        let body = rle_decode(&frame.payload)?;
+        if body.len() != width * height * 4 {
+            return None;
+        }
+        let raw = if frame.keyframe {
+            body
+        } else {
+            let prev = self.prev.as_ref()?;
+            if prev.len() != body.len() {
+                return None;
+            }
+            body.iter().zip(prev.iter()).map(|(d, p)| d ^ p).collect()
+        };
+        self.prev = Some(raw.clone());
+        let mut fb = Framebuffer::new(width, height);
+        fb.bytes_mut().copy_from_slice(&raw);
+        Some(fb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rle_roundtrip_simple() {
+        let data = b"aaaabbbcccccccccccd";
+        assert_eq!(rle_decode(&rle_encode(data)).unwrap(), data);
+    }
+
+    #[test]
+    fn rle_handles_long_runs() {
+        let data = vec![7u8; 1000];
+        let enc = rle_encode(&data);
+        assert!(enc.len() <= 10); // ceil(1000/255)*2
+        assert_eq!(rle_decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn rle_rejects_malformed() {
+        assert!(rle_decode(&[1]).is_none()); // odd length
+        assert!(rle_decode(&[0, 5]).is_none()); // zero count
+    }
+
+    #[test]
+    fn first_frame_is_keyframe() {
+        let mut c = DeltaRleCodec::new();
+        let fb = Framebuffer::new(8, 8);
+        let f = c.encode(&fb);
+        assert!(f.keyframe);
+    }
+
+    #[test]
+    fn static_scene_compresses_to_almost_nothing() {
+        let mut enc = DeltaRleCodec::new();
+        let fb = Framebuffer::new(64, 64);
+        let _key = enc.encode(&fb);
+        let delta = enc.encode(&fb);
+        assert!(!delta.keyframe);
+        // all-zero delta: one run pair per 255 bytes
+        assert!(delta.wire_size() < fb.byte_size() / 100);
+        assert!(delta.ratio() > 100.0);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_over_changes() {
+        let mut enc = DeltaRleCodec::new();
+        let mut dec = DeltaRleCodec::new();
+        let mut fb = Framebuffer::new(16, 16);
+        for step in 0..10 {
+            fb.set(step, step, [step as u8 * 20, 5, 200, 255]);
+            let frame = enc.encode(&fb);
+            let out = dec.decode(&frame, 16, 16).unwrap();
+            assert_eq!(out, fb, "step {step}");
+        }
+    }
+
+    #[test]
+    fn delta_without_history_fails() {
+        let mut enc = DeltaRleCodec::new();
+        let fb = Framebuffer::new(4, 4);
+        let _ = enc.encode(&fb);
+        let delta = enc.encode(&fb);
+        let mut fresh_dec = DeltaRleCodec::new();
+        assert!(fresh_dec.decode(&delta, 4, 4).is_none());
+    }
+
+    #[test]
+    fn keyframe_interval_forces_keys() {
+        let mut enc = DeltaRleCodec::new();
+        enc.keyframe_interval = 3;
+        let fb = Framebuffer::new(4, 4);
+        let kinds: Vec<bool> = (0..7).map(|_| enc.encode(&fb).keyframe).collect();
+        assert_eq!(kinds, vec![true, false, false, true, false, false, true]);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let mut enc = DeltaRleCodec::new();
+        let fb = Framebuffer::new(8, 8);
+        let f = enc.encode(&fb);
+        let mut dec = DeltaRleCodec::new();
+        assert!(dec.decode(&f, 4, 4).is_none());
+    }
+}

@@ -1,0 +1,269 @@
+//! Isosurface extraction.
+//!
+//! §2.2 of the paper: "the isosurfaces were rendered and the output of the
+//! graphics pipes returned to the user's laptop" — isosurfacing the LB order
+//! parameter is the central visualization of the RealityGrid demo, and §1
+//! names "3D isosurfacing and volume rendering" as required interface
+//! capabilities.
+//!
+//! We implement the *tetrahedral decomposition* variant of marching cubes
+//! (marching tetrahedra): each cell is split into six tetrahedra and each
+//! tetrahedron is contoured exactly. Compared to classic table-driven
+//! marching cubes this produces ~2× more triangles but is table-free,
+//! topologically unambiguous, and easy to verify — the right trade-off for
+//! a reproduction whose experiments measure *geometry volume and timing
+//! shape*, not GPU throughput.
+
+use crate::field::Field3;
+use crate::mesh::TriMesh;
+use crate::Vec3;
+
+/// The six tetrahedra of a cube, as indices into the cube-corner numbering
+/// `corner = (dx, dy, dz)` with bit 0 = x, bit 1 = y, bit 2 = z.
+/// This decomposition shares the main diagonal 0–7, so adjacent cubes tile
+/// consistently and the resulting surface is crack-free.
+const TETS: [[usize; 4]; 6] = [
+    [0, 5, 1, 7],
+    [0, 1, 3, 7],
+    [0, 3, 2, 7],
+    [0, 2, 6, 7],
+    [0, 6, 4, 7],
+    [0, 4, 5, 7],
+];
+
+#[inline]
+fn corner_offset(c: usize) -> (usize, usize, usize) {
+    (c & 1, (c >> 1) & 1, (c >> 2) & 1)
+}
+
+/// Linear interpolation of the iso-crossing point on an edge.
+#[inline]
+fn edge_point(p0: Vec3, v0: f32, p1: Vec3, v1: f32, iso: f32) -> Vec3 {
+    let denom = v1 - v0;
+    let t = if denom.abs() < 1e-12 {
+        0.5
+    } else {
+        ((iso - v0) / denom).clamp(0.0, 1.0)
+    };
+    p0.lerp(p1, t)
+}
+
+/// Contour one tetrahedron; emits 0, 1 or 2 triangles into `mesh`.
+fn contour_tet(mesh: &mut TriMesh, p: [Vec3; 4], v: [f32; 4], iso: f32) {
+    // classification bitmask: bit i set ⇔ v[i] >= iso ("inside")
+    let mut mask = 0usize;
+    for i in 0..4 {
+        if v[i] >= iso {
+            mask |= 1 << i;
+        }
+    }
+    // helper producing the crossing point on edge (a,b)
+    let ep = |a: usize, b: usize| edge_point(p[a], v[a], p[b], v[b], iso);
+    // Orient triangles so the normal points toward decreasing field value
+    // (outward for a "blob" where inside >= iso). We fix orientation by the
+    // gradient direction later via push with geometric normal; here we just
+    // choose a consistent winding per case.
+    let mut tri = |a: Vec3, b: Vec3, c: Vec3| {
+        let n = b.sub(a).cross(c.sub(a)).normalized();
+        mesh.push_tri(a, b, c, n);
+    };
+    match mask {
+        0x0 | 0xF => {}
+        // single corner inside
+        0x1 => tri(ep(0, 1), ep(0, 2), ep(0, 3)),
+        0x2 => tri(ep(1, 0), ep(1, 3), ep(1, 2)),
+        0x4 => tri(ep(2, 0), ep(2, 1), ep(2, 3)),
+        0x8 => tri(ep(3, 0), ep(3, 2), ep(3, 1)),
+        // single corner outside (complement cases, opposite winding)
+        0xE => tri(ep(0, 1), ep(0, 3), ep(0, 2)),
+        0xD => tri(ep(1, 0), ep(1, 2), ep(1, 3)),
+        0xB => tri(ep(2, 0), ep(2, 3), ep(2, 1)),
+        0x7 => tri(ep(3, 0), ep(3, 1), ep(3, 2)),
+        // two in / two out: quad split into two triangles
+        0x3 => {
+            let (a, b, c, d) = (ep(0, 2), ep(0, 3), ep(1, 3), ep(1, 2));
+            tri(a, b, c);
+            tri(a, c, d);
+        }
+        0xC => {
+            let (a, b, c, d) = (ep(0, 2), ep(1, 2), ep(1, 3), ep(0, 3));
+            tri(a, b, c);
+            tri(a, c, d);
+        }
+        0x5 => {
+            let (a, b, c, d) = (ep(0, 1), ep(0, 3), ep(2, 3), ep(2, 1));
+            tri(a, b, c);
+            tri(a, c, d);
+        }
+        0xA => {
+            let (a, b, c, d) = (ep(0, 1), ep(2, 1), ep(2, 3), ep(0, 3));
+            tri(a, b, c);
+            tri(a, c, d);
+        }
+        0x6 => {
+            let (a, b, c, d) = (ep(1, 0), ep(1, 3), ep(2, 3), ep(2, 0));
+            tri(a, b, c);
+            tri(a, c, d);
+        }
+        0x9 => {
+            let (a, b, c, d) = (ep(1, 0), ep(2, 0), ep(2, 3), ep(1, 3));
+            tri(a, b, c);
+            tri(a, c, d);
+        }
+        _ => unreachable!("4-bit mask"),
+    }
+}
+
+/// Extract the isosurface `field == iso` as a triangle mesh in lattice
+/// coordinates. Normals are per-face geometric normals; call
+/// [`TriMesh::recompute_normals`] for smooth shading, or use
+/// [`isosurface_smooth`] which orients and smooths using field gradients.
+pub fn isosurface(field: &Field3, iso: f32) -> TriMesh {
+    let (nx, ny, nz) = field.dims();
+    let mut mesh = TriMesh::new();
+    if nx < 2 || ny < 2 || nz < 2 {
+        return mesh;
+    }
+    for z in 0..nz - 1 {
+        for y in 0..ny - 1 {
+            for x in 0..nx - 1 {
+                // gather cube corners
+                let mut pv = [(Vec3::ZERO, 0.0f32); 8];
+                let mut lo = f32::INFINITY;
+                let mut hi = f32::NEG_INFINITY;
+                for (c, slot) in pv.iter_mut().enumerate() {
+                    let (dx, dy, dz) = corner_offset(c);
+                    let v = field.get(x + dx, y + dy, z + dz);
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                    *slot = (
+                        Vec3::new((x + dx) as f32, (y + dy) as f32, (z + dz) as f32),
+                        v,
+                    );
+                }
+                // fast reject: cell entirely on one side
+                if lo >= iso || hi < iso {
+                    continue;
+                }
+                for tet in &TETS {
+                    let p = [pv[tet[0]].0, pv[tet[1]].0, pv[tet[2]].0, pv[tet[3]].0];
+                    let v = [pv[tet[0]].1, pv[tet[1]].1, pv[tet[2]].1, pv[tet[3]].1];
+                    contour_tet(&mut mesh, p, v, iso);
+                }
+            }
+        }
+    }
+    mesh
+}
+
+/// Isosurface with gradient-oriented smooth normals: each vertex normal is
+/// the (negated) field gradient sampled at the vertex, which is what
+/// AVS/Express-class renderers shade with.
+pub fn isosurface_smooth(field: &Field3, iso: f32) -> TriMesh {
+    let mut mesh = isosurface(field, iso);
+    for (v, n) in mesh.vertices.iter().zip(mesh.normals.iter_mut()) {
+        let g = grad_at(field, *v);
+        if g.len() > 1e-12 {
+            *n = g.scale(-1.0).normalized();
+        }
+    }
+    mesh
+}
+
+fn grad_at(field: &Field3, p: Vec3) -> Vec3 {
+    let x = p.x.round().max(0.0) as usize;
+    let y = p.y.round().max(0.0) as usize;
+    let z = p.z.round().max(0.0) as usize;
+    let (nx, ny, nz) = field.dims();
+    field.gradient(x.min(nx - 1), y.min(ny - 1), z.min(nz - 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sphere_field(n: usize, r: f32) -> Field3 {
+        let c = (n as f32 - 1.0) / 2.0;
+        Field3::from_fn(n, n, n, |x, y, z| {
+            let dx = x as f32 - c;
+            let dy = y as f32 - c;
+            let dz = z as f32 - c;
+            r - (dx * dx + dy * dy + dz * dz).sqrt() // >0 inside
+        })
+    }
+
+    #[test]
+    fn empty_outside_value_range() {
+        let f = sphere_field(16, 5.0);
+        assert!(isosurface(&f, 1e9).is_empty());
+        assert!(isosurface(&f, -1e9).is_empty());
+    }
+
+    #[test]
+    fn sphere_area_approximates_4_pi_r2() {
+        let r = 10.0;
+        let f = sphere_field(32, r);
+        let m = isosurface(&f, 0.0);
+        assert!(!m.is_empty());
+        let area = m.area();
+        let expect = 4.0 * std::f32::consts::PI * r * r;
+        let rel = (area - expect).abs() / expect;
+        assert!(rel < 0.05, "area={area} expect={expect} rel={rel}");
+    }
+
+    #[test]
+    fn vertices_lie_on_isosurface() {
+        let f = sphere_field(24, 8.0);
+        let m = isosurface(&f, 0.0);
+        let c = (24.0 - 1.0) / 2.0;
+        for v in &m.vertices {
+            let d = ((v.x - c).powi(2) + (v.y - c).powi(2) + (v.z - c).powi(2)).sqrt();
+            assert!((d - 8.0).abs() < 0.9, "vertex at radius {d}");
+        }
+    }
+
+    #[test]
+    fn tri_count_scales_with_resolution() {
+        let small = isosurface(&sphere_field(16, 5.0), 0.0).tri_count();
+        let big = isosurface(&sphere_field(32, 11.0), 0.0).tri_count();
+        assert!(big > small * 2, "small={small} big={big}");
+    }
+
+    #[test]
+    fn smooth_normals_point_outward_on_sphere() {
+        let f = sphere_field(24, 8.0);
+        let m = isosurface_smooth(&f, 0.0);
+        let c = (24.0 - 1.0) / 2.0;
+        let mut agree = 0usize;
+        for (v, n) in m.vertices.iter().zip(&m.normals) {
+            let radial = Vec3::new(v.x - c, v.y - c, v.z - c).normalized();
+            if radial.dot(*n) > 0.0 {
+                agree += 1;
+            }
+        }
+        // field decreases outward, so -grad points outward
+        assert!(agree as f32 / m.vertices.len() as f32 > 0.95);
+    }
+
+    #[test]
+    fn degenerate_grid_is_empty() {
+        let f = Field3::zeros(1, 5, 5);
+        assert!(isosurface(&f, 0.0).is_empty());
+    }
+
+    #[test]
+    fn flat_field_at_iso_emits_nothing_pathological() {
+        // all values exactly at iso: every corner counts as "inside"
+        let f = Field3::from_vec(4, 4, 4, vec![1.0; 64]);
+        let m = isosurface(&f, 1.0);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn plane_surface_has_expected_area() {
+        // field = x − 3.5 on an 8³ grid ⇒ plane x = 3.5, area 7×7
+        let f = Field3::from_fn(8, 8, 8, |x, _, _| x as f32 - 3.5);
+        let m = isosurface(&f, 0.0);
+        assert!((m.area() - 49.0).abs() < 0.5, "area={}", m.area());
+    }
+}

@@ -1,0 +1,182 @@
+//! Triangle meshes.
+//!
+//! The output of isosurface extraction and glyph expansion; the "large and
+//! complex data sets" of §1 that are "too large to be visualized on a laptop
+//! client" (§2.4). [`TriMesh::byte_size`] is the geometry-shipping cost used
+//! by the collaboration-traffic experiment (EC1): the paper's argument for
+//! VizServer is precisely that shipping compressed bitmaps beats shipping
+//! this geometry.
+
+use crate::Vec3;
+
+/// An indexed triangle mesh with per-vertex normals.
+#[derive(Debug, Clone, Default)]
+pub struct TriMesh {
+    /// Vertex positions.
+    pub vertices: Vec<Vec3>,
+    /// Per-vertex normals (same length as `vertices`).
+    pub normals: Vec<Vec3>,
+    /// Triangle vertex indices, three per triangle.
+    pub indices: Vec<u32>,
+}
+
+impl TriMesh {
+    /// Empty mesh.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of triangles.
+    pub fn tri_count(&self) -> usize {
+        self.indices.len() / 3
+    }
+
+    /// Number of vertices.
+    pub fn vert_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// True if the mesh contains no triangles.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Append a triangle given three positions and a shared normal,
+    /// creating three new vertices (no deduplication — matches what a
+    /// streaming marching-cubes extractor emits).
+    pub fn push_tri(&mut self, a: Vec3, b: Vec3, c: Vec3, n: Vec3) {
+        let base = self.vertices.len() as u32;
+        self.vertices.extend_from_slice(&[a, b, c]);
+        self.normals.extend_from_slice(&[n, n, n]);
+        self.indices.extend_from_slice(&[base, base + 1, base + 2]);
+    }
+
+    /// Append another mesh.
+    pub fn merge(&mut self, other: &TriMesh) {
+        let base = self.vertices.len() as u32;
+        self.vertices.extend_from_slice(&other.vertices);
+        self.normals.extend_from_slice(&other.normals);
+        self.indices.extend(other.indices.iter().map(|&i| i + base));
+    }
+
+    /// Axis-aligned bounding box `(min, max)`, or `None` if empty.
+    pub fn bounds(&self) -> Option<(Vec3, Vec3)> {
+        let mut it = self.vertices.iter();
+        let first = *it.next()?;
+        let mut lo = first;
+        let mut hi = first;
+        for v in it {
+            lo = Vec3::new(lo.x.min(v.x), lo.y.min(v.y), lo.z.min(v.z));
+            hi = Vec3::new(hi.x.max(v.x), hi.y.max(v.y), hi.z.max(v.z));
+        }
+        Some((lo, hi))
+    }
+
+    /// Geometry payload size in bytes if shipped raw: positions + normals
+    /// (3+3 f32) per vertex plus u32 indices.
+    pub fn byte_size(&self) -> usize {
+        self.vertices.len() * 24 + self.indices.len() * 4
+    }
+
+    /// Geometric surface area (sum of triangle areas).
+    pub fn area(&self) -> f32 {
+        let mut total = 0.0;
+        for t in self.indices.chunks_exact(3) {
+            let a = self.vertices[t[0] as usize];
+            let b = self.vertices[t[1] as usize];
+            let c = self.vertices[t[2] as usize];
+            total += b.sub(a).cross(c.sub(a)).len() * 0.5;
+        }
+        total
+    }
+
+    /// Recompute per-vertex normals by area-weighted averaging of incident
+    /// face normals.
+    pub fn recompute_normals(&mut self) {
+        let mut acc = vec![Vec3::ZERO; self.vertices.len()];
+        for t in self.indices.chunks_exact(3) {
+            let a = self.vertices[t[0] as usize];
+            let b = self.vertices[t[1] as usize];
+            let c = self.vertices[t[2] as usize];
+            let fnorm = b.sub(a).cross(c.sub(a)); // length ∝ area
+            for &i in t {
+                acc[i as usize] = acc[i as usize].add(fnorm);
+            }
+        }
+        self.normals = acc.into_iter().map(Vec3::normalized).collect();
+    }
+
+    /// The canonical unit cube (12 triangles), used by domain-box glyphs
+    /// and tests.
+    pub fn unit_cube() -> TriMesh {
+        let mut m = TriMesh::new();
+        let v = |x: f32, y: f32, z: f32| Vec3::new(x, y, z);
+        // 6 faces, 2 triangles each, outward normals
+        let faces: [([Vec3; 4], Vec3); 6] = [
+            ([v(0., 0., 0.), v(0., 1., 0.), v(1., 1., 0.), v(1., 0., 0.)], v(0., 0., -1.)),
+            ([v(0., 0., 1.), v(1., 0., 1.), v(1., 1., 1.), v(0., 1., 1.)], v(0., 0., 1.)),
+            ([v(0., 0., 0.), v(0., 0., 1.), v(0., 1., 1.), v(0., 1., 0.)], v(-1., 0., 0.)),
+            ([v(1., 0., 0.), v(1., 1., 0.), v(1., 1., 1.), v(1., 0., 1.)], v(1., 0., 0.)),
+            ([v(0., 0., 0.), v(1., 0., 0.), v(1., 0., 1.), v(0., 0., 1.)], v(0., -1., 0.)),
+            ([v(0., 1., 0.), v(0., 1., 1.), v(1., 1., 1.), v(1., 1., 0.)], v(0., 1., 0.)),
+        ];
+        for (quad, n) in faces {
+            m.push_tri(quad[0], quad[1], quad[2], n);
+            m.push_tri(quad[0], quad[2], quad[3], n);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_tri_counts() {
+        let mut m = TriMesh::new();
+        m.push_tri(
+            Vec3::new(0., 0., 0.),
+            Vec3::new(1., 0., 0.),
+            Vec3::new(0., 1., 0.),
+            Vec3::new(0., 0., 1.),
+        );
+        assert_eq!(m.tri_count(), 1);
+        assert_eq!(m.vert_count(), 3);
+        assert_eq!(m.byte_size(), 3 * 24 + 3 * 4);
+    }
+
+    #[test]
+    fn merge_offsets_indices() {
+        let mut a = TriMesh::unit_cube();
+        let b = TriMesh::unit_cube();
+        let n = a.vert_count() as u32;
+        a.merge(&b);
+        assert_eq!(a.tri_count(), 24);
+        assert!(a.indices[36..].iter().all(|&i| i >= n));
+    }
+
+    #[test]
+    fn cube_bounds_and_area() {
+        let c = TriMesh::unit_cube();
+        let (lo, hi) = c.bounds().unwrap();
+        assert_eq!(lo, Vec3::ZERO);
+        assert_eq!(hi, Vec3::new(1., 1., 1.));
+        assert!((c.area() - 6.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_mesh_has_no_bounds() {
+        assert!(TriMesh::new().bounds().is_none());
+        assert!(TriMesh::new().is_empty());
+    }
+
+    #[test]
+    fn recomputed_normals_are_unit() {
+        let mut c = TriMesh::unit_cube();
+        c.recompute_normals();
+        for n in &c.normals {
+            assert!((n.len() - 1.0).abs() < 1e-5);
+        }
+    }
+}

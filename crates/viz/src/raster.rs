@@ -1,0 +1,246 @@
+//! Z-buffered software rasterizer.
+//!
+//! Stands in for the SGI Onyx graphics pipes: renders triangle meshes
+//! (isosurfaces, domain boxes), points and lines (particle glyphs, velocity
+//! vectors) into a [`Framebuffer`] with flat Lambert shading. Per-frame cost
+//! is real CPU work, which is exactly what the remote-vs-local rendering
+//! experiment (E42) needs: a render time that scales with scene complexity.
+
+use crate::camera::Camera;
+use crate::framebuffer::Framebuffer;
+use crate::mesh::TriMesh;
+use crate::Vec3;
+
+/// Rasterizer state: framebuffer + z-buffer + light direction.
+pub struct Rasterizer {
+    fb: Framebuffer,
+    zbuf: Vec<f32>,
+    /// Directional light (towards the scene), normalized on set.
+    light: Vec3,
+    /// Triangles actually rasterized in the last `draw_mesh` call (after
+    /// clipping/backface culling) — a cheap complexity metric.
+    pub tris_drawn: usize,
+}
+
+impl Rasterizer {
+    /// New rasterizer with a black framebuffer.
+    pub fn new(width: usize, height: usize) -> Self {
+        Rasterizer {
+            fb: Framebuffer::new(width, height),
+            zbuf: vec![f32::INFINITY; width * height],
+            light: Vec3::new(0.4, 0.7, -0.6).normalized(),
+            tris_drawn: 0,
+        }
+    }
+
+    /// Set the directional light.
+    pub fn set_light(&mut self, dir: Vec3) {
+        self.light = dir.normalized();
+    }
+
+    /// Clear colour and depth.
+    pub fn clear(&mut self, rgba: [u8; 4]) {
+        self.fb.clear(rgba);
+        self.zbuf.fill(f32::INFINITY);
+        self.tris_drawn = 0;
+    }
+
+    /// Borrow the framebuffer.
+    pub fn framebuffer(&self) -> &Framebuffer {
+        &self.fb
+    }
+
+    /// Take the framebuffer out (consumes the rasterizer).
+    pub fn into_framebuffer(self) -> Framebuffer {
+        self.fb
+    }
+
+    fn put(&mut self, x: usize, y: usize, z: f32, rgba: [u8; 4]) {
+        let w = self.fb.width();
+        if x >= w || y >= self.fb.height() {
+            return;
+        }
+        let i = y * w + x;
+        if z < self.zbuf[i] {
+            self.zbuf[i] = z;
+            self.fb.set(x, y, rgba);
+        }
+    }
+
+    /// Draw a world-space point as a small square splat.
+    pub fn draw_point(&mut self, cam: &Camera, p: Vec3, size: usize, rgba: [u8; 4]) {
+        if let Some((px, py, z)) = cam.project(p, self.fb.width(), self.fb.height()) {
+            let half = (size / 2) as isize;
+            for dy in -half..=half {
+                for dx in -half..=half {
+                    let x = px as isize + dx;
+                    let y = py as isize + dy;
+                    if x >= 0 && y >= 0 {
+                        self.put(x as usize, y as usize, z, rgba);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Draw a world-space line with DDA stepping.
+    pub fn draw_line(&mut self, cam: &Camera, a: Vec3, b: Vec3, rgba: [u8; 4]) {
+        let (w, h) = (self.fb.width(), self.fb.height());
+        let (pa, pb) = match (cam.project(a, w, h), cam.project(b, w, h)) {
+            (Some(a), Some(b)) => (a, b),
+            _ => return, // conservative clip: skip lines crossing the near plane
+        };
+        let dx = pb.0 - pa.0;
+        let dy = pb.1 - pa.1;
+        let steps = dx.abs().max(dy.abs()).ceil().max(1.0) as usize;
+        for i in 0..=steps {
+            let t = i as f32 / steps as f32;
+            let x = pa.0 + dx * t;
+            let y = pa.1 + dy * t;
+            let z = pa.2 + (pb.2 - pa.2) * t;
+            if x >= 0.0 && y >= 0.0 {
+                self.put(x as usize, y as usize, z, rgba);
+            }
+        }
+    }
+
+    /// Draw a mesh with flat Lambert shading in `base` colour.
+    pub fn draw_mesh(&mut self, cam: &Camera, mesh: &TriMesh, base: [u8; 4]) {
+        let (w, h) = (self.fb.width(), self.fb.height());
+        for t in mesh.indices.chunks_exact(3) {
+            let va = mesh.vertices[t[0] as usize];
+            let vb = mesh.vertices[t[1] as usize];
+            let vc = mesh.vertices[t[2] as usize];
+            let (pa, pb, pc) = match (
+                cam.project(va, w, h),
+                cam.project(vb, w, h),
+                cam.project(vc, w, h),
+            ) {
+                (Some(a), Some(b), Some(c)) => (a, b, c),
+                _ => continue,
+            };
+            // face normal for shading (two-sided)
+            let n = vb.sub(va).cross(vc.sub(va)).normalized();
+            let lambert = n.dot(self.light).abs().clamp(0.05, 1.0);
+            let shade = |c: u8| ((c as f32) * (0.2 + 0.8 * lambert)) as u8;
+            let rgba = [shade(base[0]), shade(base[1]), shade(base[2]), base[3]];
+            self.fill_triangle(pa, pb, pc, rgba);
+            self.tris_drawn += 1;
+        }
+    }
+
+    /// Barycentric triangle fill with z interpolation.
+    fn fill_triangle(&mut self, a: (f32, f32, f32), b: (f32, f32, f32), c: (f32, f32, f32), rgba: [u8; 4]) {
+        let min_x = a.0.min(b.0).min(c.0).floor().max(0.0) as usize;
+        let max_x = (a.0.max(b.0).max(c.0).ceil() as usize).min(self.fb.width().saturating_sub(1));
+        let min_y = a.1.min(b.1).min(c.1).floor().max(0.0) as usize;
+        let max_y = (a.1.max(b.1).max(c.1).ceil() as usize).min(self.fb.height().saturating_sub(1));
+        let area = (b.0 - a.0) * (c.1 - a.1) - (b.1 - a.1) * (c.0 - a.0);
+        if area.abs() < 1e-9 {
+            return;
+        }
+        let inv_area = 1.0 / area;
+        for y in min_y..=max_y {
+            for x in min_x..=max_x {
+                let px = x as f32 + 0.5;
+                let py = y as f32 + 0.5;
+                let w0 = ((b.0 - a.0) * (py - a.1) - (b.1 - a.1) * (px - a.0)) * inv_area;
+                let w1 = ((c.0 - b.0) * (py - b.1) - (c.1 - b.1) * (px - b.0)) * inv_area;
+                let w2 = 1.0 - w0 - w1;
+                // inside test tolerant of either winding
+                let inside = (w0 >= 0.0 && w1 >= 0.0 && w2 >= 0.0)
+                    || (w0 <= 0.0 && w1 <= 0.0 && w2 <= 0.0);
+                if inside {
+                    // screen-space barycentric z with weights normalized to
+                    // tolerate either winding: w2→a, w0→b, w1→c
+                    let wsum = w0.abs() + w1.abs() + w2.abs();
+                    if wsum <= 0.0 {
+                        continue;
+                    }
+                    let z = (w2.abs() * a.2 + w0.abs() * b.2 + w1.abs() * c.2) / wsum;
+                    self.put(x, y, z, rgba);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cam() -> Camera {
+        Camera::look_at(Vec3::new(0.5, 0.5, -4.0), Vec3::new(0.5, 0.5, 0.5))
+    }
+
+    fn nonblack_pixels(fb: &Framebuffer) -> usize {
+        fb.bytes()
+            .chunks_exact(4)
+            .filter(|p| p[0] != 0 || p[1] != 0 || p[2] != 0)
+            .count()
+    }
+
+    #[test]
+    fn cube_renders_some_pixels() {
+        let mut r = Rasterizer::new(128, 128);
+        r.clear([0, 0, 0, 255]);
+        r.draw_mesh(&cam(), &TriMesh::unit_cube(), [200, 100, 50, 255]);
+        assert!(r.tris_drawn > 0);
+        assert!(nonblack_pixels(r.framebuffer()) > 500);
+    }
+
+    #[test]
+    fn nearer_geometry_occludes() {
+        let mut r = Rasterizer::new(64, 64);
+        r.clear([0, 0, 0, 255]);
+        let c = Camera::look_at(Vec3::new(0.0, 0.0, -5.0), Vec3::ZERO);
+        // far red point then near green point at same screen location
+        r.draw_point(&c, Vec3::new(0.0, 0.0, 1.0), 3, [255, 0, 0, 255]);
+        r.draw_point(&c, Vec3::new(0.0, 0.0, -1.0), 3, [0, 255, 0, 255]);
+        let center = r.framebuffer().get(32, 32);
+        assert_eq!(center, [0, 255, 0, 255]);
+    }
+
+    #[test]
+    fn far_geometry_does_not_overwrite_near() {
+        let mut r = Rasterizer::new(64, 64);
+        r.clear([0, 0, 0, 255]);
+        let c = Camera::look_at(Vec3::new(0.0, 0.0, -5.0), Vec3::ZERO);
+        r.draw_point(&c, Vec3::new(0.0, 0.0, -1.0), 3, [0, 255, 0, 255]);
+        r.draw_point(&c, Vec3::new(0.0, 0.0, 1.0), 3, [255, 0, 0, 255]);
+        assert_eq!(r.framebuffer().get(32, 32), [0, 255, 0, 255]);
+    }
+
+    #[test]
+    fn line_draws_continuous_pixels() {
+        let mut r = Rasterizer::new(64, 64);
+        r.clear([0, 0, 0, 255]);
+        let c = Camera::look_at(Vec3::new(0.0, 0.0, -5.0), Vec3::ZERO);
+        r.draw_line(
+            &c,
+            Vec3::new(-1.0, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            [255, 255, 255, 255],
+        );
+        assert!(nonblack_pixels(r.framebuffer()) > 10);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut r = Rasterizer::new(32, 32);
+        r.draw_mesh(&cam(), &TriMesh::unit_cube(), [255, 255, 255, 255]);
+        r.clear([0, 0, 0, 255]);
+        assert_eq!(nonblack_pixels(r.framebuffer()), 0);
+        assert_eq!(r.tris_drawn, 0);
+    }
+
+    #[test]
+    fn behind_camera_mesh_is_skipped() {
+        let mut r = Rasterizer::new(32, 32);
+        r.clear([0, 0, 0, 255]);
+        let c = Camera::look_at(Vec3::new(0.0, 0.0, 5.0), Vec3::new(0.0, 0.0, 10.0));
+        // cube at origin is behind this camera
+        r.draw_mesh(&c, &TriMesh::unit_cube(), [255, 0, 0, 255]);
+        assert_eq!(nonblack_pixels(r.framebuffer()), 0);
+    }
+}

@@ -1,0 +1,267 @@
+//! VizServer-style shared remote-rendering sessions.
+//!
+//! §2.4: "VizServer allows the output of the graphics pipes from an Onyx
+//! visual supercomputer to be accessed remotely … which allows multiple
+//! users to share the same login session on a remote machine", with only
+//! compressed bitmaps crossing the network. [`VizServerSession`] models
+//! exactly that: one render host, N attached viewers, per-viewer codec
+//! state, shared control of the camera ("Participating sites able to run
+//! OpenGL VizServer will be able to share control of the visualization").
+
+use crate::camera::Camera;
+use crate::codec::{DeltaRleCodec, EncodedFrame};
+use crate::framebuffer::Framebuffer;
+use crate::mesh::TriMesh;
+use crate::raster::Rasterizer;
+use crate::Vec3;
+use std::collections::HashMap;
+
+/// Identifies an attached viewer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ViewerId(pub u32);
+
+/// Per-session traffic statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SessionStats {
+    /// Frames rendered.
+    pub frames: u64,
+    /// Total bytes that would cross the network (sum over viewers).
+    pub bytes_shipped: u64,
+    /// Total uncompressed bytes those frames represent.
+    pub bytes_raw: u64,
+    /// Camera-control messages received.
+    pub control_msgs: u64,
+}
+
+/// A shared remote-render session.
+pub struct VizServerSession {
+    width: usize,
+    height: usize,
+    camera: Camera,
+    /// Which viewer currently holds camera control (VizServer collaborative
+    /// mode shares one login session; one participant drives at a time).
+    controller: Option<ViewerId>,
+    viewers: HashMap<ViewerId, DeltaRleCodec>,
+    next_id: u32,
+    stats: SessionStats,
+}
+
+impl VizServerSession {
+    /// Open a session rendering at the given resolution.
+    pub fn new(width: usize, height: usize, camera: Camera) -> Self {
+        VizServerSession {
+            width,
+            height,
+            camera,
+            controller: None,
+            viewers: HashMap::new(),
+            next_id: 0,
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// Attach a viewer; the first viewer gets camera control.
+    pub fn attach(&mut self) -> ViewerId {
+        let id = ViewerId(self.next_id);
+        self.next_id += 1;
+        self.viewers.insert(id, DeltaRleCodec::new());
+        if self.controller.is_none() {
+            self.controller = Some(id);
+        }
+        id
+    }
+
+    /// Detach a viewer; control passes to the lowest remaining id.
+    pub fn detach(&mut self, id: ViewerId) {
+        self.viewers.remove(&id);
+        if self.controller == Some(id) {
+            self.controller = self.viewers.keys().min().copied();
+        }
+    }
+
+    /// Number of attached viewers.
+    pub fn viewer_count(&self) -> usize {
+        self.viewers.len()
+    }
+
+    /// Current camera controller.
+    pub fn controller(&self) -> Option<ViewerId> {
+        self.controller
+    }
+
+    /// Hand camera control to another attached viewer.
+    pub fn pass_control(&mut self, to: ViewerId) -> bool {
+        if self.viewers.contains_key(&to) {
+            self.controller = Some(to);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// A viewer requests a camera change; only the controller may steer.
+    /// Returns `true` if applied.
+    pub fn control(&mut self, from: ViewerId, camera: Camera) -> bool {
+        self.stats.control_msgs += 1;
+        if self.controller == Some(from) {
+            self.camera = camera;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Orbit request from a viewer (convenience wrapper over [`control`]).
+    ///
+    /// [`control`]: VizServerSession::control
+    pub fn orbit(&mut self, from: ViewerId, yaw: f32) -> bool {
+        let mut cam = self.camera;
+        cam.orbit(yaw);
+        self.control(from, cam)
+    }
+
+    /// Current camera.
+    pub fn camera(&self) -> Camera {
+        self.camera
+    }
+
+    /// Render `meshes` server-side and encode one frame per viewer.
+    /// Every viewer sees the *same* image (the shared-session semantics);
+    /// each has independent codec state (late joiners get keyframes).
+    /// Returns the per-viewer encoded frames, sorted by viewer id.
+    pub fn render_and_ship(&mut self, meshes: &[(&TriMesh, [u8; 4])]) -> Vec<(ViewerId, EncodedFrame)> {
+        let mut r = Rasterizer::new(self.width, self.height);
+        r.clear([10, 10, 30, 255]);
+        for (mesh, color) in meshes {
+            r.draw_mesh(&self.camera, mesh, *color);
+        }
+        let fb = r.into_framebuffer();
+        self.ship_frame(&fb)
+    }
+
+    /// Encode an externally-rendered framebuffer for every viewer.
+    pub fn ship_frame(&mut self, fb: &Framebuffer) -> Vec<(ViewerId, EncodedFrame)> {
+        self.stats.frames += 1;
+        let mut out: Vec<(ViewerId, EncodedFrame)> = self
+            .viewers
+            .iter_mut()
+            .map(|(&id, codec)| {
+                let f = codec.encode(fb);
+                (id, f)
+            })
+            .collect();
+        out.sort_by_key(|(id, _)| *id);
+        for (_, f) in &out {
+            self.stats.bytes_shipped += f.wire_size() as u64;
+            self.stats.bytes_raw += f.raw_size as u64;
+        }
+        out
+    }
+
+    /// Traffic statistics so far.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Frame resolution.
+    pub fn resolution(&self) -> (usize, usize) {
+        (self.width, self.height)
+    }
+}
+
+/// Default demo camera looking at the unit cube.
+pub fn demo_camera() -> Camera {
+    Camera::look_at(Vec3::new(2.5, 2.0, -3.0), Vec3::new(0.5, 0.5, 0.5))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_viewer_controls() {
+        let mut s = VizServerSession::new(32, 32, demo_camera());
+        let a = s.attach();
+        let b = s.attach();
+        assert_eq!(s.controller(), Some(a));
+        assert!(s.orbit(a, 0.1));
+        assert!(!s.orbit(b, 0.1), "non-controller must be refused");
+    }
+
+    #[test]
+    fn control_passes_on_detach() {
+        let mut s = VizServerSession::new(32, 32, demo_camera());
+        let a = s.attach();
+        let b = s.attach();
+        s.detach(a);
+        assert_eq!(s.controller(), Some(b));
+        s.detach(b);
+        assert_eq!(s.controller(), None);
+    }
+
+    #[test]
+    fn pass_control_only_to_attached() {
+        let mut s = VizServerSession::new(32, 32, demo_camera());
+        let a = s.attach();
+        let b = s.attach();
+        assert!(s.pass_control(b));
+        assert_eq!(s.controller(), Some(b));
+        s.detach(a);
+        assert!(!s.pass_control(a));
+    }
+
+    #[test]
+    fn all_viewers_receive_identical_images() {
+        let mut s = VizServerSession::new(48, 48, demo_camera());
+        let a = s.attach();
+        let b = s.attach();
+        let cube = TriMesh::unit_cube();
+        let frames = s.render_and_ship(&[(&cube, [200, 50, 50, 255])]);
+        assert_eq!(frames.len(), 2);
+        let mut dec_a = DeltaRleCodec::new();
+        let mut dec_b = DeltaRleCodec::new();
+        let fa = &frames.iter().find(|(id, _)| *id == a).unwrap().1;
+        let fb_ = &frames.iter().find(|(id, _)| *id == b).unwrap().1;
+        let img_a = dec_a.decode(fa, 48, 48).unwrap();
+        let img_b = dec_b.decode(fb_, 48, 48).unwrap();
+        assert_eq!(img_a, img_b);
+    }
+
+    #[test]
+    fn late_joiner_gets_keyframe() {
+        let mut s = VizServerSession::new(32, 32, demo_camera());
+        let _a = s.attach();
+        let cube = TriMesh::unit_cube();
+        let _ = s.render_and_ship(&[(&cube, [255; 4])]);
+        let _ = s.render_and_ship(&[(&cube, [255; 4])]);
+        let b = s.attach();
+        let frames = s.render_and_ship(&[(&cube, [255; 4])]);
+        let fb_frame = &frames.iter().find(|(id, _)| *id == b).unwrap().1;
+        assert!(fb_frame.keyframe, "late joiner's first frame must be a keyframe");
+    }
+
+    #[test]
+    fn static_scene_traffic_collapses_after_first_frame() {
+        let mut s = VizServerSession::new(64, 64, demo_camera());
+        let _a = s.attach();
+        let cube = TriMesh::unit_cube();
+        let first = s.render_and_ship(&[(&cube, [200, 50, 50, 255])]);
+        let second = s.render_and_ship(&[(&cube, [200, 50, 50, 255])]);
+        assert!(second[0].1.wire_size() < first[0].1.wire_size() / 10);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = VizServerSession::new(16, 16, demo_camera());
+        let a = s.attach();
+        let _ = s.attach();
+        let cube = TriMesh::unit_cube();
+        let _ = s.render_and_ship(&[(&cube, [255; 4])]);
+        s.orbit(a, 0.3);
+        let st = s.stats();
+        assert_eq!(st.frames, 1);
+        assert_eq!(st.control_msgs, 1);
+        assert_eq!(st.bytes_raw, 2 * 16 * 16 * 4);
+        assert!(st.bytes_shipped > 0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # gridsteer — Application Steering in a Collaborative Environment
+//!
+//! Umbrella crate for the SC2003 reproduction: re-exports every subsystem
+//! so examples and downstream users can depend on one crate.
+//!
+//! Start with [`steer_core`] for the collaborative steering sessions, or
+//! see the runnable examples:
+//!
+//! * `examples/quickstart.rs` — one simulation, one steering server, two
+//!   clients, live miscibility steering over TCP.
+//! * `examples/lbm_steering.rs` — the full RealityGrid Figure-1 pipeline:
+//!   compute site → isosurface site → thin client, with a steering moment.
+//! * `examples/pepc_collab.rs` — PEPC steered through VISIT with a vbroker
+//!   fan-out to collaborative viewers.
+//! * `examples/building_airflow.rs` — the HLRS demo (§4.7): a COVISE
+//!   module network over a building-climate field, param-synced across
+//!   sites.
+
+pub use accessgrid;
+pub use covise;
+pub use lbm;
+pub use netsim;
+pub use ogsa;
+pub use pepc;
+pub use steer_core;
+pub use unicore;
+pub use visit;
+pub use viz;
