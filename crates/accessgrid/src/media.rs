@@ -210,7 +210,11 @@ mod tests {
         }
         // frame 0 is a keyframe (RGBA alternation defeats byte-RLE, ≈1:1);
         // the 9 all-zero deltas compress ~500:1, so overall ratio ≈ 10
-        assert!(vic.compression_ratio() > 5.0, "ratio {}", vic.compression_ratio());
+        assert!(
+            vic.compression_ratio() > 5.0,
+            "ratio {}",
+            vic.compression_ratio()
+        );
         assert_eq!(vic.stats().units_sent, 10);
     }
 

@@ -270,7 +270,10 @@ mod tests {
         let v = vs.venue_mut("room").unwrap();
         v.register_app("covise", "pipeline=building_airflow");
         assert!(v.join_app("covise", steerer));
-        assert!(!v.join_app("covise", observer), "observers cannot join apps");
+        assert!(
+            !v.join_app("covise", observer),
+            "observers cannot join apps"
+        );
         assert!(!v.join_app("nonexistent", steerer));
         assert_eq!(v.app("covise").unwrap().members.len(), 1);
     }

@@ -12,12 +12,19 @@ fn bench_lbm_step(c: &mut Criterion) {
     let mut g = c.benchmark_group("lbm");
     g.measurement_time(Duration::from_secs(3)).sample_size(10);
     for n in [16usize, 32] {
-        let mut sim = TwoFluidLbm::new(LbmConfig { nx: n, ny: n, nz: n, ..Default::default() });
+        let mut sim = TwoFluidLbm::new(LbmConfig {
+            nx: n,
+            ny: n,
+            nz: n,
+            ..Default::default()
+        });
         sim.set_miscibility(0.2);
-        g.bench_function(format!("step_{n}cubed"), |b| b.iter(|| {
-            sim.step();
-            black_box(sim.steps())
-        }));
+        g.bench_function(format!("step_{n}cubed"), |b| {
+            b.iter(|| {
+                sim.step();
+                black_box(sim.steps())
+            })
+        });
     }
     g.finish();
 }
@@ -29,17 +36,27 @@ fn bench_pepc_forces(c: &mut Criterion) {
     g.measurement_time(Duration::from_secs(3)).sample_size(10);
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
     let particles: Vec<Particle> = (0..2000)
-        .map(|i| Particle::at(
-            [rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)],
-            if i % 2 == 0 { 0.1 } else { -0.1 },
-            i,
-        ))
+        .map(|i| {
+            Particle::at(
+                [
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                ],
+                if i % 2 == 0 { 0.1 } else { -0.1 },
+                i,
+            )
+        })
         .collect();
-    g.bench_function("tree_build_and_forces_2k", |b| b.iter(|| {
-        let tree = Octree::build(&particles, TreeConfig::default());
-        black_box(tree.forces(&particles))
-    }));
-    g.bench_function("direct_forces_2k", |b| b.iter(|| black_box(direct_forces(&particles, 0.05))));
+    g.bench_function("tree_build_and_forces_2k", |b| {
+        b.iter(|| {
+            let tree = Octree::build(&particles, TreeConfig::default());
+            black_box(tree.forces(&particles))
+        })
+    });
+    g.bench_function("direct_forces_2k", |b| {
+        b.iter(|| black_box(direct_forces(&particles, 0.05)))
+    });
     g.finish();
 }
 
@@ -52,7 +69,9 @@ fn bench_isosurface(c: &mut Criterion) {
     let field = Field3::from_fn(n, n, n, |x, y, z| {
         10.0 - ((x as f32 - cm).powi(2) + (y as f32 - cm).powi(2) + (z as f32 - cm).powi(2)).sqrt()
     });
-    g.bench_function("isosurface_32cubed", |b| b.iter(|| black_box(mc::isosurface(&field, 0.0))));
+    g.bench_function("isosurface_32cubed", |b| {
+        b.iter(|| black_box(mc::isosurface(&field, 0.0)))
+    });
     g.finish();
 }
 
@@ -83,15 +102,17 @@ fn bench_visit_framing(c: &mut Criterion) {
     let mut g = c.benchmark_group("visit");
     g.measurement_time(Duration::from_secs(3)).sample_size(20);
     let payload: Vec<f32> = (0..65536).map(|i| i as f32).collect();
-    g.bench_function("frame_encode_decode_256k", |b| b.iter(|| {
-        let f = Frame::with_value(
-            MsgKind::Data,
-            1,
-            Endianness::Little,
-            VisitValue::F32(payload.clone()),
-        );
-        black_box(Frame::decode(&f.encode()).unwrap())
-    }));
+    g.bench_function("frame_encode_decode_256k", |b| {
+        b.iter(|| {
+            let f = Frame::with_value(
+                MsgKind::Data,
+                1,
+                Endianness::Little,
+                VisitValue::F32(payload.clone()),
+            );
+            black_box(Frame::decode(&f.encode()).unwrap())
+        })
+    });
     g.finish();
 }
 
@@ -106,12 +127,14 @@ fn bench_rasterizer(c: &mut Criterion) {
     });
     let mesh = mc::isosurface_smooth(&field, 0.0);
     let cam = Camera::look_at(Vec3::new(30.0, 30.0, -28.0), Vec3::new(cm, cm, cm));
-    g.bench_function("draw_mesh_512", |b| b.iter(|| {
-        let mut r = Rasterizer::new(512, 512);
-        r.clear([0, 0, 0, 255]);
-        r.draw_mesh(&cam, &mesh, [200, 90, 60, 255]);
-        black_box(r.tris_drawn)
-    }));
+    g.bench_function("draw_mesh_512", |b| {
+        b.iter(|| {
+            let mut r = Rasterizer::new(512, 512);
+            r.clear([0, 0, 0, 255]);
+            r.draw_mesh(&cam, &mesh, [200, 90, 60, 255]);
+            black_box(r.tris_drawn)
+        })
+    });
     g.finish();
 }
 

@@ -1,4 +1,6 @@
 //! Run every experiment in index order (regenerates EXPERIMENTS.md data).
-fn main() {
-    gridsteer_bench::run_all();
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    gridsteer_bench::cli::run_all()
 }

@@ -1,4 +1,6 @@
 //! Experiment binary — see DESIGN.md §4 and EXPERIMENTS.md.
-fn main() {
-    gridsteer_bench::exp_e42_render_loop();
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    gridsteer_bench::cli::run(gridsteer_bench::exp_e42_render_loop)
 }

@@ -1,0 +1,41 @@
+//! Entry-point plumbing shared by the `exp_*` binaries.
+//!
+//! Each binary dispatches into one experiment in [`crate::experiments`] and
+//! exits nonzero if the experiment produced no rows — so a wired-but-dead
+//! experiment fails loudly in CI instead of printing nothing and exiting 0.
+
+use crate::experiments::ExpResult;
+use std::process::ExitCode;
+
+/// Run one experiment and summarize it.
+pub fn run(f: fn() -> ExpResult) -> ExitCode {
+    let result = f();
+    eprintln!("[{}] {} rows", result.id, result.rows.len());
+    if result.rows.is_empty() {
+        eprintln!("[{}] FAILED: experiment emitted no data", result.id);
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Run every experiment in index order and summarize the batch.
+pub fn run_all() -> ExitCode {
+    let results = crate::experiments::run_all();
+    let total: usize = results.iter().map(|r| r.rows.len()).sum();
+    let empty: Vec<&str> = results
+        .iter()
+        .filter(|r| r.rows.is_empty())
+        .map(|r| r.id)
+        .collect();
+    eprintln!("[all] {} experiments, {} rows", results.len(), total);
+    if empty.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "[all] FAILED: experiments with no data: {}",
+            empty.join(", ")
+        );
+        ExitCode::FAILURE
+    }
+}

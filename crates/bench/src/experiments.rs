@@ -1,6 +1,8 @@
 //! Experiment implementations (see DESIGN.md §4 for the index).
 
-use covise::{CollabSession, Controller, CutPlane, IsoSurface, ModuleId, ReadField, Renderer, SyncMode};
+use covise::{
+    CollabSession, Controller, CutPlane, IsoSurface, ModuleId, ReadField, Renderer, SyncMode,
+};
 use lbm::{LbmConfig, TwoFluidLbm};
 use netsim::{Link, NetModel, SimTime};
 use ogsa::{HostingEnv, Registry, SdeValue, SteeringService, VisControl, VisService};
@@ -30,7 +32,10 @@ fn emit(id: &'static str, header: &str, rows: Vec<String>) -> ExpResult {
     ExpResult { id, rows }
 }
 
-fn sphere_pipeline(field: viz::Field3, res: usize) -> (Controller, covise::RequestBroker, ModuleId, ModuleId) {
+fn sphere_pipeline(
+    field: viz::Field3,
+    res: usize,
+) -> (Controller, covise::RequestBroker, ModuleId, ModuleId) {
     let mut rb = covise::RequestBroker::new();
     let host = rb.add_host("local", covise::broker::HostArch::Little);
     let mut ctl = Controller::new();
@@ -48,7 +53,12 @@ pub fn exp_f1_realitygrid() -> ExpResult {
     let compute = ids["london"];
     let vis = ids["manchester"];
     let client = ids["sheffield"];
-    let mut sim = TwoFluidLbm::new(LbmConfig { nx: 24, ny: 24, nz: 24, ..Default::default() });
+    let mut sim = TwoFluidLbm::new(LbmConfig {
+        nx: 24,
+        ny: 24,
+        nz: 24,
+        ..Default::default()
+    });
     let mut codec = DeltaRleCodec::new();
     let mut rows = Vec::new();
     for round in 0..6 {
@@ -75,13 +85,23 @@ pub fn exp_f1_realitygrid() -> ExpResult {
         let t_frame = l2.nominal_arrival(SimTime::ZERO, frame.wire_size());
         rows.push(format!(
             "step {:3}: sample {} B -> vis in {}, {} tris, render {:?}, frame {} B -> laptop in {}",
-            sim.steps(), phi.byte_size(), t_sample, mesh.tri_count(), wall, frame.wire_size(), t_frame
+            sim.steps(),
+            phi.byte_size(),
+            t_sample,
+            mesh.tri_count(),
+            wall,
+            frame.wire_size(),
+            t_frame
         ));
     }
     // steering round trip client → compute
     let rtt = net.rtt(client, compute);
     rows.push(format!("steering round trip (sheffield <-> london): {rtt}"));
-    emit("F1", "RealityGrid pipeline: compute(london) -> vis(manchester) -> laptop(sheffield)", rows)
+    emit(
+        "F1",
+        "RealityGrid pipeline: compute(london) -> vis(manchester) -> laptop(sheffield)",
+        rows,
+    )
 }
 
 /// F2 — OGSA steering service: discover, bind, steer both services.
@@ -98,21 +118,59 @@ pub fn exp_f2_ogsa_service() -> ExpResult {
         )),
         Some(600),
     );
-    let viss = env.host("vis", Box::new(VisService::new(vis_state.clone())), Some(600));
-    for (h, t) in [(&steer, SteeringService::PORT_TYPE), (&viss, VisService::PORT_TYPE)] {
-        env.invoke(&reg, "publish", &[SdeValue::Str(h.clone()), SdeValue::Str(t.into()), SdeValue::Str("".into())]).unwrap();
+    let viss = env.host(
+        "vis",
+        Box::new(VisService::new(vis_state.clone())),
+        Some(600),
+    );
+    for (h, t) in [
+        (&steer, SteeringService::PORT_TYPE),
+        (&viss, VisService::PORT_TYPE),
+    ] {
+        env.invoke(
+            &reg,
+            "publish",
+            &[
+                SdeValue::Str(h.clone()),
+                SdeValue::Str(t.into()),
+                SdeValue::Str("".into()),
+            ],
+        )
+        .unwrap();
     }
     let mut rows = Vec::new();
     let t0 = Instant::now();
-    let found = env.invoke(&reg, "discover", &[SdeValue::Str(SteeringService::PORT_TYPE.into())]).unwrap();
+    let found = env
+        .invoke(
+            &reg,
+            "discover",
+            &[SdeValue::Str(SteeringService::PORT_TYPE.into())],
+        )
+        .unwrap();
     let handle = found.first().unwrap().as_list().unwrap()[0].clone();
-    rows.push(format!("discover: 1 steering service found in {:?}", t0.elapsed()));
+    rows.push(format!(
+        "discover: 1 steering service found in {:?}",
+        t0.elapsed()
+    ));
     let t0 = Instant::now();
     for k in 0..100 {
-        env.invoke(&handle, "setParam", &[SdeValue::Str("miscibility".into()), SdeValue::F64((k % 10) as f64 / 10.0)]).unwrap();
+        env.invoke(
+            &handle,
+            "setParam",
+            &[
+                SdeValue::Str("miscibility".into()),
+                SdeValue::F64((k % 10) as f64 / 10.0),
+            ],
+        )
+        .unwrap();
     }
-    rows.push(format!("100 setParam invocations: {:?} total ({:?}/op)", t0.elapsed(), t0.elapsed() / 100));
-    env.invoke(&viss, "setIsovalue", &[SdeValue::F64(0.25)]).unwrap();
+    rows.push(format!(
+        "100 setParam invocations: {:?} total ({:?}/op)",
+        t0.elapsed(),
+        t0.elapsed() / 100
+    ));
+    env.invoke(&viss, "setIsovalue", &[SdeValue::F64(0.25)])
+        .unwrap();
     rows.push(format!(
         "vis service steered: isovalue={}, sim steered: miscibility={}",
         vis_state.lock().isovalue,
@@ -120,8 +178,15 @@ pub fn exp_f2_ogsa_service() -> ExpResult {
     ));
     // soft state: unextended services die
     let dead = env.sweep(601);
-    rows.push(format!("soft-state sweep after 601 s reaped {} services", dead.len()));
-    emit("F2", "OGSA steering architecture: registry -> bind -> steer sim + vis", rows)
+    rows.push(format!(
+        "soft-state sweep after 601 s reaped {} services",
+        dead.len()
+    ));
+    emit(
+        "F2",
+        "OGSA steering architecture: registry -> bind -> steer sim + vis",
+        rows,
+    )
 }
 
 fn parking_lot_mutex<T>(v: T) -> parking_lot::Mutex<T> {
@@ -135,13 +200,17 @@ pub fn exp_f3_pepc_visit() -> ExpResult {
     let (sim_link, vis_link) = MemLink::pair();
     let pw = Password::Open;
     let server = std::thread::spawn(move || {
-        let mut s = visit::VisServer::accept(vis_link, &Password::Open, 0, Duration::from_secs(2)).unwrap();
+        let mut s =
+            visit::VisServer::accept(vis_link, &Password::Open, 0, Duration::from_secs(2)).unwrap();
         s.queue_param(TAG_BEAM, VisitValue::F64(vec![2.0, 0.0, 0.0, 1.0]));
         s.serve_until_idle(Duration::from_millis(60), 5);
         s.stats()
     });
     let mut client = SteeringClient::connect(sim_link, &pw, 0, Duration::from_secs(2)).unwrap();
-    let mut sim = PepcSim::new(PepcConfig { n_target: 800, ..PepcConfig::small() });
+    let mut sim = PepcSim::new(PepcConfig {
+        n_target: 800,
+        ..PepcConfig::small()
+    });
     sim.inject_beam(50, 0.5);
     let mut rows = Vec::new();
     for round in 0..6 {
@@ -161,7 +230,11 @@ pub fn exp_f3_pepc_visit() -> ExpResult {
         let c = sim.beam_centroid().unwrap();
         rows.push(format!(
             "step {:2}: snapshot {} B ({} particles, {} domains), beam centroid z = {:+.3}",
-            sim.step_count(), snap.byte_size(), snap.positions.len(), snap.domains.len(), c[2]
+            sim.step_count(),
+            snap.byte_size(),
+            snap.positions.len(),
+            snap.domains.len(),
+            c[2]
         ));
     }
     let st = client.stats();
@@ -172,7 +245,11 @@ pub fn exp_f3_pepc_visit() -> ExpResult {
         "sim-side: {} sends / {} requests, {:?} inside VISIT; vis-side received {} frames / {} B",
         st.sends, st.requests, st.time_in_calls, sst.data_frames, sst.bytes_received
     ));
-    emit("F3", "PEPC online visualization via VISIT (particles + domain boxes + live beam steer)", rows)
+    emit(
+        "F3",
+        "PEPC online visualization via VISIT (particles + domain boxes + live beam steer)",
+        rows,
+    )
 }
 
 /// F4 — AG/COVISE collaborative session: skew + consistency vs site count.
@@ -187,7 +264,13 @@ pub fn exp_f4_ag_covise() -> ExpResult {
             &refs,
             SyncMode::ParamSync,
             move |ctl, host| standard_pipeline(ctl, host, f.clone(), 64),
-            |i| if i % 3 == 2 { Link::transatlantic() } else { Link::gwin() },
+            |i| {
+                if i % 3 == 2 {
+                    Link::transatlantic()
+                } else {
+                    Link::gwin()
+                }
+            },
         );
         session.warm_up().unwrap();
         let r = session.change_param(ModuleId(1), "isovalue", 0.5).unwrap();
@@ -196,17 +279,27 @@ pub fn exp_f4_ag_covise() -> ExpResult {
             r.skew, r.bytes_sent, r.consistent
         ));
     }
-    emit("F4", "collaborative VR session: frame divergence vs participating sites (param-sync)", rows)
+    emit(
+        "F4",
+        "collaborative VR session: frame divergence vs participating sites (param-sync)",
+        rows,
+    )
 }
 
 fn demo_field(n: usize) -> viz::Field3 {
     let c = (n as f32 - 1.0) / 2.0;
     viz::Field3::from_fn(n, n, n, |x, y, z| {
-        (n as f32 / 3.0) - ((x as f32 - c).powi(2) + (y as f32 - c).powi(2) + (z as f32 - c).powi(2)).sqrt()
+        (n as f32 / 3.0)
+            - ((x as f32 - c).powi(2) + (y as f32 - c).powi(2) + (z as f32 - c).powi(2)).sqrt()
     })
 }
 
-fn standard_pipeline(ctl: &mut Controller, host: usize, field: viz::Field3, res: usize) -> ModuleId {
+fn standard_pipeline(
+    ctl: &mut Controller,
+    host: usize,
+    field: viz::Field3,
+    res: usize,
+) -> ModuleId {
     let read = ctl.add_module(host, Box::new(ReadField::new(field)));
     let iso = ctl.add_module(host, Box::new(IsoSurface::new()));
     let render = ctl.add_module(host, Box::new(Renderer::new(res)));
@@ -240,9 +333,17 @@ pub fn exp_e42_render_loop() -> ExpResult {
         1.0 / local_wall.as_secs_f64(),
         local_wall.as_secs_f64() < 0.1
     ));
-    for (name, lat_ms) in [("lan", 1u64), ("national", 5), ("continental", 18), ("transatlantic", 75)] {
+    for (name, lat_ms) in [
+        ("lan", 1u64),
+        ("national", 5),
+        ("continental", 18),
+        ("transatlantic", 75),
+    ] {
         let net_cost = SimTime::from_millis(2 * lat_ms)
-            + Link::builder().bandwidth_mbit(100).build().transfer_time(frame.wire_size());
+            + Link::builder()
+                .bandwidth_mbit(100)
+                .build()
+                .transfer_time(frame.wire_size());
         let total = net_cost.as_secs_f64() + local_wall.as_secs_f64() + encode_wall.as_secs_f64();
         let vr_ok = total < 0.1;
         let desktop_ok = total < 0.333;
@@ -259,7 +360,11 @@ pub fn exp_e42_render_loop() -> ExpResult {
         LoopBudget::VrRender.budget(),
         LoopBudget::DesktopRender.budget()
     ));
-    emit("E42", "rendering feedback loop: viewer moves -> scene redrawn", rows)
+    emit(
+        "E42",
+        "rendering feedback loop: viewer moves -> scene redrawn",
+        rows,
+    )
 }
 
 /// E43 — post-processing loop: cutting-plane change, local vs remote.
@@ -294,12 +399,21 @@ pub fn exp_e43_postproc_loop() -> ExpResult {
             local.as_secs_f64() * 1e3, frame.wire_size(), remote_ship
         ));
     }
-    emit("E43", "post-processing loop: cutting-plane parameter -> updated scene", rows)
+    emit(
+        "E43",
+        "post-processing loop: cutting-plane parameter -> updated scene",
+        rows,
+    )
 }
 
 /// E44 — simulation feedback loop: steer -> visible change, with budget.
 pub fn exp_e44_sim_loop() -> ExpResult {
-    let mut sim = TwoFluidLbm::new(LbmConfig { nx: 16, ny: 16, nz: 16, ..Default::default() });
+    let mut sim = TwoFluidLbm::new(LbmConfig {
+        nx: 16,
+        ny: 16,
+        nz: 16,
+        ..Default::default()
+    });
     sim.step_n(30); // mixed steady state
     let v0 = sim.demix_metric();
     let t0 = Instant::now();
@@ -321,7 +435,11 @@ pub fn exp_e44_sim_loop() -> ExpResult {
     rows.push(
         "with intermediate samples every few steps the perceived latency is one sample interval (§4.4 tolerance doubles)".into(),
     );
-    emit("E44", "simulation feedback loop: miscibility steer -> observable demixing", rows)
+    emit(
+        "E44",
+        "simulation feedback loop: miscibility steer -> observable demixing",
+        rows,
+    )
 }
 
 /// EV1 — VISIT's minimal-load guarantee under responsive/slow/dead servers.
@@ -332,19 +450,31 @@ pub fn exp_ev1_visit_overhead() -> ExpResult {
         let kind = server_kind.to_string();
         let server = std::thread::spawn(move || match kind.as_str() {
             "responsive" => {
-                let mut s = visit::VisServer::accept(vis_link, &Password::Open, 0, Duration::from_secs(2)).unwrap();
+                let mut s =
+                    visit::VisServer::accept(vis_link, &Password::Open, 0, Duration::from_secs(2))
+                        .unwrap();
                 s.serve_until_idle(Duration::from_millis(40), 8);
             }
             "dead-after-accept" => {
-                let mut s = visit::VisServer::accept(vis_link, &Password::Open, 0, Duration::from_secs(2)).unwrap();
+                let mut s =
+                    visit::VisServer::accept(vis_link, &Password::Open, 0, Duration::from_secs(2))
+                        .unwrap();
                 // accept then vanish: never dispatch again
                 let _ = s.link_mut();
                 std::thread::sleep(Duration::from_millis(300));
             }
             _ => unreachable!(),
         });
-        let mut client = SteeringClient::connect(sim_link, &Password::Open, 0, Duration::from_millis(20)).unwrap();
-        let mut sim = TwoFluidLbm::new(LbmConfig { nx: 10, ny: 10, nz: 10, threads: 2, ..Default::default() });
+        let mut client =
+            SteeringClient::connect(sim_link, &Password::Open, 0, Duration::from_millis(20))
+                .unwrap();
+        let mut sim = TwoFluidLbm::new(LbmConfig {
+            nx: 10,
+            ny: 10,
+            nz: 10,
+            threads: 2,
+            ..Default::default()
+        });
         let t0 = Instant::now();
         for _ in 0..10 {
             sim.step();
@@ -362,7 +492,13 @@ pub fn exp_ev1_visit_overhead() -> ExpResult {
     let mut rows = Vec::new();
     let (base, _) = {
         // baseline: no visualization attached at all
-        let mut sim = TwoFluidLbm::new(LbmConfig { nx: 10, ny: 10, nz: 10, threads: 2, ..Default::default() });
+        let mut sim = TwoFluidLbm::new(LbmConfig {
+            nx: 10,
+            ny: 10,
+            nz: 10,
+            threads: 2,
+            ..Default::default()
+        });
         let t0 = Instant::now();
         for _ in 0..10 {
             sim.step();
@@ -370,7 +506,9 @@ pub fn exp_ev1_visit_overhead() -> ExpResult {
         }
         (t0.elapsed(), Duration::ZERO)
     };
-    rows.push(format!("baseline (no steering attached): {base:?} for 10 steps"));
+    rows.push(format!(
+        "baseline (no steering attached): {base:?} for 10 steps"
+    ));
     for kind in ["responsive", "dead-after-accept"] {
         let (total, in_calls) = run(kind);
         rows.push(format!(
@@ -378,7 +516,11 @@ pub fn exp_ev1_visit_overhead() -> ExpResult {
             total < base + Duration::from_millis(10 * 20 + 150)
         ));
     }
-    emit("EV1", "VISIT design goal: a slow or dead visualization cannot stall the simulation", rows)
+    emit(
+        "EV1",
+        "VISIT design goal: a slow or dead visualization cannot stall the simulation",
+        rows,
+    )
 }
 
 /// EV2 — vbroker fan-out cost vs viewer count.
@@ -399,7 +541,9 @@ pub fn exp_ev2_vbroker() -> ExpResult {
         let t0 = Instant::now();
         for _ in 0..20 {
             sim_side.send(&encoded).unwrap();
-            broker.pump(Duration::from_millis(50), Duration::from_millis(10)).unwrap();
+            broker
+                .pump(Duration::from_millis(50), Duration::from_millis(10))
+                .unwrap();
         }
         let wall = t0.elapsed();
         let st = broker.stats();
@@ -408,7 +552,11 @@ pub fn exp_ev2_vbroker() -> ExpResult {
             st.bytes_in, st.bytes_out, st.bytes_out / st.bytes_in.max(1)
         ));
     }
-    emit("EV2", "vbroker multiplexer: broadcast cost scales with viewers; master alone steers", rows)
+    emit(
+        "EV2",
+        "vbroker multiplexer: broadcast cost scales with viewers; master alone steers",
+        rows,
+    )
 }
 
 /// EV3 — proxy polling emulation vs direct VISIT: steering latency vs
@@ -417,15 +565,22 @@ pub fn exp_ev3_proxy() -> ExpResult {
     // direct: one WAN hop; proxy: expected wait of poll/2 + gateway hop
     let hop = Link::gwin().latency;
     let mut rows = Vec::new();
-    rows.push(format!("direct VISIT connection: steering latency = {hop} (one G-WiN hop)"));
+    rows.push(format!(
+        "direct VISIT connection: steering latency = {hop} (one G-WiN hop)"
+    ));
     for poll_ms in [1u64, 5, 20, 100] {
-        let expected = SimTime::from_nanos(SimTime::from_millis(poll_ms).as_nanos() / 2) + hop + hop;
+        let expected =
+            SimTime::from_nanos(SimTime::from_millis(poll_ms).as_nanos() / 2) + hop + hop;
         rows.push(format!(
             "proxy pair, poll every {poll_ms:3} ms: expected steering latency = {expected} (poll/2 + 2 hops through the single-port gateway)"
         ));
     }
     rows.push("trade-off (paper §3.3): the polling plugin buys firewall traversal + UNICORE auth for one poll interval of latency".into());
-    emit("EV3", "VISIT-UNICORE proxy pair: polling emulation latency vs poll interval", rows)
+    emit(
+        "EV3",
+        "VISIT-UNICORE proxy pair: polling emulation latency vs poll interval",
+        rows,
+    )
 }
 
 /// EP1 — PEPC O(N log N) vs direct O(N²).
@@ -438,7 +593,11 @@ pub fn exp_ep1_pepc_scaling() -> ExpResult {
         let particles: Vec<pepc::Particle> = (0..n)
             .map(|i| {
                 pepc::Particle::at(
-                    [rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)],
+                    [
+                        rng.gen_range(-1.0..1.0),
+                        rng.gen_range(-1.0..1.0),
+                        rng.gen_range(-1.0..1.0),
+                    ],
                     if i % 2 == 0 { 0.1 } else { -0.1 },
                     i as u32,
                 )
@@ -451,7 +610,11 @@ pub fn exp_ep1_pepc_scaling() -> ExpResult {
         let t0 = Instant::now();
         let _df = direct_forces(&particles, 0.05);
         let direct_time = t0.elapsed();
-        let winner = if tree_time < direct_time { "tree" } else { "direct" };
+        let winner = if tree_time < direct_time {
+            "tree"
+        } else {
+            "direct"
+        };
         if winner == "tree" {
             crossover_seen = true;
         }
@@ -463,7 +626,11 @@ pub fn exp_ep1_pepc_scaling() -> ExpResult {
         ));
     }
     rows.push(format!("tree wins beyond the crossover: {crossover_seen}"));
-    emit("EP1", "PEPC hierarchical tree O(N log N) vs direct O(N^2) force summation", rows)
+    emit(
+        "EP1",
+        "PEPC hierarchical tree O(N log N) vs direct O(N^2) force summation",
+        rows,
+    )
 }
 
 /// EC1 — collaboration traffic: geometry vs pixels vs parameters.
@@ -488,7 +655,11 @@ pub fn exp_ec1_collab_traffic() -> ExpResult {
         ));
     }
     rows.push("shape check: geometry grows with scene; pixels ~constant per resolution; params constant (the §4.6 claim)".into());
-    emit("EC1", "collaboration traffic per update over a 45 Mbit transatlantic link", rows)
+    emit(
+        "EC1",
+        "collaboration traffic per update over a 45 Mbit transatlantic link",
+        rows,
+    )
 }
 
 /// EU1 — UNICORE single-port gateway under concurrent clients.
@@ -512,7 +683,10 @@ pub fn exp_eu1_unicore() -> ExpResult {
                     for j in 0..10 {
                         let mut ajo = Ajo::new(&format!("job-{c}-{j}"), "csar");
                         let w = ajo.add_task(
-                            Task::Execute { command: "write".into(), args: vec!["out".into(), "x".into()] },
+                            Task::Execute {
+                                command: "write".into(),
+                                args: vec!["out".into(), "x".into()],
+                            },
                             &[],
                         );
                         ajo.add_task(Task::StageOut { path: "out".into() }, &[w]);
@@ -534,7 +708,11 @@ pub fn exp_eu1_unicore() -> ExpResult {
             (clients as f64 * 30.0) / wall.as_secs_f64()
         ));
     }
-    emit("EU1", "UNICORE job path through one authenticated gateway port", rows)
+    emit(
+        "EU1",
+        "UNICORE job path through one authenticated gateway port",
+        rows,
+    )
 }
 
 /// EM1 — mid-session migration: frame gap vs §4.4 budget.
@@ -542,7 +720,11 @@ pub fn exp_em1_migration() -> ExpResult {
     let (net, ids) = NetModel::sc2003();
     let migrator = Migrator::new(&net);
     let mut rows = Vec::new();
-    for (from, to) in [("london", "manchester"), ("manchester", "juelich"), ("juelich", "phoenix")] {
+    for (from, to) in [
+        ("london", "manchester"),
+        ("manchester", "juelich"),
+        ("juelich", "phoenix"),
+    ] {
         let sim = TwoFluidLbm::new(LbmConfig::default()); // 32^3
         let (_, report) = migrator.migrate(sim, ids[from], ids[to]);
         rows.push(format!(
@@ -553,7 +735,11 @@ pub fn exp_em1_migration() -> ExpResult {
         ));
     }
     rows.push("clients keep their connections; only the sample stream pauses for the gap".into());
-    emit("EM1", "mid-session computation migration (the §2.4 capability)", rows)
+    emit(
+        "EM1",
+        "mid-session computation migration (the §2.4 capability)",
+        rows,
+    )
 }
 
 /// Run every experiment in index order.

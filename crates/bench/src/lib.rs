@@ -6,6 +6,7 @@
 //! with four figures and prose budgets rather than numeric tables; every
 //! figure and every quantitative claim has an `exp_*` binary here.
 
+pub mod cli;
 pub mod experiments;
 
 pub use experiments::*;

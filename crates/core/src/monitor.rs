@@ -164,7 +164,10 @@ mod tests {
     #[test]
     fn budgets_match_the_paper() {
         assert_eq!(LoopBudget::VrRender.budget(), SimTime::from_millis(100));
-        assert_eq!(LoopBudget::DesktopRender.budget(), SimTime::from_millis(333));
+        assert_eq!(
+            LoopBudget::DesktopRender.budget(),
+            SimTime::from_millis(333)
+        );
         assert_eq!(LoopBudget::PostProcessing.budget(), SimTime::from_secs(5));
         assert_eq!(LoopBudget::Simulation.budget(), SimTime::from_secs(60));
         assert!(LoopBudget::Simulation.max_skew().is_none());

@@ -143,10 +143,30 @@ impl PepcSteerAdapter {
     /// The registry specs matching this adapter.
     pub fn specs() -> Vec<ParamSpec> {
         vec![
-            ParamSpec { name: "beam_intensity".into(), min: 0.0, max: 100.0, initial: 0.0 },
-            ParamSpec { name: "beam_theta".into(), min: -std::f64::consts::PI, max: std::f64::consts::PI, initial: 0.0 },
-            ParamSpec { name: "laser_amplitude".into(), min: 0.0, max: 100.0, initial: 0.0 },
-            ParamSpec { name: "damping".into(), min: 0.0, max: 1.0, initial: 0.0 },
+            ParamSpec {
+                name: "beam_intensity".into(),
+                min: 0.0,
+                max: 100.0,
+                initial: 0.0,
+            },
+            ParamSpec {
+                name: "beam_theta".into(),
+                min: -std::f64::consts::PI,
+                max: std::f64::consts::PI,
+                initial: 0.0,
+            },
+            ParamSpec {
+                name: "laser_amplitude".into(),
+                min: 0.0,
+                max: 100.0,
+                initial: 0.0,
+            },
+            ParamSpec {
+                name: "damping".into(),
+                min: 0.0,
+                max: 1.0,
+                initial: 0.0,
+            },
         ]
     }
 }
@@ -202,7 +222,12 @@ mod tests {
     #[test]
     fn registry_declares_gets_sets() {
         let mut r = ParamRegistry::new();
-        r.declare(ParamSpec { name: "miscibility".into(), min: 0.0, max: 1.0, initial: 1.0 });
+        r.declare(ParamSpec {
+            name: "miscibility".into(),
+            min: 0.0,
+            max: 1.0,
+            initial: 1.0,
+        });
         assert_eq!(r.get("miscibility"), Some(1.0));
         r.set("miscibility", 0.25).unwrap();
         assert_eq!(r.get("miscibility"), Some(0.25));
@@ -213,7 +238,12 @@ mod tests {
     #[test]
     fn out_of_bounds_rejected_not_clamped() {
         let mut r = ParamRegistry::new();
-        r.declare(ParamSpec { name: "x".into(), min: 0.0, max: 1.0, initial: 0.5 });
+        r.declare(ParamSpec {
+            name: "x".into(),
+            min: 0.0,
+            max: 1.0,
+            initial: 0.5,
+        });
         assert!(r.set("x", 2.0).is_err());
         assert_eq!(r.get("x"), Some(0.5), "value must be untouched");
         assert_eq!(r.seq(), 0);
@@ -244,7 +274,8 @@ mod tests {
         a.set_param("beam_intensity", 2.0).unwrap();
         a.set_param("laser_amplitude", 1.5).unwrap();
         a.set_param("damping", 0.3).unwrap();
-        a.set_param("beam_theta", std::f64::consts::FRAC_PI_2).unwrap();
+        a.set_param("beam_theta", std::f64::consts::FRAC_PI_2)
+            .unwrap();
         assert_eq!(a.get_param("beam_intensity"), Some(2.0));
         assert_eq!(a.get_param("laser_amplitude"), Some(1.5));
         assert_eq!(a.get_param("damping"), Some(0.3));

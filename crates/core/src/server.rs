@@ -312,7 +312,12 @@ mod tests {
 
     fn server() -> CollabServer {
         let mut reg = ParamRegistry::new();
-        reg.declare(ParamSpec { name: "miscibility".into(), min: 0.0, max: 1.0, initial: 1.0 });
+        reg.declare(ParamSpec {
+            name: "miscibility".into(),
+            min: 0.0,
+            max: 1.0,
+            initial: 1.0,
+        });
         CollabServer::start(Arc::new(Mutex::new(SteeringSession::new(reg)))).unwrap()
     }
 
@@ -362,7 +367,7 @@ mod tests {
         let mut b = ClientHandle::connect(&addr, "second").unwrap();
         assert!(b.set("miscibility", 0.5).is_err());
         drop(a); // master walks away
-        // wait for the server to notice the disconnect
+                 // wait for the server to notice the disconnect
         let deadline = std::time::Instant::now() + Duration::from_secs(2);
         loop {
             if b.set("miscibility", 0.5).is_ok() {

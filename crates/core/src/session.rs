@@ -42,9 +42,17 @@ pub enum SessionEvent {
     /// The master token moved.
     MasterPassed { from: String, to: String },
     /// A steer was applied.
-    Steered { who: String, param: String, value: f64 },
+    Steered {
+        who: String,
+        param: String,
+        value: f64,
+    },
     /// A steer was refused (not master / bad value).
-    SteerRefused { who: String, param: String, reason: String },
+    SteerRefused {
+        who: String,
+        param: String,
+        reason: String,
+    },
     /// A sample was fanned out to all participants.
     SampleBroadcast { seq: u64, bytes: usize },
 }
@@ -103,7 +111,8 @@ impl SteeringSession {
             if let Some(next) = self.participants.first_mut() {
                 next.role = Role::Master;
                 let to = next.name.clone();
-                self.events.push(SessionEvent::MasterPassed { from: name, to });
+                self.events
+                    .push(SessionEvent::MasterPassed { from: name, to });
             }
         }
     }
@@ -130,7 +139,9 @@ impl SteeringSession {
 
     /// Index of the current master.
     pub fn master(&self) -> Option<usize> {
-        self.participants.iter().position(|p| p.role == Role::Master)
+        self.participants
+            .iter()
+            .position(|p| p.role == Role::Master)
     }
 
     /// Pass the master token. Only the current master may pass it, and
@@ -231,7 +242,12 @@ mod tests {
 
     fn session() -> SteeringSession {
         let mut reg = ParamRegistry::new();
-        reg.declare(ParamSpec { name: "miscibility".into(), min: 0.0, max: 1.0, initial: 1.0 });
+        reg.declare(ParamSpec {
+            name: "miscibility".into(),
+            min: 0.0,
+            max: 1.0,
+            initial: 1.0,
+        });
         SteeringSession::new(reg)
     }
 

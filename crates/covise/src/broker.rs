@@ -201,7 +201,10 @@ mod tests {
         rb.host_mut(a).sds.put(obj);
         let t_conv = rb.transfer(&name, a, b).unwrap();
         let t_same = rb.transfer(&name, a, c).unwrap();
-        assert!(t_conv > t_same, "conversion must cost time: {t_conv} vs {t_same}");
+        assert!(
+            t_conv > t_same,
+            "conversion must cost time: {t_conv} vs {t_same}"
+        );
         assert_eq!(rb.stats().conversions, 1);
     }
 

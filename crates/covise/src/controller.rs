@@ -198,12 +198,7 @@ impl Controller {
             let n_inputs = self.modules[id.0].module.inputs().len();
             let my_host = self.modules[id.0].host;
             let mut inputs: Vec<Option<Arc<DataObject>>> = vec![None; n_inputs];
-            let incoming: Vec<Wire> = self
-                .wires
-                .iter()
-                .filter(|w| w.to == id)
-                .cloned()
-                .collect();
+            let incoming: Vec<Wire> = self.wires.iter().filter(|w| w.to == id).cloned().collect();
             for w in &incoming {
                 let src = &self.modules[w.from.0];
                 let obj_name = src
@@ -342,8 +337,18 @@ mod tests {
         let a = ctl.add_module(h, Box::new(IsoSurface::new()));
         let b = ctl.add_module(h, Box::new(Renderer::new(32)));
         // nonsense wiring creating a cycle via port positions
-        ctl.wires.push(Wire { from: a, out_port: 0, to: b, in_port: 0 });
-        ctl.wires.push(Wire { from: b, out_port: 0, to: a, in_port: 0 });
+        ctl.wires.push(Wire {
+            from: a,
+            out_port: 0,
+            to: b,
+            in_port: 0,
+        });
+        ctl.wires.push(Wire {
+            from: b,
+            out_port: 0,
+            to: a,
+            in_port: 0,
+        });
         assert_eq!(ctl.execute(&mut rb).unwrap_err(), ExecError::Cycle);
     }
 

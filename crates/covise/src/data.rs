@@ -194,7 +194,11 @@ mod tests {
         assert_eq!(Payload::Scalar(0.0).byte_size(), 8);
         assert_eq!(Payload::Field(Field3::zeros(4, 4, 4)).byte_size(), 256);
         assert_eq!(
-            Payload::Slice { values: vec![0.0; 16], width: 4 }.byte_size(),
+            Payload::Slice {
+                values: vec![0.0; 16],
+                width: 4
+            }
+            .byte_size(),
             64
         );
         assert_eq!(
@@ -206,6 +210,9 @@ mod tests {
     #[test]
     fn with_attr_builder() {
         let o = DataObject::new("x", Payload::Scalar(0.0)).with_attr("producer", "CutPlane");
-        assert_eq!(o.attributes.get("producer").map(String::as_str), Some("CutPlane"));
+        assert_eq!(
+            o.attributes.get("producer").map(String::as_str),
+            Some("CutPlane")
+        );
     }
 }

@@ -200,8 +200,9 @@ impl Module for IsoSurface {
             return Err("IsoSurface needs a field input".into());
         };
         let mesh = mc::isosurface_smooth(f, self.params["isovalue"] as f32);
-        Ok(vec![DataObject::new("iso", Payload::Mesh(mesh))
-            .with_attr("producer", "IsoSurface")])
+        Ok(vec![
+            DataObject::new("iso", Payload::Mesh(mesh)).with_attr("producer", "IsoSurface")
+        ])
     }
 }
 
@@ -281,8 +282,7 @@ mod tests {
     fn sphere_field(n: usize, r: f32) -> Field3 {
         let c = (n as f32 - 1.0) / 2.0;
         Field3::from_fn(n, n, n, |x, y, z| {
-            r - (((x as f32 - c).powi(2) + (y as f32 - c).powi(2) + (z as f32 - c).powi(2)) as f32)
-                .sqrt()
+            r - ((x as f32 - c).powi(2) + (y as f32 - c).powi(2) + (z as f32 - c).powi(2)).sqrt()
         })
     }
 
@@ -330,10 +330,7 @@ mod tests {
     #[test]
     fn isosurface_produces_mesh_for_crossing_value() {
         let mut m = IsoSurface::new();
-        let input = Arc::new(DataObject::new(
-            "f",
-            Payload::Field(sphere_field(16, 5.0)),
-        ));
+        let input = Arc::new(DataObject::new("f", Payload::Field(sphere_field(16, 5.0))));
         let out = m.execute(std::slice::from_ref(&input)).unwrap();
         let Payload::Mesh(mesh) = &out[0].payload else {
             panic!("expected mesh");
@@ -361,10 +358,7 @@ mod tests {
     #[test]
     fn renderer_draws_nonempty_image() {
         let mut iso = IsoSurface::new();
-        let input = Arc::new(DataObject::new(
-            "f",
-            Payload::Field(sphere_field(16, 5.0)),
-        ));
+        let input = Arc::new(DataObject::new("f", Payload::Field(sphere_field(16, 5.0))));
         let mesh_obj = Arc::new(iso.execute(std::slice::from_ref(&input)).unwrap().remove(0));
         let mut r = Renderer::new(64);
         let out = r.execute(std::slice::from_ref(&mesh_obj)).unwrap();
@@ -382,10 +376,7 @@ mod tests {
     #[test]
     fn renderer_yaw_changes_image() {
         let mut iso = IsoSurface::new();
-        let input = Arc::new(DataObject::new(
-            "f",
-            Payload::Field(sphere_field(12, 4.0)),
-        ));
+        let input = Arc::new(DataObject::new("f", Payload::Field(sphere_field(12, 4.0))));
         let mesh_obj = Arc::new(iso.execute(std::slice::from_ref(&input)).unwrap().remove(0));
         let render = |yaw: f64| {
             let mut r = Renderer::new(48);
@@ -404,9 +395,15 @@ mod tests {
     #[test]
     fn modules_reject_wrong_inputs() {
         let scalar = Arc::new(DataObject::new("s", Payload::Scalar(1.0)));
-        assert!(CutPlane::new().execute(std::slice::from_ref(&scalar)).is_err());
-        assert!(IsoSurface::new().execute(std::slice::from_ref(&scalar)).is_err());
-        assert!(Renderer::new(32).execute(std::slice::from_ref(&scalar)).is_err());
+        assert!(CutPlane::new()
+            .execute(std::slice::from_ref(&scalar))
+            .is_err());
+        assert!(IsoSurface::new()
+            .execute(std::slice::from_ref(&scalar))
+            .is_err());
+        assert!(Renderer::new(32)
+            .execute(std::slice::from_ref(&scalar))
+            .is_err());
         assert!(CutPlane::new().execute(&[]).is_err());
     }
 }

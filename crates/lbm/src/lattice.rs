@@ -84,6 +84,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // tensor components read best indexed
     fn second_moment_is_isotropic() {
         // Σ w_i c_iα c_iβ = c_s² δ_αβ
         let mut m = [[0.0f64; 3]; 3];

@@ -73,7 +73,6 @@ impl LbmConfig {
     }
 }
 
-
 /// Copyable grid geometry shared by the parallel passes (avoids borrowing
 /// `self` inside scoped threads).
 #[derive(Debug, Clone, Copy)]
@@ -357,8 +356,10 @@ impl TwoFluidLbm {
             crossbeam::thread::scope(|s| {
                 for ((start, ca), (_, cb)) in chunks_a.into_iter().zip(chunks_b) {
                     s.spawn(move |_| {
-                        for (k, (slot_a, slot_b)) in
-                            ca.chunks_exact_mut(Q).zip(cb.chunks_exact_mut(Q)).enumerate()
+                        for (k, (slot_a, slot_b)) in ca
+                            .chunks_exact_mut(Q)
+                            .zip(cb.chunks_exact_mut(Q))
+                            .enumerate()
                         {
                             let node = start + k;
                             let z = node / (nx * ny);
@@ -515,8 +516,16 @@ mod tests {
         let (ma0, mb0) = sim.total_mass();
         sim.step_n(30);
         let (ma, mb) = sim.total_mass();
-        assert!(((ma - ma0) / ma0).abs() < 1e-10, "A mass drift {}", ma - ma0);
-        assert!(((mb - mb0) / mb0).abs() < 1e-10, "B mass drift {}", mb - mb0);
+        assert!(
+            ((ma - ma0) / ma0).abs() < 1e-10,
+            "A mass drift {}",
+            ma - ma0
+        );
+        assert!(
+            ((mb - mb0) / mb0).abs() < 1e-10,
+            "B mass drift {}",
+            mb - mb0
+        );
     }
 
     #[test]

@@ -187,7 +187,10 @@ mod tests {
 
     #[test]
     fn roundtrip_advances_clocks_by_rtt() {
-        let link = Link::builder().latency_ms(10).bandwidth_bps(u64::MAX).build();
+        let link = Link::builder()
+            .latency_ms(10)
+            .bandwidth_bps(u64::MAX)
+            .build();
         let (a, b) = SimChannel::sym(link);
         let mut ca = VClock::new();
         let mut cb = VClock::new();

@@ -240,7 +240,13 @@ mod tests {
 
     #[test]
     fn delivery_is_deterministic() {
-        let mk = || Link::builder().latency_ms(10).jitter(SimTime::from_millis(2)).seed(42).build();
+        let mk = || {
+            Link::builder()
+                .latency_ms(10)
+                .jitter(SimTime::from_millis(2))
+                .seed(42)
+                .build()
+        };
         let mut a = mk();
         let mut b = mk();
         for i in 0..100 {

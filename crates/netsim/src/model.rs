@@ -111,7 +111,14 @@ impl NetModel {
     /// transatlantic for anything ↔ Phoenix.
     pub fn sc2003() -> (NetModel, HashMap<String, SiteId>) {
         let mut m = NetModel::new();
-        let names = ["manchester", "london", "sheffield", "juelich", "stuttgart", "phoenix"];
+        let names = [
+            "manchester",
+            "london",
+            "sheffield",
+            "juelich",
+            "stuttgart",
+            "phoenix",
+        ];
         let ids: Vec<SiteId> = names.iter().map(|n| m.add_site(n)).collect();
         for (i, &a) in ids.iter().enumerate() {
             for &b in ids.iter().skip(i + 1) {
@@ -119,7 +126,9 @@ impl NetModel {
                 let bn = names[b.0];
                 let link = if an == "phoenix" || bn == "phoenix" {
                     Link::transatlantic()
-                } else if matches!(an, "juelich" | "stuttgart") != matches!(bn, "juelich" | "stuttgart") {
+                } else if matches!(an, "juelich" | "stuttgart")
+                    != matches!(bn, "juelich" | "stuttgart")
+                {
                     // UK ↔ continent: combine Janet + GEANT-ish hop
                     Link::builder().latency_ms(18).bandwidth_mbit(155).build()
                 } else if matches!(an, "juelich" | "stuttgart") {

@@ -142,11 +142,10 @@ impl MulticastGroup {
                 continue;
             }
             self.bytes_unicast += size as u64;
-            let arrival = bridge.uplink.deliver(departure, size).and_then(|at_bridge| {
-                bridge
-                    .downlink
-                    .deliver(at_bridge + bridge.relay_cost, size)
-            });
+            let arrival = bridge
+                .uplink
+                .deliver(departure, size)
+                .and_then(|at_bridge| bridge.downlink.deliver(at_bridge + bridge.relay_cost, size));
             out.push(Delivery {
                 to: site,
                 arrival,
@@ -212,7 +211,10 @@ mod tests {
 
     #[test]
     fn bridge_adds_hop_latency() {
-        let leg = Link::builder().latency_ms(10).bandwidth_bps(u64::MAX).build();
+        let leg = Link::builder()
+            .latency_ms(10)
+            .bandwidth_bps(u64::MAX)
+            .build();
         let mut g = MulticastGroup::new();
         g.join_native(SiteId(1), leg.clone());
         let mut b = Bridge::new(leg.clone(), leg.clone());
@@ -229,9 +231,21 @@ mod tests {
     #[test]
     fn skew_measures_arrival_spread() {
         let d = vec![
-            Delivery { to: SiteId(1), arrival: Some(SimTime::from_millis(5)), bridged: false },
-            Delivery { to: SiteId(2), arrival: Some(SimTime::from_millis(12)), bridged: false },
-            Delivery { to: SiteId(3), arrival: None, bridged: false },
+            Delivery {
+                to: SiteId(1),
+                arrival: Some(SimTime::from_millis(5)),
+                bridged: false,
+            },
+            Delivery {
+                to: SiteId(2),
+                arrival: Some(SimTime::from_millis(12)),
+                bridged: false,
+            },
+            Delivery {
+                to: SiteId(3),
+                arrival: None,
+                bridged: false,
+            },
         ];
         assert_eq!(MulticastGroup::skew(&d), SimTime::from_millis(7));
     }

@@ -56,7 +56,11 @@ impl HostingEnv {
 
     /// Create a service from a factory with an initial lifetime of
     /// `lifetime_secs` from now (`None` = immortal). Returns its handle.
-    pub fn create(&mut self, factory: &str, lifetime_secs: Option<u64>) -> Result<Gsh, HostingError> {
+    pub fn create(
+        &mut self,
+        factory: &str,
+        lifetime_secs: Option<u64>,
+    ) -> Result<Gsh, HostingError> {
         let f = self
             .factories
             .get(factory)
@@ -77,7 +81,12 @@ impl HostingEnv {
     /// Host an externally-constructed service instance directly (used for
     /// services closing over application state, e.g. steering services
     /// wrapping a live simulation).
-    pub fn host(&mut self, name: &str, service: Box<dyn GridService>, lifetime_secs: Option<u64>) -> Gsh {
+    pub fn host(
+        &mut self,
+        name: &str,
+        service: Box<dyn GridService>,
+        lifetime_secs: Option<u64>,
+    ) -> Gsh {
         let gsh = format!("gsh://{}/{}", name, self.next_id);
         self.next_id += 1;
         self.services.insert(
@@ -91,7 +100,12 @@ impl HostingEnv {
     }
 
     /// Invoke an operation on a hosted service.
-    pub fn invoke(&mut self, gsh: &str, op: &str, args: &[SdeValue]) -> Result<InvokeResult, HostingError> {
+    pub fn invoke(
+        &mut self,
+        gsh: &str,
+        op: &str,
+        args: &[SdeValue],
+    ) -> Result<InvokeResult, HostingError> {
         let h = self
             .services
             .get_mut(gsh)
@@ -124,10 +138,7 @@ impl HostingEnv {
             .services
             .get_mut(gsh)
             .ok_or_else(|| HostingError::UnknownHandle(gsh.to_string()))?;
-        h.termination_time = match h.termination_time {
-            None => None, // immortal stays immortal
-            Some(t) => Some(t.max(until)),
-        };
+        h.termination_time = h.termination_time.map(|t| t.max(until));
         Ok(())
     }
 
@@ -229,7 +240,10 @@ mod tests {
         let b = env.create("counter", None).unwrap();
         assert_ne!(a, b);
         env.invoke(&a, "increment", &[]).unwrap();
-        assert_eq!(env.service_data(&b).unwrap().get("count"), Some(&SdeValue::I64(0)));
+        assert_eq!(
+            env.service_data(&b).unwrap().get("count"),
+            Some(&SdeValue::I64(0))
+        );
     }
 
     #[test]
@@ -273,7 +287,10 @@ mod tests {
         let gsh = env.host("adhoc", Box::new(Counter { n: 41 }), None);
         let r = env.invoke(&gsh, "increment", &[]).unwrap();
         assert_eq!(r, InvokeResult::Ok(vec![SdeValue::I64(42)]));
-        assert_eq!(env.port_types(&gsh).unwrap(), vec!["test:counter".to_string()]);
+        assert_eq!(
+            env.port_types(&gsh).unwrap(),
+            vec!["test:counter".to_string()]
+        );
     }
 
     #[test]

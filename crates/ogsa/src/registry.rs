@@ -138,7 +138,11 @@ mod tests {
     fn publish_discover_unpublish() {
         let mut r = Registry::new();
         r.publish("gsh://steer/1", "reality-grid:steering", "LB sim steering");
-        r.publish("gsh://vis/1", "reality-grid:vis-steering", "isosurface control");
+        r.publish(
+            "gsh://vis/1",
+            "reality-grid:vis-steering",
+            "isosurface control",
+        );
         r.publish("gsh://steer/2", "reality-grid:steering", "PEPC steering");
         let found = r.discover("reality-grid:steering");
         assert_eq!(found.len(), 2);
@@ -178,7 +182,11 @@ mod tests {
         )
         .unwrap();
         let r = env
-            .invoke(&gsh, "discover", &[SdeValue::Str("reality-grid:steering".into())])
+            .invoke(
+                &gsh,
+                "discover",
+                &[SdeValue::Str("reality-grid:steering".into())],
+            )
             .unwrap();
         assert_eq!(
             r.first().unwrap().as_list().unwrap(),

@@ -271,10 +271,7 @@ mod tests {
         let sd = svc.service_data();
         assert_eq!(sd.get("application").unwrap().as_str(), Some("lbm"));
         assert_eq!(sd.get("param:miscibility").unwrap().as_f64(), Some(0.05));
-        assert_eq!(
-            sd.get("paramNames").unwrap().as_list().unwrap().len(),
-            2
-        );
+        assert_eq!(sd.get("paramNames").unwrap().as_list().unwrap().len(), 2);
     }
 
     #[test]
@@ -298,13 +295,21 @@ mod tests {
             env.invoke(
                 &reg_gsh,
                 "publish",
-                &[SdeValue::Str(h.clone()), SdeValue::Str(t.into()), SdeValue::Str("demo".into())],
+                &[
+                    SdeValue::Str(h.clone()),
+                    SdeValue::Str(t.into()),
+                    SdeValue::Str("demo".into()),
+                ],
             )
             .unwrap();
         }
         // client: discover steering services
         let found = env
-            .invoke(&reg_gsh, "discover", &[SdeValue::Str(SteeringService::PORT_TYPE.into())])
+            .invoke(
+                &reg_gsh,
+                "discover",
+                &[SdeValue::Str(SteeringService::PORT_TYPE.into())],
+            )
             .unwrap();
         let handle = found.first().unwrap().as_list().unwrap()[0].clone();
         assert_eq!(handle, steer_gsh);
@@ -318,10 +323,15 @@ mod tests {
         assert_eq!(sim.lock().get_param("miscibility"), Some(0.12));
         // steer the visualization too
         let found = env
-            .invoke(&reg_gsh, "discover", &[SdeValue::Str(VisService::PORT_TYPE.into())])
+            .invoke(
+                &reg_gsh,
+                "discover",
+                &[SdeValue::Str(VisService::PORT_TYPE.into())],
+            )
             .unwrap();
         let vh = found.first().unwrap().as_list().unwrap()[0].clone();
-        env.invoke(&vh, "setIsovalue", &[SdeValue::F64(0.3)]).unwrap();
+        env.invoke(&vh, "setIsovalue", &[SdeValue::F64(0.3)])
+            .unwrap();
         assert_eq!(vis.lock().isovalue, 0.3);
     }
 

@@ -80,7 +80,10 @@ pub fn bounding_cube(particles: &[Particle]) -> ([f64; 3], f64) {
             hi[a] = hi[a].max(p.pos[a]);
         }
     }
-    let extent = (hi[0] - lo[0]).max(hi[1] - lo[1]).max(hi[2] - lo[2]).max(1e-9);
+    let extent = (hi[0] - lo[0])
+        .max(hi[1] - lo[1])
+        .max(hi[2] - lo[2])
+        .max(1e-9);
     (lo, extent)
 }
 
@@ -199,7 +202,12 @@ mod tests {
         let mut p = cloud(1000, 3);
         let domains = decompose(&mut p, 8);
         for d in &domains {
-            assert!((124..=126).contains(&d.members.len()), "rank {} has {}", d.rank, d.members.len());
+            assert!(
+                (124..=126).contains(&d.members.len()),
+                "rank {} has {}",
+                d.rank,
+                d.members.len()
+            );
         }
     }
 
@@ -229,7 +237,10 @@ mod tests {
             .map(|(lo, hi)| (hi[0] - lo[0]) * (hi[1] - lo[1]) * (hi[2] - lo[2]))
             .sum::<f64>()
             / 8.0;
-        assert!(mean_vol < 8.0 * 0.6, "domains not compact: mean vol {mean_vol}");
+        assert!(
+            mean_vol < 8.0 * 0.6,
+            "domains not compact: mean vol {mean_vol}"
+        );
     }
 
     #[test]

@@ -12,6 +12,10 @@
 //! from the Barnes–Hut tree ([`crate::tree`]) plus the external beam/laser
 //! fields.
 
+// Component loops over `[f64; 3]` are written indexed (`for a in 0..3`);
+// that is the clearest spelling for coupled kinematics updates.
+#![allow(clippy::needless_range_loop)]
+
 use crate::morton::{decompose, Domain};
 use crate::tree::{Octree, TreeConfig};
 use crate::Particle;

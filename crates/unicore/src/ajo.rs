@@ -184,7 +184,13 @@ impl Ajo {
     /// Convenience: the standard steered-simulation job shape used by the
     /// demos — stage in a config, start a VISIT proxy, run the simulation,
     /// spool results.
-    pub fn steered_simulation(name: &str, vsite: &str, command: &str, args: &[&str], config: &[u8]) -> Ajo {
+    pub fn steered_simulation(
+        name: &str,
+        vsite: &str,
+        command: &str,
+        args: &[&str],
+        config: &[u8],
+    ) -> Ajo {
         let mut ajo = Ajo::new(name, vsite);
         let stage = ajo.add_task(
             Task::StageIn {
@@ -223,9 +229,18 @@ mod tests {
     #[test]
     fn linear_chain_orders_correctly() {
         let mut ajo = Ajo::new("j", "vsite");
-        let a = ajo.add_task(Task::StageIn { path: "f".into(), data: vec![] }, &[]);
+        let a = ajo.add_task(
+            Task::StageIn {
+                path: "f".into(),
+                data: vec![],
+            },
+            &[],
+        );
         let b = ajo.add_task(
-            Task::Execute { command: "sim".into(), args: vec![] },
+            Task::Execute {
+                command: "sim".into(),
+                args: vec![],
+            },
             &[a],
         );
         let c = ajo.add_task(Task::StageOut { path: "o".into() }, &[b]);
@@ -235,9 +250,27 @@ mod tests {
     #[test]
     fn diamond_orders_deterministically() {
         let mut ajo = Ajo::new("j", "v");
-        let root = ajo.add_task(Task::StageIn { path: "f".into(), data: vec![] }, &[]);
-        let l = ajo.add_task(Task::Execute { command: "a".into(), args: vec![] }, &[root]);
-        let r = ajo.add_task(Task::Execute { command: "b".into(), args: vec![] }, &[root]);
+        let root = ajo.add_task(
+            Task::StageIn {
+                path: "f".into(),
+                data: vec![],
+            },
+            &[],
+        );
+        let l = ajo.add_task(
+            Task::Execute {
+                command: "a".into(),
+                args: vec![],
+            },
+            &[root],
+        );
+        let r = ajo.add_task(
+            Task::Execute {
+                command: "b".into(),
+                args: vec![],
+            },
+            &[root],
+        );
         let sink = ajo.add_task(Task::StageOut { path: "o".into() }, &[l, r]);
         let order = ajo.topo_order().unwrap();
         assert_eq!(order, vec![root, l, r, sink]);
@@ -269,7 +302,10 @@ mod tests {
         });
         assert_eq!(
             ajo.topo_order(),
-            Err(AjoError::UnknownDependency { task: 0, missing: 9 })
+            Err(AjoError::UnknownDependency {
+                task: 0,
+                missing: 9
+            })
         );
     }
 
@@ -293,7 +329,13 @@ mod tests {
 
     #[test]
     fn serialization_roundtrip() {
-        let ajo = Ajo::steered_simulation("lbm-run", "manchester-csar", "lbm", &["--nx", "64"], b"misc=0.05");
+        let ajo = Ajo::steered_simulation(
+            "lbm-run",
+            "manchester-csar",
+            "lbm",
+            &["--nx", "64"],
+            b"misc=0.05",
+        );
         let back = Ajo::from_bytes(&ajo.to_bytes()).unwrap();
         assert_eq!(back, ajo);
     }

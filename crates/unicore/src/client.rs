@@ -56,7 +56,12 @@ impl UnicoreClient {
 
     /// Tick a Vsite's queue (synchronous target-system model).
     pub fn run_queued(&self, gw: &mut Gateway, vsite: &str) -> Result<usize, ClientError> {
-        match self.send(gw, GatewayMsg::RunQueued { vsite: vsite.into() }) {
+        match self.send(
+            gw,
+            GatewayMsg::RunQueued {
+                vsite: vsite.into(),
+            },
+        ) {
             GatewayReply::Ran(n) => Ok(n),
             GatewayReply::Denied(e) => Err(ClientError::Denied(e)),
             _ => Err(ClientError::Protocol),
@@ -64,8 +69,19 @@ impl UnicoreClient {
     }
 
     /// Poll a job's status.
-    pub fn status(&self, gw: &mut Gateway, vsite: &str, job: JobId) -> Result<JobStatus, ClientError> {
-        match self.send(gw, GatewayMsg::Status { vsite: vsite.into(), job: job.0 }) {
+    pub fn status(
+        &self,
+        gw: &mut Gateway,
+        vsite: &str,
+        job: JobId,
+    ) -> Result<JobStatus, ClientError> {
+        match self.send(
+            gw,
+            GatewayMsg::Status {
+                vsite: vsite.into(),
+                job: job.0,
+            },
+        ) {
             GatewayReply::Status(s) => Ok(s),
             GatewayReply::Denied(e) => Err(ClientError::Denied(e)),
             _ => Err(ClientError::Protocol),
@@ -73,8 +89,19 @@ impl UnicoreClient {
     }
 
     /// Fetch spooled outcome files.
-    pub fn fetch(&self, gw: &mut Gateway, vsite: &str, job: JobId) -> Result<Vec<(String, Vec<u8>)>, ClientError> {
-        match self.send(gw, GatewayMsg::Fetch { vsite: vsite.into(), job: job.0 }) {
+    pub fn fetch(
+        &self,
+        gw: &mut Gateway,
+        vsite: &str,
+        job: JobId,
+    ) -> Result<Vec<(String, Vec<u8>)>, ClientError> {
+        match self.send(
+            gw,
+            GatewayMsg::Fetch {
+                vsite: vsite.into(),
+                job: job.0,
+            },
+        ) {
             GatewayReply::Outcome(files) => Ok(files),
             GatewayReply::Denied(e) => Err(ClientError::Denied(e)),
             _ => Err(ClientError::Protocol),
@@ -83,10 +110,18 @@ impl UnicoreClient {
 
     /// Attach to a job's steering proxy, returning a plugin bound to the
     /// new session.
-    pub fn proxy_attach(&self, gw: &mut Gateway, vsite: &str, service: &str) -> Result<VisitProxyClient, ClientError> {
+    pub fn proxy_attach(
+        &self,
+        gw: &mut Gateway,
+        vsite: &str,
+        service: &str,
+    ) -> Result<VisitProxyClient, ClientError> {
         match self.send(
             gw,
-            GatewayMsg::ProxyAttach { vsite: vsite.into(), service: service.into() },
+            GatewayMsg::ProxyAttach {
+                vsite: vsite.into(),
+                service: service.into(),
+            },
         ) {
             GatewayReply::ProxySession(id) => Ok(VisitProxyClient::new(id)),
             GatewayReply::Denied(e) => Err(ClientError::Denied(e)),
@@ -138,7 +173,11 @@ impl UnicoreClient {
     ) -> Result<bool, ClientError> {
         match self.send(
             gw,
-            GatewayMsg::ProxyPassMaster { vsite: vsite.into(), service: service.into(), to },
+            GatewayMsg::ProxyPassMaster {
+                vsite: vsite.into(),
+                service: service.into(),
+                to,
+            },
         ) {
             GatewayReply::MasterPassed(ok) => Ok(ok),
             GatewayReply::Denied(e) => Err(ClientError::Denied(e)),
@@ -174,7 +213,12 @@ mod tests {
             },
             &[],
         );
-        ajo.add_task(Task::StageOut { path: "result.txt".into() }, &[w]);
+        ajo.add_task(
+            Task::StageOut {
+                path: "result.txt".into(),
+            },
+            &[w],
+        );
         ajo
     }
 
@@ -182,7 +226,10 @@ mod tests {
     fn submit_run_fetch_happy_path() {
         let (client, mut gw) = rig();
         let id = client.consign(&mut gw, job()).unwrap();
-        assert_eq!(client.status(&mut gw, "csar", id).unwrap(), JobStatus::Queued);
+        assert_eq!(
+            client.status(&mut gw, "csar", id).unwrap(),
+            JobStatus::Queued
+        );
         assert_eq!(client.run_queued(&mut gw, "csar").unwrap(), 1);
         assert_eq!(client.status(&mut gw, "csar", id).unwrap(), JobStatus::Done);
         let files = client.fetch(&mut gw, "csar", id).unwrap();
@@ -200,6 +247,9 @@ mod tests {
     fn proxy_attach_to_missing_service_denied() {
         let (client, mut gw) = rig();
         let r = client.proxy_attach(&mut gw, "csar", "no-service");
-        assert!(matches!(r, Err(ClientError::Denied(GatewayError::UnknownService(_)))));
+        assert!(matches!(
+            r,
+            Err(ClientError::Denied(GatewayError::UnknownService(_)))
+        ));
     }
 }

@@ -168,11 +168,7 @@ impl Gateway {
     /// session orchestration when a job with a `StartVisitProxy` task
     /// starts (the TSI records the service name; the simulation's link is
     /// handed in here).
-    pub fn register_proxy(
-        &mut self,
-        vsite: &str,
-        proxy: VisitProxyServer<Box<dyn FrameLink>>,
-    ) {
+    pub fn register_proxy(&mut self, vsite: &str, proxy: VisitProxyServer<Box<dyn FrameLink>>) {
         self.proxies
             .insert((vsite.to_string(), proxy.service.clone()), proxy);
     }
@@ -183,7 +179,8 @@ impl Gateway {
         vsite: &str,
         service: &str,
     ) -> Option<&mut VisitProxyServer<Box<dyn FrameLink>>> {
-        self.proxies.get_mut(&(vsite.to_string(), service.to_string()))
+        self.proxies
+            .get_mut(&(vsite.to_string(), service.to_string()))
     }
 
     /// The per-job challenge for a service behind this gateway: both the
@@ -322,19 +319,27 @@ mod tests {
         let run = SignedRequest::new(
             cert.clone(),
             &key,
-            GatewayMsg::RunQueued { vsite: "csar".into() },
+            GatewayMsg::RunQueued {
+                vsite: "csar".into(),
+            },
         );
         assert_eq!(gw.transact(&run), GatewayReply::Ran(1));
         let status = SignedRequest::new(
             cert.clone(),
             &key,
-            GatewayMsg::Status { vsite: "csar".into(), job: id.0 },
+            GatewayMsg::Status {
+                vsite: "csar".into(),
+                job: id.0,
+            },
         );
         assert_eq!(gw.transact(&status), GatewayReply::Status(JobStatus::Done));
         let fetch = SignedRequest::new(
             cert,
             &key,
-            GatewayMsg::Fetch { vsite: "csar".into(), job: id.0 },
+            GatewayMsg::Fetch {
+                vsite: "csar".into(),
+                job: id.0,
+            },
         );
         let GatewayReply::Outcome(files) = gw.transact(&fetch) else {
             panic!("fetch refused");
@@ -349,7 +354,10 @@ mod tests {
         let rogue = CertAuthority::new("Rogue", 9);
         let (rcert, rkey) = rogue.issue("CN=mallory");
         let req = SignedRequest::new(rcert, &rkey, GatewayMsg::Consign(good_ajo()));
-        assert_eq!(gw.transact(&req), GatewayReply::Denied(GatewayError::AuthFailed));
+        assert_eq!(
+            gw.transact(&req),
+            GatewayReply::Denied(GatewayError::AuthFailed)
+        );
         assert_eq!(gw.stats().auth_rejected, 1);
     }
 
@@ -373,9 +381,15 @@ mod tests {
         let probe = SignedRequest::new(
             eve,
             &ekey,
-            GatewayMsg::Status { vsite: "v".into(), job: id.0 },
+            GatewayMsg::Status {
+                vsite: "v".into(),
+                job: id.0,
+            },
         );
-        assert_eq!(gw.transact(&probe), GatewayReply::Denied(GatewayError::UnknownJob));
+        assert_eq!(
+            gw.transact(&probe),
+            GatewayReply::Denied(GatewayError::UnknownJob)
+        );
     }
 
     #[test]
@@ -384,14 +398,21 @@ mod tests {
         let mut ajo = good_ajo();
         ajo.vsite = "nowhere".into();
         assert_eq!(
-            gw.transact(&SignedRequest::new(cert.clone(), &key, GatewayMsg::Consign(ajo))),
+            gw.transact(&SignedRequest::new(
+                cert.clone(),
+                &key,
+                GatewayMsg::Consign(ajo)
+            )),
             GatewayReply::Denied(GatewayError::UnknownVsite("nowhere".into()))
         );
         assert_eq!(
             gw.transact(&SignedRequest::new(
                 cert,
                 &key,
-                GatewayMsg::ProxyAttach { vsite: "csar".into(), service: "ghost".into() },
+                GatewayMsg::ProxyAttach {
+                    vsite: "csar".into(),
+                    service: "ghost".into()
+                },
             )),
             GatewayReply::Denied(GatewayError::UnknownService("ghost".into()))
         );

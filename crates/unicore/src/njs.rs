@@ -142,7 +142,9 @@ impl Njs {
             let err = outcome
                 .log
                 .iter()
-                .find(|l| l.contains("FAILED") || l.contains("not installed") || l.contains("missing"))
+                .find(|l| {
+                    l.contains("FAILED") || l.contains("not installed") || l.contains("missing")
+                })
                 .cloned()
                 .unwrap_or_else(|| "unknown failure".into());
             JobStatus::Failed(err)
@@ -229,7 +231,10 @@ mod tests {
         let id = njs.consign(simple_ajo(), "alice").unwrap();
         assert_eq!(njs.status(id, "alice"), Some(&JobStatus::Queued));
         njs.run_job(id);
-        assert!(matches!(njs.status(id, "alice"), Some(JobStatus::Failed(_))));
+        assert!(matches!(
+            njs.status(id, "alice"),
+            Some(JobStatus::Failed(_))
+        ));
     }
 
     #[test]
@@ -243,7 +248,12 @@ mod tests {
             },
             &[],
         );
-        ajo.add_task(Task::StageOut { path: "output.dat".into() }, &[w]);
+        ajo.add_task(
+            Task::StageOut {
+                path: "output.dat".into(),
+            },
+            &[w],
+        );
         let id = njs.consign(ajo, "alice").unwrap();
         njs.run_job(id);
         assert_eq!(njs.status(id, "alice"), Some(&JobStatus::Done));

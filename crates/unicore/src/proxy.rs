@@ -29,7 +29,9 @@ use visit::wire::{Frame, MsgKind};
 use visit::Password;
 
 /// Identifies one attached proxy-client (steering plugin) session.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct ProxySessionId(pub u64);
 
 /// Counters for the proxy pair experiment (EV3).
@@ -179,7 +181,11 @@ impl<L: FrameLink> VisitProxyServer<L> {
     /// (accepted only from the master) and return all log entries the
     /// session has not seen yet. This single call is the "emulation by
     /// polling" of §3.3.
-    pub fn exchange(&mut self, session: ProxySessionId, params: Vec<Vec<u8>>) -> Option<Vec<Vec<u8>>> {
+    pub fn exchange(
+        &mut self,
+        session: ProxySessionId,
+        params: Vec<Vec<u8>>,
+    ) -> Option<Vec<Vec<u8>>> {
         let cursor = *self.sessions.get(&session)?;
         let is_master = self.master == Some(session);
         for p in params {
@@ -213,7 +219,12 @@ impl<L: FrameLink> VisitProxyServer<L> {
     /// Drop log entries already delivered to every session (memory bound
     /// for long-running jobs).
     pub fn compact(&mut self) {
-        let min = self.sessions.values().copied().min().unwrap_or(self.log.len());
+        let min = self
+            .sessions
+            .values()
+            .copied()
+            .min()
+            .unwrap_or(self.log.len());
         if min > 0 {
             self.log.drain(..min);
             for c in self.sessions.values_mut() {
@@ -265,7 +276,10 @@ impl VisitProxyClient {
 
     /// Perform one poll: ship pending params, ingest returned data frames.
     /// Returns the number of fresh frames ingested.
-    pub fn poll_with(&mut self, exchange: impl FnOnce(ProxySessionId, Vec<Vec<u8>>) -> Option<Vec<Vec<u8>>>) -> usize {
+    pub fn poll_with(
+        &mut self,
+        exchange: impl FnOnce(ProxySessionId, Vec<Vec<u8>>) -> Option<Vec<Vec<u8>>>,
+    ) -> usize {
         let params = std::mem::take(&mut self.pending);
         let Some(fresh) = exchange(self.session, params) else {
             return 0;
@@ -345,7 +359,8 @@ mod tests {
     #[test]
     fn data_flows_sim_to_plugin_via_polling() {
         let (mut c, mut proxy) = rig();
-        c.send(TAG_DATA, VisitValue::F32(vec![1.0, 2.0, 3.0])).unwrap();
+        c.send(TAG_DATA, VisitValue::F32(vec![1.0, 2.0, 3.0]))
+            .unwrap();
         c.send(TAG_DATA, VisitValue::F32(vec![4.0])).unwrap();
         proxy.pump(Duration::from_millis(100)).unwrap();
         proxy.pump(Duration::from_millis(100)).unwrap();
@@ -360,7 +375,7 @@ mod tests {
 
     #[test]
     fn steering_param_reaches_simulation() {
-        let (mut c, mut proxy) = rig();
+        let (c, mut proxy) = rig();
         let s = proxy.attach();
         let mut plugin = VisitProxyClient::new(s);
         plugin.queue_param(TAG_PARAM, VisitValue::scalar_f64(0.07));

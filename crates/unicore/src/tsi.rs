@@ -97,10 +97,7 @@ impl Tsi {
     /// creates a file). Used by tests and examples.
     pub fn with_builtins() -> Self {
         let mut t = Tsi::new();
-        t.install_app(
-            "echo",
-            Arc::new(|args, _dir| Ok(args.join(" "))),
-        );
+        t.install_app("echo", Arc::new(|args, _dir| Ok(args.join(" "))));
         t.install_app(
             "write",
             Arc::new(|args, dir| {
@@ -133,7 +130,8 @@ impl Tsi {
             match line {
                 ScriptLine::CopyIn { path, data } => {
                     dir.insert(path.clone(), data.clone());
-                    out.log.push(format!("copyin {path} ({} bytes)", data.len()));
+                    out.log
+                        .push(format!("copyin {path} ({} bytes)", data.len()));
                 }
                 ScriptLine::Run { command, args } => match self.apps.get(command) {
                     Some(app) => match app(args, &mut dir) {
@@ -163,7 +161,8 @@ impl Tsi {
                 },
                 ScriptLine::Export { path, vsite } => match dir.get(path) {
                     Some(data) => {
-                        out.exports.push((path.clone(), vsite.clone(), data.clone()));
+                        out.exports
+                            .push((path.clone(), vsite.clone(), data.clone()));
                         out.log.push(format!("export {path} -> {vsite}"));
                     }
                     None => {

@@ -110,7 +110,8 @@ impl<L: FrameLink> SteeringClient<L> {
         let t0 = Instant::now();
         self.stats.requests += 1;
         let r = (|| {
-            self.link.send(&Frame::bare(MsgKind::Request, tag).encode())?;
+            self.link
+                .send(&Frame::bare(MsgKind::Request, tag).encode())?;
             let deadline = Instant::now() + self.timeout;
             loop {
                 let remaining = deadline.saturating_duration_since(Instant::now());
@@ -167,9 +168,17 @@ mod tests {
     use crate::server::VisServer;
     use std::thread;
 
-    fn connect_pair(pw_server: Password, pw_client: Password) -> (Result<SteeringClient<MemLink>, ConnectError>, Option<VisServer<MemLink>>) {
+    fn connect_pair(
+        pw_server: Password,
+        pw_client: Password,
+    ) -> (
+        Result<SteeringClient<MemLink>, ConnectError>,
+        Option<VisServer<MemLink>>,
+    ) {
         let (cl, sl) = MemLink::pair();
-        let server = thread::spawn(move || VisServer::accept(sl, &pw_server, 1, Duration::from_secs(1)).ok());
+        let server = thread::spawn(move || {
+            VisServer::accept(sl, &pw_server, 1, Duration::from_secs(1)).ok()
+        });
         let client = SteeringClient::connect(cl, &pw_client, 1, Duration::from_secs(1));
         (client, server.join().unwrap())
     }
@@ -216,7 +225,8 @@ mod tests {
         let server = thread::spawn(move || {
             // manual accept: read hello, ack, then stall
             let _ = sl.recv_timeout(Duration::from_secs(1)).unwrap();
-            sl.send(&Frame::bare(MsgKind::HelloAck, 0).encode()).unwrap();
+            sl.send(&Frame::bare(MsgKind::HelloAck, 0).encode())
+                .unwrap();
             thread::sleep(Duration::from_millis(300));
             drop(sl);
         });
@@ -225,7 +235,10 @@ mod tests {
         let t0 = Instant::now();
         let r = c.request(1);
         assert_eq!(r, Err(LinkError::Timeout));
-        assert!(t0.elapsed() < Duration::from_millis(200), "timeout guarantee violated");
+        assert!(
+            t0.elapsed() < Duration::from_millis(200),
+            "timeout guarantee violated"
+        );
         assert_eq!(c.stats().timeouts, 1);
         server.join().unwrap();
     }

@@ -153,9 +153,7 @@ impl FrameLink for MemLink {
         if frame.len() > MAX_FRAME {
             return Err(LinkError::TooLarge);
         }
-        self.tx
-            .send(frame.to_vec())
-            .map_err(|_| LinkError::Closed)
+        self.tx.send(frame.to_vec()).map_err(|_| LinkError::Closed)
     }
 
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Vec<u8>, LinkError> {
@@ -321,7 +319,10 @@ mod tests {
 
     #[test]
     fn simlink_charges_virtual_latency() {
-        let link = Link::builder().latency_ms(20).bandwidth_bps(u64::MAX).build();
+        let link = Link::builder()
+            .latency_ms(20)
+            .bandwidth_bps(u64::MAX)
+            .build();
         let (mut a, mut b) = SimLink::pair(link);
         a.send(b"x").unwrap();
         let f = b.recv_timeout(Duration::from_secs(1)).unwrap();

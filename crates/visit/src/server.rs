@@ -221,7 +221,7 @@ mod tests {
 
     #[test]
     fn request_with_nothing_queued_gets_none() {
-        let (mut c, mut s) = pair();
+        let (mut c, s) = pair();
         let server = thread::spawn(move || {
             let mut s = s;
             let out = s.serve_once(Duration::from_secs(1)).unwrap();
@@ -244,8 +244,14 @@ mod tests {
                 s.serve_once(Duration::from_secs(1)).unwrap();
             }
         });
-        assert_eq!(c.request(TAG_MISC).unwrap(), Some(VisitValue::scalar_f64(0.1)));
-        assert_eq!(c.request(TAG_MISC).unwrap(), Some(VisitValue::scalar_f64(0.2)));
+        assert_eq!(
+            c.request(TAG_MISC).unwrap(),
+            Some(VisitValue::scalar_f64(0.1))
+        );
+        assert_eq!(
+            c.request(TAG_MISC).unwrap(),
+            Some(VisitValue::scalar_f64(0.2))
+        );
         server.join().unwrap();
     }
 

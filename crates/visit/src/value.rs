@@ -170,7 +170,12 @@ impl VisitValue {
     /// Decode a payload of `count` elements of `dtype`, converting from the
     /// client's byte order (the server-side conversion of §3.2). Returns
     /// `None` on malformed input.
-    pub fn decode(dtype: DType, count: usize, order: Endianness, mut buf: &[u8]) -> Option<VisitValue> {
+    pub fn decode(
+        dtype: DType,
+        count: usize,
+        order: Endianness,
+        mut buf: &[u8],
+    ) -> Option<VisitValue> {
         macro_rules! get_all {
             ($get_le:ident, $get_be:ident, $ty:ty, $size:expr, $variant:ident) => {{
                 if buf.len() != count * $size {
@@ -236,11 +241,23 @@ impl VisitValue {
             VisitValue::I64(v) => Some(v.clone()),
             VisitValue::F32(v) => v
                 .iter()
-                .map(|&x| if x.fract() == 0.0 { Some(x as i64) } else { None })
+                .map(|&x| {
+                    if x.fract() == 0.0 {
+                        Some(x as i64)
+                    } else {
+                        None
+                    }
+                })
                 .collect(),
             VisitValue::F64(v) => v
                 .iter()
-                .map(|&x| if x.fract() == 0.0 { Some(x as i64) } else { None })
+                .map(|&x| {
+                    if x.fract() == 0.0 {
+                        Some(x as i64)
+                    } else {
+                        None
+                    }
+                })
                 .collect(),
             _ => None,
         }
@@ -335,7 +352,14 @@ mod tests {
 
     #[test]
     fn dtype_codes_roundtrip() {
-        for d in [DType::I32, DType::I64, DType::F32, DType::F64, DType::Str, DType::Bytes] {
+        for d in [
+            DType::I32,
+            DType::I64,
+            DType::F32,
+            DType::F64,
+            DType::Str,
+            DType::Bytes,
+        ] {
             assert_eq!(DType::from_byte(d as u8), Some(d));
         }
         assert_eq!(DType::from_byte(99), None);

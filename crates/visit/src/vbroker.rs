@@ -131,8 +131,7 @@ impl<S: FrameLink, V: FrameLink> VBroker<S, V> {
                 // The broker is the simulation's session endpoint: accept
                 // the connection itself (per-user authentication happens at
                 // viewer attach time in the UNICORE integration, §3.3).
-                self.sim
-                    .send(&Frame::bare(MsgKind::HelloAck, 0).encode())?;
+                self.sim.send(&Frame::bare(MsgKind::HelloAck, 0).encode())?;
                 Ok(true)
             }
             MsgKind::Data => {
@@ -179,10 +178,7 @@ impl<S: FrameLink, V: FrameLink> VBroker<S, V> {
             self.detach(master);
             return None;
         }
-        match self.viewers.get_mut(&master)?.recv_timeout(timeout) {
-            Ok(reply) => Some(reply),
-            Err(_) => None,
-        }
+        self.viewers.get_mut(&master)?.recv_timeout(timeout).ok()
     }
 }
 
@@ -219,12 +215,17 @@ mod tests {
             VisitValue::Bytes(vec![]),
         );
         sim.send(&hello.encode()).unwrap();
-        broker.pump(Duration::from_millis(100), Duration::from_millis(20)).unwrap();
+        broker
+            .pump(Duration::from_millis(100), Duration::from_millis(20))
+            .unwrap();
         let ack = sim.recv_timeout(Duration::from_millis(100)).unwrap();
         assert_eq!(Frame::decode(&ack).unwrap().kind, MsgKind::HelloAck);
         // hello is not fanned out to viewers
         let (_, v) = &mut viewers[0];
-        assert_eq!(v.recv_timeout(Duration::from_millis(20)), Err(LinkError::Timeout));
+        assert_eq!(
+            v.recv_timeout(Duration::from_millis(20)),
+            Err(LinkError::Timeout)
+        );
     }
 
     #[test]
@@ -237,7 +238,9 @@ mod tests {
             VisitValue::F32(vec![1.0, 2.0]),
         );
         sim.send(&frame.encode()).unwrap();
-        broker.pump(Duration::from_millis(100), Duration::from_millis(50)).unwrap();
+        broker
+            .pump(Duration::from_millis(100), Duration::from_millis(50))
+            .unwrap();
         for (_, v) in viewers.iter_mut() {
             let got = v.recv_timeout(Duration::from_millis(100)).unwrap();
             assert_eq!(Frame::decode(&got).unwrap().value, frame.value);
@@ -249,11 +252,11 @@ mod tests {
     fn requests_go_to_master_only() {
         let (mut sim, mut broker, mut viewers) = rig(2);
         let master_id = broker.master().unwrap();
-        sim.send(&Frame::bare(MsgKind::Request, TAG).encode()).unwrap();
+        sim.send(&Frame::bare(MsgKind::Request, TAG).encode())
+            .unwrap();
         // master thread answers; non-master must see nothing
-        let (mid, mut mlink) = viewers.remove(
-            viewers.iter().position(|(id, _)| *id == master_id).unwrap(),
-        );
+        let (mid, mut mlink) =
+            viewers.remove(viewers.iter().position(|(id, _)| *id == master_id).unwrap());
         assert_eq!(mid, master_id);
         let master = thread::spawn(move || {
             let req = mlink.recv_timeout(Duration::from_secs(1)).unwrap();
@@ -266,7 +269,9 @@ mod tests {
             );
             mlink.send(&reply.encode()).unwrap();
         });
-        broker.pump(Duration::from_millis(500), Duration::from_millis(500)).unwrap();
+        broker
+            .pump(Duration::from_millis(500), Duration::from_millis(500))
+            .unwrap();
         master.join().unwrap();
         // sim receives the master's steering value
         let reply = sim.recv_timeout(Duration::from_millis(100)).unwrap();
@@ -286,8 +291,11 @@ mod tests {
     fn dead_master_cannot_stall_the_simulation() {
         let (mut sim, mut broker, viewers) = rig(1);
         drop(viewers); // master vanished
-        sim.send(&Frame::bare(MsgKind::Request, TAG).encode()).unwrap();
-        broker.pump(Duration::from_millis(100), Duration::from_millis(30)).unwrap();
+        sim.send(&Frame::bare(MsgKind::Request, TAG).encode())
+            .unwrap();
+        broker
+            .pump(Duration::from_millis(100), Duration::from_millis(30))
+            .unwrap();
         let reply = sim.recv_timeout(Duration::from_millis(100)).unwrap();
         assert_eq!(Frame::decode(&reply).unwrap().kind, MsgKind::NoData);
     }
@@ -315,7 +323,9 @@ mod tests {
     fn bye_ends_session_and_is_broadcast() {
         let (mut sim, mut broker, mut viewers) = rig(2);
         sim.send(&Frame::bare(MsgKind::Bye, 0).encode()).unwrap();
-        let live = broker.pump(Duration::from_millis(100), Duration::from_millis(20)).unwrap();
+        let live = broker
+            .pump(Duration::from_millis(100), Duration::from_millis(20))
+            .unwrap();
         assert!(!live);
         for (_, v) in viewers.iter_mut() {
             let got = v.recv_timeout(Duration::from_millis(100)).unwrap();
@@ -333,7 +343,9 @@ mod tests {
             VisitValue::Bytes(vec![0u8; 1000]),
         );
         sim.send(&frame.encode()).unwrap();
-        broker.pump(Duration::from_millis(100), Duration::from_millis(20)).unwrap();
+        broker
+            .pump(Duration::from_millis(100), Duration::from_millis(20))
+            .unwrap();
         let st = broker.stats();
         assert_eq!(st.bytes_out, 4 * st.bytes_in);
     }
@@ -345,11 +357,18 @@ mod tests {
         let victim = viewers.remove(2);
         drop(victim);
         sim.send(
-            &Frame::with_value(MsgKind::Data, TAG, Endianness::Little, VisitValue::scalar_i32(1))
-                .encode(),
+            &Frame::with_value(
+                MsgKind::Data,
+                TAG,
+                Endianness::Little,
+                VisitValue::scalar_i32(1),
+            )
+            .encode(),
         )
         .unwrap();
-        broker.pump(Duration::from_millis(100), Duration::from_millis(20)).unwrap();
+        broker
+            .pump(Duration::from_millis(100), Duration::from_millis(20))
+            .unwrap();
         // MemLink send into a dropped receiver fails → viewer detached
         assert_eq!(broker.viewer_count(), 2);
     }

@@ -100,9 +100,8 @@ impl Frame {
 
     /// Serialize to bytes.
     pub fn encode(&self) -> Vec<u8> {
-        let mut buf = BytesMut::with_capacity(
-            HEADER_LEN + self.value.as_ref().map_or(0, |v| v.byte_len()),
-        );
+        let mut buf =
+            BytesMut::with_capacity(HEADER_LEN + self.value.as_ref().map_or(0, |v| v.byte_len()));
         buf.put_u8(self.kind as u8);
         buf.put_u8(self.order.to_byte());
         match &self.value {

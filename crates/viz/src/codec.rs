@@ -56,7 +56,7 @@ pub fn rle_encode(data: &[u8]) -> Vec<u8> {
 
 /// Inverse of [`rle_encode`]. Returns `None` on malformed input.
 pub fn rle_decode(data: &[u8]) -> Option<Vec<u8>> {
-    if data.len() % 2 != 0 {
+    if !data.len().is_multiple_of(2) {
         return None;
     }
     let mut out = Vec::with_capacity(data.len() * 4);
@@ -99,8 +99,8 @@ impl DeltaRleCodec {
     /// Encode a framebuffer.
     pub fn encode(&mut self, fb: &Framebuffer) -> EncodedFrame {
         let raw = fb.bytes();
-        let force_key = self.keyframe_interval > 0
-            && self.frame_count % self.keyframe_interval == 0;
+        let force_key =
+            self.keyframe_interval > 0 && self.frame_count.is_multiple_of(self.keyframe_interval);
         self.frame_count += 1;
         match (&self.prev, force_key) {
             (Some(prev), false) if prev.len() == raw.len() => {
@@ -128,7 +128,12 @@ impl DeltaRleCodec {
     /// Decode into a framebuffer of the given dimensions. Returns `None` if
     /// the payload is malformed, sizes mismatch, or a delta frame arrives
     /// without history.
-    pub fn decode(&mut self, frame: &EncodedFrame, width: usize, height: usize) -> Option<Framebuffer> {
+    pub fn decode(
+        &mut self,
+        frame: &EncodedFrame,
+        width: usize,
+        height: usize,
+    ) -> Option<Framebuffer> {
         let body = rle_decode(&frame.payload)?;
         if body.len() != width * height * 4 {
             return None;
@@ -171,6 +176,81 @@ mod tests {
     fn rle_rejects_malformed() {
         assert!(rle_decode(&[1]).is_none()); // odd length
         assert!(rle_decode(&[0, 5]).is_none()); // zero count
+    }
+
+    #[test]
+    fn rle_empty_input() {
+        assert_eq!(rle_encode(&[]), Vec::<u8>::new());
+        assert_eq!(rle_decode(&[]).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn rle_single_byte() {
+        let enc = rle_encode(&[42]);
+        assert_eq!(enc, vec![1, 42]);
+        assert_eq!(rle_decode(&enc).unwrap(), vec![42]);
+    }
+
+    #[test]
+    fn rle_single_run_entire_input() {
+        // One homogeneous run shorter than the count limit → exactly one pair.
+        let data = vec![9u8; 200];
+        let enc = rle_encode(&data);
+        assert_eq!(enc, vec![200, 9]);
+        assert_eq!(rle_decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn rle_max_length_run_boundary() {
+        // Exactly 255: the maximum a single pair can carry.
+        let exact = vec![3u8; 255];
+        assert_eq!(rle_encode(&exact), vec![255, 3]);
+        assert_eq!(rle_decode(&rle_encode(&exact)).unwrap(), exact);
+        // 256: must split into 255 + 1, same byte in both pairs.
+        let over = vec![3u8; 256];
+        assert_eq!(rle_encode(&over), vec![255, 3, 1, 3]);
+        assert_eq!(rle_decode(&rle_encode(&over)).unwrap(), over);
+    }
+
+    #[test]
+    fn rle_run_boundary_then_different_byte() {
+        // A max-length run followed by a different byte must not merge.
+        let mut data = vec![8u8; 255];
+        data.push(1);
+        assert_eq!(rle_encode(&data), vec![255, 8, 1, 1]);
+        assert_eq!(rle_decode(&rle_encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn rle_worst_case_alternation_expands_2x() {
+        // No two adjacent bytes equal → every byte costs a (count, byte) pair.
+        let data: Vec<u8> = (0..100u8).collect();
+        let enc = rle_encode(&data);
+        assert_eq!(enc.len(), data.len() * 2);
+        assert_eq!(rle_decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn codec_minimal_framebuffer() {
+        // 1×1 RGBA: the smallest frame the delta path can see.
+        let mut enc = DeltaRleCodec::new();
+        let mut dec = DeltaRleCodec::new();
+        let mut fb = Framebuffer::new(1, 1);
+        fb.set(0, 0, [1, 2, 3, 255]);
+        for _ in 0..3 {
+            let e = enc.encode(&fb);
+            assert_eq!(dec.decode(&e, 1, 1).unwrap(), fb);
+        }
+    }
+
+    #[test]
+    fn codec_reset_forces_keyframe() {
+        let mut enc = DeltaRleCodec::new();
+        let fb = Framebuffer::new(4, 4);
+        assert!(enc.encode(&fb).keyframe);
+        assert!(!enc.encode(&fb).keyframe);
+        enc.reset();
+        assert!(enc.encode(&fb).keyframe);
     }
 
     #[test]

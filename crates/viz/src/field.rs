@@ -40,7 +40,12 @@ impl Field3 {
     }
 
     /// Build by evaluating `f(x,y,z)` at every lattice point.
-    pub fn from_fn(nx: usize, ny: usize, nz: usize, mut f: impl FnMut(usize, usize, usize) -> f32) -> Self {
+    pub fn from_fn(
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        mut f: impl FnMut(usize, usize, usize) -> f32,
+    ) -> Self {
         let mut data = Vec::with_capacity(nx * ny * nz);
         for z in 0..nz {
             for y in 0..ny {
@@ -201,7 +206,9 @@ mod tests {
 
     #[test]
     fn trilinear_sample_is_exact_on_linear_fields() {
-        let f = Field3::from_fn(8, 8, 8, |x, y, z| x as f32 + 2.0 * y as f32 + 3.0 * z as f32);
+        let f = Field3::from_fn(8, 8, 8, |x, y, z| {
+            x as f32 + 2.0 * y as f32 + 3.0 * z as f32
+        });
         let p = Vec3::new(2.5, 3.25, 4.75);
         let expect = 2.5 + 2.0 * 3.25 + 3.0 * 4.75;
         assert!((f.sample(p) - expect).abs() < 1e-4);

@@ -31,7 +31,12 @@ pub struct Segment {
 
 /// Expand particle velocities into vector glyph segments of length
 /// `scale * |v|`.
-pub fn velocity_vectors(pos: &[Vec3], vel: &[Vec3], colors: &[[u8; 4]], scale: f32) -> Vec<Segment> {
+pub fn velocity_vectors(
+    pos: &[Vec3],
+    vel: &[Vec3],
+    colors: &[[u8; 4]],
+    scale: f32,
+) -> Vec<Segment> {
     pos.iter()
         .zip(vel.iter())
         .zip(colors.iter())
@@ -81,11 +86,7 @@ pub fn trails(history: &[Vec<Vec3>], rgba: [u8; 4]) -> Vec<Segment> {
     for w in history.windows(2) {
         let (prev, next) = (&w[0], &w[1]);
         for (a, b) in prev.iter().zip(next.iter()) {
-            out.push(Segment {
-                a: *a,
-                b: *b,
-                rgba,
-            });
+            out.push(Segment { a: *a, b: *b, rgba });
         }
     }
     out
@@ -115,11 +116,23 @@ pub fn box_edges(b: &DomainBox) -> Vec<(Vec3, Vec3)> {
         c(lo.x, hi.y, hi.z),
     ];
     const EDGES: [(usize, usize); 12] = [
-        (0, 1), (1, 2), (2, 3), (3, 0),
-        (4, 5), (5, 6), (6, 7), (7, 4),
-        (0, 4), (1, 5), (2, 6), (3, 7),
+        (0, 1),
+        (1, 2),
+        (2, 3),
+        (3, 0),
+        (4, 5),
+        (5, 6),
+        (6, 7),
+        (7, 4),
+        (0, 4),
+        (1, 5),
+        (2, 6),
+        (3, 7),
     ];
-    EDGES.iter().map(|&(i, j)| (corners[i], corners[j])).collect()
+    EDGES
+        .iter()
+        .map(|&(i, j)| (corners[i], corners[j]))
+        .collect()
 }
 
 /// A solid box mesh (the "solid boxes" display mode).
@@ -127,7 +140,11 @@ pub fn box_mesh(b: &DomainBox) -> TriMesh {
     let mut m = TriMesh::unit_cube();
     let d = b.max.sub(b.min);
     for v in m.vertices.iter_mut() {
-        *v = Vec3::new(b.min.x + v.x * d.x, b.min.y + v.y * d.y, b.min.z + v.z * d.z);
+        *v = Vec3::new(
+            b.min.x + v.x * d.x,
+            b.min.y + v.y * d.y,
+            b.min.z + v.z * d.z,
+        );
     }
     m
 }

@@ -64,12 +64,14 @@ impl Vec3 {
     /// The zero vector.
     pub const ZERO: Vec3 = Vec3::new(0.0, 0.0, 0.0);
 
-    /// Component-wise addition.
+    /// Component-wise addition (inherent, mirrored by `impl Add`).
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, o: Vec3) -> Vec3 {
         Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
     }
 
-    /// Component-wise subtraction.
+    /// Component-wise subtraction (inherent, mirrored by `impl Sub`).
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, o: Vec3) -> Vec3 {
         Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
     }
@@ -111,6 +113,20 @@ impl Vec3 {
     /// Linear interpolation `self + t (o - self)`.
     pub fn lerp(self, o: Vec3, t: f32) -> Vec3 {
         self.add(o.sub(self).scale(t))
+    }
+}
+
+impl std::ops::Add for Vec3 {
+    type Output = Vec3;
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::add(self, o)
+    }
+}
+
+impl std::ops::Sub for Vec3 {
+    type Output = Vec3;
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::sub(self, o)
     }
 }
 

@@ -52,8 +52,8 @@ fn edge_point(p0: Vec3, v0: f32, p1: Vec3, v1: f32, iso: f32) -> Vec3 {
 fn contour_tet(mesh: &mut TriMesh, p: [Vec3; 4], v: [f32; 4], iso: f32) {
     // classification bitmask: bit i set ⇔ v[i] >= iso ("inside")
     let mut mask = 0usize;
-    for i in 0..4 {
-        if v[i] >= iso {
+    for (i, &val) in v.iter().enumerate() {
+        if val >= iso {
             mask |= 1 << i;
         }
     }

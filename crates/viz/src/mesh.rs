@@ -113,12 +113,30 @@ impl TriMesh {
         let v = |x: f32, y: f32, z: f32| Vec3::new(x, y, z);
         // 6 faces, 2 triangles each, outward normals
         let faces: [([Vec3; 4], Vec3); 6] = [
-            ([v(0., 0., 0.), v(0., 1., 0.), v(1., 1., 0.), v(1., 0., 0.)], v(0., 0., -1.)),
-            ([v(0., 0., 1.), v(1., 0., 1.), v(1., 1., 1.), v(0., 1., 1.)], v(0., 0., 1.)),
-            ([v(0., 0., 0.), v(0., 0., 1.), v(0., 1., 1.), v(0., 1., 0.)], v(-1., 0., 0.)),
-            ([v(1., 0., 0.), v(1., 1., 0.), v(1., 1., 1.), v(1., 0., 1.)], v(1., 0., 0.)),
-            ([v(0., 0., 0.), v(1., 0., 0.), v(1., 0., 1.), v(0., 0., 1.)], v(0., -1., 0.)),
-            ([v(0., 1., 0.), v(0., 1., 1.), v(1., 1., 1.), v(1., 1., 0.)], v(0., 1., 0.)),
+            (
+                [v(0., 0., 0.), v(0., 1., 0.), v(1., 1., 0.), v(1., 0., 0.)],
+                v(0., 0., -1.),
+            ),
+            (
+                [v(0., 0., 1.), v(1., 0., 1.), v(1., 1., 1.), v(0., 1., 1.)],
+                v(0., 0., 1.),
+            ),
+            (
+                [v(0., 0., 0.), v(0., 0., 1.), v(0., 1., 1.), v(0., 1., 0.)],
+                v(-1., 0., 0.),
+            ),
+            (
+                [v(1., 0., 0.), v(1., 1., 0.), v(1., 1., 1.), v(1., 0., 1.)],
+                v(1., 0., 0.),
+            ),
+            (
+                [v(0., 0., 0.), v(1., 0., 0.), v(1., 0., 1.), v(0., 0., 1.)],
+                v(0., -1., 0.),
+            ),
+            (
+                [v(0., 1., 0.), v(0., 1., 1.), v(1., 1., 1.), v(1., 1., 0.)],
+                v(0., 1., 0.),
+            ),
         ];
         for (quad, n) in faces {
             m.push_tri(quad[0], quad[1], quad[2], n);

@@ -130,7 +130,13 @@ impl Rasterizer {
     }
 
     /// Barycentric triangle fill with z interpolation.
-    fn fill_triangle(&mut self, a: (f32, f32, f32), b: (f32, f32, f32), c: (f32, f32, f32), rgba: [u8; 4]) {
+    fn fill_triangle(
+        &mut self,
+        a: (f32, f32, f32),
+        b: (f32, f32, f32),
+        c: (f32, f32, f32),
+        rgba: [u8; 4],
+    ) {
         let min_x = a.0.min(b.0).min(c.0).floor().max(0.0) as usize;
         let max_x = (a.0.max(b.0).max(c.0).ceil() as usize).min(self.fb.width().saturating_sub(1));
         let min_y = a.1.min(b.1).min(c.1).floor().max(0.0) as usize;
@@ -148,8 +154,8 @@ impl Rasterizer {
                 let w1 = ((c.0 - b.0) * (py - b.1) - (c.1 - b.1) * (px - b.0)) * inv_area;
                 let w2 = 1.0 - w0 - w1;
                 // inside test tolerant of either winding
-                let inside = (w0 >= 0.0 && w1 >= 0.0 && w2 >= 0.0)
-                    || (w0 <= 0.0 && w1 <= 0.0 && w2 <= 0.0);
+                let inside =
+                    (w0 >= 0.0 && w1 >= 0.0 && w2 >= 0.0) || (w0 <= 0.0 && w1 <= 0.0 && w2 <= 0.0);
                 if inside {
                     // screen-space barycentric z with weights normalized to
                     // tolerate either winding: w2→a, w0→b, w1→c

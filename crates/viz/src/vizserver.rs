@@ -129,7 +129,10 @@ impl VizServerSession {
     /// Every viewer sees the *same* image (the shared-session semantics);
     /// each has independent codec state (late joiners get keyframes).
     /// Returns the per-viewer encoded frames, sorted by viewer id.
-    pub fn render_and_ship(&mut self, meshes: &[(&TriMesh, [u8; 4])]) -> Vec<(ViewerId, EncodedFrame)> {
+    pub fn render_and_ship(
+        &mut self,
+        meshes: &[(&TriMesh, [u8; 4])],
+    ) -> Vec<(ViewerId, EncodedFrame)> {
         let mut r = Rasterizer::new(self.width, self.height);
         r.clear([10, 10, 30, 255]);
         for (mesh, color) in meshes {
@@ -237,7 +240,10 @@ mod tests {
         let b = s.attach();
         let frames = s.render_and_ship(&[(&cube, [255; 4])]);
         let fb_frame = &frames.iter().find(|(id, _)| *id == b).unwrap().1;
-        assert!(fb_frame.keyframe, "late joiner's first frame must be a keyframe");
+        assert!(
+            fb_frame.keyframe,
+            "late joiner's first frame must be a keyframe"
+        );
     }
 
     #[test]

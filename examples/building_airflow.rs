@@ -29,13 +29,17 @@ fn building_temperature_field(n: usize) -> Field3 {
         );
         let stratification = 8.0 * yf; // warm roof layer
         let door_draft = -4.0 * (-((xf - 0.1) * (xf - 0.1) + zf * zf) * 20.0).exp();
-        let lighting = 6.0 * (-((xf - 0.6).powi(2) + (yf - 0.8).powi(2) + (zf - 0.5).powi(2)) * 30.0).exp();
+        let lighting =
+            6.0 * (-((xf - 0.6).powi(2) + (yf - 0.8).powi(2) + (zf - 0.5).powi(2)) * 30.0).exp();
         20.0 + stratification + door_draft + lighting
     })
 }
 
 fn build_pipeline(ctl: &mut Controller, host: usize) -> ModuleId {
-    let read = ctl.add_module(host, Box::new(ReadField::new(building_temperature_field(24))));
+    let read = ctl.add_module(
+        host,
+        Box::new(ReadField::new(building_temperature_field(24))),
+    );
     let cut = ctl.add_module(host, Box::new(CutPlane::new()));
     let iso = ctl.add_module(host, Box::new(IsoSurface::new()));
     let render = ctl.add_module(host, Box::new(Renderer::new(96)));
@@ -82,7 +86,10 @@ fn main() {
 
     // the engineers adjust the comfort isotherm
     let r = session.change_param(ISO, "isovalue", 26.0).unwrap();
-    println!("isotherm -> 26 °C: {} bytes, consistent = {}", r.bytes_sent, r.consistent);
+    println!(
+        "isotherm -> 26 °C: {} bytes, consistent = {}",
+        r.bytes_sent, r.consistent
+    );
 
     // role change: Sandia takes over the discussion (§4.3: partners
     // "need to be able to change roles")
@@ -95,7 +102,10 @@ fn main() {
     assert!(r.consistent);
 
     // show the scene-size independence claim of §4.6 directly
-    println!("param-sync bytes are {} per update regardless of the 24³ field or mesh size", r.bytes_sent);
+    println!(
+        "param-sync bytes are {} per update regardless of the 24³ field or mesh size",
+        r.bytes_sent
+    );
     if let Some(img) = session.display(0) {
         std::fs::write("building_airflow_final.ppm", img.to_ppm()).ok();
         println!("final frame written to building_airflow_final.ppm");

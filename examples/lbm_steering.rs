@@ -10,8 +10,8 @@
 //!
 //! Run with: `cargo run --release --example lbm_steering`
 
-use gridsteer::covise::{Controller, IsoSurface, ReadField, Renderer, RequestBroker};
 use gridsteer::covise::broker::HostArch;
+use gridsteer::covise::{Controller, IsoSurface, ReadField, Renderer, RequestBroker};
 use gridsteer::lbm::{LbmConfig, TwoFluidLbm};
 use gridsteer::netsim::Link;
 use gridsteer::viz::codec::DeltaRleCodec;

@@ -9,10 +9,8 @@
 //! Run with: `cargo run --release --example pepc_collab`
 
 use gridsteer::pepc::{PepcConfig, PepcSim};
-use gridsteer::visit::{
-    Frame, MemLink, MsgKind, Password, SteeringClient, VBroker, VisitValue,
-};
 use gridsteer::visit::link::FrameLink;
+use gridsteer::visit::{Frame, MemLink, MsgKind, Password, SteeringClient, VBroker, VisitValue};
 use std::time::Duration;
 
 const TAG_POSITIONS: u32 = 1;
@@ -33,12 +31,7 @@ fn main() {
 
     // broker pump thread
     let broker_thread = std::thread::spawn(move || {
-        loop {
-            match broker.pump(Duration::from_millis(20), Duration::from_millis(50)) {
-                Ok(true) => {}
-                _ => break,
-            }
-        }
+        while let Ok(true) = broker.pump(Duration::from_millis(20), Duration::from_millis(50)) {}
         broker.stats()
     });
 
@@ -48,34 +41,29 @@ fn main() {
     let master_thread = std::thread::spawn(move || {
         let mut frames = 0u32;
         let mut steered = false;
-        loop {
-            match master_link.recv_timeout(Duration::from_millis(500)) {
-                Ok(raw) => {
-                    let f = Frame::decode(&raw).expect("well-formed frame");
-                    match f.kind {
-                        MsgKind::Data => frames += 1,
-                        MsgKind::Request if !steered => {
-                            // the steering moment: redirect the beam to +z
-                            let reply = Frame::with_value(
-                                MsgKind::Reply,
-                                TAG_BEAM,
-                                gridsteer::visit::Endianness::native(),
-                                VisitValue::F64(vec![2.0, 0.0, 0.0, 1.0]), // intensity, dir
-                            );
-                            master_link.send(&reply.encode()).unwrap();
-                            steered = true;
-                            println!("master steered: beam on, direction +z");
-                        }
-                        MsgKind::Request => {
-                            master_link
-                                .send(&Frame::bare(MsgKind::NoData, f.tag).encode())
-                                .unwrap();
-                        }
-                        MsgKind::Bye => break,
-                        _ => {}
-                    }
+        while let Ok(raw) = master_link.recv_timeout(Duration::from_millis(500)) {
+            let f = Frame::decode(&raw).expect("well-formed frame");
+            match f.kind {
+                MsgKind::Data => frames += 1,
+                MsgKind::Request if !steered => {
+                    // the steering moment: redirect the beam to +z
+                    let reply = Frame::with_value(
+                        MsgKind::Reply,
+                        TAG_BEAM,
+                        gridsteer::visit::Endianness::native(),
+                        VisitValue::F64(vec![2.0, 0.0, 0.0, 1.0]), // intensity, dir
+                    );
+                    master_link.send(&reply.encode()).unwrap();
+                    steered = true;
+                    println!("master steered: beam on, direction +z");
                 }
-                Err(_) => break,
+                MsgKind::Request => {
+                    master_link
+                        .send(&Frame::bare(MsgKind::NoData, f.tag).encode())
+                        .unwrap();
+                }
+                MsgKind::Bye => break,
+                _ => {}
             }
         }
         frames
@@ -100,9 +88,8 @@ fn main() {
         .collect();
 
     // the simulation: connect, step, ship snapshots, ask for steers
-    let mut client =
-        SteeringClient::connect(sim_link, &Password::Open, 0, Duration::from_secs(1))
-            .expect("sim connects through broker");
+    let mut client = SteeringClient::connect(sim_link, &Password::Open, 0, Duration::from_secs(1))
+        .expect("sim connects through broker");
     let mut sim = PepcSim::new(PepcConfig {
         n_target: 400,
         ..PepcConfig::small()
@@ -136,10 +123,16 @@ fn main() {
     drop(client);
 
     let master_frames = master_thread.join().unwrap();
-    let passive_frames: Vec<u32> = passive_threads.into_iter().map(|t| t.join().unwrap()).collect();
+    let passive_frames: Vec<u32> = passive_threads
+        .into_iter()
+        .map(|t| t.join().unwrap())
+        .collect();
     let broker_stats = broker_thread.join().unwrap();
 
-    println!("simulation: {} sends, {} requests, {:?} inside VISIT calls", stats.sends, stats.requests, stats.time_in_calls);
+    println!(
+        "simulation: {} sends, {} requests, {:?} inside VISIT calls",
+        stats.sends, stats.requests, stats.time_in_calls
+    );
     println!("master saw {master_frames} frames; passive viewers saw {passive_frames:?}");
     println!(
         "broker: {} frames in, {} fanned out, {} bytes amplified to {}",

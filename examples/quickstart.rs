@@ -9,7 +9,9 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use gridsteer::lbm::{LbmConfig, TwoFluidLbm};
-use gridsteer::steer_core::{ClientHandle, CollabServer, ParamRegistry, ParamSpec, SteeringSession};
+use gridsteer::steer_core::{
+    ClientHandle, CollabServer, ParamRegistry, ParamSpec, SteeringSession,
+};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -63,7 +65,10 @@ fn main() {
     // 4. two collaborators connect
     let mut alice = ClientHandle::connect(&addr, "alice").expect("alice connects");
     let mut bob = ClientHandle::connect(&addr, "bob").expect("bob connects");
-    println!("alice master={} bob master={}", alice.joined_as_master, bob.joined_as_master);
+    println!(
+        "alice master={} bob master={}",
+        alice.joined_as_master, bob.joined_as_master
+    );
 
     // alice steers the fluids towards demixing
     alice.set("miscibility", 0.1).expect("master may steer");

@@ -15,6 +15,18 @@
 //! * `examples/building_airflow.rs` — the HLRS demo (§4.7): a COVISE
 //!   module network over a building-climate field, param-synced across
 //!   sites.
+//!
+//! ## Workspace
+//!
+//! Each subsystem is its own crate under `crates/` (the `core` directory
+//! holds the package named `steer_core`); external dependencies are
+//! vendored API-compatible shims under `vendor/` so the workspace builds
+//! offline. See `README.md` for the full layout and the Figure-1 pipeline
+//! mapping. Tier-1 verification is:
+//!
+//! ```text
+//! cargo build --release && cargo test -q
+//! ```
 
 pub use accessgrid;
 pub use covise;

@@ -1,14 +1,16 @@
 //! Cross-crate integration tests: each exercises a full path through
 //! several subsystems, mirroring the paper's demonstrations.
 
-use gridsteer::covise::{CollabSession, Controller, IsoSurface, ModuleId, ReadField, Renderer, SyncMode};
+use gridsteer::covise::{
+    CollabSession, Controller, IsoSurface, ModuleId, ReadField, Renderer, SyncMode,
+};
 use gridsteer::lbm::{LbmConfig, TwoFluidLbm};
 use gridsteer::netsim::{Link, NetModel};
 use gridsteer::ogsa::{HostingEnv, Registry, SdeValue, SteeringService};
 use gridsteer::pepc::{PepcConfig, PepcSim};
 use gridsteer::steer_core::{
-    ClientHandle, CollabServer, LbmSteerAdapter, LoopBudget, LoopMonitor, Migrator,
-    ParamRegistry, ParamSpec, SteeringSession,
+    ClientHandle, CollabServer, LbmSteerAdapter, LoopBudget, LoopMonitor, Migrator, ParamRegistry,
+    ParamSpec, SteeringSession,
 };
 use gridsteer::unicore::{Ajo, CertAuthority, Gateway, Njs, Task, TrustStore, Tsi, UnicoreClient};
 use gridsteer::visit::{MemLink, Password, SteeringClient, VisServer, VisitValue};
@@ -56,7 +58,13 @@ fn visit_steering_changes_running_lbm() {
     let (sim_link, vis_link) = MemLink::pair();
     let pw = Password::Keyed("job".into());
     let vis = std::thread::spawn(move || {
-        let mut server = VisServer::accept(vis_link, &Password::Keyed("job".into()), 9, Duration::from_secs(2)).unwrap();
+        let mut server = VisServer::accept(
+            vis_link,
+            &Password::Keyed("job".into()),
+            9,
+            Duration::from_secs(2),
+        )
+        .unwrap();
         server.queue_param(TAG_MISC, VisitValue::scalar_f64(0.0));
         server.serve_until_idle(Duration::from_millis(50), 4);
         server
@@ -85,31 +93,44 @@ fn unicore_job_runs_simulation_and_spools_result() {
     let mut tsi = Tsi::with_builtins();
     tsi.install_app(
         "lbm",
-        Arc::new(|args: &[String], dir: &mut std::collections::HashMap<String, Vec<u8>>| {
-            let steps: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(10);
-            let mut sim = TwoFluidLbm::new(LbmConfig::small());
-            sim.set_miscibility(0.0);
-            sim.step_n(steps);
-            dir.insert(
-                "output.dat".into(),
-                format!("{:.6e}", sim.demix_metric()).into_bytes(),
-            );
-            Ok(format!("ran {steps} steps"))
-        }),
+        Arc::new(
+            |args: &[String], dir: &mut std::collections::HashMap<String, Vec<u8>>| {
+                let steps: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(10);
+                let mut sim = TwoFluidLbm::new(LbmConfig::small());
+                sim.set_miscibility(0.0);
+                sim.step_n(steps);
+                dir.insert(
+                    "output.dat".into(),
+                    format!("{:.6e}", sim.demix_metric()).into_bytes(),
+                );
+                Ok(format!("ran {steps} steps"))
+            },
+        ),
     );
     let mut gw = Gateway::new("gw", trust);
     gw.add_vsite(Njs::new("csar", tsi));
     let client = UnicoreClient::new(cert, key);
     let mut ajo = Ajo::new("lbm-batch", "csar");
     let run = ajo.add_task(
-        Task::Execute { command: "lbm".into(), args: vec!["20".into()] },
+        Task::Execute {
+            command: "lbm".into(),
+            args: vec!["20".into()],
+        },
         &[],
     );
-    ajo.add_task(Task::StageOut { path: "output.dat".into() }, &[run]);
+    ajo.add_task(
+        Task::StageOut {
+            path: "output.dat".into(),
+        },
+        &[run],
+    );
     let id = client.consign(&mut gw, ajo).unwrap();
     client.run_queued(&mut gw, "csar").unwrap();
     let files = client.fetch(&mut gw, "csar", id).unwrap();
-    let metric: f64 = String::from_utf8(files[0].1.clone()).unwrap().parse().unwrap();
+    let metric: f64 = String::from_utf8(files[0].1.clone())
+        .unwrap()
+        .parse()
+        .unwrap();
     assert!(metric > 0.0, "simulation produced no demixing metric");
 }
 
@@ -121,7 +142,11 @@ fn ogsa_service_steers_live_simulation() {
     let mut env = HostingEnv::new();
     let steer_gsh = env.host(
         "steer",
-        Box::new(SteeringService::new("lbm", Arc::new(Mutex::new(LbmSteerAdapter::new(sim.clone()))) as Arc<Mutex<dyn gridsteer::ogsa::Steerable>>)),
+        Box::new(SteeringService::new(
+            "lbm",
+            Arc::new(Mutex::new(LbmSteerAdapter::new(sim.clone())))
+                as Arc<Mutex<dyn gridsteer::ogsa::Steerable>>,
+        )),
         Some(300),
     );
     let reg = env.host("registry", Box::new(Registry::new()), None);
@@ -137,11 +162,19 @@ fn ogsa_service_steers_live_simulation() {
     .unwrap();
     // client side: discover + bind + steer
     let found = env
-        .invoke(&reg, "discover", &[SdeValue::Str(SteeringService::PORT_TYPE.into())])
+        .invoke(
+            &reg,
+            "discover",
+            &[SdeValue::Str(SteeringService::PORT_TYPE.into())],
+        )
         .unwrap();
     let handle = found.first().unwrap().as_list().unwrap()[0].clone();
     let r = env
-        .invoke(&handle, "setParam", &[SdeValue::Str("miscibility".into()), SdeValue::F64(0.25)])
+        .invoke(
+            &handle,
+            "setParam",
+            &[SdeValue::Str("miscibility".into()), SdeValue::F64(0.25)],
+        )
         .unwrap();
     assert!(r.is_ok());
     assert_eq!(sim.lock().miscibility(), 0.25);
@@ -153,7 +186,12 @@ fn ogsa_service_steers_live_simulation() {
 fn tcp_steering_server_drives_simulation_thread() {
     let sim = Arc::new(Mutex::new(TwoFluidLbm::new(LbmConfig::small())));
     let mut reg = ParamRegistry::new();
-    reg.declare(ParamSpec { name: "miscibility".into(), min: 0.0, max: 1.0, initial: 1.0 });
+    reg.declare(ParamSpec {
+        name: "miscibility".into(),
+        min: 0.0,
+        max: 1.0,
+        initial: 1.0,
+    });
     let session = Arc::new(Mutex::new(SteeringSession::new(reg)));
     let server = CollabServer::start(session.clone()).unwrap();
     let addr = server.addr().to_string();
@@ -232,10 +270,18 @@ fn covise_collab_consistent_over_pepc_field() {
         ctl.set_param(iso, "isovalue", 0.5);
         render
     };
-    let mut session =
-        CollabSession::new(&["juelich", "manchester", "phoenix"], SyncMode::ParamSync, build, |i| {
-            if i == 2 { Link::transatlantic() } else { Link::gwin() }
-        });
+    let mut session = CollabSession::new(
+        &["juelich", "manchester", "phoenix"],
+        SyncMode::ParamSync,
+        build,
+        |i| {
+            if i == 2 {
+                Link::transatlantic()
+            } else {
+                Link::gwin()
+            }
+        },
+    );
     session.warm_up().unwrap();
     let r = session.change_param(ModuleId(1), "isovalue", 1.5).unwrap();
     assert!(r.consistent);

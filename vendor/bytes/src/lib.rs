@@ -1,0 +1,243 @@
+//! Vendored subset of the `bytes` crate: `Buf`, `BufMut`, and `BytesMut`.
+//!
+//! Offline build. Semantics match the real crate for the surface used here:
+//! `get_*` methods consume from the front and panic on underflow; `put_*`
+//! methods append; `BytesMut` derefs to `[u8]`.
+
+use std::ops::{Deref, DerefMut};
+
+macro_rules! get_impl {
+    ($name:ident, $ty:ty, $n:expr, $from:ident) => {
+        /// Read one value, consuming its bytes. Panics on underflow.
+        fn $name(&mut self) -> $ty {
+            let mut raw = [0u8; $n];
+            let chunk = self.chunk();
+            assert!(chunk.len() >= $n, "buffer underflow in get");
+            raw.copy_from_slice(&chunk[..$n]);
+            self.advance($n);
+            <$ty>::$from(raw)
+        }
+    };
+}
+
+/// Read access to a contiguous buffer, consuming from the front.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+    /// Drop `n` bytes from the front. Panics if `n > remaining()`.
+    fn advance(&mut self, n: usize);
+
+    /// True if any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    get_impl!(get_u8, u8, 1, from_le_bytes);
+    get_impl!(get_i8, i8, 1, from_le_bytes);
+    get_impl!(get_u16, u16, 2, from_be_bytes);
+    get_impl!(get_u16_le, u16, 2, from_le_bytes);
+    get_impl!(get_i16, i16, 2, from_be_bytes);
+    get_impl!(get_i16_le, i16, 2, from_le_bytes);
+    get_impl!(get_u32, u32, 4, from_be_bytes);
+    get_impl!(get_u32_le, u32, 4, from_le_bytes);
+    get_impl!(get_i32, i32, 4, from_be_bytes);
+    get_impl!(get_i32_le, i32, 4, from_le_bytes);
+    get_impl!(get_u64, u64, 8, from_be_bytes);
+    get_impl!(get_u64_le, u64, 8, from_le_bytes);
+    get_impl!(get_i64, i64, 8, from_be_bytes);
+    get_impl!(get_i64_le, i64, 8, from_le_bytes);
+    get_impl!(get_f32, f32, 4, from_be_bytes);
+    get_impl!(get_f32_le, f32, 4, from_le_bytes);
+    get_impl!(get_f64, f64, 8, from_be_bytes);
+    get_impl!(get_f64_le, f64, 8, from_le_bytes);
+
+    /// Copy `dst.len()` bytes out, consuming them. Panics on underflow.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        let chunk = self.chunk();
+        assert!(
+            chunk.len() >= dst.len(),
+            "buffer underflow in copy_to_slice"
+        );
+        dst.copy_from_slice(&chunk[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end of slice");
+        *self = &self[n..];
+    }
+}
+
+macro_rules! put_impl {
+    ($name:ident, $ty:ty, $to:ident) => {
+        /// Append one value.
+        fn $name(&mut self, v: $ty) {
+            self.put_slice(&v.$to());
+        }
+    };
+}
+
+/// Append access to a growable buffer.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    put_impl!(put_u8, u8, to_le_bytes);
+    put_impl!(put_i8, i8, to_le_bytes);
+    put_impl!(put_u16, u16, to_be_bytes);
+    put_impl!(put_u16_le, u16, to_le_bytes);
+    put_impl!(put_i16, i16, to_be_bytes);
+    put_impl!(put_i16_le, i16, to_le_bytes);
+    put_impl!(put_u32, u32, to_be_bytes);
+    put_impl!(put_u32_le, u32, to_le_bytes);
+    put_impl!(put_i32, i32, to_be_bytes);
+    put_impl!(put_i32_le, i32, to_le_bytes);
+    put_impl!(put_u64, u64, to_be_bytes);
+    put_impl!(put_u64_le, u64, to_le_bytes);
+    put_impl!(put_i64, i64, to_be_bytes);
+    put_impl!(put_i64_le, i64, to_le_bytes);
+    put_impl!(put_f32, f32, to_be_bytes);
+    put_impl!(put_f32_le, f32, to_le_bytes);
+    put_impl!(put_f64, f64, to_be_bytes);
+    put_impl!(put_f64_le, f64, to_le_bytes);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// A growable byte buffer (thin wrapper over `Vec<u8>`).
+#[derive(Debug, Default, Clone, PartialEq, Eq, Hash)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        BytesMut { data: Vec::new() }
+    }
+
+    /// Empty buffer with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Remove all bytes.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Reserve additional capacity.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
+    /// Append raw bytes.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    /// Take the contents as a `Vec<u8>` ("freeze" analog for this subset).
+    pub fn freeze(self) -> Vec<u8> {
+        self.data
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(b: BytesMut) -> Vec<u8> {
+        b.data
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(s: &[u8]) -> BytesMut {
+        BytesMut { data: s.to_vec() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip_both_orders() {
+        let mut b = BytesMut::new();
+        b.put_u8(7);
+        b.put_u16_le(0x1234);
+        b.put_u32(0xdead_beef);
+        b.put_f64_le(1.5);
+        let mut r: &[u8] = &b;
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16_le(), 0x1234);
+        assert_eq!(r.get_u32(), 0xdead_beef);
+        assert_eq!(r.get_f64_le(), 1.5);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn advance_and_slice_view() {
+        let mut b = BytesMut::new();
+        b.put_slice(b"hello world");
+        let mut r: &[u8] = &b;
+        r.advance(6);
+        assert_eq!(r, b"world");
+        assert_eq!(b.to_vec(), b"hello world");
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn get_underflow_panics() {
+        let mut r: &[u8] = &[1u8];
+        let _ = r.get_u32_le();
+    }
+}

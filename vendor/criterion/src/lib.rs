@@ -1,0 +1,219 @@
+//! Vendored subset of `criterion` (offline build).
+//!
+//! A minimal wall-clock benchmark harness with criterion's calling
+//! conventions: `criterion_group!`/`criterion_main!`, benchmark groups,
+//! `Bencher::iter` / `iter_batched`. No statistics engine — each benchmark
+//! is warmed up, then timed over enough iterations to fill (a capped slice
+//! of) the configured measurement time, reporting mean ns/iter. Passing
+//! `--test` (as `cargo test --benches` does) runs one iteration per bench
+//! as a smoke test.
+
+use std::time::{Duration, Instant};
+
+/// Batch sizing hints for [`Bencher::iter_batched`] (accepted, unused).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n## group `{name}`");
+        let test_mode = self.test_mode;
+        BenchmarkGroup {
+            _criterion: self,
+            measurement_time: Duration::from_secs(1),
+            sample_size: 10,
+            test_mode,
+        }
+    }
+
+    /// Run one benchmark outside a group.
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let mut g = self.benchmark_group("default");
+        g.bench_function(name, f);
+        g.finish();
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    measurement_time: Duration,
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the time budget per benchmark (capped at 2s in this shim).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d.min(Duration::from_secs(2));
+        self
+    }
+
+    /// Set the sample count (recorded; the shim times one merged sample).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Define and immediately run one benchmark.
+    pub fn bench_function(&mut self, name: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        let name = name.into();
+        let mut b = Bencher {
+            budget: if self.test_mode {
+                Duration::ZERO // one iteration only
+            } else {
+                self.measurement_time
+            },
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = if b.iters > 0 {
+            b.elapsed.as_nanos() as f64 / b.iters as f64
+        } else {
+            f64::NAN
+        };
+        println!(
+            "bench {name:40} {:>14.0} ns/iter ({} iters)",
+            per_iter, b.iters
+        );
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Times the body of one benchmark.
+pub struct Bencher {
+    budget: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly until the budget is filled.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warmup + rate estimate.
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let mut iters: u64 = 1;
+        let mut elapsed = start.elapsed();
+        while elapsed < self.budget {
+            // Grow geometrically so fast routines don't spend forever here.
+            let batch = iters.min(1 << 20);
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            elapsed += t0.elapsed();
+            iters += batch;
+        }
+        self.iters = iters;
+        self.elapsed = elapsed;
+    }
+
+    /// Time `routine` over inputs produced by `setup`; setup time excluded.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut iters: u64 = 0;
+        let mut elapsed = Duration::ZERO;
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            elapsed += t0.elapsed();
+            iters += 1;
+            if elapsed >= self.budget {
+                break;
+            }
+        }
+        self.iters = iters;
+        self.elapsed = elapsed;
+    }
+}
+
+/// Bundle benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_counts_and_times() {
+        let mut c = Criterion { test_mode: false };
+        let mut g = c.benchmark_group("t");
+        g.measurement_time(Duration::from_millis(20)).sample_size(5);
+        let mut ran = 0u64;
+        g.bench_function("spin", |b| {
+            b.iter(|| {
+                ran += 1;
+                std::hint::black_box(ran)
+            })
+        });
+        g.finish();
+        assert!(ran > 1);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iter() {
+        let mut c = Criterion { test_mode: true };
+        let mut g = c.benchmark_group("t");
+        let mut setups = 0u64;
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![0u8; 16]
+                },
+                |v| v.len(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+        assert!(setups >= 1);
+    }
+}

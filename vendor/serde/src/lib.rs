@@ -1,0 +1,264 @@
+//! Vendored subset of `serde` (offline build).
+//!
+//! The real serde is a data-model/visitor framework; this shim collapses it
+//! to a single concrete data model — [`JsonValue`] — which is all the tree
+//! needs (every serialization site goes through `serde_json`). The
+//! `#[derive(Serialize, Deserialize)]` macros are re-exported from the
+//! companion `serde_derive` shim and generate impls of the two traits below
+//! following serde's externally-tagged conventions (structs → objects,
+//! newtypes → inner value, enum variants → `"Name"` / `{"Name": ...}`).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// The single in-memory data model every (de)serialization goes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON integer (wide enough for u64/i64 without precision loss).
+    Int(i128),
+    /// Any JSON non-integer number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object; insertion-ordered so serialization is deterministic.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object accessor.
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Field lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Array accessor.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// String accessor.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Integer accessor (floats with integral value do not coerce).
+    pub fn as_int(&self) -> Option<i128> {
+        match self {
+            JsonValue::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Numeric accessor (accepts both int and float).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Float(f) => Some(*f),
+            JsonValue::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Bool accessor.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Types convertible into the JSON data model.
+pub trait Serialize {
+    /// Build the value-tree representation.
+    fn to_value(&self) -> JsonValue;
+}
+
+/// Types reconstructible from the JSON data model.
+pub trait Deserialize: Sized {
+    /// Rebuild from a value tree; `None` on shape mismatch.
+    fn from_value(v: &JsonValue) -> Option<Self>;
+}
+
+// --- primitive impls -------------------------------------------------------
+
+macro_rules! ser_de_uint {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> JsonValue { JsonValue::Int(*self as i128) }
+        }
+        impl Deserialize for $ty {
+            fn from_value(v: &JsonValue) -> Option<Self> {
+                let i = v.as_int()?;
+                <$ty>::try_from(i).ok()
+            }
+        }
+    )*};
+}
+
+ser_de_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> JsonValue {
+        JsonValue::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &JsonValue) -> Option<Self> {
+        v.as_bool()
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> JsonValue {
+        JsonValue::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &JsonValue) -> Option<Self> {
+        v.as_f64()
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> JsonValue {
+        JsonValue::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &JsonValue) -> Option<Self> {
+        v.as_f64().map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> JsonValue {
+        JsonValue::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &JsonValue) -> Option<Self> {
+        v.as_str().map(str::to_string)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> JsonValue {
+        JsonValue::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> JsonValue {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &JsonValue) -> Option<Self> {
+        v.as_array()?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> JsonValue {
+        match self {
+            Some(t) => t.to_value(),
+            None => JsonValue::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &JsonValue) -> Option<Self> {
+        match v {
+            JsonValue::Null => Some(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &JsonValue) -> Option<Self> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        items.try_into().ok()
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> JsonValue {
+        JsonValue::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &JsonValue) -> Option<Self> {
+        v.as_object()?
+            .iter()
+            .map(|(k, v)| V::from_value(v).map(|v| (k.clone(), v)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> JsonValue {
+        // Sort keys for deterministic output (signatures hash serializations).
+        let mut entries: Vec<(String, JsonValue)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        JsonValue::Object(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &JsonValue) -> Option<Self> {
+        v.as_object()?
+            .iter()
+            .map(|(k, v)| V::from_value(v).map(|v| (k.clone(), v)))
+            .collect()
+    }
+}

@@ -1,0 +1,453 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde shim.
+//!
+//! Written against raw `proc_macro` (no syn/quote available offline). The
+//! parser handles the shapes this workspace actually derives on: named
+//! structs, tuple structs, unit structs, and enums with unit / tuple /
+//! struct variants, with plain (unbounded) type parameters. Generated
+//! impls follow serde's externally-tagged JSON conventions.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    type_params: Vec<String>,
+    data: Data,
+}
+
+#[derive(Debug)]
+enum Data {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+#[derive(Debug)]
+enum VariantFields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+/// Skip attributes (`#[...]`, including doc comments) at the iterator head.
+fn skip_attrs(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    while let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        iter.next();
+        // Consume `!` (inner attr) if present, then the bracket group.
+        if let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == '!' {
+                iter.next();
+            }
+        }
+        iter.next(); // the [...] group
+    }
+}
+
+/// Skip a `pub` / `pub(...)` visibility qualifier.
+fn skip_vis(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if let Some(TokenTree::Ident(id)) = iter.peek() {
+        if id.to_string() == "pub" {
+            iter.next();
+            if let Some(TokenTree::Group(g)) = iter.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    iter.next();
+                }
+            }
+        }
+    }
+}
+
+/// Skip tokens until a top-level comma (consumed) or end of stream.
+/// Tracks `<`/`>` depth so commas inside generic arguments don't split.
+fn skip_to_comma(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut depth = 0i32;
+    let mut prev_dash = false;
+    for tt in iter.by_ref() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' if !prev_dash => depth -= 1, // `->` arrow guard
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+            prev_dash = p.as_char() == '-';
+        } else {
+            prev_dash = false;
+        }
+    }
+}
+
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let mut iter = group.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs(&mut iter);
+        skip_vis(&mut iter);
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => {
+                fields.push(id.to_string());
+                // skip `:` then the type up to the next top-level comma
+                match iter.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => panic!("serde_derive: expected `:` after field, got {other:?}"),
+                }
+                skip_to_comma(&mut iter);
+            }
+            None => break,
+            other => panic!("serde_derive: unexpected token in fields: {other:?}"),
+        }
+    }
+    fields
+}
+
+fn tuple_arity(group: TokenStream) -> usize {
+    let mut iter = group.into_iter().peekable();
+    let mut arity = 0usize;
+    loop {
+        skip_attrs(&mut iter);
+        skip_vis(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        arity += 1;
+        skip_to_comma(&mut iter);
+    }
+    arity
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let mut iter = group.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs(&mut iter);
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => {
+                let name = id.to_string();
+                let fields = match iter.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let g = g.stream();
+                        iter.next();
+                        VariantFields::Named(parse_named_fields(g))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let g = g.stream();
+                        iter.next();
+                        VariantFields::Tuple(tuple_arity(g))
+                    }
+                    _ => VariantFields::Unit,
+                };
+                // skip discriminant (`= expr`) and the separating comma
+                skip_to_comma(&mut iter);
+                variants.push(Variant { name, fields });
+            }
+            None => break,
+            other => panic!("serde_derive: unexpected token in enum body: {other:?}"),
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs(&mut iter);
+    skip_vis(&mut iter);
+
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, got {other:?}"),
+    };
+    if kind != "struct" && kind != "enum" {
+        panic!("serde_derive: only struct/enum supported, got `{kind}`");
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+
+    // Generics: collect bare type-parameter names (bounds/lifetimes/consts
+    // beyond what this tree uses are rejected loudly rather than miscompiled).
+    let mut type_params = Vec::new();
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            iter.next();
+            let mut depth = 1i32;
+            let mut at_param = true;
+            for tt in iter.by_ref() {
+                match &tt {
+                    TokenTree::Punct(p) => match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        ',' if depth == 1 => at_param = true,
+                        '\'' => panic!("serde_derive: lifetimes unsupported"),
+                        _ => {}
+                    },
+                    TokenTree::Ident(id) if depth == 1 && at_param => {
+                        let s = id.to_string();
+                        if s == "const" {
+                            panic!("serde_derive: const generics unsupported");
+                        }
+                        type_params.push(s);
+                        at_param = false;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    // Skip a `where` clause if present; stop at the body.
+    let data = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                break if kind == "struct" {
+                    Data::NamedStruct(parse_named_fields(g.stream()))
+                } else {
+                    Data::Enum(parse_variants(g.stream()))
+                };
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                break Data::TupleStruct(tuple_arity(g.stream()));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => break Data::UnitStruct,
+            Some(_) => continue, // tokens of a where clause
+            None => panic!("serde_derive: missing item body"),
+        }
+    };
+
+    Item {
+        name,
+        type_params,
+        data,
+    }
+}
+
+/// `impl<T: ::serde::Trait, ...>` header and `Name<T, ...>` type, as strings.
+fn impl_header(item: &Item, trait_name: &str) -> (String, String) {
+    if item.type_params.is_empty() {
+        (String::new(), item.name.clone())
+    } else {
+        let bounded: Vec<String> = item
+            .type_params
+            .iter()
+            .map(|p| format!("{p}: ::serde::{trait_name}"))
+            .collect();
+        let bare = item.type_params.join(", ");
+        (
+            format!("<{}>", bounded.join(", ")),
+            format!("{}<{}>", item.name, bare),
+        )
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (generics, ty) = impl_header(item, "Serialize");
+    let body = match &item.data {
+        Data::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::JsonValue::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Data::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Data::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "::serde::JsonValue::Array(::std::vec![{}])",
+                items.join(", ")
+            )
+        }
+        Data::UnitStruct => "::serde::JsonValue::Null".to_string(),
+        Data::Enum(variants) => {
+            let name = &item.name;
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => format!(
+                            "{name}::{vn} => ::serde::JsonValue::Str(::std::string::String::from(\"{vn}\"))"
+                        ),
+                        VariantFields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let payload = if *n == 1 {
+                                "::serde::Serialize::to_value(f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!(
+                                    "::serde::JsonValue::Array(::std::vec![{}])",
+                                    items.join(", ")
+                                )
+                            };
+                            format!(
+                                "{name}::{vn}({}) => ::serde::JsonValue::Object(::std::vec![(::std::string::String::from(\"{vn}\"), {payload})])",
+                                binds.join(", ")
+                            )
+                        }
+                        VariantFields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::JsonValue::Object(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::JsonValue::Object(::std::vec![{}]))])",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl{generics} ::serde::Serialize for {ty} {{\n\
+             fn to_value(&self) -> ::serde::JsonValue {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (generics, ty) = impl_header(item, "Deserialize");
+    let name = &item.name;
+    let body = match &item.data {
+        Data::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.get(\"{f}\")?)?"))
+                .collect();
+            format!(
+                "::std::option::Option::Some({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Data::TupleStruct(1) => {
+            format!("::std::option::Option::Some({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Data::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(arr.get({i})?)?"))
+                .collect();
+            format!(
+                "{{ let arr = v.as_array()?; if arr.len() != {n} {{ return ::std::option::Option::None; }} ::std::option::Option::Some({name}({})) }}",
+                inits.join(", ")
+            )
+        }
+        Data::UnitStruct => format!("::std::option::Option::Some({name})"),
+        Data::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, VariantFields::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vn}\" => ::std::option::Option::Some({name}::{vn}),",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => None,
+                        VariantFields::Tuple(1) => Some(format!(
+                            "\"{vn}\" => ::std::option::Option::Some({name}::{vn}(::serde::Deserialize::from_value(payload)?)),"
+                        )),
+                        VariantFields::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(arr.get({i})?)?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{ let arr = payload.as_array()?; if arr.len() != {n} {{ return ::std::option::Option::None; }} ::std::option::Option::Some({name}::{vn}({})) }},",
+                                inits.join(", ")
+                            ))
+                        }
+                        VariantFields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(payload.get(\"{f}\")?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => ::std::option::Option::Some({name}::{vn} {{ {} }}),",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "if let ::std::option::Option::Some(s) = v.as_str() {{\n\
+                     return match s {{ {unit} _ => ::std::option::Option::None }};\n\
+                 }}\n\
+                 let obj = v.as_object()?;\n\
+                 if obj.len() != 1 {{ return ::std::option::Option::None; }}\n\
+                 let (tag, payload) = &obj[0];\n\
+                 match tag.as_str() {{ {tagged} _ => ::std::option::Option::None }}",
+                unit = unit_arms.join(" "),
+                tagged = tagged_arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "impl{generics} ::serde::Deserialize for {ty} {{\n\
+             fn from_value(v: &::serde::JsonValue) -> ::std::option::Option<Self> {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// Derive `serde::Serialize` (shim).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize` (shim).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl parses")
+}
