@@ -3,6 +3,7 @@
 use covise::{
     CollabSession, Controller, CutPlane, IsoSurface, ModuleId, ReadField, Renderer, SyncMode,
 };
+use gridsteer_harness::Scenario;
 use lbm::{LbmConfig, TwoFluidLbm};
 use netsim::{Link, NetModel, SimTime};
 use ogsa::{HostingEnv, Registry, SdeValue, SteeringService, VisControl, VisService};
@@ -742,6 +743,57 @@ pub fn exp_em1_migration() -> ExpResult {
     )
 }
 
+/// E50 — soak the scenario engine: sweep participant count × loss rate
+/// through the same deterministic harness the tier-1 matrix uses, with
+/// churn and a mid-run steer in every cell. Every row ends with the run's
+/// report digest, so a soak regression is visible as a digest change.
+pub fn exp_e50_soak() -> ExpResult {
+    let mut rows = Vec::new();
+    for &n in &[2usize, 4, 8] {
+        for &loss_ppm in &[0u32, 50_000, 200_000] {
+            let name = format!("e50-n{n}-loss{loss_ppm}");
+            let mut s = Scenario::named(&name)
+                .seed(0xE50 + n as u64 + loss_ppm as u64)
+                .lbm(LbmConfig::small())
+                .duration(SimTime::from_secs(3));
+            for i in 0..n {
+                let link = match i % 3 {
+                    0 => Link::uk_janet(),
+                    1 => Link::gwin(),
+                    _ => Link::transatlantic(),
+                };
+                let pname = format!("p{i}");
+                s = s.participant(&pname, link);
+                if loss_ppm > 0 {
+                    s = s.loss_at(SimTime::ZERO, &pname, loss_ppm);
+                }
+            }
+            // every cell exercises churn + steering, not just fan-out
+            s = s
+                .join_at(SimTime::from_millis(900), "late", Link::gwin())
+                .steer_at(SimTime::from_millis(1200), "p0", "miscibility", 0.3)
+                .leave_at(SimTime::from_millis(1800), "late");
+            let r = s.run();
+            rows.push(format!(
+                "n={n} loss={loss_ppm}ppm: {} broadcasts, {} delivered, {} dropped, p50 {} p99 {} skew {} budget={} digest={}",
+                r.broadcasts,
+                r.total_deliveries(),
+                r.total_drops(),
+                r.p50,
+                r.p99,
+                r.max_skew,
+                r.within_budget,
+                r.digest()
+            ));
+        }
+    }
+    emit(
+        "E50",
+        "scenario-engine soak: participants x loss rate, deterministic digests",
+        rows,
+    )
+}
+
 /// Run every experiment in index order.
 pub fn run_all() -> Vec<ExpResult> {
     vec![
@@ -759,5 +811,27 @@ pub fn run_all() -> Vec<ExpResult> {
         exp_ec1_collab_traffic(),
         exp_eu1_unicore(),
         exp_em1_migration(),
+        exp_e50_soak(),
     ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e50_soak_sweeps_every_cell() {
+        let r = exp_e50_soak();
+        assert_eq!(r.rows.len(), 9, "3 participant counts x 3 loss rates");
+        assert!(r.rows.iter().all(|row| row.contains("digest=")));
+        // lossless cells drop nothing
+        assert!(r.rows[0].contains(" 0 dropped"));
+    }
+
+    #[test]
+    fn e50_soak_is_deterministic() {
+        let a = exp_e50_soak();
+        let b = exp_e50_soak();
+        assert_eq!(a.rows, b.rows, "soak rows must replay identically");
+    }
 }

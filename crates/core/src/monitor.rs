@@ -122,6 +122,12 @@ impl LoopMonitor {
         self.samples.len()
     }
 
+    /// The recorded latency samples, in recording order (so callers can
+    /// derive percentiles without keeping a parallel copy).
+    pub fn samples(&self) -> &[SimTime] {
+        &self.samples
+    }
+
     /// True if nothing has been recorded.
     pub fn is_empty(&self) -> bool {
         self.samples.is_empty()
@@ -202,6 +208,22 @@ mod tests {
         let r = m.report();
         assert!(r.within_budget);
         assert!(!r.within_skew, "multi-frame divergence must fail");
+    }
+
+    #[test]
+    fn samples_accessor_exposes_recordings_in_order() {
+        let mut m = LoopMonitor::new(LoopBudget::VrRender);
+        for ms in [30, 10, 20] {
+            m.record(SimTime::from_millis(ms));
+        }
+        assert_eq!(
+            m.samples(),
+            &[
+                SimTime::from_millis(30),
+                SimTime::from_millis(10),
+                SimTime::from_millis(20)
+            ]
+        );
     }
 
     #[test]

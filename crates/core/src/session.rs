@@ -30,6 +30,9 @@ pub struct Participant {
     pub role: Role,
     /// Samples delivered to this participant.
     pub samples_received: u64,
+    /// Monotone join sequence number — lower means longer-joined. A
+    /// participant that leaves and rejoins gets a fresh (higher) number.
+    pub joined_seq: u64,
 }
 
 /// Auditable session events.
@@ -64,6 +67,7 @@ pub struct SteeringSession {
     pub params: ParamRegistry,
     events: Vec<SessionEvent>,
     sample_seq: u64,
+    join_counter: u64,
     /// Total bytes fanned out (bytes × recipients).
     pub fanout_bytes: u64,
 }
@@ -76,6 +80,7 @@ impl SteeringSession {
             params,
             events: Vec::new(),
             sample_seq: 0,
+            join_counter: 0,
             fanout_bytes: 0,
         }
     }
@@ -88,18 +93,23 @@ impl SteeringSession {
         } else {
             Role::Master
         };
+        let joined_seq = self.join_counter;
+        self.join_counter += 1;
         self.participants.push(Participant {
             name: name.to_string(),
             role,
             samples_received: 0,
+            joined_seq,
         });
         self.events.push(SessionEvent::Joined(name.to_string()));
         self.participants.len() - 1
     }
 
-    /// Leave. If the master leaves, the token passes to the
-    /// longest-present remaining participant (auto-promotion — the session
-    /// must stay steerable, mirroring the vbroker rule).
+    /// Leave. If the master leaves, the token deterministically passes to
+    /// the longest-joined remaining participant — smallest `joined_seq`,
+    /// not vector position — and a [`SessionEvent::MasterPassed`] is
+    /// emitted (auto-promotion: the session must stay steerable, mirroring
+    /// the vbroker rule).
     pub fn leave(&mut self, idx: usize) {
         if idx >= self.participants.len() {
             return;
@@ -108,12 +118,23 @@ impl SteeringSession {
         let name = self.participants.remove(idx).name;
         self.events.push(SessionEvent::Left(name.clone()));
         if was_master {
-            if let Some(next) = self.participants.first_mut() {
+            if let Some(next) = self.participants.iter_mut().min_by_key(|p| p.joined_seq) {
                 next.role = Role::Master;
                 let to = next.name.clone();
                 self.events
                     .push(SessionEvent::MasterPassed { from: name, to });
             }
+        }
+    }
+
+    /// Leave by name. Returns false if no such participant is present.
+    pub fn leave_by_name(&mut self, name: &str) -> bool {
+        match self.index_of(name) {
+            Some(idx) => {
+                self.leave(idx);
+                true
+            }
+            None => false,
         }
     }
 
@@ -301,6 +322,98 @@ mod tests {
             .events()
             .iter()
             .any(|e| matches!(e, SessionEvent::MasterPassed { .. })));
+    }
+
+    #[test]
+    fn departing_master_hands_off_to_longest_joined() {
+        // a passes the token to c, then c leaves: the token must return to
+        // a by explicit seniority (smallest joined_seq) — an invariant that
+        // holds even if the participant storage is ever reordered — and the
+        // handoff must be logged.
+        let mut s = session();
+        let a = s.join("a");
+        let _b = s.join("b");
+        let c = s.join("c");
+        assert!(s.pass_master(a, c));
+        let c = s.index_of("c").unwrap();
+        s.leave(c);
+        assert_eq!(s.master(), s.index_of("a"));
+        assert_eq!(
+            s.events().last(),
+            Some(&SessionEvent::MasterPassed {
+                from: "c".into(),
+                to: "a".into()
+            })
+        );
+    }
+
+    #[test]
+    fn rejoin_resets_seniority_for_handoff() {
+        // a joins, b joins, a leaves and rejoins: b is now longest-joined.
+        // When master b departs, the token must go to... well, a is the only
+        // one left; make it three-way so the choice is real.
+        let mut s = session();
+        s.join("a");
+        s.join("b"); // b is master? no — a is master (first joiner)
+        s.join("c");
+        assert!(s.leave_by_name("a")); // master leaves → b promoted
+        assert_eq!(s.master(), s.index_of("b"));
+        s.join("a"); // a rejoins, now junior to both b and c
+        assert!(s.leave_by_name("b")); // master leaves again
+        assert_eq!(
+            s.master(),
+            s.index_of("c"),
+            "token must go to c (longest-joined), not the rejoined a"
+        );
+    }
+
+    #[test]
+    fn non_master_departure_passes_no_token() {
+        let mut s = session();
+        s.join("a");
+        s.join("b");
+        assert!(s.leave_by_name("b"));
+        assert_eq!(s.master(), s.index_of("a"));
+        assert!(!s
+            .events()
+            .iter()
+            .any(|e| matches!(e, SessionEvent::MasterPassed { .. })));
+    }
+
+    #[test]
+    fn leave_by_name_unknown_is_refused() {
+        let mut s = session();
+        s.join("a");
+        assert!(!s.leave_by_name("ghost"));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn join_seq_is_monotone_and_survives_churn() {
+        let mut s = session();
+        s.join("a");
+        s.join("b");
+        s.leave_by_name("a");
+        let idx = s.join("a");
+        let rejoined = s.participant(idx).unwrap();
+        let b = s.participant(s.index_of("b").unwrap()).unwrap();
+        assert!(rejoined.joined_seq > b.joined_seq);
+    }
+
+    #[test]
+    fn handoff_chain_drains_to_last_participant() {
+        // masters keep leaving; the token must walk down the join order
+        // deterministically until one participant remains.
+        let mut s = session();
+        for name in ["a", "b", "c", "d"] {
+            s.join(name);
+        }
+        for expected in ["b", "c", "d"] {
+            let m = s.master().unwrap();
+            s.leave(m);
+            assert_eq!(s.master(), s.index_of(expected));
+        }
+        assert_eq!(s.len(), 1);
     }
 
     #[test]

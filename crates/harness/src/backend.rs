@@ -1,0 +1,274 @@
+//! Simulation backends a scenario can steer.
+//!
+//! A [`ScenarioBackend`] is the sample source of a run: the engine steps it
+//! once per sample tick, fans the sample out to the participants, and routes
+//! accepted steers into it. Two backends cover the paper's two codes — the
+//! LB two-fluid mixture (§2.2) and the PEPC plasma (§3.4) — behind one
+//! object-safe trait so scenarios are written once and run against either.
+
+use lbm::{LbmConfig, TwoFluidLbm};
+use pepc::sim::SteerParams;
+use pepc::{PepcConfig, PepcSim};
+use steer_core::ParamSpec;
+
+/// A steerable simulation driven by the scenario engine.
+pub trait ScenarioBackend {
+    /// Short backend name (appears in the report header).
+    fn kind(&self) -> &'static str;
+
+    /// The steerable parameters this backend accepts, as registry specs.
+    fn param_specs(&self) -> Vec<ParamSpec>;
+
+    /// Apply an accepted steer. `param` is one of [`param_specs`]'s names
+    /// and `value` has already passed the registry's bounds check.
+    ///
+    /// [`param_specs`]: ScenarioBackend::param_specs
+    fn apply_steer(&mut self, param: &str, value: f64);
+
+    /// Advance the simulation by `steps` time steps.
+    fn advance(&mut self, steps: usize);
+
+    /// Size of one sample on the wire, in bytes.
+    fn sample_bytes(&self) -> usize;
+
+    /// Checkpoint the state and restore from that checkpoint, returning the
+    /// checkpoint size in bytes. For backends with real checkpoints (LBM)
+    /// this round-trips the state — proving a migration moves *state*, not
+    /// just accounting; backends without one return the wire size of their
+    /// full state (cost model only).
+    fn checkpoint_roundtrip(&mut self) -> usize;
+
+    /// Monotone progress counter (simulation steps taken).
+    fn progress(&self) -> u64;
+}
+
+/// The LB two-fluid mixture with the miscibility steering parameter.
+pub struct LbmBackend {
+    // Option so checkpoint_roundtrip can move the sim through its
+    // by-value checkpoint/restore API.
+    sim: Option<TwoFluidLbm>,
+}
+
+impl LbmBackend {
+    /// A backend over a fresh simulation.
+    pub fn new(cfg: LbmConfig) -> Self {
+        LbmBackend {
+            sim: Some(TwoFluidLbm::new(cfg)),
+        }
+    }
+
+    /// The underlying simulation.
+    pub fn sim(&self) -> &TwoFluidLbm {
+        self.sim.as_ref().expect("sim present outside checkpoint")
+    }
+}
+
+impl ScenarioBackend for LbmBackend {
+    fn kind(&self) -> &'static str {
+        "lbm"
+    }
+
+    fn param_specs(&self) -> Vec<ParamSpec> {
+        vec![ParamSpec {
+            name: "miscibility".into(),
+            min: 0.0,
+            max: 1.0,
+            initial: 1.0,
+        }]
+    }
+
+    fn apply_steer(&mut self, param: &str, value: f64) {
+        if param == "miscibility" {
+            self.sim.as_mut().unwrap().set_miscibility(value);
+        }
+    }
+
+    fn advance(&mut self, steps: usize) {
+        self.sim.as_mut().unwrap().step_n(steps);
+    }
+
+    fn sample_bytes(&self) -> usize {
+        // one f32 order-parameter scalar per node — what the Figure-1
+        // pipeline ships to the isosurface stage
+        let (nx, ny, nz) = self.sim().dims();
+        nx * ny * nz * 4
+    }
+
+    fn checkpoint_roundtrip(&mut self) -> usize {
+        let sim = self.sim.take().expect("sim present");
+        let ck = sim.checkpoint();
+        let bytes = ck.byte_size();
+        self.sim = Some(TwoFluidLbm::from_checkpoint(ck));
+        bytes
+    }
+
+    fn progress(&self) -> u64 {
+        self.sim().steps()
+    }
+}
+
+/// The PEPC plasma with the §3.4 steerable parameters.
+pub struct PepcBackend {
+    sim: PepcSim,
+}
+
+/// Bytes per particle on the wire: position + velocity as f32 triples,
+/// charge (f32), rank (u16), tracking label (u32).
+const PEPC_PARTICLE_BYTES: usize = 12 + 12 + 4 + 2 + 4;
+
+impl PepcBackend {
+    /// A backend over a fresh simulation.
+    pub fn new(cfg: PepcConfig) -> Self {
+        PepcBackend {
+            sim: PepcSim::new(cfg),
+        }
+    }
+
+    /// The underlying simulation.
+    pub fn sim(&self) -> &PepcSim {
+        &self.sim
+    }
+}
+
+impl ScenarioBackend for PepcBackend {
+    fn kind(&self) -> &'static str {
+        "pepc"
+    }
+
+    fn param_specs(&self) -> Vec<ParamSpec> {
+        vec![
+            ParamSpec {
+                name: "damping".into(),
+                min: 0.0,
+                max: 1.0,
+                initial: 0.0,
+            },
+            ParamSpec {
+                name: "laser_amplitude".into(),
+                min: 0.0,
+                max: 10.0,
+                initial: 0.0,
+            },
+            ParamSpec {
+                name: "beam_intensity".into(),
+                min: 0.0,
+                max: 10.0,
+                initial: 0.0,
+            },
+        ]
+    }
+
+    fn apply_steer(&mut self, param: &str, value: f64) {
+        let mut p: SteerParams = self.sim.params();
+        match param {
+            "damping" => p.damping = value,
+            "laser_amplitude" => p.laser_amplitude = value,
+            "beam_intensity" => p.beam_intensity = value,
+            _ => return,
+        }
+        self.sim.set_params(p);
+    }
+
+    fn advance(&mut self, steps: usize) {
+        self.sim.step_n(steps);
+    }
+
+    fn sample_bytes(&self) -> usize {
+        self.sim.len() * PEPC_PARTICLE_BYTES
+    }
+
+    fn checkpoint_roundtrip(&mut self) -> usize {
+        // PEPC has no checkpoint/restore API; the full particle set is the
+        // state that would move, so its wire size is the transfer cost.
+        self.sim.len() * PEPC_PARTICLE_BYTES
+    }
+
+    fn progress(&self) -> u64 {
+        self.sim.step_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_lbm() -> LbmConfig {
+        LbmConfig {
+            nx: 6,
+            ny: 6,
+            nz: 6,
+            threads: 1,
+            ..Default::default()
+        }
+    }
+
+    fn tiny_pepc() -> PepcConfig {
+        PepcConfig {
+            n_target: 40,
+            ranks: 1,
+            ..PepcConfig::small()
+        }
+    }
+
+    #[test]
+    fn lbm_backend_steers_miscibility() {
+        let mut b = LbmBackend::new(tiny_lbm());
+        b.apply_steer("miscibility", 0.3);
+        assert_eq!(b.sim().miscibility(), 0.3);
+        b.apply_steer("unknown", 9.9); // ignored, no panic
+        assert_eq!(b.sim().miscibility(), 0.3);
+    }
+
+    #[test]
+    fn lbm_backend_advances_and_reports_progress() {
+        let mut b = LbmBackend::new(tiny_lbm());
+        b.advance(4);
+        assert_eq!(b.progress(), 4);
+        assert_eq!(b.sample_bytes(), 6 * 6 * 6 * 4);
+    }
+
+    #[test]
+    fn lbm_checkpoint_roundtrip_preserves_state() {
+        let mut b = LbmBackend::new(tiny_lbm());
+        b.apply_steer("miscibility", 0.2);
+        b.advance(5);
+        let before = b.sim().order_parameter().data().to_vec();
+        let bytes = b.checkpoint_roundtrip();
+        assert!(bytes > 0);
+        assert_eq!(b.sim().miscibility(), 0.2);
+        assert_eq!(b.progress(), 5);
+        assert_eq!(b.sim().order_parameter().data(), &before[..]);
+    }
+
+    #[test]
+    fn pepc_backend_steers_all_params() {
+        let mut b = PepcBackend::new(tiny_pepc());
+        b.apply_steer("damping", 0.5);
+        b.apply_steer("laser_amplitude", 1.5);
+        b.apply_steer("beam_intensity", 2.0);
+        let p = b.sim().params();
+        assert_eq!(p.damping, 0.5);
+        assert_eq!(p.laser_amplitude, 1.5);
+        assert_eq!(p.beam_intensity, 2.0);
+    }
+
+    #[test]
+    fn pepc_backend_sample_scales_with_particles() {
+        let mut b = PepcBackend::new(tiny_pepc());
+        assert_eq!(b.sample_bytes(), b.sim().len() * PEPC_PARTICLE_BYTES);
+        assert_eq!(b.checkpoint_roundtrip(), b.sample_bytes());
+        b.advance(2);
+        assert_eq!(b.progress(), 2);
+    }
+
+    #[test]
+    fn param_specs_match_registry_contract() {
+        let lbm = LbmBackend::new(tiny_lbm());
+        let pepc = PepcBackend::new(tiny_pepc());
+        for spec in lbm.param_specs().iter().chain(pepc.param_specs().iter()) {
+            assert!(spec.min <= spec.initial && spec.initial <= spec.max);
+        }
+        assert_eq!(lbm.kind(), "lbm");
+        assert_eq!(pepc.kind(), "pepc");
+    }
+}

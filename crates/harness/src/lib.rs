@@ -1,0 +1,32 @@
+//! # gridsteer-harness — the deterministic scenario engine
+//!
+//! The paper's core claim is qualitative: the steering loop stays
+//! responsive while clients join, leave, pass the master token, and the
+//! computation migrates mid-run (§2.4, §3.3, §4.2–4.4). This crate turns
+//! that claim into checkable infrastructure: a [`Scenario`] builder wires
+//! N participants, one simulation backend (LBM or PEPC), and per-client
+//! fault-injectable links into a single run driven by the virtual clock —
+//! no wall-clock, no sockets — and yields a [`ScenarioReport`] whose
+//! canonical rendering (and hence [`ScenarioReport::digest`]) is
+//! byte-stable for a given seed.
+//!
+//! The seed/digest contract:
+//!
+//! * every deterministic stream in a run (backend initial conditions, link
+//!   jitter/loss, fault injection, migration transfer) derives from the one
+//!   scenario seed;
+//! * same built scenario + same seed ⇒ identical [`ScenarioReport::render`]
+//!   bytes ⇒ identical digest;
+//! * a different seed re-derives every stream, so any scenario with jitter
+//!   or loss observably diverges.
+//!
+//! See `tests/scenarios.rs` at the workspace root for the tier-1 fault
+//! matrix and the README's "Scenario harness" section for how to add one.
+
+pub mod backend;
+pub mod report;
+pub mod scenario;
+
+pub use backend::{LbmBackend, PepcBackend, ScenarioBackend};
+pub use report::{MigrationRecord, ScenarioReport};
+pub use scenario::{Action, Scenario};

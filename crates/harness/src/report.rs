@@ -1,0 +1,253 @@
+//! Structured scenario outcomes with a byte-stable digest.
+//!
+//! The seed/digest contract: a [`ScenarioReport`] renders to a canonical
+//! text form ([`ScenarioReport::render`]) whose bytes are identical for
+//! identical `(scenario, seed)` pairs — no wall-clock, no hash-map
+//! iteration order, no float formatting drift. [`ScenarioReport::digest`]
+//! is an FNV-1a 64 over that rendering; regression tests pin a scenario's
+//! behaviour by pinning the digest.
+
+use netsim::{LinkStats, SimTime};
+use std::fmt;
+
+/// One mid-run migration of the computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationRecord {
+    /// Source site name.
+    pub from: String,
+    /// Destination site name.
+    pub to: String,
+    /// Checkpoint bytes moved.
+    pub bytes: usize,
+    /// Virtual time the sample stream was paused.
+    pub gap: SimTime,
+}
+
+/// Everything one deterministic scenario run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub name: String,
+    /// The seed the run was driven by.
+    pub seed: u64,
+    /// Backend kind ("lbm" / "pepc").
+    pub backend: &'static str,
+    /// Sample broadcasts executed.
+    pub broadcasts: u64,
+    /// Sample ticks skipped during migration blackouts.
+    pub broadcasts_skipped: u64,
+    /// Median per-participant sample delivery latency.
+    pub p50: SimTime,
+    /// 90th-percentile latency.
+    pub p90: SimTime,
+    /// 99th-percentile latency.
+    pub p99: SimTime,
+    /// Worst latency.
+    pub max: SimTime,
+    /// Worst cross-participant arrival skew within one broadcast.
+    pub max_skew: SimTime,
+    /// True if every delivery met the §4.3 post-processing budget.
+    pub within_budget: bool,
+    /// True if every skew met the divergence bound.
+    pub within_skew: bool,
+    /// Steers that reached the session and were applied to the backend.
+    pub steers_applied: u64,
+    /// Steers lost in transit (drop/partition) or to a vanished sender.
+    pub steers_lost: u64,
+    /// Mid-run migrations, in order.
+    pub migrations: Vec<MigrationRecord>,
+    /// Per-participant link statistics, in join order.
+    pub links: Vec<(String, LinkStats)>,
+    /// The session's ordered audit log, rendered.
+    pub session_events: Vec<String>,
+    /// Engine-level events (faults, losses, migrations), timestamped.
+    pub engine_events: Vec<String>,
+    /// Backend progress (simulation steps) at the end of the run.
+    pub final_progress: u64,
+}
+
+impl ScenarioReport {
+    /// Total messages dropped across all participant links.
+    pub fn total_drops(&self) -> u64 {
+        self.links.iter().map(|(_, s)| s.dropped).sum()
+    }
+
+    /// Total messages delivered across all participant links.
+    pub fn total_deliveries(&self) -> u64 {
+        self.links.iter().map(|(_, s)| s.delivered).sum()
+    }
+
+    /// True if every migration gap stayed inside the §4.4 simulation-loop
+    /// tolerance (vacuously true with no migrations).
+    pub fn migrations_within_budget(&self) -> bool {
+        self.migrations
+            .iter()
+            .all(|m| m.gap < SimTime::from_secs(60))
+    }
+
+    /// Canonical text rendering — the digest's input. Byte-stable for a
+    /// given `(scenario, seed)`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        use fmt::Write;
+        let _ = writeln!(
+            out,
+            "scenario={} seed={} backend={}",
+            self.name, self.seed, self.backend
+        );
+        let _ = writeln!(
+            out,
+            "broadcasts={} skipped={} deliveries={} drops={}",
+            self.broadcasts,
+            self.broadcasts_skipped,
+            self.total_deliveries(),
+            self.total_drops()
+        );
+        let _ = writeln!(
+            out,
+            "latency p50={} p90={} p99={} max={} skew={} budget={} skew_ok={}",
+            self.p50,
+            self.p90,
+            self.p99,
+            self.max,
+            self.max_skew,
+            self.within_budget,
+            self.within_skew
+        );
+        let _ = writeln!(
+            out,
+            "steers applied={} lost={}",
+            self.steers_applied, self.steers_lost
+        );
+        for m in &self.migrations {
+            let _ = writeln!(
+                out,
+                "migration from={} to={} bytes={} gap={}",
+                m.from, m.to, m.bytes, m.gap
+            );
+        }
+        for (name, s) in &self.links {
+            let _ = writeln!(
+                out,
+                "link {} delivered={} dropped={}",
+                name, s.delivered, s.dropped
+            );
+        }
+        for e in &self.session_events {
+            let _ = writeln!(out, "session {e}");
+        }
+        for e in &self.engine_events {
+            let _ = writeln!(out, "engine {e}");
+        }
+        let _ = writeln!(out, "progress={}", self.final_progress);
+        out
+    }
+
+    /// FNV-1a 64 digest of [`ScenarioReport::render`], as 16 hex digits.
+    pub fn digest(&self) -> String {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.render().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        format!("{h:016x}")
+    }
+}
+
+impl fmt::Display for ScenarioReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> ScenarioReport {
+        ScenarioReport {
+            name: "t".into(),
+            seed: 1,
+            backend: "lbm",
+            broadcasts: 10,
+            broadcasts_skipped: 1,
+            p50: SimTime::from_millis(5),
+            p90: SimTime::from_millis(7),
+            p99: SimTime::from_millis(9),
+            max: SimTime::from_millis(9),
+            max_skew: SimTime::from_millis(2),
+            within_budget: true,
+            within_skew: true,
+            steers_applied: 2,
+            steers_lost: 1,
+            migrations: vec![MigrationRecord {
+                from: "london".into(),
+                to: "manchester".into(),
+                bytes: 1000,
+                gap: SimTime::from_secs(3),
+            }],
+            links: vec![(
+                "alice".into(),
+                LinkStats {
+                    delivered: 9,
+                    dropped: 1,
+                },
+            )],
+            session_events: vec!["Joined(alice)".into()],
+            engine_events: vec!["1.000s partition alice".into()],
+            final_progress: 10,
+        }
+    }
+
+    #[test]
+    fn digest_is_stable_across_calls() {
+        let r = sample_report();
+        assert_eq!(r.digest(), r.digest());
+        assert_eq!(r.digest().len(), 16);
+    }
+
+    #[test]
+    fn digest_changes_with_any_field() {
+        let r = sample_report();
+        let mut r2 = r.clone();
+        r2.steers_lost += 1;
+        assert_ne!(r.digest(), r2.digest());
+        let mut r3 = r.clone();
+        r3.seed = 2;
+        assert_ne!(r.digest(), r3.digest());
+    }
+
+    #[test]
+    fn render_contains_every_section() {
+        let text = sample_report().render();
+        for needle in [
+            "scenario=t seed=1 backend=lbm",
+            "broadcasts=10 skipped=1 deliveries=9 drops=1",
+            "steers applied=2 lost=1",
+            "migration from=london to=manchester bytes=1000 gap=3.000s",
+            "link alice delivered=9 dropped=1",
+            "session Joined(alice)",
+            "engine 1.000s partition alice",
+            "progress=10",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn totals_and_migration_budget() {
+        let r = sample_report();
+        assert_eq!(r.total_deliveries(), 9);
+        assert_eq!(r.total_drops(), 1);
+        assert!(r.migrations_within_budget());
+        let mut slow = r.clone();
+        slow.migrations[0].gap = SimTime::from_secs(90);
+        assert!(!slow.migrations_within_budget());
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let r = sample_report();
+        assert_eq!(format!("{r}"), r.render());
+    }
+}

@@ -1,0 +1,860 @@
+//! The scenario builder DSL and the deterministic engine behind it.
+//!
+//! A [`Scenario`] wires N steering participants, one simulation backend,
+//! and per-participant [`FaultyLink`]s into a single run driven entirely by
+//! the virtual clock ([`EventQueue`]) and a seeded RNG — no wall-clock, no
+//! sockets, no threads. Everything that happens mid-run (client churn,
+//! master handoff, fault injection, migration) is a scripted [`Action`] at
+//! a virtual time, so a scenario replays byte-identically for a given seed.
+//!
+//! ```
+//! use gridsteer_harness::Scenario;
+//! use netsim::{Link, SimTime};
+//!
+//! let report = Scenario::named("loss-demo")
+//!     .seed(7)
+//!     .participant("alice", Link::uk_janet())
+//!     .participant("bob", Link::transatlantic())
+//!     .loss_at(SimTime::from_millis(200), "bob", 200_000)
+//!     .steer_at(SimTime::from_millis(500), "alice", "miscibility", 0.3)
+//!     .duration(SimTime::from_secs(1))
+//!     .run();
+//! assert_eq!(report.digest(), Scenario::named("loss-demo")
+//!     .seed(7)
+//!     .participant("alice", Link::uk_janet())
+//!     .participant("bob", Link::transatlantic())
+//!     .loss_at(SimTime::from_millis(200), "bob", 200_000)
+//!     .steer_at(SimTime::from_millis(500), "alice", "miscibility", 0.3)
+//!     .duration(SimTime::from_secs(1))
+//!     .run()
+//!     .digest());
+//! ```
+
+use crate::backend::{LbmBackend, PepcBackend, ScenarioBackend};
+use crate::report::{MigrationRecord, ScenarioReport};
+use lbm::LbmConfig;
+use netsim::{EventQueue, FaultyLink, Link, NetModel, SimTime};
+use pepc::PepcConfig;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use steer_core::{LoopBudget, LoopMonitor, ParamRegistry, SessionEvent, SteeringSession};
+
+/// Wire size of one steer command frame.
+const STEER_BYTES: usize = 64;
+
+/// Fixed restart overhead after a migration (the UNICORE re-incarnation
+/// cost, matching `steer_core::Migrator`).
+const RESTART_OVERHEAD: SimTime = SimTime::from_secs(2);
+
+/// Runaway guard on total processed events.
+const MAX_EVENTS: usize = 1_000_000;
+
+/// A scripted occurrence at a virtual time.
+#[derive(Debug, Clone)]
+pub enum Action {
+    /// A participant joins (or rejoins) over the given link. A rejoin is a
+    /// new connection: the link (and any partition/loss/jitter fault state)
+    /// is replaced, while delivery statistics accumulate across
+    /// connections.
+    Join {
+        /// Participant name.
+        name: String,
+        /// Steady-state link profile (its seed is re-derived from the
+        /// scenario seed).
+        link: Link,
+    },
+    /// A participant leaves; a departing master hands the token to the
+    /// longest-joined remaining participant.
+    Leave {
+        /// Participant name.
+        name: String,
+    },
+    /// The master passes the token explicitly.
+    PassMaster {
+        /// Current master.
+        from: String,
+        /// Recipient.
+        to: String,
+    },
+    /// A participant sends a steer command over their (possibly faulted)
+    /// link; it applies on arrival, or is lost in transit.
+    Steer {
+        /// Sender.
+        who: String,
+        /// Parameter name.
+        param: String,
+        /// Requested value.
+        value: f64,
+    },
+    /// Sever a participant's link until healed.
+    Partition {
+        /// Participant name.
+        who: String,
+    },
+    /// Restore a partitioned link.
+    Heal {
+        /// Participant name.
+        who: String,
+    },
+    /// Inject extra loss (ppm) on a participant's link.
+    SetLoss {
+        /// Participant name.
+        who: String,
+        /// Loss in parts-per-million.
+        ppm: u32,
+    },
+    /// Inject extra jitter on a participant's link.
+    SetJitter {
+        /// Participant name.
+        who: String,
+        /// Maximum extra jitter.
+        jitter: SimTime,
+    },
+    /// Migrate the computation between named `sc2003` sites; sampling
+    /// pauses for the transfer + restart gap.
+    Migrate {
+        /// Source site.
+        from: String,
+        /// Destination site.
+        to: String,
+    },
+}
+
+#[derive(Debug, Clone)]
+enum BackendSpec {
+    Lbm(LbmConfig),
+    Pepc(PepcConfig),
+}
+
+/// A deterministic end-to-end steering scenario (builder).
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    name: String,
+    seed: u64,
+    backend: BackendSpec,
+    participants: Vec<(String, Link)>,
+    actions: Vec<(SimTime, Action)>,
+    sample_every: SimTime,
+    steps_per_sample: usize,
+    duration: SimTime,
+}
+
+/// One connected (or disconnected) scenario participant.
+struct Client {
+    name: String,
+    link: FaultyLink,
+    online: bool,
+    /// Stats accumulated over previous connections (a rejoin replaces the
+    /// link — and with it the live counters — with a fresh one).
+    prior_stats: netsim::LinkStats,
+}
+
+impl Client {
+    /// Lifetime delivery statistics across all of this participant's
+    /// connections.
+    fn total_stats(&self) -> netsim::LinkStats {
+        let cur = self.link.stats();
+        netsim::LinkStats {
+            delivered: self.prior_stats.delivered + cur.delivered,
+            dropped: self.prior_stats.dropped + cur.dropped,
+        }
+    }
+}
+
+enum Ev {
+    Sample,
+    Act(usize),
+    ApplySteer {
+        who: String,
+        param: String,
+        value: f64,
+    },
+}
+
+impl Scenario {
+    /// A named scenario with defaults: a small LBM backend, 100 ms sample
+    /// interval, one simulation step per sample, 3 s duration, seed 1.
+    pub fn named(name: &str) -> Scenario {
+        Scenario {
+            name: name.to_string(),
+            seed: 1,
+            backend: BackendSpec::Lbm(LbmConfig::small()),
+            participants: Vec::new(),
+            actions: Vec::new(),
+            sample_every: SimTime::from_millis(100),
+            steps_per_sample: 1,
+            duration: SimTime::from_secs(3),
+        }
+    }
+
+    /// The seed every deterministic stream in the run derives from.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Use the LB two-fluid backend (its config seed is re-derived from
+    /// the scenario seed).
+    pub fn lbm(mut self, cfg: LbmConfig) -> Self {
+        self.backend = BackendSpec::Lbm(cfg);
+        self
+    }
+
+    /// Use the PEPC plasma backend (its config seed is re-derived from the
+    /// scenario seed).
+    pub fn pepc(mut self, cfg: PepcConfig) -> Self {
+        self.backend = BackendSpec::Pepc(cfg);
+        self
+    }
+
+    /// Add a participant present from t=0. The first participant becomes
+    /// the session master.
+    pub fn participant(mut self, name: &str, link: Link) -> Self {
+        self.participants.push((name.to_string(), link));
+        self
+    }
+
+    /// Sample (and step) interval.
+    pub fn sample_every(mut self, t: SimTime) -> Self {
+        self.sample_every = t;
+        self
+    }
+
+    /// Simulation steps per sample tick.
+    pub fn steps_per_sample(mut self, n: usize) -> Self {
+        self.steps_per_sample = n.max(1);
+        self
+    }
+
+    /// Virtual run length (samples stop after this time).
+    pub fn duration(mut self, t: SimTime) -> Self {
+        self.duration = t;
+        self
+    }
+
+    /// Schedule a raw [`Action`] at virtual time `t`.
+    pub fn at(mut self, t: SimTime, action: Action) -> Self {
+        self.actions.push((t, action));
+        self
+    }
+
+    /// Sugar: a participant joins mid-run.
+    pub fn join_at(self, t: SimTime, name: &str, link: Link) -> Self {
+        self.at(
+            t,
+            Action::Join {
+                name: name.to_string(),
+                link,
+            },
+        )
+    }
+
+    /// Sugar: a participant leaves mid-run.
+    pub fn leave_at(self, t: SimTime, name: &str) -> Self {
+        self.at(
+            t,
+            Action::Leave {
+                name: name.to_string(),
+            },
+        )
+    }
+
+    /// Sugar: a steer command is sent.
+    pub fn steer_at(self, t: SimTime, who: &str, param: &str, value: f64) -> Self {
+        self.at(
+            t,
+            Action::Steer {
+                who: who.to_string(),
+                param: param.to_string(),
+                value,
+            },
+        )
+    }
+
+    /// Sugar: the master passes the token.
+    pub fn pass_master_at(self, t: SimTime, from: &str, to: &str) -> Self {
+        self.at(
+            t,
+            Action::PassMaster {
+                from: from.to_string(),
+                to: to.to_string(),
+            },
+        )
+    }
+
+    /// Sugar: partition a participant's link.
+    pub fn partition_at(self, t: SimTime, who: &str) -> Self {
+        self.at(
+            t,
+            Action::Partition {
+                who: who.to_string(),
+            },
+        )
+    }
+
+    /// Sugar: heal a participant's link.
+    pub fn heal_at(self, t: SimTime, who: &str) -> Self {
+        self.at(
+            t,
+            Action::Heal {
+                who: who.to_string(),
+            },
+        )
+    }
+
+    /// Sugar: inject extra loss on a participant's link.
+    pub fn loss_at(self, t: SimTime, who: &str, ppm: u32) -> Self {
+        self.at(
+            t,
+            Action::SetLoss {
+                who: who.to_string(),
+                ppm,
+            },
+        )
+    }
+
+    /// Sugar: inject extra jitter on a participant's link.
+    pub fn jitter_at(self, t: SimTime, who: &str, jitter: SimTime) -> Self {
+        self.at(
+            t,
+            Action::SetJitter {
+                who: who.to_string(),
+                jitter,
+            },
+        )
+    }
+
+    /// Sugar: migrate the computation between `sc2003` sites.
+    pub fn migrate_at(self, t: SimTime, from: &str, to: &str) -> Self {
+        self.at(
+            t,
+            Action::Migrate {
+                from: from.to_string(),
+                to: to.to_string(),
+            },
+        )
+    }
+
+    /// Execute the scenario and return its report. Running the same built
+    /// scenario twice yields byte-identical reports.
+    pub fn run(&self) -> ScenarioReport {
+        assert!(
+            self.sample_every > SimTime::ZERO,
+            "sample interval must be positive"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let backend_seed = rng.next_u64();
+        let mut backend: Box<dyn ScenarioBackend> = match &self.backend {
+            BackendSpec::Lbm(cfg) => {
+                let mut cfg = cfg.clone();
+                cfg.seed = backend_seed;
+                Box::new(LbmBackend::new(cfg))
+            }
+            BackendSpec::Pepc(cfg) => {
+                let mut cfg = cfg.clone();
+                cfg.seed = backend_seed;
+                Box::new(PepcBackend::new(cfg))
+            }
+        };
+        let mut registry = ParamRegistry::new();
+        for spec in backend.param_specs() {
+            registry.declare(spec);
+        }
+        let mut session = SteeringSession::new(registry);
+        let (net, sites) = NetModel::sc2003();
+        let mut clients: Vec<Client> = Vec::new();
+        for (name, link) in &self.participants {
+            join_client(&mut clients, &mut session, name, link, &mut rng);
+        }
+
+        let mut queue: EventQueue<Ev> = EventQueue::new();
+        for (i, (t, _)) in self.actions.iter().enumerate() {
+            queue.schedule(*t, Ev::Act(i));
+        }
+        if self.sample_every <= self.duration {
+            queue.schedule(self.sample_every, Ev::Sample);
+        }
+
+        let mut post = LoopMonitor::new(LoopBudget::PostProcessing);
+        let mut engine_events: Vec<String> = Vec::new();
+        let mut migrations: Vec<MigrationRecord> = Vec::new();
+        let mut broadcasts = 0u64;
+        let mut skipped = 0u64;
+        let mut steers_applied = 0u64;
+        let mut steers_lost = 0u64;
+        let mut pause_until = SimTime::ZERO;
+        let mut processed = 0usize;
+
+        while let Some(ev) = queue.pop() {
+            processed += 1;
+            if processed > MAX_EVENTS {
+                engine_events.push(format!("{} runaway-guard", ev.at));
+                break;
+            }
+            let now = ev.at;
+            match ev.payload {
+                Ev::Sample => {
+                    if now + self.sample_every <= self.duration {
+                        queue.schedule(now + self.sample_every, Ev::Sample);
+                    }
+                    if now < pause_until {
+                        skipped += 1;
+                        continue;
+                    }
+                    backend.advance(self.steps_per_sample);
+                    let bytes = backend.sample_bytes();
+                    session.broadcast_sample(bytes);
+                    broadcasts += 1;
+                    let mut earliest: Option<SimTime> = None;
+                    let mut latest: Option<SimTime> = None;
+                    for c in clients.iter_mut().filter(|c| c.online) {
+                        if let Some(arrival) = c.link.deliver(now, bytes) {
+                            post.record(arrival.saturating_since(now));
+                            earliest = Some(earliest.map_or(arrival, |e: SimTime| {
+                                if arrival < e {
+                                    arrival
+                                } else {
+                                    e
+                                }
+                            }));
+                            latest = Some(latest.map_or(arrival, |l: SimTime| l.max(arrival)));
+                        }
+                    }
+                    if let (Some(lo), Some(hi)) = (earliest, latest) {
+                        post.record_skew(hi.saturating_since(lo));
+                    }
+                }
+                Ev::Act(i) => {
+                    let action = self.actions[i].1.clone();
+                    apply_action(ActionCtx {
+                        action,
+                        now,
+                        clients: &mut clients,
+                        session: &mut session,
+                        backend: backend.as_mut(),
+                        queue: &mut queue,
+                        rng: &mut rng,
+                        net: &net,
+                        sites: &sites,
+                        engine_events: &mut engine_events,
+                        migrations: &mut migrations,
+                        steers_lost: &mut steers_lost,
+                        pause_until: &mut pause_until,
+                    });
+                }
+                Ev::ApplySteer { who, param, value } => match session.index_of(&who) {
+                    Some(idx) => {
+                        if session.steer(idx, &param, value).is_ok() {
+                            backend.apply_steer(&param, value);
+                            steers_applied += 1;
+                        }
+                        // refusals are already in the session audit log
+                    }
+                    None => {
+                        steers_lost += 1;
+                        engine_events.push(format!("{now} steer-sender-left {who}"));
+                    }
+                },
+            }
+        }
+
+        let mut latencies = post.samples().to_vec();
+        latencies.sort();
+        let pct = |q: f64| -> SimTime {
+            if latencies.is_empty() {
+                SimTime::ZERO
+            } else {
+                latencies[((latencies.len() - 1) as f64 * q).round() as usize]
+            }
+        };
+        let loop_report = post.report();
+        ScenarioReport {
+            name: self.name.clone(),
+            seed: self.seed,
+            backend: backend.kind(),
+            broadcasts,
+            broadcasts_skipped: skipped,
+            p50: pct(0.5),
+            p90: pct(0.9),
+            p99: pct(0.99),
+            max: loop_report.max,
+            max_skew: loop_report.max_skew,
+            within_budget: loop_report.within_budget,
+            within_skew: loop_report.within_skew,
+            steers_applied,
+            steers_lost,
+            migrations,
+            links: clients
+                .iter()
+                .map(|c| (c.name.clone(), c.total_stats()))
+                .collect(),
+            session_events: session.events().iter().map(render_event).collect(),
+            engine_events,
+            final_progress: backend.progress(),
+        }
+    }
+}
+
+/// Everything one action application touches (bundled to keep the
+/// dispatcher signature sane).
+struct ActionCtx<'a> {
+    action: Action,
+    now: SimTime,
+    clients: &'a mut Vec<Client>,
+    session: &'a mut SteeringSession,
+    backend: &'a mut dyn ScenarioBackend,
+    queue: &'a mut EventQueue<Ev>,
+    rng: &'a mut StdRng,
+    net: &'a NetModel,
+    sites: &'a std::collections::HashMap<String, netsim::SiteId>,
+    engine_events: &'a mut Vec<String>,
+    migrations: &'a mut Vec<MigrationRecord>,
+    steers_lost: &'a mut u64,
+    pause_until: &'a mut SimTime,
+}
+
+fn apply_action(ctx: ActionCtx<'_>) {
+    let ActionCtx {
+        action,
+        now,
+        clients,
+        session,
+        backend,
+        queue,
+        rng,
+        net,
+        sites,
+        engine_events,
+        migrations,
+        steers_lost,
+        pause_until,
+    } = ctx;
+    match action {
+        Action::Join { name, link } => {
+            join_client(clients, session, &name, &link, rng);
+        }
+        Action::Leave { name } => {
+            if session.leave_by_name(&name) {
+                if let Some(c) = clients.iter_mut().find(|c| c.name == name) {
+                    c.online = false;
+                }
+            } else {
+                engine_events.push(format!("{now} leave-miss {name}"));
+            }
+        }
+        Action::PassMaster { from, to } => match (session.index_of(&from), session.index_of(&to)) {
+            (Some(f), Some(t)) => {
+                if !session.pass_master(f, t) {
+                    engine_events.push(format!("{now} pass-refused {from}->{to}"));
+                }
+            }
+            _ => engine_events.push(format!("{now} pass-miss {from}->{to}")),
+        },
+        Action::Steer { who, param, value } => {
+            match clients.iter_mut().find(|c| c.name == who && c.online) {
+                Some(c) => match c.link.deliver(now, STEER_BYTES) {
+                    Some(arrival) => {
+                        queue.schedule(arrival, Ev::ApplySteer { who, param, value });
+                    }
+                    None => {
+                        *steers_lost += 1;
+                        engine_events.push(format!("{now} steer-lost {who} {param}"));
+                    }
+                },
+                None => {
+                    *steers_lost += 1;
+                    engine_events.push(format!("{now} steer-offline {who} {param}"));
+                }
+            }
+        }
+        Action::Partition { who } => match clients.iter_mut().find(|c| c.name == who) {
+            Some(c) => {
+                c.link.partition();
+                engine_events.push(format!("{now} partition {who}"));
+            }
+            None => engine_events.push(format!("{now} fault-miss {who}")),
+        },
+        Action::Heal { who } => match clients.iter_mut().find(|c| c.name == who) {
+            Some(c) => {
+                c.link.heal();
+                engine_events.push(format!("{now} heal {who}"));
+            }
+            None => engine_events.push(format!("{now} fault-miss {who}")),
+        },
+        Action::SetLoss { who, ppm } => match clients.iter_mut().find(|c| c.name == who) {
+            Some(c) => {
+                c.link.set_extra_loss_ppm(ppm);
+                engine_events.push(format!("{now} loss {who} {ppm}ppm"));
+            }
+            None => engine_events.push(format!("{now} fault-miss {who}")),
+        },
+        Action::SetJitter { who, jitter } => match clients.iter_mut().find(|c| c.name == who) {
+            Some(c) => {
+                c.link.set_extra_jitter(jitter);
+                engine_events.push(format!("{now} jitter {who} {jitter}"));
+            }
+            None => engine_events.push(format!("{now} fault-miss {who}")),
+        },
+        Action::Migrate { from, to } => match (sites.get(&from), sites.get(&to)) {
+            (Some(&a), Some(&b)) => {
+                let bytes = backend.checkpoint_roundtrip();
+                let mut link = net.link(a, b);
+                link.seed = rng.next_u64();
+                let arrival = link
+                    .deliver(now, bytes)
+                    .unwrap_or_else(|| link.nominal_arrival(now, bytes));
+                let gap = arrival.saturating_since(now) + RESTART_OVERHEAD;
+                *pause_until = (now + gap).max(*pause_until);
+                engine_events.push(format!(
+                    "{now} migrate {from}->{to} bytes={bytes} gap={gap}"
+                ));
+                migrations.push(MigrationRecord {
+                    from,
+                    to,
+                    bytes,
+                    gap,
+                });
+            }
+            _ => engine_events.push(format!("{now} migrate-miss {from}->{to}")),
+        },
+    }
+}
+
+/// Join (or rejoin) a participant: session membership plus a faulted link
+/// whose deterministic streams derive from the scenario RNG.
+fn join_client(
+    clients: &mut Vec<Client>,
+    session: &mut SteeringSession,
+    name: &str,
+    link: &Link,
+    rng: &mut StdRng,
+) {
+    if session.index_of(name).is_none() {
+        session.join(name);
+    }
+    let mut base = link.clone();
+    base.seed = rng.next_u64();
+    let fault_seed = rng.next_u64();
+    let fresh = FaultyLink::new(base, fault_seed);
+    match clients.iter_mut().find(|c| c.name == name) {
+        Some(c) => {
+            // a rejoin is a new connection: the given link replaces the old
+            // one, clearing any partition/loss/jitter state; delivery stats
+            // accumulate across connections
+            let old = c.link.stats();
+            c.prior_stats.delivered += old.delivered;
+            c.prior_stats.dropped += old.dropped;
+            c.link = fresh;
+            c.online = true;
+        }
+        None => {
+            clients.push(Client {
+                name: name.to_string(),
+                link: fresh,
+                online: true,
+                prior_stats: netsim::LinkStats::default(),
+            });
+        }
+    }
+}
+
+/// Canonical, stable rendering of a session event for reports/digests.
+fn render_event(e: &SessionEvent) -> String {
+    match e {
+        SessionEvent::Joined(n) => format!("Joined({n})"),
+        SessionEvent::Left(n) => format!("Left({n})"),
+        SessionEvent::MasterPassed { from, to } => format!("MasterPassed({from}->{to})"),
+        SessionEvent::Steered { who, param, value } => {
+            format!("Steered({who},{param},{value:?})")
+        }
+        SessionEvent::SteerRefused { who, param, reason } => {
+            format!("SteerRefused({who},{param},{reason})")
+        }
+        SessionEvent::SampleBroadcast { seq, bytes } => format!("Sample({seq},{bytes})"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_lbm() -> LbmConfig {
+        LbmConfig {
+            nx: 6,
+            ny: 6,
+            nz: 6,
+            threads: 1,
+            ..Default::default()
+        }
+    }
+
+    fn tiny(name: &str) -> Scenario {
+        Scenario::named(name)
+            .lbm(tiny_lbm())
+            .participant("alice", Link::uk_janet())
+            .participant("bob", Link::gwin())
+            .duration(SimTime::from_secs(1))
+    }
+
+    #[test]
+    fn produces_expected_broadcast_count() {
+        let r = tiny("count").run();
+        // samples at 100ms..1000ms inclusive
+        assert_eq!(r.broadcasts, 10);
+        assert_eq!(r.total_deliveries(), 20);
+        assert_eq!(r.final_progress, 10);
+        assert!(r.within_budget);
+    }
+
+    #[test]
+    fn same_build_same_digest() {
+        let a = tiny("det").jitter_at(SimTime::ZERO, "bob", SimTime::from_millis(5));
+        let r1 = a.run();
+        let r2 = a.run();
+        assert_eq!(r1.render(), r2.render());
+        assert_eq!(r1.digest(), r2.digest());
+    }
+
+    #[test]
+    fn different_seed_different_behaviour() {
+        let base = tiny("seeds").loss_at(SimTime::ZERO, "bob", 300_000);
+        let r1 = base.clone().seed(10).run();
+        let r2 = base.seed(11).run();
+        assert_ne!(r1.digest(), r2.digest());
+    }
+
+    #[test]
+    fn master_steer_is_applied() {
+        let r = tiny("steer")
+            .steer_at(SimTime::from_millis(250), "alice", "miscibility", 0.25)
+            .run();
+        assert_eq!(r.steers_applied, 1);
+        assert!(r
+            .session_events
+            .iter()
+            .any(|e| e.starts_with("Steered(alice,miscibility")));
+    }
+
+    #[test]
+    fn viewer_steer_is_refused_not_lost() {
+        let r = tiny("refuse")
+            .steer_at(SimTime::from_millis(250), "bob", "miscibility", 0.25)
+            .run();
+        assert_eq!(r.steers_applied, 0);
+        assert_eq!(r.steers_lost, 0);
+        assert!(r
+            .session_events
+            .iter()
+            .any(|e| e.starts_with("SteerRefused(bob")));
+    }
+
+    #[test]
+    fn partitioned_steer_is_lost() {
+        let r = tiny("part-steer")
+            .partition_at(SimTime::from_millis(100), "alice")
+            .steer_at(SimTime::from_millis(250), "alice", "miscibility", 0.25)
+            .run();
+        assert_eq!(r.steers_applied, 0);
+        assert_eq!(r.steers_lost, 1);
+        assert!(r.engine_events.iter().any(|e| e.contains("steer-lost")));
+    }
+
+    #[test]
+    fn unknown_names_are_logged_not_fatal() {
+        let r = tiny("misses")
+            .partition_at(SimTime::from_millis(100), "ghost")
+            .leave_at(SimTime::from_millis(200), "ghost")
+            .steer_at(SimTime::from_millis(300), "ghost", "miscibility", 0.5)
+            .migrate_at(SimTime::from_millis(400), "london", "atlantis")
+            .run();
+        assert!(r.engine_events.iter().any(|e| e.contains("fault-miss")));
+        assert!(r.engine_events.iter().any(|e| e.contains("leave-miss")));
+        assert!(r.engine_events.iter().any(|e| e.contains("steer-offline")));
+        assert!(r.engine_events.iter().any(|e| e.contains("migrate-miss")));
+    }
+
+    #[test]
+    fn migration_pauses_sampling_and_is_recorded() {
+        let r = tiny("mig")
+            .duration(SimTime::from_secs(4))
+            .migrate_at(SimTime::from_millis(150), "london", "manchester")
+            .run();
+        assert_eq!(r.migrations.len(), 1);
+        assert!(r.broadcasts_skipped > 0, "blackout must skip samples");
+        assert!(r.migrations_within_budget());
+        assert!(r.migrations[0].bytes > 0);
+    }
+
+    #[test]
+    fn late_joiner_shows_up_in_links_and_events() {
+        let r = tiny("late")
+            .join_at(SimTime::from_millis(500), "carol", Link::transatlantic())
+            .run();
+        assert!(r.links.iter().any(|(n, s)| n == "carol" && s.delivered > 0));
+        assert!(r.session_events.contains(&"Joined(carol)".to_string()));
+        let carol = &r.links.iter().find(|(n, _)| n == "carol").unwrap().1;
+        let alice = &r.links.iter().find(|(n, _)| n == "alice").unwrap().1;
+        assert!(carol.offered() < alice.offered());
+    }
+
+    #[test]
+    fn rejoin_replaces_link_and_clears_faults() {
+        // bob is partitioned, leaves, and rejoins over a fresh link: the
+        // rejoin must shed the stale partition and receive samples again,
+        // while his lifetime stats keep the pre-rejoin drops.
+        let r = tiny("rejoin")
+            .duration(SimTime::from_secs(3))
+            .partition_at(SimTime::from_millis(200), "bob")
+            .leave_at(SimTime::from_millis(500), "bob")
+            .join_at(SimTime::from_millis(1000), "bob", Link::transatlantic())
+            .run();
+        let bob = &r.links.iter().find(|(n, _)| n == "bob").unwrap().1;
+        assert!(
+            bob.delivered > 1,
+            "rejoined client must receive samples again: {bob:?}"
+        );
+        assert!(bob.dropped > 0, "pre-rejoin drops must stay counted");
+        assert_eq!(
+            r.session_events
+                .iter()
+                .filter(|e| *e == "Joined(bob)")
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn pepc_backend_runs_and_steers() {
+        let r = Scenario::named("pepc")
+            .pepc(PepcConfig {
+                n_target: 40,
+                ranks: 1,
+                ..PepcConfig::small()
+            })
+            .participant("alice", Link::uk_janet())
+            .duration(SimTime::from_secs(1))
+            .steer_at(SimTime::from_millis(300), "alice", "damping", 0.4)
+            .run();
+        assert_eq!(r.backend, "pepc");
+        assert_eq!(r.steers_applied, 1);
+        assert!(r.broadcasts > 0);
+    }
+
+    #[test]
+    fn out_of_bounds_steer_rejected_by_registry() {
+        let r = tiny("bounds")
+            .steer_at(SimTime::from_millis(200), "alice", "miscibility", 7.0)
+            .run();
+        assert_eq!(r.steers_applied, 0);
+        assert!(r
+            .session_events
+            .iter()
+            .any(|e| e.starts_with("SteerRefused(alice")));
+    }
+
+    #[test]
+    fn zero_sample_interval_panics() {
+        let s = tiny("bad").sample_every(SimTime::ZERO);
+        assert!(std::panic::catch_unwind(move || s.run()).is_err());
+    }
+}

@@ -19,12 +19,14 @@
 //!   scenarios (venue broadcast, collaboration skew across many sites).
 //!
 //! Link behaviour (latency, bandwidth, deterministic jitter, loss) lives in
-//! [`link::Link`]; named-site topologies with RTT matrices in
-//! [`model::NetModel`]; multicast groups and unicast bridges in
+//! [`link::Link`]; scriptable mid-run faults (partition/heal, injected
+//! loss/jitter) in [`fault::FaultyLink`]; named-site topologies with RTT
+//! matrices in [`model::NetModel`]; multicast groups and unicast bridges in
 //! [`multicast`].
 
 pub mod channel;
 pub mod event;
+pub mod fault;
 pub mod link;
 pub mod model;
 pub mod multicast;
@@ -32,6 +34,7 @@ pub mod time;
 
 pub use channel::{SimChannel, SimEndpoint};
 pub use event::{Event, EventQueue};
+pub use fault::{FaultyLink, LinkStats};
 pub use link::{Link, LinkBuilder};
 pub use model::{NetModel, SiteId};
 pub use multicast::{Bridge, MulticastGroup};

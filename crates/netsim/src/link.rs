@@ -104,9 +104,11 @@ impl LinkBuilder {
 }
 
 /// SplitMix64 — tiny, high-quality deterministic hash used for the
-/// jitter/loss streams (no external RNG needed on this hot path).
+/// jitter/loss streams (no external RNG needed on this hot path). Shared
+/// with [`crate::fault`] so injected faults draw from the same family of
+/// deterministic streams.
 #[inline]
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -180,7 +182,8 @@ impl Link {
             return SimTime::ZERO;
         }
         let h = splitmix64(self.seed ^ seq.wrapping_mul(0xA24B_AED4_963E_E407));
-        SimTime::from_nanos(h % (self.jitter.as_nanos() + 1))
+        // saturating: a u64::MAX-nanos jitter must not overflow the span
+        SimTime::from_nanos(h % self.jitter.as_nanos().saturating_add(1))
     }
 
     /// Deterministic loss decision for the `seq`-th message.

@@ -365,3 +365,99 @@ mod tests {
         assert_eq!(DType::from_byte(99), None);
     }
 }
+
+#[cfg(test)]
+mod props {
+    //! Property tests over the payload layer: encode/decode is byte-stable
+    //! for every dtype and byte order, length mismatches are rejected, and
+    //! the server-side conversions are total (no panics) on any value.
+
+    use super::*;
+    use proptest::prelude::*;
+
+    fn dtype_from(sel: u8) -> DType {
+        DType::from_byte(1 + sel % 6).unwrap()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// decode ∘ encode is byte-stable for every dtype/order, even for
+        /// NaN float payloads where `PartialEq` can't witness it: the
+        /// re-encoded bytes must match exactly.
+        #[test]
+        fn decode_encode_byte_stable(
+            sel in any::<u8>(),
+            raw in proptest::collection::vec(any::<u8>(), 0..160),
+            big in any::<bool>(),
+        ) {
+            let order = if big { Endianness::Big } else { Endianness::Little };
+            let dtype = dtype_from(sel);
+            // trim to a whole number of elements (and valid UTF-8 for Str)
+            let elem = match dtype {
+                DType::I32 | DType::F32 => 4,
+                DType::I64 | DType::F64 => 8,
+                DType::Str | DType::Bytes => 1,
+            };
+            let buf: Vec<u8> = match dtype {
+                DType::Str => String::from_utf8_lossy(&raw).into_owned().into_bytes(),
+                _ => raw[..raw.len() - raw.len() % elem].to_vec(),
+            };
+            let count = buf.len() / elem;
+            let v = VisitValue::decode(dtype, count, order, &buf).expect("aligned buffer parses");
+            prop_assert_eq!(v.count(), count);
+            prop_assert_eq!(v.byte_len(), buf.len());
+            let mut out = bytes::BytesMut::new();
+            v.encode(order, &mut out);
+            prop_assert_eq!(&out[..], &buf[..]);
+        }
+
+        /// Any length mismatch between the declared count and the buffer is
+        /// rejected, for every dtype.
+        #[test]
+        fn length_mismatch_rejected(
+            sel in any::<u8>(),
+            count in 0usize..32,
+            delta in 1usize..8,
+            shrink in any::<bool>(),
+        ) {
+            let dtype = dtype_from(sel);
+            let elem = match dtype {
+                DType::I32 | DType::F32 => 4,
+                DType::I64 | DType::F64 => 8,
+                DType::Str | DType::Bytes => 1,
+            };
+            let exact = count * elem;
+            let len = if shrink { exact.saturating_sub(delta) } else { exact + delta };
+            if len != exact {
+                let buf = vec![b'a'; len];
+                prop_assert!(VisitValue::decode(dtype, count, Endianness::Little, &buf).is_none());
+            }
+        }
+
+        /// The §3.2 server-side conversions are total: no panic on any
+        /// decodable value, and the integer view is exact when it exists.
+        #[test]
+        fn conversions_are_total(
+            sel in any::<u8>(),
+            raw in proptest::collection::vec(any::<u8>(), 0..64),
+        ) {
+            let dtype = dtype_from(sel);
+            let elem = match dtype {
+                DType::I32 | DType::F32 => 4,
+                DType::I64 | DType::F64 => 8,
+                DType::Str | DType::Bytes => 1,
+            };
+            let buf: Vec<u8> = match dtype {
+                DType::Str => String::from_utf8_lossy(&raw).into_owned().into_bytes(),
+                _ => raw[..raw.len() - raw.len() % elem].to_vec(),
+            };
+            let v = VisitValue::decode(dtype, buf.len() / elem, Endianness::Big, &buf).unwrap();
+            let _ = v.to_f64();
+            let _ = v.to_f32_lossy();
+            if let (Some(ints), VisitValue::I32(orig)) = (v.to_i64(), &v) {
+                prop_assert_eq!(ints, orig.iter().map(|&x| x as i64).collect::<Vec<i64>>());
+            }
+        }
+    }
+}

@@ -233,3 +233,135 @@ mod tests {
         assert_eq!(f.encode().len(), f.wire_size());
     }
 }
+
+#[cfg(test)]
+mod props {
+    //! Property tests over the frame layer: arbitrary payloads round-trip,
+    //! and malformed frames (truncated, oversized, garbage) are rejected
+    //! without panicking — the server parses hostile bytes.
+
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Build a `VisitValue` of an arbitrary dtype from raw bytes (float
+    /// variants go through `from_bits`, so NaN payloads are exercised).
+    fn value_from(sel: u8, data: &[u8]) -> VisitValue {
+        match sel % 6 {
+            0 => VisitValue::I32(
+                data.chunks_exact(4)
+                    .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
+                    .collect(),
+            ),
+            1 => VisitValue::I64(
+                data.chunks_exact(8)
+                    .map(|c| i64::from_le_bytes(c.try_into().unwrap()))
+                    .collect(),
+            ),
+            2 => VisitValue::F32(
+                data.chunks_exact(4)
+                    .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().unwrap())))
+                    .collect(),
+            ),
+            3 => VisitValue::F64(
+                data.chunks_exact(8)
+                    .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().unwrap())))
+                    .collect(),
+            ),
+            4 => VisitValue::Str(String::from_utf8_lossy(data).into_owned()),
+            _ => VisitValue::Bytes(data.to_vec()),
+        }
+    }
+
+    fn kind_from(sel: u8) -> MsgKind {
+        MsgKind::from_byte(1 + sel % 8).unwrap()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// Encoding is a fixed point: decode(encode(f)).encode() == encode(f)
+        /// for every kind/tag/order/dtype, including NaN float payloads
+        /// (which defeat PartialEq but must survive byte-for-byte).
+        #[test]
+        fn frame_reencodes_identically(
+            ksel in any::<u8>(),
+            vsel in any::<u8>(),
+            data in proptest::collection::vec(any::<u8>(), 0..128),
+            tag in any::<u32>(),
+            big in any::<bool>(),
+        ) {
+            let order = if big { Endianness::Big } else { Endianness::Little };
+            let f = Frame::with_value(kind_from(ksel), tag, order, value_from(vsel, &data));
+            let bytes = f.encode();
+            let decoded = Frame::decode(&bytes).expect("own encoding must parse");
+            prop_assert_eq!(decoded.encode(), bytes);
+        }
+
+        /// Every strict prefix of a valid frame is rejected (no panic, no
+        /// partial parse).
+        #[test]
+        fn truncated_frames_rejected(
+            vsel in any::<u8>(),
+            data in proptest::collection::vec(any::<u8>(), 1..96),
+            cut_sel in any::<u16>(),
+        ) {
+            let f = Frame::with_value(
+                MsgKind::Data,
+                1,
+                Endianness::Little,
+                value_from(vsel, &data),
+            );
+            let bytes = f.encode();
+            let cut = cut_sel as usize % bytes.len();
+            prop_assert!(Frame::decode(&bytes[..cut]).is_none(), "cut={}", cut);
+        }
+
+        /// Trailing garbage after a well-formed frame is rejected — the
+        /// declared element count is authoritative.
+        #[test]
+        fn oversized_frames_rejected(
+            vsel in any::<u8>(),
+            data in proptest::collection::vec(any::<u8>(), 0..64),
+            extra in proptest::collection::vec(any::<u8>(), 1..16),
+        ) {
+            let f = Frame::with_value(
+                MsgKind::Reply,
+                9,
+                Endianness::Little,
+                value_from(vsel, &data),
+            );
+            let mut bytes = f.encode();
+            bytes.extend_from_slice(&extra);
+            prop_assert!(Frame::decode(&bytes).is_none());
+        }
+
+        /// Arbitrary byte soup never panics the decoder.
+        #[test]
+        fn garbage_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = Frame::decode(&data);
+        }
+
+        /// Single-byte corruption of a valid frame either still parses or
+        /// is rejected — never a panic, and never a changed payload length.
+        #[test]
+        fn bit_flips_never_panic(
+            vsel in any::<u8>(),
+            data in proptest::collection::vec(any::<u8>(), 0..64),
+            pos_sel in any::<u16>(),
+            flip in 1u8..=255,
+        ) {
+            let f = Frame::with_value(
+                MsgKind::Data,
+                3,
+                Endianness::Little,
+                value_from(vsel, &data),
+            );
+            let mut bytes = f.encode();
+            let pos = pos_sel as usize % bytes.len();
+            bytes[pos] ^= flip;
+            if let Some(parsed) = Frame::decode(&bytes) {
+                prop_assert_eq!(parsed.wire_size(), bytes.len());
+            }
+        }
+    }
+}

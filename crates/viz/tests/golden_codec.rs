@@ -1,0 +1,129 @@
+//! Golden-frame regression test for the delta+RLE codec.
+//!
+//! A fixed 16×16 RGBA frame sequence is encoded and the resulting byte
+//! stream is compared byte-for-byte against a committed fixture
+//! (`tests/fixtures/codec_16x16.golden`). Any change to the wire format —
+//! run encoding, delta XOR, keyframe policy — shows up as a fixture
+//! mismatch instead of silently breaking old recorded streams.
+//!
+//! To re-bless after an *intentional* format change:
+//! `GOLDEN_BLESS=1 cargo test -p viz --test golden_codec` and commit the
+//! updated fixture.
+
+use viz::codec::DeltaRleCodec;
+use viz::Framebuffer;
+
+const W: usize = 16;
+const H: usize = 16;
+
+fn fixture_path() -> &'static str {
+    concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/codec_16x16.golden"
+    )
+}
+
+/// The fixed sequence: a gradient keyframe, a moving 4×4 block, a diagonal
+/// wipe, a near-static frame, and an exact repeat (all-zero delta).
+fn golden_frames() -> Vec<Framebuffer> {
+    let mut frames = Vec::new();
+    let mut fb = Framebuffer::new(W, H);
+    for y in 0..H {
+        for x in 0..W {
+            fb.set(x, y, [(x * 16) as u8, (y * 16) as u8, 0x40, 0xFF]);
+        }
+    }
+    frames.push(fb.clone());
+    for step in 0..2usize {
+        let mut f = frames.last().unwrap().clone();
+        for dy in 0..4 {
+            for dx in 0..4 {
+                f.set(
+                    2 + step * 5 + dx,
+                    3 + dy,
+                    [0xFF, 0x10, (step * 90) as u8, 0xFF],
+                );
+            }
+        }
+        frames.push(f);
+    }
+    let mut wipe = fb.clone();
+    for i in 0..W {
+        wipe.set(i, i, [0x00, 0xEE, 0x00, 0xFF]);
+    }
+    frames.push(wipe);
+    let mut near_static = frames.last().unwrap().clone();
+    near_static.set(0, 15, [1, 2, 3, 255]);
+    frames.push(near_static.clone());
+    frames.push(near_static); // identical frame → all-zero delta
+    frames
+}
+
+/// Encode the sequence into the stream layout the fixture pins:
+/// per frame `[keyframe: u8][payload_len: u32 LE][payload bytes]`.
+fn encode_stream() -> Vec<u8> {
+    let mut codec = DeltaRleCodec::new();
+    let mut out = Vec::new();
+    for fb in golden_frames() {
+        let e = codec.encode(&fb);
+        out.push(e.keyframe as u8);
+        out.extend_from_slice(&(e.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&e.payload);
+    }
+    out
+}
+
+#[test]
+fn golden_stream_matches_committed_fixture() {
+    let stream = encode_stream();
+    if std::env::var_os("GOLDEN_BLESS").is_some() {
+        std::fs::create_dir_all(std::path::Path::new(fixture_path()).parent().unwrap()).unwrap();
+        std::fs::write(fixture_path(), &stream).unwrap();
+        return;
+    }
+    let fixture = std::fs::read(fixture_path())
+        .expect("fixture missing — run with GOLDEN_BLESS=1 to create it");
+    assert_eq!(
+        stream.len(),
+        fixture.len(),
+        "stream length changed: the codec wire format drifted"
+    );
+    assert_eq!(stream, fixture, "codec output drifted from the fixture");
+}
+
+#[test]
+fn golden_generator_is_deterministic() {
+    assert_eq!(encode_stream(), encode_stream());
+}
+
+#[test]
+fn golden_stream_has_expected_shape() {
+    let mut codec = DeltaRleCodec::new();
+    let encoded: Vec<_> = golden_frames().iter().map(|f| codec.encode(f)).collect();
+    assert!(encoded[0].keyframe, "first frame must be a keyframe");
+    assert!(
+        encoded[1..].iter().all(|e| !e.keyframe),
+        "no forced keyframes in this sequence"
+    );
+    // the exact-repeat final frame collapses to almost nothing
+    let last = encoded.last().unwrap();
+    // 16×16×4 = 1024 raw bytes → a handful of max-length zero runs plus
+    // the fixed frame header
+    assert!(
+        last.wire_size() < last.raw_size / 50,
+        "all-zero delta must compress >50x, got {} of {}",
+        last.wire_size(),
+        last.raw_size
+    );
+}
+
+#[test]
+fn golden_stream_decodes_back_exactly() {
+    let mut enc = DeltaRleCodec::new();
+    let mut dec = DeltaRleCodec::new();
+    for (i, fb) in golden_frames().iter().enumerate() {
+        let e = enc.encode(fb);
+        let out = dec.decode(&e, W, H).expect("stream must decode in order");
+        assert_eq!(&out, fb, "frame {i} did not survive the codec");
+    }
+}

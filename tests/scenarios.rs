@@ -1,0 +1,344 @@
+//! The tier-1 fault-scenario matrix.
+//!
+//! Every test here is one end-to-end steering run through the
+//! `gridsteer_harness` scenario engine: N participants, a real simulation
+//! backend (LBM or PEPC), per-client fault-injectable links — all driven by
+//! the virtual clock and one seed. No wall-clock sleeps, no sockets; the
+//! whole matrix replays byte-identically for fixed seeds.
+//!
+//! Covered fault axes (ISSUE 2 acceptance): packet loss, latency jitter,
+//! partition + heal, client churn, master handoff under partition, mid-run
+//! migration, both simulation backends, and the seed/digest determinism
+//! contract.
+
+use gridsteer::harness::Scenario;
+use gridsteer::lbm::LbmConfig;
+use gridsteer::netsim::{Link, SimTime};
+use gridsteer::pepc::PepcConfig;
+
+fn tiny_lbm() -> LbmConfig {
+    LbmConfig {
+        nx: 6,
+        ny: 6,
+        nz: 6,
+        threads: 1,
+        ..Default::default()
+    }
+}
+
+fn tiny_pepc() -> PepcConfig {
+    PepcConfig {
+        n_target: 50,
+        ranks: 2,
+        ..PepcConfig::small()
+    }
+}
+
+fn ms(v: u64) -> SimTime {
+    SimTime::from_millis(v)
+}
+
+/// S1 — clean links: every sample arrives, latencies inside the §4.3
+/// post-processing budget, nothing dropped.
+#[test]
+fn s1_baseline_lbm_clean_links() {
+    let r = Scenario::named("s1-baseline")
+        .seed(101)
+        .lbm(tiny_lbm())
+        .participant("alice", Link::uk_janet())
+        .participant("bob", Link::gwin())
+        .participant("carol", Link::transatlantic())
+        .duration(SimTime::from_secs(2))
+        .run();
+    assert_eq!(r.broadcasts, 20);
+    assert_eq!(r.total_drops(), 0);
+    assert_eq!(r.total_deliveries(), 60);
+    assert!(r.within_budget, "clean links must meet the 5s budget");
+    assert!(r.within_skew, "one-frame divergence bound must hold");
+    assert_eq!(r.final_progress, 20);
+}
+
+/// S2 — a mid-run loss burst on one client: that link (and only that
+/// link) drops samples; steering through a healthy link still works.
+#[test]
+fn s2_packet_loss_burst_on_one_client() {
+    let r = Scenario::named("s2-loss")
+        .seed(102)
+        .lbm(tiny_lbm())
+        .participant("alice", Link::uk_janet())
+        .participant("bob", Link::transatlantic())
+        .duration(SimTime::from_secs(4))
+        .loss_at(ms(500), "bob", 500_000) // 50% for one second
+        .loss_at(ms(1500), "bob", 0)
+        .steer_at(ms(2000), "alice", "miscibility", 0.2)
+        .run();
+    let bob = &r.links.iter().find(|(n, _)| n == "bob").unwrap().1;
+    let alice = &r.links.iter().find(|(n, _)| n == "alice").unwrap().1;
+    assert!(bob.dropped > 0, "burst must drop something: {bob:?}");
+    assert_eq!(alice.dropped, 0, "loss must stay on bob's link");
+    assert_eq!(r.steers_applied, 1);
+    assert!(r
+        .session_events
+        .iter()
+        .any(|e| e.starts_with("Steered(alice,miscibility")));
+}
+
+/// S3 — heavy latency jitter: arrivals spread out (p99 > p50, nonzero
+/// skew) but stay inside the post-processing budget.
+#[test]
+fn s3_latency_jitter_stays_in_budget() {
+    let r = Scenario::named("s3-jitter")
+        .seed(103)
+        .lbm(tiny_lbm())
+        .participant("alice", Link::uk_janet())
+        .participant("bob", Link::transatlantic())
+        .duration(SimTime::from_secs(3))
+        .jitter_at(SimTime::ZERO, "bob", ms(120))
+        .run();
+    assert_eq!(r.total_drops(), 0);
+    assert!(r.p99 > r.p50, "jitter must spread the percentiles");
+    assert!(r.max_skew > SimTime::ZERO);
+    assert!(r.within_budget, "120ms jitter is far inside the 5s budget");
+}
+
+/// S4 — partition + heal: during the partition window the client receives
+/// nothing; after healing, deliveries resume.
+#[test]
+fn s4_partition_and_heal() {
+    let r = Scenario::named("s4-partition")
+        .seed(104)
+        .lbm(tiny_lbm())
+        .participant("alice", Link::uk_janet())
+        .participant("bob", Link::gwin())
+        .duration(SimTime::from_secs(3))
+        .partition_at(ms(1000), "bob")
+        .heal_at(ms(2000), "bob")
+        .run();
+    let bob = &r.links.iter().find(|(n, _)| n == "bob").unwrap().1;
+    // samples at 1.1s..2.0s fall in the window: exactly 10 drops
+    assert_eq!(bob.dropped, 10, "{bob:?}");
+    assert_eq!(bob.delivered, 20, "deliveries resume after heal");
+    assert!(r.engine_events.iter().any(|e| e.contains("partition bob")));
+    assert!(r.engine_events.iter().any(|e| e.contains("heal bob")));
+}
+
+/// S5 — client churn: joins and leaves mid-run, including the master, and
+/// the session stays steerable throughout.
+#[test]
+fn s5_client_churn_keeps_session_steerable() {
+    let r = Scenario::named("s5-churn")
+        .seed(105)
+        .lbm(tiny_lbm())
+        .participant("alice", Link::uk_janet())
+        .participant("bob", Link::gwin())
+        .duration(SimTime::from_secs(3))
+        .join_at(ms(500), "carol", Link::transatlantic())
+        .leave_at(ms(1000), "alice") // master departs → bob promoted
+        .join_at(ms(1500), "dave", Link::uk_janet())
+        .leave_at(ms(2000), "carol")
+        .steer_at(ms(2200), "bob", "miscibility", 0.4)
+        .run();
+    assert!(r
+        .session_events
+        .contains(&"MasterPassed(alice->bob)".to_string()));
+    assert_eq!(r.steers_applied, 1, "promoted master must steer");
+    for name in ["carol", "dave"] {
+        assert!(
+            r.links.iter().any(|(n, s)| n == name && s.delivered > 0),
+            "{name} never got a sample"
+        );
+    }
+    assert!(r.session_events.contains(&"Left(carol)".to_string()));
+}
+
+/// S6 — master handoff under partition: the master's link is cut, their
+/// steer is lost in transit, they leave, and the longest-joined remaining
+/// participant takes the token and steers successfully.
+#[test]
+fn s6_master_handoff_under_partition() {
+    let r = Scenario::named("s6-handoff")
+        .seed(106)
+        .lbm(tiny_lbm())
+        .participant("alice", Link::uk_janet())
+        .participant("bob", Link::gwin())
+        .participant("carol", Link::transatlantic())
+        .duration(SimTime::from_secs(3))
+        .partition_at(ms(400), "alice")
+        .steer_at(ms(600), "alice", "miscibility", 0.7) // lost in transit
+        .leave_at(ms(1000), "alice")
+        .steer_at(ms(1500), "bob", "miscibility", 0.3)
+        .run();
+    assert_eq!(r.steers_lost, 1);
+    assert_eq!(r.steers_applied, 1);
+    assert!(r.engine_events.iter().any(|e| e.contains("steer-lost")));
+    assert!(r
+        .session_events
+        .contains(&"MasterPassed(alice->bob)".to_string()));
+    assert!(r
+        .session_events
+        .iter()
+        .any(|e| e.starts_with("Steered(bob,miscibility")));
+}
+
+/// S7 — mid-run migration: a checkpoint-sized transfer pauses the sample
+/// stream for a gap that stays inside the §4.4 simulation-loop budget, and
+/// the run continues afterwards.
+#[test]
+fn s7_midrun_migration_lbm() {
+    let r = Scenario::named("s7-migration")
+        .seed(107)
+        .lbm(tiny_lbm())
+        .participant("alice", Link::uk_janet())
+        .participant("bob", Link::gwin())
+        .duration(SimTime::from_secs(6))
+        .steer_at(ms(500), "alice", "miscibility", 0.1)
+        .migrate_at(ms(1000), "london", "phoenix")
+        .run();
+    assert_eq!(r.migrations.len(), 1);
+    let m = &r.migrations[0];
+    assert!(m.bytes > 0);
+    assert!(
+        r.migrations_within_budget(),
+        "gap {} busts the 60s tolerance",
+        m.gap
+    );
+    assert!(r.broadcasts_skipped > 0, "blackout must skip sample ticks");
+    assert!(
+        r.broadcasts > 10,
+        "sampling must resume after the gap: {}",
+        r.broadcasts
+    );
+    assert_eq!(r.steers_applied, 1, "steer before migration must apply");
+}
+
+/// S8 — the PEPC backend under loss: plasma samples fan out, a damping
+/// steer lands, and drops are confined to the lossy link.
+#[test]
+fn s8_pepc_backend_with_loss() {
+    let r = Scenario::named("s8-pepc-loss")
+        .seed(108)
+        .pepc(tiny_pepc())
+        .participant("juelich", Link::gwin())
+        .participant("phoenix", Link::transatlantic())
+        .duration(SimTime::from_secs(2))
+        .loss_at(SimTime::ZERO, "phoenix", 300_000)
+        .steer_at(ms(700), "juelich", "damping", 0.5)
+        .run();
+    assert_eq!(r.backend, "pepc");
+    assert!(r.broadcasts > 0);
+    let phx = &r.links.iter().find(|(n, _)| n == "phoenix").unwrap().1;
+    let jue = &r.links.iter().find(|(n, _)| n == "juelich").unwrap().1;
+    assert!(phx.dropped > 0, "30% loss over 20 samples: {phx:?}");
+    assert_eq!(jue.dropped, 0);
+    assert!(r
+        .session_events
+        .iter()
+        .any(|e| e.starts_with("Steered(juelich,damping")));
+}
+
+/// S9 — PEPC with jitter and churn: a second steerer joins, takes the
+/// token, and steers the laser while arrivals jitter.
+#[test]
+fn s9_pepc_jitter_and_token_pass() {
+    let r = Scenario::named("s9-pepc-jitter")
+        .seed(109)
+        .pepc(tiny_pepc())
+        .participant("juelich", Link::gwin())
+        .duration(SimTime::from_secs(2))
+        .jitter_at(SimTime::ZERO, "juelich", ms(40))
+        .join_at(ms(400), "stuttgart", Link::gwin())
+        .pass_master_at(ms(800), "juelich", "stuttgart")
+        .steer_at(ms(1200), "stuttgart", "laser_amplitude", 2.5)
+        .run();
+    assert!(r
+        .session_events
+        .contains(&"MasterPassed(juelich->stuttgart)".to_string()));
+    assert!(r
+        .session_events
+        .iter()
+        .any(|e| e.starts_with("Steered(stuttgart,laser_amplitude")));
+    assert!(r.p99 > SimTime::ZERO);
+    assert!(r.within_budget);
+}
+
+/// S10 — combined stress: loss + jitter + partition/heal + token pass +
+/// migration in a single run, and the report digest is reproducible.
+#[test]
+fn s10_combined_stress_is_reproducible() {
+    let build = || {
+        Scenario::named("s10-stress")
+            .seed(110)
+            .lbm(tiny_lbm())
+            .participant("alice", Link::uk_janet())
+            .participant("bob", Link::transatlantic())
+            .participant("carol", Link::gwin())
+            .duration(SimTime::from_secs(6))
+            .loss_at(SimTime::ZERO, "bob", 150_000)
+            .jitter_at(SimTime::ZERO, "carol", ms(60))
+            .partition_at(ms(800), "carol")
+            .heal_at(ms(1600), "carol")
+            .pass_master_at(ms(2000), "alice", "carol")
+            .steer_at(ms(2400), "carol", "miscibility", 0.15)
+            .migrate_at(ms(3000), "manchester", "stuttgart")
+    };
+    let r1 = build().run();
+    let r2 = build().run();
+    assert_eq!(r1.render(), r2.render(), "stress run must replay exactly");
+    assert_eq!(r1.digest(), r2.digest());
+    assert!(r1.broadcasts > 0);
+    assert_eq!(r1.steers_applied, 1);
+    assert_eq!(r1.migrations.len(), 1);
+}
+
+/// Determinism regression (ISSUE 2 satellite): one seed run twice gives a
+/// byte-identical report and digest — across backends.
+#[test]
+fn determinism_same_seed_identical_digest() {
+    for (label, backend_is_pepc) in [("lbm", false), ("pepc", true)] {
+        let build = || {
+            let s = Scenario::named("det-regression")
+                .seed(4242)
+                .participant("alice", Link::uk_janet())
+                .participant("bob", Link::transatlantic())
+                .duration(SimTime::from_secs(2))
+                .loss_at(SimTime::ZERO, "bob", 200_000)
+                .jitter_at(SimTime::ZERO, "alice", ms(30))
+                .steer_at(ms(900), "alice", "miscibility", 0.5);
+            if backend_is_pepc {
+                s.pepc(tiny_pepc())
+                    .steer_at(ms(1100), "alice", "damping", 0.2)
+            } else {
+                s.lbm(tiny_lbm())
+            }
+        };
+        let r1 = build().run();
+        let r2 = build().run();
+        assert_eq!(r1.render(), r2.render(), "{label}: report not byte-stable");
+        assert_eq!(r1.digest(), r2.digest(), "{label}: digest drifted");
+    }
+}
+
+/// Determinism regression, second half: a different seed re-derives every
+/// stream, so a faulted scenario observably diverges — not just in the
+/// digest but in actual behaviour (drop counts / latency percentiles).
+#[test]
+fn determinism_different_seed_diverges() {
+    let build = |seed: u64| {
+        Scenario::named("det-divergence")
+            .seed(seed)
+            .lbm(tiny_lbm())
+            .participant("alice", Link::uk_janet())
+            .participant("bob", Link::transatlantic())
+            .duration(SimTime::from_secs(3))
+            .loss_at(SimTime::ZERO, "bob", 400_000)
+            .jitter_at(SimTime::ZERO, "alice", ms(50))
+            .run()
+    };
+    let r1 = build(7);
+    let r2 = build(8);
+    assert_ne!(r1.digest(), r2.digest());
+    assert!(
+        r1.total_drops() != r2.total_drops() || r1.p50 != r2.p50,
+        "different seeds must change observable behaviour"
+    );
+}
