@@ -29,6 +29,46 @@ fn bench_lbm_step(c: &mut Criterion) {
     g.finish();
 }
 
+/// The step-latency win of the tentpole refactor: the same LBM `step_n`
+/// on the persistent executor pool vs a spawn-per-pass baseline (fresh OS
+/// threads for every density/velocity/stream pass — what the tree did
+/// before `gridsteer_exec`), at 1/2/4/8 threads. Physics is bit-identical
+/// between the legs; only dispatch overhead differs.
+fn bench_lbm_pool_vs_spawn(c: &mut Criterion) {
+    use gridsteer_exec::ExecPool;
+    use lbm::{LbmConfig, TwoFluidLbm};
+    use std::sync::Arc;
+    let mut g = c.benchmark_group("lbm_dispatch");
+    g.measurement_time(Duration::from_secs(2)).sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        let cfg = LbmConfig {
+            nx: 32,
+            ny: 32,
+            nz: 32,
+            threads,
+            ..Default::default()
+        };
+        let mut pooled = TwoFluidLbm::with_pool(cfg.clone(), gridsteer_exec::shared(threads));
+        pooled.set_miscibility(0.2);
+        g.bench_function(format!("step_n_pool_t{threads}"), |b| {
+            b.iter(|| {
+                pooled.step_n(1);
+                black_box(pooled.steps())
+            })
+        });
+        let mut spawning =
+            TwoFluidLbm::with_pool(cfg.clone(), Arc::new(ExecPool::spawn_per_call(threads)));
+        spawning.set_miscibility(0.2);
+        g.bench_function(format!("step_n_spawn_t{threads}"), |b| {
+            b.iter(|| {
+                spawning.step_n(1);
+                black_box(spawning.steps())
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_pepc_forces(c: &mut Criterion) {
     use pepc::{direct_forces, Octree, Particle, TreeConfig};
     use rand::{Rng, SeedableRng};
@@ -141,6 +181,7 @@ fn bench_rasterizer(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_lbm_step,
+    bench_lbm_pool_vs_spawn,
     bench_pepc_forces,
     bench_isosurface,
     bench_codec,

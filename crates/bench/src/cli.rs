@@ -3,14 +3,82 @@
 //! Each binary dispatches into one experiment in [`crate::experiments`] and
 //! exits nonzero if the experiment produced no rows — so a wired-but-dead
 //! experiment fails loudly in CI instead of printing nothing and exiting 0.
+//!
+//! With `BENCH_JSON=1` (any value other than empty/`0`) every run
+//! additionally writes a machine-readable `BENCH_<id>.json` (into
+//! `BENCH_JSON_DIR`, default the working directory): the experiment's
+//! wall time, its row cells with per-cell digests, and an overall digest.
+//! For deterministic experiments the digests are stable fingerprints a
+//! later PR can diff; rows embedding wall-clock timings change them run
+//! to run (see [`ExpResult::digest`]).
 
 use crate::experiments::ExpResult;
+use serde::Serialize;
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+#[derive(Serialize)]
+struct JsonCell {
+    /// The printed row (most rows embed their own timing measurements).
+    row: String,
+    /// FNV-1a 64 of the row text.
+    digest: String,
+}
+
+#[derive(Serialize)]
+struct JsonReport {
+    id: String,
+    /// Wall time of the whole experiment, in milliseconds.
+    wall_ms: f64,
+    /// FNV-1a 64 over all rows (same value as [`ExpResult::digest`]).
+    digest: String,
+    cells: Vec<JsonCell>,
+}
+
+/// True when `BENCH_JSON` is set to anything other than empty or `0`.
+fn json_enabled() -> bool {
+    std::env::var("BENCH_JSON").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Write `BENCH_<id>.json` if [`json_enabled`].
+fn maybe_write_json(result: &ExpResult, wall: Duration) {
+    if !json_enabled() {
+        return;
+    }
+    let report = JsonReport {
+        id: result.id.to_string(),
+        wall_ms: wall.as_secs_f64() * 1e3,
+        digest: format!("{:016x}", result.digest()),
+        cells: result
+            .rows
+            .iter()
+            .map(|r| JsonCell {
+                row: r.clone(),
+                digest: format!("{:016x}", crate::experiments::fnv1a64(r.as_bytes())),
+            })
+            .collect(),
+    };
+    let dir = std::env::var("BENCH_JSON_DIR").unwrap_or_else(|_| ".".into());
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{}.json", result.id));
+    match serde_json::to_string(&report) {
+        Ok(body) => {
+            if let Err(e) = std::fs::write(&path, body + "\n") {
+                eprintln!("[{}] BENCH json write failed: {e}", result.id);
+            } else {
+                eprintln!("[{}] wrote {}", result.id, path.display());
+            }
+        }
+        Err(e) => eprintln!("[{}] BENCH json encode failed: {e}", result.id),
+    }
+}
 
 /// Run one experiment and summarize it.
 pub fn run(f: fn() -> ExpResult) -> ExitCode {
+    let t0 = Instant::now();
     let result = f();
+    let wall = t0.elapsed();
     eprintln!("[{}] {} rows", result.id, result.rows.len());
+    maybe_write_json(&result, wall);
     if result.rows.is_empty() {
         eprintln!("[{}] FAILED: experiment emitted no data", result.id);
         ExitCode::FAILURE
@@ -21,7 +89,14 @@ pub fn run(f: fn() -> ExpResult) -> ExitCode {
 
 /// Run every experiment in index order and summarize the batch.
 pub fn run_all() -> ExitCode {
-    let results = crate::experiments::run_all();
+    let mut results = Vec::new();
+    for f in crate::experiments::ALL {
+        let t0 = Instant::now();
+        let result = f();
+        let wall = t0.elapsed();
+        maybe_write_json(&result, wall);
+        results.push(result);
+    }
     let total: usize = results.iter().map(|r| r.rows.len()).sum();
     let empty: Vec<&str> = results
         .iter()

@@ -23,6 +23,36 @@ pub struct ExpResult {
     pub rows: Vec<String>,
 }
 
+impl ExpResult {
+    /// FNV-1a 64 over the newline-joined rows, exactly as printed. For
+    /// deterministic experiments (e.g. E50, whose rows carry virtual-clock
+    /// numbers and scenario digests) this is a stable fingerprint a later
+    /// PR can diff for output drift; rows that embed wall-clock timings
+    /// legitimately change it run to run.
+    pub fn digest(&self) -> u64 {
+        self.rows.iter().fold(FNV_OFFSET, |h, row| {
+            fnv1a64_with(fnv1a64_with(h, row.as_bytes()), b"\n")
+        })
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Fold bytes into a running FNV-1a 64 state.
+fn fnv1a64_with(mut h: u64, data: &[u8]) -> u64 {
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// FNV-1a 64 of a byte string (per-cell digests in `BENCH_*.json`).
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    fnv1a64_with(FNV_OFFSET, data)
+}
+
 fn emit(id: &'static str, header: &str, rows: Vec<String>) -> ExpResult {
     println!("== {id} ==");
     println!("{header}");
@@ -48,18 +78,24 @@ fn sphere_pipeline(
     (ctl, rb, read, render)
 }
 
-/// F1 — the RealityGrid Figure-1 pipeline across three sites.
+/// F1 — the RealityGrid Figure-1 pipeline across three sites. Every stage
+/// (LBM step, isosurface, raster, codec) dispatches on one shared executor
+/// pool — no thread spawning anywhere in the loop.
 pub fn exp_f1_realitygrid() -> ExpResult {
+    let pool = gridsteer_exec::global();
     let (net, ids) = NetModel::sc2003();
     let compute = ids["london"];
     let vis = ids["manchester"];
     let client = ids["sheffield"];
-    let mut sim = TwoFluidLbm::new(LbmConfig {
-        nx: 24,
-        ny: 24,
-        nz: 24,
-        ..Default::default()
-    });
+    let mut sim = TwoFluidLbm::with_pool(
+        LbmConfig {
+            nx: 24,
+            ny: 24,
+            nz: 24,
+            ..Default::default()
+        },
+        pool.clone(),
+    );
     let mut codec = DeltaRleCodec::new();
     let mut rows = Vec::new();
     for round in 0..6 {
@@ -74,14 +110,14 @@ pub fn exp_f1_realitygrid() -> ExpResult {
         let t_sample = l1.nominal_arrival(SimTime::ZERO, phi.byte_size());
         // isosurface + render at the vis site (wall)
         let t0 = Instant::now();
-        let mesh = mc::isosurface_smooth(&phi, 0.0);
+        let mesh = mc::isosurface_smooth_with(&pool, &phi, 0.0);
         let mut r = Rasterizer::new(256, 256);
         r.clear([10, 10, 30, 255]);
         let cam = Camera::look_at(Vec3::new(30.0, 30.0, -28.0), Vec3::new(11.5, 11.5, 11.5));
-        r.draw_mesh(&cam, &mesh, [200, 90, 60, 255]);
+        r.draw_mesh_with(&pool, &cam, &mesh, [200, 90, 60, 255]);
         let wall = t0.elapsed();
         // compressed bitmap: vis → client
-        let frame = codec.encode(r.framebuffer());
+        let frame = codec.encode_with(&pool, r.framebuffer());
         let l2 = net.link(vis, client);
         let t_frame = l2.nominal_arrival(SimTime::ZERO, frame.wire_size());
         rows.push(format!(
@@ -748,6 +784,8 @@ pub fn exp_em1_migration() -> ExpResult {
 /// churn and a mid-run steer in every cell. Every row ends with the run's
 /// report digest, so a soak regression is visible as a digest change.
 pub fn exp_e50_soak() -> ExpResult {
+    // every cell of the sweep reuses one shared worker pool
+    let pool = gridsteer_exec::global();
     let mut rows = Vec::new();
     for &n in &[2usize, 4, 8] {
         for &loss_ppm in &[0u32, 50_000, 200_000] {
@@ -755,6 +793,7 @@ pub fn exp_e50_soak() -> ExpResult {
             let mut s = Scenario::named(&name)
                 .seed(0xE50 + n as u64 + loss_ppm as u64)
                 .lbm(LbmConfig::small())
+                .pool(pool.clone())
                 .duration(SimTime::from_secs(3));
             for i in 0..n {
                 let link = match i % 3 {
@@ -794,26 +833,25 @@ pub fn exp_e50_soak() -> ExpResult {
     )
 }
 
-/// Run every experiment in index order.
-pub fn run_all() -> Vec<ExpResult> {
-    vec![
-        exp_f1_realitygrid(),
-        exp_f2_ogsa_service(),
-        exp_f3_pepc_visit(),
-        exp_f4_ag_covise(),
-        exp_e42_render_loop(),
-        exp_e43_postproc_loop(),
-        exp_e44_sim_loop(),
-        exp_ev1_visit_overhead(),
-        exp_ev2_vbroker(),
-        exp_ev3_proxy(),
-        exp_ep1_pepc_scaling(),
-        exp_ec1_collab_traffic(),
-        exp_eu1_unicore(),
-        exp_em1_migration(),
-        exp_e50_soak(),
-    ]
-}
+/// Every experiment in index order (driven by [`crate::cli::run_all`],
+/// which times each entry and emits its `BENCH_*.json`).
+pub const ALL: &[fn() -> ExpResult] = &[
+    exp_f1_realitygrid,
+    exp_f2_ogsa_service,
+    exp_f3_pepc_visit,
+    exp_f4_ag_covise,
+    exp_e42_render_loop,
+    exp_e43_postproc_loop,
+    exp_e44_sim_loop,
+    exp_ev1_visit_overhead,
+    exp_ev2_vbroker,
+    exp_ev3_proxy,
+    exp_ep1_pepc_scaling,
+    exp_ec1_collab_traffic,
+    exp_eu1_unicore,
+    exp_em1_migration,
+    exp_e50_soak,
+];
 
 #[cfg(test)]
 mod tests {

@@ -6,15 +6,23 @@
 //! LB two-fluid mixture (§2.2) and the PEPC plasma (§3.4) — behind one
 //! object-safe trait so scenarios are written once and run against either.
 
+use gridsteer_exec::ExecPool;
 use lbm::{LbmConfig, TwoFluidLbm};
 use pepc::sim::SteerParams;
 use pepc::{PepcConfig, PepcSim};
+use std::sync::Arc;
 use steer_core::ParamSpec;
 
 /// A steerable simulation driven by the scenario engine.
 pub trait ScenarioBackend {
     /// Short backend name (appears in the report header).
     fn kind(&self) -> &'static str;
+
+    /// Dispatch the backend's parallel passes onto this executor pool
+    /// (results are pool-independent: see the `gridsteer_exec` determinism
+    /// contract). The engine calls this once per run so every backend in a
+    /// scenario shares the scenario's pool.
+    fn set_pool(&mut self, pool: Arc<ExecPool>);
 
     /// The steerable parameters this backend accepts, as registry specs.
     fn param_specs(&self) -> Vec<ParamSpec>;
@@ -68,6 +76,10 @@ impl ScenarioBackend for LbmBackend {
         "lbm"
     }
 
+    fn set_pool(&mut self, pool: Arc<ExecPool>) {
+        self.sim.as_mut().expect("sim present").set_pool(pool);
+    }
+
     fn param_specs(&self) -> Vec<ParamSpec> {
         vec![ParamSpec {
             name: "miscibility".into(),
@@ -96,9 +108,13 @@ impl ScenarioBackend for LbmBackend {
 
     fn checkpoint_roundtrip(&mut self) -> usize {
         let sim = self.sim.take().expect("sim present");
+        let pool = sim.pool().clone();
         let ck = sim.checkpoint();
         let bytes = ck.byte_size();
-        self.sim = Some(TwoFluidLbm::from_checkpoint(ck));
+        let mut restored = TwoFluidLbm::from_checkpoint(ck);
+        // the restored run keeps dispatching on the scenario's pool
+        restored.set_pool(pool);
+        self.sim = Some(restored);
         bytes
     }
 
@@ -133,6 +149,10 @@ impl PepcBackend {
 impl ScenarioBackend for PepcBackend {
     fn kind(&self) -> &'static str {
         "pepc"
+    }
+
+    fn set_pool(&mut self, pool: Arc<ExecPool>) {
+        self.sim.set_pool(pool);
     }
 
     fn param_specs(&self) -> Vec<ParamSpec> {

@@ -137,6 +137,9 @@ pub struct Scenario {
     sample_every: SimTime,
     steps_per_sample: usize,
     duration: SimTime,
+    /// Executor pool the backend dispatches onto (`None` = the shared pool
+    /// for the backend config's thread count). Never affects results.
+    pool: Option<std::sync::Arc<gridsteer_exec::ExecPool>>,
 }
 
 /// One connected (or disconnected) scenario participant.
@@ -184,7 +187,17 @@ impl Scenario {
             sample_every: SimTime::from_millis(100),
             steps_per_sample: 1,
             duration: SimTime::from_secs(3),
+            pool: None,
         }
+    }
+
+    /// Run the backend on an explicit executor pool — scenario sweeps and
+    /// the `exp_*` binaries pass one shared pool so every run reuses the
+    /// same persistent workers. The pool never changes results (fixed
+    /// chunking; see `gridsteer_exec`).
+    pub fn pool(mut self, pool: std::sync::Arc<gridsteer_exec::ExecPool>) -> Self {
+        self.pool = Some(pool);
+        self
     }
 
     /// The seed every deterministic stream in the run derives from.
@@ -356,6 +369,9 @@ impl Scenario {
                 Box::new(PepcBackend::new(cfg))
             }
         };
+        if let Some(pool) = &self.pool {
+            backend.set_pool(pool.clone());
+        }
         let mut registry = ParamRegistry::new();
         for spec in backend.param_specs() {
             registry.declare(spec);
@@ -824,6 +840,22 @@ mod tests {
     }
 
     #[test]
+    fn explicit_pool_does_not_change_digest() {
+        // the pool is an execution detail: any thread count, same bytes —
+        // including across a mid-run migration (checkpoint restore keeps
+        // the scenario's pool)
+        let base = tiny("pool")
+            .duration(SimTime::from_secs(4))
+            .steer_at(SimTime::from_millis(300), "alice", "miscibility", 0.4)
+            .migrate_at(SimTime::from_millis(600), "london", "manchester");
+        let r1 = base.clone().run();
+        let r8 = base.clone().pool(gridsteer_exec::shared(8)).run();
+        let r_serial = base.pool(gridsteer_exec::shared(1)).run();
+        assert_eq!(r1.digest(), r8.digest());
+        assert_eq!(r1.digest(), r_serial.digest());
+    }
+
+    #[test]
     fn pepc_backend_runs_and_steers() {
         let r = Scenario::named("pepc")
             .pepc(PepcConfig {
@@ -855,6 +887,7 @@ mod tests {
     #[test]
     fn zero_sample_interval_panics() {
         let s = tiny("bad").sample_every(SimTime::ZERO);
-        assert!(std::panic::catch_unwind(move || s.run()).is_err());
+        // AssertUnwindSafe: the optional pool handle holds sync primitives
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || s.run())).is_err());
     }
 }

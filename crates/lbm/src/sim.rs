@@ -15,10 +15,18 @@
 //!
 //! Each step runs three parallel passes (density → force/velocity → pull
 //! stream-collide), all race-free and deterministic for any thread count.
+//!
+//! Parallelism: the passes dispatch onto a persistent
+//! [`gridsteer_exec::ExecPool`] in whole-z-plane chunks — a fixed
+//! chunk→node mapping independent of the pool's thread count, so the
+//! physics is bit-identical at any parallelism and no OS threads are
+//! spawned on the per-step hot path.
 
 use crate::lattice::{equilibrium, CX, CY, CZ, Q, WEIGHTS};
+use gridsteer_exec::ExecPool;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 use viz::Field3;
 
 /// Solver configuration.
@@ -40,7 +48,10 @@ pub struct LbmConfig {
     pub noise: f64,
     /// RNG seed for the initial perturbation.
     pub seed: u64,
-    /// Worker threads for the parallel passes.
+    /// Worker threads for the parallel passes. Defaults to the detected
+    /// parallelism (clamped; see [`gridsteer_exec::default_threads`]); an
+    /// explicitly set value wins. The thread count never changes results —
+    /// chunking is per z-plane regardless.
     pub threads: usize,
 }
 
@@ -55,7 +66,7 @@ impl Default for LbmConfig {
             rho0: 0.5,
             noise: 0.01,
             seed: 42,
-            threads: 4,
+            threads: gridsteer_exec::default_threads(),
         }
     }
 }
@@ -67,7 +78,6 @@ impl LbmConfig {
             nx: 12,
             ny: 12,
             nz: 12,
-            threads: 2,
             ..Default::default()
         }
     }
@@ -80,8 +90,6 @@ struct Geom {
     nx: usize,
     ny: usize,
     nz: usize,
-    plane: usize,
-    threads: usize,
 }
 
 impl Geom {
@@ -98,26 +106,14 @@ impl Geom {
         let pz = (z as i32 + CZ[i]).rem_euclid(self.nz as i32) as usize;
         self.idx(px, py, pz)
     }
-
-    /// Split a node-indexed output slice into per-thread chunks aligned to
-    /// whole z-planes, returning `(start_node, chunk)` pairs.
-    fn plane_chunks<'a, T>(&self, data: &'a mut [T], per_node: usize) -> Vec<(usize, &'a mut [T])> {
-        let planes_per = self.nz.div_ceil(self.threads.max(1));
-        let chunk_len = planes_per * self.plane * per_node;
-        let mut out = Vec::new();
-        let mut start = 0usize;
-        for c in data.chunks_mut(chunk_len.max(1)) {
-            let len = c.len();
-            out.push((start / per_node, c));
-            start += len;
-        }
-        out
-    }
 }
 
 /// The two-fluid Lattice-Boltzmann simulation.
 pub struct TwoFluidLbm {
     cfg: LbmConfig,
+    /// Worker pool the three passes dispatch onto (shared across sims with
+    /// the same thread count; replaceable via [`TwoFluidLbm::set_pool`]).
+    pool: Arc<ExecPool>,
     n: usize,
     plane: usize,
     /// Distributions, AoS layout `f[node*Q + i]`, per component.
@@ -138,8 +134,16 @@ pub struct TwoFluidLbm {
 }
 
 impl TwoFluidLbm {
-    /// Initialize a perturbed symmetric mixture at rest.
+    /// Initialize a perturbed symmetric mixture at rest, on the shared
+    /// pool for `cfg.threads`.
     pub fn new(cfg: LbmConfig) -> Self {
+        let pool = gridsteer_exec::shared(cfg.threads);
+        Self::with_pool(cfg, pool)
+    }
+
+    /// Initialize on an explicit executor pool (scenario runs and the
+    /// `exp_*` binaries pass one pool to every subsystem).
+    pub fn with_pool(cfg: LbmConfig, pool: Arc<ExecPool>) -> Self {
         assert!(cfg.nx >= 2 && cfg.ny >= 2 && cfg.nz >= 2, "grid too small");
         assert!(cfg.tau > 0.5, "tau must exceed 0.5 for stability");
         let n = cfg.nx * cfg.ny * cfg.nz;
@@ -167,9 +171,21 @@ impl TwoFluidLbm {
             fa,
             fb,
             miscibility: 1.0,
+            pool,
             cfg,
             steps: 0,
         }
+    }
+
+    /// Replace the executor pool (results are unaffected: chunking is
+    /// fixed per z-plane, so any pool produces identical physics).
+    pub fn set_pool(&mut self, pool: Arc<ExecPool>) {
+        self.pool = pool;
+    }
+
+    /// The executor pool this simulation dispatches onto.
+    pub fn pool(&self) -> &Arc<ExecPool> {
+        &self.pool
     }
 
     /// Grid dimensions.
@@ -202,8 +218,6 @@ impl TwoFluidLbm {
             nx: self.cfg.nx,
             ny: self.cfg.ny,
             nz: self.cfg.nz,
-            plane: self.plane,
-            threads: self.cfg.threads,
         }
     }
 
@@ -225,36 +239,30 @@ impl TwoFluidLbm {
     }
 
     fn pass_density(&mut self) {
-        let geom = self.geom();
+        let plane = self.plane;
         let fa = &self.fa;
         let fb = &self.fb;
-        let mut rho_a = std::mem::take(&mut self.rho_a);
-        let mut rho_b = std::mem::take(&mut self.rho_b);
-        {
-            let chunks_a = geom.plane_chunks(&mut rho_a, 1);
-            // pair chunks of rho_b with identical geometry
-            let chunks_b = geom.plane_chunks(&mut rho_b, 1);
-            crossbeam::thread::scope(|s| {
-                for ((start, ca), (_, cb)) in chunks_a.into_iter().zip(chunks_b) {
-                    s.spawn(move |_| {
-                        for (k, (ra, rb)) in ca.iter_mut().zip(cb.iter_mut()).enumerate() {
-                            let node = start + k;
-                            let mut sa = 0.0;
-                            let mut sb = 0.0;
-                            for i in 0..Q {
-                                sa += fa[node * Q + i];
-                                sb += fb[node * Q + i];
-                            }
-                            *ra = sa;
-                            *rb = sb;
-                        }
-                    });
+        // one chunk per z-plane: fixed mapping, any thread count
+        self.pool.parallel_chunks2(
+            &mut self.rho_a,
+            &mut self.rho_b,
+            plane,
+            plane,
+            |ci, ca, cb| {
+                let start = ci * plane;
+                for (k, (ra, rb)) in ca.iter_mut().zip(cb.iter_mut()).enumerate() {
+                    let node = start + k;
+                    let mut sa = 0.0;
+                    let mut sb = 0.0;
+                    for i in 0..Q {
+                        sa += fa[node * Q + i];
+                        sb += fb[node * Q + i];
+                    }
+                    *ra = sa;
+                    *rb = sb;
                 }
-            })
-            .expect("density pass");
-        }
-        self.rho_a = rho_a;
-        self.rho_b = rho_b;
+            },
+        );
     }
 
     fn pass_velocity(&mut self) {
@@ -266,76 +274,66 @@ impl TwoFluidLbm {
         let rho_a = &self.rho_a;
         let rho_b = &self.rho_b;
         let geom = self.geom();
-        let mut ua = std::mem::take(&mut self.ua);
-        let mut ub = std::mem::take(&mut self.ub);
-        {
-            let chunks_a = geom.plane_chunks(&mut ua, 1);
-            let chunks_b = geom.plane_chunks(&mut ub, 1);
-            crossbeam::thread::scope(|s| {
-                for ((start, ca), (_, cb)) in chunks_a.into_iter().zip(chunks_b) {
-                    s.spawn(move |_| {
-                        for (k, (va, vb)) in ca.iter_mut().zip(cb.iter_mut()).enumerate() {
-                            let node = start + k;
-                            let z = node / (nx * ny);
-                            let rem = node % (nx * ny);
-                            let y = rem / nx;
-                            let x = rem % nx;
-                            // momenta
-                            let mut j = [0.0f64; 3];
-                            for i in 0..Q {
-                                let f = fa[node * Q + i] + fb[node * Q + i];
-                                j[0] += f * CX[i] as f64;
-                                j[1] += f * CY[i] as f64;
-                                j[2] += f * CZ[i] as f64;
-                            }
-                            let ra = rho_a[node];
-                            let rb = rho_b[node];
-                            let rho_tot = (ra + rb).max(1e-12);
-                            let u = [j[0] / rho_tot, j[1] / rho_tot, j[2] / rho_tot];
-                            // Shan–Chen forces
-                            let mut grad_b = [0.0f64; 3];
-                            let mut grad_a = [0.0f64; 3];
-                            for i in 1..Q {
-                                let nb = geom.neighbor(x, y, z, i);
-                                let w = WEIGHTS[i];
-                                grad_b[0] += w * rho_b[nb] * CX[i] as f64;
-                                grad_b[1] += w * rho_b[nb] * CY[i] as f64;
-                                grad_b[2] += w * rho_b[nb] * CZ[i] as f64;
-                                grad_a[0] += w * rho_a[nb] * CX[i] as f64;
-                                grad_a[1] += w * rho_a[nb] * CY[i] as f64;
-                                grad_a[2] += w * rho_a[nb] * CZ[i] as f64;
-                            }
-                            let fa_force = [
-                                -g * ra * grad_b[0],
-                                -g * ra * grad_b[1],
-                                -g * ra * grad_b[2],
-                            ];
-                            let fb_force = [
-                                -g * rb * grad_a[0],
-                                -g * rb * grad_a[1],
-                                -g * rb * grad_a[2],
-                            ];
-                            // per-component equilibrium velocity (velocity-shift forcing)
-                            let ra_s = ra.max(1e-12);
-                            let rb_s = rb.max(1e-12);
-                            *va = [
-                                u[0] + tau * fa_force[0] / ra_s,
-                                u[1] + tau * fa_force[1] / ra_s,
-                                u[2] + tau * fa_force[2] / ra_s,
-                            ];
-                            *vb = [
-                                u[0] + tau * fb_force[0] / rb_s,
-                                u[1] + tau * fb_force[1] / rb_s,
-                                u[2] + tau * fb_force[2] / rb_s,
-                            ];
-                        }
-                    });
+        let plane = self.plane;
+        self.pool
+            .parallel_chunks2(&mut self.ua, &mut self.ub, plane, plane, |ci, ca, cb| {
+                let start = ci * plane;
+                for (k, (va, vb)) in ca.iter_mut().zip(cb.iter_mut()).enumerate() {
+                    let node = start + k;
+                    let z = node / (nx * ny);
+                    let rem = node % (nx * ny);
+                    let y = rem / nx;
+                    let x = rem % nx;
+                    // momenta
+                    let mut j = [0.0f64; 3];
+                    for i in 0..Q {
+                        let f = fa[node * Q + i] + fb[node * Q + i];
+                        j[0] += f * CX[i] as f64;
+                        j[1] += f * CY[i] as f64;
+                        j[2] += f * CZ[i] as f64;
+                    }
+                    let ra = rho_a[node];
+                    let rb = rho_b[node];
+                    let rho_tot = (ra + rb).max(1e-12);
+                    let u = [j[0] / rho_tot, j[1] / rho_tot, j[2] / rho_tot];
+                    // Shan–Chen forces
+                    let mut grad_b = [0.0f64; 3];
+                    let mut grad_a = [0.0f64; 3];
+                    for i in 1..Q {
+                        let nb = geom.neighbor(x, y, z, i);
+                        let w = WEIGHTS[i];
+                        grad_b[0] += w * rho_b[nb] * CX[i] as f64;
+                        grad_b[1] += w * rho_b[nb] * CY[i] as f64;
+                        grad_b[2] += w * rho_b[nb] * CZ[i] as f64;
+                        grad_a[0] += w * rho_a[nb] * CX[i] as f64;
+                        grad_a[1] += w * rho_a[nb] * CY[i] as f64;
+                        grad_a[2] += w * rho_a[nb] * CZ[i] as f64;
+                    }
+                    let fa_force = [
+                        -g * ra * grad_b[0],
+                        -g * ra * grad_b[1],
+                        -g * ra * grad_b[2],
+                    ];
+                    let fb_force = [
+                        -g * rb * grad_a[0],
+                        -g * rb * grad_a[1],
+                        -g * rb * grad_a[2],
+                    ];
+                    // per-component equilibrium velocity (velocity-shift forcing)
+                    let ra_s = ra.max(1e-12);
+                    let rb_s = rb.max(1e-12);
+                    *va = [
+                        u[0] + tau * fa_force[0] / ra_s,
+                        u[1] + tau * fa_force[1] / ra_s,
+                        u[2] + tau * fa_force[2] / ra_s,
+                    ];
+                    *vb = [
+                        u[0] + tau * fb_force[0] / rb_s,
+                        u[1] + tau * fb_force[1] / rb_s,
+                        u[2] + tau * fb_force[2] / rb_s,
+                    ];
                 }
-            })
-            .expect("velocity pass");
-        }
-        self.ua = ua;
-        self.ub = ub;
+            });
     }
 
     fn pass_stream_collide(&mut self) {
@@ -348,45 +346,41 @@ impl TwoFluidLbm {
         let ua = &self.ua;
         let ub = &self.ub;
         let geom = self.geom();
-        let mut fa_new = std::mem::take(&mut self.fa_new);
-        let mut fb_new = std::mem::take(&mut self.fb_new);
-        {
-            let chunks_a = geom.plane_chunks(&mut fa_new, Q);
-            let chunks_b = geom.plane_chunks(&mut fb_new, Q);
-            crossbeam::thread::scope(|s| {
-                for ((start, ca), (_, cb)) in chunks_a.into_iter().zip(chunks_b) {
-                    s.spawn(move |_| {
-                        for (k, (slot_a, slot_b)) in ca
-                            .chunks_exact_mut(Q)
-                            .zip(cb.chunks_exact_mut(Q))
-                            .enumerate()
-                        {
-                            let node = start + k;
-                            let z = node / (nx * ny);
-                            let rem = node % (nx * ny);
-                            let y = rem / nx;
-                            let x = rem % nx;
-                            for i in 0..Q {
-                                // pull: the value streaming into (node, i)
-                                // comes from the node at −c_i
-                                let opp = crate::lattice::OPPOSITE[i];
-                                let src = geom.neighbor(x, y, z, opp);
-                                let (sa, sb) = (fa[src * Q + i], fb[src * Q + i]);
-                                let va = ua[src];
-                                let vb = ub[src];
-                                let ea = equilibrium(i, rho_a[src], va[0], va[1], va[2]);
-                                let eb = equilibrium(i, rho_b[src], vb[0], vb[1], vb[2]);
-                                slot_a[i] = sa + omega * (ea - sa);
-                                slot_b[i] = sb + omega * (eb - sb);
-                            }
-                        }
-                    });
+        let plane = self.plane;
+        let plane_q = plane * Q;
+        self.pool.parallel_chunks2(
+            &mut self.fa_new,
+            &mut self.fb_new,
+            plane_q,
+            plane_q,
+            |ci, ca, cb| {
+                let start = ci * plane;
+                for (k, (slot_a, slot_b)) in ca
+                    .chunks_exact_mut(Q)
+                    .zip(cb.chunks_exact_mut(Q))
+                    .enumerate()
+                {
+                    let node = start + k;
+                    let z = node / (nx * ny);
+                    let rem = node % (nx * ny);
+                    let y = rem / nx;
+                    let x = rem % nx;
+                    for i in 0..Q {
+                        // pull: the value streaming into (node, i)
+                        // comes from the node at −c_i
+                        let opp = crate::lattice::OPPOSITE[i];
+                        let src = geom.neighbor(x, y, z, opp);
+                        let (sa, sb) = (fa[src * Q + i], fb[src * Q + i]);
+                        let va = ua[src];
+                        let vb = ub[src];
+                        let ea = equilibrium(i, rho_a[src], va[0], va[1], va[2]);
+                        let eb = equilibrium(i, rho_b[src], vb[0], vb[1], vb[2]);
+                        slot_a[i] = sa + omega * (ea - sa);
+                        slot_b[i] = sb + omega * (eb - sb);
+                    }
                 }
-            })
-            .expect("stream pass");
-        }
-        self.fa_new = fa_new;
-        self.fb_new = fb_new;
+            },
+        );
     }
 
     /// Total mass per component.
@@ -466,6 +460,7 @@ impl TwoFluidLbm {
         assert_eq!(ck.fa.len(), n * Q, "corrupt checkpoint");
         assert_eq!(ck.fb.len(), n * Q, "corrupt checkpoint");
         TwoFluidLbm {
+            pool: gridsteer_exec::shared(ck.cfg.threads),
             plane: ck.cfg.nx * ck.cfg.ny,
             n,
             fa_new: vec![0.0; n * Q],
@@ -603,6 +598,24 @@ mod tests {
         let a = mk(1);
         let b = mk(4);
         assert_eq!(a.data(), b.data(), "thread count changed the physics");
+    }
+
+    #[test]
+    fn explicit_pool_handle_matches_shared_pool() {
+        let run = |mut sim: TwoFluidLbm| {
+            sim.set_miscibility(0.2);
+            sim.step_n(8);
+            sim.order_parameter()
+        };
+        let a = run(TwoFluidLbm::new(LbmConfig::small()));
+        let pool = gridsteer_exec::shared(3);
+        let b = run(TwoFluidLbm::with_pool(LbmConfig::small(), pool.clone()));
+        let mut c = TwoFluidLbm::new(LbmConfig::small());
+        c.set_pool(pool);
+        assert!(std::sync::Arc::ptr_eq(c.pool(), &gridsteer_exec::shared(3)));
+        let c = run(c);
+        assert_eq!(a.data(), b.data());
+        assert_eq!(a.data(), c.data());
     }
 
     #[test]

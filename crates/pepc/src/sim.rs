@@ -59,10 +59,6 @@ impl PepcConfig {
         PepcConfig {
             n_target: 200,
             ranks: 2,
-            tree: TreeConfig {
-                threads: 2,
-                ..Default::default()
-            },
             ..Default::default()
         }
     }
@@ -137,6 +133,8 @@ impl Snapshot {
 /// The steered plasma simulation.
 pub struct PepcSim {
     cfg: PepcConfig,
+    /// Executor pool the per-step force evaluation dispatches onto.
+    pool: std::sync::Arc<gridsteer_exec::ExecPool>,
     particles: Vec<Particle>,
     forces: Vec<[f64; 3]>,
     params: SteerParams,
@@ -181,6 +179,7 @@ impl PepcSim {
         }
         let next_label = particles.len() as u32;
         let mut sim = PepcSim {
+            pool: gridsteer_exec::shared(cfg.tree.threads),
             forces: vec![[0.0; 3]; particles.len()],
             particles,
             params: SteerParams::default(),
@@ -193,6 +192,17 @@ impl PepcSim {
         };
         sim.recompute_forces();
         sim
+    }
+
+    /// Replace the executor pool the force evaluation dispatches onto
+    /// (results are unaffected: the chunk grain is fixed).
+    pub fn set_pool(&mut self, pool: std::sync::Arc<gridsteer_exec::ExecPool>) {
+        self.pool = pool;
+    }
+
+    /// The executor pool this simulation dispatches onto.
+    pub fn pool(&self) -> &std::sync::Arc<gridsteer_exec::ExecPool> {
+        &self.pool
     }
 
     /// Particle count.
@@ -290,7 +300,7 @@ impl PepcSim {
 
     fn recompute_forces(&mut self) {
         let tree = Octree::build(&self.particles, self.cfg.tree);
-        let mut forces = tree.forces(&self.particles);
+        let mut forces = tree.forces_with(&self.pool, &self.particles);
         self.last_interactions = tree.last_interactions();
         for (f, p) in forces.iter_mut().zip(&self.particles) {
             let ext = self.external_force(p);

@@ -6,8 +6,11 @@
 //! carries its monopole (total charge + centre of charge). Evaluation:
 //! depth-first traversal accepting a node when `size / distance < θ`
 //! (the multipole acceptance criterion), falling back to direct summation
-//! in leaves. Force evaluation is parallel over particle chunks —
-//! the tree is immutable during traversal, so this is race-free.
+//! in leaves. Force evaluation is parallel over fixed-size particle chunks
+//! dispatched onto a persistent [`gridsteer_exec::ExecPool`] — the tree is
+//! immutable during traversal, so this is race-free, and the fixed
+//! chunk→particle mapping makes the forces bit-identical for any thread
+//! count.
 
 // Component loops over `[f64; 3]` are written indexed (`for a in 0..3`);
 // that is the clearest spelling for moment accumulation.
@@ -25,7 +28,10 @@ pub struct TreeConfig {
     pub eps: f64,
     /// Maximum particles per leaf.
     pub leaf_cap: usize,
-    /// Worker threads for force evaluation.
+    /// Worker threads for force evaluation. Defaults to the detected
+    /// parallelism (clamped; see [`gridsteer_exec::default_threads`]); an
+    /// explicitly set value wins. The thread count never changes results —
+    /// particles are chunked at a fixed grain regardless.
     pub threads: usize,
 }
 
@@ -35,7 +41,7 @@ impl Default for TreeConfig {
             theta: 0.5,
             eps: 0.05,
             leaf_cap: 8,
-            threads: 4,
+            threads: gridsteer_exec::default_threads(),
         }
     }
 }
@@ -277,29 +283,38 @@ impl Octree {
         (f, work)
     }
 
-    /// Forces on all particles, parallel over particle chunks.
+    /// Particles per force-evaluation chunk. Fixed (never derived from the
+    /// thread count) so the chunk→particle mapping, and with it the
+    /// interaction accounting, is identical at any parallelism.
+    const FORCE_GRAIN: usize = 64;
+
+    /// Forces on all particles, parallel over fixed-size particle chunks
+    /// on the shared pool for `cfg.threads`.
     pub fn forces(&self, particles: &[Particle]) -> Vec<[f64; 3]> {
+        self.forces_with(&gridsteer_exec::shared(self.cfg.threads), particles)
+    }
+
+    /// Forces on all particles, dispatched onto an explicit executor pool.
+    pub fn forces_with(
+        &self,
+        pool: &gridsteer_exec::ExecPool,
+        particles: &[Particle],
+    ) -> Vec<[f64; 3]> {
         use std::sync::atomic::Ordering;
         let n = particles.len();
         let mut out = vec![[0.0f64; 3]; n];
-        let chunk = n.div_ceil(self.cfg.threads.max(1)).max(1);
         let total_work = std::sync::atomic::AtomicU64::new(0);
-        crossbeam::thread::scope(|s| {
-            for (ci, slot) in out.chunks_mut(chunk).enumerate() {
-                let total_work = &total_work;
-                s.spawn(move |_| {
-                    let base = ci * chunk;
-                    let mut local_work = 0u64;
-                    for (k, f) in slot.iter_mut().enumerate() {
-                        let (fi, w) = self.force_on(particles, base + k);
-                        *f = fi;
-                        local_work += w;
-                    }
-                    total_work.fetch_add(local_work, Ordering::Relaxed);
-                });
+        pool.parallel_chunks(&mut out, Self::FORCE_GRAIN, |ci, slot| {
+            let base = ci * Self::FORCE_GRAIN;
+            let mut local_work = 0u64;
+            for (k, f) in slot.iter_mut().enumerate() {
+                let (fi, w) = self.force_on(particles, base + k);
+                *f = fi;
+                local_work += w;
             }
-        })
-        .expect("force evaluation");
+            // u64 sum: order-independent, so the counter is deterministic
+            total_work.fetch_add(local_work, Ordering::Relaxed);
+        });
         self.interactions
             .store(total_work.load(Ordering::Relaxed), Ordering::Relaxed);
         out

@@ -10,8 +10,28 @@
 //!    coherence: a slowly rotating isosurface changes few pixels).
 //! 2. **RLE stage** — byte-wise run-length encoding of the (mostly zero)
 //!    delta, or of the raw frame for keyframes.
+//!
+//! Encoding is parallel over row-aligned bands of at least
+//! [`BAND_MIN_BYTES`] (each band is delta'd and RLE'd independently, then
+//! the band payloads are concatenated in order). Band boundaries depend
+//! only on the frame width, never on the thread count, so the wire bytes
+//! are identical at any parallelism — and frames smaller than one band
+//! (including the committed golden fixture) encode exactly as the serial
+//! codec did. A run crossing a band boundary is emitted as two pairs,
+//! which [`rle_decode`] reassembles transparently.
 
 use crate::framebuffer::Framebuffer;
+
+/// Minimum RLE band size; actual bands are whole rows. Fixed so the band
+/// split (and therefore the payload bytes) never depends on thread count.
+pub const BAND_MIN_BYTES: usize = 16 * 1024;
+
+/// Band length in bytes for a frame of the given width: the smallest
+/// whole-row multiple of the row stride that is ≥ [`BAND_MIN_BYTES`].
+fn band_len(width: usize) -> usize {
+    let row = (width * 4).max(1);
+    row * BAND_MIN_BYTES.div_ceil(row)
+}
 
 /// An encoded frame: either a keyframe (self-contained) or a delta against
 /// the previous frame.
@@ -96,16 +116,38 @@ impl DeltaRleCodec {
         self.frame_count = 0;
     }
 
-    /// Encode a framebuffer.
+    /// Encode a framebuffer on the default shared executor pool.
     pub fn encode(&mut self, fb: &Framebuffer) -> EncodedFrame {
+        self.encode_with(&gridsteer_exec::global(), fb)
+    }
+
+    /// Encode a framebuffer on an explicit executor pool. Parallel over
+    /// row bands (see the module docs); output bytes are identical for any
+    /// thread count.
+    pub fn encode_with(
+        &mut self,
+        pool: &gridsteer_exec::ExecPool,
+        fb: &Framebuffer,
+    ) -> EncodedFrame {
         let raw = fb.bytes();
         let force_key =
             self.keyframe_interval > 0 && self.frame_count.is_multiple_of(self.keyframe_interval);
         self.frame_count += 1;
+        let bl = band_len(fb.width());
+        let bands = raw.len().div_ceil(bl);
         match (&self.prev, force_key) {
             (Some(prev), false) if prev.len() == raw.len() => {
-                let delta: Vec<u8> = raw.iter().zip(prev.iter()).map(|(a, b)| a ^ b).collect();
-                let payload = rle_encode(&delta);
+                let encoded = pool.map(bands, |i| {
+                    let lo = i * bl;
+                    let hi = (lo + bl).min(raw.len());
+                    let delta: Vec<u8> = raw[lo..hi]
+                        .iter()
+                        .zip(&prev[lo..hi])
+                        .map(|(a, b)| a ^ b)
+                        .collect();
+                    rle_encode(&delta)
+                });
+                let payload = encoded.concat(); // ordered band concatenation
                 self.prev = Some(raw.to_vec());
                 EncodedFrame {
                     keyframe: false,
@@ -114,7 +156,11 @@ impl DeltaRleCodec {
                 }
             }
             _ => {
-                let payload = rle_encode(raw);
+                let encoded = pool.map(bands, |i| {
+                    let lo = i * bl;
+                    rle_encode(&raw[lo..(lo + bl).min(raw.len())])
+                });
+                let payload = encoded.concat();
                 self.prev = Some(raw.to_vec());
                 EncodedFrame {
                     keyframe: true,

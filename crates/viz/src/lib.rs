@@ -24,6 +24,14 @@
 //!   vectors, time-history trails) and domain boxes.
 //! * [`vizserver`] — shared remote-render sessions: one render host, many
 //!   viewers receiving encoded frames, collaborative session semantics.
+//!
+//! The three hot paths — triangle fill ([`raster`]), isosurface extraction
+//! ([`mc`]) and frame encoding ([`codec`]) — are parallel over the
+//! persistent [`gridsteer_exec`] pool: framebuffer row bands, one-cell z
+//! slabs and row-aligned byte bands respectively. All three use fixed
+//! chunk boundaries and ordered reductions, so their output is
+//! byte-identical for any thread count; `*_with` variants accept an
+//! explicit pool handle, the plain names use the shared default pool.
 
 pub mod camera;
 pub mod codec;

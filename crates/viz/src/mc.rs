@@ -114,44 +114,65 @@ fn contour_tet(mesh: &mut TriMesh, p: [Vec3; 4], v: [f32; 4], iso: f32) {
     }
 }
 
+/// Contour every cell of one z-slab (cells `[z, z+1)`) into `mesh`, in
+/// the serial y-then-x order.
+fn extract_slab(field: &Field3, iso: f32, z: usize, mesh: &mut TriMesh) {
+    let (nx, ny, _) = field.dims();
+    for y in 0..ny - 1 {
+        for x in 0..nx - 1 {
+            // gather cube corners
+            let mut pv = [(Vec3::ZERO, 0.0f32); 8];
+            let mut lo = f32::INFINITY;
+            let mut hi = f32::NEG_INFINITY;
+            for (c, slot) in pv.iter_mut().enumerate() {
+                let (dx, dy, dz) = corner_offset(c);
+                let v = field.get(x + dx, y + dy, z + dz);
+                lo = lo.min(v);
+                hi = hi.max(v);
+                *slot = (
+                    Vec3::new((x + dx) as f32, (y + dy) as f32, (z + dz) as f32),
+                    v,
+                );
+            }
+            // fast reject: cell entirely on one side
+            if lo >= iso || hi < iso {
+                continue;
+            }
+            for tet in &TETS {
+                let p = [pv[tet[0]].0, pv[tet[1]].0, pv[tet[2]].0, pv[tet[3]].0];
+                let v = [pv[tet[0]].1, pv[tet[1]].1, pv[tet[2]].1, pv[tet[3]].1];
+                contour_tet(mesh, p, v, iso);
+            }
+        }
+    }
+}
+
 /// Extract the isosurface `field == iso` as a triangle mesh in lattice
-/// coordinates. Normals are per-face geometric normals; call
-/// [`TriMesh::recompute_normals`] for smooth shading, or use
-/// [`isosurface_smooth`] which orients and smooths using field gradients.
+/// coordinates, on the default shared executor pool. Normals are per-face
+/// geometric normals; call [`TriMesh::recompute_normals`] for smooth
+/// shading, or use [`isosurface_smooth`] which orients and smooths using
+/// field gradients.
 pub fn isosurface(field: &Field3, iso: f32) -> TriMesh {
+    isosurface_with(&gridsteer_exec::global(), field, iso)
+}
+
+/// [`isosurface`] on an explicit executor pool. Extraction is parallel
+/// over one-cell-thick z-slabs; the slab meshes are concatenated in z
+/// order, reproducing the serial emission order exactly — the result is
+/// byte-identical for any thread count.
+pub fn isosurface_with(pool: &gridsteer_exec::ExecPool, field: &Field3, iso: f32) -> TriMesh {
     let (nx, ny, nz) = field.dims();
     let mut mesh = TriMesh::new();
     if nx < 2 || ny < 2 || nz < 2 {
         return mesh;
     }
-    for z in 0..nz - 1 {
-        for y in 0..ny - 1 {
-            for x in 0..nx - 1 {
-                // gather cube corners
-                let mut pv = [(Vec3::ZERO, 0.0f32); 8];
-                let mut lo = f32::INFINITY;
-                let mut hi = f32::NEG_INFINITY;
-                for (c, slot) in pv.iter_mut().enumerate() {
-                    let (dx, dy, dz) = corner_offset(c);
-                    let v = field.get(x + dx, y + dy, z + dz);
-                    lo = lo.min(v);
-                    hi = hi.max(v);
-                    *slot = (
-                        Vec3::new((x + dx) as f32, (y + dy) as f32, (z + dz) as f32),
-                        v,
-                    );
-                }
-                // fast reject: cell entirely on one side
-                if lo >= iso || hi < iso {
-                    continue;
-                }
-                for tet in &TETS {
-                    let p = [pv[tet[0]].0, pv[tet[1]].0, pv[tet[2]].0, pv[tet[3]].0];
-                    let v = [pv[tet[0]].1, pv[tet[1]].1, pv[tet[2]].1, pv[tet[3]].1];
-                    contour_tet(&mut mesh, p, v, iso);
-                }
-            }
-        }
+    let slabs = pool.map(nz - 1, |z| {
+        let mut m = TriMesh::new();
+        extract_slab(field, iso, z, &mut m);
+        m
+    });
+    for s in &slabs {
+        mesh.merge(s); // ordered reduction: slab z, then z+1, …
     }
     mesh
 }
@@ -160,13 +181,28 @@ pub fn isosurface(field: &Field3, iso: f32) -> TriMesh {
 /// the (negated) field gradient sampled at the vertex, which is what
 /// AVS/Express-class renderers shade with.
 pub fn isosurface_smooth(field: &Field3, iso: f32) -> TriMesh {
-    let mut mesh = isosurface(field, iso);
-    for (v, n) in mesh.vertices.iter().zip(mesh.normals.iter_mut()) {
-        let g = grad_at(field, *v);
-        if g.len() > 1e-12 {
-            *n = g.scale(-1.0).normalized();
+    isosurface_smooth_with(&gridsteer_exec::global(), field, iso)
+}
+
+/// [`isosurface_smooth`] on an explicit executor pool (both the extraction
+/// and the per-vertex gradient fix-up are parallel and deterministic).
+pub fn isosurface_smooth_with(
+    pool: &gridsteer_exec::ExecPool,
+    field: &Field3,
+    iso: f32,
+) -> TriMesh {
+    let mut mesh = isosurface_with(pool, field, iso);
+    let vertices = &mesh.vertices;
+    // fixed grain: the vertex→chunk mapping never depends on thread count
+    pool.parallel_chunks(&mut mesh.normals, 4096, |ci, chunk| {
+        let base = ci * 4096;
+        for (k, n) in chunk.iter_mut().enumerate() {
+            let g = grad_at(field, vertices[base + k]);
+            if g.len() > 1e-12 {
+                *n = g.scale(-1.0).normalized();
+            }
         }
-    }
+    });
     mesh
 }
 

@@ -104,67 +104,161 @@ impl Rasterizer {
         }
     }
 
-    /// Draw a mesh with flat Lambert shading in `base` colour.
+    /// Draw a mesh with flat Lambert shading in `base` colour, on the
+    /// default shared executor pool.
     pub fn draw_mesh(&mut self, cam: &Camera, mesh: &TriMesh, base: [u8; 4]) {
-        let (w, h) = (self.fb.width(), self.fb.height());
-        for t in mesh.indices.chunks_exact(3) {
-            let va = mesh.vertices[t[0] as usize];
-            let vb = mesh.vertices[t[1] as usize];
-            let vc = mesh.vertices[t[2] as usize];
-            let (pa, pb, pc) = match (
-                cam.project(va, w, h),
-                cam.project(vb, w, h),
-                cam.project(vc, w, h),
-            ) {
-                (Some(a), Some(b), Some(c)) => (a, b, c),
-                _ => continue,
-            };
-            // face normal for shading (two-sided)
-            let n = vb.sub(va).cross(vc.sub(va)).normalized();
-            let lambert = n.dot(self.light).abs().clamp(0.05, 1.0);
-            let shade = |c: u8| ((c as f32) * (0.2 + 0.8 * lambert)) as u8;
-            let rgba = [shade(base[0]), shade(base[1]), shade(base[2]), base[3]];
-            self.fill_triangle(pa, pb, pc, rgba);
-            self.tris_drawn += 1;
-        }
+        self.draw_mesh_with(&gridsteer_exec::global(), cam, mesh, base);
     }
 
-    /// Barycentric triangle fill with z interpolation.
-    fn fill_triangle(
+    /// [`Rasterizer::draw_mesh`] on an explicit executor pool. Projection
+    /// and shading run once per triangle; the fill is parallel over
+    /// fixed-height framebuffer row bands, each band rasterizing every
+    /// triangle that overlaps it in mesh order. Every pixel is owned by
+    /// exactly one band and sees the triangles in the same order as a
+    /// serial fill, so the image is byte-identical for any thread count.
+    pub fn draw_mesh_with(
         &mut self,
+        pool: &gridsteer_exec::ExecPool,
+        cam: &Camera,
+        mesh: &TriMesh,
+        base: [u8; 4],
+    ) {
+        let (w, h) = (self.fb.width(), self.fb.height());
+        if w == 0 || h == 0 {
+            return;
+        }
+        let light = self.light;
+        let tris: Vec<ShadedTri> = mesh
+            .indices
+            .chunks_exact(3)
+            .filter_map(|t| {
+                let va = mesh.vertices[t[0] as usize];
+                let vb = mesh.vertices[t[1] as usize];
+                let vc = mesh.vertices[t[2] as usize];
+                let (pa, pb, pc) = match (
+                    cam.project(va, w, h),
+                    cam.project(vb, w, h),
+                    cam.project(vc, w, h),
+                ) {
+                    (Some(a), Some(b), Some(c)) => (a, b, c),
+                    _ => return None, // conservative near-plane clip
+                };
+                // face normal for shading (two-sided)
+                let n = vb.sub(va).cross(vc.sub(va)).normalized();
+                let lambert = n.dot(light).abs().clamp(0.05, 1.0);
+                let shade = |c: u8| ((c as f32) * (0.2 + 0.8 * lambert)) as u8;
+                let rgba = [shade(base[0]), shade(base[1]), shade(base[2]), base[3]];
+                Some(ShadedTri::prepare(pa, pb, pc, rgba, w, h))
+            })
+            .collect();
+        self.tris_drawn += tris.len();
+        // degenerate (zero-area) triangles counted above never fill pixels
+        let fillable: Vec<&ShadedTri> = tris.iter().filter(|t| t.inv_area.is_some()).collect();
+        // fixed band height: the pixel→band mapping never depends on the
+        // pool's thread count
+        let zband_len = BAND_ROWS * w;
+        let cband_len = BAND_ROWS * w * 4;
+        pool.parallel_chunks2(
+            &mut self.zbuf,
+            self.fb.bytes_mut(),
+            zband_len,
+            cband_len,
+            |bi, zband, cband| {
+                let y0 = bi * BAND_ROWS;
+                let y1 = y0 + zband.len() / w;
+                for t in &fillable {
+                    // bbox precomputed once per triangle: bands it misses
+                    // pay two comparisons, not a full setup + empty scan
+                    if t.max_y < y0 || t.min_y >= y1 {
+                        continue;
+                    }
+                    fill_triangle_band(t, w, y0, y1, zband, cband);
+                }
+            },
+        );
+    }
+}
+
+/// Rows per rasterization band (fixed; see [`Rasterizer::draw_mesh_with`]).
+const BAND_ROWS: usize = 32;
+
+/// A projected, culled, shaded triangle ready for the fill stage, with its
+/// clipped screen bbox and area reciprocal computed once.
+struct ShadedTri {
+    a: (f32, f32, f32),
+    b: (f32, f32, f32),
+    c: (f32, f32, f32),
+    rgba: [u8; 4],
+    min_x: usize,
+    max_x: usize,
+    min_y: usize,
+    max_y: usize,
+    /// `None` for degenerate (near-zero-area) triangles, which are counted
+    /// in `tris_drawn` but never fill pixels — matching the serial fill.
+    inv_area: Option<f32>,
+}
+
+impl ShadedTri {
+    fn prepare(
         a: (f32, f32, f32),
         b: (f32, f32, f32),
         c: (f32, f32, f32),
         rgba: [u8; 4],
-    ) {
-        let min_x = a.0.min(b.0).min(c.0).floor().max(0.0) as usize;
-        let max_x = (a.0.max(b.0).max(c.0).ceil() as usize).min(self.fb.width().saturating_sub(1));
-        let min_y = a.1.min(b.1).min(c.1).floor().max(0.0) as usize;
-        let max_y = (a.1.max(b.1).max(c.1).ceil() as usize).min(self.fb.height().saturating_sub(1));
+        w: usize,
+        h: usize,
+    ) -> ShadedTri {
         let area = (b.0 - a.0) * (c.1 - a.1) - (b.1 - a.1) * (c.0 - a.0);
-        if area.abs() < 1e-9 {
-            return;
+        ShadedTri {
+            min_x: a.0.min(b.0).min(c.0).floor().max(0.0) as usize,
+            max_x: (a.0.max(b.0).max(c.0).ceil() as usize).min(w.saturating_sub(1)),
+            min_y: a.1.min(b.1).min(c.1).floor().max(0.0) as usize,
+            max_y: (a.1.max(b.1).max(c.1).ceil() as usize).min(h.saturating_sub(1)),
+            inv_area: (area.abs() >= 1e-9).then(|| 1.0 / area),
+            a,
+            b,
+            c,
+            rgba,
         }
-        let inv_area = 1.0 / area;
-        for y in min_y..=max_y {
-            for x in min_x..=max_x {
-                let px = x as f32 + 0.5;
-                let py = y as f32 + 0.5;
-                let w0 = ((b.0 - a.0) * (py - a.1) - (b.1 - a.1) * (px - a.0)) * inv_area;
-                let w1 = ((c.0 - b.0) * (py - b.1) - (c.1 - b.1) * (px - b.0)) * inv_area;
-                let w2 = 1.0 - w0 - w1;
-                // inside test tolerant of either winding
-                let inside =
-                    (w0 >= 0.0 && w1 >= 0.0 && w2 >= 0.0) || (w0 <= 0.0 && w1 <= 0.0 && w2 <= 0.0);
-                if inside {
-                    // screen-space barycentric z with weights normalized to
-                    // tolerate either winding: w2→a, w0→b, w1→c
-                    let wsum = w0.abs() + w1.abs() + w2.abs();
-                    if wsum <= 0.0 {
-                        continue;
-                    }
-                    let z = (w2.abs() * a.2 + w0.abs() * b.2 + w1.abs() * c.2) / wsum;
-                    self.put(x, y, z, rgba);
+    }
+}
+
+/// Barycentric triangle fill with z interpolation, restricted to the
+/// framebuffer rows `[y0, y1)` held by `zband`/`cband`. The arithmetic is
+/// identical for every band split, so banded and whole-frame fills produce
+/// the same pixels.
+fn fill_triangle_band(
+    t: &ShadedTri,
+    w: usize,
+    y0: usize,
+    y1: usize,
+    zband: &mut [f32],
+    cband: &mut [u8],
+) {
+    let (a, b, c) = (t.a, t.b, t.c);
+    let (min_x, max_x, min_y, max_y) = (t.min_x, t.max_x, t.min_y, t.max_y);
+    let Some(inv_area) = t.inv_area else { return };
+    for y in min_y.max(y0)..=max_y.min(y1.saturating_sub(1)) {
+        for x in min_x..=max_x {
+            let px = x as f32 + 0.5;
+            let py = y as f32 + 0.5;
+            let w0 = ((b.0 - a.0) * (py - a.1) - (b.1 - a.1) * (px - a.0)) * inv_area;
+            let w1 = ((c.0 - b.0) * (py - b.1) - (c.1 - b.1) * (px - b.0)) * inv_area;
+            let w2 = 1.0 - w0 - w1;
+            // inside test tolerant of either winding
+            let inside =
+                (w0 >= 0.0 && w1 >= 0.0 && w2 >= 0.0) || (w0 <= 0.0 && w1 <= 0.0 && w2 <= 0.0);
+            if inside {
+                // screen-space barycentric z with weights normalized to
+                // tolerate either winding: w2→a, w0→b, w1→c
+                let wsum = w0.abs() + w1.abs() + w2.abs();
+                if wsum <= 0.0 {
+                    continue;
+                }
+                let z = (w2.abs() * a.2 + w0.abs() * b.2 + w1.abs() * c.2) / wsum;
+                let i = (y - y0) * w + x;
+                if z < zband[i] {
+                    zband[i] = z;
+                    cband[i * 4..i * 4 + 4].copy_from_slice(&t.rgba);
                 }
             }
         }

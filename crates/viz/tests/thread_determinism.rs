@@ -1,0 +1,124 @@
+//! Determinism-across-thread-counts regression tests for the parallel viz
+//! hot paths: the band-parallel rasterizer, the slab-parallel marching
+//! tetrahedra, and the row-band delta+RLE codec must produce **byte
+//! identical** output on a 1-thread and an 8-thread pool (and on the
+//! default pool, whatever `EXEC_THREADS` says — which is exactly what the
+//! CI determinism matrix exercises).
+
+use gridsteer_exec::{shared, ExecPool};
+use std::sync::Arc;
+use viz::codec::DeltaRleCodec;
+use viz::{mc, Camera, Field3, Framebuffer, Rasterizer, TriMesh, Vec3};
+
+fn pools() -> (Arc<ExecPool>, Arc<ExecPool>) {
+    (shared(1), shared(8))
+}
+
+fn blob_field(n: usize) -> Field3 {
+    let c = (n as f32 - 1.0) / 2.0;
+    Field3::from_fn(n, n, n, |x, y, z| {
+        let dx = x as f32 - c;
+        let dy = y as f32 - c;
+        let dz = z as f32 - c;
+        // two overlapping lobes: enough triangles to cross several bands
+        (n as f32 / 3.0) - (dx * dx + dy * dy + dz * dz).sqrt()
+            + 0.8 * ((x as f32 * 0.9).sin() + (y as f32 * 0.7).cos())
+    })
+}
+
+fn render(pool: &ExecPool, mesh: &TriMesh, size: usize) -> Framebuffer {
+    let c = 11.5;
+    let mut r = Rasterizer::new(size, size);
+    r.clear([10, 10, 30, 255]);
+    let cam = Camera::look_at(Vec3::new(30.0, 28.0, -26.0), Vec3::new(c, c, c));
+    r.draw_mesh_with(pool, &cam, mesh, [200, 90, 60, 255]);
+    r.into_framebuffer()
+}
+
+#[test]
+fn rasterizer_bands_are_thread_count_invariant() {
+    let (p1, p8) = pools();
+    let field = blob_field(24);
+    let mesh = mc::isosurface_smooth(&field, 0.0);
+    // 128 px spans four 32-row bands
+    let a = render(&p1, &mesh, 128);
+    let b = render(&p8, &mesh, 128);
+    assert!(!mesh.is_empty());
+    assert_eq!(a.bytes(), b.bytes(), "band-parallel fill diverged");
+    // the paper's deliverable format: the .ppm bytes must match too
+    assert_eq!(a.to_ppm(), b.to_ppm());
+}
+
+#[test]
+fn isosurface_slabs_are_thread_count_invariant() {
+    let (p1, p8) = pools();
+    let field = blob_field(20);
+    let a = mc::isosurface_with(&p1, &field, 0.0);
+    let b = mc::isosurface_with(&p8, &field, 0.0);
+    assert!(!a.is_empty());
+    assert_eq!(a.vertices.len(), b.vertices.len());
+    assert_eq!(a.vertices, b.vertices, "slab order drifted");
+    assert_eq!(a.indices, b.indices);
+    assert_eq!(a.normals, b.normals);
+    let sa = mc::isosurface_smooth_with(&p1, &field, 0.0);
+    let sb = mc::isosurface_smooth_with(&p8, &field, 0.0);
+    assert_eq!(sa.normals, sb.normals, "gradient fix-up drifted");
+}
+
+#[test]
+fn codec_bands_are_thread_count_invariant() {
+    let (p1, p8) = pools();
+    // 128×128 RGBA = 64 KiB raw: four 16 KiB bands
+    let mut fb = Framebuffer::new(128, 128);
+    for k in 0..4000usize {
+        fb.set(k % 128, (k * 13) % 128, [k as u8, (k / 3) as u8, 200, 255]);
+    }
+    let mut fb2 = fb.clone();
+    fb2.set(64, 64, [255, 255, 255, 255]);
+    let mut enc1 = DeltaRleCodec::new();
+    let mut enc8 = DeltaRleCodec::new();
+    for frame in [&fb, &fb2, &fb2] {
+        let e1 = enc1.encode_with(&p1, frame);
+        let e8 = enc8.encode_with(&p8, frame);
+        assert_eq!(e1.keyframe, e8.keyframe);
+        assert_eq!(e1.payload, e8.payload, "banded RLE payload diverged");
+    }
+}
+
+#[test]
+fn banded_stream_still_decodes_exactly() {
+    // multi-band frames (larger than BAND_MIN_BYTES) must round-trip
+    let (_, p8) = pools();
+    let mut fb = Framebuffer::new(128, 96);
+    for y in 0..96 {
+        for x in 0..128 {
+            fb.set(x, y, [(x * 2) as u8, (y * 2) as u8, (x ^ y) as u8, 255]);
+        }
+    }
+    let mut enc = DeltaRleCodec::new();
+    let mut dec = DeltaRleCodec::new();
+    for step in 0..3 {
+        fb.set(step * 7, step * 11, [1, 2, 3, 255]);
+        let e = enc.encode_with(&p8, &fb);
+        let out = dec.decode(&e, 128, 96).expect("banded frame decodes");
+        assert_eq!(out, fb, "step {step}");
+    }
+}
+
+#[test]
+fn full_pipeline_golden_frame_is_thread_count_invariant() {
+    // field → isosurface → raster → codec, end to end at 1 vs 8 threads
+    let (p1, p8) = pools();
+    let run = |pool: &ExecPool| {
+        let field = blob_field(16);
+        let mesh = mc::isosurface_smooth_with(pool, &field, 0.0);
+        let fb = render(pool, &mesh, 96);
+        let mut codec = DeltaRleCodec::new();
+        let frame = codec.encode_with(pool, &fb);
+        (fb.to_ppm(), frame.payload)
+    };
+    let (ppm1, pay1) = run(&p1);
+    let (ppm8, pay8) = run(&p8);
+    assert_eq!(ppm1, ppm8, "golden .ppm differs across thread counts");
+    assert_eq!(pay1, pay8, "wire payload differs across thread counts");
+}
