@@ -1,0 +1,6 @@
+//! Experiment binary — steering-bus throughput (`BENCH_bus.json`).
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    gridsteer_bench::cli::run(gridsteer_bench::exp_bus)
+}

@@ -3,6 +3,7 @@
 use covise::{
     CollabSession, Controller, CutPlane, IsoSurface, ModuleId, ReadField, Renderer, SyncMode,
 };
+use gridsteer_bus::{ParamSpec as BusParamSpec, SteerCommand, SteerHub, Transport};
 use gridsteer_harness::Scenario;
 use lbm::{LbmConfig, TwoFluidLbm};
 use netsim::{Link, NetModel, SimTime};
@@ -833,6 +834,50 @@ pub fn exp_e50_soak() -> ExpResult {
     )
 }
 
+/// BUS — steering-bus throughput: batched vs one-at-a-time command
+/// staging over every transport adapter. One row per (transport, mode);
+/// each row carries the commands-per-second the adapter sustained
+/// through its full middleware encode/decode path plus the hub commit.
+/// (Rows embed wall-clock rates, so this experiment's digest legitimately
+/// changes run to run; the per-transport applied counts are asserted
+/// deterministic in the unit tests.)
+pub fn exp_bus() -> ExpResult {
+    const CMDS: usize = 2000;
+    const BATCH: usize = 32;
+    let mut rows = Vec::new();
+    for transport in Transport::ALL {
+        for (mode, batch_size) in [("single", 1), ("batched", BATCH)] {
+            let hub = SteerHub::new(vec![BusParamSpec::f64_clamped("gain", 0.0, 1.0, 0.5)]);
+            let mut ep = transport.attach(&hub, "bench");
+            let t0 = Instant::now();
+            let mut applied = 0u64;
+            let mut sent = 0usize;
+            while sent < CMDS {
+                let n = batch_size.min(CMDS - sent);
+                let batch: Vec<SteerCommand> = (0..n)
+                    .map(|i| SteerCommand::f64("gain", ((sent + i) % 1000) as f64 / 1000.0))
+                    .collect();
+                sent += n;
+                ep.set_batch(batch).expect("bench batch stages");
+                applied += hub.commit().applied;
+            }
+            let wall = t0.elapsed();
+            let rate = CMDS as f64 / wall.as_secs_f64();
+            rows.push(format!(
+                "transport={} mode={mode} cmds={CMDS} applied={applied} wall={:.2}ms rate={:.0}cmd/s",
+                transport.label(),
+                wall.as_secs_f64() * 1e3,
+                rate
+            ));
+        }
+    }
+    emit(
+        "bus",
+        "steering-bus throughput: batched vs one-at-a-time commands per transport",
+        rows,
+    )
+}
+
 /// Every experiment in index order (driven by [`crate::cli::run_all`],
 /// which times each entry and emits its `BENCH_*.json`).
 pub const ALL: &[fn() -> ExpResult] = &[
@@ -851,11 +896,29 @@ pub const ALL: &[fn() -> ExpResult] = &[
     exp_eu1_unicore,
     exp_em1_migration,
     exp_e50_soak,
+    exp_bus,
 ];
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bus_throughput_covers_every_transport_and_mode() {
+        let r = exp_bus();
+        assert_eq!(r.rows.len(), Transport::ALL.len() * 2);
+        for t in Transport::ALL {
+            assert!(
+                r.rows
+                    .iter()
+                    .any(|row| row.contains(&format!("transport={}", t.label()))),
+                "missing transport {}",
+                t.label()
+            );
+        }
+        // every command must actually apply (clamped spec, in-bounds values)
+        assert!(r.rows.iter().all(|row| row.contains("applied=2000")));
+    }
 
     #[test]
     fn e50_soak_sweeps_every_cell() {

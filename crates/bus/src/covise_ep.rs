@@ -1,0 +1,221 @@
+//! The COVISE adapter: batches travel as module-parameter changes.
+//!
+//! COVISE modules expose scalar `f64` parameters (§4.5's map-editor
+//! surface), so this is the transport where capability negotiation does
+//! real work: the adapter's capability set carries `f64`/`i64`/`bool`
+//! (all representable as module parameters) and *excludes* `vec3` and
+//! `str` — a client that negotiates first discovers this and routes such
+//! commands over another endpoint of the same session.
+//!
+//! The commands themselves pass through a genuine [`covise::Module`]
+//! trait object (`SteerParams`), which
+//! re-types each scalar against the hub's declared spec before staging —
+//! the COVISE side never invents a kind the session didn't declare.
+
+use crate::command::{SteerCommand, SteerError};
+use crate::endpoint::{check_batch, negotiate_caps, Capabilities, SteerEndpoint, Subscription};
+use crate::hub::SteerHub;
+use crate::spec::ParamSpec;
+use crate::value::{ParamKind, ParamValue};
+use covise::Module;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// The parameter-sink module: every accepted `set_param` becomes one
+/// staged typed command.
+pub struct SteerParamsModule {
+    hub: SteerHub,
+    staged: Arc<Mutex<Vec<SteerCommand>>>,
+}
+
+impl SteerParamsModule {
+    fn new(hub: &SteerHub, staged: Arc<Mutex<Vec<SteerCommand>>>) -> SteerParamsModule {
+        SteerParamsModule {
+            hub: hub.clone(),
+            staged,
+        }
+    }
+
+    /// Re-type a scalar module parameter against the declared spec (one
+    /// rule, shared with the f64 shims: [`ParamValue::from_scalar`]).
+    fn retype(&self, key: &str, value: f64) -> Option<ParamValue> {
+        let spec = self.hub.registry().spec(key)?;
+        ParamValue::from_scalar(spec.kind, value)
+    }
+}
+
+impl Module for SteerParamsModule {
+    fn name(&self) -> &str {
+        "SteerParams"
+    }
+
+    fn inputs(&self) -> &'static [&'static str] {
+        &[]
+    }
+
+    fn outputs(&self) -> &'static [&'static str] {
+        &[]
+    }
+
+    fn set_param(&mut self, key: &str, value: f64) -> bool {
+        match self.retype(key, value) {
+            Some(v) => {
+                self.staged.lock().push(SteerCommand::new(key, v));
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn param(&self, key: &str) -> Option<f64> {
+        self.hub.get(key).and_then(|v| v.as_f64())
+    }
+
+    fn execute(
+        &mut self,
+        _inputs: &[Arc<covise::DataObject>],
+    ) -> Result<Vec<covise::DataObject>, String> {
+        // a pure parameter sink: no ports, nothing to produce
+        Ok(Vec::new())
+    }
+}
+
+/// Steering through a COVISE module network.
+pub struct CoviseEndpoint {
+    hub: SteerHub,
+    origin: String,
+    caps: Capabilities,
+    module: Box<dyn Module>,
+    staged: Arc<Mutex<Vec<SteerCommand>>>,
+}
+
+impl CoviseEndpoint {
+    /// Attach to a hub as `origin`.
+    pub fn attach(hub: &SteerHub, origin: &str) -> CoviseEndpoint {
+        let staged = Arc::new(Mutex::new(Vec::new()));
+        let mut caps = Capabilities::full("covise", 32);
+        caps.kinds.remove(&ParamKind::Vec3);
+        caps.kinds.remove(&ParamKind::Str);
+        CoviseEndpoint {
+            hub: hub.clone(),
+            origin: origin.to_string(),
+            caps,
+            module: Box::new(SteerParamsModule::new(hub, staged.clone())),
+            staged,
+        }
+    }
+}
+
+impl SteerEndpoint for CoviseEndpoint {
+    fn transport(&self) -> &'static str {
+        "covise"
+    }
+
+    fn negotiate(&mut self, client: &Capabilities) -> Capabilities {
+        negotiate_caps(&self.hub, &self.origin, &mut self.caps, client)
+    }
+
+    fn describe(&self) -> Vec<ParamSpec> {
+        self.hub.describe()
+    }
+
+    fn get(&self, name: &str) -> Option<ParamValue> {
+        self.hub.get(name)
+    }
+
+    fn set_batch(&mut self, commands: Vec<SteerCommand>) -> Result<u64, SteerError> {
+        check_batch(&self.caps, &commands)?;
+        for cmd in &commands {
+            let scalar = cmd
+                .value
+                .as_f64()
+                .ok_or_else(|| SteerError::UnsupportedKind {
+                    param: cmd.param.clone(),
+                    kind: cmd.value.kind().name(),
+                })?;
+            if !self.module.set_param(&cmd.param, scalar) {
+                // atomic batch: the module refused one change, so none of
+                // the batch may stage
+                self.staged.lock().clear();
+                return Err(SteerError::Transport(format!(
+                    "covise module refused {}={scalar}",
+                    cmd.param
+                )));
+            }
+        }
+        let staged = std::mem::take(&mut *self.staged.lock());
+        self.hub.stage(&self.origin, "covise", staged)
+    }
+
+    fn subscribe(&mut self) -> Subscription {
+        self.hub.subscribe()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hub() -> SteerHub {
+        SteerHub::new(vec![
+            ParamSpec::f64("miscibility", 0.0, 1.0, 1.0),
+            ParamSpec::i64("ranks", 1, 64, 4),
+            ParamSpec::flag("paused", false),
+            ParamSpec::text("site", "london"),
+        ])
+    }
+
+    #[test]
+    fn scalar_kinds_flow_through_the_module() {
+        let h = hub();
+        let mut ep = CoviseEndpoint::attach(&h, "hlrs");
+        ep.set_batch(vec![
+            SteerCommand::f64("miscibility", 0.4),
+            SteerCommand::new("ranks", ParamValue::I64(8)),
+            SteerCommand::new("paused", ParamValue::Bool(true)),
+        ])
+        .unwrap();
+        let out = h.commit();
+        assert_eq!(out.applied, 3);
+        assert_eq!(h.get("ranks"), Some(ParamValue::I64(8)));
+        assert_eq!(h.get("paused"), Some(ParamValue::Bool(true)));
+    }
+
+    #[test]
+    fn str_excluded_by_capability_set() {
+        let h = hub();
+        let mut ep = CoviseEndpoint::attach(&h, "hlrs");
+        let err = ep
+            .set_batch(vec![SteerCommand::new(
+                "site",
+                ParamValue::Str("stuttgart".into()),
+            )])
+            .unwrap_err();
+        assert!(matches!(err, SteerError::UnsupportedKind { .. }));
+        assert_eq!(h.pending(), 0);
+    }
+
+    #[test]
+    fn refused_module_change_aborts_whole_batch() {
+        let h = hub();
+        let mut ep = CoviseEndpoint::attach(&h, "hlrs");
+        let err = ep
+            .set_batch(vec![
+                SteerCommand::f64("miscibility", 0.2),
+                SteerCommand::f64("ghost", 1.0), // unknown to the session
+            ])
+            .unwrap_err();
+        assert!(matches!(err, SteerError::Transport(_)));
+        assert_eq!(h.pending(), 0, "atomic batch: nothing staged");
+        h.commit();
+        assert_eq!(h.get("miscibility"), Some(ParamValue::F64(1.0)));
+    }
+
+    #[test]
+    fn module_reads_current_values() {
+        let h = hub();
+        let ep = CoviseEndpoint::attach(&h, "x");
+        assert_eq!(ep.module.param("miscibility"), Some(1.0));
+        assert_eq!(ep.module.param("ghost"), None);
+    }
+}

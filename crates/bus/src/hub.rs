@@ -1,0 +1,337 @@
+//! The steering hub: one shared registry + staged batches + subscribers.
+//!
+//! A [`SteerHub`] is the session-side anchor every endpoint adapter
+//! attaches to. Transports *stage* decoded command batches here
+//! ([`SteerHub::stage`]); the owner of the simulation loop *commits* them
+//! atomically at a step boundary ([`SteerHub::commit_with`]), in global
+//! staging order — which is what makes a multi-transport run replay
+//! byte-identically: arrival order is deterministic under the virtual
+//! clock, and application order equals arrival order regardless of which
+//! middleware carried each command.
+
+use crate::command::{CommandBatch, CommitOutcome, SteerCommand, SteerError, SteerNotice};
+use crate::endpoint::{Capabilities, Subscription};
+use crate::registry::{ParamRegistry, SharedRegistry};
+use crate::spec::ParamSpec;
+use crate::value::ParamValue;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::{Arc, Weak};
+
+#[derive(Default)]
+struct HubState {
+    staged: Vec<CommandBatch>,
+    next_batch: u64,
+    commit_seq: u64,
+    /// Weak so a dropped subscriber's queue is reclaimed (dead entries
+    /// are pruned at each commit).
+    subscribers: Vec<Weak<Mutex<VecDeque<SteerNotice>>>>,
+    handshakes: Vec<String>,
+}
+
+/// The shared steering hub. Cheap to clone; all clones are one hub.
+#[derive(Clone, Default)]
+pub struct SteerHub {
+    registry: SharedRegistry,
+    state: Arc<Mutex<HubState>>,
+}
+
+impl SteerHub {
+    /// A hub over a fresh registry declaring `specs`.
+    pub fn new(specs: Vec<ParamSpec>) -> SteerHub {
+        let mut registry = ParamRegistry::new();
+        for spec in specs {
+            registry.declare(spec);
+        }
+        SteerHub {
+            registry: SharedRegistry::new(registry),
+            state: Arc::default(),
+        }
+    }
+
+    /// The shared registry — hand this to a `SteeringSession` (or any
+    /// other authority) so endpoint reads and session writes see one
+    /// value store.
+    pub fn registry(&self) -> SharedRegistry {
+        self.registry.clone()
+    }
+
+    /// The typed parameter surface.
+    pub fn describe(&self) -> Vec<ParamSpec> {
+        self.registry.specs()
+    }
+
+    /// Current value of one parameter.
+    pub fn get(&self, name: &str) -> Option<ParamValue> {
+        self.registry.get_value(name)
+    }
+
+    /// Stage a transport-decoded batch for the next commit. Returns the
+    /// assigned batch sequence number.
+    pub fn stage(
+        &self,
+        origin: &str,
+        transport: &'static str,
+        commands: Vec<SteerCommand>,
+    ) -> Result<u64, SteerError> {
+        if commands.is_empty() {
+            return Err(SteerError::EmptyBatch);
+        }
+        let mut st = self.state.lock();
+        st.next_batch += 1;
+        let seq = st.next_batch;
+        st.staged.push(CommandBatch {
+            seq,
+            origin: origin.to_string(),
+            transport,
+            commands,
+        });
+        Ok(seq)
+    }
+
+    /// Number of batches waiting for the next commit.
+    pub fn pending(&self) -> usize {
+        self.state.lock().staged.len()
+    }
+
+    /// Record a completed capability handshake (audit + scenario digest).
+    pub fn record_handshake(&self, origin: &str, negotiated: &Capabilities) {
+        self.state
+            .lock()
+            .handshakes
+            .push(format!("{origin} {}", negotiated.render()));
+    }
+
+    /// Handshake audit lines, in attach order.
+    pub fn handshakes(&self) -> Vec<String> {
+        self.state.lock().handshakes.clone()
+    }
+
+    /// Register a subscriber fed by every subsequent commit. Dropping
+    /// the returned [`Subscription`] unsubscribes; unpolled notices are
+    /// capped (oldest dropped first), so an idle subscriber cannot grow
+    /// the hub without bound.
+    pub fn subscribe(&self) -> Subscription {
+        let sub = Subscription::new();
+        self.state.lock().subscribers.push(sub.downgrade());
+        sub
+    }
+
+    /// Commit every staged batch atomically, in staging order, applying
+    /// each command through `apply`. The closure owns authority (role
+    /// checks, registry write, backend propagation) and returns the value
+    /// actually applied or a refusal reason. Outcomes fan out to all
+    /// subscribers.
+    pub fn commit_with(
+        &self,
+        mut apply: impl FnMut(&CommandBatch, &SteerCommand) -> Result<ParamValue, String>,
+    ) -> CommitOutcome {
+        let (batches, commit) = {
+            let mut st = self.state.lock();
+            if st.staged.is_empty() {
+                return CommitOutcome::default();
+            }
+            st.commit_seq += 1;
+            (std::mem::take(&mut st.staged), st.commit_seq)
+        };
+        let mut outcome = CommitOutcome {
+            commit,
+            ..CommitOutcome::default()
+        };
+        let mut notices = Vec::new();
+        for batch in &batches {
+            for cmd in &batch.commands {
+                match apply(batch, cmd) {
+                    Ok(value) => {
+                        outcome.applied += 1;
+                        notices.push(SteerNotice::Applied {
+                            commit,
+                            batch: batch.seq,
+                            origin: batch.origin.clone(),
+                            param: cmd.param.clone(),
+                            value,
+                        });
+                    }
+                    Err(reason) => {
+                        outcome.refused += 1;
+                        notices.push(SteerNotice::Refused {
+                            commit,
+                            batch: batch.seq,
+                            origin: batch.origin.clone(),
+                            param: cmd.param.clone(),
+                            reason,
+                        });
+                    }
+                }
+            }
+        }
+        let live: Vec<Subscription> = {
+            let mut st = self.state.lock();
+            st.subscribers.retain(|w| w.strong_count() > 0);
+            st.subscribers
+                .iter()
+                .filter_map(|w| w.upgrade().map(Subscription::from_queue))
+                .collect()
+        };
+        for sub in live {
+            for n in &notices {
+                sub.push(n.clone());
+            }
+        }
+        outcome
+    }
+
+    /// Commit with the hub's own registry as the only authority (no role
+    /// checks) — the standalone path used by tests and benches.
+    pub fn commit(&self) -> CommitOutcome {
+        let registry = self.registry.clone();
+        self.commit_with(|_batch, cmd| registry.set_value(&cmd.param, &cmd.value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ParamSpec;
+
+    fn hub() -> SteerHub {
+        SteerHub::new(vec![
+            ParamSpec::f64("miscibility", 0.0, 1.0, 1.0),
+            ParamSpec::f64_clamped("gain", 0.0, 10.0, 1.0),
+        ])
+    }
+
+    #[test]
+    fn staged_batches_apply_in_order_at_commit() {
+        let h = hub();
+        h.stage("a", "loopback", vec![SteerCommand::f64("miscibility", 0.3)])
+            .unwrap();
+        h.stage("b", "loopback", vec![SteerCommand::f64("miscibility", 0.6)])
+            .unwrap();
+        assert_eq!(h.pending(), 2);
+        // nothing applied until the step boundary
+        assert_eq!(h.get("miscibility"), Some(ParamValue::F64(1.0)));
+        let out = h.commit();
+        assert_eq!(out.applied, 2);
+        assert_eq!(h.pending(), 0);
+        // staging order wins: b staged last, so b's value is final
+        assert_eq!(h.get("miscibility"), Some(ParamValue::F64(0.6)));
+    }
+
+    #[test]
+    fn refusals_are_counted_and_notified() {
+        let h = hub();
+        let sub = h.subscribe();
+        h.stage(
+            "a",
+            "loopback",
+            vec![
+                SteerCommand::f64("miscibility", 9.0), // rejected (bounds)
+                SteerCommand::f64("gain", 99.0),       // clamped to 10
+            ],
+        )
+        .unwrap();
+        let out = h.commit();
+        assert_eq!(out.applied, 1);
+        assert_eq!(out.refused, 1);
+        let notices = sub.drain();
+        assert!(
+            matches!(&notices[0], SteerNotice::Refused { param, .. } if param == "miscibility")
+        );
+        assert!(matches!(
+            &notices[1],
+            SteerNotice::Applied { value: ParamValue::F64(v), .. } if *v == 10.0
+        ));
+    }
+
+    #[test]
+    fn empty_batch_refused_at_stage_time() {
+        let h = hub();
+        assert_eq!(
+            h.stage("a", "loopback", Vec::new()),
+            Err(SteerError::EmptyBatch)
+        );
+    }
+
+    #[test]
+    fn batch_seq_is_globally_monotone() {
+        let h = hub();
+        let s1 = h
+            .stage("a", "visit", vec![SteerCommand::f64("gain", 1.0)])
+            .unwrap();
+        let s2 = h
+            .stage("b", "ogsa", vec![SteerCommand::f64("gain", 2.0)])
+            .unwrap();
+        assert!(s2 > s1);
+        h.commit();
+        let s3 = h
+            .stage("a", "visit", vec![SteerCommand::f64("gain", 3.0)])
+            .unwrap();
+        assert!(s3 > s2, "sequence survives commits");
+    }
+
+    #[test]
+    fn commit_with_custom_authority() {
+        let h = hub();
+        h.stage("eve", "loopback", vec![SteerCommand::f64("gain", 5.0)])
+            .unwrap();
+        let out = h.commit_with(|batch, _cmd| {
+            if batch.origin == "eve" {
+                Err("not the master".into())
+            } else {
+                Ok(ParamValue::F64(0.0))
+            }
+        });
+        assert_eq!(out.refused, 1);
+        assert_eq!(
+            h.get("gain"),
+            Some(ParamValue::F64(1.0)),
+            "refused steer must not touch the registry"
+        );
+    }
+
+    #[test]
+    fn dropped_subscribers_are_pruned_and_reclaimed() {
+        let h = hub();
+        let kept = h.subscribe();
+        {
+            let _dropped = h.subscribe();
+        } // queue freed here; the hub holds only a weak handle
+        h.stage("a", "loopback", vec![SteerCommand::f64("gain", 2.0)])
+            .unwrap();
+        h.commit(); // prunes the dead entry, feeds the live one
+        assert_eq!(kept.drain().len(), 1);
+        assert_eq!(h.state.lock().subscribers.len(), 1, "dead entry pruned");
+    }
+
+    #[test]
+    fn unpolled_subscriber_queue_is_bounded() {
+        let h = hub();
+        let idle = h.subscribe();
+        for i in 0..(crate::endpoint::MAX_PENDING_NOTICES + 10) {
+            h.stage(
+                "a",
+                "loopback",
+                vec![SteerCommand::f64("gain", (i % 10) as f64)],
+            )
+            .unwrap();
+            h.commit();
+        }
+        assert_eq!(
+            idle.drain().len(),
+            crate::endpoint::MAX_PENDING_NOTICES,
+            "oldest notices must be shed at the cap"
+        );
+    }
+
+    #[test]
+    fn handshake_log_is_ordered() {
+        let h = hub();
+        h.record_handshake("alice", &Capabilities::full("visit", 64));
+        h.record_handshake("bob", &Capabilities::full("ogsa", 32));
+        let log = h.handshakes();
+        assert_eq!(log.len(), 2);
+        assert!(log[0].starts_with("alice transport=visit"));
+        assert!(log[1].starts_with("bob transport=ogsa"));
+    }
+}

@@ -1,0 +1,63 @@
+//! # gridsteer_bus — the unified typed steering bus
+//!
+//! The paper's central claim is *interoperable* computational steering:
+//! one running simulation steered through heterogeneous grid middlewares
+//! (UNICORE job channels, VISIT's wire protocol, OGSA grid services,
+//! COVISE collaborative modules). This crate is the API that makes the
+//! claim structural instead of aspirational — **one transport-agnostic
+//! steering surface that everything in the workspace goes through**:
+//!
+//! * [`ParamValue`] / [`ParamKind`] — the typed value currency
+//!   (`F64`/`I64`/`Bool`/`Vec3`/`Str`), with lossless codecs onto VISIT
+//!   payloads, OGSA service arguments, a tagged binary form (core TCP
+//!   server, UNICORE job payloads), and canonical text.
+//! * [`ParamSpec`] / [`BoundsPolicy`] — typed declarations with an
+//!   *explicit* clamp-vs-reject policy, replacing the old f64-only specs.
+//! * [`ParamRegistry`] / [`SharedRegistry`] — the typed registry (with
+//!   f64 shims so pre-bus call sites migrate mechanically) and its
+//!   shared-authority handle.
+//! * [`SteerEndpoint`] — the one client contract: capability
+//!   [`SteerEndpoint::negotiate`] handshake, typed
+//!   [`SteerEndpoint::describe`] / [`SteerEndpoint::get`],
+//!   sequence-numbered [`SteerEndpoint::set_batch`], and committed-steer
+//!   [`SteerEndpoint::subscribe`].
+//! * [`SteerHub`] — the session-side anchor: endpoints *stage* decoded
+//!   batches, the simulation-loop owner *commits* them atomically at a
+//!   step boundary, in global staging order — which is what keeps
+//!   multi-transport scenario digests byte-stable.
+//! * One [`Transport`] adapter per middleware:
+//!   [`LoopbackEndpoint`], [`VisitEndpoint`] (real §3.2 wire frames over
+//!   a frame link), [`OgsaEndpoint`] (a hosted [`BusSteeringService`]
+//!   discovered through the Figure-2 registry), [`CoviseEndpoint`] (a
+//!   genuine COVISE [`covise::Module`] parameter sink), and
+//!   [`UnicoreEndpoint`] (batches consigned as serialized AJOs).
+//!
+//! Transports differ in what they can carry — COVISE module parameters
+//! are scalars, so its capability set excludes `vec3`/`str` — and the
+//! negotiate handshake is how a client discovers that before steering.
+
+pub mod command;
+pub mod covise_ep;
+pub mod endpoint;
+pub mod hub;
+pub mod loopback;
+pub mod ogsa_ep;
+pub mod registry;
+pub mod spec;
+pub mod transport;
+pub mod unicore_ep;
+pub mod value;
+pub mod visit_ep;
+
+pub use command::{CommandBatch, CommitOutcome, SteerCommand, SteerError, SteerNotice};
+pub use covise_ep::{CoviseEndpoint, SteerParamsModule};
+pub use endpoint::{Capabilities, SteerEndpoint, Subscription};
+pub use hub::SteerHub;
+pub use loopback::LoopbackEndpoint;
+pub use ogsa_ep::{BusSteeringService, OgsaEndpoint};
+pub use registry::{ParamRegistry, SharedRegistry};
+pub use spec::{BoundsPolicy, ParamSpec};
+pub use transport::Transport;
+pub use unicore_ep::UnicoreEndpoint;
+pub use value::{ParamKind, ParamValue};
+pub use visit_ep::VisitEndpoint;

@@ -1,0 +1,127 @@
+//! The in-process loopback endpoint — the reference adapter.
+//!
+//! No wire, no codec: batches stage directly into the hub. Every other
+//! adapter must be observationally equivalent to this one (same staged
+//! commands for the same requested batch); the proptests in this crate
+//! pin that equivalence.
+
+use crate::command::{SteerCommand, SteerError};
+use crate::endpoint::{check_batch, negotiate_caps, Capabilities, SteerEndpoint, Subscription};
+use crate::hub::SteerHub;
+use crate::spec::ParamSpec;
+use crate::value::ParamValue;
+
+/// Direct in-process attachment to a [`SteerHub`].
+pub struct LoopbackEndpoint {
+    hub: SteerHub,
+    origin: String,
+    caps: Capabilities,
+}
+
+impl LoopbackEndpoint {
+    /// Attach to a hub as `origin`.
+    pub fn attach(hub: &SteerHub, origin: &str) -> LoopbackEndpoint {
+        LoopbackEndpoint {
+            hub: hub.clone(),
+            origin: origin.to_string(),
+            caps: Capabilities::full("loopback", 1024),
+        }
+    }
+}
+
+impl SteerEndpoint for LoopbackEndpoint {
+    fn transport(&self) -> &'static str {
+        "loopback"
+    }
+
+    fn negotiate(&mut self, client: &Capabilities) -> Capabilities {
+        negotiate_caps(&self.hub, &self.origin, &mut self.caps, client)
+    }
+
+    fn describe(&self) -> Vec<ParamSpec> {
+        self.hub.describe()
+    }
+
+    fn get(&self, name: &str) -> Option<ParamValue> {
+        self.hub.get(name)
+    }
+
+    fn set_batch(&mut self, commands: Vec<SteerCommand>) -> Result<u64, SteerError> {
+        check_batch(&self.caps, &commands)?;
+        self.hub.stage(&self.origin, "loopback", commands)
+    }
+
+    fn subscribe(&mut self) -> Subscription {
+        self.hub.subscribe()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::SteerNotice;
+    use crate::value::ParamKind;
+
+    fn hub() -> SteerHub {
+        SteerHub::new(vec![
+            ParamSpec::f64("miscibility", 0.0, 1.0, 1.0),
+            ParamSpec::text("label", "start"),
+        ])
+    }
+
+    #[test]
+    fn stage_commit_subscribe_roundtrip() {
+        let h = hub();
+        let mut ep = LoopbackEndpoint::attach(&h, "alice");
+        let sub = ep.subscribe();
+        ep.set_batch(vec![
+            SteerCommand::f64("miscibility", 0.2),
+            SteerCommand::new("label", ParamValue::Str("demix".into())),
+        ])
+        .unwrap();
+        h.commit();
+        assert_eq!(ep.get("miscibility"), Some(ParamValue::F64(0.2)));
+        assert_eq!(ep.get("label"), Some(ParamValue::Str("demix".into())));
+        assert_eq!(sub.drain().len(), 2);
+    }
+
+    #[test]
+    fn negotiation_narrows_accepted_kinds() {
+        let h = hub();
+        let mut ep = LoopbackEndpoint::attach(&h, "alice");
+        let mut client = Capabilities::full("client", 8);
+        client.kinds.remove(&ParamKind::Str);
+        let negotiated = ep.negotiate(&client);
+        assert!(!negotiated.kinds.contains(&ParamKind::Str));
+        assert_eq!(negotiated.max_batch, 8);
+        let err = ep
+            .set_batch(vec![SteerCommand::new(
+                "label",
+                ParamValue::Str("x".into()),
+            )])
+            .unwrap_err();
+        assert!(matches!(err, SteerError::UnsupportedKind { .. }));
+        assert_eq!(h.handshakes().len(), 1);
+    }
+
+    #[test]
+    fn describe_mirrors_hub_specs() {
+        let h = hub();
+        let ep = LoopbackEndpoint::attach(&h, "a");
+        let specs = ep.describe();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].name, "label"); // BTreeMap name order
+        assert_eq!(specs[1].name, "miscibility");
+    }
+
+    #[test]
+    fn refused_commit_notifies_subscriber() {
+        let h = hub();
+        let mut ep = LoopbackEndpoint::attach(&h, "a");
+        let sub = ep.subscribe();
+        ep.set_batch(vec![SteerCommand::f64("miscibility", 7.0)])
+            .unwrap();
+        h.commit();
+        assert!(matches!(sub.poll(), Some(SteerNotice::Refused { .. })));
+    }
+}

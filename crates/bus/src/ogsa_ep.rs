@@ -1,0 +1,293 @@
+//! The OGSA adapter: batches travel as Grid-service invocations.
+//!
+//! The endpoint hosts a [`BusSteeringService`] in a real [`HostingEnv`],
+//! publishes it in the Figure-2 [`Registry`] under the
+//! [`BusSteeringService::PORT_TYPE`] port type, discovers it back (the
+//! client "chooses the services it will require and binds them", §2.3),
+//! and then every batch is one `setBatch` operation whose arguments are
+//! typed [`SdeValue`]s — floats and integers natively, booleans as SDE
+//! booleans, vectors as canonical-text component lists (the XML-ish
+//! text encoding OGSI services actually used, with shortest-round-trip
+//! float formatting so nothing is lost).
+
+use crate::command::{SteerCommand, SteerError};
+use crate::endpoint::{check_batch, negotiate_caps, Capabilities, SteerEndpoint, Subscription};
+use crate::hub::SteerHub;
+use crate::spec::ParamSpec;
+use crate::value::{ParamKind, ParamValue};
+use ogsa::{GridService, Gsh, HostingEnv, InvokeResult, Registry, SdeValue, ServiceData};
+use parking_lot::Mutex;
+
+/// Encode one typed value as service-operation arguments (kind tag +
+/// payload).
+fn to_sde(value: &ParamValue) -> (SdeValue, SdeValue) {
+    let kind = SdeValue::Str(value.kind().name().to_string());
+    let payload = match value {
+        ParamValue::F64(v) => SdeValue::F64(*v),
+        ParamValue::I64(v) => SdeValue::I64(*v),
+        ParamValue::Bool(b) => SdeValue::Bool(*b),
+        ParamValue::Vec3([x, y, z]) => {
+            SdeValue::List(vec![format!("{x:?}"), format!("{y:?}"), format!("{z:?}")])
+        }
+        ParamValue::Str(s) => SdeValue::Str(s.clone()),
+    };
+    (kind, payload)
+}
+
+/// Decode service-operation arguments back into a typed value. Strict:
+/// any shape mismatch is a fault, never a guess.
+fn from_sde(kind: &SdeValue, payload: &SdeValue) -> Option<ParamValue> {
+    let kind = match kind {
+        SdeValue::Str(s) => *ParamKind::ALL.iter().find(|k| k.name() == s)?,
+        _ => return None,
+    };
+    Some(match (kind, payload) {
+        (ParamKind::F64, SdeValue::F64(v)) => ParamValue::F64(*v),
+        (ParamKind::I64, SdeValue::I64(v)) => ParamValue::I64(*v),
+        (ParamKind::Bool, SdeValue::Bool(b)) => ParamValue::Bool(*b),
+        (ParamKind::Vec3, SdeValue::List(c)) if c.len() == 3 => {
+            ParamValue::Vec3([c[0].parse().ok()?, c[1].parse().ok()?, c[2].parse().ok()?])
+        }
+        (ParamKind::Str, SdeValue::Str(s)) => ParamValue::Str(s.clone()),
+        _ => return None,
+    })
+}
+
+/// The hosted service half: a [`GridService`] staging decoded batches
+/// into the hub.
+pub struct BusSteeringService {
+    hub: SteerHub,
+    origin: String,
+    batches_staged: u64,
+}
+
+impl BusSteeringService {
+    /// The port type published to the registry.
+    pub const PORT_TYPE: &'static str = "gridsteer:bus-steering";
+
+    /// A service staging batches for `origin`.
+    pub fn new(hub: &SteerHub, origin: &str) -> BusSteeringService {
+        BusSteeringService {
+            hub: hub.clone(),
+            origin: origin.to_string(),
+            batches_staged: 0,
+        }
+    }
+}
+
+impl GridService for BusSteeringService {
+    fn port_types(&self) -> Vec<String> {
+        vec![Self::PORT_TYPE.to_string()]
+    }
+
+    fn service_data(&self) -> ServiceData {
+        let mut sd = ServiceData::new();
+        sd.set("origin", SdeValue::Str(self.origin.clone()));
+        sd.set(
+            "paramNames",
+            SdeValue::List(self.hub.describe().into_iter().map(|s| s.name).collect()),
+        );
+        sd.set("batchesStaged", SdeValue::I64(self.batches_staged as i64));
+        sd
+    }
+
+    fn invoke(&mut self, op: &str, args: &[SdeValue]) -> InvokeResult {
+        match op {
+            "describe" => InvokeResult::Ok(vec![SdeValue::List(
+                self.hub.describe().into_iter().map(|s| s.name).collect(),
+            )]),
+            "getParam" => {
+                let Some(name) = args.first().and_then(SdeValue::as_str) else {
+                    return InvokeResult::Fault("getParam needs (name)".into());
+                };
+                match self.hub.get(name) {
+                    Some(v) => {
+                        let (kind, payload) = to_sde(&v);
+                        InvokeResult::Ok(vec![kind, payload])
+                    }
+                    None => InvokeResult::Fault(format!("unknown parameter: {name}")),
+                }
+            }
+            "setBatch" => {
+                if args.is_empty() || !args.len().is_multiple_of(3) {
+                    return InvokeResult::Fault("setBatch needs (name, kind, value)+".into());
+                }
+                let mut commands = Vec::with_capacity(args.len() / 3);
+                for triple in args.chunks_exact(3) {
+                    let (Some(name), Some(value)) =
+                        (triple[0].as_str(), from_sde(&triple[1], &triple[2]))
+                    else {
+                        return InvokeResult::Fault("setBatch: malformed triple".into());
+                    };
+                    commands.push(SteerCommand::new(name, value));
+                }
+                match self.hub.stage(&self.origin, "ogsa", commands) {
+                    Ok(seq) => {
+                        self.batches_staged += 1;
+                        InvokeResult::Ok(vec![SdeValue::I64(seq as i64)])
+                    }
+                    Err(e) => InvokeResult::Fault(e.to_string()),
+                }
+            }
+            other => ogsa::service::unknown_op(other),
+        }
+    }
+}
+
+/// Steering through the OGSA hosting environment.
+pub struct OgsaEndpoint {
+    hub: SteerHub,
+    origin: String,
+    caps: Capabilities,
+    /// The hosting environment (locked so reads work through `&self`).
+    env: Mutex<HostingEnv>,
+    gsh: Gsh,
+}
+
+impl OgsaEndpoint {
+    /// Attach to a hub as `origin`: host the service, publish it in a
+    /// registry, discover it back, and bind to the handle.
+    pub fn attach(hub: &SteerHub, origin: &str) -> OgsaEndpoint {
+        let mut env = HostingEnv::new();
+        let steer_gsh = env.host(
+            "bus-steer",
+            Box::new(BusSteeringService::new(hub, origin)),
+            None,
+        );
+        let reg_gsh = env.host("registry", Box::new(Registry::new()), None);
+        let _ = env.invoke(
+            &reg_gsh,
+            "publish",
+            &[
+                SdeValue::Str(steer_gsh.clone()),
+                SdeValue::Str(BusSteeringService::PORT_TYPE.into()),
+                SdeValue::Str(origin.into()),
+            ],
+        );
+        // the Figure-2 client flow: discover by port type, bind the handle
+        let gsh = env
+            .invoke(
+                &reg_gsh,
+                "discover",
+                &[SdeValue::Str(BusSteeringService::PORT_TYPE.into())],
+            )
+            .ok()
+            .and_then(|r| {
+                r.first()
+                    .and_then(|v| v.as_list().and_then(|l| l.first().cloned()))
+            })
+            .unwrap_or(steer_gsh);
+        OgsaEndpoint {
+            hub: hub.clone(),
+            origin: origin.to_string(),
+            caps: Capabilities::full("ogsa", 128),
+            env: Mutex::new(env),
+            gsh,
+        }
+    }
+}
+
+impl SteerEndpoint for OgsaEndpoint {
+    fn transport(&self) -> &'static str {
+        "ogsa"
+    }
+
+    fn negotiate(&mut self, client: &Capabilities) -> Capabilities {
+        negotiate_caps(&self.hub, &self.origin, &mut self.caps, client)
+    }
+
+    fn describe(&self) -> Vec<ParamSpec> {
+        self.hub.describe()
+    }
+
+    fn get(&self, name: &str) -> Option<ParamValue> {
+        // a real service round-trip, not a hub read
+        match self
+            .env
+            .lock()
+            .invoke(&self.gsh, "getParam", &[SdeValue::Str(name.into())])
+        {
+            Ok(InvokeResult::Ok(out)) if out.len() == 2 => from_sde(&out[0], &out[1]),
+            _ => None,
+        }
+    }
+
+    fn set_batch(&mut self, commands: Vec<SteerCommand>) -> Result<u64, SteerError> {
+        check_batch(&self.caps, &commands)?;
+        let mut args = Vec::with_capacity(commands.len() * 3);
+        for cmd in &commands {
+            let (kind, payload) = to_sde(&cmd.value);
+            args.push(SdeValue::Str(cmd.param.clone()));
+            args.push(kind);
+            args.push(payload);
+        }
+        match self.env.lock().invoke(&self.gsh, "setBatch", &args) {
+            Ok(InvokeResult::Ok(out)) => match out.first().and_then(SdeValue::as_i64) {
+                Some(seq) if seq > 0 => Ok(seq as u64),
+                _ => Err(SteerError::Transport("setBatch returned no seq".into())),
+            },
+            Ok(InvokeResult::Fault(f)) => Err(SteerError::Transport(f)),
+            Err(e) => Err(SteerError::Transport(format!("{e:?}"))),
+        }
+    }
+
+    fn subscribe(&mut self) -> Subscription {
+        self.hub.subscribe()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hub() -> SteerHub {
+        SteerHub::new(vec![
+            ParamSpec::f64("miscibility", 0.0, 1.0, 1.0),
+            ParamSpec::i64("ranks", 1, 64, 4),
+            ParamSpec::flag("paused", false),
+            ParamSpec::vec3("beam_dir", -1.0, 1.0, [1.0, 0.0, 0.0]),
+            ParamSpec::text("site", "london"),
+        ])
+    }
+
+    #[test]
+    fn every_kind_survives_the_service_hop() {
+        let h = hub();
+        let mut ep = OgsaEndpoint::attach(&h, "alice");
+        ep.set_batch(vec![
+            SteerCommand::f64("miscibility", 0.25),
+            SteerCommand::new("ranks", ParamValue::I64(32)),
+            SteerCommand::new("paused", ParamValue::Bool(true)),
+            SteerCommand::new("beam_dir", ParamValue::Vec3([0.1, -0.9, 1e-12])),
+            SteerCommand::new("site", ParamValue::Str("manchester".into())),
+        ])
+        .unwrap();
+        let out = h.commit();
+        assert_eq!(out.applied, 5);
+        assert_eq!(
+            h.get("beam_dir"),
+            Some(ParamValue::Vec3([0.1, -0.9, 1e-12])),
+            "vec3 text components must round-trip exactly"
+        );
+    }
+
+    #[test]
+    fn get_goes_through_the_service() {
+        let h = hub();
+        let ep = OgsaEndpoint::attach(&h, "a");
+        assert_eq!(ep.get("ranks"), Some(ParamValue::I64(4)));
+        assert_eq!(ep.get("ghost"), None);
+    }
+
+    #[test]
+    fn sde_codec_rejects_shape_mismatch() {
+        assert_eq!(
+            from_sde(&SdeValue::Str("vec3".into()), &SdeValue::F64(1.0)),
+            None
+        );
+        assert_eq!(
+            from_sde(&SdeValue::Str("nope".into()), &SdeValue::F64(1.0)),
+            None
+        );
+    }
+}

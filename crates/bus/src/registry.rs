@@ -1,0 +1,230 @@
+//! The typed steerable-parameter registry.
+//!
+//! This replaces the old f64-only registry in `steer_core::params` (which
+//! now re-exports these types). Values are [`ParamValue`]s validated
+//! against [`ParamSpec`]s; the f64 `get`/`set` methods are kept as
+//! convenience shims so pre-bus call sites migrate mechanically.
+
+use crate::spec::ParamSpec;
+use crate::value::ParamValue;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A typed registry of steerable parameters with change history.
+#[derive(Debug, Default)]
+pub struct ParamRegistry {
+    specs: BTreeMap<String, ParamSpec>,
+    values: BTreeMap<String, ParamValue>,
+    /// `(sequence, name, applied value)` change log.
+    history: Vec<(u64, String, ParamValue)>,
+    seq: u64,
+}
+
+impl ParamRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a parameter.
+    pub fn declare(&mut self, spec: ParamSpec) {
+        self.values.insert(spec.name.clone(), spec.initial.clone());
+        self.specs.insert(spec.name.clone(), spec);
+    }
+
+    /// Parameter names (sorted — `BTreeMap` order).
+    pub fn names(&self) -> Vec<String> {
+        self.specs.keys().cloned().collect()
+    }
+
+    /// The declared spec for a parameter.
+    pub fn spec(&self, name: &str) -> Option<&ParamSpec> {
+        self.specs.get(name)
+    }
+
+    /// All declared specs, in name order.
+    pub fn specs(&self) -> Vec<ParamSpec> {
+        self.specs.values().cloned().collect()
+    }
+
+    /// Current typed value.
+    pub fn get_value(&self, name: &str) -> Option<&ParamValue> {
+        self.values.get(name)
+    }
+
+    /// Current value as f64 (shim; `None` for non-numeric parameters).
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.values.get(name).and_then(ParamValue::as_f64)
+    }
+
+    /// Check a steer without applying it: returns the value that *would*
+    /// be applied (after clamp/coercion) or the refusal reason.
+    pub fn validate(&self, name: &str, value: &ParamValue) -> Result<ParamValue, String> {
+        self.specs
+            .get(name)
+            .ok_or_else(|| format!("unknown parameter: {name}"))?
+            .admit(value)
+    }
+
+    /// Apply a typed steer. Returns the value actually applied (possibly
+    /// clamped, per the spec's [`crate::BoundsPolicy`]) or the refusal.
+    pub fn set_value(&mut self, name: &str, value: &ParamValue) -> Result<ParamValue, String> {
+        let applied = self.validate(name, value)?;
+        self.values.insert(name.to_string(), applied.clone());
+        self.seq += 1;
+        self.history
+            .push((self.seq, name.to_string(), applied.clone()));
+        Ok(applied)
+    }
+
+    /// Apply an f64 steer (shim over [`ParamRegistry::set_value`]).
+    pub fn set(&mut self, name: &str, value: f64) -> Result<(), String> {
+        self.set_value(name, &ParamValue::F64(value)).map(|_| ())
+    }
+
+    /// Change log (oldest first).
+    pub fn history(&self) -> &[(u64, String, ParamValue)] {
+        &self.history
+    }
+
+    /// Monotone change counter.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+}
+
+/// A cloneable, internally-locked handle to one shared [`ParamRegistry`]
+/// — the single authority every endpoint, session, and server of a
+/// steering bus reads and writes. Method-for-method mirror of the plain
+/// registry so call sites are interchangeable.
+#[derive(Debug, Clone, Default)]
+pub struct SharedRegistry {
+    inner: Arc<Mutex<ParamRegistry>>,
+}
+
+impl SharedRegistry {
+    /// Wrap a registry for sharing.
+    pub fn new(registry: ParamRegistry) -> Self {
+        SharedRegistry {
+            inner: Arc::new(Mutex::new(registry)),
+        }
+    }
+
+    /// Declare a parameter.
+    pub fn declare(&self, spec: ParamSpec) {
+        self.inner.lock().declare(spec);
+    }
+
+    /// Parameter names.
+    pub fn names(&self) -> Vec<String> {
+        self.inner.lock().names()
+    }
+
+    /// The declared spec for a parameter.
+    pub fn spec(&self, name: &str) -> Option<ParamSpec> {
+        self.inner.lock().spec(name).cloned()
+    }
+
+    /// All declared specs, in name order.
+    pub fn specs(&self) -> Vec<ParamSpec> {
+        self.inner.lock().specs()
+    }
+
+    /// Current typed value.
+    pub fn get_value(&self, name: &str) -> Option<ParamValue> {
+        self.inner.lock().get_value(name).cloned()
+    }
+
+    /// Current value as f64 (shim).
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.inner.lock().get(name)
+    }
+
+    /// Check a steer without applying it.
+    pub fn validate(&self, name: &str, value: &ParamValue) -> Result<ParamValue, String> {
+        self.inner.lock().validate(name, value)
+    }
+
+    /// Apply a typed steer.
+    pub fn set_value(&self, name: &str, value: &ParamValue) -> Result<ParamValue, String> {
+        self.inner.lock().set_value(name, value)
+    }
+
+    /// Apply an f64 steer (shim).
+    pub fn set(&self, name: &str, value: f64) -> Result<(), String> {
+        self.inner.lock().set(name, value)
+    }
+
+    /// Snapshot of the change log.
+    pub fn history(&self) -> Vec<(u64, String, ParamValue)> {
+        self.inner.lock().history().to_vec()
+    }
+
+    /// Monotone change counter.
+    pub fn seq(&self) -> u64 {
+        self.inner.lock().seq()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::BoundsPolicy;
+
+    #[test]
+    fn registry_declares_gets_sets_typed() {
+        let mut r = ParamRegistry::new();
+        r.declare(ParamSpec::f64("miscibility", 0.0, 1.0, 1.0));
+        r.declare(ParamSpec::text("site", "london"));
+        assert_eq!(r.get("miscibility"), Some(1.0));
+        assert_eq!(r.get("site"), None, "strings have no f64 view");
+        r.set("miscibility", 0.25).unwrap();
+        r.set_value("site", &ParamValue::Str("phoenix".into()))
+            .unwrap();
+        assert_eq!(
+            r.get_value("site"),
+            Some(&ParamValue::Str("phoenix".into()))
+        );
+        assert_eq!(r.seq(), 2);
+        assert_eq!(r.history().len(), 2);
+    }
+
+    #[test]
+    fn reject_spec_refuses_and_leaves_value() {
+        let mut r = ParamRegistry::new();
+        r.declare(ParamSpec::f64("x", 0.0, 1.0, 0.5));
+        assert!(r.set("x", 2.0).is_err());
+        assert_eq!(r.get("x"), Some(0.5), "value must be untouched");
+        assert_eq!(r.seq(), 0, "refusals must not consume sequence numbers");
+    }
+
+    #[test]
+    fn clamp_spec_applies_pinned_value_and_logs_it() {
+        let mut r = ParamRegistry::new();
+        r.declare(ParamSpec::f64_clamped("gain", 0.0, 10.0, 1.0));
+        let applied = r.set_value("gain", &ParamValue::F64(25.0)).unwrap();
+        assert_eq!(applied, ParamValue::F64(10.0));
+        assert_eq!(r.get("gain"), Some(10.0));
+        // history records what was *applied*, not what was asked
+        assert_eq!(r.history().last().unwrap().2, ParamValue::F64(10.0));
+    }
+
+    #[test]
+    fn unknown_parameter_rejected() {
+        let mut r = ParamRegistry::new();
+        assert!(r.set("ghost", 1.0).is_err());
+        assert_eq!(r.get("ghost"), None);
+    }
+
+    #[test]
+    fn shared_registry_is_one_authority() {
+        let shared = SharedRegistry::new(ParamRegistry::new());
+        shared.declare(ParamSpec::f64("x", 0.0, 1.0, 0.0));
+        let alias = shared.clone();
+        alias.set("x", 0.75).unwrap();
+        assert_eq!(shared.get("x"), Some(0.75));
+        assert_eq!(shared.seq(), 1);
+        assert_eq!(shared.spec("x").unwrap().policy, BoundsPolicy::Reject);
+    }
+}

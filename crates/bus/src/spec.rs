@@ -1,0 +1,247 @@
+//! Typed parameter declarations with an explicit bounds policy.
+//!
+//! The old f64-only registry silently carried one implicit policy
+//! (reject). A [`ParamSpec`] makes the choice explicit per parameter:
+//! [`BoundsPolicy::Reject`] refuses out-of-range steers outright
+//! (collaborators must see exactly what was applied), while
+//! [`BoundsPolicy::Clamp`] pins them to the nearest bound (useful for
+//! continuous dials where a slightly-out-of-range slider should stick at
+//! the end stop, not error).
+
+use crate::value::{ParamKind, ParamValue};
+
+/// What to do with an out-of-range steer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BoundsPolicy {
+    /// Refuse the steer; the current value is untouched.
+    #[default]
+    Reject,
+    /// Pin the steer to the violated bound and apply that.
+    Clamp,
+}
+
+/// Declaration of one steerable parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamSpec {
+    /// Parameter name.
+    pub name: String,
+    /// Declared value kind; steers of other kinds are coerced when exact
+    /// (`F64` ↔ `I64`) and rejected otherwise.
+    pub kind: ParamKind,
+    /// Lower bound (inclusive), applied to numeric kinds and to each
+    /// `Vec3` component. `None` = unbounded.
+    pub min: Option<f64>,
+    /// Upper bound (inclusive), same scope as `min`.
+    pub max: Option<f64>,
+    /// Initial value.
+    pub initial: ParamValue,
+    /// Out-of-range handling.
+    pub policy: BoundsPolicy,
+}
+
+impl ParamSpec {
+    /// A bounded f64 parameter with the classic reject-on-out-of-range
+    /// behaviour — the mechanical migration target for the old
+    /// `ParamSpec { name, min, max, initial }` literals.
+    pub fn f64(name: &str, min: f64, max: f64, initial: f64) -> ParamSpec {
+        ParamSpec {
+            name: name.to_string(),
+            kind: ParamKind::F64,
+            min: Some(min),
+            max: Some(max),
+            initial: ParamValue::F64(initial),
+            policy: BoundsPolicy::Reject,
+        }
+    }
+
+    /// A bounded f64 parameter that clamps instead of rejecting.
+    pub fn f64_clamped(name: &str, min: f64, max: f64, initial: f64) -> ParamSpec {
+        ParamSpec {
+            policy: BoundsPolicy::Clamp,
+            ..ParamSpec::f64(name, min, max, initial)
+        }
+    }
+
+    /// A bounded integer parameter (reject policy).
+    pub fn i64(name: &str, min: i64, max: i64, initial: i64) -> ParamSpec {
+        ParamSpec {
+            name: name.to_string(),
+            kind: ParamKind::I64,
+            min: Some(min as f64),
+            max: Some(max as f64),
+            initial: ParamValue::I64(initial),
+            policy: BoundsPolicy::Reject,
+        }
+    }
+
+    /// An unbounded boolean flag.
+    pub fn flag(name: &str, initial: bool) -> ParamSpec {
+        ParamSpec {
+            name: name.to_string(),
+            kind: ParamKind::Bool,
+            min: None,
+            max: None,
+            initial: ParamValue::Bool(initial),
+            policy: BoundsPolicy::Reject,
+        }
+    }
+
+    /// A per-component bounded 3-vector (clamp policy by default: vector
+    /// dials are continuous).
+    pub fn vec3(name: &str, min: f64, max: f64, initial: [f64; 3]) -> ParamSpec {
+        ParamSpec {
+            name: name.to_string(),
+            kind: ParamKind::Vec3,
+            min: Some(min),
+            max: Some(max),
+            initial: ParamValue::Vec3(initial),
+            policy: BoundsPolicy::Clamp,
+        }
+    }
+
+    /// An unbounded string parameter.
+    pub fn text(name: &str, initial: &str) -> ParamSpec {
+        ParamSpec {
+            name: name.to_string(),
+            kind: ParamKind::Str,
+            min: None,
+            max: None,
+            initial: ParamValue::Str(initial.to_string()),
+            policy: BoundsPolicy::Reject,
+        }
+    }
+
+    /// Check a requested steer against this spec. Returns the value to
+    /// actually apply (possibly clamped / kind-coerced) or a
+    /// human-readable refusal.
+    pub fn admit(&self, value: &ParamValue) -> Result<ParamValue, String> {
+        let coerced = self.coerce(value)?;
+        match coerced {
+            ParamValue::F64(v) => self.admit_scalar(v).map(ParamValue::F64),
+            // integers stay in the i64 domain when in range — an f64
+            // round-trip would lose precision beyond 2^53
+            ParamValue::I64(v) => {
+                let lo = self.min.unwrap_or(f64::NEG_INFINITY);
+                let hi = self.max.unwrap_or(f64::INFINITY);
+                if (v as f64) >= lo && (v as f64) <= hi {
+                    Ok(ParamValue::I64(v))
+                } else {
+                    self.admit_scalar(v as f64)
+                        .map(|x| ParamValue::I64(x as i64))
+                }
+            }
+            ParamValue::Vec3(c) => {
+                let mut out = [0.0; 3];
+                for (o, v) in out.iter_mut().zip(c) {
+                    *o = self.admit_scalar(v)?;
+                }
+                Ok(ParamValue::Vec3(out))
+            }
+            // Bool / Str have no numeric range.
+            other => Ok(other),
+        }
+    }
+
+    /// Kind-check with exact numeric coercion (`F64` holding an integral
+    /// value steers an `I64` parameter and vice versa — the f64 shims rely
+    /// on this).
+    fn coerce(&self, value: &ParamValue) -> Result<ParamValue, String> {
+        if value.kind() == self.kind {
+            return Ok(value.clone());
+        }
+        match (self.kind, value) {
+            (ParamKind::I64, ParamValue::F64(v)) => {
+                if let Some(exact) = ParamValue::from_scalar(ParamKind::I64, *v) {
+                    return Ok(exact);
+                }
+                Err(format!("{}: {v} is not an exact integer", self.name))
+            }
+            (ParamKind::F64, ParamValue::I64(v)) => Ok(ParamValue::F64(*v as f64)),
+            _ => Err(format!(
+                "{}: kind mismatch ({} steer against {} parameter)",
+                self.name,
+                value.kind().name(),
+                self.kind.name()
+            )),
+        }
+    }
+
+    fn admit_scalar(&self, v: f64) -> Result<f64, String> {
+        let lo = self.min.unwrap_or(f64::NEG_INFINITY);
+        let hi = self.max.unwrap_or(f64::INFINITY);
+        if v >= lo && v <= hi {
+            return Ok(v);
+        }
+        match self.policy {
+            BoundsPolicy::Clamp => Ok(v.clamp(lo, hi)),
+            BoundsPolicy::Reject => Err(format!("{}={v} outside [{lo}, {hi}]", self.name)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reject_policy_refuses_out_of_range() {
+        let s = ParamSpec::f64("miscibility", 0.0, 1.0, 1.0);
+        assert_eq!(
+            s.admit(&ParamValue::F64(0.4)),
+            Ok(ParamValue::F64(0.4)),
+            "in-range passes through"
+        );
+        let err = s.admit(&ParamValue::F64(2.0)).unwrap_err();
+        assert!(err.contains("outside"), "{err}");
+        assert!(s.admit(&ParamValue::F64(-0.1)).is_err());
+    }
+
+    #[test]
+    fn clamp_policy_pins_to_bounds() {
+        let s = ParamSpec::f64_clamped("damping", 0.0, 1.0, 0.0);
+        assert_eq!(s.admit(&ParamValue::F64(2.0)), Ok(ParamValue::F64(1.0)));
+        assert_eq!(s.admit(&ParamValue::F64(-3.0)), Ok(ParamValue::F64(0.0)));
+        assert_eq!(s.admit(&ParamValue::F64(0.5)), Ok(ParamValue::F64(0.5)));
+    }
+
+    #[test]
+    fn i64_bounds_and_coercion() {
+        let s = ParamSpec::i64("ranks", 1, 64, 4);
+        assert_eq!(s.admit(&ParamValue::I64(8)), Ok(ParamValue::I64(8)));
+        assert!(s.admit(&ParamValue::I64(65)).is_err());
+        // exact float coerces, fractional does not
+        assert_eq!(s.admit(&ParamValue::F64(16.0)), Ok(ParamValue::I64(16)));
+        assert!(s.admit(&ParamValue::F64(16.5)).is_err());
+    }
+
+    #[test]
+    fn vec3_clamps_per_component() {
+        let s = ParamSpec::vec3("beam_dir", -1.0, 1.0, [1.0, 0.0, 0.0]);
+        assert_eq!(
+            s.admit(&ParamValue::Vec3([2.0, 0.5, -9.0])),
+            Ok(ParamValue::Vec3([1.0, 0.5, -1.0]))
+        );
+    }
+
+    #[test]
+    fn kind_mismatch_rejected() {
+        let s = ParamSpec::f64("x", 0.0, 1.0, 0.0);
+        let err = s.admit(&ParamValue::Str("0.5".into())).unwrap_err();
+        assert!(err.contains("kind mismatch"), "{err}");
+        let flag = ParamSpec::flag("paused", false);
+        assert!(flag.admit(&ParamValue::F64(1.0)).is_err());
+        assert_eq!(
+            flag.admit(&ParamValue::Bool(true)),
+            Ok(ParamValue::Bool(true))
+        );
+    }
+
+    #[test]
+    fn unbounded_kinds_pass_through() {
+        let s = ParamSpec::text("label", "a");
+        assert_eq!(
+            s.admit(&ParamValue::Str("b".into())),
+            Ok(ParamValue::Str("b".into()))
+        );
+    }
+}

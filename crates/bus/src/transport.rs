@@ -1,0 +1,108 @@
+//! Transport selection: one enum, one factory.
+
+use crate::covise_ep::CoviseEndpoint;
+use crate::endpoint::SteerEndpoint;
+use crate::hub::SteerHub;
+use crate::loopback::LoopbackEndpoint;
+use crate::ogsa_ep::OgsaEndpoint;
+use crate::unicore_ep::UnicoreEndpoint;
+use crate::visit_ep::VisitEndpoint;
+
+/// Which middleware carries a participant's steering traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// In-process staging (tests, local tools).
+    #[default]
+    Loopback,
+    /// VISIT wire frames over a frame link (§3.2).
+    Visit,
+    /// OGSA grid-service invocations (§2.3, Figure 2).
+    Ogsa,
+    /// COVISE module parameters (§4.5).
+    Covise,
+    /// UNICORE job consignment (§2.2, §3.1).
+    Unicore,
+}
+
+impl Transport {
+    /// Every transport, in display order.
+    pub const ALL: [Transport; 5] = [
+        Transport::Loopback,
+        Transport::Visit,
+        Transport::Ogsa,
+        Transport::Covise,
+        Transport::Unicore,
+    ];
+
+    /// Stable lowercase label (handshake lines, reports).
+    pub fn label(self) -> &'static str {
+        match self {
+            Transport::Loopback => "loopback",
+            Transport::Visit => "visit",
+            Transport::Ogsa => "ogsa",
+            Transport::Covise => "covise",
+            Transport::Unicore => "unicore",
+        }
+    }
+
+    /// Attach an endpoint of this transport to `hub` for `origin`.
+    pub fn attach(self, hub: &SteerHub, origin: &str) -> Box<dyn SteerEndpoint> {
+        match self {
+            Transport::Loopback => Box::new(LoopbackEndpoint::attach(hub, origin)),
+            Transport::Visit => Box::new(VisitEndpoint::attach(hub, origin)),
+            Transport::Ogsa => Box::new(OgsaEndpoint::attach(hub, origin)),
+            Transport::Covise => Box::new(CoviseEndpoint::attach(hub, origin)),
+            Transport::Unicore => Box::new(UnicoreEndpoint::attach(hub, origin)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::SteerCommand;
+    use crate::spec::ParamSpec;
+    use crate::value::ParamValue;
+
+    /// The interop contract: the same f64 steer staged over every
+    /// transport produces the same committed value.
+    #[test]
+    fn every_transport_is_observationally_equivalent() {
+        for t in Transport::ALL {
+            let hub = SteerHub::new(vec![ParamSpec::f64("miscibility", 0.0, 1.0, 1.0)]);
+            let mut ep = t.attach(&hub, "alice");
+            assert_eq!(ep.transport(), t.label());
+            ep.set_batch(vec![SteerCommand::f64("miscibility", 0.125)])
+                .unwrap();
+            let out = hub.commit();
+            assert_eq!(out.applied, 1, "{}", t.label());
+            assert_eq!(
+                hub.get("miscibility"),
+                Some(ParamValue::F64(0.125)),
+                "{}",
+                t.label()
+            );
+        }
+    }
+
+    /// One session, several transports at once — the paper's interop
+    /// claim in miniature: staging order decides, not transport identity.
+    #[test]
+    fn mixed_transports_share_one_session() {
+        let hub = SteerHub::new(vec![ParamSpec::f64("x", 0.0, 10.0, 0.0)]);
+        let mut eps: Vec<_> = Transport::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, t)| t.attach(&hub, &format!("client{i}")))
+            .collect();
+        for (i, ep) in eps.iter_mut().enumerate() {
+            ep.set_batch(vec![SteerCommand::f64("x", i as f64)])
+                .unwrap();
+        }
+        assert_eq!(hub.pending(), 5);
+        let out = hub.commit();
+        assert_eq!(out.applied, 5);
+        // the last-staged endpoint (unicore) wins
+        assert_eq!(hub.get("x"), Some(ParamValue::F64(4.0)));
+    }
+}

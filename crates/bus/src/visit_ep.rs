@@ -1,0 +1,234 @@
+//! The VISIT adapter: batches travel as real §3.2 wire frames.
+//!
+//! Every [`set_batch`](crate::SteerEndpoint::set_batch) is encoded into
+//! VISIT [`Frame`]s (begin / name / typed-value / end), shipped through a
+//! [`MemLink`] pair using the same length-prefixed framing as the TCP
+//! transport, and decoded on the far side back into typed commands before
+//! staging — so the bytes on the link are exactly what a remote VISIT
+//! simulation would see, including the client-native byte order that the
+//! receiving side converts transparently.
+
+use crate::command::{SteerCommand, SteerError};
+use crate::endpoint::{check_batch, negotiate_caps, Capabilities, SteerEndpoint, Subscription};
+use crate::hub::SteerHub;
+use crate::spec::ParamSpec;
+use crate::value::{ParamKind, ParamValue};
+use std::time::Duration;
+use visit::link::FrameLink;
+use visit::{Endianness, Frame, MemLink, MsgKind, VisitValue};
+
+/// Tag of the batch-open frame (payload: `I64[seq-hint, count]`).
+const TAG_BEGIN: u32 = 0x00B5_0001;
+/// Tag of a parameter-name frame (payload: `Str`).
+const TAG_NAME: u32 = 0x00B5_0002;
+/// Tag of the batch-close frame (bare).
+const TAG_END: u32 = 0x00B5_0003;
+/// Base tag of a typed-value frame; the low byte carries the
+/// [`ParamKind`] wire code so the receiver decodes without guessing.
+const TAG_VALUE_BASE: u32 = 0x00B5_1000;
+
+/// Steering over the VISIT wire protocol.
+pub struct VisitEndpoint {
+    hub: SteerHub,
+    origin: String,
+    caps: Capabilities,
+    /// Client-side link end (the "simulation is the client" side).
+    client: MemLink,
+    /// Server-side link end, drained synchronously after each batch.
+    server: MemLink,
+    /// Byte order the client encodes payloads in (§3.2: the server
+    /// converts; the client never does).
+    order: Endianness,
+}
+
+impl VisitEndpoint {
+    /// Attach to a hub as `origin`, encoding payloads in the client's
+    /// native byte order.
+    pub fn attach(hub: &SteerHub, origin: &str) -> VisitEndpoint {
+        Self::attach_with_order(hub, origin, Endianness::native())
+    }
+
+    /// Attach with an explicit client byte order (the cross-endian tests
+    /// force the mismatched case).
+    pub fn attach_with_order(hub: &SteerHub, origin: &str, order: Endianness) -> VisitEndpoint {
+        let (client, server) = MemLink::pair();
+        VisitEndpoint {
+            hub: hub.clone(),
+            origin: origin.to_string(),
+            caps: Capabilities::full("visit", 256),
+            client,
+            server,
+            order,
+        }
+    }
+
+    /// Drain and decode one batch from the server side of the link.
+    fn recv_batch(&mut self) -> Result<Vec<SteerCommand>, SteerError> {
+        let recv = |server: &mut MemLink| -> Result<Frame, SteerError> {
+            let bytes = server
+                .recv_timeout(Duration::from_millis(50))
+                .map_err(|e| SteerError::Transport(format!("visit recv: {e:?}")))?;
+            Frame::decode(&bytes).ok_or_else(|| SteerError::Transport("malformed frame".into()))
+        };
+        let begin = recv(&mut self.server)?;
+        let count = match (begin.tag, begin.value.as_ref().and_then(VisitValue::to_i64)) {
+            (TAG_BEGIN, Some(v)) if v.len() == 2 && v[1] >= 0 => v[1] as usize,
+            _ => return Err(SteerError::Transport("expected batch-begin frame".into())),
+        };
+        let mut commands = Vec::with_capacity(count);
+        for _ in 0..count {
+            let name_frame = recv(&mut self.server)?;
+            let param = match (name_frame.tag, name_frame.value) {
+                (TAG_NAME, Some(VisitValue::Str(s))) => s,
+                _ => return Err(SteerError::Transport("expected name frame".into())),
+            };
+            let value_frame = recv(&mut self.server)?;
+            let kind = value_frame
+                .tag
+                .checked_sub(TAG_VALUE_BASE)
+                .and_then(|b| u8::try_from(b).ok())
+                .and_then(ParamKind::from_byte)
+                .ok_or_else(|| SteerError::Transport("bad value tag".into()))?;
+            let value = value_frame
+                .value
+                .as_ref()
+                .and_then(|v| ParamValue::from_visit(kind, v))
+                .ok_or_else(|| SteerError::Transport("typed payload mismatch".into()))?;
+            commands.push(SteerCommand { param, value });
+        }
+        let end = recv(&mut self.server)?;
+        if end.tag != TAG_END {
+            return Err(SteerError::Transport("expected batch-end frame".into()));
+        }
+        Ok(commands)
+    }
+}
+
+impl SteerEndpoint for VisitEndpoint {
+    fn transport(&self) -> &'static str {
+        "visit"
+    }
+
+    fn negotiate(&mut self, client: &Capabilities) -> Capabilities {
+        negotiate_caps(&self.hub, &self.origin, &mut self.caps, client)
+    }
+
+    fn describe(&self) -> Vec<ParamSpec> {
+        self.hub.describe()
+    }
+
+    fn get(&self, name: &str) -> Option<ParamValue> {
+        self.hub.get(name)
+    }
+
+    fn set_batch(&mut self, commands: Vec<SteerCommand>) -> Result<u64, SteerError> {
+        check_batch(&self.caps, &commands)?;
+        let send = |client: &mut MemLink, frame: &Frame| -> Result<(), SteerError> {
+            client
+                .send(&frame.encode())
+                .map_err(|e| SteerError::Transport(format!("visit send: {e:?}")))
+        };
+        send(
+            &mut self.client,
+            &Frame::with_value(
+                MsgKind::Data,
+                TAG_BEGIN,
+                self.order,
+                VisitValue::I64(vec![0, commands.len() as i64]),
+            ),
+        )?;
+        for cmd in &commands {
+            send(
+                &mut self.client,
+                &Frame::with_value(
+                    MsgKind::Data,
+                    TAG_NAME,
+                    self.order,
+                    VisitValue::Str(cmd.param.clone()),
+                ),
+            )?;
+            send(
+                &mut self.client,
+                &Frame::with_value(
+                    MsgKind::Data,
+                    TAG_VALUE_BASE + cmd.value.kind() as u32,
+                    self.order,
+                    cmd.value.to_visit(),
+                ),
+            )?;
+        }
+        send(&mut self.client, &Frame::bare(MsgKind::Data, TAG_END))?;
+        let decoded = self.recv_batch()?;
+        self.hub.stage(&self.origin, "visit", decoded)
+    }
+
+    fn subscribe(&mut self) -> Subscription {
+        self.hub.subscribe()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hub() -> SteerHub {
+        SteerHub::new(vec![
+            ParamSpec::f64("miscibility", 0.0, 1.0, 1.0),
+            ParamSpec::i64("ranks", 1, 64, 4),
+            ParamSpec::flag("paused", false),
+            ParamSpec::vec3("beam_dir", -1.0, 1.0, [1.0, 0.0, 0.0]),
+            ParamSpec::text("site", "london"),
+        ])
+    }
+
+    #[test]
+    fn every_kind_survives_the_wire() {
+        let h = hub();
+        let mut ep = VisitEndpoint::attach(&h, "alice");
+        ep.set_batch(vec![
+            SteerCommand::f64("miscibility", 0.05),
+            SteerCommand::new("ranks", ParamValue::I64(16)),
+            SteerCommand::new("paused", ParamValue::Bool(true)),
+            SteerCommand::new("beam_dir", ParamValue::Vec3([0.0, 1.0, 0.0])),
+            SteerCommand::new("site", ParamValue::Str("jülich".into())),
+        ])
+        .unwrap();
+        let out = h.commit();
+        assert_eq!(out.applied, 5);
+        assert_eq!(h.get("miscibility"), Some(ParamValue::F64(0.05)));
+        assert_eq!(h.get("ranks"), Some(ParamValue::I64(16)));
+        assert_eq!(h.get("paused"), Some(ParamValue::Bool(true)));
+        assert_eq!(h.get("beam_dir"), Some(ParamValue::Vec3([0.0, 1.0, 0.0])));
+        assert_eq!(h.get("site"), Some(ParamValue::Str("jülich".into())));
+    }
+
+    #[test]
+    fn big_endian_client_decoded_transparently() {
+        // the paper's Cray/SGI case: client encodes big-endian, the
+        // receiving side converts (§3.2) — values must be identical.
+        let h = hub();
+        let mut ep = VisitEndpoint::attach_with_order(&h, "t3e", Endianness::Big);
+        ep.set_batch(vec![
+            SteerCommand::f64("miscibility", 0.123456789),
+            SteerCommand::new("ranks", ParamValue::I64(33)),
+        ])
+        .unwrap();
+        h.commit();
+        assert_eq!(h.get("miscibility"), Some(ParamValue::F64(0.123456789)));
+        assert_eq!(h.get("ranks"), Some(ParamValue::I64(33)));
+    }
+
+    #[test]
+    fn batch_is_one_staging_unit() {
+        let h = hub();
+        let mut ep = VisitEndpoint::attach(&h, "a");
+        ep.set_batch(vec![
+            SteerCommand::f64("miscibility", 0.1),
+            SteerCommand::f64("miscibility", 0.2),
+        ])
+        .unwrap();
+        assert_eq!(h.pending(), 1, "one batch, not two");
+        h.commit();
+        assert_eq!(h.get("miscibility"), Some(ParamValue::F64(0.2)));
+    }
+}

@@ -32,6 +32,9 @@ pub mod session;
 
 pub use migrate::{MigrationReport, Migrator};
 pub use monitor::{LoopBudget, LoopMonitor, LoopReport};
-pub use params::{LbmSteerAdapter, ParamRegistry, ParamSpec, PepcSteerAdapter};
+pub use params::{
+    BoundsPolicy, GenericSteerAdapter, LbmSteerAdapter, ParamKind, ParamRegistry, ParamSpec,
+    ParamValue, PepcSteerAdapter, SharedRegistry, SteerCommand, SteerTarget,
+};
 pub use server::{ClientHandle, CollabServer};
 pub use session::{Participant, Role, SessionEvent, SteeringSession};

@@ -1,217 +1,181 @@
-//! Steerable parameters: registry, bounds, history, application adapters.
+//! Steerable parameters: the bus registry plus application adapters.
 //!
 //! §2.3: "the RealityGrid project has defined APIs for the steering calls
 //! which can be used to link from the application to the services." The
-//! [`ParamRegistry`] is the session-side half of that API; the adapters
-//! ([`LbmSteerAdapter`], [`PepcSteerAdapter`]) are the application-side
-//! half, exposing each code's physics knobs as bounded named parameters
-//! and implementing [`ogsa::Steerable`] so the same applications are
-//! steerable through the Figure-2 service stack.
+//! registry half of that API now lives in [`gridsteer_bus`] (typed
+//! [`ParamValue`]s with explicit clamp-vs-reject [`BoundsPolicy`]) and is
+//! re-exported here so pre-bus call sites keep compiling; this module
+//! keeps the application-side half: one [`GenericSteerAdapter`] exposing
+//! any [`SteerTarget`] simulation as bounded named parameters behind
+//! [`ogsa::Steerable`], replacing the per-simulation copy-pasted
+//! adapters (the old `LbmSteerAdapter` / `PepcSteerAdapter` are now type
+//! aliases of it).
 
 use lbm::TwoFluidLbm;
 use ogsa::Steerable;
 use parking_lot::Mutex;
 use pepc::PepcSim;
-use std::collections::BTreeMap;
 use std::sync::Arc;
 
-/// Declaration of one steerable parameter.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ParamSpec {
-    /// Parameter name.
-    pub name: String,
-    /// Lower bound (inclusive).
-    pub min: f64,
-    /// Upper bound (inclusive).
-    pub max: f64,
-    /// Initial value.
-    pub initial: f64,
+pub use gridsteer_bus::{
+    BoundsPolicy, ParamKind, ParamRegistry, ParamSpec, ParamValue, SharedRegistry, SteerCommand,
+};
+
+/// A simulation steerable through typed specs: the single trait both
+/// paper codes implement, from which every adapter and scenario backend
+/// derives its parameter surface.
+pub trait SteerTarget {
+    /// The typed registry specs this simulation accepts.
+    fn specs() -> Vec<ParamSpec>;
+    /// Read a parameter's current value.
+    fn read(&self, name: &str) -> Option<ParamValue>;
+    /// Apply an already-admitted value (bounds-checked against
+    /// [`SteerTarget::specs`] by the caller).
+    fn write(&mut self, name: &str, value: &ParamValue) -> Result<(), String>;
+    /// Monotone progress counter (simulation steps taken).
+    fn progress(&self) -> u64;
 }
 
-/// A typed registry of steerable parameters with change history.
-#[derive(Debug, Default)]
-pub struct ParamRegistry {
-    specs: BTreeMap<String, ParamSpec>,
-    values: BTreeMap<String, f64>,
-    /// `(sequence, name, value)` change log.
-    history: Vec<(u64, String, f64)>,
-    seq: u64,
-}
-
-impl ParamRegistry {
-    /// Empty registry.
-    pub fn new() -> Self {
-        Self::default()
+impl SteerTarget for TwoFluidLbm {
+    fn specs() -> Vec<ParamSpec> {
+        // §2.2's steering parameter: miscibility ∈ [0,1]
+        vec![ParamSpec::f64("miscibility", 0.0, 1.0, 1.0)]
     }
 
-    /// Declare a parameter.
-    pub fn declare(&mut self, spec: ParamSpec) {
-        self.values.insert(spec.name.clone(), spec.initial);
-        self.specs.insert(spec.name.clone(), spec);
+    fn read(&self, name: &str) -> Option<ParamValue> {
+        (name == "miscibility").then(|| ParamValue::F64(self.miscibility()))
     }
 
-    /// Parameter names.
-    pub fn names(&self) -> Vec<String> {
-        self.specs.keys().cloned().collect()
-    }
-
-    /// Current value.
-    pub fn get(&self, name: &str) -> Option<f64> {
-        self.values.get(name).copied()
-    }
-
-    /// Apply a steer. Returns `Err` on unknown names or out-of-bounds
-    /// values (the steer is *rejected*, not clamped — collaborators must
-    /// see exactly what was applied).
-    pub fn set(&mut self, name: &str, value: f64) -> Result<(), String> {
-        let spec = self
-            .specs
-            .get(name)
-            .ok_or_else(|| format!("unknown parameter: {name}"))?;
-        if value < spec.min || value > spec.max {
-            return Err(format!(
-                "{name}={value} outside [{}, {}]",
-                spec.min, spec.max
-            ));
+    fn write(&mut self, name: &str, value: &ParamValue) -> Result<(), String> {
+        match (name, value.as_f64()) {
+            ("miscibility", Some(v)) => {
+                self.set_miscibility(v);
+                Ok(())
+            }
+            _ => Err(format!("unknown parameter: {name}")),
         }
-        self.values.insert(name.to_string(), value);
-        self.seq += 1;
-        self.history.push((self.seq, name.to_string(), value));
+    }
+
+    fn progress(&self) -> u64 {
+        self.steps()
+    }
+}
+
+impl SteerTarget for PepcSim {
+    fn specs() -> Vec<ParamSpec> {
+        // the §3.4 beam/laser/assist knobs
+        vec![
+            ParamSpec::f64("beam_intensity", 0.0, 100.0, 0.0),
+            ParamSpec::f64(
+                "beam_theta",
+                -std::f64::consts::PI,
+                std::f64::consts::PI,
+                0.0,
+            ),
+            ParamSpec::f64("laser_amplitude", 0.0, 100.0, 0.0),
+            ParamSpec::f64("damping", 0.0, 1.0, 0.0),
+        ]
+    }
+
+    fn read(&self, name: &str) -> Option<ParamValue> {
+        let p = self.params();
+        Some(ParamValue::F64(match name {
+            "beam_intensity" => p.beam_intensity,
+            "beam_theta" => p.beam_dir[2].atan2(p.beam_dir[0]),
+            "laser_amplitude" => p.laser_amplitude,
+            "damping" => p.damping,
+            _ => return None,
+        }))
+    }
+
+    fn write(&mut self, name: &str, value: &ParamValue) -> Result<(), String> {
+        let v = value
+            .as_f64()
+            .ok_or_else(|| format!("{name}: non-numeric steer"))?;
+        let mut p = self.params();
+        match name {
+            "beam_intensity" => p.beam_intensity = v,
+            // steer the beam direction in the x–z plane (§3.4:
+            // "direction … altered by the user interactively")
+            "beam_theta" => p.beam_dir = [v.cos(), 0.0, v.sin()],
+            "laser_amplitude" => p.laser_amplitude = v,
+            "damping" => p.damping = v,
+            other => return Err(format!("unknown parameter: {other}")),
+        }
+        self.set_params(p);
         Ok(())
     }
 
-    /// Change log (oldest first).
-    pub fn history(&self) -> &[(u64, String, f64)] {
-        &self.history
-    }
-
-    /// Monotone change counter.
-    pub fn seq(&self) -> u64 {
-        self.seq
+    fn progress(&self) -> u64 {
+        self.step_count()
     }
 }
 
-/// [`Steerable`] adapter for the Lattice-Boltzmann fluid: exposes the
-/// §2.2 steering parameter, `miscibility ∈ [0,1]`.
-pub struct LbmSteerAdapter {
-    sim: Arc<Mutex<TwoFluidLbm>>,
+/// One [`Steerable`] adapter for every [`SteerTarget`] simulation —
+/// bounds come from the typed specs, so clamp-vs-reject policies apply
+/// uniformly and per-simulation adapter code no longer exists.
+pub struct GenericSteerAdapter<T> {
+    sim: Arc<Mutex<T>>,
+    /// Cached [`SteerTarget::specs`] — steers are per-command hot path,
+    /// so the spec surface is derived once at construction.
+    cached_specs: Vec<ParamSpec>,
 }
 
-impl LbmSteerAdapter {
+impl<T: SteerTarget> GenericSteerAdapter<T> {
     /// Wrap a shared simulation.
-    pub fn new(sim: Arc<Mutex<TwoFluidLbm>>) -> Self {
-        LbmSteerAdapter { sim }
-    }
-}
-
-impl Steerable for LbmSteerAdapter {
-    fn param_names(&self) -> Vec<String> {
-        vec!["miscibility".into()]
-    }
-
-    fn get_param(&self, name: &str) -> Option<f64> {
-        (name == "miscibility").then(|| self.sim.lock().miscibility())
-    }
-
-    fn set_param(&mut self, name: &str, value: f64) -> Result<(), String> {
-        if name != "miscibility" {
-            return Err(format!("unknown parameter: {name}"));
+    pub fn new(sim: Arc<Mutex<T>>) -> Self {
+        GenericSteerAdapter {
+            sim,
+            cached_specs: T::specs(),
         }
-        if !(0.0..=1.0).contains(&value) {
-            return Err(format!("miscibility={value} outside [0,1]"));
-        }
-        self.sim.lock().set_miscibility(value);
-        Ok(())
-    }
-
-    fn sequence_number(&self) -> u64 {
-        self.sim.lock().steps()
-    }
-}
-
-/// [`Steerable`] adapter for PEPC: the §3.4 beam/laser/assist knobs.
-pub struct PepcSteerAdapter {
-    sim: Arc<Mutex<PepcSim>>,
-}
-
-impl PepcSteerAdapter {
-    /// Wrap a shared simulation.
-    pub fn new(sim: Arc<Mutex<PepcSim>>) -> Self {
-        PepcSteerAdapter { sim }
     }
 
     /// The registry specs matching this adapter.
     pub fn specs() -> Vec<ParamSpec> {
-        vec![
-            ParamSpec {
-                name: "beam_intensity".into(),
-                min: 0.0,
-                max: 100.0,
-                initial: 0.0,
-            },
-            ParamSpec {
-                name: "beam_theta".into(),
-                min: -std::f64::consts::PI,
-                max: std::f64::consts::PI,
-                initial: 0.0,
-            },
-            ParamSpec {
-                name: "laser_amplitude".into(),
-                min: 0.0,
-                max: 100.0,
-                initial: 0.0,
-            },
-            ParamSpec {
-                name: "damping".into(),
-                min: 0.0,
-                max: 1.0,
-                initial: 0.0,
-            },
-        ]
+        T::specs()
+    }
+
+    /// Typed read.
+    pub fn get_value(&self, name: &str) -> Option<ParamValue> {
+        self.sim.lock().read(name)
+    }
+
+    /// Typed write: admit against the spec (clamp/reject/coerce), then
+    /// apply. Returns the value actually applied.
+    pub fn set_value(&mut self, name: &str, value: &ParamValue) -> Result<ParamValue, String> {
+        let spec = self
+            .cached_specs
+            .iter()
+            .find(|s| s.name == name)
+            .ok_or_else(|| format!("unknown parameter: {name}"))?;
+        let applied = spec.admit(value)?;
+        self.sim.lock().write(name, &applied)?;
+        Ok(applied)
     }
 }
 
-impl Steerable for PepcSteerAdapter {
+impl<T: SteerTarget + Send> Steerable for GenericSteerAdapter<T> {
     fn param_names(&self) -> Vec<String> {
-        Self::specs().into_iter().map(|s| s.name).collect()
+        self.cached_specs.iter().map(|s| s.name.clone()).collect()
     }
 
     fn get_param(&self, name: &str) -> Option<f64> {
-        let p = self.sim.lock().params();
-        match name {
-            "beam_intensity" => Some(p.beam_intensity),
-            "beam_theta" => Some(p.beam_dir[2].atan2(p.beam_dir[0])),
-            "laser_amplitude" => Some(p.laser_amplitude),
-            "damping" => Some(p.damping),
-            _ => None,
-        }
+        self.sim.lock().read(name).and_then(|v| v.as_f64())
     }
 
     fn set_param(&mut self, name: &str, value: f64) -> Result<(), String> {
-        let mut sim = self.sim.lock();
-        let mut p = sim.params();
-        match name {
-            "beam_intensity" if (0.0..=100.0).contains(&value) => p.beam_intensity = value,
-            "beam_theta" => {
-                // steer the beam direction in the x–z plane (§3.4:
-                // "direction … altered by the user interactively")
-                p.beam_dir = [value.cos(), 0.0, value.sin()];
-            }
-            "laser_amplitude" if (0.0..=100.0).contains(&value) => p.laser_amplitude = value,
-            "damping" if (0.0..=1.0).contains(&value) => p.damping = value,
-            known @ ("beam_intensity" | "laser_amplitude" | "damping") => {
-                return Err(format!("{known}={value} out of bounds"))
-            }
-            other => return Err(format!("unknown parameter: {other}")),
-        }
-        sim.set_params(p);
-        Ok(())
+        self.set_value(name, &ParamValue::F64(value)).map(|_| ())
     }
 
     fn sequence_number(&self) -> u64 {
-        self.sim.lock().step_count()
+        self.sim.lock().progress()
     }
 }
+
+/// [`Steerable`] adapter for the Lattice-Boltzmann fluid (§2.2).
+pub type LbmSteerAdapter = GenericSteerAdapter<TwoFluidLbm>;
+/// [`Steerable`] adapter for PEPC (§3.4).
+pub type PepcSteerAdapter = GenericSteerAdapter<PepcSim>;
 
 #[cfg(test)]
 mod tests {
@@ -222,12 +186,7 @@ mod tests {
     #[test]
     fn registry_declares_gets_sets() {
         let mut r = ParamRegistry::new();
-        r.declare(ParamSpec {
-            name: "miscibility".into(),
-            min: 0.0,
-            max: 1.0,
-            initial: 1.0,
-        });
+        r.declare(ParamSpec::f64("miscibility", 0.0, 1.0, 1.0));
         assert_eq!(r.get("miscibility"), Some(1.0));
         r.set("miscibility", 0.25).unwrap();
         assert_eq!(r.get("miscibility"), Some(0.25));
@@ -238,15 +197,18 @@ mod tests {
     #[test]
     fn out_of_bounds_rejected_not_clamped() {
         let mut r = ParamRegistry::new();
-        r.declare(ParamSpec {
-            name: "x".into(),
-            min: 0.0,
-            max: 1.0,
-            initial: 0.5,
-        });
+        r.declare(ParamSpec::f64("x", 0.0, 1.0, 0.5));
         assert!(r.set("x", 2.0).is_err());
         assert_eq!(r.get("x"), Some(0.5), "value must be untouched");
         assert_eq!(r.seq(), 0);
+    }
+
+    #[test]
+    fn clamp_policy_spec_pins_instead() {
+        let mut r = ParamRegistry::new();
+        r.declare(ParamSpec::f64_clamped("x", 0.0, 1.0, 0.5));
+        r.set("x", 2.0).unwrap();
+        assert_eq!(r.get("x"), Some(1.0), "clamp policy applies the bound");
     }
 
     #[test]
@@ -301,5 +263,28 @@ mod tests {
         assert_eq!(a.sequence_number(), 0);
         sim.lock().step_n(3);
         assert_eq!(a.sequence_number(), 3);
+    }
+
+    #[test]
+    fn generic_adapter_typed_surface() {
+        let sim = Arc::new(Mutex::new(TwoFluidLbm::new(LbmConfig::small())));
+        let mut a = LbmSteerAdapter::new(sim);
+        let applied = a.set_value("miscibility", &ParamValue::F64(0.5)).unwrap();
+        assert_eq!(applied, ParamValue::F64(0.5));
+        assert_eq!(a.get_value("miscibility"), Some(ParamValue::F64(0.5)));
+        assert!(a
+            .set_value("miscibility", &ParamValue::Str("x".into()))
+            .is_err());
+    }
+
+    #[test]
+    fn both_targets_declare_consistent_specs() {
+        for spec in LbmSteerAdapter::specs()
+            .iter()
+            .chain(PepcSteerAdapter::specs().iter())
+        {
+            let initial = spec.initial.as_f64().unwrap();
+            assert!(spec.min.unwrap() <= initial && initial <= spec.max.unwrap());
+        }
     }
 }

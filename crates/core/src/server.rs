@@ -6,10 +6,17 @@
 //! (loopback in the examples, but the protocol is location-transparent),
 //! join with a name, and steer subject to the master-token rules. The
 //! wire format is a tiny hand-rolled binary protocol over the
-//! length-prefixed [`TcpLink`](visit::TcpLink) framing.
+//! length-prefixed [`visit::TcpLink`] framing. Values travel in
+//! the bus's tagged typed encoding ([`ParamValue::encode_bytes`]), and
+//! `OP_BATCH` carries a sequence-numbered command batch applied
+//! atomically under one session lock (stale sequence numbers are
+//! refused), so TCP clients speak the same typed, batched surface as the
+//! in-process `gridsteer_bus` endpoints.
 
+use crate::params::ParamValue;
 use crate::session::SteeringSession;
 use bytes::{Buf, BufMut, BytesMut};
+use gridsteer_bus::SteerCommand;
 use parking_lot::Mutex;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -27,6 +34,7 @@ const OP_OK: u8 = 6;
 const OP_ERR: u8 = 7;
 const OP_VALUE: u8 = 8;
 const OP_WELCOME: u8 = 9;
+const OP_BATCH: u8 = 10;
 
 fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u16_le(s.len() as u16);
@@ -126,6 +134,8 @@ fn serve_client(
 ) -> Result<(), LinkError> {
     let mut link = TcpLink::new(stream).map_err(|e| LinkError::Io(e.to_string()))?;
     let mut my_name: Option<String> = None;
+    // highest batch sequence number seen on this connection
+    let mut last_batch_seq: u64 = 0;
     let result = loop {
         if stop.load(Ordering::Relaxed) {
             break Ok(());
@@ -158,14 +168,18 @@ fn serve_client(
                 put_str(&mut reply, &name);
             }
             Some(OP_SET) => {
-                let (Some(name), true) = (get_str(&mut body), body.len() == 8) else {
+                let (Some(name), Some(value)) =
+                    (get_str(&mut body), ParamValue::decode_bytes(&mut body))
+                else {
                     break Err(LinkError::Io("bad set".into()));
                 };
-                let value = body.get_f64_le();
+                if !body.is_empty() {
+                    break Err(LinkError::Io("bad set trailer".into()));
+                }
                 let who = my_name.clone().unwrap_or_default();
                 let mut s = session.lock();
                 let r = match s.index_of(&who) {
-                    Some(idx) => s.steer(idx, &name, value),
+                    Some(idx) => s.steer_value(idx, &name, &value).map(|_| ()),
                     None => Err("not joined".into()),
                 };
                 match r {
@@ -176,15 +190,63 @@ fn serve_client(
                     }
                 }
             }
+            Some(OP_BATCH) => {
+                // u64 client sequence + u16 count + (name, value)*
+                if body.len() < 10 {
+                    break Err(LinkError::Io("bad batch header".into()));
+                }
+                let seq = body.get_u64_le();
+                let count = body.get_u16_le() as usize;
+                let mut commands = Vec::with_capacity(count);
+                let mut ok = true;
+                for _ in 0..count {
+                    match SteerCommand::decode_bytes(&mut body) {
+                        Some(cmd) => commands.push(cmd),
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if !ok || !body.is_empty() {
+                    break Err(LinkError::Io("bad batch".into()));
+                }
+                if count == 0 {
+                    // match the bus's EmptyBatch semantics
+                    reply.put_u8(OP_ERR);
+                    put_str(&mut reply, "empty batch");
+                } else if seq <= last_batch_seq {
+                    reply.put_u8(OP_ERR);
+                    put_str(&mut reply, &format!("stale batch seq {seq}"));
+                } else {
+                    last_batch_seq = seq;
+                    let who = my_name.clone().unwrap_or_default();
+                    let mut s = session.lock();
+                    let r = match s.index_of(&who) {
+                        Some(idx) => s.steer_batch(idx, &commands),
+                        None => Err("not joined".into()),
+                    };
+                    match r {
+                        Ok(n) => {
+                            reply.put_u8(OP_OK);
+                            reply.put_u16_le(n as u16);
+                        }
+                        Err(e) => {
+                            reply.put_u8(OP_ERR);
+                            put_str(&mut reply, &e);
+                        }
+                    }
+                }
+            }
             Some(OP_GET) => {
                 let Some(name) = get_str(&mut body) else {
                     break Err(LinkError::Io("bad get".into()));
                 };
                 let s = session.lock();
-                match s.params.get(&name) {
+                match s.params.get_value(&name) {
                     Some(v) => {
                         reply.put_u8(OP_VALUE);
-                        reply.put_f64_le(v);
+                        v.encode_bytes(&mut reply);
                     }
                     None => {
                         reply.put_u8(OP_ERR);
@@ -232,6 +294,8 @@ pub struct ClientHandle {
     pub name: String,
     /// True if this client held the master token at join time.
     pub joined_as_master: bool,
+    /// Monotone sequence number stamped on outgoing batches.
+    next_batch_seq: u64,
 }
 
 impl ClientHandle {
@@ -253,6 +317,7 @@ impl ClientHandle {
             link,
             name: assigned,
             joined_as_master: is_master,
+            next_batch_seq: 0,
         })
     }
 
@@ -261,12 +326,13 @@ impl ClientHandle {
         self.link.recv_timeout(Duration::from_secs(2))
     }
 
-    /// Steer a parameter. `Err` carries the server's refusal reason.
-    pub fn set(&mut self, param: &str, value: f64) -> Result<(), String> {
+    /// Steer a parameter with a typed value. `Err` carries the server's
+    /// refusal reason.
+    pub fn set_value(&mut self, param: &str, value: &ParamValue) -> Result<(), String> {
         let mut req = BytesMut::new();
         req.put_u8(OP_SET);
         put_str(&mut req, param);
-        req.put_f64_le(value);
+        value.encode_bytes(&mut req);
         let reply = self.roundtrip(req).map_err(|e| format!("{e:?}"))?;
         let mut body: &[u8] = &reply;
         match body.get_u8() {
@@ -276,18 +342,59 @@ impl ClientHandle {
         }
     }
 
-    /// Read a parameter.
-    pub fn get(&mut self, param: &str) -> Result<f64, String> {
+    /// Steer an f64 parameter (shim over [`ClientHandle::set_value`]).
+    pub fn set(&mut self, param: &str, value: f64) -> Result<(), String> {
+        self.set_value(param, &ParamValue::F64(value))
+    }
+
+    /// Send a sequence-numbered command batch, applied atomically by the
+    /// server (all-or-nothing). Returns the number of commands applied.
+    pub fn set_batch(&mut self, commands: &[SteerCommand]) -> Result<usize, String> {
+        if commands.is_empty() {
+            return Err("empty batch".into());
+        }
+        if commands.len() > u16::MAX as usize {
+            return Err(format!(
+                "batch of {} exceeds wire limit 65535",
+                commands.len()
+            ));
+        }
+        self.next_batch_seq += 1;
+        let mut req = BytesMut::new();
+        req.put_u8(OP_BATCH);
+        req.put_u64_le(self.next_batch_seq);
+        req.put_u16_le(commands.len() as u16);
+        for cmd in commands {
+            cmd.encode_bytes(&mut req);
+        }
+        let reply = self.roundtrip(req).map_err(|e| format!("{e:?}"))?;
+        let mut body: &[u8] = &reply;
+        match body.get_u8() {
+            OP_OK if body.len() == 2 => Ok(body.get_u16_le() as usize),
+            OP_ERR => Err(get_str(&mut body).unwrap_or_default()),
+            _ => Err("protocol error".into()),
+        }
+    }
+
+    /// Read a parameter's typed value.
+    pub fn get_value(&mut self, param: &str) -> Result<ParamValue, String> {
         let mut req = BytesMut::new();
         req.put_u8(OP_GET);
         put_str(&mut req, param);
         let reply = self.roundtrip(req).map_err(|e| format!("{e:?}"))?;
         let mut body: &[u8] = &reply;
         match body.get_u8() {
-            OP_VALUE => Ok(body.get_f64_le()),
+            OP_VALUE => ParamValue::decode_bytes(&mut body).ok_or("bad value".into()),
             OP_ERR => Err(get_str(&mut body).unwrap_or_default()),
             _ => Err("protocol error".into()),
         }
+    }
+
+    /// Read a parameter as f64 (shim; errors on non-numeric values).
+    pub fn get(&mut self, param: &str) -> Result<f64, String> {
+        self.get_value(param)?
+            .as_f64()
+            .ok_or_else(|| format!("{param}: non-numeric value"))
     }
 
     /// Pass the master token to another named client.
@@ -312,13 +419,49 @@ mod tests {
 
     fn server() -> CollabServer {
         let mut reg = ParamRegistry::new();
-        reg.declare(ParamSpec {
-            name: "miscibility".into(),
-            min: 0.0,
-            max: 1.0,
-            initial: 1.0,
-        });
+        reg.declare(ParamSpec::f64("miscibility", 0.0, 1.0, 1.0));
+        reg.declare(ParamSpec::text("tracer", "none"));
         CollabServer::start(Arc::new(Mutex::new(SteeringSession::new(reg)))).unwrap()
+    }
+
+    #[test]
+    fn typed_values_and_batches_over_tcp() {
+        let srv = server();
+        let addr = srv.addr().to_string();
+        let mut a = ClientHandle::connect(&addr, "alice").unwrap();
+        // typed single set: a string parameter over the wire
+        a.set_value("tracer", &ParamValue::Str("dye".into()))
+            .unwrap();
+        assert_eq!(
+            a.get_value("tracer").unwrap(),
+            ParamValue::Str("dye".into())
+        );
+        assert!(a.get("tracer").is_err(), "no f64 view of a string");
+        // an atomic batch: second command out of bounds poisons the first
+        let bad = a.set_batch(&[
+            SteerCommand::f64("miscibility", 0.25),
+            SteerCommand::f64("miscibility", 9.0),
+        ]);
+        assert!(bad.unwrap_err().contains("outside"));
+        assert_eq!(a.get("miscibility").unwrap(), 1.0, "nothing applied");
+        // a clean batch applies whole
+        let n = a
+            .set_batch(&[
+                SteerCommand::f64("miscibility", 0.25),
+                SteerCommand::new("tracer", ParamValue::Str("smoke".into())),
+            ])
+            .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(a.get("miscibility").unwrap(), 0.25);
+        // a batch beyond the u16 wire count is refused client-side, and
+        // the connection survives
+        let huge: Vec<SteerCommand> = (0..=u16::MAX as usize + 1)
+            .map(|_| SteerCommand::f64("miscibility", 0.5))
+            .collect();
+        assert!(a.set_batch(&huge).unwrap_err().contains("wire limit"));
+        assert_eq!(a.get("miscibility").unwrap(), 0.25);
+        // empty batches are refused like the bus's EmptyBatch
+        assert_eq!(a.set_batch(&[]).unwrap_err(), "empty batch");
     }
 
     #[test]

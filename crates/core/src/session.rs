@@ -7,7 +7,8 @@
 //! server ("one role allows to change visualization parameters … a second
 //! role is just for passive viewers").
 
-use crate::params::ParamRegistry;
+use crate::params::{ParamRegistry, ParamValue, SharedRegistry};
+use gridsteer_bus::SteerCommand;
 use netsim::SimTime;
 
 /// What a participant may do.
@@ -44,11 +45,12 @@ pub enum SessionEvent {
     Left(String),
     /// The master token moved.
     MasterPassed { from: String, to: String },
-    /// A steer was applied.
+    /// A steer was applied; `value` is what the registry actually
+    /// applied (post clamp/coercion).
     Steered {
         who: String,
         param: String,
-        value: f64,
+        value: ParamValue,
     },
     /// A steer was refused (not master / bad value).
     SteerRefused {
@@ -63,8 +65,9 @@ pub enum SessionEvent {
 /// The collaborative steering session.
 pub struct SteeringSession {
     participants: Vec<Participant>,
-    /// The shared parameter registry.
-    pub params: ParamRegistry,
+    /// The shared parameter registry — a [`SharedRegistry`] handle, so a
+    /// steering-bus hub and this session can be one authority.
+    pub params: SharedRegistry,
     events: Vec<SessionEvent>,
     sample_seq: u64,
     join_counter: u64,
@@ -73,8 +76,15 @@ pub struct SteeringSession {
 }
 
 impl SteeringSession {
-    /// Empty session around a parameter registry.
+    /// Empty session around an owned parameter registry.
     pub fn new(params: ParamRegistry) -> Self {
+        Self::with_registry(SharedRegistry::new(params))
+    }
+
+    /// Empty session around a shared registry (e.g. a
+    /// `gridsteer_bus::SteerHub`'s — endpoint reads and session writes
+    /// then see one value store).
+    pub fn with_registry(params: SharedRegistry) -> Self {
         SteeringSession {
             participants: Vec::new(),
             params,
@@ -184,9 +194,15 @@ impl SteeringSession {
         true
     }
 
-    /// Apply a steer from participant `idx`. Only the master steers the
-    /// application; refusals are logged, not silent.
-    pub fn steer(&mut self, idx: usize, param: &str, value: f64) -> Result<(), String> {
+    /// Apply a typed steer from participant `idx`. Only the master
+    /// steers the application; refusals are logged, not silent. Returns
+    /// the value actually applied (post clamp/coercion).
+    pub fn steer_value(
+        &mut self,
+        idx: usize,
+        param: &str,
+        value: &ParamValue,
+    ) -> Result<ParamValue, String> {
         let Some(p) = self.participants.get(idx) else {
             return Err("no such participant".into());
         };
@@ -200,14 +216,14 @@ impl SteeringSession {
             });
             return Err(reason);
         }
-        match self.params.set(param, value) {
-            Ok(()) => {
+        match self.params.set_value(param, value) {
+            Ok(applied) => {
                 self.events.push(SessionEvent::Steered {
                     who,
                     param: param.to_string(),
-                    value,
+                    value: applied.clone(),
                 });
-                Ok(())
+                Ok(applied)
             }
             Err(reason) => {
                 self.events.push(SessionEvent::SteerRefused {
@@ -218,6 +234,56 @@ impl SteeringSession {
                 Err(reason)
             }
         }
+    }
+
+    /// Apply an f64 steer (shim over [`SteeringSession::steer_value`]).
+    pub fn steer(&mut self, idx: usize, param: &str, value: f64) -> Result<(), String> {
+        self.steer_value(idx, param, &ParamValue::F64(value))
+            .map(|_| ())
+    }
+
+    /// Apply a command batch atomically: all commands are validated
+    /// against the registry first, then applied in order — all or
+    /// nothing, the bus's step-boundary semantics over the server wire.
+    /// Returns the number of commands applied.
+    pub fn steer_batch(&mut self, idx: usize, commands: &[SteerCommand]) -> Result<usize, String> {
+        let Some(p) = self.participants.get(idx) else {
+            return Err("no such participant".into());
+        };
+        let who = p.name.clone();
+        if p.role != Role::Master {
+            let reason = "not the master".to_string();
+            // log every refused command, not just the first — the audit
+            // trail must account for the whole batch
+            for cmd in commands {
+                self.events.push(SessionEvent::SteerRefused {
+                    who: who.clone(),
+                    param: cmd.param.clone(),
+                    reason: reason.clone(),
+                });
+            }
+            return Err(reason);
+        }
+        // validate-all before apply-any
+        for cmd in commands {
+            if let Err(reason) = self.params.validate(&cmd.param, &cmd.value) {
+                self.events.push(SessionEvent::SteerRefused {
+                    who,
+                    param: cmd.param.clone(),
+                    reason: reason.clone(),
+                });
+                return Err(reason);
+            }
+        }
+        for cmd in commands {
+            let applied = self.params.set_value(&cmd.param, &cmd.value)?;
+            self.events.push(SessionEvent::Steered {
+                who: who.clone(),
+                param: cmd.param.clone(),
+                value: applied,
+            });
+        }
+        Ok(commands.len())
     }
 
     /// Broadcast one sample of `bytes` to every participant (accounting
@@ -263,13 +329,55 @@ mod tests {
 
     fn session() -> SteeringSession {
         let mut reg = ParamRegistry::new();
-        reg.declare(ParamSpec {
-            name: "miscibility".into(),
-            min: 0.0,
-            max: 1.0,
-            initial: 1.0,
-        });
+        reg.declare(ParamSpec::f64("miscibility", 0.0, 1.0, 1.0));
         SteeringSession::new(reg)
+    }
+
+    #[test]
+    fn steer_batch_is_all_or_nothing() {
+        let mut s = session();
+        let a = s.join("a");
+        // one bad command poisons the whole batch
+        let r = s.steer_batch(
+            a,
+            &[
+                SteerCommand::f64("miscibility", 0.25),
+                SteerCommand::f64("miscibility", 7.0),
+            ],
+        );
+        assert!(r.is_err());
+        assert_eq!(s.params.get("miscibility"), Some(1.0), "nothing applied");
+        // a clean batch applies in order
+        let n = s
+            .steer_batch(
+                a,
+                &[
+                    SteerCommand::f64("miscibility", 0.25),
+                    SteerCommand::f64("miscibility", 0.75),
+                ],
+            )
+            .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(s.params.get("miscibility"), Some(0.75));
+        assert_eq!(
+            s.events()
+                .iter()
+                .filter(|e| matches!(e, SessionEvent::Steered { .. }))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn viewer_batch_refused() {
+        let mut s = session();
+        let _a = s.join("a");
+        let b = s.join("b");
+        assert_eq!(
+            s.steer_batch(b, &[SteerCommand::f64("miscibility", 0.5)])
+                .unwrap_err(),
+            "not the master"
+        );
     }
 
     #[test]

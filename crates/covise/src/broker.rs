@@ -2,10 +2,10 @@
 //!
 //! §4.5: "Request brokers on each participating host take care of data
 //! management, efficient data transfer and conversion between different
-//! platforms. … Between heterogeneous hardware platform[s] data type
+//! platforms. … Between heterogeneous hardware platform\[s\] data type
 //! conversion is done by the request brokers which is thus invisible for
 //! the application modules." A [`RequestBroker`] moves a
-//! [`DataObject`](crate::data::DataObject) from one host's shared data
+//! [`crate::data::DataObject`] from one host's shared data
 //! space to another's, charging the netsim link for the bytes and a
 //! per-byte conversion cost when the platforms' byte orders differ.
 

@@ -8,10 +8,9 @@
 
 use gridsteer_exec::ExecPool;
 use lbm::{LbmConfig, TwoFluidLbm};
-use pepc::sim::SteerParams;
 use pepc::{PepcConfig, PepcSim};
 use std::sync::Arc;
-use steer_core::ParamSpec;
+use steer_core::{ParamSpec, ParamValue, SteerTarget};
 
 /// A steerable simulation driven by the scenario engine.
 pub trait ScenarioBackend {
@@ -24,14 +23,17 @@ pub trait ScenarioBackend {
     /// scenario shares the scenario's pool.
     fn set_pool(&mut self, pool: Arc<ExecPool>);
 
-    /// The steerable parameters this backend accepts, as registry specs.
+    /// The steerable parameters this backend accepts, as typed bus
+    /// registry specs (sourced from the simulation's
+    /// [`SteerTarget::specs`], so the harness, the adapters and the bus
+    /// all declare one surface).
     fn param_specs(&self) -> Vec<ParamSpec>;
 
     /// Apply an accepted steer. `param` is one of [`param_specs`]'s names
     /// and `value` has already passed the registry's bounds check.
     ///
     /// [`param_specs`]: ScenarioBackend::param_specs
-    fn apply_steer(&mut self, param: &str, value: f64);
+    fn apply_steer(&mut self, param: &str, value: &ParamValue);
 
     /// Advance the simulation by `steps` time steps.
     fn advance(&mut self, steps: usize);
@@ -81,18 +83,12 @@ impl ScenarioBackend for LbmBackend {
     }
 
     fn param_specs(&self) -> Vec<ParamSpec> {
-        vec![ParamSpec {
-            name: "miscibility".into(),
-            min: 0.0,
-            max: 1.0,
-            initial: 1.0,
-        }]
+        TwoFluidLbm::specs()
     }
 
-    fn apply_steer(&mut self, param: &str, value: f64) {
-        if param == "miscibility" {
-            self.sim.as_mut().unwrap().set_miscibility(value);
-        }
+    fn apply_steer(&mut self, param: &str, value: &ParamValue) {
+        // unknown names were already refused by the registry; ignore them
+        let _ = self.sim.as_mut().unwrap().write(param, value);
     }
 
     fn advance(&mut self, steps: usize) {
@@ -156,37 +152,12 @@ impl ScenarioBackend for PepcBackend {
     }
 
     fn param_specs(&self) -> Vec<ParamSpec> {
-        vec![
-            ParamSpec {
-                name: "damping".into(),
-                min: 0.0,
-                max: 1.0,
-                initial: 0.0,
-            },
-            ParamSpec {
-                name: "laser_amplitude".into(),
-                min: 0.0,
-                max: 10.0,
-                initial: 0.0,
-            },
-            ParamSpec {
-                name: "beam_intensity".into(),
-                min: 0.0,
-                max: 10.0,
-                initial: 0.0,
-            },
-        ]
+        PepcSim::specs()
     }
 
-    fn apply_steer(&mut self, param: &str, value: f64) {
-        let mut p: SteerParams = self.sim.params();
-        match param {
-            "damping" => p.damping = value,
-            "laser_amplitude" => p.laser_amplitude = value,
-            "beam_intensity" => p.beam_intensity = value,
-            _ => return,
-        }
-        self.sim.set_params(p);
+    fn apply_steer(&mut self, param: &str, value: &ParamValue) {
+        // unknown names were already refused by the registry; ignore them
+        let _ = self.sim.write(param, value);
     }
 
     fn advance(&mut self, steps: usize) {
@@ -233,9 +204,9 @@ mod tests {
     #[test]
     fn lbm_backend_steers_miscibility() {
         let mut b = LbmBackend::new(tiny_lbm());
-        b.apply_steer("miscibility", 0.3);
+        b.apply_steer("miscibility", &ParamValue::F64(0.3));
         assert_eq!(b.sim().miscibility(), 0.3);
-        b.apply_steer("unknown", 9.9); // ignored, no panic
+        b.apply_steer("unknown", &ParamValue::F64(9.9)); // ignored, no panic
         assert_eq!(b.sim().miscibility(), 0.3);
     }
 
@@ -250,7 +221,7 @@ mod tests {
     #[test]
     fn lbm_checkpoint_roundtrip_preserves_state() {
         let mut b = LbmBackend::new(tiny_lbm());
-        b.apply_steer("miscibility", 0.2);
+        b.apply_steer("miscibility", &ParamValue::F64(0.2));
         b.advance(5);
         let before = b.sim().order_parameter().data().to_vec();
         let bytes = b.checkpoint_roundtrip();
@@ -263,9 +234,9 @@ mod tests {
     #[test]
     fn pepc_backend_steers_all_params() {
         let mut b = PepcBackend::new(tiny_pepc());
-        b.apply_steer("damping", 0.5);
-        b.apply_steer("laser_amplitude", 1.5);
-        b.apply_steer("beam_intensity", 2.0);
+        b.apply_steer("damping", &ParamValue::F64(0.5));
+        b.apply_steer("laser_amplitude", &ParamValue::F64(1.5));
+        b.apply_steer("beam_intensity", &ParamValue::F64(2.0));
         let p = b.sim().params();
         assert_eq!(p.damping, 0.5);
         assert_eq!(p.laser_amplitude, 1.5);
@@ -286,7 +257,8 @@ mod tests {
         let lbm = LbmBackend::new(tiny_lbm());
         let pepc = PepcBackend::new(tiny_pepc());
         for spec in lbm.param_specs().iter().chain(pepc.param_specs().iter()) {
-            assert!(spec.min <= spec.initial && spec.initial <= spec.max);
+            let initial = spec.initial.as_f64().unwrap();
+            assert!(spec.min.unwrap() <= initial && initial <= spec.max.unwrap());
         }
         assert_eq!(lbm.kind(), "lbm");
         assert_eq!(pepc.kind(), "pepc");

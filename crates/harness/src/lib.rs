@@ -28,5 +28,6 @@ pub mod report;
 pub mod scenario;
 
 pub use backend::{LbmBackend, PepcBackend, ScenarioBackend};
+pub use gridsteer_bus::Transport;
 pub use report::{MigrationRecord, ScenarioReport};
 pub use scenario::{Action, Scenario};

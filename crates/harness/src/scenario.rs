@@ -7,6 +7,17 @@
 //! master handoff, fault injection, migration) is a scripted [`Action`] at
 //! a virtual time, so a scenario replays byte-identically for a given seed.
 //!
+//! Steering runs over the `gridsteer_bus`: every participant attaches a
+//! [`SteerEndpoint`] of a chosen [`Transport`] (loopback by default;
+//! VISIT / OGSA / COVISE / UNICORE via
+//! [`Scenario::participant_via`] / [`Scenario::route`]) to one
+//! [`SteerHub`] shared with the session, so one scenario steers the same
+//! simulation over several middlewares at once — the paper's interop
+//! demo. Steer commands that survive their link are *staged* through the
+//! endpoint on arrival and *committed atomically at the next sample/step
+//! boundary* in staging order, which keeps multi-transport digests
+//! byte-stable at any `EXEC_THREADS`.
+//!
 //! ```
 //! use gridsteer_harness::Scenario;
 //! use netsim::{Link, SimTime};
@@ -32,12 +43,14 @@
 
 use crate::backend::{LbmBackend, PepcBackend, ScenarioBackend};
 use crate::report::{MigrationRecord, ScenarioReport};
+use gridsteer_bus::{Capabilities, SteerCommand, SteerEndpoint, SteerHub, Transport};
 use lbm::LbmConfig;
 use netsim::{EventQueue, FaultyLink, Link, NetModel, SimTime};
 use pepc::PepcConfig;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
-use steer_core::{LoopBudget, LoopMonitor, ParamRegistry, SessionEvent, SteeringSession};
+use std::collections::BTreeMap;
+use steer_core::{LoopBudget, LoopMonitor, ParamValue, SessionEvent, SteeringSession};
 
 /// Wire size of one steer command frame.
 const STEER_BYTES: usize = 64;
@@ -77,14 +90,15 @@ pub enum Action {
         to: String,
     },
     /// A participant sends a steer command over their (possibly faulted)
-    /// link; it applies on arrival, or is lost in transit.
+    /// link; on arrival it is staged through the sender's bus endpoint
+    /// and committed at the next step boundary — or lost in transit.
     Steer {
         /// Sender.
         who: String,
         /// Parameter name.
         param: String,
-        /// Requested value.
-        value: f64,
+        /// Requested typed value.
+        value: ParamValue,
     },
     /// Sever a participant's link until healed.
     Partition {
@@ -133,6 +147,8 @@ pub struct Scenario {
     seed: u64,
     backend: BackendSpec,
     participants: Vec<(String, Link)>,
+    /// Steering transport per participant (absent = loopback).
+    transports: BTreeMap<String, Transport>,
     actions: Vec<(SimTime, Action)>,
     sample_every: SimTime,
     steps_per_sample: usize,
@@ -170,7 +186,7 @@ enum Ev {
     ApplySteer {
         who: String,
         param: String,
-        value: f64,
+        value: ParamValue,
     },
 }
 
@@ -183,6 +199,7 @@ impl Scenario {
             seed: 1,
             backend: BackendSpec::Lbm(LbmConfig::small()),
             participants: Vec::new(),
+            transports: BTreeMap::new(),
             actions: Vec::new(),
             sample_every: SimTime::from_millis(100),
             steps_per_sample: 1,
@@ -221,9 +238,22 @@ impl Scenario {
     }
 
     /// Add a participant present from t=0. The first participant becomes
-    /// the session master.
+    /// the session master. Steers over the in-process loopback transport.
     pub fn participant(mut self, name: &str, link: Link) -> Self {
         self.participants.push((name.to_string(), link));
+        self
+    }
+
+    /// Add a t=0 participant steering over an explicit bus [`Transport`]
+    /// (VISIT wire, OGSA service, COVISE module, UNICORE jobs…).
+    pub fn participant_via(self, name: &str, link: Link, transport: Transport) -> Self {
+        self.participant(name, link).route(name, transport)
+    }
+
+    /// Route a participant's steering traffic (present or future — also
+    /// applies to mid-run [`Action::Join`]ers) over a bus transport.
+    pub fn route(mut self, name: &str, transport: Transport) -> Self {
+        self.transports.insert(name.to_string(), transport);
         self
     }
 
@@ -272,8 +302,13 @@ impl Scenario {
         )
     }
 
-    /// Sugar: a steer command is sent.
+    /// Sugar: an f64 steer command is sent.
     pub fn steer_at(self, t: SimTime, who: &str, param: &str, value: f64) -> Self {
+        self.steer_value_at(t, who, param, ParamValue::F64(value))
+    }
+
+    /// Sugar: a typed steer command is sent.
+    pub fn steer_value_at(self, t: SimTime, who: &str, param: &str, value: ParamValue) -> Self {
         self.at(
             t,
             Action::Steer {
@@ -372,15 +407,29 @@ impl Scenario {
         if let Some(pool) = &self.pool {
             backend.set_pool(pool.clone());
         }
-        let mut registry = ParamRegistry::new();
-        for spec in backend.param_specs() {
-            registry.declare(spec);
-        }
-        let mut session = SteeringSession::new(registry);
+        // one bus hub per run: the session shares its registry, every
+        // participant attaches an endpoint of their routed transport
+        let hub = SteerHub::new(backend.param_specs());
+        let mut session = SteeringSession::with_registry(hub.registry());
+        let mut endpoints: BTreeMap<String, Box<dyn SteerEndpoint>> = BTreeMap::new();
+        let mut engine_events: Vec<String> = Vec::new();
         let (net, sites) = NetModel::sc2003();
         let mut clients: Vec<Client> = Vec::new();
         for (name, link) in &self.participants {
-            join_client(&mut clients, &mut session, name, link, &mut rng);
+            join_client(
+                JoinCtx {
+                    clients: &mut clients,
+                    session: &mut session,
+                    endpoints: &mut endpoints,
+                    hub: &hub,
+                    transports: &self.transports,
+                    engine_events: &mut engine_events,
+                    now: SimTime::ZERO,
+                },
+                name,
+                link,
+                &mut rng,
+            );
         }
 
         let mut queue: EventQueue<Ev> = EventQueue::new();
@@ -392,7 +441,6 @@ impl Scenario {
         }
 
         let mut post = LoopMonitor::new(LoopBudget::PostProcessing);
-        let mut engine_events: Vec<String> = Vec::new();
         let mut migrations: Vec<MigrationRecord> = Vec::new();
         let mut broadcasts = 0u64;
         let mut skipped = 0u64;
@@ -417,6 +465,17 @@ impl Scenario {
                         skipped += 1;
                         continue;
                     }
+                    // the step boundary: staged batches apply atomically,
+                    // in staging order, before the physics advances
+                    commit_staged(
+                        &hub,
+                        &mut session,
+                        backend.as_mut(),
+                        &mut steers_applied,
+                        &mut steers_lost,
+                        &mut engine_events,
+                        now,
+                    );
                     backend.advance(self.steps_per_sample);
                     let bytes = backend.sample_bytes();
                     session.broadcast_sample(bytes);
@@ -456,15 +515,23 @@ impl Scenario {
                         migrations: &mut migrations,
                         steers_lost: &mut steers_lost,
                         pause_until: &mut pause_until,
+                        endpoints: &mut endpoints,
+                        hub: &hub,
+                        transports: &self.transports,
                     });
                 }
                 Ev::ApplySteer { who, param, value } => match session.index_of(&who) {
-                    Some(idx) => {
-                        if session.steer(idx, &param, value).is_ok() {
-                            backend.apply_steer(&param, value);
-                            steers_applied += 1;
+                    Some(_) => {
+                        let ep = endpoints
+                            .get_mut(&who)
+                            .expect("joined participants have endpoints");
+                        // ship through the middleware; staged until the
+                        // next step boundary
+                        if let Err(e) = ep.set_batch(vec![SteerCommand::new(&param, value)]) {
+                            steers_lost += 1;
+                            engine_events
+                                .push(format!("{now} steer-unroutable {who} {param}: {e}"));
                         }
-                        // refusals are already in the session audit log
                     }
                     None => {
                         steers_lost += 1;
@@ -473,6 +540,18 @@ impl Scenario {
                 },
             }
         }
+
+        // trailing boundary: steers arriving after the last sample tick
+        // still commit before the report is cut
+        commit_staged(
+            &hub,
+            &mut session,
+            backend.as_mut(),
+            &mut steers_applied,
+            &mut steers_lost,
+            &mut engine_events,
+            self.duration,
+        );
 
         let mut latencies = post.samples().to_vec();
         latencies.sort();
@@ -527,6 +606,9 @@ struct ActionCtx<'a> {
     migrations: &'a mut Vec<MigrationRecord>,
     steers_lost: &'a mut u64,
     pause_until: &'a mut SimTime,
+    endpoints: &'a mut BTreeMap<String, Box<dyn SteerEndpoint>>,
+    hub: &'a SteerHub,
+    transports: &'a BTreeMap<String, Transport>,
 }
 
 fn apply_action(ctx: ActionCtx<'_>) {
@@ -544,10 +626,26 @@ fn apply_action(ctx: ActionCtx<'_>) {
         migrations,
         steers_lost,
         pause_until,
+        endpoints,
+        hub,
+        transports,
     } = ctx;
     match action {
         Action::Join { name, link } => {
-            join_client(clients, session, &name, &link, rng);
+            join_client(
+                JoinCtx {
+                    clients,
+                    session,
+                    endpoints,
+                    hub,
+                    transports,
+                    engine_events,
+                    now,
+                },
+                &name,
+                &link,
+                rng,
+            );
         }
         Action::Leave { name } => {
             if session.leave_by_name(&name) {
@@ -636,17 +734,73 @@ fn apply_action(ctx: ActionCtx<'_>) {
     }
 }
 
-/// Join (or rejoin) a participant: session membership plus a faulted link
-/// whose deterministic streams derive from the scenario RNG.
-fn join_client(
-    clients: &mut Vec<Client>,
+/// Apply every staged bus batch atomically at a step boundary: commands
+/// flow through the session (master/bounds checks, audit events) and into
+/// the backend, in global staging order.
+fn commit_staged(
+    hub: &SteerHub,
     session: &mut SteeringSession,
-    name: &str,
-    link: &Link,
-    rng: &mut StdRng,
+    backend: &mut dyn ScenarioBackend,
+    steers_applied: &mut u64,
+    steers_lost: &mut u64,
+    engine_events: &mut Vec<String>,
+    now: SimTime,
 ) {
+    if hub.pending() == 0 {
+        return;
+    }
+    hub.commit_with(|batch, cmd| match session.index_of(&batch.origin) {
+        Some(idx) => match session.steer_value(idx, &cmd.param, &cmd.value) {
+            Ok(applied) => {
+                backend.apply_steer(&cmd.param, &applied);
+                *steers_applied += 1;
+                Ok(applied)
+            }
+            // refusals are already in the session audit log
+            Err(e) => Err(e),
+        },
+        None => {
+            *steers_lost += 1;
+            engine_events.push(format!("{now} steer-sender-left {}", batch.origin));
+            Err("sender left before commit".into())
+        }
+    });
+}
+
+/// Everything a join touches (session, link table, bus attachment).
+struct JoinCtx<'a> {
+    clients: &'a mut Vec<Client>,
+    session: &'a mut SteeringSession,
+    endpoints: &'a mut BTreeMap<String, Box<dyn SteerEndpoint>>,
+    hub: &'a SteerHub,
+    transports: &'a BTreeMap<String, Transport>,
+    engine_events: &'a mut Vec<String>,
+    now: SimTime,
+}
+
+/// Join (or rejoin) a participant: session membership, a faulted link
+/// whose deterministic streams derive from the scenario RNG, and — on
+/// first join — a bus endpoint of the participant's routed transport,
+/// with its capability handshake logged (part of the report digest).
+fn join_client(ctx: JoinCtx<'_>, name: &str, link: &Link, rng: &mut StdRng) {
+    let JoinCtx {
+        clients,
+        session,
+        endpoints,
+        hub,
+        transports,
+        engine_events,
+        now,
+    } = ctx;
     if session.index_of(name).is_none() {
         session.join(name);
+    }
+    if !endpoints.contains_key(name) {
+        let transport = transports.get(name).copied().unwrap_or_default();
+        let mut ep = transport.attach(hub, name);
+        let negotiated = ep.negotiate(&Capabilities::full("scenario-client", 64));
+        engine_events.push(format!("{now} attach {name} {}", negotiated.render()));
+        endpoints.insert(name.to_string(), ep);
     }
     let mut base = link.clone();
     base.seed = rng.next_u64();
@@ -681,7 +835,7 @@ fn render_event(e: &SessionEvent) -> String {
         SessionEvent::Left(n) => format!("Left({n})"),
         SessionEvent::MasterPassed { from, to } => format!("MasterPassed({from}->{to})"),
         SessionEvent::Steered { who, param, value } => {
-            format!("Steered({who},{param},{value:?})")
+            format!("Steered({who},{param},{})", value.render())
         }
         SessionEvent::SteerRefused { who, param, reason } => {
             format!("SteerRefused({who},{param},{reason})")

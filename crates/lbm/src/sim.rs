@@ -8,7 +8,7 @@
 //! ```
 //!
 //! `g` is the inter-component coupling. The *steering parameter* exposed to
-//! users is the paper's **miscibility** m ∈ [0, 1], mapped as
+//! users is the paper's **miscibility** m ∈ \[0, 1\], mapped as
 //! `g = g_max · (1 − m)`: fully miscible fluids feel no coupling; as the
 //! steerer lowers m the mixture crosses the spinodal and domains form —
 //! the structures the SC2003 demo rendered as isosurfaces live.
@@ -128,7 +128,7 @@ pub struct TwoFluidLbm {
     /// Per-component equilibrium velocities (refreshed each step).
     ua: Vec<[f64; 3]>,
     ub: Vec<[f64; 3]>,
-    /// Current miscibility m ∈ [0,1].
+    /// Current miscibility m ∈ \[0,1\].
     miscibility: f64,
     steps: u64,
 }
@@ -203,7 +203,7 @@ impl TwoFluidLbm {
         self.miscibility
     }
 
-    /// Steer the miscibility; values are clamped to [0, 1].
+    /// Steer the miscibility; values are clamped to \[0, 1\].
     pub fn set_miscibility(&mut self, m: f64) {
         self.miscibility = m.clamp(0.0, 1.0);
     }

@@ -11,10 +11,10 @@
 //! This crate is that hosting environment in Rust, providing the OGSI
 //! subset the paper's steering architecture (Figure 2) needs:
 //!
-//! * [`service`] — the [`GridService`](service::GridService) trait:
-//!   operations ([`invoke`](service::GridService::invoke)), queryable
+//! * [`service`] — the [`service::GridService`] trait:
+//!   operations ([`service::GridService::invoke`]), queryable
 //!   *service data elements* (OGSI `findServiceData`), and port types.
-//! * [`hosting`] — [`HostingEnv`](hosting::HostingEnv): factories, grid
+//! * [`hosting`] — [`hosting::HostingEnv`]: factories, grid
 //!   service handles (GSHs), invocation dispatch, and OGSI *soft-state
 //!   lifetimes* (services expire unless their termination time is
 //!   extended).
@@ -25,7 +25,7 @@
 //! * [`steering`] — the steering-service and visualization-service port
 //!   types of Figure 2, exposing the RealityGrid-style steering API
 //!   (`listParams` / `getParam` / `setParam` / `sequenceNumber`) over any
-//!   [`Steerable`](steering::Steerable) application.
+//!   [`steering::Steerable`] application.
 
 pub mod hosting;
 pub mod registry;

@@ -1,6 +1,6 @@
 //! The service registry of Figure 2.
 //!
-//! §2.3: "[The steering client] contacts a registry which ha[s] details of
+//! §2.3: "\[The steering client\] contacts a registry which ha\[s\] details of
 //! the steering services that have published to the registry. … The client
 //! chooses the services it will require and binds them to the client."
 //! [`Registry`] is itself a [`GridService`], so it can be hosted in the

@@ -78,7 +78,7 @@ pub struct SteerParams {
     pub laser_amplitude: f64,
     /// Laser angular frequency.
     pub laser_omega: f64,
-    /// Per-step velocity damping ∈ [0,1] (0 = none; the "assist to cold
+    /// Per-step velocity damping ∈ \[0,1\] (0 = none; the "assist to cold
     /// ordered state" knob).
     pub damping: f64,
 }
@@ -226,7 +226,7 @@ impl PepcSim {
     }
 
     /// Steer: replace the parameter set (direction is renormalized;
-    /// damping clamped to [0,1]).
+    /// damping clamped to \[0,1\]).
     pub fn set_params(&mut self, mut p: SteerParams) {
         let norm = (p.beam_dir[0] * p.beam_dir[0]
             + p.beam_dir[1] * p.beam_dir[1]

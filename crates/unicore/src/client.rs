@@ -5,7 +5,7 @@
 //! authentication": the user holds one certificate and every request to any
 //! gateway is signed with it. The steering plugin of §3.3 lives here too:
 //! [`UnicoreClient::proxy_attach`] / [`UnicoreClient::proxy_poll`] drive a
-//! [`VisitProxyClient`](crate::proxy::VisitProxyClient) through gateway
+//! [`crate::proxy::VisitProxyClient`] through gateway
 //! transactions.
 
 use crate::ajo::Ajo;

@@ -1,11 +1,11 @@
 //! # unicore — UNICORE-style grid middleware
 //!
 //! §3.1 of the paper: "The UNICORE Grid system consists of three distinct
-//! software tiers: [the] UNICORE client …, UNICORE servers that are divided
+//! software tiers: \[the\] UNICORE client …, UNICORE servers that are divided
 //! into gateways acting as point-of-entry into the protected domains of the
 //! HPC centres and Network Job Supervisors (NJSs) that adapt the abstract
-//! UNICORE job for the specific HPC system, [and] UNICORE target systems …
-//! [where] a Target System Interface (TSI) … performs the communication
+//! UNICORE job for the specific HPC system, \[and\] UNICORE target systems …
+//! \[where\] a Target System Interface (TSI) … performs the communication
 //! with the NJS."
 //!
 //! This crate rebuilds that stack:

@@ -13,7 +13,7 @@
 //! required for the VISIT connection."
 //!
 //! Collaboration (also §3.3): "For the VISIT-UNICORE extension this
-//! [vbroker] functionality has been moved into the VISIT proxy-server
+//! \[vbroker\] functionality has been moved into the VISIT proxy-server
 //! running on the UNICORE target system. This has the advantage that all
 //! users participating in the collaboration have to authenticate to the
 //! UNICORE system." Hence [`VisitProxyServer`] keeps a broadcast log that

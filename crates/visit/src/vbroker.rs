@@ -5,7 +5,7 @@
 //! visualizations, ensuring that everyone views the same data.
 //! Receive-requests are only sent to a 'master' visualization, so that only
 //! that master is able to actively steer the application. The master-role
-//! can be moved between the [participants] allowing for a coordinated
+//! can be moved between the \[participants\] allowing for a coordinated
 //! cooperative steering. This functionality has been implemented in an
 //! application (the vbroker) that is part of the standard VISIT
 //! distribution."

@@ -16,7 +16,7 @@ pub enum ColorMap {
 }
 
 impl ColorMap {
-    /// Map `t ∈ [0,1]` (clamped) to RGBA.
+    /// Map `t ∈ \[0,1\]` (clamped) to RGBA.
     pub fn map(self, t: f32) -> [u8; 4] {
         let t = t.clamp(0.0, 1.0);
         let (r, g, b) = match self {

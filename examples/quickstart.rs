@@ -28,12 +28,7 @@ fn main() {
 
     // 2. the steering session + TCP server
     let mut reg = ParamRegistry::new();
-    reg.declare(ParamSpec {
-        name: "miscibility".into(),
-        min: 0.0,
-        max: 1.0,
-        initial: 1.0,
-    });
+    reg.declare(ParamSpec::f64("miscibility", 0.0, 1.0, 1.0));
     let session = Arc::new(Mutex::new(SteeringSession::new(reg)));
     let server = CollabServer::start(session.clone()).expect("server starts");
     let addr = server.addr().to_string();

@@ -30,6 +30,7 @@
 
 pub use accessgrid;
 pub use covise;
+pub use gridsteer_bus as bus;
 pub use gridsteer_harness as harness;
 pub use lbm;
 pub use netsim;

@@ -186,12 +186,7 @@ fn ogsa_service_steers_live_simulation() {
 fn tcp_steering_server_drives_simulation_thread() {
     let sim = Arc::new(Mutex::new(TwoFluidLbm::new(LbmConfig::small())));
     let mut reg = ParamRegistry::new();
-    reg.declare(ParamSpec {
-        name: "miscibility".into(),
-        min: 0.0,
-        max: 1.0,
-        initial: 1.0,
-    });
+    reg.declare(ParamSpec::f64("miscibility", 0.0, 1.0, 1.0));
     let session = Arc::new(Mutex::new(SteeringSession::new(reg)));
     let server = CollabServer::start(session.clone()).unwrap();
     let addr = server.addr().to_string();

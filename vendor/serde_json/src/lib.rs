@@ -1,4 +1,4 @@
-//! Vendored subset of `serde_json` over the serde shim's [`JsonValue`].
+//! Vendored subset of `serde_json` over the serde shim's `JsonValue`.
 //!
 //! Serialization is deterministic (struct fields in declaration order, map
 //! keys sorted) — the unicore trust model signs byte-for-byte over
