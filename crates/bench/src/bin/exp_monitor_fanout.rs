@@ -1,0 +1,6 @@
+//! Experiment binary — monitor-bus fan-out throughput (`BENCH_monitor.json`).
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    gridsteer_bench::cli::run(gridsteer_bench::exp_monitor_fanout)
+}

@@ -878,6 +878,104 @@ pub fn exp_bus() -> ExpResult {
     )
 }
 
+/// MONITOR — monitor-bus fan-out throughput: batched (one transport
+/// envelope per step-boundary chunk) vs per-sample (one envelope per
+/// frame) delivery, swept over every transport adapter and subscriber
+/// count. Each row carries both sustained frame rates plus their ratio —
+/// the number that justifies the hub's batched `publish_batch` path.
+/// (Rows embed wall-clock rates, so this experiment's digest legitimately
+/// changes run to run; the delivered counts are asserted deterministic in
+/// the unit tests.)
+pub fn exp_monitor_fanout() -> ExpResult {
+    use gridsteer_bus::{MonitorCaps, MonitorHub, MonitorPayload};
+    const FRAMES: usize = 1200;
+    const BATCH: usize = 32;
+    // a 4x4 field slice: the smallest payload every transport carries
+    // (COVISE's data plane is grids-only, so scalars would never reach it)
+    let payloads = |n: usize| -> Vec<MonitorPayload> {
+        (0..n)
+            .map(|i| {
+                let base = (i % 97) as f32;
+                MonitorPayload::grid2("phi_mid", 4, 4, (0..16).map(|j| base + j as f32).collect())
+            })
+            .collect()
+    };
+    let build_hub = |transport: Transport, subs: usize| -> MonitorHub {
+        let hub = MonitorHub::new();
+        for s in 0..subs {
+            hub.attach_endpoint(
+                &format!("v{s}"),
+                transport.attach_monitor(&format!("v{s}")),
+                &MonitorCaps::full("bench-viewer", BATCH),
+            );
+        }
+        hub
+    };
+    let drain = |hub: &MonitorHub, subs: usize| -> u64 {
+        (0..subs)
+            .map(|s| hub.recv(&format!("v{s}")).len() as u64)
+            .sum()
+    };
+    // Per-sample mode is the full consumer loop at sample granularity:
+    // publish one frame, every viewer polls. Batched mode does the same
+    // work in step-boundary chunks: one envelope (and one poll) per
+    // BATCH frames. The delta is the per-frame envelope cost each
+    // middleware charges — job consignment, service invocation, wire
+    // begin/end frames, queue handoff.
+    let run_mode = |transport: Transport, subs: usize, batch: usize| -> (Duration, u64) {
+        let hub = build_hub(transport, subs);
+        let mut delivered = 0u64;
+        let mut queue = payloads(FRAMES);
+        let t0 = Instant::now();
+        while !queue.is_empty() {
+            let chunk: Vec<MonitorPayload> = queue.drain(..batch.min(queue.len())).collect();
+            if chunk.len() == 1 {
+                let [p] = <[MonitorPayload; 1]>::try_from(chunk).expect("len checked");
+                hub.publish(0, p);
+            } else {
+                hub.publish_batch(0, chunk);
+            }
+            delivered += drain(&hub, subs);
+        }
+        (t0.elapsed(), delivered)
+    };
+    // best-of-N walls: the fast transports finish a whole pass in ~100µs,
+    // where one scheduler blip would otherwise swamp the comparison
+    let best_of = |transport: Transport, subs: usize, batch: usize| -> (Duration, u64) {
+        (0..3)
+            .map(|_| run_mode(transport, subs, batch))
+            .min_by_key(|(wall, _)| *wall)
+            .expect("nonempty")
+    };
+    let mut rows = Vec::new();
+    for transport in Transport::ALL {
+        for &subs in &[1usize, 4, 16] {
+            // warm-up pass (allocators, caches) before either timing
+            let _ = run_mode(transport, subs, BATCH);
+            let (single_wall, single_recv) = best_of(transport, subs, 1);
+            let (batched_wall, batched_recv) = best_of(transport, subs, BATCH);
+            assert_eq!(
+                single_recv, batched_recv,
+                "both modes must deliver the same frames"
+            );
+            let rate = |wall: Duration| FRAMES as f64 * subs as f64 / wall.as_secs_f64();
+            let (single_rate, batched_rate) = (rate(single_wall), rate(batched_wall));
+            rows.push(format!(
+                "transport={} subs={subs} frames={FRAMES} delivered={batched_recv} \
+                 per_sample={single_rate:.0}fr/s batched={batched_rate:.0}fr/s \
+                 speedup={:.2}x",
+                transport.label(),
+                batched_rate / single_rate,
+            ));
+        }
+    }
+    emit(
+        "monitor",
+        "monitor-bus fan-out: batched vs per-sample delivery per transport x subscribers",
+        rows,
+    )
+}
+
 /// Every experiment in index order (driven by [`crate::cli::run_all`],
 /// which times each entry and emits its `BENCH_*.json`).
 pub const ALL: &[fn() -> ExpResult] = &[
@@ -897,6 +995,7 @@ pub const ALL: &[fn() -> ExpResult] = &[
     exp_em1_migration,
     exp_e50_soak,
     exp_bus,
+    exp_monitor_fanout,
 ];
 
 #[cfg(test)]
@@ -918,6 +1017,37 @@ mod tests {
         }
         // every command must actually apply (clamped spec, in-bounds values)
         assert!(r.rows.iter().all(|row| row.contains("applied=2000")));
+    }
+
+    #[test]
+    fn monitor_fanout_covers_every_transport_and_sub_count() {
+        let r = exp_monitor_fanout();
+        assert_eq!(r.rows.len(), Transport::ALL.len() * 3);
+        for t in Transport::ALL {
+            for subs in [1usize, 4, 16] {
+                assert!(
+                    r.rows
+                        .iter()
+                        .any(|row| row.contains(&format!("transport={} subs={subs} ", t.label()))),
+                    "missing cell {} x {subs}",
+                    t.label()
+                );
+            }
+        }
+        // delivery is deterministic: every subscriber gets every frame
+        for row in &r.rows {
+            let subs: u64 = row
+                .split("subs=")
+                .nth(1)
+                .unwrap()
+                .split(' ')
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap();
+            assert!(row.contains(&format!("delivered={}", 1200 * subs)), "{row}");
+            assert!(row.contains("speedup="), "{row}");
+        }
     }
 
     #[test]

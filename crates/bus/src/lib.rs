@@ -35,12 +35,19 @@
 //! Transports differ in what they can carry — COVISE module parameters
 //! are scalars, so its capability set excludes `vec3`/`str` — and the
 //! negotiate handshake is how a client discovers that before steering.
+//!
+//! The steering surface is the *control plane*. Its data-plane mirror —
+//! monitored simulation output streaming back out to viewers over the
+//! same five middlewares — lives in [`monitor`]: typed sequence-numbered
+//! [`MonitorFrame`]s fanned out by a [`MonitorHub`] to capability-
+//! negotiated [`MonitorEndpoint`] subscribers.
 
 pub mod command;
 pub mod covise_ep;
 pub mod endpoint;
 pub mod hub;
 pub mod loopback;
+pub mod monitor;
 pub mod ogsa_ep;
 pub mod registry;
 pub mod spec;
@@ -54,6 +61,11 @@ pub use covise_ep::{CoviseEndpoint, SteerParamsModule};
 pub use endpoint::{Capabilities, SteerEndpoint, Subscription};
 pub use hub::SteerHub;
 pub use loopback::LoopbackEndpoint;
+pub use monitor::{
+    CoviseMonitor, HubFrameSink, LoopbackMonitor, MonitorCaps, MonitorEndpoint, MonitorError,
+    MonitorFeedService, MonitorFrame, MonitorHub, MonitorKind, MonitorPayload, MonitorStats,
+    OgsaMonitor, UnicoreMonitor, VisitMonitor,
+};
 pub use ogsa_ep::{BusSteeringService, OgsaEndpoint};
 pub use registry::{ParamRegistry, SharedRegistry};
 pub use spec::{BoundsPolicy, ParamSpec};

@@ -1,0 +1,549 @@
+//! Typed monitored-output frames and their tagged binary codec.
+//!
+//! [`MonitorFrame`] is the data-plane mirror of the steering
+//! [`SteerCommand`](crate::SteerCommand): where steering carries *requests
+//! into* the simulation, a monitor frame carries *results out* to viewers.
+//! Frames are sequence-numbered by the [`MonitorHub`](crate::MonitorHub)
+//! and stamped with the simulation step they were emitted at, so any
+//! viewer on any transport can order, decimate, and gap-detect the stream
+//! it receives.
+//!
+//! The payload kinds cover the paper's output shapes: scalar series
+//! points and 3-vectors (diagnostics like the demix metric or the PEPC
+//! beam centroid), dense 2-D/3-D field slices (the order-parameter lattice
+//! the Figure-1 pipeline ships to the isosurface stage), and encoded
+//! framebuffer frames (the VizServer compressed-bitmap path). The tagged
+//! binary codec here is the reference encoding — the UNICORE staged-file
+//! and OGSA service adapters ride it directly; VISIT and COVISE re-express
+//! payloads in their own native machinery and must round-trip losslessly
+//! (floats travel as raw bits, so NaN-filled grids survive bit-exactly).
+
+use bytes::{Buf, BufMut, BytesMut};
+
+/// The declared payload kind of a monitor frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum MonitorKind {
+    /// One scalar series point.
+    Scalar = 1,
+    /// One 3-component vector sample.
+    Vec3 = 2,
+    /// A dense 2-D `f32` field slice.
+    Grid2 = 3,
+    /// A dense 3-D `f32` field.
+    Grid3 = 4,
+    /// An encoded framebuffer frame (viz codec output).
+    Frame = 5,
+}
+
+impl MonitorKind {
+    /// All kinds, in wire-code order.
+    pub const ALL: [MonitorKind; 5] = [
+        MonitorKind::Scalar,
+        MonitorKind::Vec3,
+        MonitorKind::Grid2,
+        MonitorKind::Grid3,
+        MonitorKind::Frame,
+    ];
+
+    /// Decode from the wire byte.
+    pub fn from_byte(b: u8) -> Option<MonitorKind> {
+        Some(match b {
+            1 => MonitorKind::Scalar,
+            2 => MonitorKind::Vec3,
+            3 => MonitorKind::Grid2,
+            4 => MonitorKind::Grid3,
+            5 => MonitorKind::Frame,
+            _ => return None,
+        })
+    }
+
+    /// Stable lowercase name (capability sets, handshake logs).
+    pub fn name(self) -> &'static str {
+        match self {
+            MonitorKind::Scalar => "scalar",
+            MonitorKind::Vec3 => "vec3",
+            MonitorKind::Grid2 => "grid2",
+            MonitorKind::Grid3 => "grid3",
+            MonitorKind::Frame => "frame",
+        }
+    }
+}
+
+/// One typed monitored-output payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MonitorPayload {
+    /// A scalar series point (named channel).
+    Scalar {
+        /// Channel name.
+        name: String,
+        /// Sample value.
+        value: f64,
+    },
+    /// A 3-component vector sample (named channel).
+    Vec3 {
+        /// Channel name.
+        name: String,
+        /// Sample value.
+        value: [f64; 3],
+    },
+    /// A dense 2-D field slice, row-major (`x` fastest).
+    Grid2 {
+        /// Channel name.
+        name: String,
+        /// Width.
+        nx: u32,
+        /// Height.
+        ny: u32,
+        /// `nx * ny` values.
+        data: Vec<f32>,
+    },
+    /// A dense 3-D field, x-fastest layout.
+    Grid3 {
+        /// Channel name.
+        name: String,
+        /// X extent.
+        nx: u32,
+        /// Y extent.
+        ny: u32,
+        /// Z extent.
+        nz: u32,
+        /// `nx * ny * nz` values.
+        data: Vec<f32>,
+    },
+    /// An encoded framebuffer frame (the viz delta+RLE codec output).
+    Frame {
+        /// Channel name (render session label).
+        name: String,
+        /// True if decodable without history.
+        keyframe: bool,
+        /// Uncompressed size in bytes.
+        raw_size: u32,
+        /// Codec payload.
+        data: Vec<u8>,
+    },
+}
+
+impl MonitorPayload {
+    /// Scalar-channel constructor.
+    pub fn scalar(name: &str, value: f64) -> MonitorPayload {
+        MonitorPayload::Scalar {
+            name: name.to_string(),
+            value,
+        }
+    }
+
+    /// Vector-channel constructor.
+    pub fn vec3(name: &str, value: [f64; 3]) -> MonitorPayload {
+        MonitorPayload::Vec3 {
+            name: name.to_string(),
+            value,
+        }
+    }
+
+    /// 2-D slice constructor. Panics if `data.len() != nx * ny`.
+    pub fn grid2(name: &str, nx: u32, ny: u32, data: Vec<f32>) -> MonitorPayload {
+        assert_eq!(
+            data.len(),
+            nx as usize * ny as usize,
+            "grid2 shape mismatch"
+        );
+        MonitorPayload::Grid2 {
+            name: name.to_string(),
+            nx,
+            ny,
+            data,
+        }
+    }
+
+    /// 3-D field constructor. Panics if `data.len() != nx * ny * nz`.
+    pub fn grid3(name: &str, nx: u32, ny: u32, nz: u32, data: Vec<f32>) -> MonitorPayload {
+        assert_eq!(
+            data.len(),
+            nx as usize * ny as usize * nz as usize,
+            "grid3 shape mismatch"
+        );
+        MonitorPayload::Grid3 {
+            name: name.to_string(),
+            nx,
+            ny,
+            nz,
+            data,
+        }
+    }
+
+    /// Encoded-frame constructor.
+    pub fn frame(name: &str, keyframe: bool, raw_size: u32, data: Vec<u8>) -> MonitorPayload {
+        MonitorPayload::Frame {
+            name: name.to_string(),
+            keyframe,
+            raw_size,
+            data,
+        }
+    }
+
+    /// The payload's kind tag.
+    pub fn kind(&self) -> MonitorKind {
+        match self {
+            MonitorPayload::Scalar { .. } => MonitorKind::Scalar,
+            MonitorPayload::Vec3 { .. } => MonitorKind::Vec3,
+            MonitorPayload::Grid2 { .. } => MonitorKind::Grid2,
+            MonitorPayload::Grid3 { .. } => MonitorKind::Grid3,
+            MonitorPayload::Frame { .. } => MonitorKind::Frame,
+        }
+    }
+
+    /// Channel name.
+    pub fn name(&self) -> &str {
+        match self {
+            MonitorPayload::Scalar { name, .. }
+            | MonitorPayload::Vec3 { name, .. }
+            | MonitorPayload::Grid2 { name, .. }
+            | MonitorPayload::Grid3 { name, .. }
+            | MonitorPayload::Frame { name, .. } => name,
+        }
+    }
+}
+
+/// One sequence-numbered monitored-output frame, emitted at a simulation
+/// step boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorFrame {
+    /// Hub-assigned monotone sequence number (global emission order).
+    pub seq: u64,
+    /// Simulation step the payload was sampled at.
+    pub step: u64,
+    /// The typed payload.
+    pub payload: MonitorPayload,
+}
+
+impl MonitorFrame {
+    /// Encode into the tagged binary form (little-endian; floats as raw
+    /// bits, so NaN payloads are preserved exactly). Panics if the
+    /// channel name exceeds the codec's u16 length field — a silent wrap
+    /// would corrupt the stream and break the lossless contract.
+    pub fn encode_bytes(&self, out: &mut BytesMut) {
+        out.put_u64_le(self.seq);
+        out.put_u64_le(self.step);
+        out.put_u8(self.payload.kind() as u8);
+        let name = self.payload.name();
+        assert!(
+            name.len() <= u16::MAX as usize,
+            "channel name of {} bytes exceeds the codec's u16 length field",
+            name.len()
+        );
+        out.put_u16_le(name.len() as u16);
+        out.put_slice(name.as_bytes());
+        match &self.payload {
+            MonitorPayload::Scalar { value, .. } => out.put_u64_le(value.to_bits()),
+            MonitorPayload::Vec3 { value, .. } => {
+                for c in value {
+                    out.put_u64_le(c.to_bits());
+                }
+            }
+            MonitorPayload::Grid2 { nx, ny, data, .. } => {
+                out.put_u32_le(*nx);
+                out.put_u32_le(*ny);
+                for v in data {
+                    out.put_u32_le(v.to_bits());
+                }
+            }
+            MonitorPayload::Grid3 {
+                nx, ny, nz, data, ..
+            } => {
+                out.put_u32_le(*nx);
+                out.put_u32_le(*ny);
+                out.put_u32_le(*nz);
+                for v in data {
+                    out.put_u32_le(v.to_bits());
+                }
+            }
+            MonitorPayload::Frame {
+                keyframe,
+                raw_size,
+                data,
+                ..
+            } => {
+                out.put_u8(u8::from(*keyframe));
+                out.put_u32_le(*raw_size);
+                out.put_u32_le(data.len() as u32);
+                out.put_slice(data);
+            }
+        }
+    }
+
+    /// Encode into a fresh byte vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(self.wire_size());
+        self.encode_bytes(&mut buf);
+        buf.to_vec()
+    }
+
+    /// Decode the tagged binary encoding, advancing `buf` past it.
+    /// Returns `None` on any malformation (truncation, bad kind byte,
+    /// shape/length mismatch, non-UTF-8 name).
+    pub fn decode_bytes(buf: &mut &[u8]) -> Option<MonitorFrame> {
+        if buf.len() < 8 + 8 + 1 + 2 {
+            return None;
+        }
+        let seq = buf.get_u64_le();
+        let step = buf.get_u64_le();
+        let kind = MonitorKind::from_byte(buf.get_u8())?;
+        let name_len = buf.get_u16_le() as usize;
+        if buf.len() < name_len {
+            return None;
+        }
+        let name = String::from_utf8(buf[..name_len].to_vec()).ok()?;
+        buf.advance(name_len);
+        let payload = match kind {
+            MonitorKind::Scalar => {
+                if buf.len() < 8 {
+                    return None;
+                }
+                MonitorPayload::Scalar {
+                    name,
+                    value: f64::from_bits(buf.get_u64_le()),
+                }
+            }
+            MonitorKind::Vec3 => {
+                if buf.len() < 24 {
+                    return None;
+                }
+                MonitorPayload::Vec3 {
+                    name,
+                    value: [
+                        f64::from_bits(buf.get_u64_le()),
+                        f64::from_bits(buf.get_u64_le()),
+                        f64::from_bits(buf.get_u64_le()),
+                    ],
+                }
+            }
+            MonitorKind::Grid2 => {
+                if buf.len() < 8 {
+                    return None;
+                }
+                let nx = buf.get_u32_le();
+                let ny = buf.get_u32_le();
+                let count = (nx as usize).checked_mul(ny as usize)?;
+                let data = decode_f32s(buf, count)?;
+                MonitorPayload::Grid2 { name, nx, ny, data }
+            }
+            MonitorKind::Grid3 => {
+                if buf.len() < 12 {
+                    return None;
+                }
+                let nx = buf.get_u32_le();
+                let ny = buf.get_u32_le();
+                let nz = buf.get_u32_le();
+                let count = (nx as usize)
+                    .checked_mul(ny as usize)?
+                    .checked_mul(nz as usize)?;
+                let data = decode_f32s(buf, count)?;
+                MonitorPayload::Grid3 {
+                    name,
+                    nx,
+                    ny,
+                    nz,
+                    data,
+                }
+            }
+            MonitorKind::Frame => {
+                if buf.len() < 9 {
+                    return None;
+                }
+                let keyframe = match buf.get_u8() {
+                    0 => false,
+                    1 => true,
+                    _ => return None,
+                };
+                let raw_size = buf.get_u32_le();
+                let len = buf.get_u32_le() as usize;
+                if buf.len() < len {
+                    return None;
+                }
+                let data = buf[..len].to_vec();
+                buf.advance(len);
+                MonitorPayload::Frame {
+                    name,
+                    keyframe,
+                    raw_size,
+                    data,
+                }
+            }
+        };
+        Some(MonitorFrame { seq, step, payload })
+    }
+
+    /// Encoded size in bytes — what one frame costs on a byte-counted
+    /// link (the harness charges deliveries at this size).
+    pub fn wire_size(&self) -> usize {
+        let header = 8 + 8 + 1 + 2 + self.payload.name().len();
+        header
+            + match &self.payload {
+                MonitorPayload::Scalar { .. } => 8,
+                MonitorPayload::Vec3 { .. } => 24,
+                MonitorPayload::Grid2 { data, .. } => 8 + data.len() * 4,
+                MonitorPayload::Grid3 { data, .. } => 12 + data.len() * 4,
+                MonitorPayload::Frame { data, .. } => 9 + data.len(),
+            }
+    }
+
+    /// Fold this frame's canonical bytes into a running FNV-1a 64 hash —
+    /// the byte-stable digest viewers and scenario reports accumulate.
+    pub fn fold_fnv(&self, mut h: u64) -> u64 {
+        for b in self.to_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// Decode exactly `count` bit-exact `f32`s.
+fn decode_f32s(buf: &mut &[u8], count: usize) -> Option<Vec<f32>> {
+    if buf.len() < count.checked_mul(4)? {
+        return None;
+    }
+    let mut data = Vec::with_capacity(count);
+    for _ in 0..count {
+        data.push(f32::from_bits(buf.get_u32_le()));
+    }
+    Some(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<MonitorFrame> {
+        vec![
+            MonitorFrame {
+                seq: 1,
+                step: 10,
+                payload: MonitorPayload::scalar("demix", 0.125),
+            },
+            MonitorFrame {
+                seq: 2,
+                step: 10,
+                payload: MonitorPayload::vec3("centroid", [1.0, -2.5, 1e-12]),
+            },
+            MonitorFrame {
+                seq: 3,
+                step: 11,
+                payload: MonitorPayload::grid2(
+                    "phi_mid",
+                    3,
+                    2,
+                    vec![0.0, 1.5, -2.0, 0.5, 9.0, 4.5],
+                ),
+            },
+            MonitorFrame {
+                seq: 4,
+                step: 11,
+                payload: MonitorPayload::grid3("phi", 2, 2, 2, (0..8).map(|i| i as f32).collect()),
+            },
+            MonitorFrame {
+                seq: 5,
+                step: 12,
+                payload: MonitorPayload::frame("viz", true, 4096, vec![1, 255, 0, 7]),
+            },
+            MonitorFrame {
+                seq: 6,
+                step: 12,
+                payload: MonitorPayload::scalar("", f64::NEG_INFINITY),
+            },
+        ]
+    }
+
+    #[test]
+    fn binary_roundtrip_every_kind() {
+        for f in samples() {
+            let bytes = f.to_bytes();
+            assert_eq!(bytes.len(), f.wire_size(), "{f:?}");
+            let mut slice: &[u8] = &bytes;
+            assert_eq!(MonitorFrame::decode_bytes(&mut slice), Some(f.clone()));
+            assert!(slice.is_empty(), "decode must consume exactly: {f:?}");
+        }
+    }
+
+    #[test]
+    fn nan_grid_survives_bit_exact() {
+        let bits = 0x7fc0_dead_u32;
+        let f = MonitorFrame {
+            seq: 9,
+            step: 3,
+            payload: MonitorPayload::grid2("nan", 2, 1, vec![f32::from_bits(bits), 1.0]),
+        };
+        let bytes = f.to_bytes();
+        let mut slice: &[u8] = &bytes;
+        match MonitorFrame::decode_bytes(&mut slice).unwrap().payload {
+            MonitorPayload::Grid2 { data, .. } => {
+                assert_eq!(data[0].to_bits(), bits);
+                assert_eq!(data[1], 1.0);
+            }
+            other => panic!("expected grid2, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_binary_rejected() {
+        for f in samples() {
+            let bytes = f.to_bytes();
+            for cut in 0..bytes.len() {
+                let mut slice: &[u8] = &bytes[..cut];
+                assert_eq!(MonitorFrame::decode_bytes(&mut slice), None, "cut={cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_grid_dims_rejected_without_allocation() {
+        // a frame whose declared dims wildly exceed the buffer must be
+        // rejected before any giant allocation is attempted
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(1);
+        buf.put_u64_le(1);
+        buf.put_u8(MonitorKind::Grid3 as u8);
+        buf.put_u16_le(1);
+        buf.put_slice(b"g");
+        buf.put_u32_le(u32::MAX);
+        buf.put_u32_le(u32::MAX);
+        buf.put_u32_le(u32::MAX);
+        let mut slice: &[u8] = &buf;
+        assert_eq!(MonitorFrame::decode_bytes(&mut slice), None);
+    }
+
+    #[test]
+    fn kind_bytes_roundtrip() {
+        for k in MonitorKind::ALL {
+            assert_eq!(MonitorKind::from_byte(k as u8), Some(k));
+        }
+        assert_eq!(MonitorKind::from_byte(0), None);
+        assert_eq!(MonitorKind::from_byte(6), None);
+    }
+
+    #[test]
+    fn fold_fnv_is_order_sensitive() {
+        let s = samples();
+        let a = s[1].fold_fnv(s[0].fold_fnv(0xcbf2_9ce4_8422_2325));
+        let b = s[0].fold_fnv(s[1].fold_fnv(0xcbf2_9ce4_8422_2325));
+        assert_ne!(a, b, "frame order must be part of the digest");
+    }
+
+    #[test]
+    #[should_panic(expected = "grid2 shape mismatch")]
+    fn grid_constructor_checks_shape() {
+        let _ = MonitorPayload::grid2("bad", 3, 3, vec![0.0; 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the codec's u16 length field")]
+    fn oversized_channel_name_fails_loudly_not_silently() {
+        let f = MonitorFrame {
+            seq: 1,
+            step: 0,
+            payload: MonitorPayload::scalar(&"x".repeat(65536), 0.0),
+        };
+        let _ = f.to_bytes();
+    }
+}

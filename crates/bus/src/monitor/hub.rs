@@ -1,0 +1,374 @@
+//! The monitor hub: one producer surface, N capability-filtered viewers.
+//!
+//! A [`MonitorHub`] is the session-side anchor of the data plane, the
+//! mirror image of the steering [`SteerHub`](crate::SteerHub): where the
+//! steering hub collects *inbound* batches from many transports and
+//! commits them at a step boundary, the monitor hub takes the simulation's
+//! *outbound* step-boundary output and fans it out to every attached
+//! subscriber — each behind its own middleware adapter, each filtered and
+//! decimated against its negotiated [`MonitorCaps`].
+//!
+//! Determinism contract: subscribers are fanned out in attach order,
+//! sequence numbers are assigned in publish order, and decimation counts
+//! admissible frames per subscriber — so for a fixed publish stream the
+//! full per-subscriber delivery schedule (delivered / decimated /
+//! filtered) is a pure function of the scenario, never of wall-clock or
+//! thread count. That is what lets scenario digests fold received frames
+//! byte-stably.
+
+use crate::monitor::endpoint::{MonitorCaps, MonitorEndpoint};
+use crate::monitor::frame::{MonitorFrame, MonitorPayload};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Per-subscriber delivery accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MonitorStats {
+    /// Frames that completed the middleware round trip.
+    pub delivered: u64,
+    /// Admissible frames skipped by the negotiated decimation rate.
+    pub decimated: u64,
+    /// Frames whose kind is outside the negotiated capability set.
+    pub filtered: u64,
+    /// Frames lost to transport errors.
+    pub errors: u64,
+}
+
+struct SubEntry {
+    name: String,
+    ep: Box<dyn MonitorEndpoint>,
+    caps: MonitorCaps,
+    /// Admissible frames seen so far (drives decimation).
+    admissible: u64,
+    stats: MonitorStats,
+}
+
+#[derive(Default)]
+struct HubState {
+    subs: Vec<SubEntry>,
+    next_seq: u64,
+    published: u64,
+    handshakes: Vec<String>,
+    /// Bumped on every subscriber attach. Frame producers compare their
+    /// channel's last-keyframe epoch against this, so each producer
+    /// (channel) independently notices late joiners — one producer
+    /// consuming the signal cannot starve another.
+    attach_epoch: u64,
+    /// Per-channel epoch at which the last keyframe request was granted.
+    keyframe_seen: BTreeMap<String, u64>,
+}
+
+/// The shared monitor hub. Cheap to clone; all clones are one hub.
+#[derive(Clone, Default)]
+pub struct MonitorHub {
+    state: Arc<Mutex<HubState>>,
+}
+
+impl MonitorHub {
+    /// An empty hub with no subscribers.
+    pub fn new() -> MonitorHub {
+        MonitorHub::default()
+    }
+
+    /// Attach a subscriber endpoint as `name`, negotiating against the
+    /// viewer's offered capabilities. Returns the negotiated set; the
+    /// handshake is recorded on the audit log (part of scenario digests).
+    pub fn attach_endpoint(
+        &self,
+        name: &str,
+        mut ep: Box<dyn MonitorEndpoint>,
+        viewer: &MonitorCaps,
+    ) -> MonitorCaps {
+        let negotiated = ep.negotiate(viewer);
+        let mut st = self.state.lock();
+        assert!(
+            st.subs.iter().all(|s| s.name != name),
+            "duplicate monitor subscriber name {name:?} — \
+             recv()/stats_of() resolve by name, so names must be unique"
+        );
+        st.handshakes
+            .push(format!("{name} {}", negotiated.render()));
+        st.attach_epoch += 1;
+        st.subs.push(SubEntry {
+            name: name.to_string(),
+            ep,
+            caps: negotiated.clone(),
+            admissible: 0,
+            stats: MonitorStats::default(),
+        });
+        negotiated
+    }
+
+    /// Number of attached subscribers.
+    pub fn subscribers(&self) -> usize {
+        self.state.lock().subs.len()
+    }
+
+    /// Frames published so far.
+    pub fn frames_published(&self) -> u64 {
+        self.state.lock().published
+    }
+
+    /// Handshake audit lines, in attach order.
+    pub fn handshakes(&self) -> Vec<String> {
+        self.state.lock().handshakes.clone()
+    }
+
+    /// True once per `channel` after each new subscriber attach — frame
+    /// producers with inter-frame codec state (the viz sink) consume this
+    /// to emit a keyframe the late joiner can decode. The request is
+    /// tracked per channel, so several producers sharing one hub each see
+    /// it for their own stream.
+    pub fn take_keyframe_request(&self, channel: &str) -> bool {
+        let mut st = self.state.lock();
+        let epoch = st.attach_epoch;
+        let seen = st.keyframe_seen.entry(channel.to_string()).or_insert(0);
+        if *seen < epoch {
+            *seen = epoch;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Publish one payload sampled at simulation `step`: assign the next
+    /// sequence number and fan the frame out immediately. Returns the
+    /// assigned sequence number. This is the *per-sample* delivery mode —
+    /// every subscriber pays its transport's envelope cost per frame.
+    pub fn publish(&self, step: u64, payload: MonitorPayload) -> u64 {
+        let mut st = self.state.lock();
+        st.next_seq += 1;
+        let seq = st.next_seq;
+        st.published += 1;
+        let frame = MonitorFrame { seq, step, payload };
+        fan_out(&mut st, std::slice::from_ref(&frame));
+        seq
+    }
+
+    /// Publish a whole step boundary's payloads as one batch: sequence
+    /// numbers are assigned in order, then each subscriber receives its
+    /// admissible frames chunked to its negotiated `max_batch` — one
+    /// transport envelope per chunk instead of per frame, which is where
+    /// batched fan-out wins on every middleware. Returns the number of
+    /// frames published.
+    pub fn publish_batch(&self, step: u64, payloads: Vec<MonitorPayload>) -> u64 {
+        if payloads.is_empty() {
+            return 0;
+        }
+        let mut st = self.state.lock();
+        let frames: Vec<MonitorFrame> = payloads
+            .into_iter()
+            .map(|payload| {
+                st.next_seq += 1;
+                st.published += 1;
+                MonitorFrame {
+                    seq: st.next_seq,
+                    step,
+                    payload,
+                }
+            })
+            .collect();
+        fan_out(&mut st, &frames);
+        frames.len() as u64
+    }
+
+    /// Drain the frames subscriber `name`'s viewer side has received, in
+    /// delivery order. Empty if the name is unknown.
+    pub fn recv(&self, name: &str) -> Vec<MonitorFrame> {
+        let mut st = self.state.lock();
+        st.subs
+            .iter_mut()
+            .find(|s| s.name == name)
+            .map(|s| s.ep.recv())
+            .unwrap_or_default()
+    }
+
+    /// Per-subscriber delivery statistics, in attach order.
+    pub fn stats(&self) -> Vec<(String, MonitorStats)> {
+        self.state
+            .lock()
+            .subs
+            .iter()
+            .map(|s| (s.name.clone(), s.stats))
+            .collect()
+    }
+
+    /// One subscriber's delivery statistics.
+    pub fn stats_of(&self, name: &str) -> Option<MonitorStats> {
+        self.state
+            .lock()
+            .subs
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.stats)
+    }
+}
+
+/// Fan a frame batch out to every subscriber: filter by negotiated kinds,
+/// decimate by the negotiated rate, chunk to the negotiated batch size,
+/// ship. Deterministic: attach order, publish order, per-subscriber
+/// admissible counters.
+fn fan_out(st: &mut HubState, frames: &[MonitorFrame]) {
+    for sub in &mut st.subs {
+        let mut due_idx: Vec<usize> = Vec::new();
+        for (i, frame) in frames.iter().enumerate() {
+            if !sub.caps.kinds.contains(&frame.payload.kind()) {
+                sub.stats.filtered += 1;
+                continue;
+            }
+            let take = sub.admissible % sub.caps.deliver_every as u64 == 0;
+            sub.admissible += 1;
+            if take {
+                due_idx.push(i);
+            } else {
+                sub.stats.decimated += 1;
+            }
+        }
+        let max_batch = sub.caps.max_batch.max(1);
+        let ship = |ep: &mut dyn MonitorEndpoint,
+                    stats: &mut MonitorStats,
+                    chunk: &[MonitorFrame]| match ep.deliver(chunk) {
+            Ok(n) => stats.delivered += n as u64,
+            Err(_) => stats.errors += chunk.len() as u64,
+        };
+        if due_idx.len() == frames.len() {
+            // fast path (full caps, no decimation — the common case):
+            // chunk the caller's slice directly, no per-subscriber clone
+            // of grid/frame payloads inside the hub
+            for chunk in frames.chunks(max_batch) {
+                ship(sub.ep.as_mut(), &mut sub.stats, chunk);
+            }
+        } else {
+            let due: Vec<MonitorFrame> = due_idx.into_iter().map(|i| frames[i].clone()).collect();
+            for chunk in due.chunks(max_batch) {
+                ship(sub.ep.as_mut(), &mut sub.stats, chunk);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::frame::MonitorKind;
+    use crate::monitor::loopback::LoopbackMonitor;
+
+    fn hub_with(names: &[&str]) -> MonitorHub {
+        let hub = MonitorHub::new();
+        for n in names {
+            hub.attach_endpoint(
+                n,
+                Box::new(LoopbackMonitor::new()),
+                &MonitorCaps::full("viewer", 64),
+            );
+        }
+        hub
+    }
+
+    #[test]
+    fn publish_assigns_monotone_seqs_and_fans_out() {
+        let hub = hub_with(&["a", "b"]);
+        let s1 = hub.publish(5, MonitorPayload::scalar("x", 1.0));
+        let s2 = hub.publish(5, MonitorPayload::scalar("x", 2.0));
+        assert!(s2 > s1);
+        assert_eq!(hub.frames_published(), 2);
+        for n in ["a", "b"] {
+            let got = hub.recv(n);
+            assert_eq!(got.len(), 2, "{n}");
+            assert_eq!(got[0].seq, s1);
+            assert_eq!(got[1].seq, s2);
+            assert_eq!(got[0].step, 5);
+        }
+        assert!(hub.recv("a").is_empty(), "recv drains");
+    }
+
+    #[test]
+    fn batch_publish_matches_per_sample_content() {
+        let payloads = || {
+            vec![
+                MonitorPayload::scalar("x", 1.0),
+                MonitorPayload::vec3("v", [1.0, 2.0, 3.0]),
+                MonitorPayload::grid2("g", 2, 1, vec![0.5, -0.5]),
+            ]
+        };
+        let single = hub_with(&["v"]);
+        for p in payloads() {
+            single.publish(7, p);
+        }
+        let batched = hub_with(&["v"]);
+        assert_eq!(batched.publish_batch(7, payloads()), 3);
+        assert_eq!(single.recv("v"), batched.recv("v"));
+        assert_eq!(
+            single.stats_of("v").unwrap().delivered,
+            batched.stats_of("v").unwrap().delivered
+        );
+    }
+
+    #[test]
+    fn kind_filter_and_decimation_are_counted() {
+        let hub = MonitorHub::new();
+        let mut caps = MonitorCaps::full("viewer", 64).every(2);
+        caps.kinds.remove(&MonitorKind::Scalar);
+        hub.attach_endpoint("v", Box::new(LoopbackMonitor::new()), &caps);
+        for i in 0..6 {
+            hub.publish(i, MonitorPayload::scalar("s", i as f64)); // filtered
+            hub.publish(i, MonitorPayload::vec3("v", [i as f64; 3])); // admissible
+        }
+        let st = hub.stats_of("v").unwrap();
+        assert_eq!(st.filtered, 6);
+        assert_eq!(st.delivered, 3, "every 2nd of 6 admissible");
+        assert_eq!(st.decimated, 3);
+        let got = hub.recv("v");
+        assert_eq!(got.len(), 3);
+        assert!(got.iter().all(|f| f.payload.kind() == MonitorKind::Vec3));
+    }
+
+    #[test]
+    fn keyframe_request_raised_on_attach_and_consumed_once_per_channel() {
+        let hub = MonitorHub::new();
+        assert!(!hub.take_keyframe_request("cam-a"));
+        hub.attach_endpoint(
+            "v",
+            Box::new(LoopbackMonitor::new()),
+            &MonitorCaps::full("viewer", 8),
+        );
+        // two independent producers each see the request for their own
+        // channel — one consuming it cannot starve the other
+        assert!(hub.take_keyframe_request("cam-a"));
+        assert!(hub.take_keyframe_request("cam-b"));
+        assert!(!hub.take_keyframe_request("cam-a"), "consumed for cam-a");
+        assert!(!hub.take_keyframe_request("cam-b"), "consumed for cam-b");
+        hub.attach_endpoint(
+            "w",
+            Box::new(LoopbackMonitor::new()),
+            &MonitorCaps::full("viewer", 8),
+        );
+        assert!(hub.take_keyframe_request("cam-a"), "new attach re-raises");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate monitor subscriber name")]
+    fn duplicate_subscriber_names_are_rejected() {
+        let hub = MonitorHub::new();
+        let caps = MonitorCaps::full("viewer", 8);
+        hub.attach_endpoint("v", Box::new(LoopbackMonitor::new()), &caps);
+        hub.attach_endpoint("v", Box::new(LoopbackMonitor::new()), &caps);
+    }
+
+    #[test]
+    fn handshake_log_is_ordered_and_stable() {
+        let hub = hub_with(&["alice", "bob"]);
+        let log = hub.handshakes();
+        assert_eq!(log.len(), 2);
+        assert!(log[0].starts_with("alice transport=loopback"));
+        assert!(log[1].starts_with("bob transport=loopback"));
+    }
+
+    #[test]
+    fn unknown_subscriber_recv_is_empty() {
+        let hub = hub_with(&["a"]);
+        assert!(hub.recv("ghost").is_empty());
+        assert_eq!(hub.stats_of("ghost"), None);
+    }
+}

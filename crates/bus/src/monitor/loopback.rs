@@ -1,0 +1,95 @@
+//! The in-process loopback monitor endpoint — the reference adapter.
+//!
+//! No wire, no codec: delivered frames land directly in the viewer-side
+//! inbox. Every other adapter must be observationally equivalent to this
+//! one (same received frames for the same delivered batch); the monitor
+//! proptests pin that equivalence.
+
+use crate::monitor::endpoint::{check_delivery, MonitorCaps, MonitorEndpoint, MonitorError};
+use crate::monitor::frame::MonitorFrame;
+
+/// Direct in-process frame delivery.
+pub struct LoopbackMonitor {
+    caps: MonitorCaps,
+    inbox: Vec<MonitorFrame>,
+}
+
+impl LoopbackMonitor {
+    /// A fresh loopback endpoint.
+    pub fn new() -> LoopbackMonitor {
+        LoopbackMonitor {
+            caps: MonitorCaps::full("loopback", 1024),
+            inbox: Vec::new(),
+        }
+    }
+}
+
+impl Default for LoopbackMonitor {
+    fn default() -> Self {
+        LoopbackMonitor::new()
+    }
+}
+
+impl MonitorEndpoint for LoopbackMonitor {
+    fn transport(&self) -> &'static str {
+        "loopback"
+    }
+
+    fn negotiate(&mut self, viewer: &MonitorCaps) -> MonitorCaps {
+        self.caps = self.caps.intersect(viewer);
+        self.caps.clone()
+    }
+
+    fn deliver(&mut self, frames: &[MonitorFrame]) -> Result<usize, MonitorError> {
+        check_delivery(&self.caps, frames)?;
+        self.inbox.extend_from_slice(frames);
+        Ok(frames.len())
+    }
+
+    fn recv(&mut self) -> Vec<MonitorFrame> {
+        std::mem::take(&mut self.inbox)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::frame::{MonitorKind, MonitorPayload};
+
+    #[test]
+    fn deliver_recv_roundtrip() {
+        let mut ep = LoopbackMonitor::new();
+        let frames = vec![
+            MonitorFrame {
+                seq: 1,
+                step: 0,
+                payload: MonitorPayload::scalar("x", 0.5),
+            },
+            MonitorFrame {
+                seq: 2,
+                step: 0,
+                payload: MonitorPayload::grid3("g", 1, 1, 2, vec![1.0, 2.0]),
+            },
+        ];
+        assert_eq!(ep.deliver(&frames).unwrap(), 2);
+        assert_eq!(ep.recv(), frames);
+        assert!(ep.recv().is_empty());
+    }
+
+    #[test]
+    fn negotiated_kinds_enforced() {
+        let mut ep = LoopbackMonitor::new();
+        let mut viewer = MonitorCaps::full("viewer", 8);
+        viewer.kinds.remove(&MonitorKind::Frame);
+        let n = ep.negotiate(&viewer);
+        assert!(!n.kinds.contains(&MonitorKind::Frame));
+        let err = ep
+            .deliver(&[MonitorFrame {
+                seq: 1,
+                step: 0,
+                payload: MonitorPayload::frame("viz", true, 0, Vec::new()),
+            }])
+            .unwrap_err();
+        assert!(matches!(err, MonitorError::UnsupportedKind { .. }));
+    }
+}

@@ -1,0 +1,52 @@
+//! # The typed monitor bus — the data-plane mirror of the steering bus
+//!
+//! PR 4 unified the *inbound* half of the paper's interoperability story:
+//! steering commands flow into one simulation over every middleware
+//! through the [`SteerEndpoint`](crate::SteerEndpoint) /
+//! [`SteerHub`](crate::SteerHub) API. This module is the *outbound* half —
+//! monitored results flowing from the simulation out to distributed
+//! viewers fast enough to meet the §4.2–4.4 reaction-time budgets:
+//!
+//! * [`MonitorFrame`] / [`MonitorPayload`] / [`MonitorKind`] — typed,
+//!   sequence-numbered output frames: scalar series points, 3-vectors,
+//!   dense 2-D/3-D field slices, and encoded framebuffer frames (the viz
+//!   codec output), with a lossless tagged binary reference codec.
+//! * [`MonitorCaps`] / [`MonitorEndpoint`] — the subscriber contract:
+//!   per-viewer capability negotiation (which payload kinds, what batch
+//!   size, what decimation rate), then frames pushed through the genuine
+//!   middleware machinery and drained on the viewer side.
+//! * [`MonitorHub`] — the producer-side anchor: payloads published at
+//!   simulation step boundaries are stamped with monotone sequence
+//!   numbers and fanned out to every subscriber in attach order, filtered
+//!   and decimated per the negotiated capability set. Batched publication
+//!   ships one transport envelope per chunk instead of per frame.
+//! * One adapter per middleware, mirroring the steering set:
+//!   [`LoopbackMonitor`] (in-process reference), [`VisitMonitor`] (real
+//!   §3.2 wire frames, both byte orders), [`OgsaMonitor`] (a hosted
+//!   [`MonitorFeedService`] discovered through the Figure-2 registry and
+//!   *pulled* by the viewer), [`CoviseMonitor`] (grids-only shared data
+//!   objects — negotiation is load-bearing), and [`UnicoreMonitor`]
+//!   (batches consigned as staged-file AJOs the consumer polls).
+//! * [`HubFrameSink`] — reroutes the VizServer compressed-bitmap path
+//!   ([`viz::VizServerSession`]) onto the hub, so rendered frames travel
+//!   the same data plane as field slices and series points.
+
+pub mod covise_ep;
+pub mod endpoint;
+pub mod frame;
+pub mod hub;
+pub mod loopback;
+pub mod ogsa_ep;
+pub mod unicore_ep;
+pub mod visit_ep;
+pub mod viz_sink;
+
+pub use covise_ep::CoviseMonitor;
+pub use endpoint::{MonitorCaps, MonitorEndpoint, MonitorError};
+pub use frame::{MonitorFrame, MonitorKind, MonitorPayload};
+pub use hub::{MonitorHub, MonitorStats};
+pub use loopback::LoopbackMonitor;
+pub use ogsa_ep::{MonitorFeedService, OgsaMonitor};
+pub use unicore_ep::UnicoreMonitor;
+pub use visit_ep::VisitMonitor;
+pub use viz_sink::{publish_render, HubFrameSink};

@@ -1,0 +1,287 @@
+//! The OGSA monitor adapter: frames are served through the registry.
+//!
+//! The endpoint hosts a [`MonitorFeedService`] in a real [`HostingEnv`],
+//! publishes it in the Figure-2 [`Registry`] under the
+//! [`MonitorFeedService::PORT_TYPE`] port type, and discovers it back —
+//! the §2.3 client flow. Deliveries are `publishFrames` operations whose
+//! arguments carry the tagged binary frame encoding as hex text (the
+//! XML-ish encoding OGSI services actually used for opaque payloads);
+//! the viewer side *pulls* with a `pullFrames` round trip — OGSA serves
+//! monitored output on request rather than streaming it, so one invoke
+//! returns everything published since the last poll.
+
+use crate::monitor::endpoint::{check_delivery, MonitorCaps, MonitorEndpoint, MonitorError};
+use crate::monitor::frame::MonitorFrame;
+use ogsa::{GridService, Gsh, HostingEnv, InvokeResult, Registry, SdeValue, ServiceData};
+use parking_lot::Mutex;
+
+/// Lowercase hex digits, indexed by nibble (this codec is the per-frame
+/// hot path of the OGSA hop — table lookups, no formatter machinery).
+const HEX: &[u8; 16] = b"0123456789abcdef";
+
+/// Lowercase hex encoding of a frame's binary form.
+fn to_hex(bytes: &[u8]) -> String {
+    let mut s = Vec::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        s.push(HEX[(b >> 4) as usize]);
+        s.push(HEX[(b & 0x0f) as usize]);
+    }
+    // the table emits only ASCII hex digits
+    String::from_utf8(s).expect("hex is ASCII")
+}
+
+/// One hex digit's value, or `None`.
+fn nibble(c: u8) -> Option<u8> {
+    match c {
+        b'0'..=b'9' => Some(c - b'0'),
+        b'a'..=b'f' => Some(c - b'a' + 10),
+        b'A'..=b'F' => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Inverse of [`to_hex`]. `None` on any malformation.
+fn from_hex(s: &str) -> Option<Vec<u8>> {
+    let bytes = s.as_bytes();
+    if !bytes.len().is_multiple_of(2) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    for pair in bytes.chunks_exact(2) {
+        out.push((nibble(pair[0])? << 4) | nibble(pair[1])?);
+    }
+    Some(out)
+}
+
+/// The hosted service half: a [`GridService`] buffering published frames
+/// until a viewer pulls them.
+pub struct MonitorFeedService {
+    origin: String,
+    pending: Vec<MonitorFrame>,
+    frames_served: u64,
+}
+
+impl MonitorFeedService {
+    /// The port type published to the registry.
+    pub const PORT_TYPE: &'static str = "gridsteer:monitor-feed";
+
+    /// A feed service for `origin`.
+    pub fn new(origin: &str) -> MonitorFeedService {
+        MonitorFeedService {
+            origin: origin.to_string(),
+            pending: Vec::new(),
+            frames_served: 0,
+        }
+    }
+}
+
+impl GridService for MonitorFeedService {
+    fn port_types(&self) -> Vec<String> {
+        vec![Self::PORT_TYPE.to_string()]
+    }
+
+    fn service_data(&self) -> ServiceData {
+        let mut sd = ServiceData::new();
+        sd.set("origin", SdeValue::Str(self.origin.clone()));
+        sd.set("pendingFrames", SdeValue::I64(self.pending.len() as i64));
+        sd.set("framesServed", SdeValue::I64(self.frames_served as i64));
+        sd
+    }
+
+    fn invoke(&mut self, op: &str, args: &[SdeValue]) -> InvokeResult {
+        match op {
+            "publishFrames" => {
+                if args.is_empty() {
+                    return InvokeResult::Fault("publishFrames needs (hexFrame)+".into());
+                }
+                let mut decoded = Vec::with_capacity(args.len());
+                for arg in args {
+                    let frame = arg.as_str().and_then(from_hex).and_then(|bytes| {
+                        let mut slice: &[u8] = &bytes;
+                        let f = MonitorFrame::decode_bytes(&mut slice)?;
+                        slice.is_empty().then_some(f)
+                    });
+                    match frame {
+                        Some(f) => decoded.push(f),
+                        None => return InvokeResult::Fault("malformed frame payload".into()),
+                    }
+                }
+                let n = decoded.len();
+                self.pending.extend(decoded);
+                InvokeResult::Ok(vec![SdeValue::I64(n as i64)])
+            }
+            "pullFrames" => {
+                let drained: Vec<String> = self
+                    .pending
+                    .drain(..)
+                    .map(|f| to_hex(&f.to_bytes()))
+                    .collect();
+                self.frames_served += drained.len() as u64;
+                InvokeResult::Ok(vec![SdeValue::List(drained)])
+            }
+            other => ogsa::service::unknown_op(other),
+        }
+    }
+}
+
+/// Monitoring through the OGSA hosting environment.
+pub struct OgsaMonitor {
+    caps: MonitorCaps,
+    /// The hosting environment (locked so pulls work through `&mut self`
+    /// without re-borrowing).
+    env: Mutex<HostingEnv>,
+    gsh: Gsh,
+    inbox: Vec<MonitorFrame>,
+}
+
+impl OgsaMonitor {
+    /// A fresh endpoint: host the feed service, publish it in a registry,
+    /// discover it back, and bind to the handle.
+    pub fn new(origin: &str) -> OgsaMonitor {
+        let mut env = HostingEnv::new();
+        let feed_gsh = env.host(
+            "monitor-feed",
+            Box::new(MonitorFeedService::new(origin)),
+            None,
+        );
+        let reg_gsh = env.host("registry", Box::new(Registry::new()), None);
+        let _ = env.invoke(
+            &reg_gsh,
+            "publish",
+            &[
+                SdeValue::Str(feed_gsh.clone()),
+                SdeValue::Str(MonitorFeedService::PORT_TYPE.into()),
+                SdeValue::Str(origin.into()),
+            ],
+        );
+        // the Figure-2 client flow: discover by port type, bind the handle
+        let gsh = env
+            .invoke(
+                &reg_gsh,
+                "discover",
+                &[SdeValue::Str(MonitorFeedService::PORT_TYPE.into())],
+            )
+            .ok()
+            .and_then(|r| {
+                r.first()
+                    .and_then(|v| v.as_list().and_then(|l| l.first().cloned()))
+            })
+            .unwrap_or(feed_gsh);
+        OgsaMonitor {
+            caps: MonitorCaps::full("ogsa", 128),
+            env: Mutex::new(env),
+            gsh,
+            inbox: Vec::new(),
+        }
+    }
+
+    /// Pull everything the service has buffered (a real service round
+    /// trip) into the viewer inbox.
+    fn pull(&mut self) {
+        let result = self.env.lock().invoke(&self.gsh, "pullFrames", &[]);
+        if let Ok(InvokeResult::Ok(out)) = result {
+            if let Some(hexes) = out.first().and_then(SdeValue::as_list) {
+                for hex in hexes {
+                    if let Some(bytes) = from_hex(hex) {
+                        let mut slice: &[u8] = &bytes;
+                        if let Some(f) = MonitorFrame::decode_bytes(&mut slice) {
+                            self.inbox.push(f);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl MonitorEndpoint for OgsaMonitor {
+    fn transport(&self) -> &'static str {
+        "ogsa"
+    }
+
+    fn negotiate(&mut self, viewer: &MonitorCaps) -> MonitorCaps {
+        self.caps = self.caps.intersect(viewer);
+        self.caps.clone()
+    }
+
+    fn deliver(&mut self, frames: &[MonitorFrame]) -> Result<usize, MonitorError> {
+        check_delivery(&self.caps, frames)?;
+        let args: Vec<SdeValue> = frames
+            .iter()
+            .map(|f| SdeValue::Str(to_hex(&f.to_bytes())))
+            .collect();
+        match self.env.lock().invoke(&self.gsh, "publishFrames", &args) {
+            Ok(InvokeResult::Ok(out)) => match out.first().and_then(SdeValue::as_i64) {
+                Some(n) if n as usize == frames.len() => Ok(n as usize),
+                _ => Err(MonitorError::Transport(
+                    "publishFrames count mismatch".into(),
+                )),
+            },
+            Ok(InvokeResult::Fault(f)) => Err(MonitorError::Transport(f)),
+            Err(e) => Err(MonitorError::Transport(format!("{e:?}"))),
+        }
+    }
+
+    fn recv(&mut self) -> Vec<MonitorFrame> {
+        self.pull();
+        std::mem::take(&mut self.inbox)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::frame::MonitorPayload;
+
+    #[test]
+    fn hex_codec_roundtrip() {
+        let bytes = vec![0u8, 1, 0xab, 0xff, 0x7f];
+        assert_eq!(from_hex(&to_hex(&bytes)), Some(bytes));
+        assert_eq!(from_hex("0g"), None);
+        assert_eq!(from_hex("abc"), None);
+    }
+
+    #[test]
+    fn frames_ride_the_service_hop() {
+        let mut ep = OgsaMonitor::new("lbm-run");
+        let frames = vec![
+            MonitorFrame {
+                seq: 7,
+                step: 2,
+                payload: MonitorPayload::scalar("demix", -0.5),
+            },
+            MonitorFrame {
+                seq: 8,
+                step: 2,
+                payload: MonitorPayload::grid2("phi", 2, 2, vec![1.0, 2.0, 3.0, 4.0]),
+            },
+        ];
+        assert_eq!(ep.deliver(&frames).unwrap(), 2);
+        assert_eq!(ep.recv(), frames);
+        assert!(ep.recv().is_empty(), "pull drains the service buffer");
+    }
+
+    #[test]
+    fn service_buffers_across_deliveries_until_pulled() {
+        let mut ep = OgsaMonitor::new("x");
+        for seq in 1..=3u64 {
+            ep.deliver(&[MonitorFrame {
+                seq,
+                step: 0,
+                payload: MonitorPayload::scalar("s", seq as f64),
+            }])
+            .unwrap();
+        }
+        let got = ep.recv();
+        assert_eq!(got.len(), 3, "one pull returns everything pending");
+        assert_eq!(got.iter().map(|f| f.seq).collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn malformed_publish_is_a_fault() {
+        let mut svc = MonitorFeedService::new("x");
+        let r = svc.invoke("publishFrames", &[SdeValue::Str("zz".into())]);
+        assert!(matches!(r, InvokeResult::Fault(_)));
+        assert!(matches!(svc.invoke("bogusOp", &[]), InvokeResult::Fault(_)));
+    }
+}

@@ -1,0 +1,186 @@
+//! The UNICORE monitor adapter: frames travel as staged job files.
+//!
+//! UNICORE has no streaming channel in either direction — everything is a
+//! consigned job (§2.2). Each delivery batch therefore becomes a two-task
+//! AJO: a `monitor-<n>.dat` file carrying the binary-encoded frames,
+//! materialized at the consumer's polling site, plus a `monitor-publish`
+//! execute task depending on it. The AJO is serialized and deserialized
+//! (the consignment hop), its DAG validated, and the staged file decoded
+//! back into typed frames on the consumer side — the "UNICORE consumer
+//! polls staged files" delivery model, which is why batching matters most
+//! on this transport: one job per batch instead of one job per sample.
+
+use crate::monitor::endpoint::{check_delivery, MonitorCaps, MonitorEndpoint, MonitorError};
+use crate::monitor::frame::MonitorFrame;
+use bytes::{Buf, BufMut, BytesMut};
+use unicore::{Ajo, Task};
+
+/// Encode a frame batch as the staged-file payload (count + the tagged
+/// binary frame codec).
+fn encode_payload(frames: &[MonitorFrame]) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    buf.put_u16_le(frames.len() as u16);
+    for f in frames {
+        f.encode_bytes(&mut buf);
+    }
+    buf.to_vec()
+}
+
+/// Decode the staged-file payload. `None` on any malformation.
+fn decode_payload(mut buf: &[u8]) -> Option<Vec<MonitorFrame>> {
+    if buf.len() < 2 {
+        return None;
+    }
+    let count = buf.get_u16_le() as usize;
+    let mut frames = Vec::with_capacity(count);
+    for _ in 0..count {
+        frames.push(MonitorFrame::decode_bytes(&mut buf)?);
+    }
+    buf.is_empty().then_some(frames)
+}
+
+/// Monitoring through UNICORE job consignment.
+pub struct UnicoreMonitor {
+    caps: MonitorCaps,
+    origin: String,
+    /// Destination Vsite name used in the job shape.
+    vsite: String,
+    jobs_consigned: u64,
+    inbox: Vec<MonitorFrame>,
+}
+
+impl UnicoreMonitor {
+    /// A fresh endpoint consigning from `origin` to a default Vsite.
+    pub fn new(origin: &str) -> UnicoreMonitor {
+        UnicoreMonitor {
+            caps: MonitorCaps::full("unicore", 64),
+            origin: origin.to_string(),
+            vsite: "viewer-vsite".to_string(),
+            jobs_consigned: 0,
+            inbox: Vec::new(),
+        }
+    }
+
+    /// Jobs consigned so far (one per delivery batch).
+    pub fn jobs_consigned(&self) -> u64 {
+        self.jobs_consigned
+    }
+}
+
+impl MonitorEndpoint for UnicoreMonitor {
+    fn transport(&self) -> &'static str {
+        "unicore"
+    }
+
+    fn negotiate(&mut self, viewer: &MonitorCaps) -> MonitorCaps {
+        self.caps = self.caps.intersect(viewer);
+        self.caps.clone()
+    }
+
+    fn deliver(&mut self, frames: &[MonitorFrame]) -> Result<usize, MonitorError> {
+        check_delivery(&self.caps, frames)?;
+        let file = format!("monitor-{}.dat", self.jobs_consigned);
+        let mut ajo = Ajo::new(&format!("monitor-{}", self.origin), &self.vsite);
+        let stage = ajo.add_task(
+            Task::StageIn {
+                path: file.clone(),
+                data: encode_payload(frames),
+            },
+            &[],
+        );
+        ajo.add_task(
+            Task::Execute {
+                command: "monitor-publish".into(),
+                args: vec![self.origin.clone()],
+            },
+            &[stage],
+        );
+        // the consignment hop: serialize, ship, deserialize, validate
+        let consigned = Ajo::from_bytes(&ajo.to_bytes())
+            .ok_or_else(|| MonitorError::Transport("AJO serialization hop failed".into()))?;
+        let order = consigned
+            .topo_order()
+            .map_err(|e| MonitorError::Transport(format!("invalid monitor AJO: {e:?}")))?;
+        // consumer side: poll the staged file out of the validated DAG
+        let mut decoded: Option<Vec<MonitorFrame>> = None;
+        for id in order {
+            if let Some(Task::StageIn { path, data }) = consigned.task(id).map(|t| &t.task) {
+                if *path == file {
+                    decoded = decode_payload(data);
+                }
+            }
+        }
+        let decoded = decoded
+            .ok_or_else(|| MonitorError::Transport("monitor file missing or malformed".into()))?;
+        self.jobs_consigned += 1;
+        let n = decoded.len();
+        self.inbox.extend(decoded);
+        Ok(n)
+    }
+
+    fn recv(&mut self) -> Vec<MonitorFrame> {
+        std::mem::take(&mut self.inbox)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::frame::MonitorPayload;
+
+    #[test]
+    fn batch_rides_one_ajo() {
+        let mut ep = UnicoreMonitor::new("lbm");
+        let frames = vec![
+            MonitorFrame {
+                seq: 1,
+                step: 9,
+                payload: MonitorPayload::scalar("demix", 0.75),
+            },
+            MonitorFrame {
+                seq: 2,
+                step: 9,
+                payload: MonitorPayload::frame("viz", true, 64, vec![4, 4, 4]),
+            },
+        ];
+        assert_eq!(ep.deliver(&frames).unwrap(), 2);
+        assert_eq!(ep.jobs_consigned(), 1, "one job per batch");
+        assert_eq!(ep.recv(), frames);
+    }
+
+    #[test]
+    fn per_sample_delivery_costs_one_job_each() {
+        let mut ep = UnicoreMonitor::new("lbm");
+        for seq in 1..=3u64 {
+            ep.deliver(&[MonitorFrame {
+                seq,
+                step: 0,
+                payload: MonitorPayload::scalar("s", seq as f64),
+            }])
+            .unwrap();
+        }
+        assert_eq!(ep.jobs_consigned(), 3);
+        assert_eq!(ep.recv().len(), 3);
+    }
+
+    #[test]
+    fn payload_codec_roundtrip_and_truncation() {
+        let frames = vec![
+            MonitorFrame {
+                seq: 1,
+                step: 0,
+                payload: MonitorPayload::vec3("v", [1.0, 2.0, 3.0]),
+            },
+            MonitorFrame {
+                seq: 2,
+                step: 0,
+                payload: MonitorPayload::grid2("g", 1, 2, vec![5.0, 6.0]),
+            },
+        ];
+        let bytes = encode_payload(&frames);
+        assert_eq!(decode_payload(&bytes), Some(frames));
+        for cut in 0..bytes.len() {
+            assert_eq!(decode_payload(&bytes[..cut]), None, "cut={cut}");
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! The VISIT monitor adapter: frames travel as real §3.2 wire frames.
+//!
+//! Each delivery batch is encoded into VISIT [`Frame`]s — a batch-open
+//! frame, then per monitor frame a name frame, a header frame (sequence,
+//! step, and the payload's shape words), and a typed-value frame whose
+//! tag carries the [`MonitorKind`] wire code — shipped through a
+//! [`MemLink`] pair with the same length-prefixed framing as the TCP
+//! transport, and decoded on the viewer side. Grids ride as `F32` arrays,
+//! scalar/vector samples as `F64`, encoded framebuffer frames as opaque
+//! `Bytes`; the server-side byte-order conversion of §3.2 applies, so a
+//! big-endian producer is decoded transparently — and because floats are
+//! moved as raw bits, NaN-filled grids survive both byte orders exactly.
+
+use crate::monitor::endpoint::{check_delivery, MonitorCaps, MonitorEndpoint, MonitorError};
+use crate::monitor::frame::{MonitorFrame, MonitorKind, MonitorPayload};
+use std::time::Duration;
+use visit::link::FrameLink;
+use visit::{Endianness, Frame, MemLink, MsgKind, VisitValue};
+
+/// Tag of the delivery-open frame (payload: `I64[count]`).
+const TAG_BEGIN: u32 = 0x00B6_0001;
+/// Tag of a channel-name frame (payload: `Str`).
+const TAG_NAME: u32 = 0x00B6_0002;
+/// Tag of the per-frame header (payload: `I64[seq, step, a, b, c]` where
+/// `a..c` are payload-shape words: grid dims, or keyframe flag + raw
+/// size for encoded frames).
+const TAG_HEAD: u32 = 0x00B6_0003;
+/// Tag of the delivery-close frame (bare).
+const TAG_END: u32 = 0x00B6_0004;
+/// Base tag of a typed-value frame; the low byte carries the
+/// [`MonitorKind`] wire code so the viewer decodes without guessing.
+const TAG_VALUE_BASE: u32 = 0x00B6_1000;
+
+/// Monitoring over the VISIT wire protocol.
+pub struct VisitMonitor {
+    caps: MonitorCaps,
+    /// Producer-side link end (the "simulation is the client" side).
+    producer: MemLink,
+    /// Viewer-side link end, drained synchronously after each delivery.
+    viewer: MemLink,
+    /// Byte order the producer encodes payloads in (§3.2: the receiver
+    /// converts; the sender never does).
+    order: Endianness,
+    inbox: Vec<MonitorFrame>,
+}
+
+impl VisitMonitor {
+    /// A fresh endpoint encoding payloads in the producer's native byte
+    /// order.
+    pub fn new() -> VisitMonitor {
+        Self::with_order(Endianness::native())
+    }
+
+    /// A fresh endpoint with an explicit producer byte order (the
+    /// cross-endian tests force the mismatched case).
+    pub fn with_order(order: Endianness) -> VisitMonitor {
+        let (producer, viewer) = MemLink::pair();
+        VisitMonitor {
+            caps: MonitorCaps::full("visit", 256),
+            producer,
+            viewer,
+            order,
+            inbox: Vec::new(),
+        }
+    }
+
+    fn send(&mut self, frame: &Frame) -> Result<(), MonitorError> {
+        self.producer
+            .send(&frame.encode())
+            .map_err(|e| MonitorError::Transport(format!("visit send: {e:?}")))
+    }
+
+    fn send_value(&mut self, tag: u32, value: VisitValue) -> Result<(), MonitorError> {
+        let frame = Frame::with_value(MsgKind::Data, tag, self.order, value);
+        self.send(&frame)
+    }
+
+    /// Drain and decode one delivery from the viewer side of the link.
+    fn recv_delivery(&mut self) -> Result<Vec<MonitorFrame>, MonitorError> {
+        let recv = |viewer: &mut MemLink| -> Result<Frame, MonitorError> {
+            let bytes = viewer
+                .recv_timeout(Duration::from_millis(50))
+                .map_err(|e| MonitorError::Transport(format!("visit recv: {e:?}")))?;
+            Frame::decode(&bytes).ok_or_else(|| MonitorError::Transport("malformed frame".into()))
+        };
+        let begin = recv(&mut self.viewer)?;
+        let count = match (begin.tag, begin.value.as_ref().and_then(VisitValue::to_i64)) {
+            (TAG_BEGIN, Some(v)) if v.len() == 1 && v[0] >= 0 => v[0] as usize,
+            _ => return Err(MonitorError::Transport("expected delivery-begin".into())),
+        };
+        let mut frames = Vec::with_capacity(count);
+        for _ in 0..count {
+            let name_frame = recv(&mut self.viewer)?;
+            let name = match (name_frame.tag, name_frame.value) {
+                (TAG_NAME, Some(VisitValue::Str(s))) => s,
+                _ => return Err(MonitorError::Transport("expected name frame".into())),
+            };
+            let head = recv(&mut self.viewer)?;
+            let words = match (head.tag, head.value.as_ref().and_then(VisitValue::to_i64)) {
+                (TAG_HEAD, Some(v)) if v.len() == 5 => v,
+                _ => return Err(MonitorError::Transport("expected header frame".into())),
+            };
+            let (seq, step) = (words[0] as u64, words[1] as u64);
+            let value_frame = recv(&mut self.viewer)?;
+            let kind = value_frame
+                .tag
+                .checked_sub(TAG_VALUE_BASE)
+                .and_then(|b| u8::try_from(b).ok())
+                .and_then(MonitorKind::from_byte)
+                .ok_or_else(|| MonitorError::Transport("bad value tag".into()))?;
+            let payload = decode_payload(kind, name, &words[2..], value_frame.value.as_ref())
+                .ok_or_else(|| MonitorError::Transport("typed payload mismatch".into()))?;
+            frames.push(MonitorFrame { seq, step, payload });
+        }
+        let end = recv(&mut self.viewer)?;
+        if end.tag != TAG_END {
+            return Err(MonitorError::Transport("expected delivery-end".into()));
+        }
+        Ok(frames)
+    }
+}
+
+impl Default for VisitMonitor {
+    fn default() -> Self {
+        VisitMonitor::new()
+    }
+}
+
+/// Shape words `(a, b, c)` + typed value → payload. Strict: any mismatch
+/// is a refusal, never a guess.
+fn decode_payload(
+    kind: MonitorKind,
+    name: String,
+    shape: &[i64],
+    value: Option<&VisitValue>,
+) -> Option<MonitorPayload> {
+    Some(match (kind, value) {
+        (MonitorKind::Scalar, Some(VisitValue::F64(v))) if v.len() == 1 => {
+            MonitorPayload::Scalar { name, value: v[0] }
+        }
+        (MonitorKind::Vec3, Some(VisitValue::F64(v))) if v.len() == 3 => MonitorPayload::Vec3 {
+            name,
+            value: [v[0], v[1], v[2]],
+        },
+        (MonitorKind::Grid2, Some(VisitValue::F32(data))) => {
+            let (nx, ny) = (u32::try_from(shape[0]).ok()?, u32::try_from(shape[1]).ok()?);
+            if data.len() != nx as usize * ny as usize {
+                return None;
+            }
+            MonitorPayload::Grid2 {
+                name,
+                nx,
+                ny,
+                data: data.clone(),
+            }
+        }
+        (MonitorKind::Grid3, Some(VisitValue::F32(data))) => {
+            let (nx, ny, nz) = (
+                u32::try_from(shape[0]).ok()?,
+                u32::try_from(shape[1]).ok()?,
+                u32::try_from(shape[2]).ok()?,
+            );
+            if data.len() != nx as usize * ny as usize * nz as usize {
+                return None;
+            }
+            MonitorPayload::Grid3 {
+                name,
+                nx,
+                ny,
+                nz,
+                data: data.clone(),
+            }
+        }
+        (MonitorKind::Frame, Some(VisitValue::Bytes(data))) => {
+            let keyframe = match shape[0] {
+                0 => false,
+                1 => true,
+                _ => return None,
+            };
+            MonitorPayload::Frame {
+                name,
+                keyframe,
+                raw_size: u32::try_from(shape[1]).ok()?,
+                data: data.clone(),
+            }
+        }
+        _ => return None,
+    })
+}
+
+/// Payload → shape words + typed value.
+fn encode_payload(p: &MonitorPayload) -> ([i64; 3], VisitValue) {
+    match p {
+        MonitorPayload::Scalar { value, .. } => ([0, 0, 0], VisitValue::F64(vec![*value])),
+        MonitorPayload::Vec3 { value, .. } => ([0, 0, 0], VisitValue::F64(value.to_vec())),
+        MonitorPayload::Grid2 { nx, ny, data, .. } => {
+            ([*nx as i64, *ny as i64, 0], VisitValue::F32(data.clone()))
+        }
+        MonitorPayload::Grid3 {
+            nx, ny, nz, data, ..
+        } => (
+            [*nx as i64, *ny as i64, *nz as i64],
+            VisitValue::F32(data.clone()),
+        ),
+        MonitorPayload::Frame {
+            keyframe,
+            raw_size,
+            data,
+            ..
+        } => (
+            [i64::from(*keyframe), *raw_size as i64, 0],
+            VisitValue::Bytes(data.clone()),
+        ),
+    }
+}
+
+impl MonitorEndpoint for VisitMonitor {
+    fn transport(&self) -> &'static str {
+        "visit"
+    }
+
+    fn negotiate(&mut self, viewer: &MonitorCaps) -> MonitorCaps {
+        self.caps = self.caps.intersect(viewer);
+        self.caps.clone()
+    }
+
+    fn deliver(&mut self, frames: &[MonitorFrame]) -> Result<usize, MonitorError> {
+        check_delivery(&self.caps, frames)?;
+        self.send_value(TAG_BEGIN, VisitValue::I64(vec![frames.len() as i64]))?;
+        for f in frames {
+            self.send_value(TAG_NAME, VisitValue::Str(f.payload.name().to_string()))?;
+            let (shape, value) = encode_payload(&f.payload);
+            self.send_value(
+                TAG_HEAD,
+                VisitValue::I64(vec![
+                    f.seq as i64,
+                    f.step as i64,
+                    shape[0],
+                    shape[1],
+                    shape[2],
+                ]),
+            )?;
+            self.send_value(TAG_VALUE_BASE + f.payload.kind() as u32, value)?;
+        }
+        self.send(&Frame::bare(MsgKind::Data, TAG_END))?;
+        let decoded = self.recv_delivery()?;
+        let n = decoded.len();
+        self.inbox.extend(decoded);
+        Ok(n)
+    }
+
+    fn recv(&mut self) -> Vec<MonitorFrame> {
+        std::mem::take(&mut self.inbox)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frames() -> Vec<MonitorFrame> {
+        vec![
+            MonitorFrame {
+                seq: 1,
+                step: 4,
+                payload: MonitorPayload::scalar("demix", 0.123456789),
+            },
+            MonitorFrame {
+                seq: 2,
+                step: 4,
+                payload: MonitorPayload::vec3("centroid", [0.5, -1.5, 2.25]),
+            },
+            MonitorFrame {
+                seq: 3,
+                step: 4,
+                payload: MonitorPayload::grid2("phi_mid", 2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]),
+            },
+            MonitorFrame {
+                seq: 4,
+                step: 4,
+                payload: MonitorPayload::grid3("phi", 2, 1, 2, vec![0.25, 0.5, 0.75, 1.0]),
+            },
+            MonitorFrame {
+                seq: 5,
+                step: 4,
+                payload: MonitorPayload::frame("viz", false, 1024, vec![9, 8, 7]),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_kind_survives_the_wire() {
+        let mut ep = VisitMonitor::new();
+        let frames = sample_frames();
+        assert_eq!(ep.deliver(&frames).unwrap(), frames.len());
+        assert_eq!(ep.recv(), frames);
+    }
+
+    #[test]
+    fn big_endian_producer_decoded_transparently() {
+        let mut ep = VisitMonitor::with_order(Endianness::Big);
+        let frames = sample_frames();
+        assert_eq!(ep.deliver(&frames).unwrap(), frames.len());
+        assert_eq!(ep.recv(), frames);
+    }
+
+    #[test]
+    fn nan_grid_rides_both_orders_bit_exact() {
+        let bits = [0x7fc0_0001u32, 0xffc1_2345, 0x3f80_0000];
+        for order in [Endianness::Little, Endianness::Big] {
+            let mut ep = VisitMonitor::with_order(order);
+            let f = MonitorFrame {
+                seq: 1,
+                step: 0,
+                payload: MonitorPayload::grid2(
+                    "nan",
+                    3,
+                    1,
+                    bits.iter().map(|b| f32::from_bits(*b)).collect(),
+                ),
+            };
+            ep.deliver(std::slice::from_ref(&f)).unwrap();
+            match &ep.recv()[0].payload {
+                MonitorPayload::Grid2 { data, .. } => {
+                    let got: Vec<u32> = data.iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(got, bits, "{order:?}");
+                }
+                other => panic!("expected grid2, got {other:?}"),
+            }
+        }
+    }
+}

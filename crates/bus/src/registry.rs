@@ -2,8 +2,12 @@
 //!
 //! This replaces the old f64-only registry in `steer_core::params` (which
 //! now re-exports these types). Values are [`ParamValue`]s validated
-//! against [`ParamSpec`]s; the f64 `get`/`set` methods are kept as
-//! convenience shims so pre-bus call sites migrate mechanically.
+//! against [`ParamSpec`]s. The f64 `get`/`set` convenience shims that
+//! eased the original migration are now `#[deprecated]` — they silently
+//! lose `Vec3`/`Str` parameters and drop the applied (clamped/coerced)
+//! value; every in-tree caller uses the typed
+//! [`get_value`](ParamRegistry::get_value) /
+//! [`set_value`](ParamRegistry::set_value) API.
 
 use crate::spec::ParamSpec;
 use crate::value::ParamValue;
@@ -53,7 +57,12 @@ impl ParamRegistry {
         self.values.get(name)
     }
 
-    /// Current value as f64 (shim; `None` for non-numeric parameters).
+    /// Current value as f64 (legacy shim; `None` for non-numeric
+    /// parameters).
+    #[deprecated(
+        since = "0.1.0",
+        note = "f64-only view loses Vec3/Str parameters — use `get_value`"
+    )]
     pub fn get(&self, name: &str) -> Option<f64> {
         self.values.get(name).and_then(ParamValue::as_f64)
     }
@@ -78,7 +87,11 @@ impl ParamRegistry {
         Ok(applied)
     }
 
-    /// Apply an f64 steer (shim over [`ParamRegistry::set_value`]).
+    /// Apply an f64 steer (legacy shim over [`ParamRegistry::set_value`]).
+    #[deprecated(
+        since = "0.1.0",
+        note = "f64-only writes cannot carry typed values and drop the applied result — use `set_value`"
+    )]
     pub fn set(&mut self, name: &str, value: f64) -> Result<(), String> {
         self.set_value(name, &ParamValue::F64(value)).map(|_| ())
     }
@@ -136,8 +149,13 @@ impl SharedRegistry {
         self.inner.lock().get_value(name).cloned()
     }
 
-    /// Current value as f64 (shim).
+    /// Current value as f64 (legacy shim).
+    #[deprecated(
+        since = "0.1.0",
+        note = "f64-only view loses Vec3/Str parameters — use `get_value`"
+    )]
     pub fn get(&self, name: &str) -> Option<f64> {
+        #[allow(deprecated)]
         self.inner.lock().get(name)
     }
 
@@ -151,8 +169,13 @@ impl SharedRegistry {
         self.inner.lock().set_value(name, value)
     }
 
-    /// Apply an f64 steer (shim).
+    /// Apply an f64 steer (legacy shim).
+    #[deprecated(
+        since = "0.1.0",
+        note = "f64-only writes cannot carry typed values and drop the applied result — use `set_value`"
+    )]
     pub fn set(&self, name: &str, value: f64) -> Result<(), String> {
+        #[allow(deprecated)]
         self.inner.lock().set(name, value)
     }
 
@@ -177,9 +200,8 @@ mod tests {
         let mut r = ParamRegistry::new();
         r.declare(ParamSpec::f64("miscibility", 0.0, 1.0, 1.0));
         r.declare(ParamSpec::text("site", "london"));
-        assert_eq!(r.get("miscibility"), Some(1.0));
-        assert_eq!(r.get("site"), None, "strings have no f64 view");
-        r.set("miscibility", 0.25).unwrap();
+        assert_eq!(r.get_value("miscibility"), Some(&ParamValue::F64(1.0)));
+        r.set_value("miscibility", &ParamValue::F64(0.25)).unwrap();
         r.set_value("site", &ParamValue::Str("phoenix".into()))
             .unwrap();
         assert_eq!(
@@ -194,8 +216,8 @@ mod tests {
     fn reject_spec_refuses_and_leaves_value() {
         let mut r = ParamRegistry::new();
         r.declare(ParamSpec::f64("x", 0.0, 1.0, 0.5));
-        assert!(r.set("x", 2.0).is_err());
-        assert_eq!(r.get("x"), Some(0.5), "value must be untouched");
+        assert!(r.set_value("x", &ParamValue::F64(2.0)).is_err());
+        assert_eq!(r.get_value("x"), Some(&ParamValue::F64(0.5)));
         assert_eq!(r.seq(), 0, "refusals must not consume sequence numbers");
     }
 
@@ -205,7 +227,7 @@ mod tests {
         r.declare(ParamSpec::f64_clamped("gain", 0.0, 10.0, 1.0));
         let applied = r.set_value("gain", &ParamValue::F64(25.0)).unwrap();
         assert_eq!(applied, ParamValue::F64(10.0));
-        assert_eq!(r.get("gain"), Some(10.0));
+        assert_eq!(r.get_value("gain"), Some(&ParamValue::F64(10.0)));
         // history records what was *applied*, not what was asked
         assert_eq!(r.history().last().unwrap().2, ParamValue::F64(10.0));
     }
@@ -213,8 +235,8 @@ mod tests {
     #[test]
     fn unknown_parameter_rejected() {
         let mut r = ParamRegistry::new();
-        assert!(r.set("ghost", 1.0).is_err());
-        assert_eq!(r.get("ghost"), None);
+        assert!(r.set_value("ghost", &ParamValue::F64(1.0)).is_err());
+        assert_eq!(r.get_value("ghost"), None);
     }
 
     #[test]
@@ -222,9 +244,27 @@ mod tests {
         let shared = SharedRegistry::new(ParamRegistry::new());
         shared.declare(ParamSpec::f64("x", 0.0, 1.0, 0.0));
         let alias = shared.clone();
-        alias.set("x", 0.75).unwrap();
-        assert_eq!(shared.get("x"), Some(0.75));
+        alias.set_value("x", &ParamValue::F64(0.75)).unwrap();
+        assert_eq!(shared.get_value("x"), Some(ParamValue::F64(0.75)));
         assert_eq!(shared.seq(), 1);
         assert_eq!(shared.spec("x").unwrap().policy, BoundsPolicy::Reject);
+    }
+
+    /// The deprecated f64 shims must keep their exact behaviour for
+    /// out-of-tree callers until removal: numeric view, string blindness,
+    /// typed validation underneath.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_f64_shims_still_behave() {
+        let mut r = ParamRegistry::new();
+        r.declare(ParamSpec::f64("miscibility", 0.0, 1.0, 1.0));
+        r.declare(ParamSpec::text("site", "london"));
+        assert_eq!(r.get("miscibility"), Some(1.0));
+        assert_eq!(r.get("site"), None, "strings have no f64 view");
+        r.set("miscibility", 0.25).unwrap();
+        assert!(r.set("miscibility", 7.0).is_err());
+        let shared = SharedRegistry::new(r);
+        shared.set("miscibility", 0.5).unwrap();
+        assert_eq!(shared.get("miscibility"), Some(0.5));
     }
 }

@@ -1,9 +1,14 @@
-//! Transport selection: one enum, one factory.
+//! Transport selection: one enum, two factories — the same five
+//! middlewares carry steering in ([`Transport::attach`]) and monitored
+//! output back out ([`Transport::attach_monitor`]).
 
 use crate::covise_ep::CoviseEndpoint;
 use crate::endpoint::SteerEndpoint;
 use crate::hub::SteerHub;
 use crate::loopback::LoopbackEndpoint;
+use crate::monitor::{
+    CoviseMonitor, LoopbackMonitor, MonitorEndpoint, OgsaMonitor, UnicoreMonitor, VisitMonitor,
+};
 use crate::ogsa_ep::OgsaEndpoint;
 use crate::unicore_ep::UnicoreEndpoint;
 use crate::visit_ep::VisitEndpoint;
@@ -55,6 +60,19 @@ impl Transport {
             Transport::Unicore => Box::new(UnicoreEndpoint::attach(hub, origin)),
         }
     }
+
+    /// Build a monitor (data-plane) endpoint of this transport for a
+    /// subscriber named `origin` — hand it to
+    /// [`MonitorHub::attach_endpoint`](crate::MonitorHub::attach_endpoint).
+    pub fn attach_monitor(self, origin: &str) -> Box<dyn MonitorEndpoint> {
+        match self {
+            Transport::Loopback => Box::new(LoopbackMonitor::new()),
+            Transport::Visit => Box::new(VisitMonitor::new()),
+            Transport::Ogsa => Box::new(OgsaMonitor::new(origin)),
+            Transport::Covise => Box::new(CoviseMonitor::new()),
+            Transport::Unicore => Box::new(UnicoreMonitor::new(origin)),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -82,6 +100,42 @@ mod tests {
                 "{}",
                 t.label()
             );
+        }
+    }
+
+    /// The outbound interop contract: the same published frames reach a
+    /// subscriber identically over every transport that can carry them.
+    #[test]
+    fn every_monitor_transport_is_observationally_equivalent() {
+        use crate::monitor::{MonitorCaps, MonitorHub, MonitorPayload};
+        let reference = {
+            let hub = MonitorHub::new();
+            hub.attach_endpoint(
+                "v",
+                Transport::Loopback.attach_monitor("v"),
+                &MonitorCaps::full("viewer", 64),
+            );
+            hub.publish_batch(
+                3,
+                vec![
+                    MonitorPayload::grid2("phi", 2, 2, vec![0.5, 1.5, -0.5, 2.0]),
+                    MonitorPayload::grid3("rho", 1, 1, 2, vec![9.0, 8.0]),
+                ],
+            );
+            hub.recv("v")
+        };
+        for t in Transport::ALL {
+            let hub = MonitorHub::new();
+            hub.attach_endpoint("v", t.attach_monitor("v"), &MonitorCaps::full("viewer", 64));
+            hub.publish_batch(
+                3,
+                vec![
+                    MonitorPayload::grid2("phi", 2, 2, vec![0.5, 1.5, -0.5, 2.0]),
+                    MonitorPayload::grid3("rho", 1, 1, 2, vec![9.0, 8.0]),
+                ],
+            );
+            assert_eq!(hub.recv("v"), reference, "{}", t.label());
+            assert_eq!(hub.stats_of("v").unwrap().delivered, 2, "{}", t.label());
         }
     }
 

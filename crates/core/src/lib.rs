@@ -12,9 +12,13 @@
 //!   (master / steerer / viewer), master-token passing (the vbroker
 //!   semantics lifted to session level), sample fan-out accounting, and an
 //!   event log.
-//! * [`monitor`] — the three feedback-loop budgets of §4.2–4.4 (VR
-//!   rendering, desktop rendering, post-processing, simulation) as
-//!   checkable [`monitor::LoopBudget`]s with measurement recording.
+//! * [`monitor`] — the feedback-loop budgets of §4.2–4.4 (VR rendering,
+//!   desktop rendering, post-processing, simulation) as checkable
+//!   [`monitor::LoopBudget`]s with measurement recording and violation
+//!   counts, plus the outbound data plane's application side: the
+//!   [`monitor::MonitorSource`] surface both paper codes implement and
+//!   the [`monitor::GenericMonitorAdapter`] that publishes it through a
+//!   [`gridsteer_bus::MonitorHub`].
 //! * [`server`] — [`server::CollabServer`]: a real multi-threaded TCP
 //!   steering server speaking a small framed protocol, so multiple client
 //!   processes on loopback genuinely steer one simulation concurrently.
@@ -30,8 +34,15 @@ pub mod params;
 pub mod server;
 pub mod session;
 
+pub use gridsteer_bus::{
+    MonitorCaps, MonitorEndpoint, MonitorFrame, MonitorHub, MonitorKind, MonitorPayload,
+    MonitorStats,
+};
 pub use migrate::{MigrationReport, Migrator};
-pub use monitor::{LoopBudget, LoopMonitor, LoopReport};
+pub use monitor::{
+    GenericMonitorAdapter, LbmMonitorAdapter, LoopBudget, LoopMonitor, LoopReport, MonitorSource,
+    PepcMonitorAdapter,
+};
 pub use params::{
     BoundsPolicy, GenericSteerAdapter, LbmSteerAdapter, ParamKind, ParamRegistry, ParamSpec,
     ParamValue, PepcSteerAdapter, SharedRegistry, SteerCommand, SteerTarget,

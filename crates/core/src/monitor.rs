@@ -1,4 +1,4 @@
-//! Feedback-loop budgets of §4.2–4.4.
+//! Feedback-loop budgets of §4.2–4.4, and the monitored-output adapters.
 //!
 //! The paper's only quantitative requirements table, in prose:
 //!
@@ -12,8 +12,21 @@
 //!   *synchrony* across sites.
 //! * **Simulation loop** (§4.4): "people can tolerate delays of up to a
 //!   minute while waiting for new simulation results."
+//!
+//! The budgets are what monitored output is *scored against*; the second
+//! half of this module is what produces that output: [`MonitorSource`] is
+//! the one trait a simulation implements to name its monitored quantities
+//! (the outbound mirror of [`SteerTarget`](crate::SteerTarget)), and
+//! [`GenericMonitorAdapter`] publishes any source's step-boundary payloads
+//! through a [`gridsteer_bus::MonitorHub`] — replacing per-simulation
+//! publishing code exactly as `GenericSteerAdapter` replaced the
+//! per-simulation steering adapters.
 
+use gridsteer_bus::{MonitorHub, MonitorPayload};
+use lbm::TwoFluidLbm;
 use netsim::SimTime;
+use pepc::PepcSim;
+use std::marker::PhantomData;
 
 /// One of the paper's reaction-time budgets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,6 +103,10 @@ pub struct LoopReport {
     pub max_skew: SimTime,
     /// True if every latency met the budget.
     pub within_budget: bool,
+    /// Number of latency samples that busted the budget (0 iff
+    /// `within_budget`, except for the empty monitor, which has no
+    /// violations yet is not within budget — no evidence is no pass).
+    pub violations: u64,
     /// True if every skew met the divergence bound (vacuously true when
     /// the budget has none).
     pub within_skew: bool,
@@ -133,6 +150,12 @@ impl LoopMonitor {
         self.samples.is_empty()
     }
 
+    /// Number of recorded latencies that busted the budget.
+    pub fn violations(&self) -> u64 {
+        let bound = self.budget.budget();
+        self.samples.iter().filter(|&&t| t > bound).count() as u64
+    }
+
     /// Summarize.
     pub fn report(&self) -> LoopReport {
         let count = self.samples.len();
@@ -157,11 +180,132 @@ impl LoopMonitor {
             max,
             max_skew,
             within_budget,
+            violations: self.violations(),
             within_skew,
             rate_hz,
         }
     }
 }
+
+/// A simulation that emits monitored quantities at step boundaries: the
+/// outbound mirror of [`SteerTarget`](crate::SteerTarget), implemented by
+/// both paper codes. The payload list is the simulation's *monitor
+/// surface* — ordered, deterministic for a given state, and typed with
+/// the bus payload kinds so every middleware adapter can carry it.
+pub trait MonitorSource {
+    /// The monitored payloads at the current state, in a fixed channel
+    /// order (scenario digests fold these bytes, so order is contract).
+    fn monitor_payloads(&self) -> Vec<MonitorPayload>;
+
+    /// Monotone progress counter (simulation steps taken) — stamped onto
+    /// published frames as the step number.
+    fn monitor_step(&self) -> u64;
+}
+
+impl MonitorSource for TwoFluidLbm {
+    fn monitor_payloads(&self) -> Vec<MonitorPayload> {
+        let (nx, ny, nz) = self.dims();
+        let (mass_a, mass_b) = self.total_mass();
+        let phi = self.order_parameter();
+        // the mid-plane slice is a view of the full field just computed —
+        // never a second pass over the distributions (the standalone
+        // `order_parameter_slice` exists for callers that want *only* a
+        // plane)
+        let mid = nz / 2;
+        let slice: Vec<f32> = (0..ny)
+            .flat_map(|y| (0..nx).map(move |x| (x, y)))
+            .map(|(x, y)| phi.get(x, y, mid))
+            .collect();
+        vec![
+            MonitorPayload::scalar("demix", lbm::demix_of(&phi)),
+            MonitorPayload::scalar("mass_a", mass_a),
+            MonitorPayload::scalar("mass_b", mass_b),
+            MonitorPayload::vec3("momentum", self.total_momentum()),
+            MonitorPayload::grid2("phi_mid", nx as u32, ny as u32, slice),
+            MonitorPayload::grid3("phi", nx as u32, ny as u32, nz as u32, phi.data().to_vec()),
+        ]
+    }
+
+    fn monitor_step(&self) -> u64 {
+        self.steps()
+    }
+}
+
+impl MonitorSource for PepcSim {
+    fn monitor_payloads(&self) -> Vec<MonitorPayload> {
+        let mut out = vec![
+            MonitorPayload::scalar("kinetic", self.kinetic_energy()),
+            MonitorPayload::scalar("potential", self.potential_energy()),
+            MonitorPayload::scalar("particles", self.len() as f64),
+        ];
+        if let Some(c) = self.beam_centroid() {
+            out.push(MonitorPayload::vec3("beam_centroid", c));
+        }
+        out
+    }
+
+    fn monitor_step(&self) -> u64 {
+        self.step_count()
+    }
+}
+
+/// One publishing adapter for every [`MonitorSource`] simulation — the
+/// data-plane counterpart of [`GenericSteerAdapter`](crate::GenericSteerAdapter):
+/// LBM and PEPC publish their monitored quantities through *this*, never
+/// through per-simulation one-offs.
+#[derive(Debug)]
+pub struct GenericMonitorAdapter<T: ?Sized> {
+    frames_published: u64,
+    _source: PhantomData<fn(&T)>,
+}
+
+impl<T: MonitorSource + ?Sized> GenericMonitorAdapter<T> {
+    /// A fresh adapter.
+    pub fn new() -> Self {
+        GenericMonitorAdapter {
+            frames_published: 0,
+            _source: PhantomData,
+        }
+    }
+
+    /// Publish the source's step-boundary payloads as one batch — the
+    /// delivery mode scenario runs use (one transport envelope per
+    /// subscriber chunk). Returns the number of frames published.
+    pub fn publish(&mut self, sim: &T, hub: &MonitorHub) -> u64 {
+        let n = hub.publish_batch(sim.monitor_step(), sim.monitor_payloads());
+        self.frames_published += n;
+        n
+    }
+
+    /// Publish the same payloads one frame at a time — the per-sample
+    /// baseline the fan-out bench compares against batched delivery.
+    pub fn publish_per_sample(&mut self, sim: &T, hub: &MonitorHub) -> u64 {
+        let step = sim.monitor_step();
+        let payloads = sim.monitor_payloads();
+        let n = payloads.len() as u64;
+        for p in payloads {
+            hub.publish(step, p);
+        }
+        self.frames_published += n;
+        n
+    }
+
+    /// Frames this adapter has published.
+    pub fn frames_published(&self) -> u64 {
+        self.frames_published
+    }
+}
+
+impl<T: MonitorSource + ?Sized> Default for GenericMonitorAdapter<T> {
+    fn default() -> Self {
+        GenericMonitorAdapter::new()
+    }
+}
+
+/// Monitor adapter for the Lattice-Boltzmann fluid (§2.2).
+pub type LbmMonitorAdapter = GenericMonitorAdapter<TwoFluidLbm>;
+/// Monitor adapter for PEPC (§3.4).
+pub type PepcMonitorAdapter = GenericMonitorAdapter<PepcSim>;
 
 #[cfg(test)]
 mod tests {
@@ -230,6 +374,122 @@ mod tests {
     fn empty_monitor_not_within_budget() {
         let m = LoopMonitor::new(LoopBudget::Simulation);
         assert!(m.is_empty());
-        assert!(!m.report().within_budget, "no evidence ⇒ no pass");
+        let r = m.report();
+        assert!(!r.within_budget, "no evidence ⇒ no pass");
+        assert_eq!(r.violations, 0);
+    }
+
+    #[test]
+    fn violations_count_each_busted_sample() {
+        let mut m = LoopMonitor::new(LoopBudget::DesktopRender);
+        for ms in [100, 400, 200, 500, 600] {
+            m.record(SimTime::from_millis(ms));
+        }
+        assert_eq!(m.violations(), 3, "333ms budget busted thrice");
+        let r = m.report();
+        assert_eq!(r.violations, 3);
+        assert!(!r.within_budget);
+    }
+
+    #[test]
+    fn lbm_monitor_surface_is_typed_and_ordered() {
+        use gridsteer_bus::MonitorKind;
+        let sim = TwoFluidLbm::new(lbm::LbmConfig {
+            nx: 4,
+            ny: 4,
+            nz: 4,
+            threads: 1,
+            ..Default::default()
+        });
+        let payloads = sim.monitor_payloads();
+        let kinds: Vec<MonitorKind> = payloads.iter().map(MonitorPayload::kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                MonitorKind::Scalar,
+                MonitorKind::Scalar,
+                MonitorKind::Scalar,
+                MonitorKind::Vec3,
+                MonitorKind::Grid2,
+                MonitorKind::Grid3,
+            ]
+        );
+        match &payloads[4] {
+            MonitorPayload::Grid2 { nx, ny, data, .. } => {
+                assert_eq!((*nx, *ny), (4, 4));
+                assert_eq!(data.len(), 16);
+            }
+            other => panic!("expected grid2, got {other:?}"),
+        }
+        // the monitored demix channel is the sim's own metric, bit for bit
+        match &payloads[0] {
+            MonitorPayload::Scalar { value, .. } => {
+                assert_eq!(value.to_bits(), sim.demix_metric().to_bits());
+            }
+            other => panic!("expected scalar, got {other:?}"),
+        }
+        // the mid-plane slice must be exactly that plane of the full field
+        let full = sim.order_parameter();
+        let (_, _, slice) = sim.order_parameter_slice(2);
+        let from_full: Vec<f32> = (0..4)
+            .flat_map(|y| (0..4).map(move |x| (x, y)))
+            .map(|(x, y)| full.get(x, y, 2))
+            .collect();
+        assert_eq!(slice, from_full);
+    }
+
+    #[test]
+    fn pepc_monitor_surface_tracks_beam_presence() {
+        let mut sim = PepcSim::new(pepc::PepcConfig {
+            n_target: 30,
+            ranks: 1,
+            ..pepc::PepcConfig::small()
+        });
+        let before = sim.monitor_payloads();
+        assert_eq!(before.len(), 3, "no beam ⇒ no centroid channel");
+        sim.inject_beam(5, 0.1);
+        let after = sim.monitor_payloads();
+        assert_eq!(after.len(), 4);
+        assert!(matches!(after[3], MonitorPayload::Vec3 { .. }));
+        // energies are consistent with the sim's own accounting
+        match (&after[0], &after[1]) {
+            (
+                MonitorPayload::Scalar { value: kin, .. },
+                MonitorPayload::Scalar { value: pot, .. },
+            ) => {
+                assert_eq!(kin + pot, sim.total_energy());
+            }
+            other => panic!("expected scalars, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generic_adapter_publishes_batched_and_per_sample_identically() {
+        use gridsteer_bus::{MonitorCaps, MonitorHub, Transport};
+        let sim = TwoFluidLbm::new(lbm::LbmConfig {
+            nx: 4,
+            ny: 4,
+            nz: 4,
+            threads: 1,
+            ..Default::default()
+        });
+        let run = |batched: bool| {
+            let hub = MonitorHub::new();
+            hub.attach_endpoint(
+                "v",
+                Transport::Visit.attach_monitor("v"),
+                &MonitorCaps::full("viewer", 64),
+            );
+            let mut adapter = LbmMonitorAdapter::new();
+            let n = if batched {
+                adapter.publish(&sim, &hub)
+            } else {
+                adapter.publish_per_sample(&sim, &hub)
+            };
+            assert_eq!(n, 6);
+            assert_eq!(adapter.frames_published(), 6);
+            hub.recv("v")
+        };
+        assert_eq!(run(true), run(false));
     }
 }

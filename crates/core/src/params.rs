@@ -187,9 +187,9 @@ mod tests {
     fn registry_declares_gets_sets() {
         let mut r = ParamRegistry::new();
         r.declare(ParamSpec::f64("miscibility", 0.0, 1.0, 1.0));
-        assert_eq!(r.get("miscibility"), Some(1.0));
-        r.set("miscibility", 0.25).unwrap();
-        assert_eq!(r.get("miscibility"), Some(0.25));
+        assert_eq!(r.get_value("miscibility"), Some(&ParamValue::F64(1.0)));
+        r.set_value("miscibility", &ParamValue::F64(0.25)).unwrap();
+        assert_eq!(r.get_value("miscibility"), Some(&ParamValue::F64(0.25)));
         assert_eq!(r.seq(), 1);
         assert_eq!(r.history().len(), 1);
     }
@@ -198,8 +198,8 @@ mod tests {
     fn out_of_bounds_rejected_not_clamped() {
         let mut r = ParamRegistry::new();
         r.declare(ParamSpec::f64("x", 0.0, 1.0, 0.5));
-        assert!(r.set("x", 2.0).is_err());
-        assert_eq!(r.get("x"), Some(0.5), "value must be untouched");
+        assert!(r.set_value("x", &ParamValue::F64(2.0)).is_err());
+        assert_eq!(r.get_value("x"), Some(&ParamValue::F64(0.5)));
         assert_eq!(r.seq(), 0);
     }
 
@@ -207,15 +207,16 @@ mod tests {
     fn clamp_policy_spec_pins_instead() {
         let mut r = ParamRegistry::new();
         r.declare(ParamSpec::f64_clamped("x", 0.0, 1.0, 0.5));
-        r.set("x", 2.0).unwrap();
-        assert_eq!(r.get("x"), Some(1.0), "clamp policy applies the bound");
+        let applied = r.set_value("x", &ParamValue::F64(2.0)).unwrap();
+        assert_eq!(applied, ParamValue::F64(1.0), "clamp applies the bound");
+        assert_eq!(r.get_value("x"), Some(&ParamValue::F64(1.0)));
     }
 
     #[test]
     fn unknown_parameter_rejected() {
         let mut r = ParamRegistry::new();
-        assert!(r.set("ghost", 1.0).is_err());
-        assert_eq!(r.get("ghost"), None);
+        assert!(r.set_value("ghost", &ParamValue::F64(1.0)).is_err());
+        assert_eq!(r.get_value("ghost"), None);
     }
 
     #[test]

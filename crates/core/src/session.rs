@@ -346,7 +346,11 @@ mod tests {
             ],
         );
         assert!(r.is_err());
-        assert_eq!(s.params.get("miscibility"), Some(1.0), "nothing applied");
+        assert_eq!(
+            s.params.get_value("miscibility"),
+            Some(ParamValue::F64(1.0)),
+            "nothing applied"
+        );
         // a clean batch applies in order
         let n = s
             .steer_batch(
@@ -358,7 +362,10 @@ mod tests {
             )
             .unwrap();
         assert_eq!(n, 2);
-        assert_eq!(s.params.get("miscibility"), Some(0.75));
+        assert_eq!(
+            s.params.get_value("miscibility"),
+            Some(ParamValue::F64(0.75))
+        );
         assert_eq!(
             s.events()
                 .iter()
@@ -397,7 +404,10 @@ mod tests {
         let b = s.join("viewer");
         assert!(s.steer(a, "miscibility", 0.5).is_ok());
         assert!(s.steer(b, "miscibility", 0.2).is_err());
-        assert_eq!(s.params.get("miscibility"), Some(0.5));
+        assert_eq!(
+            s.params.get_value("miscibility"),
+            Some(ParamValue::F64(0.5))
+        );
         assert!(matches!(
             s.events().last(),
             Some(SessionEvent::SteerRefused { .. })
@@ -529,7 +539,10 @@ mod tests {
         let mut s = session();
         let a = s.join("a");
         assert!(s.steer(a, "miscibility", 5.0).is_err());
-        assert_eq!(s.params.get("miscibility"), Some(1.0));
+        assert_eq!(
+            s.params.get_value("miscibility"),
+            Some(ParamValue::F64(1.0))
+        );
     }
 
     #[test]

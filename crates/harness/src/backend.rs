@@ -10,7 +10,7 @@ use gridsteer_exec::ExecPool;
 use lbm::{LbmConfig, TwoFluidLbm};
 use pepc::{PepcConfig, PepcSim};
 use std::sync::Arc;
-use steer_core::{ParamSpec, ParamValue, SteerTarget};
+use steer_core::{GenericMonitorAdapter, MonitorHub, ParamSpec, ParamValue, SteerTarget};
 
 /// A steerable simulation driven by the scenario engine.
 pub trait ScenarioBackend {
@@ -38,6 +38,12 @@ pub trait ScenarioBackend {
     /// Advance the simulation by `steps` time steps.
     fn advance(&mut self, steps: usize);
 
+    /// Publish the backend's monitored quantities for the current step
+    /// through the hub, as one batch (both backends route through the
+    /// shared [`GenericMonitorAdapter`], never a per-simulation path).
+    /// Returns the number of frames published.
+    fn publish_monitor(&mut self, hub: &MonitorHub) -> u64;
+
     /// Size of one sample on the wire, in bytes.
     fn sample_bytes(&self) -> usize;
 
@@ -57,6 +63,7 @@ pub struct LbmBackend {
     // Option so checkpoint_roundtrip can move the sim through its
     // by-value checkpoint/restore API.
     sim: Option<TwoFluidLbm>,
+    monitor: GenericMonitorAdapter<TwoFluidLbm>,
 }
 
 impl LbmBackend {
@@ -64,6 +71,7 @@ impl LbmBackend {
     pub fn new(cfg: LbmConfig) -> Self {
         LbmBackend {
             sim: Some(TwoFluidLbm::new(cfg)),
+            monitor: GenericMonitorAdapter::new(),
         }
     }
 
@@ -95,6 +103,11 @@ impl ScenarioBackend for LbmBackend {
         self.sim.as_mut().unwrap().step_n(steps);
     }
 
+    fn publish_monitor(&mut self, hub: &MonitorHub) -> u64 {
+        self.monitor
+            .publish(self.sim.as_ref().expect("sim present"), hub)
+    }
+
     fn sample_bytes(&self) -> usize {
         // one f32 order-parameter scalar per node — what the Figure-1
         // pipeline ships to the isosurface stage
@@ -122,6 +135,7 @@ impl ScenarioBackend for LbmBackend {
 /// The PEPC plasma with the §3.4 steerable parameters.
 pub struct PepcBackend {
     sim: PepcSim,
+    monitor: GenericMonitorAdapter<PepcSim>,
 }
 
 /// Bytes per particle on the wire: position + velocity as f32 triples,
@@ -133,6 +147,7 @@ impl PepcBackend {
     pub fn new(cfg: PepcConfig) -> Self {
         PepcBackend {
             sim: PepcSim::new(cfg),
+            monitor: GenericMonitorAdapter::new(),
         }
     }
 
@@ -162,6 +177,10 @@ impl ScenarioBackend for PepcBackend {
 
     fn advance(&mut self, steps: usize) {
         self.sim.step_n(steps);
+    }
+
+    fn publish_monitor(&mut self, hub: &MonitorHub) -> u64 {
+        self.monitor.publish(&self.sim, hub)
     }
 
     fn sample_bytes(&self) -> usize {
@@ -250,6 +269,30 @@ mod tests {
         assert_eq!(b.checkpoint_roundtrip(), b.sample_bytes());
         b.advance(2);
         assert_eq!(b.progress(), 2);
+    }
+
+    #[test]
+    fn both_backends_publish_monitor_frames_through_the_adapter() {
+        use steer_core::{MonitorCaps, MonitorKind};
+        let hub = MonitorHub::new();
+        hub.attach_endpoint(
+            "v",
+            gridsteer_bus::Transport::Loopback.attach_monitor("v"),
+            &MonitorCaps::full("viewer", 64),
+        );
+        let mut lbm = LbmBackend::new(tiny_lbm());
+        lbm.advance(2);
+        let n = lbm.publish_monitor(&hub);
+        assert_eq!(n, 6, "lbm surface: 3 scalars + vec3 + grid2 + grid3");
+        let frames = hub.recv("v");
+        assert_eq!(frames.len(), 6);
+        assert!(frames.iter().all(|f| f.step == 2), "stamped with progress");
+        assert!(frames
+            .iter()
+            .any(|f| f.payload.kind() == MonitorKind::Grid3));
+        let mut pepc = PepcBackend::new(tiny_pepc());
+        assert_eq!(pepc.publish_monitor(&hub), 3, "no beam ⇒ 3 scalars");
+        assert_eq!(hub.recv("v").len(), 3);
     }
 
     #[test]

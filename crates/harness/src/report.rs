@@ -23,6 +23,34 @@ pub struct MigrationRecord {
     pub gap: SimTime,
 }
 
+/// One monitor-bus viewer's outcome: what it received over its transport
+/// and how the deliveries scored against its reaction-time budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewerRecord {
+    /// Viewer name.
+    pub name: String,
+    /// Monitor transport label ("loopback", "visit", …).
+    pub transport: &'static str,
+    /// The `LoopBudget` the viewer's deliveries are scored against
+    /// (its stable name).
+    pub budget: &'static str,
+    /// Frames that arrived over the viewer's link.
+    pub delivered: u64,
+    /// Frames lost on the link (drop / partition).
+    pub dropped: u64,
+    /// Admissible frames the hub skipped per the negotiated decimation.
+    pub decimated: u64,
+    /// Frames whose kind is outside the negotiated capability set.
+    pub filtered: u64,
+    /// Deliveries that busted the budget.
+    pub budget_violations: u64,
+    /// Worst delivery latency.
+    pub max_latency: SimTime,
+    /// FNV-1a 64 over the received frames' canonical bytes, in arrival
+    /// order — the byte-stable fold of everything this viewer saw.
+    pub frames_digest: String,
+}
+
 /// Everything one deterministic scenario run produced.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioReport {
@@ -50,10 +78,16 @@ pub struct ScenarioReport {
     pub within_budget: bool,
     /// True if every skew met the divergence bound.
     pub within_skew: bool,
+    /// Deliveries that busted the §4.3 post-processing budget.
+    pub post_budget_violations: u64,
     /// Steers that reached the session and were applied to the backend.
     pub steers_applied: u64,
     /// Steers lost in transit (drop/partition) or to a vanished sender.
     pub steers_lost: u64,
+    /// Monitor frames published on the bus over the whole run.
+    pub monitor_frames: u64,
+    /// Per-viewer monitor outcomes, in declaration order.
+    pub viewers: Vec<ViewerRecord>,
     /// Mid-run migrations, in order.
     pub migrations: Vec<MigrationRecord>,
     /// Per-participant link statistics, in join order.
@@ -85,6 +119,17 @@ impl ScenarioReport {
             .all(|m| m.gap < SimTime::from_secs(60))
     }
 
+    /// True if every viewer met its reaction-time budget on every
+    /// delivery (vacuously true with no viewers).
+    pub fn viewers_within_budget(&self) -> bool {
+        self.viewers.iter().all(|v| v.budget_violations == 0)
+    }
+
+    /// One viewer's record by name.
+    pub fn viewer(&self, name: &str) -> Option<&ViewerRecord> {
+        self.viewers.iter().find(|v| v.name == name)
+    }
+
     /// Canonical text rendering — the digest's input. Byte-stable for a
     /// given `(scenario, seed)`.
     pub fn render(&self) -> String {
@@ -105,20 +150,39 @@ impl ScenarioReport {
         );
         let _ = writeln!(
             out,
-            "latency p50={} p90={} p99={} max={} skew={} budget={} skew_ok={}",
+            "latency p50={} p90={} p99={} max={} skew={} budget={} skew_ok={} violations={}",
             self.p50,
             self.p90,
             self.p99,
             self.max,
             self.max_skew,
             self.within_budget,
-            self.within_skew
+            self.within_skew,
+            self.post_budget_violations
         );
         let _ = writeln!(
             out,
             "steers applied={} lost={}",
             self.steers_applied, self.steers_lost
         );
+        let _ = writeln!(out, "monitor frames={}", self.monitor_frames);
+        for v in &self.viewers {
+            let _ = writeln!(
+                out,
+                "viewer {} transport={} budget={} delivered={} dropped={} decimated={} \
+                 filtered={} violations={} max={} digest={}",
+                v.name,
+                v.transport,
+                v.budget,
+                v.delivered,
+                v.dropped,
+                v.decimated,
+                v.filtered,
+                v.budget_violations,
+                v.max_latency,
+                v.frames_digest
+            );
+        }
         for m in &self.migrations {
             let _ = writeln!(
                 out,
@@ -178,8 +242,22 @@ mod tests {
             max_skew: SimTime::from_millis(2),
             within_budget: true,
             within_skew: true,
+            post_budget_violations: 0,
             steers_applied: 2,
             steers_lost: 1,
+            monitor_frames: 12,
+            viewers: vec![ViewerRecord {
+                name: "desk".into(),
+                transport: "visit",
+                budget: "desktop-render",
+                delivered: 11,
+                dropped: 1,
+                decimated: 0,
+                filtered: 2,
+                budget_violations: 0,
+                max_latency: SimTime::from_millis(80),
+                frames_digest: "00000000deadbeef".into(),
+            }],
             migrations: vec![MigrationRecord {
                 from: "london".into(),
                 to: "manchester".into(),
@@ -223,7 +301,11 @@ mod tests {
         for needle in [
             "scenario=t seed=1 backend=lbm",
             "broadcasts=10 skipped=1 deliveries=9 drops=1",
+            "skew_ok=true violations=0",
             "steers applied=2 lost=1",
+            "monitor frames=12",
+            "viewer desk transport=visit budget=desktop-render delivered=11 dropped=1 \
+             decimated=0 filtered=2 violations=0 max=80.000ms digest=00000000deadbeef",
             "migration from=london to=manchester bytes=1000 gap=3.000s",
             "link alice delivered=9 dropped=1",
             "session Joined(alice)",
@@ -243,6 +325,18 @@ mod tests {
         let mut slow = r.clone();
         slow.migrations[0].gap = SimTime::from_secs(90);
         assert!(!slow.migrations_within_budget());
+    }
+
+    #[test]
+    fn viewer_budget_helpers() {
+        let r = sample_report();
+        assert!(r.viewers_within_budget());
+        assert_eq!(r.viewer("desk").unwrap().delivered, 11);
+        assert!(r.viewer("ghost").is_none());
+        let mut busted = r.clone();
+        busted.viewers[0].budget_violations = 2;
+        assert!(!busted.viewers_within_budget());
+        assert_ne!(busted.digest(), r.digest(), "violations are in the digest");
     }
 
     #[test]

@@ -18,6 +18,16 @@
 //! boundary* in staging order, which keeps multi-transport digests
 //! byte-stable at any `EXEC_THREADS`.
 //!
+//! The outbound half is symmetric: [`Scenario::viewer_via`] attaches
+//! monitor-bus subscribers per transport to one [`MonitorHub`]. At every
+//! step boundary the backend publishes its monitored quantities as one
+//! batch; the hub filters and decimates per each viewer's negotiated
+//! capability set, admitted frames ride that viewer's faulted link, and
+//! every arrival is scored against the viewer's `LoopBudget` on the
+//! virtual clock — so reaction-budget violations, per-transport delivery
+//! counts, and a byte-stable fold of the received frames all land in the
+//! [`ScenarioReport`] digest.
+//!
 //! ```
 //! use gridsteer_harness::Scenario;
 //! use netsim::{Link, SimTime};
@@ -42,8 +52,10 @@
 //! ```
 
 use crate::backend::{LbmBackend, PepcBackend, ScenarioBackend};
-use crate::report::{MigrationRecord, ScenarioReport};
-use gridsteer_bus::{Capabilities, SteerCommand, SteerEndpoint, SteerHub, Transport};
+use crate::report::{MigrationRecord, ScenarioReport, ViewerRecord};
+use gridsteer_bus::{
+    Capabilities, MonitorCaps, MonitorHub, SteerCommand, SteerEndpoint, SteerHub, Transport,
+};
 use lbm::LbmConfig;
 use netsim::{EventQueue, FaultyLink, Link, NetModel, SimTime};
 use pepc::PepcConfig;
@@ -140,6 +152,19 @@ enum BackendSpec {
     Pepc(PepcConfig),
 }
 
+/// A declared monitor-bus viewer: a subscriber receiving the backend's
+/// monitored output over a chosen transport, scored against a reaction
+/// budget.
+#[derive(Debug, Clone)]
+struct ViewerSpec {
+    name: String,
+    link: Link,
+    transport: Transport,
+    budget: LoopBudget,
+    /// Requested decimation (accept every Nth admissible frame).
+    every: u32,
+}
+
 /// A deterministic end-to-end steering scenario (builder).
 #[derive(Debug, Clone)]
 pub struct Scenario {
@@ -149,6 +174,8 @@ pub struct Scenario {
     participants: Vec<(String, Link)>,
     /// Steering transport per participant (absent = loopback).
     transports: BTreeMap<String, Transport>,
+    /// Monitor-bus viewers, in declaration order.
+    viewers: Vec<ViewerSpec>,
     actions: Vec<(SimTime, Action)>,
     sample_every: SimTime,
     steps_per_sample: usize,
@@ -156,6 +183,19 @@ pub struct Scenario {
     /// Executor pool the backend dispatches onto (`None` = the shared pool
     /// for the backend config's thread count). Never affects results.
     pool: Option<std::sync::Arc<gridsteer_exec::ExecPool>>,
+}
+
+/// One live monitor-bus viewer: its faulted link, its reaction-budget
+/// scoring, and the byte-stable fold of everything it received.
+struct ViewerState {
+    name: String,
+    transport: &'static str,
+    budget: LoopBudget,
+    link: FaultyLink,
+    monitor: LoopMonitor,
+    delivered: u64,
+    dropped: u64,
+    digest: u64,
 }
 
 /// One connected (or disconnected) scenario participant.
@@ -200,6 +240,7 @@ impl Scenario {
             backend: BackendSpec::Lbm(LbmConfig::small()),
             participants: Vec::new(),
             transports: BTreeMap::new(),
+            viewers: Vec::new(),
             actions: Vec::new(),
             sample_every: SimTime::from_millis(100),
             steps_per_sample: 1,
@@ -254,6 +295,51 @@ impl Scenario {
     /// applies to mid-run [`Action::Join`]ers) over a bus transport.
     pub fn route(mut self, name: &str, transport: Transport) -> Self {
         self.transports.insert(name.to_string(), transport);
+        self
+    }
+
+    /// Attach a monitor-bus viewer receiving the backend's monitored
+    /// output over the given transport, with deliveries scored against
+    /// the §4.2 desktop-render budget. Viewers are pure data-plane
+    /// consumers: they do not join the steering session, but their links
+    /// share the fault namespace (partition/loss/jitter actions find them
+    /// by name).
+    pub fn viewer_via(self, name: &str, link: Link, transport: Transport) -> Self {
+        self.viewer_with_budget(name, link, transport, LoopBudget::DesktopRender)
+    }
+
+    /// Attach a viewer scored against an explicit [`LoopBudget`] (a CAVE
+    /// wall wants `VrRender`; a post-processing site takes
+    /// `PostProcessing`).
+    pub fn viewer_with_budget(
+        mut self,
+        name: &str,
+        link: Link,
+        transport: Transport,
+        budget: LoopBudget,
+    ) -> Self {
+        self.viewers.push(ViewerSpec {
+            name: name.to_string(),
+            link,
+            transport,
+            budget,
+            every: 1,
+        });
+        self
+    }
+
+    /// Request decimation for a declared viewer: accept only every `n`th
+    /// admissible frame (the negotiated rate — a thin client's knob).
+    /// Panics if no viewer of that name was declared (a silent no-op
+    /// would leave the viewer at full rate with nothing in the report to
+    /// say why).
+    pub fn viewer_every(mut self, name: &str, n: u32) -> Self {
+        let v = self
+            .viewers
+            .iter_mut()
+            .find(|v| v.name == name)
+            .unwrap_or_else(|| panic!("viewer_every: no viewer named {name:?} declared"));
+        v.every = n.max(1);
         self
     }
 
@@ -432,6 +518,39 @@ impl Scenario {
             );
         }
 
+        // the monitor hub: the backend publishes its step-boundary output
+        // here, and every declared viewer subscribes over its transport
+        // with a negotiated capability set (logged — part of the digest)
+        let mhub = MonitorHub::new();
+        let mut viewers: Vec<ViewerState> = Vec::new();
+        for spec in &self.viewers {
+            let negotiated = mhub.attach_endpoint(
+                &spec.name,
+                spec.transport.attach_monitor(&spec.name),
+                &MonitorCaps::full("scenario-viewer", 64).every(spec.every),
+            );
+            engine_events.push(format!(
+                "{} attach-viewer {} budget={} {}",
+                SimTime::ZERO,
+                spec.name,
+                spec.budget.name(),
+                negotiated.render()
+            ));
+            let mut base = spec.link.clone();
+            base.seed = rng.next_u64();
+            let fault_seed = rng.next_u64();
+            viewers.push(ViewerState {
+                name: spec.name.clone(),
+                transport: spec.transport.label(),
+                budget: spec.budget,
+                link: FaultyLink::new(base, fault_seed),
+                monitor: LoopMonitor::new(spec.budget),
+                delivered: 0,
+                dropped: 0,
+                digest: 0xcbf2_9ce4_8422_2325,
+            });
+        }
+
         let mut queue: EventQueue<Ev> = EventQueue::new();
         for (i, (t, _)) in self.actions.iter().enumerate() {
             queue.schedule(*t, Ev::Act(i));
@@ -498,6 +617,28 @@ impl Scenario {
                     if let (Some(lo), Some(hi)) = (earliest, latest) {
                         post.record_skew(hi.saturating_since(lo));
                     }
+                    // the data plane: the backend publishes its monitored
+                    // quantities (one batch per step boundary), the hub
+                    // fans out per negotiated caps, and each viewer's
+                    // admitted frames ride its faulted link — every
+                    // arrival scored against that viewer's budget.
+                    // Viewer-less scenarios skip the whole path: sampling
+                    // the monitor surface costs full-lattice passes.
+                    if !viewers.is_empty() {
+                        backend.publish_monitor(&mhub);
+                    }
+                    for v in viewers.iter_mut() {
+                        for frame in mhub.recv(&v.name) {
+                            match v.link.deliver(now, frame.wire_size()) {
+                                Some(arrival) => {
+                                    v.monitor.record(arrival.saturating_since(now));
+                                    v.delivered += 1;
+                                    v.digest = frame.fold_fnv(v.digest);
+                                }
+                                None => v.dropped += 1,
+                            }
+                        }
+                    }
                 }
                 Ev::Act(i) => {
                     let action = self.actions[i].1.clone();
@@ -505,6 +646,7 @@ impl Scenario {
                         action,
                         now,
                         clients: &mut clients,
+                        viewers: &mut viewers,
                         session: &mut session,
                         backend: backend.as_mut(),
                         queue: &mut queue,
@@ -563,6 +705,25 @@ impl Scenario {
             }
         };
         let loop_report = post.report();
+        let viewer_records: Vec<ViewerRecord> = viewers
+            .iter()
+            .map(|v| {
+                let lr = v.monitor.report();
+                let stats = mhub.stats_of(&v.name).unwrap_or_default();
+                ViewerRecord {
+                    name: v.name.clone(),
+                    transport: v.transport,
+                    budget: v.budget.name(),
+                    delivered: v.delivered,
+                    dropped: v.dropped,
+                    decimated: stats.decimated,
+                    filtered: stats.filtered,
+                    budget_violations: lr.violations,
+                    max_latency: lr.max,
+                    frames_digest: format!("{:016x}", v.digest),
+                }
+            })
+            .collect();
         ScenarioReport {
             name: self.name.clone(),
             seed: self.seed,
@@ -576,8 +737,11 @@ impl Scenario {
             max_skew: loop_report.max_skew,
             within_budget: loop_report.within_budget,
             within_skew: loop_report.within_skew,
+            post_budget_violations: loop_report.violations,
             steers_applied,
             steers_lost,
+            monitor_frames: mhub.frames_published(),
+            viewers: viewer_records,
             migrations,
             links: clients
                 .iter()
@@ -596,6 +760,7 @@ struct ActionCtx<'a> {
     action: Action,
     now: SimTime,
     clients: &'a mut Vec<Client>,
+    viewers: &'a mut Vec<ViewerState>,
     session: &'a mut SteeringSession,
     backend: &'a mut dyn ScenarioBackend,
     queue: &'a mut EventQueue<Ev>,
@@ -616,6 +781,7 @@ fn apply_action(ctx: ActionCtx<'_>) {
         action,
         now,
         clients,
+        viewers,
         session,
         backend,
         queue,
@@ -681,30 +847,30 @@ fn apply_action(ctx: ActionCtx<'_>) {
                 }
             }
         }
-        Action::Partition { who } => match clients.iter_mut().find(|c| c.name == who) {
-            Some(c) => {
-                c.link.partition();
+        Action::Partition { who } => match fault_link(clients, viewers, &who) {
+            Some(link) => {
+                link.partition();
                 engine_events.push(format!("{now} partition {who}"));
             }
             None => engine_events.push(format!("{now} fault-miss {who}")),
         },
-        Action::Heal { who } => match clients.iter_mut().find(|c| c.name == who) {
-            Some(c) => {
-                c.link.heal();
+        Action::Heal { who } => match fault_link(clients, viewers, &who) {
+            Some(link) => {
+                link.heal();
                 engine_events.push(format!("{now} heal {who}"));
             }
             None => engine_events.push(format!("{now} fault-miss {who}")),
         },
-        Action::SetLoss { who, ppm } => match clients.iter_mut().find(|c| c.name == who) {
-            Some(c) => {
-                c.link.set_extra_loss_ppm(ppm);
+        Action::SetLoss { who, ppm } => match fault_link(clients, viewers, &who) {
+            Some(link) => {
+                link.set_extra_loss_ppm(ppm);
                 engine_events.push(format!("{now} loss {who} {ppm}ppm"));
             }
             None => engine_events.push(format!("{now} fault-miss {who}")),
         },
-        Action::SetJitter { who, jitter } => match clients.iter_mut().find(|c| c.name == who) {
-            Some(c) => {
-                c.link.set_extra_jitter(jitter);
+        Action::SetJitter { who, jitter } => match fault_link(clients, viewers, &who) {
+            Some(link) => {
+                link.set_extra_jitter(jitter);
                 engine_events.push(format!("{now} jitter {who} {jitter}"));
             }
             None => engine_events.push(format!("{now} fault-miss {who}")),
@@ -732,6 +898,22 @@ fn apply_action(ctx: ActionCtx<'_>) {
             _ => engine_events.push(format!("{now} migrate-miss {from}->{to}")),
         },
     }
+}
+
+/// Resolve a fault-action target: participants and viewers share one
+/// name space for link faults (participants win a collision).
+fn fault_link<'a>(
+    clients: &'a mut [Client],
+    viewers: &'a mut [ViewerState],
+    who: &str,
+) -> Option<&'a mut FaultyLink> {
+    if let Some(c) = clients.iter_mut().find(|c| c.name == who) {
+        return Some(&mut c.link);
+    }
+    viewers
+        .iter_mut()
+        .find(|v| v.name == who)
+        .map(|v| &mut v.link)
 }
 
 /// Apply every staged bus batch atomically at a step boundary: commands
@@ -1036,6 +1218,81 @@ mod tests {
             .session_events
             .iter()
             .any(|e| e.starts_with("SteerRefused(alice")));
+    }
+
+    #[test]
+    fn viewers_receive_monitor_frames_and_score_budgets() {
+        let r = tiny("viewers")
+            .viewer_via("desk", Link::uk_janet(), Transport::Visit)
+            .viewer_via("grids", Link::gwin(), Transport::Covise)
+            .run();
+        assert_eq!(r.monitor_frames, 60, "6 channels x 10 sample ticks");
+        let desk = r.viewer("desk").unwrap();
+        assert_eq!(desk.delivered, 60, "full caps: every frame");
+        assert_eq!(desk.budget, "desktop-render");
+        assert_eq!(desk.budget_violations, 0, "janet latency is way inside");
+        assert_eq!(desk.transport, "visit");
+        let grids = r.viewer("grids").unwrap();
+        assert_eq!(grids.delivered, 20, "grids-only caps: 2 of 6 channels");
+        assert_eq!(grids.filtered, 40, "scalars+vec3 filtered out");
+        assert_ne!(desk.frames_digest, grids.frames_digest);
+        assert!(r.viewers_within_budget());
+        assert!(r
+            .engine_events
+            .iter()
+            .any(|e| e.contains("attach-viewer grids budget=desktop-render transport=covise")));
+    }
+
+    #[test]
+    fn viewer_decimation_and_faults_apply() {
+        let r = tiny("viewer-faults")
+            .viewer_via("thin", Link::uk_janet(), Transport::Loopback)
+            .viewer_every("thin", 3)
+            .viewer_via("cut", Link::gwin(), Transport::Unicore)
+            .partition_at(SimTime::from_millis(150), "cut")
+            .heal_at(SimTime::from_millis(650), "cut")
+            .run();
+        let thin = r.viewer("thin").unwrap();
+        assert_eq!(thin.delivered, 20, "every 3rd of 60");
+        assert_eq!(thin.decimated, 40);
+        let cut = r.viewer("cut").unwrap();
+        assert!(cut.dropped >= 24, "5 partitioned ticks x 6 frames: {cut:?}");
+        assert!(cut.delivered > 0, "deliveries resume after heal");
+        assert!(r.engine_events.iter().any(|e| e.contains("partition cut")));
+    }
+
+    #[test]
+    fn viewer_runs_replay_byte_identically_across_pools() {
+        let build = || {
+            tiny("viewer-det")
+                .viewer_via("a", Link::uk_janet(), Transport::Visit)
+                .viewer_via("b", Link::transatlantic(), Transport::Ogsa)
+                .loss_at(SimTime::ZERO, "b", 300_000)
+                .steer_at(SimTime::from_millis(400), "alice", "miscibility", 0.3)
+        };
+        let r1 = build().run();
+        let r2 = build().run();
+        assert_eq!(r1.render(), r2.render());
+        let r8 = build().pool(gridsteer_exec::shared(8)).run();
+        assert_eq!(r1.digest(), r8.digest());
+        let b = r1.viewer("b").unwrap();
+        assert!(b.dropped > 0, "30% loss must drop monitor frames: {b:?}");
+    }
+
+    #[test]
+    fn pepc_viewer_gets_plasma_channels() {
+        let r = Scenario::named("pepc-viewer")
+            .pepc(PepcConfig {
+                n_target: 40,
+                ranks: 1,
+                ..PepcConfig::small()
+            })
+            .participant("alice", Link::uk_janet())
+            .viewer_via("v", Link::gwin(), Transport::Visit)
+            .duration(SimTime::from_secs(1))
+            .run();
+        assert_eq!(r.monitor_frames, 30, "3 scalar channels x 10 ticks");
+        assert_eq!(r.viewer("v").unwrap().delivered, 30);
     }
 
     #[test]

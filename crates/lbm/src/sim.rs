@@ -83,6 +83,23 @@ impl LbmConfig {
     }
 }
 
+/// Spatial variance of an order-parameter field — the demixing metric of
+/// [`TwoFluidLbm::demix_metric`], exposed over a precomputed field so
+/// callers that already hold φ (the monitor adapter publishes the full
+/// lattice anyway) never pay a second distribution pass, and the metric
+/// has exactly one definition.
+pub fn demix_of(phi: &Field3) -> f64 {
+    let mean = phi.mean() as f64;
+    phi.data()
+        .iter()
+        .map(|&v| {
+            let d = v as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / phi.len() as f64
+}
+
 /// Copyable grid geometry shared by the parallel passes (avoids borrowing
 /// `self` inside scoped threads).
 #[derive(Debug, Clone, Copy)]
@@ -420,19 +437,36 @@ impl TwoFluidLbm {
         Field3::from_vec(self.cfg.nx, self.cfg.ny, self.cfg.nz, data)
     }
 
+    /// One z-plane of the order parameter φ, row-major (`x` fastest) —
+    /// the 2-D field slice the monitor bus ships to thin viewers that
+    /// cannot afford the full lattice. Computes only the requested plane.
+    /// Panics if `z` is out of range.
+    pub fn order_parameter_slice(&self, z: usize) -> (usize, usize, Vec<f32>) {
+        assert!(
+            z < self.cfg.nz,
+            "slice plane {z} outside 0..{}",
+            self.cfg.nz
+        );
+        let mut data = Vec::with_capacity(self.cfg.nx * self.cfg.ny);
+        for y in 0..self.cfg.ny {
+            for x in 0..self.cfg.nx {
+                let node = x + self.cfg.nx * (y + self.cfg.ny * z);
+                let mut ra = 0.0;
+                let mut rb = 0.0;
+                for i in 0..Q {
+                    ra += self.fa[node * Q + i];
+                    rb += self.fb[node * Q + i];
+                }
+                data.push((ra - rb) as f32);
+            }
+        }
+        (self.cfg.nx, self.cfg.ny, data)
+    }
+
     /// Spatial variance of φ — a scalar demixing metric: near zero for a
     /// mixed state, growing as domains form.
     pub fn demix_metric(&self) -> f64 {
-        let phi = self.order_parameter();
-        let mean = phi.mean() as f64;
-        phi.data()
-            .iter()
-            .map(|&v| {
-                let d = v as f64 - mean;
-                d * d
-            })
-            .sum::<f64>()
-            / phi.len() as f64
+        demix_of(&self.order_parameter())
     }
 
     /// True if any distribution value is non-finite (stability check).

@@ -347,10 +347,15 @@ impl PepcSim {
         self.particles.iter().map(Particle::kinetic).sum()
     }
 
+    /// Softened potential energy — O(N²); diagnostics and tests only.
+    pub fn potential_energy(&self) -> f64 {
+        crate::direct::potential_energy(&self.particles, self.cfg.tree.eps)
+    }
+
     /// Total energy (kinetic + softened potential) — O(N²); diagnostics
     /// and tests only.
     pub fn total_energy(&self) -> f64 {
-        self.kinetic_energy() + crate::direct::potential_energy(&self.particles, self.cfg.tree.eps)
+        self.kinetic_energy() + self.potential_energy()
     }
 
     /// Interactions performed in the last force evaluation.

@@ -51,7 +51,7 @@ pub use field::Field3;
 pub use framebuffer::Framebuffer;
 pub use mesh::TriMesh;
 pub use raster::Rasterizer;
-pub use vizserver::VizServerSession;
+pub use vizserver::{CollectSink, FrameSink, VizServerSession};
 
 /// A 3-component f32 vector used across the crate (positions, normals,
 /// velocities). Deliberately minimal: exactly the operations the substrate

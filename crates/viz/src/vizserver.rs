@@ -20,6 +20,38 @@ use std::collections::HashMap;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ViewerId(pub u32);
 
+/// Where a render session publishes its encoded output.
+///
+/// Historically the session shipped frames only through its private
+/// per-viewer codec table ([`VizServerSession::ship_frame`]); a
+/// `FrameSink` is the outward-facing half of that API, so the same render
+/// host can instead hand each encoded frame to an external data plane
+/// (the `gridsteer_bus` monitor hub implements this) that owns fan-out,
+/// capability filtering, and delivery accounting.
+pub trait FrameSink {
+    /// True if the next frame must be a keyframe (e.g. a subscriber
+    /// joined downstream and has no codec history).
+    fn wants_keyframe(&self) -> bool {
+        false
+    }
+
+    /// Accept one encoded frame.
+    fn publish_frame(&mut self, frame: &EncodedFrame);
+}
+
+/// A trivial sink collecting frames into a vector (tests, local tools).
+#[derive(Debug, Default)]
+pub struct CollectSink {
+    /// The frames published so far, in order.
+    pub frames: Vec<EncodedFrame>,
+}
+
+impl FrameSink for CollectSink {
+    fn publish_frame(&mut self, frame: &EncodedFrame) {
+        self.frames.push(frame.clone());
+    }
+}
+
 /// Per-session traffic statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct SessionStats {
@@ -42,6 +74,9 @@ pub struct VizServerSession {
     /// mode shares one login session; one participant drives at a time).
     controller: Option<ViewerId>,
     viewers: HashMap<ViewerId, DeltaRleCodec>,
+    /// Codec state of the broadcast path ([`VizServerSession::ship_frame_to`]):
+    /// one encode per frame regardless of downstream fan-out.
+    broadcast: DeltaRleCodec,
     next_id: u32,
     stats: SessionStats,
 }
@@ -55,6 +90,7 @@ impl VizServerSession {
             camera,
             controller: None,
             viewers: HashMap::new(),
+            broadcast: DeltaRleCodec::new(),
             next_id: 0,
             stats: SessionStats::default(),
         }
@@ -161,6 +197,40 @@ impl VizServerSession {
         out
     }
 
+    /// Render `meshes` server-side and publish one encoded frame to an
+    /// external sink — the data-plane path: the sink (e.g. a monitor hub)
+    /// owns fan-out and per-subscriber state, so the session encodes each
+    /// frame exactly once however many viewers are downstream.
+    pub fn render_to_sink(
+        &mut self,
+        meshes: &[(&TriMesh, [u8; 4])],
+        sink: &mut dyn FrameSink,
+    ) -> EncodedFrame {
+        let mut r = Rasterizer::new(self.width, self.height);
+        r.clear([10, 10, 30, 255]);
+        for (mesh, color) in meshes {
+            r.draw_mesh(&self.camera, mesh, *color);
+        }
+        let fb = r.into_framebuffer();
+        self.ship_frame_to(&fb, sink)
+    }
+
+    /// Encode an externally-rendered framebuffer once and publish it to
+    /// the sink. Emits a keyframe whenever the sink asks for one (a
+    /// downstream subscriber with no history), mirroring the late-joiner
+    /// behaviour of the per-viewer path.
+    pub fn ship_frame_to(&mut self, fb: &Framebuffer, sink: &mut dyn FrameSink) -> EncodedFrame {
+        if sink.wants_keyframe() {
+            self.broadcast.reset();
+        }
+        let frame = self.broadcast.encode(fb);
+        self.stats.frames += 1;
+        self.stats.bytes_shipped += frame.wire_size() as u64;
+        self.stats.bytes_raw += frame.raw_size as u64;
+        sink.publish_frame(&frame);
+        frame
+    }
+
     /// Traffic statistics so far.
     pub fn stats(&self) -> SessionStats {
         self.stats
@@ -254,6 +324,63 @@ mod tests {
         let first = s.render_and_ship(&[(&cube, [200, 50, 50, 255])]);
         let second = s.render_and_ship(&[(&cube, [200, 50, 50, 255])]);
         assert!(second[0].1.wire_size() < first[0].1.wire_size() / 10);
+    }
+
+    #[test]
+    fn sink_path_encodes_once_and_honours_keyframe_requests() {
+        struct KeyframeOnce {
+            asked: bool,
+            frames: Vec<EncodedFrame>,
+        }
+        impl FrameSink for KeyframeOnce {
+            fn wants_keyframe(&self) -> bool {
+                self.asked
+            }
+            fn publish_frame(&mut self, frame: &EncodedFrame) {
+                self.frames.push(frame.clone());
+            }
+        }
+        let mut s = VizServerSession::new(48, 48, demo_camera());
+        let cube = TriMesh::unit_cube();
+        let mut sink = KeyframeOnce {
+            asked: false,
+            frames: Vec::new(),
+        };
+        let first = s.render_to_sink(&[(&cube, [200, 50, 50, 255])], &mut sink);
+        assert!(first.keyframe, "no history ⇒ keyframe");
+        let second = s.render_to_sink(&[(&cube, [200, 50, 50, 255])], &mut sink);
+        assert!(!second.keyframe, "static scene ⇒ delta");
+        assert!(second.wire_size() < first.wire_size() / 10);
+        sink.asked = true; // a late joiner appeared downstream
+        let third = s.render_to_sink(&[(&cube, [200, 50, 50, 255])], &mut sink);
+        assert!(third.keyframe, "sink demanded a keyframe");
+        assert_eq!(sink.frames.len(), 3);
+        assert_eq!(s.stats().frames, 3);
+    }
+
+    #[test]
+    fn sink_and_viewer_paths_decode_to_the_same_image() {
+        let mut s = VizServerSession::new(32, 32, demo_camera());
+        let a = s.attach();
+        let cube = TriMesh::unit_cube();
+        let mut sink = CollectSink::default();
+        let mut r = Rasterizer::new(32, 32);
+        r.clear([10, 10, 30, 255]);
+        r.draw_mesh(&s.camera(), &cube, [90, 200, 90, 255]);
+        let fb = r.into_framebuffer();
+        let per_viewer = s.ship_frame(&fb);
+        s.ship_frame_to(&fb, &mut sink);
+        let mut dec_a = DeltaRleCodec::new();
+        let mut dec_b = DeltaRleCodec::new();
+        let via_viewer = dec_a
+            .decode(
+                &per_viewer.iter().find(|(id, _)| *id == a).unwrap().1,
+                32,
+                32,
+            )
+            .unwrap();
+        let via_sink = dec_b.decode(&sink.frames[0], 32, 32).unwrap();
+        assert_eq!(via_viewer, via_sink);
     }
 
     #[test]

@@ -107,8 +107,12 @@ fn main() {
         r.bytes_sent
     );
     if let Some(img) = session.display(0) {
-        std::fs::write("building_airflow_final.ppm", img.to_ppm()).ok();
-        println!("final frame written to building_airflow_final.ppm");
+        // rendered artifacts are build products: keep them under target/
+        // (gitignored), never in the repo root
+        let out = std::path::Path::new("target").join("building_airflow_final.ppm");
+        std::fs::create_dir_all("target").ok();
+        std::fs::write(&out, img.to_ppm()).ok();
+        println!("final frame written to {}", out.display());
     }
     println!("building_airflow OK");
 }

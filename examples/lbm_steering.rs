@@ -75,8 +75,11 @@ fn main() {
         );
     }
     println!("total compressed bitmap bytes to laptop: {shipped_to_laptop}");
-    // dump the final frame for inspection
+    // dump the final frame for inspection — under target/ (gitignored),
+    // never in the repo root
     let image = ctl.image(&broker, render).unwrap();
-    std::fs::write("lbm_steering_final.ppm", image.to_ppm()).ok();
-    println!("final frame written to lbm_steering_final.ppm");
+    let out = std::path::Path::new("target").join("lbm_steering_final.ppm");
+    std::fs::create_dir_all("target").ok();
+    std::fs::write(&out, image.to_ppm()).ok();
+    println!("final frame written to {}", out.display());
 }

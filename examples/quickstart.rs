@@ -45,7 +45,12 @@ fn main() {
                 let mut s = sim.lock();
                 // pick up the latest steered value (the visit-style
                 // "request" at the top of every step)
-                if let Some(m) = session.lock().params.get("miscibility") {
+                if let Some(m) = session
+                    .lock()
+                    .params
+                    .get_value("miscibility")
+                    .and_then(|v| v.as_f64())
+                {
                     s.set_miscibility(m);
                 }
                 s.step();

@@ -196,7 +196,12 @@ fn tcp_steering_server_drives_simulation_thread() {
         let (sim, session, stop) = (sim.clone(), session.clone(), stop.clone());
         std::thread::spawn(move || {
             while !stop.load(std::sync::atomic::Ordering::Relaxed) {
-                let m = session.lock().params.get("miscibility").unwrap();
+                let m = session
+                    .lock()
+                    .params
+                    .get_value("miscibility")
+                    .and_then(|v| v.as_f64())
+                    .unwrap();
                 let mut s = sim.lock();
                 s.set_miscibility(m);
                 s.step();

@@ -84,21 +84,36 @@ fn s2_packet_loss_burst_on_one_client() {
 }
 
 /// S3 — heavy latency jitter: arrivals spread out (p99 > p50, nonzero
-/// skew) but stay inside the post-processing budget.
+/// skew) but stay inside the post-processing budget — and a monitor-bus
+/// viewer on the same jittery backbone still meets the §4.2
+/// desktop-render budget (333 ms per frame) on every delivery.
 #[test]
 fn s3_latency_jitter_stays_in_budget() {
+    use gridsteer::harness::Transport;
     let r = Scenario::named("s3-jitter")
         .seed(103)
         .lbm(tiny_lbm())
         .participant("alice", Link::uk_janet())
         .participant("bob", Link::transatlantic())
+        .viewer_via("desk", Link::transatlantic(), Transport::Visit)
         .duration(SimTime::from_secs(3))
         .jitter_at(SimTime::ZERO, "bob", ms(120))
+        .jitter_at(SimTime::ZERO, "desk", ms(120))
         .run();
     assert_eq!(r.total_drops(), 0);
     assert!(r.p99 > r.p50, "jitter must spread the percentiles");
     assert!(r.max_skew > SimTime::ZERO);
     assert!(r.within_budget, "120ms jitter is far inside the 5s budget");
+    assert_eq!(r.post_budget_violations, 0);
+    // the desktop-render budget, scored per delivery on the virtual clock
+    let desk = r.viewer("desk").unwrap();
+    assert_eq!(desk.budget, "desktop-render");
+    assert!(desk.delivered > 0);
+    assert_eq!(
+        desk.budget_violations, 0,
+        "75ms latency + 120ms jitter stays under 333ms: {desk:?}"
+    );
+    assert!(desk.max_latency <= SimTime::from_millis(333));
 }
 
 /// S4 — partition + heal: during the partition window the client receives
@@ -424,4 +439,95 @@ fn s11_mixed_transport_interop() {
     // the injected loss bit: eve's viewer link must actually drop samples
     let eve = &r1.links.iter().find(|(n, _)| n == "eve").unwrap().1;
     assert!(eve.dropped > 0, "heavy loss must drop something: {eve:?}");
+}
+
+/// S12 — the mixed-transport *viewer* fan-out (ISSUE 5 tentpole): one LBM
+/// session publishes its monitored output through the monitor bus to
+/// VISIT + OGSA + COVISE + UNICORE subscribers under injected loss. The
+/// digest (which folds every received frame's bytes) must be byte-stable
+/// across re-runs and across executor pool sizes, and every delivery must
+/// meet the §4.2 desktop-render budget.
+#[test]
+fn s12_mixed_transport_viewer_fanout() {
+    use gridsteer::harness::Transport;
+    let build = || {
+        Scenario::named("s12-viewer-fanout")
+            .seed(112)
+            .lbm(tiny_lbm())
+            .participant("alice", Link::uk_janet())
+            .viewer_via("vis", Link::uk_janet(), Transport::Visit)
+            .viewer_via("ogsa", Link::transatlantic(), Transport::Ogsa)
+            .viewer_via("cov", Link::gwin(), Transport::Covise)
+            .viewer_via("uni", Link::uk_janet(), Transport::Unicore)
+            .viewer_every("uni", 2) // a polling consumer takes every 2nd
+            .duration(SimTime::from_secs(4))
+            .loss_at(ms(300), "ogsa", 400_000) // heavy loss on one viewer
+            .partition_at(ms(1500), "vis")
+            .heal_at(ms(2200), "vis")
+            .steer_at(ms(800), "alice", "miscibility", 0.35)
+    };
+    let r1 = build().run();
+    let r2 = build().run();
+    // byte-stable digest: identical across re-runs…
+    assert_eq!(r1.render(), r2.render(), "viewer fan-out must replay");
+    assert_eq!(r1.digest(), r2.digest());
+    // …and across executor pool sizes (thread-count independence)
+    let r_serial = build().pool(gridsteer_exec::shared(1)).run();
+    let r_wide = build().pool(gridsteer_exec::shared(8)).run();
+    assert_eq!(r1.digest(), r_serial.digest());
+    assert_eq!(r1.digest(), r_wide.digest());
+    // all four middleware subscribers attached with negotiated handshakes
+    for needle in [
+        "attach-viewer vis budget=desktop-render transport=visit",
+        "attach-viewer ogsa budget=desktop-render transport=ogsa",
+        "attach-viewer cov budget=desktop-render transport=covise",
+        "attach-viewer uni budget=desktop-render transport=unicore",
+    ] {
+        assert!(
+            r1.engine_events.iter().any(|e| e.contains(needle)),
+            "missing handshake {needle:?} in {:?}",
+            r1.engine_events
+        );
+    }
+    // COVISE's data plane takes only grids: negotiation must have
+    // narrowed its capability set, and the hub must have filtered the
+    // scalar/vec3 channels rather than shipping them
+    let cov_attach = r1
+        .engine_events
+        .iter()
+        .find(|e| e.contains("attach-viewer cov"))
+        .unwrap();
+    assert!(cov_attach.contains("kinds=grid2+grid3"), "{cov_attach}");
+    let cov = r1.viewer("cov").unwrap();
+    assert!(cov.filtered > 0, "scalars must be filtered for covise");
+    // the full-caps VISIT viewer sees every channel while its link is up
+    let vis = r1.viewer("vis").unwrap();
+    assert!(vis.delivered > 0);
+    assert!(
+        vis.dropped > 0,
+        "partition window must drop frames: {vis:?}"
+    );
+    // deterministic loss on the OGSA viewer's transatlantic link
+    let og = r1.viewer("ogsa").unwrap();
+    assert!(og.dropped > 0, "40% loss must drop something: {og:?}");
+    // the polling UNICORE consumer is decimated, not starved
+    let uni = r1.viewer("uni").unwrap();
+    assert!(uni.decimated > 0);
+    assert!(uni.delivered > 0);
+    // every received frame stream is distinct and byte-folded
+    let digests: Vec<&str> = ["vis", "ogsa", "cov", "uni"]
+        .iter()
+        .map(|n| r1.viewer(n).unwrap().frames_digest.as_str())
+        .collect();
+    assert!(digests.iter().all(|d| *d != "0000000000000000"));
+    // zero desktop-render budget violations across every transport
+    assert!(
+        r1.viewers_within_budget(),
+        "budget violations: {:?}",
+        r1.viewers
+    );
+    assert_eq!(r1.post_budget_violations, 0);
+    // the steer landed while the data plane was under fault
+    assert_eq!(r1.steers_applied, 1);
+    assert!(r1.monitor_frames > 0);
 }
