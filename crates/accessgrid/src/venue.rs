@@ -8,7 +8,7 @@
 //! applications of the HLRS venue server (§4.6).
 
 use netsim::{Bridge, Link, MulticastGroup, NetModel, SiteId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Identifies a participant within a venue server.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -56,19 +56,19 @@ pub struct SharedApp {
 pub struct Venue {
     /// Room name.
     pub name: String,
-    participants: HashMap<ParticipantId, Participant>,
+    participants: BTreeMap<ParticipantId, Participant>,
     /// Media distribution group for this room.
     pub group: MulticastGroup,
-    apps: HashMap<String, SharedApp>,
+    apps: BTreeMap<String, SharedApp>,
 }
 
 impl Venue {
     fn new(name: &str) -> Venue {
         Venue {
             name: name.to_string(),
-            participants: HashMap::new(),
+            participants: BTreeMap::new(),
             group: MulticastGroup::new(),
-            apps: HashMap::new(),
+            apps: BTreeMap::new(),
         }
     }
 
@@ -124,7 +124,7 @@ impl Venue {
 pub struct VenueServer {
     /// Server's own site (bridge host for NAT'd members).
     pub site: SiteId,
-    venues: HashMap<String, Venue>,
+    venues: BTreeMap<String, Venue>,
     next_id: u64,
 }
 
@@ -133,7 +133,7 @@ impl VenueServer {
     pub fn new(site: SiteId) -> VenueServer {
         VenueServer {
             site,
-            venues: HashMap::new(),
+            venues: BTreeMap::new(),
             next_id: 1,
         }
     }

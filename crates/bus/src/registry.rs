@@ -2,12 +2,12 @@
 //!
 //! This replaces the old f64-only registry in `steer_core::params` (which
 //! now re-exports these types). Values are [`ParamValue`]s validated
-//! against [`ParamSpec`]s. The f64 `get`/`set` convenience shims that
-//! eased the original migration are now `#[deprecated]` — they silently
-//! lose `Vec3`/`Str` parameters and drop the applied (clamped/coerced)
-//! value; every in-tree caller uses the typed
+//! against [`ParamSpec`]s. The typed
 //! [`get_value`](ParamRegistry::get_value) /
-//! [`set_value`](ParamRegistry::set_value) API.
+//! [`set_value`](ParamRegistry::set_value) API is the only one: the f64
+//! `get`/`set` shims that eased the original migration (they silently
+//! lost `Vec3`/`Str` parameters and dropped the applied clamped value)
+//! went through a `#[deprecated]` cycle and are now removed.
 
 use crate::spec::ParamSpec;
 use crate::value::ParamValue;
@@ -57,16 +57,6 @@ impl ParamRegistry {
         self.values.get(name)
     }
 
-    /// Current value as f64 (legacy shim; `None` for non-numeric
-    /// parameters).
-    #[deprecated(
-        since = "0.1.0",
-        note = "f64-only view loses Vec3/Str parameters — use `get_value`"
-    )]
-    pub fn get(&self, name: &str) -> Option<f64> {
-        self.values.get(name).and_then(ParamValue::as_f64)
-    }
-
     /// Check a steer without applying it: returns the value that *would*
     /// be applied (after clamp/coercion) or the refusal reason.
     pub fn validate(&self, name: &str, value: &ParamValue) -> Result<ParamValue, String> {
@@ -85,15 +75,6 @@ impl ParamRegistry {
         self.history
             .push((self.seq, name.to_string(), applied.clone()));
         Ok(applied)
-    }
-
-    /// Apply an f64 steer (legacy shim over [`ParamRegistry::set_value`]).
-    #[deprecated(
-        since = "0.1.0",
-        note = "f64-only writes cannot carry typed values and drop the applied result — use `set_value`"
-    )]
-    pub fn set(&mut self, name: &str, value: f64) -> Result<(), String> {
-        self.set_value(name, &ParamValue::F64(value)).map(|_| ())
     }
 
     /// Change log (oldest first).
@@ -149,16 +130,6 @@ impl SharedRegistry {
         self.inner.lock().get_value(name).cloned()
     }
 
-    /// Current value as f64 (legacy shim).
-    #[deprecated(
-        since = "0.1.0",
-        note = "f64-only view loses Vec3/Str parameters — use `get_value`"
-    )]
-    pub fn get(&self, name: &str) -> Option<f64> {
-        #[allow(deprecated)]
-        self.inner.lock().get(name)
-    }
-
     /// Check a steer without applying it.
     pub fn validate(&self, name: &str, value: &ParamValue) -> Result<ParamValue, String> {
         self.inner.lock().validate(name, value)
@@ -167,16 +138,6 @@ impl SharedRegistry {
     /// Apply a typed steer.
     pub fn set_value(&self, name: &str, value: &ParamValue) -> Result<ParamValue, String> {
         self.inner.lock().set_value(name, value)
-    }
-
-    /// Apply an f64 steer (legacy shim).
-    #[deprecated(
-        since = "0.1.0",
-        note = "f64-only writes cannot carry typed values and drop the applied result — use `set_value`"
-    )]
-    pub fn set(&self, name: &str, value: f64) -> Result<(), String> {
-        #[allow(deprecated)]
-        self.inner.lock().set(name, value)
     }
 
     /// Snapshot of the change log.
@@ -250,21 +211,29 @@ mod tests {
         assert_eq!(shared.spec("x").unwrap().policy, BoundsPolicy::Reject);
     }
 
-    /// The deprecated f64 shims must keep their exact behaviour for
-    /// out-of-tree callers until removal: numeric view, string blindness,
-    /// typed validation underneath.
+    /// The typed API preserves what the removed f64 shims threw away:
+    /// non-numeric parameters stay visible and the applied (possibly
+    /// clamped) value comes back to the caller.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_f64_shims_still_behave() {
+    fn typed_api_covers_former_f64_shim_uses() {
         let mut r = ParamRegistry::new();
         r.declare(ParamSpec::f64("miscibility", 0.0, 1.0, 1.0));
         r.declare(ParamSpec::text("site", "london"));
-        assert_eq!(r.get("miscibility"), Some(1.0));
-        assert_eq!(r.get("site"), None, "strings have no f64 view");
-        r.set("miscibility", 0.25).unwrap();
-        assert!(r.set("miscibility", 7.0).is_err());
+        assert_eq!(
+            r.get_value("miscibility").and_then(ParamValue::as_f64),
+            Some(1.0)
+        );
+        assert_eq!(
+            r.get_value("site"),
+            Some(&ParamValue::Str("london".into())),
+            "strings survive the typed view"
+        );
+        r.set_value("miscibility", &ParamValue::F64(0.25)).unwrap();
+        assert!(r.set_value("miscibility", &ParamValue::F64(7.0)).is_err());
         let shared = SharedRegistry::new(r);
-        shared.set("miscibility", 0.5).unwrap();
-        assert_eq!(shared.get("miscibility"), Some(0.5));
+        shared
+            .set_value("miscibility", &ParamValue::F64(0.5))
+            .unwrap();
+        assert_eq!(shared.get_value("miscibility"), Some(ParamValue::F64(0.5)));
     }
 }

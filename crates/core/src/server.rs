@@ -71,6 +71,7 @@ impl CollabServer {
         let stop = Arc::new(AtomicBool::new(false));
         let accept_stop = stop.clone();
         let accept_session = session.clone();
+        // detlint::allow(R3, "TCP accept loop: blocking io concurrency, never compute — results are serialized through the session lock")
         let accept_thread = std::thread::spawn(move || {
             let mut workers: Vec<JoinHandle<()>> = Vec::new();
             while !accept_stop.load(Ordering::Relaxed) {
@@ -78,6 +79,7 @@ impl CollabServer {
                     Ok((stream, _)) => {
                         let sess = accept_session.clone();
                         let stop = accept_stop.clone();
+                        // detlint::allow(R3, "one io worker per client socket; all state mutation goes through the shared SteeringSession")
                         workers.push(std::thread::spawn(move || {
                             let _ = serve_client(stream, sess, stop);
                         }));

@@ -191,6 +191,7 @@ impl Controller {
     pub fn execute(&mut self, broker: &mut RequestBroker) -> Result<ExecReport, ExecError> {
         let order = self.firing_order()?;
         let mut report = ExecReport::default();
+        // detlint::allow(R1, "ExecReport wall-time stats are advisory output, never digest input")
         let t0 = Instant::now();
         let bytes0 = broker.stats().bytes;
         for id in order {
@@ -230,6 +231,7 @@ impl Controller {
                 })
                 .collect::<Result<_, _>>()?;
             // fire
+            // detlint::allow(R1, "per-module wall time for ExecReport stats; advisory only")
             let tm = Instant::now();
             let outputs = self.modules[id.0]
                 .module

@@ -102,6 +102,8 @@ struct RawJob {
     next: *const AtomicUsize,
     panic_slot: *const PanicSlot,
 }
+// SAFETY: the raw pointers reference stack frames the dispatcher keeps
+// alive until every worker detaches (see run_persistent's barrier).
 unsafe impl Send for RawJob {}
 
 /// First caught task-panic payload; re-raised by the dispatcher so the
@@ -355,6 +357,8 @@ impl ExecPool {
         self.run(tasks, move |i| {
             let (sa, sb) = (i * ca, i * cb);
             let (na, nb) = (ca.min(la - sa), cb.min(lb - sb));
+            // SAFETY: chunk i of each slice covers [i*c, i*c + n) — the
+            // regions handed to distinct tasks are disjoint by construction.
             let chunk_a = unsafe { std::slice::from_raw_parts_mut(pa.add(sa), na) };
             let chunk_b = unsafe { std::slice::from_raw_parts_mut(pb.add(sb), nb) };
             f(i, chunk_a, chunk_b);
@@ -375,6 +379,8 @@ impl ExecPool {
         {
             let base = SendPtr(out.as_mut_ptr());
             self.run(tasks, move |i| {
+                // SAFETY: task i writes only slot i; slots are disjoint
+                // and `out` outlives the scoped dispatch.
                 let slot = unsafe { &mut *base.add(i) };
                 *slot = Some(f(i));
             });
@@ -484,7 +490,9 @@ fn worker_loop(shared: &Shared) {
 /// through [`SendPtr::add`] so closures capture the wrapper (with its
 /// `Sync` impl), not the bare pointer field.
 struct SendPtr<T>(*mut T);
+// SAFETY: see above — disjoint-region chunk math is the whole contract.
 unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: same contract; shared references only ever read the pointer value.
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 impl<T> SendPtr<T> {

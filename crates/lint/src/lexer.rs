@@ -1,0 +1,361 @@
+//! A hand-rolled Rust lexer — just enough fidelity for determinism
+//! linting: identifiers, punctuation, literals, and lifetimes become
+//! tokens; comments are captured on the side (they carry suppression
+//! directives and justification evidence for R6). No registry deps, no
+//! proc macros — the lexer must work on any `.rs` file in the tree
+//! including ones that do not compile.
+
+/// What a token is, coarsely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `for`, `unsafe`, ...).
+    Ident,
+    /// Single punctuation character (`:`, `.`, `(`, `#`, ...).
+    Punct,
+    /// String / char / byte / numeric literal (content not interpreted).
+    Literal,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One token with its 1-indexed source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+/// One comment with the 1-indexed line it *starts* on and, for block
+/// comments, the line it ends on.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+    pub end_line: u32,
+}
+
+/// Lexer output: the token stream plus the comment side-channel.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// True if any comment covers `line` (start..=end for blocks).
+    pub fn comment_on_line(&self, line: u32) -> bool {
+        self.comments
+            .iter()
+            .any(|c| c.line <= line && line <= c.end_line)
+    }
+}
+
+/// Tokenize `src`. Never fails: unrecognized bytes become punctuation.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            // Line comment (also doc comments `///`, `//!`).
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    text: src[start..i].to_string(),
+                    line,
+                    end_line: line,
+                });
+            }
+            // Block comment, nesting honoured.
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    text: src[start..i].to_string(),
+                    line: start_line,
+                    end_line: line,
+                });
+            }
+            // Raw strings: r"...", r#"..."#, br#"..."# (any # count).
+            b'r' | b'b' if is_raw_string_start(b, i) => {
+                let (ni, nl) = skip_raw_string(b, i, line);
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text: String::from("\"raw\""),
+                    line,
+                });
+                i = ni;
+                line = nl;
+            }
+            // Plain and byte strings.
+            b'"' => {
+                let (ni, nl) = skip_string(b, i, line);
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text: String::from("\"str\""),
+                    line,
+                });
+                i = ni;
+                line = nl;
+            }
+            b'b' if b.get(i + 1) == Some(&b'"') => {
+                let (ni, nl) = skip_string(b, i + 1, line);
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text: String::from("\"bstr\""),
+                    line,
+                });
+                i = ni;
+                line = nl;
+            }
+            // Lifetime or char literal. `'a` / `'static` vs `'x'` / `'\n'`.
+            b'\'' => {
+                if is_char_literal(b, i) {
+                    i = skip_char_literal(b, i);
+                    out.tokens.push(Token {
+                        kind: TokKind::Literal,
+                        text: String::from("'c'"),
+                        line,
+                    });
+                } else {
+                    let start = i;
+                    i += 1;
+                    while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::Lifetime,
+                        text: src[start..i].to_string(),
+                        line,
+                    });
+                }
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.')
+                {
+                    // `1..10` range: stop before a second consecutive dot
+                    if b[i] == b'.' && b.get(i + 1) == Some(&b'.') {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            _ => {
+                out.tokens.push(Token {
+                    kind: TokKind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn is_raw_string_start(b: &[u8], i: usize) -> bool {
+    // r" r#" br" br#"
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if b.get(j) != Some(&b'r') {
+        return false;
+    }
+    j += 1;
+    while b.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    b.get(j) == Some(&b'"')
+}
+
+fn skip_raw_string(b: &[u8], mut i: usize, mut line: u32) -> (usize, u32) {
+    if b[i] == b'b' {
+        i += 1;
+    }
+    i += 1; // 'r'
+    let mut hashes = 0usize;
+    while b.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // opening quote
+    while i < b.len() {
+        if b[i] == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if b[i] == b'"' {
+            let mut k = 0usize;
+            while k < hashes && b.get(i + 1 + k) == Some(&b'#') {
+                k += 1;
+            }
+            if k == hashes {
+                return (i + 1 + hashes, line);
+            }
+        }
+        i += 1;
+    }
+    (i, line)
+}
+
+fn skip_string(b: &[u8], mut i: usize, mut line: u32) -> (usize, u32) {
+    i += 1; // opening quote
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return (i + 1, line),
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (i, line)
+}
+
+/// Distinguish `'x'`/`'\n'` (char literal) from `'a` (lifetime): a char
+/// literal closes with `'` within a couple of chars; a lifetime never
+/// has a closing quote.
+fn is_char_literal(b: &[u8], i: usize) -> bool {
+    match b.get(i + 1) {
+        Some(b'\\') => true,
+        Some(_) => b.get(i + 2) == Some(&b'\''),
+        None => false,
+    }
+}
+
+fn skip_char_literal(b: &[u8], mut i: usize) -> usize {
+    i += 1; // opening quote
+    if b.get(i) == Some(&b'\\') {
+        i += 2;
+        // \u{...}
+        while i < b.len() && b[i] != b'\'' {
+            i += 1;
+        }
+        return i + 1;
+    }
+    i += 1;
+    if b.get(i) == Some(&b'\'') {
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idents_and_paths_tokenize_with_lines() {
+        let l = lex("let x = Instant::now();\nlet y = 2;");
+        let idents: Vec<(&str, u32)> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| (t.text.as_str(), t.line))
+            .collect();
+        assert_eq!(
+            idents,
+            vec![
+                ("let", 1),
+                ("x", 1),
+                ("Instant", 1),
+                ("now", 1),
+                ("let", 2),
+                ("y", 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn string_contents_do_not_leak_identifiers() {
+        let l = lex("let s = \"Instant::now() HashMap\";\nlet r = r##\"thread_rng\"##;");
+        assert!(l.tokens.iter().all(|t| t.kind != TokKind::Ident
+            || (t.text != "Instant" && t.text != "HashMap" && t.text != "thread_rng")));
+    }
+
+    #[test]
+    fn comments_are_side_channel_not_tokens() {
+        let l = lex("// detlint::allow(R1, \"x\")\nlet a = 1; /* block\nspans */ let b = 2;");
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].line, 1);
+        assert_eq!(l.comments[1].line, 2);
+        assert_eq!(l.comments[1].end_line, 3);
+        assert!(l.comment_on_line(3));
+        assert!(!l.comment_on_line(4));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex("fn f<'a>(x: &'a u8) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        let chars = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal && t.text == "'c'")
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn nested_block_comments_terminate() {
+        let l = lex("/* a /* b */ c */ let x = 1;");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokKind::Ident).count(),
+            2
+        );
+    }
+}

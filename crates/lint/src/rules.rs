@@ -1,0 +1,499 @@
+//! The determinism rules R1–R6.
+//!
+//! Each rule walks the token stream of one [`SourceFile`] and reports
+//! hazards with a line, message, and fix hint. Test-only code (lines
+//! inside `#[cfg(test)]` modules / `#[test]` fns) is exempt from every
+//! rule: the contract protects the digest-producing paths, and the
+//! dynamic 1-vs-8-thread matrix already covers tests.
+
+use crate::source::{match_paren, path_ends_at, SourceFile};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifies one lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// Wall-clock reads (`Instant::now`, `SystemTime`, `Utc::now`, ...).
+    R1,
+    /// Iteration over `HashMap`/`HashSet` (nondeterministic order).
+    R2,
+    /// Raw threading (`thread::spawn`, `crossbeam`) outside the executor.
+    R3,
+    /// Unseeded RNG (`thread_rng`, `from_entropy`, `OsRng`).
+    R4,
+    /// Unordered float reduction (`.sum()`/`.fold()`) inside `parallel_*`.
+    R5,
+    /// `#[allow(...)]` / `unsafe` without a justification comment.
+    R6,
+    /// A `detlint::allow` that carries no reason string (meta rule —
+    /// cannot itself be suppressed).
+    BadAllow,
+}
+
+impl RuleId {
+    /// All suppressible rules, in report order.
+    pub const ALL: [RuleId; 6] = [
+        RuleId::R1,
+        RuleId::R2,
+        RuleId::R3,
+        RuleId::R4,
+        RuleId::R5,
+        RuleId::R6,
+    ];
+
+    /// Parse `"R1"`..`"R6"`.
+    pub fn parse(s: &str) -> Option<RuleId> {
+        match s.trim() {
+            "R1" => Some(RuleId::R1),
+            "R2" => Some(RuleId::R2),
+            "R3" => Some(RuleId::R3),
+            "R4" => Some(RuleId::R4),
+            "R5" => Some(RuleId::R5),
+            "R6" => Some(RuleId::R6),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RuleId::R1 => "R1",
+            RuleId::R2 => "R2",
+            RuleId::R3 => "R3",
+            RuleId::R4 => "R4",
+            RuleId::R5 => "R5",
+            RuleId::R6 => "R6",
+            RuleId::BadAllow => "R0",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One reported hazard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: RuleId,
+    pub line: u32,
+    pub message: String,
+    pub hint: String,
+}
+
+/// Run every rule in `enabled` over `src`, apply inline suppressions, and
+/// append a [`RuleId::BadAllow`] finding for each reasonless suppression.
+/// Findings come back sorted by (line, rule).
+pub fn lint_source(src: &str, enabled: &BTreeSet<RuleId>) -> Vec<Finding> {
+    let file = SourceFile::parse(src);
+    let mut raw: Vec<Finding> = Vec::new();
+    if enabled.contains(&RuleId::R1) {
+        r1_wall_clock(&file, &mut raw);
+    }
+    if enabled.contains(&RuleId::R2) {
+        r2_hash_iteration(&file, &mut raw);
+    }
+    if enabled.contains(&RuleId::R3) {
+        r3_raw_threads(&file, &mut raw);
+    }
+    if enabled.contains(&RuleId::R4) {
+        r4_unseeded_rng(&file, &mut raw);
+    }
+    if enabled.contains(&RuleId::R5) {
+        r5_unordered_reduce(&file, &mut raw);
+    }
+    if enabled.contains(&RuleId::R6) {
+        r6_unjustified_escape(&file, &mut raw);
+    }
+    let mut out: Vec<Finding> = raw
+        .into_iter()
+        .filter(|f| !file.is_test_line(f.line))
+        .filter(|f| file.suppression_for(f.rule, f.line).is_none())
+        .collect();
+    for s in &file.suppressions {
+        if s.reason.is_none() {
+            out.push(Finding {
+                rule: RuleId::BadAllow,
+                line: s.line,
+                message: "detlint::allow without a reason string".into(),
+                hint: "write detlint::allow(Rn, \"why this site is safe\")".into(),
+            });
+        }
+    }
+    out.sort_by_key(|f| (f.line, f.rule));
+    out
+}
+
+/// R1 — wall-clock reads. The virtual clock (`SimTime`) is the only time
+/// source replayable across runs; `Instant`/`SystemTime` values differ
+/// per host and feed timing jitter into anything they touch.
+fn r1_wall_clock(file: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &file.lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        let hit = match t.text.as_str() {
+            "SystemTime" => true,
+            "now" => ["Instant", "Utc", "Local", "Date"]
+                .iter()
+                .any(|ty| path_ends_at(toks, i, &[ty, ":", ":", "now"])),
+            _ => false,
+        };
+        if hit {
+            out.push(Finding {
+                rule: RuleId::R1,
+                line: t.line,
+                message: format!("wall-clock read `{}` breaks replay determinism", t.text),
+                hint: "use the scenario virtual clock (SimTime) or move timing into a \
+                       bench/exp binary"
+                    .into(),
+            });
+        }
+    }
+}
+
+const ITER_METHODS: [&str; 7] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+];
+
+/// R2 — iteration over hash-ordered collections. `HashMap`/`HashSet`
+/// iteration order is randomized per process; any digest, fan-out, or
+/// reduction fed by it is nondeterministic. Detection is per-file: names
+/// declared (or typed) as `HashMap`/`HashSet` are tracked, and iterating
+/// method calls or `for` loops over those names are flagged.
+fn r2_hash_iteration(file: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &file.lexed.tokens;
+    let names = hash_collection_names(file);
+    if names.is_empty() {
+        return;
+    }
+    for (i, t) in toks.iter().enumerate() {
+        // name . method (    |    self . name . method (
+        if ITER_METHODS.contains(&t.text.as_str())
+            && i >= 2
+            && toks[i - 1].text == "."
+            && names.contains(&toks[i - 2].text)
+            && toks.get(i + 1).is_some_and(|n| n.text == "(")
+        {
+            out.push(Finding {
+                rule: RuleId::R2,
+                line: t.line,
+                message: format!(
+                    "iteration over hash-ordered collection `{}` (`.{}()`)",
+                    toks[i - 2].text,
+                    t.text
+                ),
+                hint: "switch to BTreeMap/BTreeSet, or collect and sort before use".into(),
+            });
+        }
+        // for <pat> in <expr containing a tracked name> {
+        if t.text == "for" {
+            let mut j = i + 1;
+            let mut in_at = None;
+            let mut depth = 0i32;
+            while j < toks.len() && j < i + 64 {
+                match toks[j].text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "in" if depth == 0 => {
+                        in_at = Some(j);
+                        break;
+                    }
+                    "{" | ";" => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            let Some(start) = in_at else { continue };
+            let mut k = start + 1;
+            let mut depth = 0i32;
+            while k < toks.len() {
+                match toks[k].text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" if depth == 0 => break,
+                    ";" => break,
+                    name if names.contains(name) => {
+                        // `m.get(..)`-style member calls inside the header
+                        // were already handled above; a bare `&name` (or
+                        // `name` feeding IntoIterator) is the hazard here.
+                        let called = toks.get(k + 1).is_some_and(|n| n.text == ".");
+                        if !called {
+                            out.push(Finding {
+                                rule: RuleId::R2,
+                                line: toks[k].line,
+                                message: format!("for-loop over hash-ordered collection `{name}`"),
+                                hint: "switch to BTreeMap/BTreeSet, or collect and sort \
+                                       before use"
+                                    .into(),
+                            });
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+        }
+    }
+}
+
+/// Names bound to `HashMap`/`HashSet` in this file: `name: HashMap<..>`
+/// type ascriptions (fields, params, lets) and `let name = HashMap::new()`
+/// style initializers.
+fn hash_collection_names(file: &SourceFile) -> BTreeSet<String> {
+    let toks = &file.lexed.tokens;
+    let mut names = BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.text != "HashMap" && t.text != "HashSet" {
+            continue;
+        }
+        // Walk back over a path prefix / reference sigils to `ident :`.
+        let mut j = i;
+        while j > 0 {
+            let p = toks[j - 1].text.as_str();
+            if p == ":" && j >= 2 && toks[j - 2].text == ":" {
+                j -= 2; // `::` path separator
+            } else if ["std", "collections", "&", "mut", "'"].contains(&p)
+                || toks[j - 1].kind == crate::lexer::TokKind::Lifetime
+            {
+                j -= 1;
+            } else {
+                break;
+            }
+        }
+        if j >= 2 && toks[j - 1].text == ":" && toks[j - 2].kind == crate::lexer::TokKind::Ident {
+            names.insert(toks[j - 2].text.clone());
+        }
+    }
+    // let [mut] name ... = <rhs containing HashMap/HashSet before `;`>
+    for (i, t) in toks.iter().enumerate() {
+        if t.text != "let" {
+            continue;
+        }
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|t| t.text == "mut") {
+            j += 1;
+        }
+        let Some(name_tok) = toks.get(j) else {
+            continue;
+        };
+        if name_tok.kind != crate::lexer::TokKind::Ident {
+            continue;
+        }
+        let mut k = j + 1;
+        let mut saw_eq = false;
+        while k < toks.len() && k < j + 48 {
+            match toks[k].text.as_str() {
+                ";" => break,
+                "=" => saw_eq = true,
+                "HashMap" | "HashSet" if saw_eq => {
+                    names.insert(name_tok.text.clone());
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+    }
+    names
+}
+
+/// R3 — raw threading. All parallelism must route through
+/// `gridsteer_exec` (fixed chunk→index mapping); ad-hoc `thread::spawn`
+/// or `crossbeam` reintroduces scheduling-order dependence.
+fn r3_raw_threads(file: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &file.lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.text == "crossbeam" {
+            out.push(Finding {
+                rule: RuleId::R3,
+                line: t.line,
+                message: "crossbeam used outside gridsteer_exec".into(),
+                hint: "route parallelism through the shared ExecPool".into(),
+            });
+        }
+        if t.text == "spawn" && path_ends_at(toks, i, &["thread", ":", ":", "spawn"]) {
+            out.push(Finding {
+                rule: RuleId::R3,
+                line: t.line,
+                message: "thread::spawn outside gridsteer_exec".into(),
+                hint: "route parallelism through the shared ExecPool".into(),
+            });
+        }
+    }
+}
+
+/// R4 — unseeded randomness. Every RNG must be constructed from an
+/// explicit seed recorded in the scenario, or replay diverges.
+fn r4_unseeded_rng(file: &SourceFile, out: &mut Vec<Finding>) {
+    for t in &file.lexed.tokens {
+        if ["thread_rng", "from_entropy", "OsRng"].contains(&t.text.as_str()) {
+            out.push(Finding {
+                rule: RuleId::R4,
+                line: t.line,
+                message: format!("unseeded RNG source `{}`", t.text),
+                hint: "use StdRng::seed_from_u64 with a scenario-recorded seed".into(),
+            });
+        }
+    }
+}
+
+/// R5 — unordered float reduction inside a parallel region. `.sum()` /
+/// `.fold()` in a closure handed to a `parallel_*` helper accumulates in
+/// completion order unless wrapped by an ordered reduce (the pool's
+/// `map` + sequential fold).
+fn r5_unordered_reduce(file: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &file.lexed.tokens;
+    // Collect `ordered_reduce(...)` spans so reductions inside them pass.
+    let mut ordered: Vec<(usize, usize)> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.text == "ordered_reduce" && toks.get(i + 1).is_some_and(|n| n.text == "(") {
+            ordered.push((i + 1, match_paren(toks, i + 1)));
+        }
+    }
+    for (i, t) in toks.iter().enumerate() {
+        if !t.text.starts_with("parallel_") || toks.get(i + 1).map(|n| n.text.as_str()) != Some("(")
+        {
+            continue;
+        }
+        let close = match_paren(toks, i + 1);
+        for k in (i + 2)..close {
+            let m = &toks[k];
+            if (m.text == "sum" || m.text == "fold")
+                && toks[k - 1].text == "."
+                && toks.get(k + 1).is_some_and(|n| n.text == "(")
+                && !ordered.iter().any(|&(a, b)| a < k && k < b)
+            {
+                out.push(Finding {
+                    rule: RuleId::R5,
+                    line: m.line,
+                    message: format!(
+                        "float accumulation `.{}()` inside `{}` closure runs in \
+                         completion order",
+                        m.text, t.text
+                    ),
+                    hint: "use pool.map(..) and fold the returned Vec sequentially \
+                           (ordered reduce)"
+                        .into(),
+                });
+            }
+        }
+    }
+}
+
+/// R6 — escape hatches need stated reasons: `#[allow(...)]` attributes
+/// and `unsafe` tokens must carry a comment on the same line or within
+/// the two lines above explaining why the escape is sound.
+fn r6_unjustified_escape(file: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &file.lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        let (is_escape, what) = if t.text == "unsafe" {
+            (true, "unsafe")
+        } else if t.text == "allow" && i >= 2 && toks[i - 1].text == "[" {
+            // `#[allow` or `#![allow`
+            let h = &toks[i - 2].text;
+            (h == "#" || h == "!", "#[allow(..)]")
+        } else {
+            (false, "")
+        };
+        if is_escape && !file.has_nearby_comment(t.line) {
+            out.push(Finding {
+                rule: RuleId::R6,
+                line: t.line,
+                message: format!("{what} without a justification comment"),
+                hint: "add a comment (same line or just above) stating why this \
+                       escape is sound"
+                    .into(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all() -> BTreeSet<RuleId> {
+        RuleId::ALL.iter().copied().collect()
+    }
+
+    fn rules_of(src: &str) -> Vec<(RuleId, u32)> {
+        lint_source(src, &all())
+            .into_iter()
+            .map(|f| (f.rule, f.line))
+            .collect()
+    }
+
+    #[test]
+    fn r1_flags_instant_and_systemtime_only_outside_tests() {
+        let src = "fn a() { let t = Instant::now(); }\n\
+                   fn b() { let s = SystemTime::now(); }\n\
+                   #[cfg(test)]\nmod tests {\n  fn c() { let t = Instant::now(); }\n}\n";
+        assert_eq!(rules_of(src), vec![(RuleId::R1, 1), (RuleId::R1, 2)]);
+    }
+
+    #[test]
+    fn r2_flags_method_iteration_and_for_loops() {
+        let src = "struct S { m: HashMap<u32, u8> }\n\
+                   impl S {\n\
+                     fn f(&self) { for v in self.m.values() {} }\n\
+                     fn g(&self) { let m2: HashSet<u8> = HashSet::new(); for x in &m2 {} }\n\
+                     fn h(&self) { let _ = self.m.get(&1); }\n\
+                   }\n";
+        assert_eq!(rules_of(src), vec![(RuleId::R2, 3), (RuleId::R2, 4)]);
+    }
+
+    #[test]
+    fn r2_ignores_lookup_only_maps() {
+        let src = "fn f(m: &HashMap<String, u32>) -> Option<u32> { m.get(\"x\").copied() }\n";
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn r3_flags_spawn_and_crossbeam() {
+        let src = "use crossbeam::channel::bounded;\nfn f() { std::thread::spawn(|| {}); }\n";
+        assert_eq!(rules_of(src), vec![(RuleId::R3, 1), (RuleId::R3, 2)]);
+    }
+
+    #[test]
+    fn r4_flags_entropy_sources() {
+        let src = "fn f() { let mut r = thread_rng(); let s = StdRng::from_entropy(); }\n";
+        assert_eq!(rules_of(src), vec![(RuleId::R4, 1), (RuleId::R4, 1)]);
+    }
+
+    #[test]
+    fn r5_flags_sum_inside_parallel_closure_only() {
+        let src = "fn f(pool: &P, v: &mut [f64]) {\n\
+                     pool.parallel_chunks(v, 8, |_, c| {\n\
+                       let s: f64 = c.iter().sum();\n\
+                       let _ = s;\n\
+                     });\n\
+                     let fine: f64 = v.iter().sum();\n\
+                   }\n";
+        assert_eq!(rules_of(src), vec![(RuleId::R5, 3)]);
+    }
+
+    #[test]
+    fn r6_flags_unjustified_allow_and_unsafe() {
+        let src = "#[allow(dead_code)]\nfn f() { let p = unsafe { *x }; }\n\
+                   // sound: slot is pinned for the pool's lifetime\nfn g() { let q = unsafe { *y }; }\n";
+        assert_eq!(rules_of(src), vec![(RuleId::R6, 1), (RuleId::R6, 2)]);
+    }
+
+    #[test]
+    fn suppression_with_reason_silences_without_reason_reports() {
+        let src = "fn a() { let t = Instant::now(); } // detlint::allow(R1, \"io timeout\")\n\
+                   fn b() { let t = Instant::now(); } // detlint::allow(R1)\n";
+        assert_eq!(rules_of(src), vec![(RuleId::BadAllow, 2)]);
+    }
+
+    #[test]
+    fn disabled_rules_do_not_fire() {
+        let mut enabled = all();
+        enabled.remove(&RuleId::R1);
+        let f = lint_source("fn a() { let t = Instant::now(); }", &enabled);
+        assert!(f.is_empty());
+    }
+}

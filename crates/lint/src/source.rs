@@ -1,0 +1,311 @@
+//! Per-file source model built on top of the raw token stream: test-region
+//! detection (`#[cfg(test)]` modules and `#[test]` functions), inline
+//! `detlint::allow(...)` suppressions, and small token-walking helpers the
+//! rules share.
+
+use crate::lexer::{lex, Lexed, Token};
+use crate::rules::RuleId;
+use std::collections::BTreeSet;
+
+/// An inline suppression parsed from a comment:
+/// `// detlint::allow(R2, "hash order irrelevant: removal-only pass")`.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    pub rule: RuleId,
+    pub reason: Option<String>,
+    /// Line of the comment itself.
+    pub line: u32,
+    /// Line the suppression applies to: the comment's own line if it
+    /// trails code, otherwise the next non-comment line below it.
+    pub target_line: u32,
+}
+
+/// A file after lexing + structure analysis, ready for rules.
+pub struct SourceFile {
+    pub lexed: Lexed,
+    /// 1-indexed lines inside `#[cfg(test)]` modules / `#[test]` fns.
+    test_lines: BTreeSet<u32>,
+    pub suppressions: Vec<Suppression>,
+    /// Total line count (for bounds).
+    pub last_line: u32,
+}
+
+impl SourceFile {
+    /// Lex and analyse one file's source text.
+    pub fn parse(src: &str) -> SourceFile {
+        let lexed = lex(src);
+        let last_line = (src.lines().count() as u32).max(1);
+        let test_lines = find_test_regions(&lexed.tokens);
+        let suppressions = find_suppressions(&lexed, last_line);
+        SourceFile {
+            lexed,
+            test_lines,
+            suppressions,
+            last_line,
+        }
+    }
+
+    /// True if `line` is inside test-only code.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.test_lines.contains(&line)
+    }
+
+    /// True if a comment covers `line` or either of the two lines above —
+    /// the R6 justification window.
+    pub fn has_nearby_comment(&self, line: u32) -> bool {
+        self.lexed.comment_on_line(line)
+            || (line >= 1 && self.lexed.comment_on_line(line - 1))
+            || (line >= 2 && self.lexed.comment_on_line(line - 2))
+    }
+
+    /// The suppression covering (`rule`, `line`), if any.
+    pub fn suppression_for(&self, rule: RuleId, line: u32) -> Option<&Suppression> {
+        self.suppressions
+            .iter()
+            .find(|s| s.rule == rule && s.target_line == line)
+    }
+}
+
+/// Mark every line inside a `#[cfg(test)] mod { .. }` (or any braced item
+/// directly following `#[cfg(test)]`) and inside `#[test] fn` bodies.
+fn find_test_regions(tokens: &[Token]) -> BTreeSet<u32> {
+    let mut out = BTreeSet::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if let Some(attr_end) = match_attr(tokens, i, &["cfg", "(", "test", ")"])
+            .or_else(|| match_attr(tokens, i, &["test"]))
+        {
+            // Skip any further attributes (`#[should_panic]`, doc attrs...)
+            let mut j = attr_end;
+            while let Some(k) = skip_attr(tokens, j) {
+                j = k;
+            }
+            // Find the item's opening brace (or a `;` ending a braceless
+            // item, in which case there is no region to mark).
+            let mut k = j;
+            let mut open = None;
+            while k < tokens.len() {
+                match tokens[k].text.as_str() {
+                    "{" => {
+                        open = Some(k);
+                        break;
+                    }
+                    ";" => break,
+                    _ => k += 1,
+                }
+            }
+            if let Some(o) = open {
+                let close = match_brace(tokens, o);
+                let (a, b) = (tokens[o].line, tokens[close.min(tokens.len() - 1)].line);
+                for l in a..=b {
+                    out.insert(l);
+                }
+                i = close;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// If tokens at `i` start an attribute `#[ ... ]` whose inner tokens are
+/// exactly `body` (text match), return the index just past the closing `]`.
+fn match_attr(tokens: &[Token], i: usize, body: &[&str]) -> Option<usize> {
+    if tokens.get(i)?.text != "#" {
+        return None;
+    }
+    let mut j = i + 1;
+    if tokens.get(j)?.text == "!" {
+        j += 1;
+    }
+    if tokens.get(j)?.text != "[" {
+        return None;
+    }
+    j += 1;
+    for want in body {
+        if tokens.get(j)?.text != *want {
+            return None;
+        }
+        j += 1;
+    }
+    if tokens.get(j)?.text != "]" {
+        return None;
+    }
+    Some(j + 1)
+}
+
+/// If tokens at `i` start *any* attribute, return the index past its `]`.
+fn skip_attr(tokens: &[Token], i: usize) -> Option<usize> {
+    if tokens.get(i)?.text != "#" {
+        return None;
+    }
+    let mut j = i + 1;
+    if tokens.get(j)?.text == "!" {
+        j += 1;
+    }
+    if tokens.get(j)?.text != "[" {
+        return None;
+    }
+    let mut depth = 0i32;
+    while j < tokens.len() {
+        match tokens[j].text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j + 1);
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Index of the `}` matching the `{` at `open` (or last token if ragged).
+pub fn match_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < tokens.len() {
+        match tokens[i].text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    tokens.len() - 1
+}
+
+/// Index of the `)` matching the `(` at `open` (or last token if ragged).
+pub fn match_paren(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < tokens.len() {
+        match tokens[i].text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    tokens.len() - 1
+}
+
+/// Parse `detlint::allow(RULE, "reason")` directives out of comments.
+/// A comment that shares its line with code suppresses that line; a
+/// standalone comment suppresses the next line that holds any token.
+fn find_suppressions(lexed: &Lexed, last_line: u32) -> Vec<Suppression> {
+    let code_lines: BTreeSet<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+    let mut out = Vec::new();
+    for c in &lexed.comments {
+        let Some(pos) = c.text.find("detlint::allow(") else {
+            continue;
+        };
+        let inner = &c.text[pos + "detlint::allow(".len()..];
+        let Some(close) = inner.find(')') else {
+            continue;
+        };
+        let inner = &inner[..close];
+        let mut parts = inner.splitn(2, ',');
+        let rule_txt = parts.next().unwrap_or("").trim();
+        let Some(rule) = RuleId::parse(rule_txt) else {
+            continue;
+        };
+        let reason = parts.next().map(str::trim).and_then(|r| {
+            let r = r.trim_matches('"').trim();
+            if r.is_empty() {
+                None
+            } else {
+                Some(r.to_string())
+            }
+        });
+        let target_line = if code_lines.contains(&c.line) {
+            c.line
+        } else {
+            // first code line strictly below the comment's end
+            (c.end_line + 1..=last_line)
+                .find(|l| code_lines.contains(l))
+                .unwrap_or(c.end_line + 1)
+        };
+        out.push(Suppression {
+            rule,
+            reason,
+            line: c.line,
+            target_line,
+        });
+    }
+    out
+}
+
+/// A run of consecutive `Ident`/`::` tokens read backwards from `i`
+/// matches `path` (e.g. `["Instant", "::", "now"]` forward order).
+pub fn path_ends_at(tokens: &[Token], i: usize, path: &[&str]) -> bool {
+    if path.is_empty() || i + 1 < path.len() {
+        return false;
+    }
+    let start = i + 1 - path.len();
+    path.iter()
+        .enumerate()
+        .all(|(k, want)| tokens[start + k].text == *want)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_module_lines_are_test_lines() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn after() {}\n";
+        let f = SourceFile::parse(src);
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(3));
+        assert!(f.is_test_line(4));
+        assert!(f.is_test_line(5));
+        assert!(!f.is_test_line(6));
+    }
+
+    #[test]
+    fn test_fn_with_extra_attrs_is_covered() {
+        let src = "#[test]\n#[should_panic(expected = \"x\")]\nfn boom() {\n    panic!();\n}\n";
+        let f = SourceFile::parse(src);
+        assert!(f.is_test_line(4));
+    }
+
+    #[test]
+    fn trailing_suppression_targets_its_own_line() {
+        let src = "let t = Instant::now(); // detlint::allow(R1, \"io timeout\")\n";
+        let f = SourceFile::parse(src);
+        let s = f.suppression_for(RuleId::R1, 1).expect("found");
+        assert_eq!(s.reason.as_deref(), Some("io timeout"));
+    }
+
+    #[test]
+    fn standalone_suppression_targets_next_code_line() {
+        let src = "// detlint::allow(R3, \"accept loop is io, not compute\")\n// more prose\nlet h = thread::spawn(f);\n";
+        let f = SourceFile::parse(src);
+        let s = f.suppression_for(RuleId::R3, 3).expect("found");
+        assert_eq!(s.line, 1);
+        assert!(s.reason.is_some());
+    }
+
+    #[test]
+    fn reasonless_suppression_parses_with_none() {
+        let src = "// detlint::allow(R2)\nfor k in m.keys() {}\n";
+        let f = SourceFile::parse(src);
+        let s = f.suppression_for(RuleId::R2, 2).expect("found");
+        assert!(s.reason.is_none());
+    }
+}

@@ -1,0 +1,9 @@
+//! Known-bad fixture: suppression without a reason string (R0).
+
+pub struct Wall;
+
+pub fn deadline_ms() -> u128 {
+    // detlint::allow(R1)
+    let t = std::time::Instant::now();
+    t.elapsed().as_millis()
+}

@@ -1,0 +1,11 @@
+//! Known-bad fixture: wall-clock reads on potential digest paths (R1).
+
+pub fn elapsed_ms(start: std::time::Instant) -> u128 {
+    let stop = std::time::Instant::now();
+    stop.duration_since(start).as_millis()
+}
+
+pub fn stamp() -> u64 {
+    let wall = std::time::SystemTime::now();
+    wall.elapsed().unwrap().as_secs()
+}

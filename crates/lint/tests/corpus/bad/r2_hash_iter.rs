@@ -1,0 +1,28 @@
+//! Known-bad fixture: iteration over hash-ordered collections (R2).
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Scores {
+    by_name: HashMap<String, u32>,
+}
+
+impl Scores {
+    pub fn total(&self) -> u32 {
+        self.by_name.values().sum()
+    }
+
+    pub fn names(&self) -> Vec<String> {
+        let mut out: Vec<String> = self.by_name.keys().cloned().collect();
+        out.sort();
+        out
+    }
+
+    pub fn tag_bytes() -> Vec<u8> {
+        let tags: HashSet<u8> = HashSet::new();
+        let mut v = Vec::new();
+        for t in &tags {
+            v.push(*t);
+        }
+        v
+    }
+}

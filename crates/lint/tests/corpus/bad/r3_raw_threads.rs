@@ -1,0 +1,11 @@
+//! Known-bad fixture: ad-hoc threading outside the executor (R3).
+
+pub fn fan_out(work: Vec<u64>) -> u64 {
+    let handle = std::thread::spawn(move || work.iter().sum::<u64>());
+    handle.join().unwrap_or(0)
+}
+
+pub fn channel_pair() {
+    let (tx, rx) = crossbeam::channel::unbounded::<u8>();
+    drop((tx, rx));
+}

@@ -1,0 +1,12 @@
+//! Known-bad fixture: entropy-seeded RNG sources (R4).
+
+pub fn roll() -> u8 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+pub fn fresh_stream() -> u64 {
+    let mut rng = StdRng::from_entropy();
+    let lucky = OsRng.next_u64();
+    rng.next_u64() ^ lucky
+}

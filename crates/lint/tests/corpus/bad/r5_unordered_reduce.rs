@@ -1,0 +1,10 @@
+//! Known-bad fixture: completion-order float accumulation (R5).
+
+pub fn kinetic_energy(pool: &ExecPool, v: &mut [f64]) -> f64 {
+    let total = std::sync::Mutex::new(0.0f64);
+    pool.parallel_chunks(v, 64, |_, chunk| {
+        let partial: f64 = chunk.iter().map(|x| x * x).sum();
+        *total.lock().unwrap() += partial;
+    });
+    total.into_inner().unwrap()
+}

@@ -1,0 +1,10 @@
+//! Known-bad fixture: escape hatches without stated reasons (R6).
+
+pub struct Slot(pub u32);
+
+#[allow(dead_code)]
+fn never_called() {}
+
+pub fn read_raw(p: *const u32) -> u32 {
+    unsafe { *p }
+}

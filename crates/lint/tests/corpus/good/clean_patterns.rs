@@ -1,0 +1,21 @@
+//! Known-good fixture: the deterministic idioms the lint must accept.
+
+use std::collections::BTreeMap;
+
+pub fn ordered_total(m: &BTreeMap<String, u32>) -> u32 {
+    m.values().sum()
+}
+
+pub fn seeded_stream(seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.next_u64()
+}
+
+pub fn lookup_only(table: &std::collections::HashMap<String, u32>, k: &str) -> Option<u32> {
+    table.get(k).copied()
+}
+
+pub fn ordered_parallel(pool: &ExecPool, v: &[f64]) -> f64 {
+    let partials = pool.map(v.len(), |i| v[i] * v[i]);
+    partials.iter().sum()
+}

@@ -1,0 +1,20 @@
+//! Known-good fixture: escape hatches carrying their justifications.
+
+pub fn socket_deadline_ms() -> u128 {
+    // detlint::allow(R1, "socket deadline: the timeout bound is real time")
+    let t = std::time::Instant::now();
+    t.elapsed().as_millis()
+}
+
+// SAFETY: caller guarantees `p` points at a live, aligned u32.
+pub unsafe fn read_raw(p: *const u32) -> u32 {
+    *p
+}
+
+pub fn drain_count(m: &mut std::collections::HashMap<u32, u8>) -> usize {
+    m.drain().count() // detlint::allow(R2, "count is order-free")
+}
+
+// wire-format padding: kept so struct layout matches the protocol, never read
+#[allow(dead_code)]
+pub struct Reserved(u8);

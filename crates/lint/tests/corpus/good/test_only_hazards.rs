@@ -1,0 +1,18 @@
+//! Known-good fixture: test-only code is exempt from every rule.
+
+pub fn answer() -> u32 {
+    42
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_and_threads_are_fine_in_tests() {
+        let t = std::time::Instant::now();
+        let h = std::thread::spawn(answer);
+        let mut rng = rand::thread_rng();
+        let _ = (t, h, rng.gen::<u8>());
+    }
+}

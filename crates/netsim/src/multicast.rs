@@ -11,7 +11,7 @@
 use crate::link::Link;
 use crate::model::{NetModel, SiteId};
 use crate::time::SimTime;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Delivery record for one member of a multicast send.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,9 +30,9 @@ pub struct MulticastGroup {
     /// Members with native multicast; each has its own link from any sender
     /// (we approximate the multicast tree by the sender→member unicast path,
     /// which is exact for the star-shaped venues the paper used).
-    native: HashMap<SiteId, Link>,
+    native: BTreeMap<SiteId, Link>,
     /// NAT'd members reached through a bridge site.
-    bridged: HashMap<SiteId, Bridge>,
+    bridged: BTreeMap<SiteId, Bridge>,
     /// Total bytes offered to the group (sender-side, once per send).
     pub bytes_sent: u64,
     /// Total bytes carried over unicast legs (once per bridged member).
@@ -71,8 +71,8 @@ impl MulticastGroup {
     /// Empty group.
     pub fn new() -> Self {
         MulticastGroup {
-            native: HashMap::new(),
-            bridged: HashMap::new(),
+            native: BTreeMap::new(),
+            bridged: BTreeMap::new(),
             bytes_sent: 0,
             bytes_unicast: 0,
         }

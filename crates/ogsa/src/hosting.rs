@@ -9,7 +9,7 @@
 //! experiments.
 
 use crate::service::{GridService, Gsh, InvokeResult, SdeValue, ServiceData};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Hosting-layer errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,8 +32,8 @@ pub type Factory = Box<dyn Fn() -> Box<dyn GridService> + Send>;
 /// The hosting environment.
 #[derive(Default)]
 pub struct HostingEnv {
-    factories: HashMap<String, Factory>,
-    services: HashMap<Gsh, Hosted>,
+    factories: BTreeMap<String, Factory>,
+    services: BTreeMap<Gsh, Hosted>,
     now: u64,
     next_id: u64,
 }
@@ -155,13 +155,12 @@ impl HostingEnv {
     pub fn sweep(&mut self, advance_secs: u64) -> Vec<Gsh> {
         self.now += advance_secs;
         let now = self.now;
-        let mut dead: Vec<Gsh> = self
+        let dead: Vec<Gsh> = self
             .services
             .iter()
             .filter(|(_, h)| h.termination_time.is_some_and(|t| t < now))
             .map(|(g, _)| g.clone())
             .collect();
-        dead.sort();
         for g in &dead {
             self.services.remove(g);
         }
@@ -173,11 +172,9 @@ impl HostingEnv {
         self.services.len()
     }
 
-    /// Handles of all live services (sorted).
+    /// Handles of all live services (sorted — `BTreeMap` key order).
     pub fn handles(&self) -> Vec<Gsh> {
-        let mut v: Vec<Gsh> = self.services.keys().cloned().collect();
-        v.sort();
-        v
+        self.services.keys().cloned().collect()
     }
 }
 

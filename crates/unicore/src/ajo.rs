@@ -8,7 +8,7 @@
 //! the abstract tasks into target-system scripts (see [`crate::njs`]).
 
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashSet, VecDeque};
 
 /// One abstract task.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -119,8 +119,8 @@ impl Ajo {
             }
         }
         let ids: HashSet<u32> = self.tasks.iter().map(|t| t.id).collect();
-        let mut indegree: HashMap<u32, usize> = HashMap::new();
-        let mut dependents: HashMap<u32, Vec<u32>> = HashMap::new();
+        let mut indegree: BTreeMap<u32, usize> = BTreeMap::new();
+        let mut dependents: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
         for t in &self.tasks {
             indegree.entry(t.id).or_insert(0);
             for &d in &t.after {
@@ -134,16 +134,13 @@ impl Ajo {
                 dependents.entry(d).or_default().push(t.id);
             }
         }
-        // Kahn's algorithm with a sorted ready set for determinism
-        let mut ready: VecDeque<u32> = {
-            let mut r: Vec<u32> = indegree
-                .iter()
-                .filter(|(_, &d)| d == 0)
-                .map(|(&id, _)| id)
-                .collect();
-            r.sort_unstable();
-            r.into()
-        };
+        // Kahn's algorithm; the ready set starts id-sorted because the
+        // indegree map iterates in `BTreeMap` key order
+        let mut ready: VecDeque<u32> = indegree
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&id, _)| id)
+            .collect();
         let mut order = Vec::with_capacity(self.tasks.len());
         while let Some(id) = ready.pop_front() {
             order.push(id);

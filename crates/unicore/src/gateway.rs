@@ -15,7 +15,7 @@ use crate::cert::{digest, SignedRequest, TrustStore};
 use crate::njs::{JobId, JobStatus, Njs};
 use crate::proxy::{ProxySessionId, VisitProxyServer};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use visit::link::FrameLink;
 
 /// All operations that can cross the gateway's single port.
@@ -129,7 +129,7 @@ pub struct Gateway {
     /// Gateway name (e.g. `"fzj-gateway"`).
     pub name: String,
     trust: TrustStore,
-    vsites: HashMap<String, Njs>,
+    vsites: BTreeMap<String, Njs>,
     proxies: HashMap<(String, String), VisitProxyServer<Box<dyn FrameLink>>>,
     stats: GatewayStats,
 }
@@ -140,7 +140,7 @@ impl Gateway {
         Gateway {
             name: name.to_string(),
             trust,
-            vsites: HashMap::new(),
+            vsites: BTreeMap::new(),
             proxies: HashMap::new(),
             stats: GatewayStats::default(),
         }
@@ -151,11 +151,9 @@ impl Gateway {
         self.vsites.insert(njs.vsite.clone(), njs);
     }
 
-    /// Vsite names behind this gateway.
+    /// Vsite names behind this gateway (sorted — `BTreeMap` key order).
     pub fn vsite_names(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.vsites.keys().cloned().collect();
-        v.sort();
-        v
+        self.vsites.keys().cloned().collect()
     }
 
     /// Mutable access to a Vsite's NJS (operator-side, inside the
@@ -234,12 +232,12 @@ impl Gateway {
                 };
                 match njs.fetch(JobId(*job), &owner) {
                     Some(outcome) => {
-                        let mut files: Vec<(String, Vec<u8>)> = outcome
+                        // spooled is a BTreeMap: path-sorted already
+                        let files: Vec<(String, Vec<u8>)> = outcome
                             .spooled
                             .iter()
                             .map(|(k, v)| (k.clone(), v.clone()))
                             .collect();
-                        files.sort();
                         GatewayReply::Outcome(files)
                     }
                     None => GatewayReply::Denied(GatewayError::UnknownJob),

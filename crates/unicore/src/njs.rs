@@ -13,7 +13,7 @@
 
 use crate::ajo::{Ajo, AjoError, Task};
 use crate::tsi::{ScriptLine, Tsi, TsiOutcome};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Identifies a job within one NJS.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -56,7 +56,7 @@ pub struct Njs {
     /// Vsite name this NJS fronts.
     pub vsite: String,
     tsi: Tsi,
-    jobs: HashMap<JobId, JobRecord>,
+    jobs: BTreeMap<JobId, JobRecord>,
     next_id: u64,
 }
 
@@ -66,7 +66,7 @@ impl Njs {
         Njs {
             vsite: vsite.to_string(),
             tsi,
-            jobs: HashMap::new(),
+            jobs: BTreeMap::new(),
             next_id: 1,
         }
     }
@@ -155,13 +155,12 @@ impl Njs {
 
     /// Run every queued job (submission-order). Returns how many ran.
     pub fn run_all_queued(&mut self) -> usize {
-        let mut ids: Vec<JobId> = self
+        let ids: Vec<JobId> = self
             .jobs
             .iter()
             .filter(|(_, r)| r.status == JobStatus::Queued)
             .map(|(&id, _)| id)
             .collect();
-        ids.sort();
         let n = ids.len();
         for id in ids {
             self.run_job(id);

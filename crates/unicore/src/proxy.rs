@@ -21,7 +21,7 @@
 //! from the *master* session only.
 
 use crate::cert::digest;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::time::Duration;
 use visit::link::{FrameLink, LinkError};
 use visit::value::VisitValue;
@@ -63,7 +63,7 @@ pub struct VisitProxyServer<L: FrameLink> {
     /// Broadcast history of raw Data frames.
     log: Vec<Vec<u8>>,
     /// Session cursors into `log`.
-    sessions: HashMap<ProxySessionId, usize>,
+    sessions: BTreeMap<ProxySessionId, usize>,
     master: Option<ProxySessionId>,
     /// Queued steering parameter frames (raw Reply frames) per tag.
     params: HashMap<u32, VecDeque<Vec<u8>>>,
@@ -83,7 +83,7 @@ impl<L: FrameLink> VisitProxyServer<L> {
             challenge,
             authed: false,
             log: Vec::new(),
-            sessions: HashMap::new(),
+            sessions: BTreeMap::new(),
             master: None,
             params: HashMap::new(),
             next_session: 1,
@@ -184,11 +184,11 @@ impl<L: FrameLink> VisitProxyServer<L> {
     pub fn exchange(
         &mut self,
         session: ProxySessionId,
-        params: Vec<Vec<u8>>,
+        incoming: Vec<Vec<u8>>,
     ) -> Option<Vec<Vec<u8>>> {
         let cursor = *self.sessions.get(&session)?;
         let is_master = self.master == Some(session);
-        for p in params {
+        for p in incoming {
             if !is_master {
                 self.stats.params_rejected += 1;
                 continue;

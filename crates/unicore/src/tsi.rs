@@ -14,11 +14,11 @@
 //! handled here (by recording the proxy endpoint for the
 //! [`crate::proxy::VisitProxyServer`] to pick up).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// A job's in-memory working directory.
-pub type JobDir = HashMap<String, Vec<u8>>;
+pub type JobDir = BTreeMap<String, Vec<u8>>;
 
 /// An installed application: `(args, working dir) → stdout or error`.
 pub type AppFn = Arc<dyn Fn(&[String], &mut JobDir) -> Result<String, String> + Send + Sync>;
@@ -66,7 +66,7 @@ pub struct TsiOutcome {
     /// True if every line succeeded.
     pub success: bool,
     /// Spooled output files (path → contents).
-    pub spooled: HashMap<String, Vec<u8>>,
+    pub spooled: BTreeMap<String, Vec<u8>>,
     /// Files queued for cross-Vsite transfer (path, destination, contents).
     pub exports: Vec<(String, String, Vec<u8>)>,
     /// VISIT proxy services launched.
@@ -78,7 +78,7 @@ pub struct TsiOutcome {
 /// The sandboxed target system.
 #[derive(Default)]
 pub struct Tsi {
-    apps: HashMap<String, AppFn>,
+    apps: BTreeMap<String, AppFn>,
 }
 
 impl Tsi {
@@ -111,17 +111,15 @@ impl Tsi {
         t
     }
 
-    /// Installed application names.
+    /// Installed application names (sorted — `BTreeMap` key order).
     pub fn app_names(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.apps.keys().cloned().collect();
-        v.sort();
-        v
+        self.apps.keys().cloned().collect()
     }
 
     /// Execute a script in a fresh job directory. Execution stops at the
     /// first failing line (matching batch-script semantics under `set -e`).
     pub fn run(&self, lines: &[ScriptLine]) -> TsiOutcome {
-        let mut dir: JobDir = HashMap::new();
+        let mut dir: JobDir = BTreeMap::new();
         let mut out = TsiOutcome {
             success: true,
             ..Default::default()

@@ -87,6 +87,7 @@ impl<L: FrameLink> SteeringClient<L> {
     /// the simulation never waits for the visualization to consume data
     /// (the §3.2 design goal).
     pub fn send(&mut self, tag: u32, value: VisitValue) -> Result<(), LinkError> {
+        // detlint::allow(R1, "time_in_calls is a real-io overhead stat (the paper's table 1), not digest input")
         let t0 = Instant::now();
         let frame = Frame::with_value(MsgKind::Data, tag, self.order, value);
         let bytes = frame.encode();
@@ -107,13 +108,16 @@ impl<L: FrameLink> SteeringClient<L> {
     /// `Err(Timeout)` if the server did not answer in time — either way the
     /// call returns by the deadline and the simulation continues.
     pub fn request(&mut self, tag: u32) -> Result<Option<VisitValue>, LinkError> {
+        // detlint::allow(R1, "time_in_calls is a real-io overhead stat (the paper's table 1), not digest input")
         let t0 = Instant::now();
         self.stats.requests += 1;
         let r = (|| {
             self.link
                 .send(&Frame::bare(MsgKind::Request, tag).encode())?;
+            // detlint::allow(R1, "socket deadline: the timeout guarantee of section 3.2 is real-time by definition")
             let deadline = Instant::now() + self.timeout;
             loop {
+                // detlint::allow(R1, "remaining real time against the socket deadline above")
                 let remaining = deadline.saturating_duration_since(Instant::now());
                 let raw = self.link.recv_timeout(remaining)?;
                 let frame = Frame::decode(&raw).ok_or(LinkError::Io("bad frame".into()))?;

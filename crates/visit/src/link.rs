@@ -11,6 +11,7 @@
 //!   in *virtual* time, which makes the latency experiments deterministic
 //!   and instant.
 
+// detlint::allow(R3, "MemLink transport: per-link FIFO channels preserve message order; no compute parallelism")
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use netsim::channel::{RecvError as SimRecvError, SimEndpoint};
 use netsim::{Link, SimChannel, SimTime, VClock};

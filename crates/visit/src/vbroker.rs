@@ -18,7 +18,7 @@
 
 use crate::link::{FrameLink, LinkError};
 use crate::wire::{Frame, MsgKind};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 /// Identifies an attached visualization.
@@ -43,7 +43,7 @@ pub struct BrokerStats {
 /// The multiplexer between one simulation and N visualizations.
 pub struct VBroker<S: FrameLink, V: FrameLink> {
     sim: S,
-    viewers: HashMap<ViewerId, V>,
+    viewers: BTreeMap<ViewerId, V>,
     master: Option<ViewerId>,
     next_id: u32,
     stats: BrokerStats,
@@ -54,7 +54,7 @@ impl<S: FrameLink, V: FrameLink> VBroker<S, V> {
     pub fn new(sim: S) -> Self {
         VBroker {
             sim,
-            viewers: HashMap::new(),
+            viewers: BTreeMap::new(),
             master: None,
             next_id: 0,
             stats: BrokerStats::default(),
@@ -135,7 +135,8 @@ impl<S: FrameLink, V: FrameLink> VBroker<S, V> {
                 Ok(true)
             }
             MsgKind::Data => {
-                // broadcast; dead viewers are detached on send failure
+                // broadcast in viewer-id order (BTreeMap); dead viewers are
+                // detached on send failure
                 let mut dead = Vec::new();
                 for (&id, link) in self.viewers.iter_mut() {
                     match link.send(&raw) {

@@ -14,7 +14,7 @@ use crate::framebuffer::Framebuffer;
 use crate::mesh::TriMesh;
 use crate::raster::Rasterizer;
 use crate::Vec3;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Identifies an attached viewer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -73,7 +73,7 @@ pub struct VizServerSession {
     /// Which viewer currently holds camera control (VizServer collaborative
     /// mode shares one login session; one participant drives at a time).
     controller: Option<ViewerId>,
-    viewers: HashMap<ViewerId, DeltaRleCodec>,
+    viewers: BTreeMap<ViewerId, DeltaRleCodec>,
     /// Codec state of the broadcast path ([`VizServerSession::ship_frame_to`]):
     /// one encode per frame regardless of downstream fan-out.
     broadcast: DeltaRleCodec,
@@ -89,7 +89,7 @@ impl VizServerSession {
             height,
             camera,
             controller: None,
-            viewers: HashMap::new(),
+            viewers: BTreeMap::new(),
             broadcast: DeltaRleCodec::new(),
             next_id: 0,
             stats: SessionStats::default(),
@@ -181,7 +181,8 @@ impl VizServerSession {
     /// Encode an externally-rendered framebuffer for every viewer.
     pub fn ship_frame(&mut self, fb: &Framebuffer) -> Vec<(ViewerId, EncodedFrame)> {
         self.stats.frames += 1;
-        let mut out: Vec<(ViewerId, EncodedFrame)> = self
+        // BTreeMap: viewers encode (and ship) in ascending id order
+        let out: Vec<(ViewerId, EncodedFrame)> = self
             .viewers
             .iter_mut()
             .map(|(&id, codec)| {
@@ -189,7 +190,6 @@ impl VizServerSession {
                 (id, f)
             })
             .collect();
-        out.sort_by_key(|(id, _)| *id);
         for (_, f) in &out {
             self.stats.bytes_shipped += f.wire_size() as u64;
             self.stats.bytes_raw += f.raw_size as u64;

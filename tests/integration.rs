@@ -94,7 +94,7 @@ fn unicore_job_runs_simulation_and_spools_result() {
     tsi.install_app(
         "lbm",
         Arc::new(
-            |args: &[String], dir: &mut std::collections::HashMap<String, Vec<u8>>| {
+            |args: &[String], dir: &mut std::collections::BTreeMap<String, Vec<u8>>| {
                 let steps: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(10);
                 let mut sim = TwoFluidLbm::new(LbmConfig::small());
                 sim.set_miscibility(0.0);
