@@ -1,0 +1,6 @@
+//! Experiment binary — relay-fabric fan-out scaling (`BENCH_fanout.json`).
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    gridsteer_bench::cli::run(gridsteer_bench::exp_fanout_scale)
+}

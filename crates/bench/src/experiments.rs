@@ -976,6 +976,191 @@ pub fn exp_monitor_fanout() -> ExpResult {
     )
 }
 
+/// FANOUT — hierarchical relay fan-out scaling (ROADMAP fan-out item):
+/// origin publish cost vs subscriber count, a flat hub vs a 4-region x
+/// 8-edge relay tree. The flat topology attaches one real sink per
+/// subscriber, tractable to 10k; the tree's leaf tier is one aggregate
+/// sink per edge standing in for `n/32` subscribers, which makes the 1M
+/// row measurable — and the origin's own cost is 4 region envelopes per
+/// step at any width, which is the architectural point. A loopback probe
+/// rides edge 0; its frame digest must match the flat probe
+/// byte-for-byte (relays preserve origin sequence numbers), and the
+/// `digest=`/`delivered=` cells are the deterministic columns CI
+/// compares across `EXEC_THREADS`. (Walls are wall-clock; those cells
+/// legitimately drift run to run.)
+pub fn exp_fanout_scale() -> ExpResult {
+    use gridsteer_bus::{
+        LoopbackMonitor, MonitorCaps, MonitorEndpoint, MonitorError, MonitorFrame, MonitorHub,
+        MonitorPayload, RelayHub, RelayPolicy,
+    };
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    const STEPS: u64 = 64;
+    const FRAMES_PER_STEP: usize = 4;
+    const REGIONS: usize = 4;
+    const EDGES_PER_REGION: usize = 8;
+
+    /// A leaf sink standing in for `weight` simulated subscribers: it
+    /// counts what arrives and discards the frames.
+    struct CountingSink {
+        caps: MonitorCaps,
+        weight: u64,
+        counter: Arc<AtomicU64>,
+    }
+    impl MonitorEndpoint for CountingSink {
+        fn transport(&self) -> &'static str {
+            "sim"
+        }
+        fn negotiate(&mut self, viewer: &MonitorCaps) -> MonitorCaps {
+            self.caps = self.caps.intersect(viewer);
+            self.caps.clone()
+        }
+        fn deliver(&mut self, frames: &[MonitorFrame]) -> Result<usize, MonitorError> {
+            self.counter
+                .fetch_add(frames.len() as u64 * self.weight, Ordering::Relaxed);
+            Ok(frames.len())
+        }
+        fn recv(&mut self) -> Vec<MonitorFrame> {
+            Vec::new()
+        }
+    }
+
+    let caps = || MonitorCaps::full("sim-viewer", 64);
+    let sink = |weight: u64, counter: &Arc<AtomicU64>| -> Box<dyn MonitorEndpoint> {
+        Box::new(CountingSink {
+            caps: caps(),
+            weight,
+            counter: counter.clone(),
+        })
+    };
+    let payloads = |step: u64| -> Vec<MonitorPayload> {
+        (0..FRAMES_PER_STEP)
+            .map(|i| {
+                let base = (step * FRAMES_PER_STEP as u64 + i as u64) as f32;
+                MonitorPayload::grid2("phi_mid", 4, 4, (0..16).map(|j| base + j as f32).collect())
+            })
+            .collect()
+    };
+    let fold =
+        |frames: &[MonitorFrame]| -> u64 { frames.iter().fold(FNV_OFFSET, |h, f| f.fold_fnv(h)) };
+
+    // flat baseline: every subscriber is a direct child of the origin,
+    // so one publish pays n envelopes
+    let flat_pass = |n: u64| -> (Duration, u64, u64) {
+        let hub = MonitorHub::new();
+        let counter = Arc::new(AtomicU64::new(0));
+        for i in 0..n {
+            hub.attach_endpoint(&format!("v{i}"), sink(1, &counter), &caps());
+        }
+        hub.attach_endpoint("probe", Box::new(LoopbackMonitor::new()), &caps());
+        let t0 = Instant::now();
+        for step in 0..STEPS {
+            hub.publish_batch(step, payloads(step));
+        }
+        let wall = t0.elapsed();
+        (
+            wall,
+            counter.load(Ordering::Relaxed),
+            fold(&hub.recv("probe")),
+        )
+    };
+
+    // relay tree: the origin fans to 4 regions, each region to 8 edges,
+    // and the leaf population hangs off the edges
+    let relay_pass = |n: u64| -> (Duration, Duration, u64, u64) {
+        let origin = MonitorHub::new();
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut regions = Vec::new();
+        let mut edges = Vec::new();
+        for r in 0..REGIONS {
+            let region = RelayHub::new(RelayPolicy::default());
+            region.attach_to(&origin, &format!("region-{r}"));
+            for e in 0..EDGES_PER_REGION {
+                let edge = RelayHub::new(RelayPolicy::default());
+                edge.attach_under(&region, &format!("edge-{r}-{e}"));
+                edges.push(edge);
+            }
+            regions.push(region);
+        }
+        let leaves = (REGIONS * EDGES_PER_REGION) as u64;
+        for (i, edge) in edges.iter().enumerate() {
+            let share = n / leaves + u64::from((i as u64) < n % leaves);
+            if share > 0 {
+                edge.attach_child(&format!("leaf-{i}"), sink(share, &counter), &caps());
+            }
+        }
+        edges[0].attach_child("probe", Box::new(LoopbackMonitor::new()), &caps());
+        let t0 = Instant::now();
+        for step in 0..STEPS {
+            origin.publish_batch(step, payloads(step));
+        }
+        let origin_wall = t0.elapsed();
+        assert_eq!(
+            origin.subscribers(),
+            REGIONS,
+            "origin fan-out is structural: regions only, at any leaf width"
+        );
+        let t1 = Instant::now();
+        for region in &regions {
+            region.pump();
+        }
+        for edge in &edges {
+            edge.pump();
+        }
+        let pump_wall = t1.elapsed();
+        (
+            origin_wall,
+            pump_wall,
+            counter.load(Ordering::Relaxed),
+            fold(&edges[0].recv_child("probe")),
+        )
+    };
+
+    let mut rows = Vec::new();
+    let mut probe_digest: Option<u64> = None;
+    for &n in &[1u64, 100, 10_000] {
+        let _ = flat_pass(n); // warm-up (allocators, caches)
+        let (wall, delivered, digest) = (0..3)
+            .map(|_| flat_pass(n))
+            .min_by_key(|(w, _, _)| *w)
+            .expect("nonempty");
+        assert_eq!(delivered, n * STEPS * FRAMES_PER_STEP as u64);
+        let prev = *probe_digest.get_or_insert(digest);
+        assert_eq!(prev, digest, "the probe stream is topology-independent");
+        rows.push(format!(
+            "topo=flat subs={n} steps={STEPS} delivered={delivered} \
+             origin_pub={:.1}us/step digest={digest:016x}",
+            wall.as_secs_f64() * 1e6 / STEPS as f64
+        ));
+    }
+    for &n in &[1u64, 10_000, 1_000_000] {
+        let _ = relay_pass(n); // warm-up
+        let (origin_wall, pump_wall, delivered, digest) = (0..3)
+            .map(|_| relay_pass(n))
+            .min_by_key(|(w, ..)| *w)
+            .expect("nonempty");
+        assert_eq!(delivered, n * STEPS * FRAMES_PER_STEP as u64);
+        assert_eq!(
+            Some(digest),
+            probe_digest,
+            "bytes at the edge must equal bytes at the origin"
+        );
+        rows.push(format!(
+            "topo=relay subs={n} regions={REGIONS} edges={} delivered={delivered} \
+             origin_pub={:.1}us/step pump={:.1}us/step digest={digest:016x}",
+            REGIONS * EDGES_PER_REGION,
+            origin_wall.as_secs_f64() * 1e6 / STEPS as f64,
+            pump_wall.as_secs_f64() * 1e6 / STEPS as f64
+        ));
+    }
+    emit(
+        "fanout",
+        "relay-fabric fan-out: flat hub vs 4x8 relay tree, origin publish cost vs subscribers",
+        rows,
+    )
+}
+
 /// Every experiment in index order (driven by [`crate::cli::run_all`],
 /// which times each entry and emits its `BENCH_*.json`).
 pub const ALL: &[fn() -> ExpResult] = &[
@@ -996,6 +1181,7 @@ pub const ALL: &[fn() -> ExpResult] = &[
     exp_e50_soak,
     exp_bus,
     exp_monitor_fanout,
+    exp_fanout_scale,
 ];
 
 #[cfg(test)]
@@ -1048,6 +1234,35 @@ mod tests {
             assert!(row.contains(&format!("delivered={}", 1200 * subs)), "{row}");
             assert!(row.contains("speedup="), "{row}");
         }
+    }
+
+    #[test]
+    fn fanout_scale_is_flat_at_the_origin_and_byte_stable_at_the_edge() {
+        let r = exp_fanout_scale();
+        assert_eq!(r.rows.len(), 6, "3 flat widths + 3 relay widths");
+        assert!(r
+            .rows
+            .iter()
+            .take(3)
+            .all(|row| row.starts_with("topo=flat")));
+        assert!(r
+            .rows
+            .iter()
+            .skip(3)
+            .all(|row| row.contains("regions=4 edges=32")));
+        // every digest cell carries the same 16-hex value: the stream is
+        // byte-identical at the origin and two relay tiers down
+        let digests: Vec<&str> = r
+            .rows
+            .iter()
+            .map(|row| row.split("digest=").nth(1).unwrap())
+            .collect();
+        assert!(digests.windows(2).all(|w| w[0] == w[1]), "{digests:?}");
+        // the simulated-subscriber math holds at the million-leaf row
+        assert!(r
+            .rows
+            .iter()
+            .any(|row| row.contains("subs=1000000 ") && row.contains("delivered=256000000")));
     }
 
     #[test]

@@ -230,6 +230,13 @@ impl MonitorEndpoint for CoviseMonitor {
         self.sds = SharedDataSpace::new();
         out
     }
+
+    fn close(&mut self) {
+        // reclaim the shared data space: objects delivered to a departed
+        // viewer must not outlive it, drained or not
+        self.pending.clear();
+        self.sds = SharedDataSpace::new();
+    }
 }
 
 #[cfg(test)]
@@ -294,6 +301,20 @@ mod tests {
         ];
         assert_eq!(ep.deliver(&frames).unwrap(), 2);
         assert_eq!(ep.recv(), frames);
+    }
+
+    #[test]
+    fn close_reclaims_the_data_space() {
+        let mut ep = CoviseMonitor::new();
+        ep.deliver(&[MonitorFrame {
+            seq: 1,
+            step: 0,
+            payload: MonitorPayload::grid2("g", 1, 1, vec![1.0]),
+        }])
+        .unwrap();
+        ep.close();
+        assert!(ep.sds.is_empty(), "objects reclaimed on close");
+        assert!(ep.recv().is_empty());
     }
 
     #[test]

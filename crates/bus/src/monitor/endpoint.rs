@@ -12,7 +12,7 @@
 //! that only takes grids never sees a scalar frame, and a thin desktop
 //! client can ask for every Nth frame instead of all of them.
 
-use crate::monitor::frame::{MonitorFrame, MonitorKind};
+use crate::monitor::frame::{FrameCodecError, MonitorFrame, MonitorKind};
 use std::collections::BTreeSet;
 
 /// What one side of a monitor connection can produce or consume.
@@ -90,6 +90,8 @@ pub enum MonitorError {
         /// The kind the transport cannot carry.
         kind: &'static str,
     },
+    /// A frame does not fit the reference codec's length fields.
+    Codec(FrameCodecError),
     /// The transport failed to encode/decode the frames.
     Transport(String),
 }
@@ -104,8 +106,15 @@ impl std::fmt::Display for MonitorError {
             MonitorError::UnsupportedKind { channel, kind } => {
                 write!(f, "{channel}: kind {kind} not negotiated on this transport")
             }
+            MonitorError::Codec(e) => write!(f, "codec error: {e}"),
             MonitorError::Transport(e) => write!(f, "transport error: {e}"),
         }
+    }
+}
+
+impl From<FrameCodecError> for MonitorError {
+    fn from(e: FrameCodecError) -> MonitorError {
+        MonitorError::Codec(e)
     }
 }
 
@@ -157,6 +166,12 @@ pub trait MonitorEndpoint: Send {
 
     /// Drain the frames the viewer side has decoded, in delivery order.
     fn recv(&mut self) -> Vec<MonitorFrame>;
+
+    /// Release transport-side resources when the subscriber detaches
+    /// ([`MonitorHub::detach`](crate::MonitorHub::detach)): drop
+    /// undrained frames, reclaim middleware state. Default is a no-op
+    /// for stateless transports.
+    fn close(&mut self) {}
 }
 
 #[cfg(test)]

@@ -20,6 +20,56 @@
 
 use bytes::{Buf, BufMut, BytesMut};
 
+/// A frame that cannot be represented in the tagged binary codec. Before
+/// these were typed, oversized inputs were silently truncated by the
+/// `as u16`/`as u32` length casts — corrupting the stream framing for
+/// every frame that followed. Encoding now refuses instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameCodecError {
+    /// The channel name exceeds the codec's u16 length field.
+    NameTooLong {
+        /// Offending name length in bytes.
+        len: usize,
+    },
+    /// An encoded-frame payload exceeds the codec's u32 length field.
+    DataTooLong {
+        /// Offending payload length in bytes.
+        len: usize,
+    },
+    /// A grid payload's data length disagrees with its declared dims
+    /// (`nx * ny [* nz]`), so the decoder would mis-frame everything
+    /// after it. Constructors enforce the shape; this catches payloads
+    /// built by hand.
+    GridShapeMismatch {
+        /// `nx * ny [* nz]` as declared (`None` if the product itself
+        /// overflows `usize`).
+        expected: Option<usize>,
+        /// Actual data length.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for FrameCodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameCodecError::NameTooLong { len } => write!(
+                f,
+                "channel name of {len} bytes exceeds the codec's u16 length field"
+            ),
+            FrameCodecError::DataTooLong { len } => write!(
+                f,
+                "frame payload of {len} bytes exceeds the codec's u32 length field"
+            ),
+            FrameCodecError::GridShapeMismatch { expected, len } => match expected {
+                Some(e) => write!(f, "grid data length {len} != declared shape {e}"),
+                None => write!(f, "grid shape overflows the codec ({len} values)"),
+            },
+        }
+    }
+}
+
+impl std::error::Error for FrameCodecError {}
+
 /// The declared payload kind of a monitor frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 #[repr(u8)]
@@ -218,20 +268,62 @@ pub struct MonitorFrame {
 }
 
 impl MonitorFrame {
+    /// Check that this frame fits the codec's length fields. `Ok(())`
+    /// guarantees [`encode_bytes`](MonitorFrame::encode_bytes) succeeds.
+    pub fn validate(&self) -> Result<(), FrameCodecError> {
+        let name = self.payload.name();
+        if name.len() > u16::MAX as usize {
+            return Err(FrameCodecError::NameTooLong { len: name.len() });
+        }
+        match &self.payload {
+            MonitorPayload::Scalar { .. } | MonitorPayload::Vec3 { .. } => Ok(()),
+            MonitorPayload::Grid2 { nx, ny, data, .. } => {
+                let expected = (*nx as usize).checked_mul(*ny as usize);
+                if expected == Some(data.len()) {
+                    Ok(())
+                } else {
+                    Err(FrameCodecError::GridShapeMismatch {
+                        expected,
+                        len: data.len(),
+                    })
+                }
+            }
+            MonitorPayload::Grid3 {
+                nx, ny, nz, data, ..
+            } => {
+                let expected = (*nx as usize)
+                    .checked_mul(*ny as usize)
+                    .and_then(|p| p.checked_mul(*nz as usize));
+                if expected == Some(data.len()) {
+                    Ok(())
+                } else {
+                    Err(FrameCodecError::GridShapeMismatch {
+                        expected,
+                        len: data.len(),
+                    })
+                }
+            }
+            MonitorPayload::Frame { data, .. } => {
+                if data.len() > u32::MAX as usize {
+                    Err(FrameCodecError::DataTooLong { len: data.len() })
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
     /// Encode into the tagged binary form (little-endian; floats as raw
-    /// bits, so NaN payloads are preserved exactly). Panics if the
-    /// channel name exceeds the codec's u16 length field — a silent wrap
-    /// would corrupt the stream and break the lossless contract.
-    pub fn encode_bytes(&self, out: &mut BytesMut) {
+    /// bits, so NaN payloads are preserved exactly). Refuses frames the
+    /// length fields cannot represent — the old `as u16`/`as u32` casts
+    /// silently wrapped, corrupting the stream framing for every frame
+    /// that followed.
+    pub fn encode_bytes(&self, out: &mut BytesMut) -> Result<(), FrameCodecError> {
+        self.validate()?;
         out.put_u64_le(self.seq);
         out.put_u64_le(self.step);
         out.put_u8(self.payload.kind() as u8);
         let name = self.payload.name();
-        assert!(
-            name.len() <= u16::MAX as usize,
-            "channel name of {} bytes exceeds the codec's u16 length field",
-            name.len()
-        );
         out.put_u16_le(name.len() as u16);
         out.put_slice(name.as_bytes());
         match &self.payload {
@@ -270,13 +362,24 @@ impl MonitorFrame {
                 out.put_slice(data);
             }
         }
+        Ok(())
     }
 
-    /// Encode into a fresh byte vector.
-    pub fn to_bytes(&self) -> Vec<u8> {
+    /// Encode into a fresh byte vector, refusing unrepresentable frames.
+    pub fn try_to_bytes(&self) -> Result<Vec<u8>, FrameCodecError> {
         let mut buf = BytesMut::with_capacity(self.wire_size());
-        self.encode_bytes(&mut buf);
-        buf.to_vec()
+        self.encode_bytes(&mut buf)?;
+        Ok(buf.to_vec())
+    }
+
+    /// Encode into a fresh byte vector. Panics on a frame the codec
+    /// cannot represent — digest and test paths only handle frames that
+    /// already crossed a hub, which validates on delivery; transports
+    /// facing untrusted input use
+    /// [`try_to_bytes`](MonitorFrame::try_to_bytes).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.try_to_bytes()
+            .expect("frame exceeds the codec's length fields")
     }
 
     /// Decode the tagged binary encoding, advancing `buf` past it.
@@ -537,8 +640,71 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exceeds the codec's u16 length field")]
     fn oversized_channel_name_fails_loudly_not_silently() {
+        let f = MonitorFrame {
+            seq: 1,
+            step: 0,
+            payload: MonitorPayload::scalar(&"x".repeat(65536), 0.0),
+        };
+        assert_eq!(
+            f.try_to_bytes(),
+            Err(FrameCodecError::NameTooLong { len: 65536 })
+        );
+        let mut out = BytesMut::new();
+        assert!(f.encode_bytes(&mut out).is_err());
+        assert!(out.is_empty(), "a refused encode must write nothing");
+        assert!(FrameCodecError::NameTooLong { len: 65536 }
+            .to_string()
+            .contains("exceeds the codec's u16 length field"));
+    }
+
+    #[test]
+    fn mismatched_grid_shape_refused_not_misframed() {
+        // bypass the constructor's assert: a hand-built grid whose data
+        // disagrees with its declared dims must not encode (the decoder
+        // would read nx*ny values and mis-frame everything after)
+        let f = MonitorFrame {
+            seq: 1,
+            step: 0,
+            payload: MonitorPayload::Grid2 {
+                name: "g".into(),
+                nx: 3,
+                ny: 3,
+                data: vec![0.0; 8],
+            },
+        };
+        assert_eq!(
+            f.try_to_bytes(),
+            Err(FrameCodecError::GridShapeMismatch {
+                expected: Some(9),
+                len: 8
+            })
+        );
+        // a declared shape whose product overflows the address space is
+        // refused too, without attempting the multiply
+        let f = MonitorFrame {
+            seq: 1,
+            step: 0,
+            payload: MonitorPayload::Grid3 {
+                name: "g".into(),
+                nx: u32::MAX,
+                ny: u32::MAX,
+                nz: u32::MAX,
+                data: vec![0.0; 4],
+            },
+        };
+        assert_eq!(
+            f.try_to_bytes(),
+            Err(FrameCodecError::GridShapeMismatch {
+                expected: None,
+                len: 4
+            })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the codec's length fields")]
+    fn infallible_to_bytes_panics_on_unrepresentable() {
         let f = MonitorFrame {
             seq: 1,
             step: 0,

@@ -19,7 +19,7 @@
 use crate::monitor::endpoint::{MonitorCaps, MonitorEndpoint};
 use crate::monitor::frame::{MonitorFrame, MonitorPayload};
 use parking_lot::Mutex;
-use std::collections::BTreeMap;
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// Per-subscriber delivery accounting.
@@ -33,6 +33,9 @@ pub struct MonitorStats {
     pub filtered: u64,
     /// Frames lost to transport errors.
     pub errors: u64,
+    /// Oldest due frames dropped by the per-subscriber send budget
+    /// (backpressure: a slow child sheds history, never blocks the hub).
+    pub shed: u64,
 }
 
 struct SubEntry {
@@ -41,6 +44,15 @@ struct SubEntry {
     caps: MonitorCaps,
     /// Admissible frames seen so far (drives decimation).
     admissible: u64,
+    /// Per-delivery send budget: at most this many due frames ship per
+    /// fan-out call; the *oldest* surplus is dropped (and counted in
+    /// [`MonitorStats::shed`]). `None` = unbounded.
+    budget: Option<usize>,
+    /// Channels this subscriber has been keyframed on. Attach starts
+    /// empty, so every frame producer sees a pending request for its own
+    /// channel; the whole set leaves with the subscriber on detach —
+    /// keyframe state can no longer outlive (or leak across) viewers.
+    keyframes_served: BTreeSet<String>,
     stats: MonitorStats,
 }
 
@@ -50,13 +62,6 @@ struct HubState {
     next_seq: u64,
     published: u64,
     handshakes: Vec<String>,
-    /// Bumped on every subscriber attach. Frame producers compare their
-    /// channel's last-keyframe epoch against this, so each producer
-    /// (channel) independently notices late joiners — one producer
-    /// consuming the signal cannot starve another.
-    attach_epoch: u64,
-    /// Per-channel epoch at which the last keyframe request was granted.
-    keyframe_seen: BTreeMap<String, u64>,
 }
 
 /// The shared monitor hub. Cheap to clone; all clones are one hub.
@@ -77,8 +82,23 @@ impl MonitorHub {
     pub fn attach_endpoint(
         &self,
         name: &str,
+        ep: Box<dyn MonitorEndpoint>,
+        viewer: &MonitorCaps,
+    ) -> MonitorCaps {
+        self.attach_endpoint_with_budget(name, ep, viewer, None)
+    }
+
+    /// [`attach_endpoint`](MonitorHub::attach_endpoint) with a per-delivery
+    /// send budget: at most `budget` due frames ship to this subscriber
+    /// per fan-out call, dropping the oldest surplus (counted in
+    /// [`MonitorStats::shed`]). This is the hub-side backpressure valve
+    /// relay tiers lean on.
+    pub fn attach_endpoint_with_budget(
+        &self,
+        name: &str,
         mut ep: Box<dyn MonitorEndpoint>,
         viewer: &MonitorCaps,
+        budget: Option<usize>,
     ) -> MonitorCaps {
         let negotiated = ep.negotiate(viewer);
         let mut st = self.state.lock();
@@ -89,15 +109,32 @@ impl MonitorHub {
         );
         st.handshakes
             .push(format!("{name} {}", negotiated.render()));
-        st.attach_epoch += 1;
         st.subs.push(SubEntry {
             name: name.to_string(),
             ep,
             caps: negotiated.clone(),
             admissible: 0,
+            budget,
+            keyframes_served: BTreeSet::new(),
             stats: MonitorStats::default(),
         });
         negotiated
+    }
+
+    /// Detach subscriber `name`: the endpoint's transport is closed, the
+    /// entry (including its per-channel keyframe state) is dropped, and a
+    /// `detach` line joins the handshake audit log. Returns the final
+    /// delivery statistics, or `None` if the name is unknown. Frames
+    /// published after detach never reach the departed endpoint — before
+    /// this existed, a viewer that left kept costing fan-out work and its
+    /// keyframe bookkeeping grew without bound.
+    pub fn detach(&self, name: &str) -> Option<MonitorStats> {
+        let mut st = self.state.lock();
+        let idx = st.subs.iter().position(|s| s.name == name)?;
+        let mut sub = st.subs.remove(idx);
+        sub.ep.close();
+        st.handshakes.push(format!("{name} detach"));
+        Some(sub.stats)
     }
 
     /// Number of attached subscribers.
@@ -118,17 +155,28 @@ impl MonitorHub {
     /// True once per `channel` after each new subscriber attach — frame
     /// producers with inter-frame codec state (the viz sink) consume this
     /// to emit a keyframe the late joiner can decode. The request is
-    /// tracked per channel, so several producers sharing one hub each see
-    /// it for their own stream.
+    /// tracked per channel *per subscriber* (granting it marks every
+    /// current subscriber served on that channel), so several producers
+    /// sharing one hub each see it for their own stream, and detaching a
+    /// subscriber prunes its share of the state.
     pub fn take_keyframe_request(&self, channel: &str) -> bool {
         let mut st = self.state.lock();
-        let epoch = st.attach_epoch;
-        let seen = st.keyframe_seen.entry(channel.to_string()).or_insert(0);
-        if *seen < epoch {
-            *seen = epoch;
-            true
-        } else {
-            false
+        let mut pending = false;
+        for sub in &mut st.subs {
+            if sub.keyframes_served.insert(channel.to_string()) {
+                pending = true;
+            }
+        }
+        pending
+    }
+
+    /// Mark subscriber `name` as already keyframed on `channel` without a
+    /// producer round trip — relay tiers use this after serving a cached
+    /// keyframe directly, so the request is not re-raised upstream.
+    pub fn mark_keyframe_served(&self, name: &str, channel: &str) {
+        let mut st = self.state.lock();
+        if let Some(sub) = st.subs.iter_mut().find(|s| s.name == name) {
+            sub.keyframes_served.insert(channel.to_string());
         }
     }
 
@@ -173,6 +221,55 @@ impl MonitorHub {
         frames.len() as u64
     }
 
+    /// Fan out frames that already carry sequence numbers, *without*
+    /// reassigning them. This is the relay-tier path: a [`RelayHub`]
+    /// re-publishes upstream frames to its children and the origin's
+    /// sequence numbers must survive the whole tree, or per-viewer
+    /// digests would depend on which tier served them. Returns the
+    /// number of frames forwarded.
+    ///
+    /// [`RelayHub`]: crate::monitor::relay::RelayHub
+    pub fn forward_batch(&self, frames: &[MonitorFrame]) -> u64 {
+        if frames.is_empty() {
+            return 0;
+        }
+        let mut st = self.state.lock();
+        st.published += frames.len() as u64;
+        fan_out(&mut st, frames);
+        frames.len() as u64
+    }
+
+    /// Deliver frames to *one* subscriber directly, bypassing decimation
+    /// and send budgets (kind filtering and batch chunking still apply —
+    /// the transport's negotiated envelope is real). Relay tiers use this
+    /// to serve cached keyframes to a late joiner without disturbing any
+    /// sibling's stream. Returns the number of frames delivered.
+    pub fn deliver_to(&self, name: &str, frames: &[MonitorFrame]) -> u64 {
+        if frames.is_empty() {
+            return 0;
+        }
+        let mut st = self.state.lock();
+        let Some(sub) = st.subs.iter_mut().find(|s| s.name == name) else {
+            return 0;
+        };
+        let due: Vec<MonitorFrame> = frames
+            .iter()
+            .filter(|f| sub.caps.kinds.contains(&f.payload.kind()))
+            .cloned()
+            .collect();
+        let mut delivered = 0;
+        for chunk in due.chunks(sub.caps.max_batch.max(1)) {
+            match sub.ep.deliver(chunk) {
+                Ok(n) => {
+                    sub.stats.delivered += n as u64;
+                    delivered += n as u64;
+                }
+                Err(_) => sub.stats.errors += chunk.len() as u64,
+            }
+        }
+        delivered
+    }
+
     /// Drain the frames subscriber `name`'s viewer side has received, in
     /// delivery order. Empty if the name is unknown.
     pub fn recv(&self, name: &str) -> Vec<MonitorFrame> {
@@ -206,9 +303,10 @@ impl MonitorHub {
 }
 
 /// Fan a frame batch out to every subscriber: filter by negotiated kinds,
-/// decimate by the negotiated rate, chunk to the negotiated batch size,
-/// ship. Deterministic: attach order, publish order, per-subscriber
-/// admissible counters.
+/// decimate by the negotiated rate, shed the oldest frames beyond the
+/// subscriber's send budget, chunk to the negotiated batch size, ship.
+/// Deterministic: attach order, publish order, per-subscriber admissible
+/// counters.
 fn fan_out(st: &mut HubState, frames: &[MonitorFrame]) {
     for sub in &mut st.subs {
         let mut due_idx: Vec<usize> = Vec::new();
@@ -223,6 +321,15 @@ fn fan_out(st: &mut HubState, frames: &[MonitorFrame]) {
                 due_idx.push(i);
             } else {
                 sub.stats.decimated += 1;
+            }
+        }
+        if let Some(budget) = sub.budget {
+            if due_idx.len() > budget {
+                // drop-oldest: the newest frames are the ones a live
+                // viewer can still use
+                let surplus = due_idx.len() - budget;
+                sub.stats.shed += surplus as u64;
+                due_idx.drain(..surplus);
             }
         }
         let max_batch = sub.caps.max_batch.max(1);
@@ -370,5 +477,116 @@ mod tests {
         let hub = hub_with(&["a"]);
         assert!(hub.recv("ghost").is_empty());
         assert_eq!(hub.stats_of("ghost"), None);
+    }
+
+    #[test]
+    fn detach_stops_deliveries_and_returns_final_stats() {
+        let hub = hub_with(&["a", "b"]);
+        hub.publish(1, MonitorPayload::scalar("x", 1.0));
+        let final_stats = hub.detach("a").expect("a is attached");
+        assert_eq!(final_stats.delivered, 1);
+        assert_eq!(hub.subscribers(), 1);
+        assert_eq!(hub.stats_of("a"), None, "entry is gone");
+        hub.publish(2, MonitorPayload::scalar("x", 2.0));
+        assert!(
+            hub.recv("a").is_empty(),
+            "no frames reach a departed viewer"
+        );
+        assert_eq!(hub.stats_of("b").unwrap().delivered, 2, "b unaffected");
+        assert_eq!(hub.detach("a"), None, "double detach is a miss");
+        let log = hub.handshakes();
+        assert_eq!(log.last().unwrap(), "a detach");
+    }
+
+    #[test]
+    fn detach_prunes_keyframe_state_and_frees_the_name() {
+        let hub = hub_with(&["v"]);
+        assert!(hub.take_keyframe_request("cam"));
+        assert!(!hub.take_keyframe_request("cam"));
+        hub.detach("v");
+        assert!(
+            !hub.take_keyframe_request("cam"),
+            "no subscribers, no pending requests"
+        );
+        // the name is reusable, and the rejoin starts with a clean
+        // keyframe slate — exactly what a late joiner needs
+        hub.attach_endpoint(
+            "v",
+            Box::new(LoopbackMonitor::new()),
+            &MonitorCaps::full("viewer", 8),
+        );
+        assert!(hub.take_keyframe_request("cam"), "rejoin re-raises");
+    }
+
+    #[test]
+    fn send_budget_sheds_oldest_frames() {
+        let hub = MonitorHub::new();
+        hub.attach_endpoint_with_budget(
+            "slow",
+            Box::new(LoopbackMonitor::new()),
+            &MonitorCaps::full("viewer", 64),
+            Some(2),
+        );
+        let payloads: Vec<MonitorPayload> = (0..5)
+            .map(|i| MonitorPayload::scalar("x", i as f64))
+            .collect();
+        hub.publish_batch(3, payloads);
+        let st = hub.stats_of("slow").unwrap();
+        assert_eq!(st.shed, 3, "5 due - budget 2");
+        assert_eq!(st.delivered, 2);
+        let got = hub.recv("slow");
+        assert_eq!(got.len(), 2);
+        // the two *newest* frames survive
+        assert_eq!(got[0].seq, 4);
+        assert_eq!(got[1].seq, 5);
+    }
+
+    #[test]
+    fn forward_batch_preserves_upstream_seqs() {
+        let origin = hub_with(&["direct"]);
+        origin.publish_batch(
+            9,
+            vec![
+                MonitorPayload::scalar("x", 1.0),
+                MonitorPayload::scalar("x", 2.0),
+            ],
+        );
+        let upstream = origin.recv("direct");
+        let relay = hub_with(&["child"]);
+        assert_eq!(relay.forward_batch(&upstream), 2);
+        let got = relay.recv("child");
+        assert_eq!(got, upstream, "seq numbers survive the relay tier");
+        assert_eq!(relay.frames_published(), 2);
+    }
+
+    #[test]
+    fn deliver_to_targets_one_subscriber_and_respects_kinds() {
+        let hub = MonitorHub::new();
+        hub.attach_endpoint(
+            "a",
+            Box::new(LoopbackMonitor::new()),
+            &MonitorCaps::full("viewer", 64),
+        );
+        let mut grids_only = MonitorCaps::full("viewer", 64);
+        grids_only.kinds.retain(|k| *k == MonitorKind::Grid2);
+        hub.attach_endpoint("b", Box::new(LoopbackMonitor::new()), &grids_only);
+        let frames = vec![
+            MonitorFrame {
+                seq: 7,
+                step: 1,
+                payload: MonitorPayload::scalar("x", 1.0),
+            },
+            MonitorFrame {
+                seq: 8,
+                step: 1,
+                payload: MonitorPayload::grid2("g", 1, 1, vec![0.5]),
+            },
+        ];
+        assert_eq!(hub.deliver_to("b", &frames), 1, "scalar filtered for b");
+        assert!(hub.recv("a").is_empty(), "a untouched by targeted delivery");
+        let got = hub.recv("b");
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].seq, 8);
+        assert_eq!(hub.deliver_to("ghost", &frames), 0);
     }
 }

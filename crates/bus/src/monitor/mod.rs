@@ -30,6 +30,11 @@
 //! * [`HubFrameSink`] — reroutes the VizServer compressed-bitmap path
 //!   ([`viz::VizServerSession`]) onto the hub, so rendered frames travel
 //!   the same data plane as field slices and series points.
+//! * [`RelayHub`] — the hierarchical fan-out fabric: a relay subscribes
+//!   to a parent hub as an ordinary endpoint and re-publishes decimated,
+//!   keyframe-cached streams to its own children, composable into
+//!   origin → region → edge trees where each tier applies its own
+//!   backpressure and serves late joiners from its edge cache.
 
 pub mod covise_ep;
 pub mod endpoint;
@@ -37,16 +42,18 @@ pub mod frame;
 pub mod hub;
 pub mod loopback;
 pub mod ogsa_ep;
+pub mod relay;
 pub mod unicore_ep;
 pub mod visit_ep;
 pub mod viz_sink;
 
 pub use covise_ep::CoviseMonitor;
 pub use endpoint::{MonitorCaps, MonitorEndpoint, MonitorError};
-pub use frame::{MonitorFrame, MonitorKind, MonitorPayload};
+pub use frame::{FrameCodecError, MonitorFrame, MonitorKind, MonitorPayload};
 pub use hub::{MonitorHub, MonitorStats};
 pub use loopback::LoopbackMonitor;
 pub use ogsa_ep::{MonitorFeedService, OgsaMonitor};
+pub use relay::{RelayHub, RelayPolicy, RelayReport};
 pub use unicore_ep::UnicoreMonitor;
 pub use visit_ep::VisitMonitor;
 pub use viz_sink::{publish_render, HubFrameSink};

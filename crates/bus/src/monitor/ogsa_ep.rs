@@ -206,10 +206,10 @@ impl MonitorEndpoint for OgsaMonitor {
 
     fn deliver(&mut self, frames: &[MonitorFrame]) -> Result<usize, MonitorError> {
         check_delivery(&self.caps, frames)?;
-        let args: Vec<SdeValue> = frames
-            .iter()
-            .map(|f| SdeValue::Str(to_hex(&f.to_bytes())))
-            .collect();
+        let mut args: Vec<SdeValue> = Vec::with_capacity(frames.len());
+        for f in frames {
+            args.push(SdeValue::Str(to_hex(&f.try_to_bytes()?)));
+        }
         match self.env.lock().invoke(&self.gsh, "publishFrames", &args) {
             Ok(InvokeResult::Ok(out)) => match out.first().and_then(SdeValue::as_i64) {
                 Some(n) if n as usize == frames.len() => Ok(n as usize),
@@ -225,6 +225,14 @@ impl MonitorEndpoint for OgsaMonitor {
     fn recv(&mut self) -> Vec<MonitorFrame> {
         self.pull();
         std::mem::take(&mut self.inbox)
+    }
+
+    fn close(&mut self) {
+        // final service round trip drains whatever the feed buffered for
+        // this viewer, then everything undrained is dropped — the hosted
+        // service must not keep accumulating for a departed subscriber
+        let _ = self.env.lock().invoke(&self.gsh, "pullFrames", &[]);
+        self.inbox.clear();
     }
 }
 
@@ -275,6 +283,32 @@ mod tests {
         let got = ep.recv();
         assert_eq!(got.len(), 3, "one pull returns everything pending");
         assert_eq!(got.iter().map(|f| f.seq).collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn close_drains_the_hosted_feed() {
+        let mut ep = OgsaMonitor::new("x");
+        ep.deliver(&[MonitorFrame {
+            seq: 1,
+            step: 0,
+            payload: MonitorPayload::scalar("s", 1.0),
+        }])
+        .unwrap();
+        ep.close();
+        assert!(ep.recv().is_empty(), "service buffer drained on close");
+    }
+
+    #[test]
+    fn unencodable_frame_surfaces_as_codec_error() {
+        let mut ep = OgsaMonitor::new("x");
+        let err = ep
+            .deliver(&[MonitorFrame {
+                seq: 1,
+                step: 0,
+                payload: MonitorPayload::scalar(&"n".repeat(70_000), 0.0),
+            }])
+            .unwrap_err();
+        assert!(matches!(err, MonitorError::Codec(_)), "{err}");
     }
 
     #[test]

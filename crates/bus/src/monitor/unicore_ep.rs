@@ -16,14 +16,21 @@ use bytes::{Buf, BufMut, BytesMut};
 use unicore::{Ajo, Task};
 
 /// Encode a frame batch as the staged-file payload (count + the tagged
-/// binary frame codec).
-fn encode_payload(frames: &[MonitorFrame]) -> Vec<u8> {
+/// binary frame codec). Refuses batches the count field or the frame
+/// codec cannot represent — the old casts silently truncated.
+fn encode_payload(frames: &[MonitorFrame]) -> Result<Vec<u8>, MonitorError> {
+    if frames.len() > u16::MAX as usize {
+        return Err(MonitorError::TooLarge {
+            len: frames.len(),
+            max: u16::MAX as usize,
+        });
+    }
     let mut buf = BytesMut::new();
     buf.put_u16_le(frames.len() as u16);
     for f in frames {
-        f.encode_bytes(&mut buf);
+        f.encode_bytes(&mut buf)?;
     }
-    buf.to_vec()
+    Ok(buf.to_vec())
 }
 
 /// Decode the staged-file payload. `None` on any malformation.
@@ -84,7 +91,7 @@ impl MonitorEndpoint for UnicoreMonitor {
         let stage = ajo.add_task(
             Task::StageIn {
                 path: file.clone(),
-                data: encode_payload(frames),
+                data: encode_payload(frames)?,
             },
             &[],
         );
@@ -120,6 +127,12 @@ impl MonitorEndpoint for UnicoreMonitor {
 
     fn recv(&mut self) -> Vec<MonitorFrame> {
         std::mem::take(&mut self.inbox)
+    }
+
+    fn close(&mut self) {
+        // UNICORE is job-per-batch: nothing in flight to tear down, but
+        // staged frames the consumer never polled are dropped with it
+        self.inbox.clear();
     }
 }
 
@@ -177,10 +190,37 @@ mod tests {
                 payload: MonitorPayload::grid2("g", 1, 2, vec![5.0, 6.0]),
             },
         ];
-        let bytes = encode_payload(&frames);
+        let bytes = encode_payload(&frames).unwrap();
         assert_eq!(decode_payload(&bytes), Some(frames));
         for cut in 0..bytes.len() {
             assert_eq!(decode_payload(&bytes[..cut]), None, "cut={cut}");
         }
+    }
+
+    #[test]
+    fn unencodable_frame_surfaces_as_codec_error() {
+        let mut ep = UnicoreMonitor::new("lbm");
+        let err = ep
+            .deliver(&[MonitorFrame {
+                seq: 1,
+                step: 0,
+                payload: MonitorPayload::scalar(&"n".repeat(70_000), 0.0),
+            }])
+            .unwrap_err();
+        assert!(matches!(err, MonitorError::Codec(_)), "{err}");
+        assert_eq!(ep.jobs_consigned(), 0, "no job consigned for a refusal");
+    }
+
+    #[test]
+    fn close_drops_unpolled_staged_frames() {
+        let mut ep = UnicoreMonitor::new("lbm");
+        ep.deliver(&[MonitorFrame {
+            seq: 1,
+            step: 0,
+            payload: MonitorPayload::scalar("s", 1.0),
+        }])
+        .unwrap();
+        ep.close();
+        assert!(ep.recv().is_empty());
     }
 }

@@ -252,6 +252,13 @@ impl MonitorEndpoint for VisitMonitor {
     fn recv(&mut self) -> Vec<MonitorFrame> {
         std::mem::take(&mut self.inbox)
     }
+
+    fn close(&mut self) {
+        // drop undrained frames and anything still queued on the link
+        // pair — a departed viewer's end must not hold decoded payloads
+        self.inbox.clear();
+        while self.viewer.recv_timeout(Duration::from_millis(0)).is_ok() {}
+    }
 }
 
 #[cfg(test)]
@@ -294,6 +301,14 @@ mod tests {
         let frames = sample_frames();
         assert_eq!(ep.deliver(&frames).unwrap(), frames.len());
         assert_eq!(ep.recv(), frames);
+    }
+
+    #[test]
+    fn close_drops_undrained_frames() {
+        let mut ep = VisitMonitor::new();
+        ep.deliver(&sample_frames()).unwrap();
+        ep.close();
+        assert!(ep.recv().is_empty());
     }
 
     #[test]

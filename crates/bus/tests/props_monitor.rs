@@ -6,8 +6,8 @@
 //! endpoints must be observationally equivalent.
 
 use gridsteer_bus::{
-    LoopbackMonitor, MonitorCaps, MonitorEndpoint, MonitorFrame, MonitorHub, MonitorPayload,
-    VisitMonitor,
+    FrameCodecError, LoopbackMonitor, MonitorCaps, MonitorEndpoint, MonitorFrame, MonitorHub,
+    MonitorPayload, VisitMonitor,
 };
 use proptest::prelude::*;
 use visit::Endianness;
@@ -190,5 +190,78 @@ proptest! {
         for pair in streams.windows(2) {
             prop_assert_eq!(&pair[0], &pair[1]);
         }
+    }
+
+    /// Channel names past the codec's u16 length field are rejected as a
+    /// typed error, never silently truncated (ISSUE 7 bugfix): the old
+    /// `as u16` cast wrapped the length prefix, desynchronising every
+    /// frame that followed on the wire.
+    #[test]
+    fn codec_rejects_names_past_u16(
+        extra in 0usize..512,
+        value_bits in any::<u64>(),
+    ) {
+        let len = u16::MAX as usize + 1 + extra;
+        let name = "n".repeat(len);
+        let frame = MonitorFrame {
+            seq: 1,
+            step: 2,
+            payload: MonitorPayload::scalar(&name, f64::from_bits(value_bits)),
+        };
+        prop_assert_eq!(frame.validate(), Err(FrameCodecError::NameTooLong { len }));
+        prop_assert_eq!(frame.try_to_bytes(), Err(FrameCodecError::NameTooLong { len }));
+        // A name exactly at the field's capacity still encodes.
+        let fit = MonitorFrame {
+            seq: 1,
+            step: 2,
+            payload: MonitorPayload::scalar(&name[..u16::MAX as usize], 0.0),
+        };
+        prop_assert!(fit.validate().is_ok());
+    }
+
+    /// Grid frames whose declared extents disagree with the payload —
+    /// including extents whose product overflows past u32/usize — are
+    /// rejected with the mismatch error instead of wrapping the length
+    /// prefix (ISSUE 7 bugfix for the `as u32` cast).
+    #[test]
+    fn codec_rejects_grid_shape_mismatch(
+        nx in 32u32..=u32::MAX,
+        ny in 2u32..=u32::MAX,
+        data in proptest::collection::vec(any::<u32>(), 0..32),
+        three_d in any::<bool>(),
+    ) {
+        let vals: Vec<f32> = data.iter().map(|b| f32::from_bits(*b)).collect();
+        // nx ≥ 32 and ny ≥ 2 ⇒ the declared extent (≥ 64) can never
+        // match the < 32 elements actually carried.
+        let expected = (nx as usize).checked_mul(ny as usize);
+        let len = vals.len();
+        // The `grid2`/`grid3` constructors assert the shape, so the
+        // mismatched payload is built the way a buggy adapter would:
+        // variant-literally, bypassing the checked constructors.
+        let payload = if three_d {
+            MonitorPayload::Grid3 {
+                name: "phi".into(),
+                nx,
+                ny,
+                nz: 1,
+                data: vals,
+            }
+        } else {
+            MonitorPayload::Grid2 {
+                name: "phi".into(),
+                nx,
+                ny,
+                data: vals,
+            }
+        };
+        let frame = MonitorFrame { seq: 7, step: 9, payload };
+        prop_assert_eq!(
+            frame.validate(),
+            Err(FrameCodecError::GridShapeMismatch { expected, len })
+        );
+        prop_assert_eq!(
+            frame.try_to_bytes(),
+            Err(FrameCodecError::GridShapeMismatch { expected, len })
+        );
     }
 }

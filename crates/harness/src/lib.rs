@@ -29,5 +29,5 @@ pub mod scenario;
 
 pub use backend::{LbmBackend, PepcBackend, ScenarioBackend};
 pub use gridsteer_bus::Transport;
-pub use report::{MigrationRecord, ScenarioReport, ViewerRecord};
+pub use report::{MigrationRecord, RelayRecord, ScenarioReport, ViewerRecord};
 pub use scenario::{Action, Scenario};

@@ -23,6 +23,29 @@ pub struct MigrationRecord {
     pub gap: SimTime,
 }
 
+/// One relay tier's outcome: what crossed its uplink and what its own
+/// decimation/backpressure did to the stream before it fanned further
+/// down.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelayRecord {
+    /// Relay name.
+    pub name: String,
+    /// Parent relay (`None` = fed directly by the origin hub).
+    pub parent: Option<String>,
+    /// Frames that survived the uplink and were ingested by this tier.
+    pub ingested: u64,
+    /// Frames re-published to this tier's children.
+    pub forwarded: u64,
+    /// Frames thinned by this tier's decimation rate.
+    pub decimated: u64,
+    /// Frames shed by per-child send budgets at this tier.
+    pub shed: u64,
+    /// Cached keyframes served to late joiners at this tier.
+    pub keyframes_served: u64,
+    /// Frames lost on the uplink (drop / partition).
+    pub uplink_dropped: u64,
+}
+
 /// One monitor-bus viewer's outcome: what it received over its transport
 /// and how the deliveries scored against its reaction-time budget.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -88,6 +111,8 @@ pub struct ScenarioReport {
     pub monitor_frames: u64,
     /// Per-viewer monitor outcomes, in declaration order.
     pub viewers: Vec<ViewerRecord>,
+    /// Per-relay-tier outcomes, in declaration order (parents first).
+    pub relays: Vec<RelayRecord>,
     /// Mid-run migrations, in order.
     pub migrations: Vec<MigrationRecord>,
     /// Per-participant link statistics, in join order.
@@ -128,6 +153,11 @@ impl ScenarioReport {
     /// One viewer's record by name.
     pub fn viewer(&self, name: &str) -> Option<&ViewerRecord> {
         self.viewers.iter().find(|v| v.name == name)
+    }
+
+    /// One relay tier's record by name.
+    pub fn relay(&self, name: &str) -> Option<&RelayRecord> {
+        self.relays.iter().find(|r| r.name == name)
     }
 
     /// Canonical text rendering — the digest's input. Byte-stable for a
@@ -181,6 +211,21 @@ impl ScenarioReport {
                 v.budget_violations,
                 v.max_latency,
                 v.frames_digest
+            );
+        }
+        for r in &self.relays {
+            let _ = writeln!(
+                out,
+                "relay {} parent={} ingested={} forwarded={} decimated={} shed={} \
+                 keyframes={} uplink_dropped={}",
+                r.name,
+                r.parent.as_deref().unwrap_or("origin"),
+                r.ingested,
+                r.forwarded,
+                r.decimated,
+                r.shed,
+                r.keyframes_served,
+                r.uplink_dropped
             );
         }
         for m in &self.migrations {
@@ -258,6 +303,16 @@ mod tests {
                 max_latency: SimTime::from_millis(80),
                 frames_digest: "00000000deadbeef".into(),
             }],
+            relays: vec![RelayRecord {
+                name: "region-0".into(),
+                parent: None,
+                ingested: 12,
+                forwarded: 10,
+                decimated: 2,
+                shed: 1,
+                keyframes_served: 1,
+                uplink_dropped: 0,
+            }],
             migrations: vec![MigrationRecord {
                 from: "london".into(),
                 to: "manchester".into(),
@@ -306,6 +361,8 @@ mod tests {
             "monitor frames=12",
             "viewer desk transport=visit budget=desktop-render delivered=11 dropped=1 \
              decimated=0 filtered=2 violations=0 max=80.000ms digest=00000000deadbeef",
+            "relay region-0 parent=origin ingested=12 forwarded=10 decimated=2 shed=1 \
+             keyframes=1 uplink_dropped=0",
             "migration from=london to=manchester bytes=1000 gap=3.000s",
             "link alice delivered=9 dropped=1",
             "session Joined(alice)",
@@ -333,6 +390,8 @@ mod tests {
         assert!(r.viewers_within_budget());
         assert_eq!(r.viewer("desk").unwrap().delivered, 11);
         assert!(r.viewer("ghost").is_none());
+        assert_eq!(r.relay("region-0").unwrap().forwarded, 10);
+        assert!(r.relay("edge-9").is_none());
         let mut busted = r.clone();
         busted.viewers[0].budget_violations = 2;
         assert!(!busted.viewers_within_budget());

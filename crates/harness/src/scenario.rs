@@ -52,9 +52,10 @@
 //! ```
 
 use crate::backend::{LbmBackend, PepcBackend, ScenarioBackend};
-use crate::report::{MigrationRecord, ScenarioReport, ViewerRecord};
+use crate::report::{MigrationRecord, RelayRecord, ScenarioReport, ViewerRecord};
 use gridsteer_bus::{
-    Capabilities, MonitorCaps, MonitorHub, SteerCommand, SteerEndpoint, SteerHub, Transport,
+    Capabilities, LoopbackMonitor, MonitorCaps, MonitorHub, MonitorStats, RelayHub, RelayPolicy,
+    SteerCommand, SteerEndpoint, SteerHub, Transport,
 };
 use lbm::LbmConfig;
 use netsim::{EventQueue, FaultyLink, Link, NetModel, SimTime};
@@ -144,6 +145,27 @@ pub enum Action {
         /// Destination site.
         to: String,
     },
+    /// A monitor-bus viewer detaches mid-run: its subscription is pruned
+    /// from the hub (or relay tier) it was attached to, its final
+    /// delivery statistics are frozen into the report, and no further
+    /// frames reach it.
+    ViewerLeave {
+        /// Viewer name.
+        name: String,
+    },
+    /// A monitor-bus viewer attaches (or re-attaches) mid-run, at the
+    /// origin or under a named relay tier — where the late joiner is
+    /// served cached keyframes without the request travelling upstream.
+    ViewerJoin {
+        /// Viewer name.
+        name: String,
+        /// Link profile (its seed is re-derived from the scenario seed).
+        link: Link,
+        /// Monitor transport.
+        transport: Transport,
+        /// Relay tier to attach under (`None` = the origin hub).
+        relay: Option<String>,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -163,6 +185,22 @@ struct ViewerSpec {
     budget: LoopBudget,
     /// Requested decimation (accept every Nth admissible frame).
     every: u32,
+    /// Relay tier this viewer hangs off (`None` = the origin hub).
+    relay: Option<String>,
+}
+
+/// A declared relay tier: a [`RelayHub`] fed over its own (faultable)
+/// uplink, fanning the stream to children — deeper relays or viewers.
+#[derive(Debug, Clone)]
+struct RelaySpec {
+    name: String,
+    /// Parent relay name (`None` = fed directly by the origin hub).
+    parent: Option<String>,
+    uplink: Link,
+    /// This tier's decimation rate (forward every Nth frame).
+    every: u32,
+    /// Default per-delivery send budget for children at this tier.
+    child_budget: Option<usize>,
 }
 
 /// A deterministic end-to-end steering scenario (builder).
@@ -176,6 +214,10 @@ pub struct Scenario {
     transports: BTreeMap<String, Transport>,
     /// Monitor-bus viewers, in declaration order.
     viewers: Vec<ViewerSpec>,
+    /// Relay tiers, in declaration order (parents before children).
+    relays: Vec<RelaySpec>,
+    /// Steering-session shards sharing one parameter authority.
+    shards: usize,
     actions: Vec<(SimTime, Action)>,
     sample_every: SimTime,
     steps_per_sample: usize,
@@ -196,6 +238,25 @@ struct ViewerState {
     delivered: u64,
     dropped: u64,
     digest: u64,
+    /// Index into the engine's relay table (`None` = origin-attached).
+    relay: Option<usize>,
+    /// False after a [`Action::ViewerLeave`] detached the subscription.
+    online: bool,
+    /// Hub-side statistics frozen at detach time (a live viewer reads
+    /// them from its hub when the report is cut).
+    final_stats: Option<MonitorStats>,
+}
+
+/// One live relay tier: its hub, its faulted uplink, and when the last
+/// uplink batch landed (the departure base for this tier's children).
+struct RelayNode {
+    name: String,
+    /// Index of the parent relay (`None` = fed by the origin hub).
+    parent: Option<usize>,
+    uplink: FaultyLink,
+    hub: RelayHub,
+    arrival: Option<SimTime>,
+    uplink_dropped: u64,
 }
 
 /// One connected (or disconnected) scenario participant.
@@ -241,6 +302,8 @@ impl Scenario {
             participants: Vec::new(),
             transports: BTreeMap::new(),
             viewers: Vec::new(),
+            relays: Vec::new(),
+            shards: 1,
             actions: Vec::new(),
             sample_every: SimTime::from_millis(100),
             steps_per_sample: 1,
@@ -324,7 +387,95 @@ impl Scenario {
             transport,
             budget,
             every: 1,
+            relay: None,
         });
+        self
+    }
+
+    /// Attach a viewer under a declared relay tier instead of the origin
+    /// hub: its frames arrive via the relay's uplink and the relay's own
+    /// decimation/budget policy, and a late joiner is served keyframes
+    /// from the relay's edge cache. Scored against the desktop-render
+    /// budget.
+    pub fn viewer_at_relay(
+        mut self,
+        name: &str,
+        relay: &str,
+        link: Link,
+        transport: Transport,
+    ) -> Self {
+        self.viewers.push(ViewerSpec {
+            name: name.to_string(),
+            link,
+            transport,
+            budget: LoopBudget::DesktopRender,
+            every: 1,
+            relay: Some(relay.to_string()),
+        });
+        self
+    }
+
+    /// Declare a relay tier fed directly by the origin hub over the
+    /// given uplink. Children (viewers via [`Scenario::viewer_at_relay`],
+    /// deeper relays via [`Scenario::relay_under`]) fan out from it.
+    pub fn relay(mut self, name: &str, uplink: Link) -> Self {
+        self.relays.push(RelaySpec {
+            name: name.to_string(),
+            parent: None,
+            uplink,
+            every: 1,
+            child_budget: None,
+        });
+        self
+    }
+
+    /// Declare a relay tier fed by another relay — tree composition. The
+    /// parent must be declared first (tiers are pumped in declaration
+    /// order, parents before children).
+    pub fn relay_under(mut self, name: &str, parent: &str, uplink: Link) -> Self {
+        self.relays.push(RelaySpec {
+            name: name.to_string(),
+            parent: Some(parent.to_string()),
+            uplink,
+            every: 1,
+            child_budget: None,
+        });
+        self
+    }
+
+    /// Set a declared relay's decimation rate: forward only every `n`th
+    /// frame downstream (keyframes always pass). Panics if no relay of
+    /// that name was declared.
+    pub fn relay_every(mut self, name: &str, n: u32) -> Self {
+        let r = self
+            .relays
+            .iter_mut()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("relay_every: no relay named {name:?} declared"));
+        r.every = n.max(1);
+        self
+    }
+
+    /// Set a declared relay's default per-child send budget: at most
+    /// this many frames per delivery per child, oldest shed first.
+    /// Panics if no relay of that name was declared.
+    pub fn relay_child_budget(mut self, name: &str, budget: usize) -> Self {
+        let r = self
+            .relays
+            .iter_mut()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("relay_child_budget: no relay named {name:?} declared"));
+        r.child_budget = Some(budget);
+        self
+    }
+
+    /// Split the steering session into `n` shards: disjoint participant
+    /// sets (round-robin by join order), each with its own master and
+    /// audit log, all sharing one parameter authority through the same
+    /// [`SteerHub`] registry. `1` (the default) is the classic single
+    /// session; with more shards, session events are prefixed `s{i}`.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n.max(1);
         self
     }
 
@@ -469,6 +620,49 @@ impl Scenario {
         )
     }
 
+    /// Sugar: a monitor viewer detaches mid-run.
+    pub fn viewer_leave_at(self, t: SimTime, name: &str) -> Self {
+        self.at(
+            t,
+            Action::ViewerLeave {
+                name: name.to_string(),
+            },
+        )
+    }
+
+    /// Sugar: a monitor viewer attaches to the origin hub mid-run.
+    pub fn viewer_join_at(self, t: SimTime, name: &str, link: Link, transport: Transport) -> Self {
+        self.at(
+            t,
+            Action::ViewerJoin {
+                name: name.to_string(),
+                link,
+                transport,
+                relay: None,
+            },
+        )
+    }
+
+    /// Sugar: a monitor viewer attaches under a relay tier mid-run.
+    pub fn viewer_join_relay_at(
+        self,
+        t: SimTime,
+        name: &str,
+        relay: &str,
+        link: Link,
+        transport: Transport,
+    ) -> Self {
+        self.at(
+            t,
+            Action::ViewerJoin {
+                name: name.to_string(),
+                link,
+                transport,
+                relay: Some(relay.to_string()),
+            },
+        )
+    }
+
     /// Execute the scenario and return its report. Running the same built
     /// scenario twice yields byte-identical reports.
     pub fn run(&self) -> ScenarioReport {
@@ -493,10 +687,16 @@ impl Scenario {
         if let Some(pool) = &self.pool {
             backend.set_pool(pool.clone());
         }
-        // one bus hub per run: the session shares its registry, every
-        // participant attaches an endpoint of their routed transport
+        // one bus hub per run: every session shard shares its registry
+        // (one parameter authority), every participant attaches an
+        // endpoint of their routed transport. Shards own disjoint
+        // participant sets, assigned round-robin by join order.
         let hub = SteerHub::new(backend.param_specs());
-        let mut session = SteeringSession::with_registry(hub.registry());
+        let mut sessions: Vec<SteeringSession> = (0..self.shards)
+            .map(|_| SteeringSession::with_registry(hub.registry()))
+            .collect();
+        let mut shard_of: BTreeMap<String, usize> = BTreeMap::new();
+        let mut next_shard = 0usize;
         let mut endpoints: BTreeMap<String, Box<dyn SteerEndpoint>> = BTreeMap::new();
         let mut engine_events: Vec<String> = Vec::new();
         let (net, sites) = NetModel::sc2003();
@@ -505,7 +705,9 @@ impl Scenario {
             join_client(
                 JoinCtx {
                     clients: &mut clients,
-                    session: &mut session,
+                    sessions: &mut sessions,
+                    shard_of: &mut shard_of,
+                    next_shard: &mut next_shard,
                     endpoints: &mut endpoints,
                     hub: &hub,
                     transports: &self.transports,
@@ -522,33 +724,67 @@ impl Scenario {
         // here, and every declared viewer subscribes over its transport
         // with a negotiated capability set (logged — part of the digest)
         let mhub = MonitorHub::new();
-        let mut viewers: Vec<ViewerState> = Vec::new();
-        for spec in &self.viewers {
-            let negotiated = mhub.attach_endpoint(
-                &spec.name,
-                spec.transport.attach_monitor(&spec.name),
-                &MonitorCaps::full("scenario-viewer", 64).every(spec.every),
-            );
+        // relay tiers first (parents must exist before children attach):
+        // each relay subscribes on its parent surface as an ordinary
+        // endpoint — the engine drains that collector and ships the batch
+        // over the relay's own faulted uplink
+        let mut relays: Vec<RelayNode> = Vec::new();
+        for spec in &self.relays {
+            let parent = spec.parent.as_ref().map(|p| {
+                relays.iter().position(|r| r.name == *p).unwrap_or_else(|| {
+                    panic!(
+                        "relay_under: parent {p:?} of {:?} must be declared first",
+                        spec.name
+                    )
+                })
+            });
+            let relay_hub = RelayHub::new(RelayPolicy {
+                deliver_every: spec.every,
+                default_child_budget: spec.child_budget,
+            });
+            let negotiated = match parent {
+                None => mhub.attach_endpoint(
+                    &spec.name,
+                    Box::new(LoopbackMonitor::new()),
+                    &RelayHub::uplink_caps(),
+                ),
+                Some(p) => relays[p].hub.attach_child_with_budget(
+                    &spec.name,
+                    Box::new(LoopbackMonitor::new()),
+                    &RelayHub::uplink_caps(),
+                    None,
+                ),
+            };
             engine_events.push(format!(
-                "{} attach-viewer {} budget={} {}",
+                "{} attach-relay {} parent={} {}",
                 SimTime::ZERO,
                 spec.name,
-                spec.budget.name(),
+                spec.parent.as_deref().unwrap_or("origin"),
                 negotiated.render()
             ));
-            let mut base = spec.link.clone();
+            let mut base = spec.uplink.clone();
             base.seed = rng.next_u64();
             let fault_seed = rng.next_u64();
-            viewers.push(ViewerState {
+            relays.push(RelayNode {
                 name: spec.name.clone(),
-                transport: spec.transport.label(),
-                budget: spec.budget,
-                link: FaultyLink::new(base, fault_seed),
-                monitor: LoopMonitor::new(spec.budget),
-                delivered: 0,
-                dropped: 0,
-                digest: 0xcbf2_9ce4_8422_2325,
+                parent,
+                uplink: FaultyLink::new(base, fault_seed),
+                hub: relay_hub,
+                arrival: None,
+                uplink_dropped: 0,
             });
+        }
+        let mut viewers: Vec<ViewerState> = Vec::new();
+        for spec in &self.viewers {
+            attach_viewer(
+                &mut viewers,
+                &mhub,
+                &relays,
+                &mut engine_events,
+                &mut rng,
+                spec,
+                SimTime::ZERO,
+            );
         }
 
         let mut queue: EventQueue<Ev> = EventQueue::new();
@@ -588,7 +824,8 @@ impl Scenario {
                     // in staging order, before the physics advances
                     commit_staged(
                         &hub,
-                        &mut session,
+                        &mut sessions,
+                        &shard_of,
                         backend.as_mut(),
                         &mut steers_applied,
                         &mut steers_lost,
@@ -597,7 +834,9 @@ impl Scenario {
                     );
                     backend.advance(self.steps_per_sample);
                     let bytes = backend.sample_bytes();
-                    session.broadcast_sample(bytes);
+                    for s in sessions.iter_mut() {
+                        s.broadcast_sample(bytes);
+                    }
                     broadcasts += 1;
                     let mut earliest: Option<SimTime> = None;
                     let mut latest: Option<SimTime> = None;
@@ -624,12 +863,48 @@ impl Scenario {
                     // arrival scored against that viewer's budget.
                     // Viewer-less scenarios skip the whole path: sampling
                     // the monitor surface costs full-lattice passes.
-                    if !viewers.is_empty() {
+                    if !viewers.is_empty() || !relays.is_empty() {
                         backend.publish_monitor(&mhub);
                     }
+                    // relay tick, top-down (parents precede children by
+                    // declaration): drain the tier's collector on its
+                    // parent surface, ship the whole batch as one
+                    // envelope over the faulted uplink, and on arrival
+                    // fan it out to the tier's children
+                    for i in 0..relays.len() {
+                        let parent = relays[i].parent;
+                        let (frames, depart) = match parent {
+                            None => (mhub.recv(&relays[i].name), now),
+                            Some(p) => (
+                                relays[p].hub.recv_child(&relays[i].name),
+                                relays[p].arrival.unwrap_or(now),
+                            ),
+                        };
+                        if frames.is_empty() {
+                            continue;
+                        }
+                        let bytes: usize = frames.iter().map(|f| f.wire_size()).sum();
+                        match relays[i].uplink.deliver(depart, bytes) {
+                            Some(arrival) => {
+                                relays[i].arrival = Some(arrival);
+                                relays[i].hub.ingest(&frames);
+                            }
+                            None => relays[i].uplink_dropped += frames.len() as u64,
+                        }
+                    }
                     for v in viewers.iter_mut() {
-                        for frame in mhub.recv(&v.name) {
-                            match v.link.deliver(now, frame.wire_size()) {
+                        if !v.online {
+                            continue;
+                        }
+                        let (frames, depart) = match v.relay {
+                            None => (mhub.recv(&v.name), now),
+                            Some(i) => (
+                                relays[i].hub.recv_child(&v.name),
+                                relays[i].arrival.unwrap_or(now),
+                            ),
+                        };
+                        for frame in frames {
+                            match v.link.deliver(depart, frame.wire_size()) {
                                 Some(arrival) => {
                                     v.monitor.record(arrival.saturating_since(now));
                                     v.delivered += 1;
@@ -647,7 +922,11 @@ impl Scenario {
                         now,
                         clients: &mut clients,
                         viewers: &mut viewers,
-                        session: &mut session,
+                        relays: &mut relays,
+                        mhub: &mhub,
+                        sessions: &mut sessions,
+                        shard_of: &mut shard_of,
+                        next_shard: &mut next_shard,
                         backend: backend.as_mut(),
                         queue: &mut queue,
                         rng: &mut rng,
@@ -662,24 +941,26 @@ impl Scenario {
                         transports: &self.transports,
                     });
                 }
-                Ev::ApplySteer { who, param, value } => match session.index_of(&who) {
-                    Some(_) => {
-                        let ep = endpoints
-                            .get_mut(&who)
-                            .expect("joined participants have endpoints");
-                        // ship through the middleware; staged until the
-                        // next step boundary
-                        if let Err(e) = ep.set_batch(vec![SteerCommand::new(&param, value)]) {
+                Ev::ApplySteer { who, param, value } => {
+                    match shard_of.get(&who).and_then(|&s| sessions[s].index_of(&who)) {
+                        Some(_) => {
+                            let ep = endpoints
+                                .get_mut(&who)
+                                .expect("joined participants have endpoints");
+                            // ship through the middleware; staged until the
+                            // next step boundary
+                            if let Err(e) = ep.set_batch(vec![SteerCommand::new(&param, value)]) {
+                                steers_lost += 1;
+                                engine_events
+                                    .push(format!("{now} steer-unroutable {who} {param}: {e}"));
+                            }
+                        }
+                        None => {
                             steers_lost += 1;
-                            engine_events
-                                .push(format!("{now} steer-unroutable {who} {param}: {e}"));
+                            engine_events.push(format!("{now} steer-sender-left {who}"));
                         }
                     }
-                    None => {
-                        steers_lost += 1;
-                        engine_events.push(format!("{now} steer-sender-left {who}"));
-                    }
-                },
+                }
             }
         }
 
@@ -687,7 +968,8 @@ impl Scenario {
         // still commit before the report is cut
         commit_staged(
             &hub,
-            &mut session,
+            &mut sessions,
+            &shard_of,
             backend.as_mut(),
             &mut steers_applied,
             &mut steers_lost,
@@ -709,7 +991,14 @@ impl Scenario {
             .iter()
             .map(|v| {
                 let lr = v.monitor.report();
-                let stats = mhub.stats_of(&v.name).unwrap_or_default();
+                // detached viewers report the stats frozen at leave time
+                let stats = v.final_stats.unwrap_or_else(|| {
+                    match v.relay {
+                        None => mhub.stats_of(&v.name),
+                        Some(i) => relays[i].hub.stats_of_child(&v.name),
+                    }
+                    .unwrap_or_default()
+                });
                 ViewerRecord {
                     name: v.name.clone(),
                     transport: v.transport,
@@ -724,6 +1013,35 @@ impl Scenario {
                 }
             })
             .collect();
+        let relay_records: Vec<RelayRecord> = relays
+            .iter()
+            .map(|r| {
+                let rep = r.hub.report();
+                RelayRecord {
+                    name: r.name.clone(),
+                    parent: r.parent.map(|p| relays[p].name.clone()),
+                    ingested: rep.ingested,
+                    forwarded: rep.forwarded,
+                    decimated: rep.decimated,
+                    shed: rep.shed,
+                    keyframes_served: rep.keyframes_served,
+                    uplink_dropped: r.uplink_dropped,
+                }
+            })
+            .collect();
+        let session_events: Vec<String> = if self.shards == 1 {
+            sessions[0].events().iter().map(render_event).collect()
+        } else {
+            sessions
+                .iter()
+                .enumerate()
+                .flat_map(|(i, s)| {
+                    s.events()
+                        .iter()
+                        .map(move |e| format!("s{i} {}", render_event(e)))
+                })
+                .collect()
+        };
         ScenarioReport {
             name: self.name.clone(),
             seed: self.seed,
@@ -742,12 +1060,13 @@ impl Scenario {
             steers_lost,
             monitor_frames: mhub.frames_published(),
             viewers: viewer_records,
+            relays: relay_records,
             migrations,
             links: clients
                 .iter()
                 .map(|c| (c.name.clone(), c.total_stats()))
                 .collect(),
-            session_events: session.events().iter().map(render_event).collect(),
+            session_events,
             engine_events,
             final_progress: backend.progress(),
         }
@@ -761,7 +1080,11 @@ struct ActionCtx<'a> {
     now: SimTime,
     clients: &'a mut Vec<Client>,
     viewers: &'a mut Vec<ViewerState>,
-    session: &'a mut SteeringSession,
+    relays: &'a mut Vec<RelayNode>,
+    mhub: &'a MonitorHub,
+    sessions: &'a mut Vec<SteeringSession>,
+    shard_of: &'a mut BTreeMap<String, usize>,
+    next_shard: &'a mut usize,
     backend: &'a mut dyn ScenarioBackend,
     queue: &'a mut EventQueue<Ev>,
     rng: &'a mut StdRng,
@@ -782,7 +1105,11 @@ fn apply_action(ctx: ActionCtx<'_>) {
         now,
         clients,
         viewers,
-        session,
+        relays,
+        mhub,
+        sessions,
+        shard_of,
+        next_shard,
         backend,
         queue,
         rng,
@@ -801,7 +1128,9 @@ fn apply_action(ctx: ActionCtx<'_>) {
             join_client(
                 JoinCtx {
                     clients,
-                    session,
+                    sessions,
+                    shard_of,
+                    next_shard,
                     endpoints,
                     hub,
                     transports,
@@ -814,7 +1143,10 @@ fn apply_action(ctx: ActionCtx<'_>) {
             );
         }
         Action::Leave { name } => {
-            if session.leave_by_name(&name) {
+            let left = shard_of
+                .get(&name)
+                .is_some_and(|&s| sessions[s].leave_by_name(&name));
+            if left {
                 if let Some(c) = clients.iter_mut().find(|c| c.name == name) {
                     c.online = false;
                 }
@@ -822,14 +1154,27 @@ fn apply_action(ctx: ActionCtx<'_>) {
                 engine_events.push(format!("{now} leave-miss {name}"));
             }
         }
-        Action::PassMaster { from, to } => match (session.index_of(&from), session.index_of(&to)) {
-            (Some(f), Some(t)) => {
-                if !session.pass_master(f, t) {
-                    engine_events.push(format!("{now} pass-refused {from}->{to}"));
+        Action::PassMaster { from, to } => {
+            match (shard_of.get(&from).copied(), shard_of.get(&to).copied()) {
+                (Some(a), Some(b)) if a != b => {
+                    // shards own disjoint participant sets: the token
+                    // never crosses a shard boundary
+                    engine_events.push(format!("{now} pass-shard-miss {from}->{to}"));
                 }
+                (Some(a), Some(_)) => {
+                    let session = &mut sessions[a];
+                    match (session.index_of(&from), session.index_of(&to)) {
+                        (Some(f), Some(t)) => {
+                            if !session.pass_master(f, t) {
+                                engine_events.push(format!("{now} pass-refused {from}->{to}"));
+                            }
+                        }
+                        _ => engine_events.push(format!("{now} pass-miss {from}->{to}")),
+                    }
+                }
+                _ => engine_events.push(format!("{now} pass-miss {from}->{to}")),
             }
-            _ => engine_events.push(format!("{now} pass-miss {from}->{to}")),
-        },
+        }
         Action::Steer { who, param, value } => {
             match clients.iter_mut().find(|c| c.name == who && c.online) {
                 Some(c) => match c.link.deliver(now, STEER_BYTES) {
@@ -847,28 +1192,28 @@ fn apply_action(ctx: ActionCtx<'_>) {
                 }
             }
         }
-        Action::Partition { who } => match fault_link(clients, viewers, &who) {
+        Action::Partition { who } => match fault_link(clients, viewers, relays, &who) {
             Some(link) => {
                 link.partition();
                 engine_events.push(format!("{now} partition {who}"));
             }
             None => engine_events.push(format!("{now} fault-miss {who}")),
         },
-        Action::Heal { who } => match fault_link(clients, viewers, &who) {
+        Action::Heal { who } => match fault_link(clients, viewers, relays, &who) {
             Some(link) => {
                 link.heal();
                 engine_events.push(format!("{now} heal {who}"));
             }
             None => engine_events.push(format!("{now} fault-miss {who}")),
         },
-        Action::SetLoss { who, ppm } => match fault_link(clients, viewers, &who) {
+        Action::SetLoss { who, ppm } => match fault_link(clients, viewers, relays, &who) {
             Some(link) => {
                 link.set_extra_loss_ppm(ppm);
                 engine_events.push(format!("{now} loss {who} {ppm}ppm"));
             }
             None => engine_events.push(format!("{now} fault-miss {who}")),
         },
-        Action::SetJitter { who, jitter } => match fault_link(clients, viewers, &who) {
+        Action::SetJitter { who, jitter } => match fault_link(clients, viewers, relays, &who) {
             Some(link) => {
                 link.set_extra_jitter(jitter);
                 engine_events.push(format!("{now} jitter {who} {jitter}"));
@@ -897,31 +1242,146 @@ fn apply_action(ctx: ActionCtx<'_>) {
             }
             _ => engine_events.push(format!("{now} migrate-miss {from}->{to}")),
         },
+        Action::ViewerLeave { name } => {
+            match viewers.iter_mut().find(|v| v.name == name && v.online) {
+                Some(v) => {
+                    v.final_stats = match v.relay {
+                        None => mhub.detach(&name),
+                        Some(i) => relays[i].hub.detach_child(&name),
+                    };
+                    v.online = false;
+                    engine_events.push(format!("{now} viewer-leave {name}"));
+                }
+                None => engine_events.push(format!("{now} viewer-leave-miss {name}")),
+            }
+        }
+        Action::ViewerJoin {
+            name,
+            link,
+            transport,
+            relay,
+        } => {
+            let known_relay = relay
+                .as_ref()
+                .is_none_or(|r| relays.iter().any(|n| n.name == *r));
+            if viewers.iter().any(|v| v.name == name && v.online) || !known_relay {
+                engine_events.push(format!("{now} viewer-join-miss {name}"));
+            } else {
+                attach_viewer(
+                    viewers,
+                    mhub,
+                    relays,
+                    engine_events,
+                    rng,
+                    &ViewerSpec {
+                        name,
+                        link,
+                        transport,
+                        budget: LoopBudget::DesktopRender,
+                        every: 1,
+                        relay,
+                    },
+                    now,
+                );
+            }
+        }
     }
 }
 
-/// Resolve a fault-action target: participants and viewers share one
-/// name space for link faults (participants win a collision).
+/// Resolve a fault-action target: participants, viewers, and relay
+/// uplinks share one name space for link faults (participants win a
+/// collision, then viewers).
 fn fault_link<'a>(
     clients: &'a mut [Client],
     viewers: &'a mut [ViewerState],
+    relays: &'a mut [RelayNode],
     who: &str,
 ) -> Option<&'a mut FaultyLink> {
     if let Some(c) = clients.iter_mut().find(|c| c.name == who) {
         return Some(&mut c.link);
     }
-    viewers
+    if let Some(v) = viewers.iter_mut().find(|v| v.name == who) {
+        return Some(&mut v.link);
+    }
+    relays
         .iter_mut()
-        .find(|v| v.name == who)
-        .map(|v| &mut v.link)
+        .find(|r| r.name == who)
+        .map(|r| &mut r.uplink)
+}
+
+/// Attach (or re-attach) a monitor viewer at the origin hub or under a
+/// relay tier, logging the capability handshake and deriving the link's
+/// deterministic streams from the scenario RNG. A re-attach after a
+/// [`Action::ViewerLeave`] reuses the viewer's record: delivery counters
+/// and the frame digest keep accumulating across connections.
+fn attach_viewer(
+    viewers: &mut Vec<ViewerState>,
+    mhub: &MonitorHub,
+    relays: &[RelayNode],
+    engine_events: &mut Vec<String>,
+    rng: &mut StdRng,
+    spec: &ViewerSpec,
+    now: SimTime,
+) {
+    let relay_idx = spec.relay.as_ref().map(|r| {
+        relays
+            .iter()
+            .position(|n| n.name == *r)
+            .unwrap_or_else(|| panic!("viewer {:?}: no relay named {r:?} declared", spec.name))
+    });
+    let caps = MonitorCaps::full("scenario-viewer", 64).every(spec.every);
+    let ep = spec.transport.attach_monitor(&spec.name);
+    let negotiated = match relay_idx {
+        None => mhub.attach_endpoint(&spec.name, ep, &caps),
+        Some(i) => relays[i].hub.attach_child(&spec.name, ep, &caps),
+    };
+    let via = match &spec.relay {
+        None => String::new(),
+        Some(r) => format!("via={r} "),
+    };
+    engine_events.push(format!(
+        "{} attach-viewer {} {}budget={} {}",
+        now,
+        spec.name,
+        via,
+        spec.budget.name(),
+        negotiated.render()
+    ));
+    let mut base = spec.link.clone();
+    base.seed = rng.next_u64();
+    let fault_seed = rng.next_u64();
+    let link = FaultyLink::new(base, fault_seed);
+    match viewers.iter_mut().find(|v| v.name == spec.name) {
+        Some(v) => {
+            v.link = link;
+            v.relay = relay_idx;
+            v.online = true;
+            v.final_stats = None;
+        }
+        None => viewers.push(ViewerState {
+            name: spec.name.clone(),
+            transport: spec.transport.label(),
+            budget: spec.budget,
+            link,
+            monitor: LoopMonitor::new(spec.budget),
+            delivered: 0,
+            dropped: 0,
+            digest: 0xcbf2_9ce4_8422_2325,
+            relay: relay_idx,
+            online: true,
+            final_stats: None,
+        }),
+    }
 }
 
 /// Apply every staged bus batch atomically at a step boundary: commands
-/// flow through the session (master/bounds checks, audit events) and into
-/// the backend, in global staging order.
+/// flow through the origin's session shard (master/bounds checks, audit
+/// events) and into the backend, in global staging order.
+#[allow(clippy::too_many_arguments)] // one call site, mirrors run()'s locals
 fn commit_staged(
     hub: &SteerHub,
-    session: &mut SteeringSession,
+    sessions: &mut [SteeringSession],
+    shard_of: &BTreeMap<String, usize>,
     backend: &mut dyn ScenarioBackend,
     steers_applied: &mut u64,
     steers_lost: &mut u64,
@@ -931,28 +1391,37 @@ fn commit_staged(
     if hub.pending() == 0 {
         return;
     }
-    hub.commit_with(|batch, cmd| match session.index_of(&batch.origin) {
-        Some(idx) => match session.steer_value(idx, &cmd.param, &cmd.value) {
-            Ok(applied) => {
-                backend.apply_steer(&cmd.param, &applied);
-                *steers_applied += 1;
-                Ok(applied)
+    hub.commit_with(|batch, cmd| {
+        let resolved = shard_of
+            .get(&batch.origin)
+            .copied()
+            .and_then(|s| sessions[s].index_of(&batch.origin).map(|idx| (s, idx)));
+        match resolved {
+            Some((s, idx)) => match sessions[s].steer_value(idx, &cmd.param, &cmd.value) {
+                Ok(applied) => {
+                    backend.apply_steer(&cmd.param, &applied);
+                    *steers_applied += 1;
+                    Ok(applied)
+                }
+                // refusals are already in the session audit log
+                Err(e) => Err(e),
+            },
+            None => {
+                *steers_lost += 1;
+                engine_events.push(format!("{now} steer-sender-left {}", batch.origin));
+                Err("sender left before commit".into())
             }
-            // refusals are already in the session audit log
-            Err(e) => Err(e),
-        },
-        None => {
-            *steers_lost += 1;
-            engine_events.push(format!("{now} steer-sender-left {}", batch.origin));
-            Err("sender left before commit".into())
         }
     });
 }
 
-/// Everything a join touches (session, link table, bus attachment).
+/// Everything a join touches (session shards, link table, bus
+/// attachment).
 struct JoinCtx<'a> {
     clients: &'a mut Vec<Client>,
-    session: &'a mut SteeringSession,
+    sessions: &'a mut Vec<SteeringSession>,
+    shard_of: &'a mut BTreeMap<String, usize>,
+    next_shard: &'a mut usize,
     endpoints: &'a mut BTreeMap<String, Box<dyn SteerEndpoint>>,
     hub: &'a SteerHub,
     transports: &'a BTreeMap<String, Transport>,
@@ -960,20 +1429,30 @@ struct JoinCtx<'a> {
     now: SimTime,
 }
 
-/// Join (or rejoin) a participant: session membership, a faulted link
-/// whose deterministic streams derive from the scenario RNG, and — on
-/// first join — a bus endpoint of the participant's routed transport,
-/// with its capability handshake logged (part of the report digest).
+/// Join (or rejoin) a participant: session membership (first join
+/// assigns a shard round-robin; a rejoin returns to the same shard), a
+/// faulted link whose deterministic streams derive from the scenario
+/// RNG, and — on first join — a bus endpoint of the participant's routed
+/// transport, with its capability handshake logged (part of the report
+/// digest).
 fn join_client(ctx: JoinCtx<'_>, name: &str, link: &Link, rng: &mut StdRng) {
     let JoinCtx {
         clients,
-        session,
+        sessions,
+        shard_of,
+        next_shard,
         endpoints,
         hub,
         transports,
         engine_events,
         now,
     } = ctx;
+    let shard = *shard_of.entry(name.to_string()).or_insert_with(|| {
+        let s = *next_shard % sessions.len();
+        *next_shard += 1;
+        s
+    });
+    let session = &mut sessions[shard];
     if session.index_of(name).is_none() {
         session.join(name);
     }
@@ -1293,6 +1772,172 @@ mod tests {
             .run();
         assert_eq!(r.monitor_frames, 30, "3 scalar channels x 10 ticks");
         assert_eq!(r.viewer("v").unwrap().delivered, 30);
+    }
+
+    #[test]
+    fn viewer_leave_freezes_deliveries() {
+        let r = tiny("churn")
+            .viewer_via("v", Link::uk_janet(), Transport::Visit)
+            .viewer_leave_at(SimTime::from_millis(450), "v")
+            .viewer_leave_at(SimTime::from_millis(500), "ghost")
+            .run();
+        let v = r.viewer("v").unwrap();
+        assert_eq!(v.delivered, 24, "4 ticks x 6 channels before the leave");
+        assert!(r.engine_events.iter().any(|e| e.contains("viewer-leave v")));
+        assert!(r
+            .engine_events
+            .iter()
+            .any(|e| e.contains("viewer-leave-miss ghost")));
+    }
+
+    #[test]
+    fn viewer_rejoin_resumes_and_accumulates() {
+        let r = tiny("viewer-rejoin")
+            .viewer_via("v", Link::uk_janet(), Transport::Visit)
+            .viewer_leave_at(SimTime::from_millis(350), "v")
+            .viewer_join_at(
+                SimTime::from_millis(650),
+                "v",
+                Link::gwin(),
+                Transport::Loopback,
+            )
+            .run();
+        let v = r.viewer("v").unwrap();
+        assert_eq!(
+            v.delivered,
+            18 + 24,
+            "3 ticks before the leave + 4 after the rejoin, x 6 channels"
+        );
+        // a second join while online is refused
+        let r2 = tiny("viewer-rejoin-dup")
+            .viewer_via("v", Link::uk_janet(), Transport::Visit)
+            .viewer_join_at(
+                SimTime::from_millis(300),
+                "v",
+                Link::gwin(),
+                Transport::Loopback,
+            )
+            .run();
+        assert!(r2
+            .engine_events
+            .iter()
+            .any(|e| e.contains("viewer-join-miss v")));
+    }
+
+    #[test]
+    fn relay_tier_streams_byte_identical_to_direct_attach() {
+        let r = tiny("relay")
+            .relay("region", Link::campus())
+            .relay_under("edge", "region", Link::uk_janet())
+            .viewer_at_relay("leaf", "edge", Link::gwin(), Transport::Visit)
+            .viewer_via("direct", Link::gwin(), Transport::Visit)
+            .run();
+        let leaf = r.viewer("leaf").unwrap();
+        let direct = r.viewer("direct").unwrap();
+        assert_eq!(leaf.delivered, 60, "nothing thinned across two tiers");
+        assert_eq!(
+            leaf.frames_digest, direct.frames_digest,
+            "sequence numbers and bytes survive the tree"
+        );
+        let region = r.relay("region").unwrap();
+        assert_eq!(region.parent, None);
+        assert_eq!(region.ingested, 60);
+        assert_eq!(region.forwarded, 60);
+        assert_eq!(r.relay("edge").unwrap().parent.as_deref(), Some("region"));
+        assert!(r
+            .engine_events
+            .iter()
+            .any(|e| e.contains("attach-relay edge parent=region")));
+    }
+
+    #[test]
+    fn relay_decimation_and_uplink_faults_are_reported() {
+        let r = tiny("relay-faults")
+            .relay("region", Link::campus())
+            .relay_every("region", 3)
+            .viewer_at_relay("leaf", "region", Link::uk_janet(), Transport::Loopback)
+            .partition_at(SimTime::from_millis(150), "region")
+            .heal_at(SimTime::from_millis(450), "region")
+            .run();
+        let region = r.relay("region").unwrap();
+        assert!(
+            region.uplink_dropped > 0,
+            "partitioned uplink drops batches"
+        );
+        assert!(region.decimated > 0, "tier thins the stream");
+        assert_eq!(region.ingested, region.forwarded + region.decimated);
+        assert!(r.viewer("leaf").unwrap().delivered > 0);
+        assert!(r
+            .engine_events
+            .iter()
+            .any(|e| e.contains("partition region")));
+    }
+
+    #[test]
+    fn late_relay_viewer_is_served_from_the_edge_cache() {
+        let r = tiny("relay-late")
+            .relay("edge", Link::campus())
+            .viewer_at_relay("pioneer", "edge", Link::uk_janet(), Transport::Loopback)
+            .viewer_join_relay_at(
+                SimTime::from_millis(550),
+                "late",
+                "edge",
+                Link::uk_janet(),
+                Transport::Visit,
+            )
+            .run();
+        // grid channels are self-contained, so the joiner starts from the
+        // cached state plus everything published after the join
+        let late = r.viewer("late").unwrap();
+        assert!(
+            late.delivered > 24,
+            "cache serve + post-join ticks: {late:?}"
+        );
+        assert!(r.relay("edge").unwrap().keyframes_served > 0);
+        assert!(r
+            .engine_events
+            .iter()
+            .any(|e| e.contains("attach-viewer late via=edge")));
+    }
+
+    #[test]
+    fn sharded_sessions_split_masters_and_share_authority() {
+        let r = tiny("shards")
+            .shards(2)
+            .steer_at(SimTime::from_millis(250), "bob", "miscibility", 0.25)
+            .pass_master_at(SimTime::from_millis(400), "alice", "bob")
+            .run();
+        assert_eq!(r.steers_applied, 1, "bob masters his own shard");
+        assert!(r
+            .engine_events
+            .iter()
+            .any(|e| e.contains("pass-shard-miss alice->bob")));
+        assert!(r.session_events.contains(&"s0 Joined(alice)".to_string()));
+        assert!(r.session_events.contains(&"s1 Joined(bob)".to_string()));
+        assert_eq!(r.broadcasts, 10, "one backend sample stream, n shards");
+    }
+
+    #[test]
+    fn single_shard_renders_without_prefix_and_relays_stay_deterministic() {
+        let build = || {
+            tiny("relay-det")
+                .shards(2)
+                .relay("region", Link::campus())
+                .relay_under("edge", "region", Link::uk_janet())
+                .viewer_at_relay("leaf", "edge", Link::transatlantic(), Transport::Ogsa)
+                .viewer_leave_at(SimTime::from_millis(500), "leaf")
+                .steer_at(SimTime::from_millis(300), "alice", "miscibility", 0.4)
+        };
+        let r1 = build().run();
+        let r2 = build().run();
+        assert_eq!(r1.render(), r2.render());
+        let r8 = build().pool(gridsteer_exec::shared(8)).run();
+        assert_eq!(r1.digest(), r8.digest());
+        let plain = tiny("plain").run();
+        assert!(
+            plain.session_events.iter().all(|e| !e.starts_with("s0 ")),
+            "single shard keeps the classic rendering"
+        );
     }
 
     #[test]

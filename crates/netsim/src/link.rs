@@ -135,6 +135,17 @@ impl Link {
             .build()
     }
 
+    /// A campus/metro backbone hop — the tier a fan-out relay sits on,
+    /// between the origin's LAN and the wide-area links viewers ride:
+    /// ~1 ms one way, 1 Gbit, negligible jitter.
+    pub fn campus() -> Link {
+        Link::builder()
+            .latency_ms(1)
+            .bandwidth_mbit(1000)
+            .jitter(SimTime::from_micros(100))
+            .build()
+    }
+
     /// A link shaped like the paper's UK national network segment
     /// (Manchester–London over SuperJanet, 2003): ~5 ms one way, 155 Mbit.
     pub fn uk_janet() -> Link {
@@ -292,6 +303,7 @@ mod tests {
 
     #[test]
     fn presets_are_ordered_by_distance() {
+        assert!(Link::campus().latency < Link::uk_janet().latency);
         assert!(Link::uk_janet().latency < Link::gwin().latency);
         assert!(Link::gwin().latency < Link::transatlantic().latency);
     }

@@ -531,3 +531,135 @@ fn s12_mixed_transport_viewer_fanout() {
     assert_eq!(r1.steers_applied, 1);
     assert!(r1.monitor_frames > 0);
 }
+
+/// S13 — viewer churn (ISSUE 7 bugfix): a monitor subscriber leaves
+/// mid-scenario through the hub's detach path — its delivery stream
+/// freezes at the leave, its epoch state is pruned rather than leaked —
+/// then a new viewer joins late and is served from the current state.
+/// The whole churn sequence replays byte-identically across re-runs and
+/// executor pool sizes.
+#[test]
+fn s13_viewer_churn_detaches_cleanly() {
+    use gridsteer::harness::Transport;
+    let build = || {
+        Scenario::named("s13-viewer-churn")
+            .seed(113)
+            .lbm(tiny_lbm())
+            .participant("alice", Link::uk_janet())
+            .viewer_via("quitter", Link::gwin(), Transport::Visit)
+            .viewer_via("stayer", Link::gwin(), Transport::Visit)
+            .duration(SimTime::from_secs(4))
+            .viewer_leave_at(ms(1700), "quitter")
+            .viewer_leave_at(ms(1800), "ghost") // unknown: counted as a miss
+            .viewer_join_at(ms(2600), "late", Link::uk_janet(), Transport::Unicore)
+            .steer_at(ms(900), "alice", "miscibility", 0.3)
+    };
+    let r1 = build().run();
+    let r2 = build().run();
+    assert_eq!(
+        r1.render(),
+        r2.render(),
+        "churn must replay byte-identically"
+    );
+    let r_serial = build().pool(gridsteer_exec::shared(1)).run();
+    let r_wide = build().pool(gridsteer_exec::shared(8)).run();
+    assert_eq!(r1.digest(), r_serial.digest());
+    assert_eq!(r1.digest(), r_wide.digest());
+    // the leave froze the quitter's stream: identical links, so the
+    // stayer keeps receiving everything the quitter no longer does
+    let quitter = r1.viewer("quitter").unwrap();
+    let stayer = r1.viewer("stayer").unwrap();
+    assert!(quitter.delivered > 0, "frames flowed before the leave");
+    assert!(
+        stayer.delivered > quitter.delivered,
+        "no frames after the leave: {quitter:?} vs {stayer:?}"
+    );
+    assert!(r1
+        .engine_events
+        .iter()
+        .any(|e| e.contains("viewer-leave quitter")));
+    assert!(r1
+        .engine_events
+        .iter()
+        .any(|e| e.contains("viewer-leave-miss ghost")));
+    // the late joiner attached mid-run and still got a stream
+    let late = r1.viewer("late").unwrap();
+    assert!(late.delivered > 0, "late viewer starves: {late:?}");
+    assert!(late.delivered < stayer.delivered);
+    assert_ne!(late.frames_digest, "0000000000000000");
+    assert_eq!(r1.steers_applied, 1);
+}
+
+/// S14 — hierarchical relay fabric (ISSUE 7 tentpole): the origin feeds a
+/// region relay which feeds an edge relay; viewers hang off the edge over
+/// mixed transports while one control client steers. The region uplink is
+/// partitioned and healed (dropped batches are counted per tier, never
+/// invented), the edge tier decimates a polling consumer, and a late
+/// viewer is served its catch-up keyframe from the edge cache instead of
+/// re-raising to the origin. Digest byte-stable across re-runs and pools.
+#[test]
+fn s14_relay_tier_fanout_under_faults() {
+    use gridsteer::harness::Transport;
+    let build = || {
+        Scenario::named("s14-relay-tier")
+            .seed(114)
+            .lbm(tiny_lbm())
+            .participant("alice", Link::uk_janet())
+            .relay("region", Link::campus())
+            .relay_under("edge", "region", Link::uk_janet())
+            .relay_every("edge", 2) // the edge tier thins its children
+            .viewer_at_relay("vis", "edge", Link::gwin(), Transport::Visit)
+            .viewer_at_relay("cov", "edge", Link::gwin(), Transport::Covise)
+            .viewer_via("direct", Link::gwin(), Transport::Ogsa)
+            .duration(SimTime::from_secs(4))
+            .partition_at(ms(1200), "region")
+            .heal_at(ms(2000), "region")
+            .viewer_join_relay_at(
+                ms(2800),
+                "late",
+                "edge",
+                Link::uk_janet(),
+                Transport::Unicore,
+            )
+            .steer_at(ms(800), "alice", "miscibility", 0.35)
+    };
+    let r1 = build().run();
+    let r2 = build().run();
+    assert_eq!(r1.render(), r2.render(), "relay tree must replay");
+    let r_serial = build().pool(gridsteer_exec::shared(1)).run();
+    let r_wide = build().pool(gridsteer_exec::shared(8)).run();
+    assert_eq!(r1.digest(), r_serial.digest());
+    assert_eq!(r1.digest(), r_wide.digest());
+    // tier accounting: the partition window drops region uplink batches,
+    // and every ingested frame is either forwarded or decimated
+    let region = r1.relay("region").unwrap();
+    let edge = r1.relay("edge").unwrap();
+    assert_eq!(region.parent, None);
+    assert_eq!(edge.parent.as_deref(), Some("region"));
+    assert!(region.uplink_dropped > 0, "partition must drop: {region:?}");
+    assert_eq!(region.ingested, region.forwarded + region.decimated);
+    assert!(edge.decimated > 0, "edge tier must thin: {edge:?}");
+    assert_eq!(edge.ingested, edge.forwarded + edge.decimated);
+    // the late joiner was served from the edge cache, not the origin
+    assert!(edge.keyframes_served > 0, "late join must hit the cache");
+    assert!(r1
+        .engine_events
+        .iter()
+        .any(|e| e.contains("attach-viewer late via=edge")));
+    let late = r1.viewer("late").unwrap();
+    assert!(late.delivered > 0, "late viewer starves: {late:?}");
+    // edge viewers and the directly-attached one all saw real bytes
+    for name in ["vis", "cov", "direct", "late"] {
+        assert_ne!(
+            r1.viewer(name).unwrap().frames_digest,
+            "0000000000000000",
+            "{name} got nothing"
+        );
+    }
+    // COVISE still negotiates grids-only through the relay tier
+    let cov = r1.viewer("cov").unwrap();
+    assert!(cov.filtered > 0, "scalars must be filtered for covise");
+    // steering flows through the session plane regardless of the tree
+    assert_eq!(r1.steers_applied, 1);
+    assert!(r1.monitor_frames > 0);
+}
