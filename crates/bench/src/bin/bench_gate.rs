@@ -1,0 +1,30 @@
+//! The perf-regression gate CI runs: compare fresh `BENCH_*.json`
+//! snapshots against the committed baselines.
+//!
+//! Usage: `bench_gate <baseline_dir> <current_dir>`
+//!
+//! Exits non-zero when any cell's digest drifts from the baseline
+//! (determinism break — byte-exact comparison) or its wall time regresses
+//! more than 25% after normalizing out the global machine-speed ratio.
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let (Some(base), Some(cur)) = (args.next(), args.next()) else {
+        eprintln!("usage: bench_gate <baseline_dir> <current_dir>");
+        std::process::exit(2);
+    };
+    let violations =
+        gridsteer_bench::gate::compare(std::path::Path::new(&base), std::path::Path::new(&cur));
+    if violations.is_empty() {
+        println!(
+            "bench_gate: all cells within {:.0}% of baseline, digests exact",
+            (gridsteer_bench::gate::MAX_REGRESSION - 1.0) * 100.0
+        );
+        return;
+    }
+    eprintln!("bench_gate: {} violation(s):", violations.len());
+    for v in &violations {
+        eprintln!("  {v}");
+    }
+    std::process::exit(1);
+}

@@ -1,0 +1,24 @@
+//! Run the four gated perf workloads and write `BENCH_{lbm,pool,monitor,
+//! fanout}.json` snapshots (per-cell wall time + timing-free result
+//! digest) into `BENCH_JSON_DIR` (default: current directory).
+//!
+//! Committed baselines live under `baselines/`; `bench_gate` compares a
+//! fresh run against them.
+
+fn main() {
+    let dir = std::env::var("BENCH_JSON_DIR").unwrap_or_else(|_| ".".to_string());
+    let dir = std::path::PathBuf::from(dir);
+    for report in gridsteer_bench::gate::snapshot_all() {
+        for cell in &report.cells {
+            println!(
+                "{} {:<28} {:>10.1} us  digest {}",
+                report.id, cell.cell, cell.wall_us, cell.digest
+            );
+        }
+        if let Err(e) = gridsteer_bench::gate::write_report(&dir, &report) {
+            eprintln!("bench_snap: cannot write BENCH_{}.json: {e}", report.id);
+            std::process::exit(1);
+        }
+    }
+    println!("bench_snap: wrote snapshots to {}", dir.display());
+}

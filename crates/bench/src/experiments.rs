@@ -1021,7 +1021,7 @@ pub fn exp_fanout_scale() -> ExpResult {
                 .fetch_add(frames.len() as u64 * self.weight, Ordering::Relaxed);
             Ok(frames.len())
         }
-        fn recv(&mut self) -> Vec<MonitorFrame> {
+        fn recv(&mut self) -> Vec<MonitorFrame<'static>> {
             Vec::new()
         }
     }

@@ -8,5 +8,6 @@
 
 pub mod cli;
 pub mod experiments;
+pub mod gate;
 
 pub use experiments::*;

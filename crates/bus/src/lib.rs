@@ -62,9 +62,10 @@ pub use endpoint::{Capabilities, SteerEndpoint, Subscription};
 pub use hub::SteerHub;
 pub use loopback::LoopbackEndpoint;
 pub use monitor::{
-    CoviseMonitor, FrameCodecError, HubFrameSink, LoopbackMonitor, MonitorCaps, MonitorEndpoint,
-    MonitorError, MonitorFeedService, MonitorFrame, MonitorHub, MonitorKind, MonitorPayload,
-    MonitorStats, OgsaMonitor, RelayHub, RelayPolicy, RelayReport, UnicoreMonitor, VisitMonitor,
+    CoviseMonitor, FrameBytesCell, FrameChunk, FrameCodecError, HubFrameSink, LoopbackMonitor,
+    MonitorCaps, MonitorEndpoint, MonitorError, MonitorFeedService, MonitorFrame, MonitorHub,
+    MonitorKind, MonitorPayload, MonitorStats, OgsaMonitor, RelayHub, RelayPolicy, RelayReport,
+    UnicoreMonitor, VisitMonitor,
 };
 pub use ogsa_ep::{BusSteeringService, OgsaEndpoint};
 pub use registry::{ParamRegistry, SharedRegistry};

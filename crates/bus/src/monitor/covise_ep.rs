@@ -89,7 +89,7 @@ impl CoviseMonitor {
         let (payload, ny_attr) = match &frame.payload {
             MonitorPayload::Grid2 { nx, ny, data, .. } => (
                 Payload::Slice {
-                    values: data.clone(),
+                    values: data.to_vec(),
                     width: *nx as usize,
                 },
                 Some(*ny),
@@ -101,7 +101,7 @@ impl CoviseMonitor {
                     *nx as usize,
                     *ny as usize,
                     *nz as usize,
-                    data.clone(),
+                    data.to_vec(),
                 )),
                 None,
             ),
@@ -118,7 +118,7 @@ impl CoviseMonitor {
     }
 
     /// Reconstruct the typed frame from an SDS object.
-    fn from_object(obj: &DataObject) -> Option<MonitorFrame> {
+    fn from_object(obj: &DataObject) -> Option<MonitorFrame<'static>> {
         let channel = obj.attributes.get("channel")?;
         let seq = obj.attributes.get("seq")?.parse().ok()?;
         let step = obj.attributes.get("step")?.parse().ok()?;
@@ -130,20 +130,20 @@ impl CoviseMonitor {
                     return None;
                 }
                 MonitorPayload::Grid2 {
-                    name: channel.clone(),
+                    name: channel.clone().into(),
                     nx,
                     ny,
-                    data: values.clone(),
+                    data: values.clone().into(),
                 }
             }
             Payload::Field(field) => {
                 let (nx, ny, nz) = field.dims();
                 MonitorPayload::Grid3 {
-                    name: channel.clone(),
+                    name: channel.clone().into(),
                     nx: nx as u32,
                     ny: ny as u32,
                     nz: nz as u32,
-                    data: field.data().to_vec(),
+                    data: field.data().to_vec().into(),
                 }
             }
             _ => return None,
@@ -164,7 +164,7 @@ impl CoviseMonitor {
                 *nx as usize,
                 *ny as usize,
                 1,
-                data.clone(),
+                data.to_vec(),
             )),
             MonitorPayload::Grid3 {
                 nx, ny, nz, data, ..
@@ -172,7 +172,7 @@ impl CoviseMonitor {
                 *nx as usize,
                 *ny as usize,
                 *nz as usize,
-                data.clone(),
+                data.to_vec(),
             )),
             _ => None,
         }
@@ -219,7 +219,7 @@ impl MonitorEndpoint for CoviseMonitor {
         Ok(frames.len())
     }
 
-    fn recv(&mut self) -> Vec<MonitorFrame> {
+    fn recv(&mut self) -> Vec<MonitorFrame<'static>> {
         let mut out = Vec::with_capacity(self.pending.len());
         for obj in std::mem::take(&mut self.pending) {
             if let Some(frame) = Self::from_object(&obj) {

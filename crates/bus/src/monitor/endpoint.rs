@@ -13,7 +13,9 @@
 //! client can ask for every Nth frame instead of all of them.
 
 use crate::monitor::frame::{FrameCodecError, MonitorFrame, MonitorKind};
+use std::cell::OnceCell;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// What one side of a monitor connection can produce or consume.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -144,6 +146,65 @@ pub(crate) fn check_delivery(
     Ok(())
 }
 
+/// One frame's canonical codec bytes, filled lazily (see [`FrameChunk`]).
+pub type FrameBytesCell = OnceCell<Arc<Vec<u8>>>;
+
+/// A delivery chunk plus a shared per-frame encode cache.
+///
+/// The hub builds one cache slot per published frame and hands every
+/// subscriber chunk views into it: the first transport that needs a
+/// frame's reference-codec bytes encodes it once via
+/// [`frame_bytes`](FrameChunk::frame_bytes), and every later subscriber
+/// (UNICORE staging the same file payload, OGSA hexing the same frame)
+/// clones the `Arc` instead of re-encoding. Transports with their own
+/// native re-expression (VISIT, COVISE) ignore the cache and read the
+/// typed frames directly.
+pub struct FrameChunk<'a> {
+    frames: &'a [MonitorFrame<'a>],
+    cache: &'a [FrameBytesCell],
+}
+
+impl<'a> FrameChunk<'a> {
+    /// A chunk over `frames` backed by the parallel `cache` slice.
+    /// Panics if the two lengths disagree.
+    pub fn new(frames: &'a [MonitorFrame<'a>], cache: &'a [FrameBytesCell]) -> FrameChunk<'a> {
+        assert_eq!(
+            frames.len(),
+            cache.len(),
+            "encode cache must parallel the frame slice"
+        );
+        FrameChunk { frames, cache }
+    }
+
+    /// The typed frames in this chunk.
+    pub fn frames(&self) -> &'a [MonitorFrame<'a>] {
+        self.frames
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True when the chunk carries no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Canonical codec bytes of frame `i`: encoded at most once per
+    /// publish, shared across every subscriber that asks.
+    pub fn frame_bytes(&self, i: usize) -> Result<Arc<Vec<u8>>, FrameCodecError> {
+        if let Some(bytes) = self.cache[i].get() {
+            return Ok(bytes.clone());
+        }
+        let bytes = Arc::new(self.frames[i].try_to_bytes()?);
+        // single-threaded under the hub mutex, so this set never races;
+        // ignoring the result keeps the error path (above) alloc-free
+        let _ = self.cache[i].set(bytes.clone());
+        Ok(bytes)
+    }
+}
+
 /// One attached monitor subscriber over some transport.
 ///
 /// Implementations are *full round trips*: [`MonitorEndpoint::deliver`]
@@ -164,8 +225,17 @@ pub trait MonitorEndpoint: Send {
     /// Returns the number of frames that completed the trip.
     fn deliver(&mut self, frames: &[MonitorFrame]) -> Result<usize, MonitorError>;
 
+    /// Ship a hub chunk, with access to the publish-wide shared encode
+    /// cache. Transports that serialize via the reference codec override
+    /// this to reuse [`FrameChunk::frame_bytes`] instead of re-encoding;
+    /// the default just forwards the typed frames to
+    /// [`deliver`](MonitorEndpoint::deliver).
+    fn deliver_chunk(&mut self, chunk: &FrameChunk<'_>) -> Result<usize, MonitorError> {
+        self.deliver(chunk.frames())
+    }
+
     /// Drain the frames the viewer side has decoded, in delivery order.
-    fn recv(&mut self) -> Vec<MonitorFrame>;
+    fn recv(&mut self) -> Vec<MonitorFrame<'static>>;
 
     /// Release transport-side resources when the subscriber detaches
     /// ([`MonitorHub::detach`](crate::MonitorHub::detach)): drop

@@ -19,6 +19,7 @@
 //! (floats travel as raw bits, so NaN-filled grids survive bit-exactly).
 
 use bytes::{Buf, BufMut, BytesMut};
+use std::borrow::Cow;
 
 /// A frame that cannot be represented in the tagged binary codec. Before
 /// these were typed, oversized inputs were silently truncated by the
@@ -121,37 +122,43 @@ impl MonitorKind {
 }
 
 /// One typed monitored-output payload.
+///
+/// Names and bulk data are [`Cow`]s: the owning form (`'static`, what the
+/// plain constructors build) behaves exactly as before, while the
+/// `*_borrowed` constructors wrap the simulation's own buffers without
+/// copying — the zero-copy publish path. A borrowed payload crossing into
+/// storage calls [`into_owned`](MonitorPayload::into_owned).
 #[derive(Debug, Clone, PartialEq)]
-pub enum MonitorPayload {
+pub enum MonitorPayload<'a> {
     /// A scalar series point (named channel).
     Scalar {
         /// Channel name.
-        name: String,
+        name: Cow<'a, str>,
         /// Sample value.
         value: f64,
     },
     /// A 3-component vector sample (named channel).
     Vec3 {
         /// Channel name.
-        name: String,
+        name: Cow<'a, str>,
         /// Sample value.
         value: [f64; 3],
     },
     /// A dense 2-D field slice, row-major (`x` fastest).
     Grid2 {
         /// Channel name.
-        name: String,
+        name: Cow<'a, str>,
         /// Width.
         nx: u32,
         /// Height.
         ny: u32,
         /// `nx * ny` values.
-        data: Vec<f32>,
+        data: Cow<'a, [f32]>,
     },
     /// A dense 3-D field, x-fastest layout.
     Grid3 {
         /// Channel name.
-        name: String,
+        name: Cow<'a, str>,
         /// X extent.
         nx: u32,
         /// Y extent.
@@ -159,76 +166,137 @@ pub enum MonitorPayload {
         /// Z extent.
         nz: u32,
         /// `nx * ny * nz` values.
-        data: Vec<f32>,
+        data: Cow<'a, [f32]>,
     },
     /// An encoded framebuffer frame (the viz delta+RLE codec output).
     Frame {
         /// Channel name (render session label).
-        name: String,
+        name: Cow<'a, str>,
         /// True if decodable without history.
         keyframe: bool,
         /// Uncompressed size in bytes.
         raw_size: u32,
         /// Codec payload.
-        data: Vec<u8>,
+        data: Cow<'a, [u8]>,
     },
 }
 
-impl MonitorPayload {
+impl MonitorPayload<'static> {
     /// Scalar-channel constructor.
-    pub fn scalar(name: &str, value: f64) -> MonitorPayload {
+    pub fn scalar(name: &str, value: f64) -> MonitorPayload<'static> {
         MonitorPayload::Scalar {
-            name: name.to_string(),
+            name: Cow::Owned(name.to_string()),
             value,
         }
     }
 
     /// Vector-channel constructor.
-    pub fn vec3(name: &str, value: [f64; 3]) -> MonitorPayload {
+    pub fn vec3(name: &str, value: [f64; 3]) -> MonitorPayload<'static> {
         MonitorPayload::Vec3 {
-            name: name.to_string(),
+            name: Cow::Owned(name.to_string()),
             value,
         }
     }
 
     /// 2-D slice constructor. Panics if `data.len() != nx * ny`.
-    pub fn grid2(name: &str, nx: u32, ny: u32, data: Vec<f32>) -> MonitorPayload {
+    pub fn grid2(name: &str, nx: u32, ny: u32, data: Vec<f32>) -> MonitorPayload<'static> {
         assert_eq!(
             data.len(),
             nx as usize * ny as usize,
             "grid2 shape mismatch"
         );
         MonitorPayload::Grid2 {
-            name: name.to_string(),
+            name: Cow::Owned(name.to_string()),
             nx,
             ny,
-            data,
+            data: Cow::Owned(data),
         }
     }
 
     /// 3-D field constructor. Panics if `data.len() != nx * ny * nz`.
-    pub fn grid3(name: &str, nx: u32, ny: u32, nz: u32, data: Vec<f32>) -> MonitorPayload {
+    pub fn grid3(name: &str, nx: u32, ny: u32, nz: u32, data: Vec<f32>) -> MonitorPayload<'static> {
         assert_eq!(
             data.len(),
             nx as usize * ny as usize * nz as usize,
             "grid3 shape mismatch"
         );
         MonitorPayload::Grid3 {
-            name: name.to_string(),
+            name: Cow::Owned(name.to_string()),
             nx,
             ny,
             nz,
-            data,
+            data: Cow::Owned(data),
         }
     }
 
     /// Encoded-frame constructor.
-    pub fn frame(name: &str, keyframe: bool, raw_size: u32, data: Vec<u8>) -> MonitorPayload {
+    pub fn frame(
+        name: &str,
+        keyframe: bool,
+        raw_size: u32,
+        data: Vec<u8>,
+    ) -> MonitorPayload<'static> {
         MonitorPayload::Frame {
-            name: name.to_string(),
+            name: Cow::Owned(name.to_string()),
             keyframe,
             raw_size,
-            data,
+            data: Cow::Owned(data),
+        }
+    }
+}
+
+impl<'a> MonitorPayload<'a> {
+    /// Zero-copy 2-D slice constructor: borrows the producer's buffer for
+    /// the duration of the publish. Panics if `data.len() != nx * ny`.
+    pub fn grid2_borrowed(name: &'a str, nx: u32, ny: u32, data: &'a [f32]) -> MonitorPayload<'a> {
+        assert_eq!(
+            data.len(),
+            nx as usize * ny as usize,
+            "grid2 shape mismatch"
+        );
+        MonitorPayload::Grid2 {
+            name: Cow::Borrowed(name),
+            nx,
+            ny,
+            data: Cow::Borrowed(data),
+        }
+    }
+
+    /// Zero-copy 3-D field constructor. Panics if
+    /// `data.len() != nx * ny * nz`.
+    pub fn grid3_borrowed(
+        name: &'a str,
+        nx: u32,
+        ny: u32,
+        nz: u32,
+        data: &'a [f32],
+    ) -> MonitorPayload<'a> {
+        assert_eq!(
+            data.len(),
+            nx as usize * ny as usize * nz as usize,
+            "grid3 shape mismatch"
+        );
+        MonitorPayload::Grid3 {
+            name: Cow::Borrowed(name),
+            nx,
+            ny,
+            nz,
+            data: Cow::Borrowed(data),
+        }
+    }
+
+    /// Zero-copy encoded-frame constructor: borrows the codec's payload.
+    pub fn frame_borrowed(
+        name: &'a str,
+        keyframe: bool,
+        raw_size: u32,
+        data: &'a [u8],
+    ) -> MonitorPayload<'a> {
+        MonitorPayload::Frame {
+            name: Cow::Borrowed(name),
+            keyframe,
+            raw_size,
+            data: Cow::Borrowed(data),
         }
     }
 
@@ -253,21 +321,74 @@ impl MonitorPayload {
             | MonitorPayload::Frame { name, .. } => name,
         }
     }
+
+    /// Detach from any borrowed buffers (copying them if still borrowed).
+    pub fn into_owned(self) -> MonitorPayload<'static> {
+        match self {
+            MonitorPayload::Scalar { name, value } => MonitorPayload::Scalar {
+                name: Cow::Owned(name.into_owned()),
+                value,
+            },
+            MonitorPayload::Vec3 { name, value } => MonitorPayload::Vec3 {
+                name: Cow::Owned(name.into_owned()),
+                value,
+            },
+            MonitorPayload::Grid2 { name, nx, ny, data } => MonitorPayload::Grid2 {
+                name: Cow::Owned(name.into_owned()),
+                nx,
+                ny,
+                data: Cow::Owned(data.into_owned()),
+            },
+            MonitorPayload::Grid3 {
+                name,
+                nx,
+                ny,
+                nz,
+                data,
+            } => MonitorPayload::Grid3 {
+                name: Cow::Owned(name.into_owned()),
+                nx,
+                ny,
+                nz,
+                data: Cow::Owned(data.into_owned()),
+            },
+            MonitorPayload::Frame {
+                name,
+                keyframe,
+                raw_size,
+                data,
+            } => MonitorPayload::Frame {
+                name: Cow::Owned(name.into_owned()),
+                keyframe,
+                raw_size,
+                data: Cow::Owned(data.into_owned()),
+            },
+        }
+    }
 }
 
 /// One sequence-numbered monitored-output frame, emitted at a simulation
 /// step boundary.
 #[derive(Debug, Clone, PartialEq)]
-pub struct MonitorFrame {
+pub struct MonitorFrame<'a> {
     /// Hub-assigned monotone sequence number (global emission order).
     pub seq: u64,
     /// Simulation step the payload was sampled at.
     pub step: u64,
     /// The typed payload.
-    pub payload: MonitorPayload,
+    pub payload: MonitorPayload<'a>,
 }
 
-impl MonitorFrame {
+impl<'a> MonitorFrame<'a> {
+    /// Detach from any borrowed buffers (copying them if still borrowed).
+    pub fn into_owned(self) -> MonitorFrame<'static> {
+        MonitorFrame {
+            seq: self.seq,
+            step: self.step,
+            payload: self.payload.into_owned(),
+        }
+    }
+
     /// Check that this frame fits the codec's length fields. `Ok(())`
     /// guarantees [`encode_bytes`](MonitorFrame::encode_bytes) succeeds.
     pub fn validate(&self) -> Result<(), FrameCodecError> {
@@ -336,7 +457,7 @@ impl MonitorFrame {
             MonitorPayload::Grid2 { nx, ny, data, .. } => {
                 out.put_u32_le(*nx);
                 out.put_u32_le(*ny);
-                for v in data {
+                for v in data.iter() {
                     out.put_u32_le(v.to_bits());
                 }
             }
@@ -346,7 +467,7 @@ impl MonitorFrame {
                 out.put_u32_le(*nx);
                 out.put_u32_le(*ny);
                 out.put_u32_le(*nz);
-                for v in data {
+                for v in data.iter() {
                     out.put_u32_le(v.to_bits());
                 }
             }
@@ -384,8 +505,21 @@ impl MonitorFrame {
 
     /// Decode the tagged binary encoding, advancing `buf` past it.
     /// Returns `None` on any malformation (truncation, bad kind byte,
-    /// shape/length mismatch, non-UTF-8 name).
-    pub fn decode_bytes(buf: &mut &[u8]) -> Option<MonitorFrame> {
+    /// shape/length mismatch, non-UTF-8 name). The result owns all its
+    /// data; transit-only consumers use
+    /// [`decode_borrowed`](MonitorFrame::decode_borrowed) instead.
+    pub fn decode_bytes(buf: &mut &[u8]) -> Option<MonitorFrame<'static>> {
+        MonitorFrame::decode_borrowed(buf).map(MonitorFrame::into_owned)
+    }
+
+    /// Decode the tagged binary encoding *borrowing* from `buf`: the
+    /// channel name and encoded-frame payload stay slices of the input
+    /// (no per-frame allocation for them — this is the fix for the old
+    /// `to_vec()`-per-decode hot path). Grid values still materialize a
+    /// `Vec<f32>` because `f32` lanes cannot alias an arbitrary byte
+    /// buffer's alignment. Consumers that keep the frame past the
+    /// buffer's life call [`into_owned`](MonitorFrame::into_owned).
+    pub fn decode_borrowed<'b>(buf: &mut &'b [u8]) -> Option<MonitorFrame<'b>> {
         if buf.len() < 8 + 8 + 1 + 2 {
             return None;
         }
@@ -396,8 +530,9 @@ impl MonitorFrame {
         if buf.len() < name_len {
             return None;
         }
-        let name = String::from_utf8(buf[..name_len].to_vec()).ok()?;
-        buf.advance(name_len);
+        let cur: &'b [u8] = buf;
+        let name = Cow::Borrowed(std::str::from_utf8(&cur[..name_len]).ok()?);
+        *buf = &cur[name_len..];
         let payload = match kind {
             MonitorKind::Scalar => {
                 if buf.len() < 8 {
@@ -428,7 +563,7 @@ impl MonitorFrame {
                 let nx = buf.get_u32_le();
                 let ny = buf.get_u32_le();
                 let count = (nx as usize).checked_mul(ny as usize)?;
-                let data = decode_f32s(buf, count)?;
+                let data = Cow::Owned(decode_f32s(buf, count)?);
                 MonitorPayload::Grid2 { name, nx, ny, data }
             }
             MonitorKind::Grid3 => {
@@ -441,7 +576,7 @@ impl MonitorFrame {
                 let count = (nx as usize)
                     .checked_mul(ny as usize)?
                     .checked_mul(nz as usize)?;
-                let data = decode_f32s(buf, count)?;
+                let data = Cow::Owned(decode_f32s(buf, count)?);
                 MonitorPayload::Grid3 {
                     name,
                     nx,
@@ -464,8 +599,9 @@ impl MonitorFrame {
                 if buf.len() < len {
                     return None;
                 }
-                let data = buf[..len].to_vec();
-                buf.advance(len);
+                let cur: &'b [u8] = buf;
+                let data = Cow::Borrowed(&cur[..len]);
+                *buf = &cur[len..];
                 MonitorPayload::Frame {
                     name,
                     keyframe,
@@ -518,7 +654,7 @@ fn decode_f32s(buf: &mut &[u8], count: usize) -> Option<Vec<f32>> {
 mod tests {
     use super::*;
 
-    fn samples() -> Vec<MonitorFrame> {
+    fn samples() -> Vec<MonitorFrame<'static>> {
         vec![
             MonitorFrame {
                 seq: 1,
@@ -670,7 +806,7 @@ mod tests {
                 name: "g".into(),
                 nx: 3,
                 ny: 3,
-                data: vec![0.0; 8],
+                data: vec![0.0; 8].into(),
             },
         };
         assert_eq!(
@@ -690,7 +826,7 @@ mod tests {
                 nx: u32::MAX,
                 ny: u32::MAX,
                 nz: u32::MAX,
-                data: vec![0.0; 4],
+                data: vec![0.0; 4].into(),
             },
         };
         assert_eq!(

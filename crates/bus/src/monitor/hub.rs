@@ -16,7 +16,7 @@
 //! thread count. That is what lets scenario digests fold received frames
 //! byte-stably.
 
-use crate::monitor::endpoint::{MonitorCaps, MonitorEndpoint};
+use crate::monitor::endpoint::{FrameBytesCell, FrameChunk, MonitorCaps, MonitorEndpoint};
 use crate::monitor::frame::{MonitorFrame, MonitorPayload};
 use parking_lot::Mutex;
 use std::collections::BTreeSet;
@@ -272,7 +272,7 @@ impl MonitorHub {
 
     /// Drain the frames subscriber `name`'s viewer side has received, in
     /// delivery order. Empty if the name is unknown.
-    pub fn recv(&self, name: &str) -> Vec<MonitorFrame> {
+    pub fn recv(&self, name: &str) -> Vec<MonitorFrame<'static>> {
         let mut st = self.state.lock();
         st.subs
             .iter_mut()
@@ -308,6 +308,12 @@ impl MonitorHub {
 /// Deterministic: attach order, publish order, per-subscriber admissible
 /// counters.
 fn fan_out(st: &mut HubState, frames: &[MonitorFrame]) {
+    // One shared encode cache per publish, parallel to `frames`: the
+    // first subscriber whose transport needs a frame's canonical bytes
+    // pays the encode, every later subscriber ships the same shared
+    // buffer — encode-once fan-out instead of once per subscriber.
+    // (fan_out runs under the hub mutex, so the OnceCell is race-free.)
+    let cache: Vec<FrameBytesCell> = (0..frames.len()).map(|_| FrameBytesCell::new()).collect();
     for sub in &mut st.subs {
         let mut due_idx: Vec<usize> = Vec::new();
         for (i, frame) in frames.iter().enumerate() {
@@ -333,23 +339,24 @@ fn fan_out(st: &mut HubState, frames: &[MonitorFrame]) {
             }
         }
         let max_batch = sub.caps.max_batch.max(1);
-        let ship = |ep: &mut dyn MonitorEndpoint,
-                    stats: &mut MonitorStats,
-                    chunk: &[MonitorFrame]| match ep.deliver(chunk) {
-            Ok(n) => stats.delivered += n as u64,
-            Err(_) => stats.errors += chunk.len() as u64,
-        };
         if due_idx.len() == frames.len() {
             // fast path (full caps, no decimation — the common case):
             // chunk the caller's slice directly, no per-subscriber clone
-            // of grid/frame payloads inside the hub
-            for chunk in frames.chunks(max_batch) {
-                ship(sub.ep.as_mut(), &mut sub.stats, chunk);
+            // of grid/frame payloads inside the hub, and hand each chunk
+            // the matching slice of the shared encode cache
+            for (chunk, ccache) in frames.chunks(max_batch).zip(cache.chunks(max_batch)) {
+                match sub.ep.deliver_chunk(&FrameChunk::new(chunk, ccache)) {
+                    Ok(n) => sub.stats.delivered += n as u64,
+                    Err(_) => sub.stats.errors += chunk.len() as u64,
+                }
             }
         } else {
             let due: Vec<MonitorFrame> = due_idx.into_iter().map(|i| frames[i].clone()).collect();
             for chunk in due.chunks(max_batch) {
-                ship(sub.ep.as_mut(), &mut sub.stats, chunk);
+                match sub.ep.deliver(chunk) {
+                    Ok(n) => sub.stats.delivered += n as u64,
+                    Err(_) => sub.stats.errors += chunk.len() as u64,
+                }
             }
         }
     }

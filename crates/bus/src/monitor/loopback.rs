@@ -11,7 +11,7 @@ use crate::monitor::frame::MonitorFrame;
 /// Direct in-process frame delivery.
 pub struct LoopbackMonitor {
     caps: MonitorCaps,
-    inbox: Vec<MonitorFrame>,
+    inbox: Vec<MonitorFrame<'static>>,
 }
 
 impl LoopbackMonitor {
@@ -42,11 +42,12 @@ impl MonitorEndpoint for LoopbackMonitor {
 
     fn deliver(&mut self, frames: &[MonitorFrame]) -> Result<usize, MonitorError> {
         check_delivery(&self.caps, frames)?;
-        self.inbox.extend_from_slice(frames);
+        self.inbox
+            .extend(frames.iter().map(|f| f.clone().into_owned()));
         Ok(frames.len())
     }
 
-    fn recv(&mut self) -> Vec<MonitorFrame> {
+    fn recv(&mut self) -> Vec<MonitorFrame<'static>> {
         std::mem::take(&mut self.inbox)
     }
 }

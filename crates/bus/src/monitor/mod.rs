@@ -48,7 +48,7 @@ pub mod visit_ep;
 pub mod viz_sink;
 
 pub use covise_ep::CoviseMonitor;
-pub use endpoint::{MonitorCaps, MonitorEndpoint, MonitorError};
+pub use endpoint::{FrameBytesCell, FrameChunk, MonitorCaps, MonitorEndpoint, MonitorError};
 pub use frame::{FrameCodecError, MonitorFrame, MonitorKind, MonitorPayload};
 pub use hub::{MonitorHub, MonitorStats};
 pub use loopback::LoopbackMonitor;

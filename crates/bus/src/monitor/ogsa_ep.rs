@@ -10,7 +10,9 @@
 //! monitored output on request rather than streaming it, so one invoke
 //! returns everything published since the last poll.
 
-use crate::monitor::endpoint::{check_delivery, MonitorCaps, MonitorEndpoint, MonitorError};
+use crate::monitor::endpoint::{
+    check_delivery, FrameChunk, MonitorCaps, MonitorEndpoint, MonitorError,
+};
 use crate::monitor::frame::MonitorFrame;
 use ogsa::{GridService, Gsh, HostingEnv, InvokeResult, Registry, SdeValue, ServiceData};
 use parking_lot::Mutex;
@@ -57,7 +59,7 @@ fn from_hex(s: &str) -> Option<Vec<u8>> {
 /// until a viewer pulls them.
 pub struct MonitorFeedService {
     origin: String,
-    pending: Vec<MonitorFrame>,
+    pending: Vec<MonitorFrame<'static>>,
     frames_served: u64,
 }
 
@@ -131,7 +133,7 @@ pub struct OgsaMonitor {
     /// without re-borrowing).
     env: Mutex<HostingEnv>,
     gsh: Gsh,
-    inbox: Vec<MonitorFrame>,
+    inbox: Vec<MonitorFrame<'static>>,
 }
 
 impl OgsaMonitor {
@@ -175,6 +177,22 @@ impl OgsaMonitor {
         }
     }
 
+    /// Invoke `publishFrames` with pre-hexed frame arguments, mapping the
+    /// service result (shared by both delivery entry points).
+    fn publish_hex(&mut self, args: Vec<SdeValue>) -> Result<usize, MonitorError> {
+        let count = args.len();
+        match self.env.lock().invoke(&self.gsh, "publishFrames", &args) {
+            Ok(InvokeResult::Ok(out)) => match out.first().and_then(SdeValue::as_i64) {
+                Some(n) if n as usize == count => Ok(n as usize),
+                _ => Err(MonitorError::Transport(
+                    "publishFrames count mismatch".into(),
+                )),
+            },
+            Ok(InvokeResult::Fault(f)) => Err(MonitorError::Transport(f)),
+            Err(e) => Err(MonitorError::Transport(format!("{e:?}"))),
+        }
+    }
+
     /// Pull everything the service has buffered (a real service round
     /// trip) into the viewer inbox.
     fn pull(&mut self) {
@@ -210,19 +228,23 @@ impl MonitorEndpoint for OgsaMonitor {
         for f in frames {
             args.push(SdeValue::Str(to_hex(&f.try_to_bytes()?)));
         }
-        match self.env.lock().invoke(&self.gsh, "publishFrames", &args) {
-            Ok(InvokeResult::Ok(out)) => match out.first().and_then(SdeValue::as_i64) {
-                Some(n) if n as usize == frames.len() => Ok(n as usize),
-                _ => Err(MonitorError::Transport(
-                    "publishFrames count mismatch".into(),
-                )),
-            },
-            Ok(InvokeResult::Fault(f)) => Err(MonitorError::Transport(f)),
-            Err(e) => Err(MonitorError::Transport(format!("{e:?}"))),
-        }
+        self.publish_hex(args)
     }
 
-    fn recv(&mut self) -> Vec<MonitorFrame> {
+    fn deliver_chunk(&mut self, chunk: &FrameChunk<'_>) -> Result<usize, MonitorError> {
+        check_delivery(&self.caps, chunk.frames())?;
+        // hex each frame's canonical bytes out of the publish-wide shared
+        // encode cache: same invocation arguments as deliver, but the
+        // binary serialization happens once per publish, not once per
+        // subscriber
+        let mut args: Vec<SdeValue> = Vec::with_capacity(chunk.len());
+        for i in 0..chunk.len() {
+            args.push(SdeValue::Str(to_hex(&chunk.frame_bytes(i)?)));
+        }
+        self.publish_hex(args)
+    }
+
+    fn recv(&mut self) -> Vec<MonitorFrame<'static>> {
         self.pull();
         std::mem::take(&mut self.inbox)
     }

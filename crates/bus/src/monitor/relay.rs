@@ -81,12 +81,12 @@ struct RelayCore {
     /// Frames delivered by the parent but not yet pumped downstream
     /// (the uplink endpoint only enqueues — the parent's publish cost
     /// must not include this tier's fan-out).
-    ingress: Vec<MonitorFrame>,
+    ingress: Vec<MonitorFrame<'static>>,
     /// Ingested frames counted against the decimation rate.
     admissible: u64,
     /// Latest self-contained frame per channel — the edge keyframe
     /// cache late joiners are served from.
-    cache: BTreeMap<String, MonitorFrame>,
+    cache: BTreeMap<String, MonitorFrame<'static>>,
     ingested: u64,
     forwarded: u64,
     decimated: u64,
@@ -175,7 +175,7 @@ impl RelayHub {
         let negotiated = self
             .children
             .attach_endpoint_with_budget(name, ep, viewer, budget);
-        let cached: Vec<MonitorFrame> = {
+        let cached: Vec<MonitorFrame<'static>> = {
             let core = self.core.lock();
             core.cache.values().cloned().collect()
         };
@@ -226,7 +226,7 @@ impl RelayHub {
     }
 
     /// Drain what child `name`'s viewer side has received.
-    pub fn recv_child(&self, name: &str) -> Vec<MonitorFrame> {
+    pub fn recv_child(&self, name: &str) -> Vec<MonitorFrame<'static>> {
         self.children.recv(name)
     }
 
@@ -266,7 +266,7 @@ impl RelayHub {
 impl RelayCore {
     /// Account a batch: cache self-contained frames, decimate, return
     /// what this tier forwards.
-    fn admit(&mut self, frames: &[MonitorFrame]) -> Vec<MonitorFrame> {
+    fn admit(&mut self, frames: &[MonitorFrame]) -> Vec<MonitorFrame<'static>> {
         let every = self.policy.deliver_every.max(1) as u64;
         let mut due = Vec::with_capacity(frames.len());
         for f in frames {
@@ -281,13 +281,14 @@ impl RelayCore {
                 }
             );
             if self_contained {
-                self.cache.insert(f.payload.name().to_string(), f.clone());
+                self.cache
+                    .insert(f.payload.name().to_string(), f.clone().into_owned());
             }
             let take = self.admissible.is_multiple_of(every);
             self.admissible += 1;
             let keyframe = matches!(&f.payload, MonitorPayload::Frame { keyframe: true, .. });
             if take || keyframe {
-                due.push(f.clone());
+                due.push(f.clone().into_owned());
             } else {
                 self.decimated += 1;
             }
@@ -315,11 +316,14 @@ impl MonitorEndpoint for RelayUplink {
 
     fn deliver(&mut self, frames: &[MonitorFrame]) -> Result<usize, MonitorError> {
         check_delivery(&self.caps, frames)?;
-        self.core.lock().ingress.extend_from_slice(frames);
+        self.core
+            .lock()
+            .ingress
+            .extend(frames.iter().map(|f| f.clone().into_owned()));
         Ok(frames.len())
     }
 
-    fn recv(&mut self) -> Vec<MonitorFrame> {
+    fn recv(&mut self) -> Vec<MonitorFrame<'static>> {
         // the relay is a pass-through, not a viewer: frames leave
         // through the child hub, never back out of the uplink
         Vec::new()
@@ -337,11 +341,11 @@ mod tests {
     use super::*;
     use crate::monitor::loopback::LoopbackMonitor;
 
-    fn scalar(v: f64) -> MonitorPayload {
+    fn scalar(v: f64) -> MonitorPayload<'static> {
         MonitorPayload::scalar("x", v)
     }
 
-    fn viz_frame(keyframe: bool, tag: u8) -> MonitorPayload {
+    fn viz_frame(keyframe: bool, tag: u8) -> MonitorPayload<'static> {
         MonitorPayload::frame("viz", keyframe, 64, vec![tag])
     }
 

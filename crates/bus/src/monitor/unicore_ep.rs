@@ -10,7 +10,9 @@
 //! polls staged files" delivery model, which is why batching matters most
 //! on this transport: one job per batch instead of one job per sample.
 
-use crate::monitor::endpoint::{check_delivery, MonitorCaps, MonitorEndpoint, MonitorError};
+use crate::monitor::endpoint::{
+    check_delivery, FrameChunk, MonitorCaps, MonitorEndpoint, MonitorError,
+};
 use crate::monitor::frame::MonitorFrame;
 use bytes::{Buf, BufMut, BytesMut};
 use unicore::{Ajo, Task};
@@ -34,7 +36,7 @@ fn encode_payload(frames: &[MonitorFrame]) -> Result<Vec<u8>, MonitorError> {
 }
 
 /// Decode the staged-file payload. `None` on any malformation.
-fn decode_payload(mut buf: &[u8]) -> Option<Vec<MonitorFrame>> {
+fn decode_payload(mut buf: &[u8]) -> Option<Vec<MonitorFrame<'static>>> {
     if buf.len() < 2 {
         return None;
     }
@@ -53,7 +55,7 @@ pub struct UnicoreMonitor {
     /// Destination Vsite name used in the job shape.
     vsite: String,
     jobs_consigned: u64,
-    inbox: Vec<MonitorFrame>,
+    inbox: Vec<MonitorFrame<'static>>,
 }
 
 impl UnicoreMonitor {
@@ -72,26 +74,17 @@ impl UnicoreMonitor {
     pub fn jobs_consigned(&self) -> u64 {
         self.jobs_consigned
     }
-}
 
-impl MonitorEndpoint for UnicoreMonitor {
-    fn transport(&self) -> &'static str {
-        "unicore"
-    }
-
-    fn negotiate(&mut self, viewer: &MonitorCaps) -> MonitorCaps {
-        self.caps = self.caps.intersect(viewer);
-        self.caps.clone()
-    }
-
-    fn deliver(&mut self, frames: &[MonitorFrame]) -> Result<usize, MonitorError> {
-        check_delivery(&self.caps, frames)?;
+    /// Build the two-task AJO around an already-encoded staged-file
+    /// payload, run the consignment hop, and decode the staged file on
+    /// the consumer side (shared by both delivery entry points).
+    fn consign(&mut self, payload: Vec<u8>) -> Result<usize, MonitorError> {
         let file = format!("monitor-{}.dat", self.jobs_consigned);
         let mut ajo = Ajo::new(&format!("monitor-{}", self.origin), &self.vsite);
         let stage = ajo.add_task(
             Task::StageIn {
                 path: file.clone(),
-                data: encode_payload(frames)?,
+                data: payload,
             },
             &[],
         );
@@ -109,7 +102,7 @@ impl MonitorEndpoint for UnicoreMonitor {
             .topo_order()
             .map_err(|e| MonitorError::Transport(format!("invalid monitor AJO: {e:?}")))?;
         // consumer side: poll the staged file out of the validated DAG
-        let mut decoded: Option<Vec<MonitorFrame>> = None;
+        let mut decoded: Option<Vec<MonitorFrame<'static>>> = None;
         for id in order {
             if let Some(Task::StageIn { path, data }) = consigned.task(id).map(|t| &t.task) {
                 if *path == file {
@@ -124,8 +117,44 @@ impl MonitorEndpoint for UnicoreMonitor {
         self.inbox.extend(decoded);
         Ok(n)
     }
+}
 
-    fn recv(&mut self) -> Vec<MonitorFrame> {
+impl MonitorEndpoint for UnicoreMonitor {
+    fn transport(&self) -> &'static str {
+        "unicore"
+    }
+
+    fn negotiate(&mut self, viewer: &MonitorCaps) -> MonitorCaps {
+        self.caps = self.caps.intersect(viewer);
+        self.caps.clone()
+    }
+
+    fn deliver(&mut self, frames: &[MonitorFrame]) -> Result<usize, MonitorError> {
+        check_delivery(&self.caps, frames)?;
+        let payload = encode_payload(frames)?;
+        self.consign(payload)
+    }
+
+    fn deliver_chunk(&mut self, chunk: &FrameChunk<'_>) -> Result<usize, MonitorError> {
+        check_delivery(&self.caps, chunk.frames())?;
+        if chunk.len() > u16::MAX as usize {
+            return Err(MonitorError::TooLarge {
+                len: chunk.len(),
+                max: u16::MAX as usize,
+            });
+        }
+        // staged-file payload from the publish-wide shared encode cache:
+        // byte-identical to encode_payload, but each frame is serialized
+        // once per publish instead of once per subscriber
+        let mut buf = BytesMut::new();
+        buf.put_u16_le(chunk.len() as u16);
+        for i in 0..chunk.len() {
+            buf.put_slice(&chunk.frame_bytes(i)?);
+        }
+        self.consign(buf.to_vec())
+    }
+
+    fn recv(&mut self) -> Vec<MonitorFrame<'static>> {
         std::mem::take(&mut self.inbox)
     }
 

@@ -41,7 +41,7 @@ pub struct VisitMonitor {
     /// Byte order the producer encodes payloads in (§3.2: the receiver
     /// converts; the sender never does).
     order: Endianness,
-    inbox: Vec<MonitorFrame>,
+    inbox: Vec<MonitorFrame<'static>>,
 }
 
 impl VisitMonitor {
@@ -76,7 +76,7 @@ impl VisitMonitor {
     }
 
     /// Drain and decode one delivery from the viewer side of the link.
-    fn recv_delivery(&mut self) -> Result<Vec<MonitorFrame>, MonitorError> {
+    fn recv_delivery(&mut self) -> Result<Vec<MonitorFrame<'static>>, MonitorError> {
         let recv = |viewer: &mut MemLink| -> Result<Frame, MonitorError> {
             let bytes = viewer
                 .recv_timeout(Duration::from_millis(50))
@@ -133,7 +133,8 @@ fn decode_payload(
     name: String,
     shape: &[i64],
     value: Option<&VisitValue>,
-) -> Option<MonitorPayload> {
+) -> Option<MonitorPayload<'static>> {
+    let name = std::borrow::Cow::Owned(name);
     Some(match (kind, value) {
         (MonitorKind::Scalar, Some(VisitValue::F64(v))) if v.len() == 1 => {
             MonitorPayload::Scalar { name, value: v[0] }
@@ -151,7 +152,7 @@ fn decode_payload(
                 name,
                 nx,
                 ny,
-                data: data.clone(),
+                data: data.clone().into(),
             }
         }
         (MonitorKind::Grid3, Some(VisitValue::F32(data))) => {
@@ -168,7 +169,7 @@ fn decode_payload(
                 nx,
                 ny,
                 nz,
-                data: data.clone(),
+                data: data.clone().into(),
             }
         }
         (MonitorKind::Frame, Some(VisitValue::Bytes(data))) => {
@@ -181,7 +182,7 @@ fn decode_payload(
                 name,
                 keyframe,
                 raw_size: u32::try_from(shape[1]).ok()?,
-                data: data.clone(),
+                data: data.clone().into(),
             }
         }
         _ => return None,
@@ -194,13 +195,13 @@ fn encode_payload(p: &MonitorPayload) -> ([i64; 3], VisitValue) {
         MonitorPayload::Scalar { value, .. } => ([0, 0, 0], VisitValue::F64(vec![*value])),
         MonitorPayload::Vec3 { value, .. } => ([0, 0, 0], VisitValue::F64(value.to_vec())),
         MonitorPayload::Grid2 { nx, ny, data, .. } => {
-            ([*nx as i64, *ny as i64, 0], VisitValue::F32(data.clone()))
+            ([*nx as i64, *ny as i64, 0], VisitValue::F32(data.to_vec()))
         }
         MonitorPayload::Grid3 {
             nx, ny, nz, data, ..
         } => (
             [*nx as i64, *ny as i64, *nz as i64],
-            VisitValue::F32(data.clone()),
+            VisitValue::F32(data.to_vec()),
         ),
         MonitorPayload::Frame {
             keyframe,
@@ -209,7 +210,7 @@ fn encode_payload(p: &MonitorPayload) -> ([i64; 3], VisitValue) {
             ..
         } => (
             [i64::from(*keyframe), *raw_size as i64, 0],
-            VisitValue::Bytes(data.clone()),
+            VisitValue::Bytes(data.to_vec()),
         ),
     }
 }
@@ -249,7 +250,7 @@ impl MonitorEndpoint for VisitMonitor {
         Ok(n)
     }
 
-    fn recv(&mut self) -> Vec<MonitorFrame> {
+    fn recv(&mut self) -> Vec<MonitorFrame<'static>> {
         std::mem::take(&mut self.inbox)
     }
 
@@ -265,7 +266,7 @@ impl MonitorEndpoint for VisitMonitor {
 mod tests {
     use super::*;
 
-    fn sample_frames() -> Vec<MonitorFrame> {
+    fn sample_frames() -> Vec<MonitorFrame<'static>> {
         vec![
             MonitorFrame {
                 seq: 1,

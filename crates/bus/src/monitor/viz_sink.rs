@@ -129,7 +129,7 @@ mod tests {
         };
         let wire = EncodedFrame {
             keyframe: *keyframe,
-            payload: data.clone(),
+            payload: data.to_vec(),
             raw_size: *raw_size as usize,
         };
         let mut dec = DeltaRleCodec::new();

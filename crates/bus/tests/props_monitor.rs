@@ -15,7 +15,7 @@ use visit::Endianness;
 /// Build a `MonitorPayload` of an arbitrary kind from raw bytes. Float
 /// payloads go through `from_bits`, so NaN bit patterns are exercised —
 /// the byte-stability assertions below don't rely on `PartialEq`.
-fn payload_from(sel: u8, name: &str, data: &[u8]) -> MonitorPayload {
+fn payload_from(sel: u8, name: &str, data: &[u8]) -> MonitorPayload<'static> {
     let f64_at = |i: usize| {
         let mut b = [0u8; 8];
         for (j, slot) in b.iter_mut().enumerate() {
@@ -244,14 +244,14 @@ proptest! {
                 nx,
                 ny,
                 nz: 1,
-                data: vals,
+                data: vals.into(),
             }
         } else {
             MonitorPayload::Grid2 {
                 name: "phi".into(),
                 nx,
                 ny,
-                data: vals,
+                data: vals.into(),
             }
         };
         let frame = MonitorFrame { seq: 7, step: 9, payload };

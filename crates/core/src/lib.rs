@@ -40,8 +40,8 @@ pub use gridsteer_bus::{
 };
 pub use migrate::{MigrationReport, Migrator};
 pub use monitor::{
-    GenericMonitorAdapter, LbmMonitorAdapter, LoopBudget, LoopMonitor, LoopReport, MonitorSource,
-    PepcMonitorAdapter,
+    GenericMonitorAdapter, LbmMonitorAdapter, LoopBudget, LoopMonitor, LoopReport, MonitorScratch,
+    MonitorSource, PepcMonitorAdapter,
 };
 pub use params::{
     BoundsPolicy, GenericSteerAdapter, LbmSteerAdapter, ParamKind, ParamRegistry, ParamSpec,

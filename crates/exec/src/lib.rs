@@ -39,7 +39,7 @@ use std::cell::Cell;
 use std::collections::HashMap;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread::JoinHandle;
 
@@ -388,6 +388,90 @@ impl ExecPool {
         out.into_iter()
             .map(|r| r.expect("pool task completed"))
             .collect()
+    }
+}
+
+/// A mutable slice pre-split into fixed chunks that [`ExecPool::run`]
+/// tasks claim by index — the n-buffer companion to
+/// [`ExecPool::parallel_chunks2`]. A structure-of-arrays kernel updates
+/// many parallel buffers per chunk (six velocity components, nineteen
+/// distribution rows); rather than grow a `parallel_chunksN` for every
+/// arity, each buffer wraps itself in a `DisjointChunks` and the task for
+/// chunk `ci` claims `ci` from each:
+///
+/// ```
+/// # use gridsteer_exec::{ExecPool, DisjointChunks};
+/// let pool = ExecPool::new(2);
+/// let (mut a, mut b, mut c) = (vec![0u64; 64], vec![0u64; 64], vec![0u64; 64]);
+/// let (da, db, dc) = (
+///     DisjointChunks::new(&mut a, 16),
+///     DisjointChunks::new(&mut b, 16),
+///     DisjointChunks::new(&mut c, 16),
+/// );
+/// pool.run(da.chunk_count(), |ci| {
+///     let (ca, cb, cc) = (da.claim(ci), db.claim(ci), dc.claim(ci));
+///     for k in 0..ca.len() {
+///         ca[k] = ci as u64;
+///         cb[k] = 1;
+///         cc[k] = 2;
+///     }
+/// });
+/// assert_eq!(a[17], 1);
+/// ```
+///
+/// Soundness is enforced at runtime: each chunk index is claimable exactly
+/// once per `DisjointChunks` (an atomic turnstile per chunk), so two tasks
+/// — or one task calling twice — can never hold aliasing `&mut` chunks;
+/// the second claim panics. The chunk map is fixed by `(len, chunk_len)`
+/// alone, preserving the pool's thread-count-independence contract.
+pub struct DisjointChunks<'a, T> {
+    base: SendPtr<T>,
+    len: usize,
+    chunk_len: usize,
+    taken: Vec<AtomicBool>,
+    _borrow: std::marker::PhantomData<&'a mut [T]>,
+}
+
+impl<'a, T: Send> DisjointChunks<'a, T> {
+    /// Split `data` into chunks of `chunk_len` (the last may be short).
+    pub fn new(data: &'a mut [T], chunk_len: usize) -> DisjointChunks<'a, T> {
+        let chunk_len = chunk_len.max(1);
+        let chunks = data.len().div_ceil(chunk_len);
+        let mut taken = Vec::with_capacity(chunks);
+        taken.resize_with(chunks, || AtomicBool::new(false));
+        DisjointChunks {
+            base: SendPtr(data.as_mut_ptr()),
+            len: data.len(),
+            chunk_len,
+            taken,
+            _borrow: std::marker::PhantomData,
+        }
+    }
+
+    /// Number of chunks (pass to [`ExecPool::run`]).
+    pub fn chunk_count(&self) -> usize {
+        self.taken.len()
+    }
+
+    /// Element range covered by chunk `ci`.
+    pub fn range(&self, ci: usize) -> Range<usize> {
+        let start = ci * self.chunk_len;
+        start..(start + self.chunk_len).min(self.len)
+    }
+
+    /// Claim chunk `ci`, exactly once. Panics on out-of-range or repeat
+    /// claims — the aliasing guard that keeps this API safe.
+    #[allow(clippy::mut_from_ref)] // one &mut per chunk, enforced by the turnstile below
+    pub fn claim(&self, ci: usize) -> &mut [T] {
+        assert!(
+            !self.taken[ci].swap(true, Ordering::AcqRel),
+            "chunk {ci} claimed twice"
+        );
+        let r = self.range(ci);
+        // SAFETY: the turnstile above hands each chunk out at most once,
+        // chunk regions are disjoint by construction, and the PhantomData
+        // borrow keeps the underlying slice alive and exclusively ours.
+        unsafe { std::slice::from_raw_parts_mut(self.base.add(r.start), r.len()) }
     }
 }
 
@@ -780,5 +864,36 @@ mod tests {
         }
         let v1 = t1.join().unwrap();
         assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn disjoint_chunks_cover_multiple_buffers_per_chunk() {
+        let pool = counting_pool(4);
+        let mut a = vec![0u64; 103]; // last chunk short
+        let mut b = vec![0u64; 103];
+        {
+            let da = DisjointChunks::new(&mut a, 16);
+            let db = DisjointChunks::new(&mut b, 16);
+            assert_eq!(da.chunk_count(), 7);
+            assert_eq!(da.range(6), 96..103);
+            pool.run(da.chunk_count(), |ci| {
+                let (ca, cb) = (da.claim(ci), db.claim(ci));
+                for (k, (x, y)) in ca.iter_mut().zip(cb.iter_mut()).enumerate() {
+                    *x = (ci * 16 + k) as u64;
+                    *y = 2 * (ci * 16 + k) as u64;
+                }
+            });
+        }
+        assert!(a.iter().enumerate().all(|(i, &v)| v == i as u64));
+        assert!(b.iter().enumerate().all(|(i, &v)| v == 2 * i as u64));
+    }
+
+    #[test]
+    #[should_panic(expected = "claimed twice")]
+    fn disjoint_chunk_double_claim_panics() {
+        let mut a = vec![0u8; 32];
+        let d = DisjointChunks::new(&mut a, 8);
+        let _first = d.claim(1);
+        let _second = d.claim(1);
     }
 }

@@ -66,6 +66,29 @@ pub fn equilibrium(i: usize, rho: f64, ux: f64, uy: f64, uz: f64) -> f64 {
     WEIGHTS[i] * rho * (1.0 + 3.0 * cu + 4.5 * cu * cu - 1.5 * uu)
 }
 
+/// Four-lane [`equilibrium`]: one lane per lattice node, every lane
+/// performing *exactly* the scalar expression's operation sequence (same
+/// association, no FMA), so a lane-blocked kernel is bit-identical to the
+/// scalar reference node for node.
+#[inline(always)]
+pub fn equilibrium_x4(
+    i: usize,
+    rho: lanes::F64x4,
+    ux: lanes::F64x4,
+    uy: lanes::F64x4,
+    uz: lanes::F64x4,
+) -> lanes::F64x4 {
+    use lanes::F64x4;
+    let cu = F64x4::splat(CX[i] as f64) * ux
+        + F64x4::splat(CY[i] as f64) * uy
+        + F64x4::splat(CZ[i] as f64) * uz;
+    let uu = ux * ux + uy * uy + uz * uz;
+    F64x4::splat(WEIGHTS[i])
+        * rho
+        * (F64x4::splat(1.0) + F64x4::splat(3.0) * cu + F64x4::splat(4.5) * cu * cu
+            - F64x4::splat(1.5) * uu)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,6 +161,22 @@ mod tests {
             .map(|i| equilibrium(i, rho, 0.0, 0.0, 0.0) * CX[i] as f64)
             .sum();
         assert!(px.abs() < 1e-15);
+    }
+
+    #[test]
+    fn lane_equilibrium_matches_scalar_bit_for_bit() {
+        use lanes::F64x4;
+        let rho = F64x4([0.93, 0.51, 1.7, 1e-9]);
+        let ux = F64x4([0.01, -0.07, 0.002, 0.11]);
+        let uy = F64x4([-0.03, 0.0, 0.04, -0.09]);
+        let uz = F64x4([0.05, 0.021, -0.008, 0.0]);
+        for i in 0..Q {
+            let v = equilibrium_x4(i, rho, ux, uy, uz).to_array();
+            for (l, lane) in v.iter().enumerate() {
+                let s = equilibrium(i, rho.0[l], ux.0[l], uy.0[l], uz.0[l]);
+                assert_eq!(lane.to_bits(), s.to_bits(), "i={i} lane={l}");
+            }
+        }
     }
 
     #[test]

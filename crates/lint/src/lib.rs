@@ -18,7 +18,9 @@
 //!
 //! Rules (see [`rules::RuleId`]): R1 wall clocks, R2 hash-order
 //! iteration, R3 raw threads, R4 unseeded RNG, R5 unordered parallel
-//! reduction, R6 unjustified `#[allow]`/`unsafe`. Per-crate waivers live
+//! reduction, R6 unjustified `#[allow]`/`unsafe`, R7 float reassociation
+//! (fast-math intrinsics, lane-width-dependent horizontal reductions).
+//! Per-crate waivers live
 //! in `detlint.toml`; individual sites can carry
 //! `// detlint::allow(Rn, "reason")` — the reason string is mandatory.
 

@@ -1,4 +1,4 @@
-//! The determinism rules R1–R6.
+//! The determinism rules R1–R7.
 //!
 //! Each rule walks the token stream of one [`SourceFile`] and reports
 //! hazards with a line, message, and fix hint. Test-only code (lines
@@ -25,6 +25,10 @@ pub enum RuleId {
     R5,
     /// `#[allow(...)]` / `unsafe` without a justification comment.
     R6,
+    /// Float reassociation hazards: fast-math intrinsics and lane-width-
+    /// dependent horizontal reductions (`hsum`-style) whose result bits
+    /// change with lane count or association order.
+    R7,
     /// A `detlint::allow` that carries no reason string (meta rule —
     /// cannot itself be suppressed).
     BadAllow,
@@ -32,16 +36,17 @@ pub enum RuleId {
 
 impl RuleId {
     /// All suppressible rules, in report order.
-    pub const ALL: [RuleId; 6] = [
+    pub const ALL: [RuleId; 7] = [
         RuleId::R1,
         RuleId::R2,
         RuleId::R3,
         RuleId::R4,
         RuleId::R5,
         RuleId::R6,
+        RuleId::R7,
     ];
 
-    /// Parse `"R1"`..`"R6"`.
+    /// Parse `"R1"`..`"R7"`.
     pub fn parse(s: &str) -> Option<RuleId> {
         match s.trim() {
             "R1" => Some(RuleId::R1),
@@ -50,6 +55,7 @@ impl RuleId {
             "R4" => Some(RuleId::R4),
             "R5" => Some(RuleId::R5),
             "R6" => Some(RuleId::R6),
+            "R7" => Some(RuleId::R7),
             _ => None,
         }
     }
@@ -64,6 +70,7 @@ impl fmt::Display for RuleId {
             RuleId::R4 => "R4",
             RuleId::R5 => "R5",
             RuleId::R6 => "R6",
+            RuleId::R7 => "R7",
             RuleId::BadAllow => "R0",
         };
         f.write_str(s)
@@ -102,6 +109,9 @@ pub fn lint_source(src: &str, enabled: &BTreeSet<RuleId>) -> Vec<Finding> {
     }
     if enabled.contains(&RuleId::R6) {
         r6_unjustified_escape(&file, &mut raw);
+    }
+    if enabled.contains(&RuleId::R7) {
+        r7_reassociation(&file, &mut raw);
     }
     let mut out: Vec<Finding> = raw
         .into_iter()
@@ -411,6 +421,74 @@ fn r6_unjustified_escape(file: &SourceFile, out: &mut Vec<Finding>) {
     }
 }
 
+/// Fast-math intrinsics: each licenses LLVM to reassociate/contract, so
+/// the result bits depend on optimization choices, not the source.
+const FAST_MATH: [&str; 10] = [
+    "fadd_fast",
+    "fsub_fast",
+    "fmul_fast",
+    "fdiv_fast",
+    "frem_fast",
+    "fadd_algebraic",
+    "fsub_algebraic",
+    "fmul_algebraic",
+    "fdiv_algebraic",
+    "frem_algebraic",
+];
+
+/// Horizontal SIMD reductions: the fold shape (and therefore the float
+/// association order) is a function of lane width, so the same data gives
+/// different bits on different vector units.
+const LANE_REDUCTIONS: [&str; 8] = [
+    "hsum",
+    "hmin",
+    "hmax",
+    "reduce_sum",
+    "reduce_add",
+    "reduce_min",
+    "reduce_max",
+    "horizontal_sum",
+];
+
+/// R7 — float reassociation hazards. Fast-math intrinsics hand the
+/// compiler a reassociation license, and lane-width-dependent horizontal
+/// reductions bake the vector width into the association tree; either way
+/// the digest depends on how the code was compiled rather than what it
+/// computes. Sites that pin their fold shape (like a fixed-width pairwise
+/// tree) justify themselves with `// detlint::allow(R7, "...")`.
+fn r7_reassociation(file: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &file.lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        let name = t.text.as_str();
+        let called = toks.get(i + 1).is_some_and(|n| n.text == "(")
+            || toks.get(i + 1).is_some_and(|n| n.text == ":");
+        if !called {
+            continue;
+        }
+        if FAST_MATH.contains(&name) {
+            out.push(Finding {
+                rule: RuleId::R7,
+                line: t.line,
+                message: format!("fast-math intrinsic `{name}` licenses float reassociation"),
+                hint: "use plain float ops (fixed association), or justify with \
+                       detlint::allow(R7, ...)"
+                    .into(),
+            });
+        } else if LANE_REDUCTIONS.contains(&name) {
+            out.push(Finding {
+                rule: RuleId::R7,
+                line: t.line,
+                message: format!(
+                    "horizontal reduction `{name}` folds in lane-width-dependent order"
+                ),
+                hint: "accumulate per-lane and fold the lanes in a fixed order, or \
+                       justify the fixed fold shape with detlint::allow(R7, ...)"
+                    .into(),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -480,6 +558,19 @@ mod tests {
         let src = "#[allow(dead_code)]\nfn f() { let p = unsafe { *x }; }\n\
                    // sound: slot is pinned for the pool's lifetime\nfn g() { let q = unsafe { *y }; }\n";
         assert_eq!(rules_of(src), vec![(RuleId::R6, 1), (RuleId::R6, 2)]);
+    }
+
+    #[test]
+    fn r7_flags_fast_math_and_lane_reductions() {
+        let src = "fn f(a: f64, b: f64) -> f64 { unsafe { std::intrinsics::fadd_fast(a, b) } }\n\
+                   fn g(v: F64x4) -> f64 { v.hsum() }\n\
+                   fn h(v: &[f64]) -> f64 { v.iter().sum() }\n\
+                   fn ok(v: F64x4) -> f64 { v.hsum() } // detlint::allow(R7, \"fixed pairwise tree\")\n";
+        // line 1 also trips R6 (unjustified unsafe)
+        assert_eq!(
+            rules_of(src),
+            vec![(RuleId::R6, 1), (RuleId::R7, 1), (RuleId::R7, 2)]
+        );
     }
 
     #[test]

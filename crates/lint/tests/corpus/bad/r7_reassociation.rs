@@ -1,0 +1,23 @@
+//! Known-bad fixture: float reassociation hazards (R7) — fast-math
+//! intrinsics and lane-width-dependent horizontal reductions.
+
+pub fn fast_dot(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        // SAFETY: finite inputs by construction
+        acc = unsafe { std::intrinsics::fadd_fast(acc, x * y) };
+    }
+    acc
+}
+
+pub fn lattice_mass(rows: &[F64x4]) -> f64 {
+    let mut v = F64x4::splat(0.0);
+    for r in rows {
+        v = v.add(*r);
+    }
+    v.hsum()
+}
+
+pub fn frame_peak(px: &[F32x8]) -> f32 {
+    px.iter().fold(F32x8::splat(0.0), |m, &p| m.max(p)).reduce_max()
+}

@@ -18,3 +18,14 @@ pub fn drain_count(m: &mut std::collections::HashMap<u32, u8>) -> usize {
 // wire-format padding: kept so struct layout matches the protocol, never read
 #[allow(dead_code)]
 pub struct Reserved(u8);
+
+pub fn lane_total(v: F64x4) -> f64 {
+    // detlint::allow(R7, "hsum is a fixed pairwise tree, identical at every width")
+    v.hsum()
+}
+
+pub fn ordered_total(v: F64x4) -> f64 {
+    // the R7-clean shape: extract lanes and fold them in index order
+    let lanes = v.to_array();
+    lanes.iter().fold(0.0, |acc, &x| acc + x)
+}

@@ -80,6 +80,10 @@ impl Node {
 pub struct Octree {
     nodes: Vec<Node>,
     cfg: TreeConfig,
+    /// Kernel backend for the leaf direct sum (scalar reference or
+    /// lane-blocked; bit-identical by construction). Defaults to the
+    /// process-wide [`lanes::backend`] switch.
+    backend: lanes::Backend,
     /// Interaction counter from the last `forces` call (Σ node/particle
     /// acceptances) — the work metric for the O(N log N) experiment.
     pub interactions: std::sync::atomic::AtomicU64,
@@ -103,6 +107,7 @@ impl Octree {
         let mut tree = Octree {
             nodes: vec![root],
             cfg,
+            backend: lanes::backend(),
             interactions: std::sync::atomic::AtomicU64::new(0),
         };
         tree.split(0, particles, 0);
@@ -228,11 +233,88 @@ impl Octree {
         walk(&self.nodes, 0, 0)
     }
 
+    /// Backend used for the leaf direct sum.
+    pub fn backend(&self) -> lanes::Backend {
+        self.backend
+    }
+
+    /// Override the leaf-kernel backend (benches and bit-identity tests
+    /// compare both in one process).
+    pub fn set_backend(&mut self, backend: lanes::Backend) {
+        self.backend = backend;
+    }
+
+    /// One pairwise contribution of the leaf direct sum — the scalar
+    /// reference both backends must match bit for bit.
+    #[inline(always)]
+    fn accumulate_pair(pi: &Particle, pj: &Particle, eps2: f64, f: &mut [f64; 3]) {
+        let dx = pi.pos[0] - pj.pos[0];
+        let dy = pi.pos[1] - pj.pos[1];
+        let dz = pi.pos[2] - pj.pos[2];
+        let r2 = dx * dx + dy * dy + dz * dz + eps2;
+        let inv_r3 = 1.0 / (r2 * r2.sqrt());
+        let s = pi.charge * pj.charge * inv_r3;
+        f[0] += s * dx;
+        f[1] += s * dy;
+        f[2] += s * dz;
+    }
+
+    /// Leaf direct sum over four members at once: every lane performs the
+    /// exact [`Octree::accumulate_pair`] operation sequence (same
+    /// association, no FMA), and the four contributions are folded into
+    /// `f` lane by lane in member order — so the result is bit-identical
+    /// to four scalar `accumulate_pair` calls.
+    #[inline(always)]
+    fn accumulate_quad(pi: &Particle, quad: [&Particle; 4], eps2: f64, f: &mut [f64; 3]) {
+        use lanes::F64x4;
+        let px = F64x4([
+            quad[0].pos[0],
+            quad[1].pos[0],
+            quad[2].pos[0],
+            quad[3].pos[0],
+        ]);
+        let py = F64x4([
+            quad[0].pos[1],
+            quad[1].pos[1],
+            quad[2].pos[1],
+            quad[3].pos[1],
+        ]);
+        let pz = F64x4([
+            quad[0].pos[2],
+            quad[1].pos[2],
+            quad[2].pos[2],
+            quad[3].pos[2],
+        ]);
+        let qj = F64x4([
+            quad[0].charge,
+            quad[1].charge,
+            quad[2].charge,
+            quad[3].charge,
+        ]);
+        let dx = F64x4::splat(pi.pos[0]) - px;
+        let dy = F64x4::splat(pi.pos[1]) - py;
+        let dz = F64x4::splat(pi.pos[2]) - pz;
+        let r2 = dx * dx + dy * dy + dz * dz + F64x4::splat(eps2);
+        let inv_r3 = F64x4::splat(1.0) / (r2 * r2.sqrt());
+        let s = F64x4::splat(pi.charge) * qj * inv_r3;
+        let fx = s * dx;
+        let fy = s * dy;
+        let fz = s * dz;
+        // Sequential per-member fold: preserves the scalar loop's
+        // accumulation order exactly (NOT an hsum — no reassociation).
+        for l in 0..lanes::F64_LANES {
+            f[0] += fx.0[l];
+            f[1] += fy.0[l];
+            f[2] += fz.0[l];
+        }
+    }
+
     /// Force on one particle via MAC traversal.
     fn force_on(&self, particles: &[Particle], i: usize) -> ([f64; 3], u64) {
         let pi = &particles[i];
         let theta = self.cfg.theta;
         let eps2 = self.cfg.eps * self.cfg.eps;
+        let simd = self.backend == lanes::Backend::Simd;
         let mut f = [0.0f64; 3];
         let mut work = 0u64;
         let mut stack: Vec<u32> = vec![0];
@@ -247,20 +329,43 @@ impl Octree {
             let r2 = dx * dx + dy * dy + dz * dz;
             let size = node.half * 2.0;
             if node.is_leaf() {
-                for &m in &node.members {
+                let members = &node.members;
+                let mut k = 0;
+                if simd {
+                    // Lane-blocked direct sum; a block containing the
+                    // target particle itself falls back to the scalar
+                    // reference so the self-skip stays exact.
+                    while k + lanes::F64_LANES <= members.len() {
+                        let blk = &members[k..k + lanes::F64_LANES];
+                        if blk.iter().any(|&m| m as usize == i) {
+                            for &m in blk {
+                                if m as usize != i {
+                                    Self::accumulate_pair(pi, &particles[m as usize], eps2, &mut f);
+                                    work += 1;
+                                }
+                            }
+                        } else {
+                            Self::accumulate_quad(
+                                pi,
+                                [
+                                    &particles[blk[0] as usize],
+                                    &particles[blk[1] as usize],
+                                    &particles[blk[2] as usize],
+                                    &particles[blk[3] as usize],
+                                ],
+                                eps2,
+                                &mut f,
+                            );
+                            work += lanes::F64_LANES as u64;
+                        }
+                        k += lanes::F64_LANES;
+                    }
+                }
+                for &m in &members[k..] {
                     if m as usize == i {
                         continue;
                     }
-                    let pj = &particles[m as usize];
-                    let dx = pi.pos[0] - pj.pos[0];
-                    let dy = pi.pos[1] - pj.pos[1];
-                    let dz = pi.pos[2] - pj.pos[2];
-                    let r2 = dx * dx + dy * dy + dz * dz + eps2;
-                    let inv_r3 = 1.0 / (r2 * r2.sqrt());
-                    let s = pi.charge * pj.charge * inv_r3;
-                    f[0] += s * dx;
-                    f[1] += s * dy;
-                    f[2] += s * dz;
+                    Self::accumulate_pair(pi, &particles[m as usize], eps2, &mut f);
                     work += 1;
                 }
             } else if size * size < theta * theta * r2 {
@@ -433,6 +538,45 @@ mod tests {
         for (a, b) in tf.iter().zip(df.iter()) {
             for c in 0..3 {
                 assert!((a[c] - b[c]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_and_simd_leaf_kernels_are_bit_identical() {
+        // Same tree, both backends, two thread counts: force vectors must
+        // match bit for bit (the SIMD quad kernel replicates the scalar
+        // operation sequence exactly, including the self-skip fallback).
+        let p = plasma_ball(700, 11);
+        let cfg = TreeConfig {
+            leaf_cap: 11, // odd cap: exercises quad blocks AND scalar tails
+            ..Default::default()
+        };
+        let mut t = Octree::build(&p, cfg);
+        let mut runs: Vec<(String, Vec<[f64; 3]>, u64)> = Vec::new();
+        for backend in [lanes::Backend::Scalar, lanes::Backend::Simd] {
+            t.set_backend(backend);
+            for threads in [1usize, 4] {
+                let pool = gridsteer_exec::shared(threads);
+                let f = t.forces_with(&pool, &p);
+                runs.push((
+                    format!("{}-t{threads}", backend.label()),
+                    f,
+                    t.last_interactions(),
+                ));
+            }
+        }
+        let (ref name0, ref f0, w0) = runs[0];
+        for (name, f, w) in &runs[1..] {
+            assert_eq!(w0, *w, "{name0} vs {name}: interaction counts differ");
+            for (a, b) in f0.iter().zip(f.iter()) {
+                for c in 0..3 {
+                    assert_eq!(
+                        a[c].to_bits(),
+                        b[c].to_bits(),
+                        "{name0} vs {name}: component {c} diverged"
+                    );
+                }
             }
         }
     }

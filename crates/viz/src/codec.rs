@@ -51,27 +51,75 @@ impl EncodedFrame {
         self.payload.len() + 8 // payload + tiny header
     }
 
-    /// Compression ratio `raw / wire` (>1 means compression won).
+    /// Compression ratio `raw / wire` (>1 means compression won). An
+    /// empty frame (zero raw bytes, or a degenerate zero-byte wire size)
+    /// reports 0.0 rather than dividing by zero.
     pub fn ratio(&self) -> f64 {
-        self.raw_size as f64 / self.wire_size() as f64
+        let wire = self.wire_size();
+        if wire == 0 || self.raw_size == 0 {
+            return 0.0;
+        }
+        self.raw_size as f64 / wire as f64
     }
 }
 
 /// Byte-wise run-length encode: pairs `(count, byte)` with count ∈ 1..=255.
+///
+/// The run scan has a scalar reference and a SWAR fast path selected by
+/// [`lanes::backend`]; both produce exactly the same run lengths, so the
+/// wire bytes are identical on either backend.
 pub fn rle_encode(data: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(data.len() / 4 + 16);
+    let swar = lanes::simd_enabled();
     let mut i = 0;
     while i < data.len() {
         let b = data[i];
-        let mut run = 1usize;
-        while run < 255 && i + run < data.len() && data[i + run] == b {
-            run += 1;
-        }
+        let run = if swar {
+            run_len_swar(data, i, b)
+        } else {
+            run_len_scalar(data, i, b)
+        };
         out.push(run as u8);
         out.push(b);
         i += run;
     }
     out
+}
+
+/// Reference run scan: length of the run of `b` starting at `data[i]`,
+/// capped at 255.
+#[inline(always)]
+fn run_len_scalar(data: &[u8], i: usize, b: u8) -> usize {
+    let mut run = 1usize;
+    while run < 255 && i + run < data.len() && data[i + run] == b {
+        run += 1;
+    }
+    run
+}
+
+/// SWAR run scan: XORs eight input bytes at a time against the broadcast
+/// run byte; the first mismatch position is the trailing-zero count of the
+/// XOR word (bytes loaded little-endian, so byte order matches memory
+/// order). Returns exactly [`run_len_scalar`]'s answer — this changes scan
+/// speed, never the emitted pairs.
+#[inline(always)]
+fn run_len_swar(data: &[u8], i: usize, b: u8) -> usize {
+    const W: usize = 8;
+    let limit = data.len().min(i + 255);
+    let splat = (b as u64) * 0x0101_0101_0101_0101;
+    let mut j = i + 1;
+    while j + W <= limit {
+        let word = u64::from_le_bytes(data[j..j + W].try_into().unwrap());
+        let diff = word ^ splat;
+        if diff != 0 {
+            return j - i + diff.trailing_zeros() as usize / 8;
+        }
+        j += W;
+    }
+    while j < limit && data[j] == b {
+        j += 1;
+    }
+    j - i
 }
 
 /// Inverse of [`rle_encode`]. Returns `None` on malformed input.
@@ -201,6 +249,64 @@ impl DeltaRleCodec {
 }
 
 #[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The SWAR run scan answers exactly like the scalar reference at
+        /// every start position — including runs crossing the 255 cap and
+        /// mismatches at every offset inside a word. The tiny alphabet
+        /// makes long runs (and 255-cap crossings) common.
+        #[test]
+        fn swar_run_scan_matches_scalar_reference(
+            data in proptest::collection::vec(0u8..3, 1..600),
+            start in 0usize..600,
+        ) {
+            let start = start % data.len();
+            let b = data[start];
+            prop_assert_eq!(
+                run_len_swar(&data, start, b),
+                run_len_scalar(&data, start, b)
+            );
+        }
+
+        /// RLE is lossless over arbitrary bytes — the payload bytes of
+        /// every encoded framebuffer plane.
+        #[test]
+        fn rle_roundtrips_arbitrary_bytes(
+            data in proptest::collection::vec(any::<u8>(), 0..2048),
+        ) {
+            prop_assert_eq!(rle_decode(&rle_encode(&data)).unwrap(), data);
+        }
+
+        /// RLE is lossless over grids of raw f32 bit patterns including
+        /// NaN payloads: the codec must treat float planes as opaque
+        /// bytes, never canonicalizing a NaN.
+        #[test]
+        fn rle_roundtrips_nan_payload_grids(
+            words in proptest::collection::vec(any::<u32>(), 1..256),
+        ) {
+            // steer a third of the lattice values into quiet/signalling
+            // NaNs with arbitrary payload bits
+            let grid: Vec<f32> = words
+                .iter()
+                .map(|&w| match w % 3 {
+                    0 => f32::from_bits(0x7fc0_0000 | (w >> 10)),
+                    1 => f32::from_bits(0xff80_0001 | (w >> 10)),
+                    _ => f32::from_bits(w),
+                })
+                .collect();
+            let bytes: Vec<u8> = grid.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+            let back = rle_decode(&rle_encode(&bytes)).unwrap();
+            prop_assert_eq!(back, bytes);
+        }
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
 
@@ -274,6 +380,52 @@ mod tests {
         let enc = rle_encode(&data);
         assert_eq!(enc.len(), data.len() * 2);
         assert_eq!(rle_decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn swar_and_scalar_run_scans_agree() {
+        // Adversarial run shapes: boundary at 255, mismatches at every
+        // offset within a SWAR word, tail shorter than a word.
+        let mut cases: Vec<Vec<u8>> = vec![
+            vec![],
+            vec![5],
+            vec![5; 254],
+            vec![5; 255],
+            vec![5; 256],
+            vec![5; 1021],
+            (0..100u8).collect(),
+        ];
+        for off in 0..9 {
+            let mut v = vec![7u8; 40 + off];
+            v.push(9);
+            v.extend(vec![7u8; 3]);
+            cases.push(v);
+        }
+        for data in &cases {
+            let mut i = 0;
+            while i < data.len() {
+                let b = data[i];
+                let s = run_len_scalar(data, i, b);
+                let w = run_len_swar(data, i, b);
+                assert_eq!(s, w, "len={} i={i}", data.len());
+                i += s;
+            }
+        }
+    }
+
+    #[test]
+    fn empty_framebuffer_encodes_and_ratio_is_finite() {
+        let mut enc = DeltaRleCodec::new();
+        let mut dec = DeltaRleCodec::new();
+        let fb = Framebuffer::new(0, 0);
+        for _ in 0..2 {
+            let f = enc.encode(&fb);
+            assert_eq!(f.raw_size, 0);
+            assert!(f.payload.is_empty());
+            assert_eq!(f.ratio(), 0.0, "no division by the 0-byte raw size");
+            assert!(f.ratio().is_finite());
+            assert_eq!(dec.decode(&f, 0, 0).unwrap(), fb);
+        }
     }
 
     #[test]

@@ -158,6 +158,7 @@ impl Rasterizer {
         // pool's thread count
         let zband_len = BAND_ROWS * w;
         let cband_len = BAND_ROWS * w * 4;
+        let simd = lanes::simd_enabled();
         pool.parallel_chunks2(
             &mut self.zbuf,
             self.fb.bytes_mut(),
@@ -172,7 +173,7 @@ impl Rasterizer {
                     if t.max_y < y0 || t.min_y >= y1 {
                         continue;
                     }
-                    fill_triangle_band(t, w, y0, y1, zband, cband);
+                    fill_triangle_band(t, w, y0, y1, zband, cband, simd);
                 }
             },
         );
@@ -222,10 +223,52 @@ impl ShadedTri {
     }
 }
 
+/// Inside-test, z-test and write for one pixel given its barycentric
+/// weights — the per-pixel tail shared by the scalar and lane-blocked
+/// fills (so both backends write identical pixels by construction).
+// the three weights and two band slices are hot-loop state; boxing them
+// into a struct would cost the #[inline(always)] contract its point
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn shade_pixel(
+    t: &ShadedTri,
+    w0: f32,
+    w1: f32,
+    w2: f32,
+    row_base: usize,
+    x: usize,
+    zband: &mut [f32],
+    cband: &mut [u8],
+) {
+    let (a, b, c) = (t.a, t.b, t.c);
+    // inside test tolerant of either winding
+    let inside = (w0 >= 0.0 && w1 >= 0.0 && w2 >= 0.0) || (w0 <= 0.0 && w1 <= 0.0 && w2 <= 0.0);
+    if inside {
+        // screen-space barycentric z with weights normalized to
+        // tolerate either winding: w2→a, w0→b, w1→c
+        let wsum = w0.abs() + w1.abs() + w2.abs();
+        if wsum <= 0.0 {
+            return;
+        }
+        let z = (w2.abs() * a.2 + w0.abs() * b.2 + w1.abs() * c.2) / wsum;
+        let i = row_base + x;
+        if z < zband[i] {
+            zband[i] = z;
+            cband[i * 4..i * 4 + 4].copy_from_slice(&t.rgba);
+        }
+    }
+}
+
 /// Barycentric triangle fill with z interpolation, restricted to the
 /// framebuffer rows `[y0, y1)` held by `zband`/`cband`. The arithmetic is
 /// identical for every band split, so banded and whole-frame fills produce
 /// the same pixels.
+///
+/// With `simd` set, the row's edge functions are evaluated eight pixels
+/// per step in [`lanes::F32x8`] lanes; each lane performs exactly the
+/// scalar expression's operation sequence (the per-row factors are the
+/// same scalar subexpressions, broadcast), and the per-pixel tail is the
+/// shared [`shade_pixel`] — so scalar and SIMD fills are bit-identical.
 fn fill_triangle_band(
     t: &ShadedTri,
     w: usize,
@@ -233,34 +276,40 @@ fn fill_triangle_band(
     y1: usize,
     zband: &mut [f32],
     cband: &mut [u8],
+    simd: bool,
 ) {
+    use lanes::F32x8;
     let (a, b, c) = (t.a, t.b, t.c);
     let (min_x, max_x, min_y, max_y) = (t.min_x, t.max_x, t.min_y, t.max_y);
     let Some(inv_area) = t.inv_area else { return };
     for y in min_y.max(y0)..=max_y.min(y1.saturating_sub(1)) {
-        for x in min_x..=max_x {
-            let px = x as f32 + 0.5;
-            let py = y as f32 + 0.5;
-            let w0 = ((b.0 - a.0) * (py - a.1) - (b.1 - a.1) * (px - a.0)) * inv_area;
-            let w1 = ((c.0 - b.0) * (py - b.1) - (c.1 - b.1) * (px - b.0)) * inv_area;
-            let w2 = 1.0 - w0 - w1;
-            // inside test tolerant of either winding
-            let inside =
-                (w0 >= 0.0 && w1 >= 0.0 && w2 >= 0.0) || (w0 <= 0.0 && w1 <= 0.0 && w2 <= 0.0);
-            if inside {
-                // screen-space barycentric z with weights normalized to
-                // tolerate either winding: w2→a, w0→b, w1→c
-                let wsum = w0.abs() + w1.abs() + w2.abs();
-                if wsum <= 0.0 {
-                    continue;
+        let py = y as f32 + 0.5;
+        let row_base = (y - y0) * w;
+        // per-row constants: exactly the scalar expression's
+        // subexpressions, hoisted (same values, same rounding)
+        let e0 = (b.0 - a.0) * (py - a.1);
+        let e1 = (c.0 - b.0) * (py - b.1);
+        let mut x = min_x;
+        if simd {
+            while x + lanes::F32_LANES <= max_x + 1 {
+                let px = F32x8(std::array::from_fn(|l| (x + l) as f32 + 0.5));
+                let w0 = (F32x8::splat(e0) - F32x8::splat(b.1 - a.1) * (px - F32x8::splat(a.0)))
+                    * F32x8::splat(inv_area);
+                let w1 = (F32x8::splat(e1) - F32x8::splat(c.1 - b.1) * (px - F32x8::splat(b.0)))
+                    * F32x8::splat(inv_area);
+                let w2 = F32x8::splat(1.0) - w0 - w1;
+                for l in 0..lanes::F32_LANES {
+                    shade_pixel(t, w0.0[l], w1.0[l], w2.0[l], row_base, x + l, zband, cband);
                 }
-                let z = (w2.abs() * a.2 + w0.abs() * b.2 + w1.abs() * c.2) / wsum;
-                let i = (y - y0) * w + x;
-                if z < zband[i] {
-                    zband[i] = z;
-                    cband[i * 4..i * 4 + 4].copy_from_slice(&t.rgba);
-                }
+                x += lanes::F32_LANES;
             }
+        }
+        for x in x..=max_x {
+            let px = x as f32 + 0.5;
+            let w0 = (e0 - (b.1 - a.1) * (px - a.0)) * inv_area;
+            let w1 = (e1 - (c.1 - b.1) * (px - b.0)) * inv_area;
+            let w2 = 1.0 - w0 - w1;
+            shade_pixel(t, w0, w1, w2, row_base, x, zband, cband);
         }
     }
 }
@@ -278,6 +327,45 @@ mod tests {
             .chunks_exact(4)
             .filter(|p| p[0] != 0 || p[1] != 0 || p[2] != 0)
             .count()
+    }
+
+    #[test]
+    fn scalar_and_simd_triangle_fills_are_bit_identical() {
+        // Same triangle, both fill backends, odd width so lane blocks AND
+        // the scalar tail both run: z-band bits and pixels must match.
+        let w = 61usize;
+        let h = 40usize;
+        let tris = [
+            ShadedTri::prepare(
+                (3.2, 2.1, 0.3),
+                (57.9, 8.7, 0.9),
+                (20.4, 37.5, 0.1),
+                [200, 90, 40, 255],
+                w,
+                h,
+            ),
+            ShadedTri::prepare(
+                (50.0, 35.0, 0.2),
+                (5.5, 30.1, 0.8),
+                (33.3, 1.1, 0.5),
+                [10, 220, 120, 255],
+                w,
+                h,
+            ),
+        ];
+        let mut out: Vec<(Vec<f32>, Vec<u8>)> = Vec::new();
+        for simd in [false, true] {
+            let mut zband = vec![f32::INFINITY; w * h];
+            let mut cband = vec![0u8; w * h * 4];
+            for t in &tris {
+                fill_triangle_band(t, w, 0, h, &mut zband, &mut cband, simd);
+            }
+            out.push((zband, cband));
+        }
+        let zb: Vec<u32> = out[0].0.iter().map(|z| z.to_bits()).collect();
+        let zs: Vec<u32> = out[1].0.iter().map(|z| z.to_bits()).collect();
+        assert_eq!(zb, zs, "z-buffer bits diverged between backends");
+        assert_eq!(out[0].1, out[1].1, "pixel bytes diverged between backends");
     }
 
     #[test]

@@ -1,0 +1,345 @@
+//! Deterministic fixed-width SIMD lane types.
+//!
+//! This is the workspace's vendored stand-in for a `wide`-style SIMD
+//! crate: `F64x4` and `F32x8` are `#[repr(C)]`, cache-line-friendly
+//! array wrappers whose arithmetic is written as plain per-lane IEEE-754
+//! operations. The optimizer turns the lane loops into vector
+//! instructions on every x86-64 target (SSE2 is in the baseline), and
+//! because each lane performs *exactly* the scalar operation sequence —
+//! no FMA contraction, no fast-math reassociation — a kernel that maps
+//! one lane to one element produces bit-identical results to its scalar
+//! reference. That property is what the workspace's determinism contract
+//! (digests stable across `EXEC_THREADS` *and* across the scalar/SIMD
+//! backends) rests on.
+//!
+//! The only lane-order-sensitive operation is the horizontal sum
+//! [`F64x4::hsum`]/[`F32x8::hsum`]: it reduces in a *fixed, documented*
+//! association `(l0 + l1) + (l2 + l3)`, which differs from a left-to-right
+//! scalar fold. Any call site whose scalar fallback does not reproduce
+//! that association is a reassociation hazard — the determinism lint's
+//! rule R7 flags horizontal reductions for exactly this reason, and a
+//! `// detlint::allow(R7, ...)` justification is required where one is
+//! used on a digest-feeding path.
+//!
+//! # Backend switch
+//!
+//! Hot kernels keep a scalar reference implementation and a lane-blocked
+//! one, selected once per process by [`backend`]: `GRIDSTEER_SIMD=0` (or
+//! `off`/`false`) forces the scalar path, anything else (including unset)
+//! runs the lane-blocked path. The switch exists so CI can prove the two
+//! backends are byte-identical, not to work around broken targets.
+
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::sync::OnceLock;
+
+/// Lane count of [`F64x4`].
+pub const F64_LANES: usize = 4;
+/// Lane count of [`F32x8`].
+pub const F32_LANES: usize = 8;
+
+/// Which kernel implementation the process runs (fixed at first query).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Scalar reference kernels.
+    Scalar,
+    /// Lane-blocked kernels over [`F64x4`]/[`F32x8`].
+    Simd,
+}
+
+impl Backend {
+    /// Stable label for bench rows and digests ("scalar" / "simd").
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Simd => "simd",
+        }
+    }
+}
+
+static BACKEND: OnceLock<Backend> = OnceLock::new();
+
+/// The process-wide backend: `GRIDSTEER_SIMD=0|off|false` selects
+/// [`Backend::Scalar`], anything else (including unset) selects
+/// [`Backend::Simd`]. Read once and cached — mid-run environment edits
+/// cannot split a run across backends.
+pub fn backend() -> Backend {
+    *BACKEND.get_or_init(|| match std::env::var("GRIDSTEER_SIMD") {
+        Ok(v) if v == "0" || v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("false") => {
+            Backend::Scalar
+        }
+        _ => Backend::Simd,
+    })
+}
+
+/// True when the lane-blocked kernels are active (see [`backend`]).
+pub fn simd_enabled() -> bool {
+    backend() == Backend::Simd
+}
+
+macro_rules! lane_type {
+    ($(#[$doc:meta])* $name:ident, $elem:ty, $lanes:expr, $align:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Default)]
+        #[repr(C, align($align))]
+        pub struct $name(pub [$elem; $lanes]);
+
+        impl $name {
+            /// Number of lanes.
+            pub const LANES: usize = $lanes;
+
+            /// All lanes set to `v`.
+            #[inline(always)]
+            pub fn splat(v: $elem) -> $name {
+                $name([v; $lanes])
+            }
+
+            /// Load the first `LANES` elements of `s`. Panics if short.
+            #[inline(always)]
+            pub fn from_slice(s: &[$elem]) -> $name {
+                let mut out = [0.0; $lanes];
+                out.copy_from_slice(&s[..$lanes]);
+                $name(out)
+            }
+
+            /// Store the lanes into the first `LANES` elements of `out`.
+            #[inline(always)]
+            pub fn write_to(self, out: &mut [$elem]) {
+                out[..$lanes].copy_from_slice(&self.0);
+            }
+
+            /// The lane array.
+            #[inline(always)]
+            pub fn to_array(self) -> [$elem; $lanes] {
+                self.0
+            }
+
+            /// Per-lane IEEE `max` (exactly `<$elem>::max` per lane, NaN
+            /// behaviour included) — bit-compatible with the scalar
+            /// reference kernels' clamps.
+            #[inline(always)]
+            pub fn max(self, other: $name) -> $name {
+                let mut out = self.0;
+                for l in 0..$lanes {
+                    out[l] = out[l].max(other.0[l]);
+                }
+                $name(out)
+            }
+
+            /// Per-lane IEEE `min` (exactly `<$elem>::min` per lane).
+            #[inline(always)]
+            pub fn min(self, other: $name) -> $name {
+                let mut out = self.0;
+                for l in 0..$lanes {
+                    out[l] = out[l].min(other.0[l]);
+                }
+                $name(out)
+            }
+
+            /// Per-lane square root (IEEE-754 correctly rounded, exactly
+            /// the scalar `sqrt` per lane).
+            #[inline(always)]
+            pub fn sqrt(self) -> $name {
+                let mut out = self.0;
+                for l in 0..$lanes {
+                    out[l] = out[l].sqrt();
+                }
+                $name(out)
+            }
+
+            /// Horizontal sum in the fixed pairwise association
+            /// `(l0+l1)+(l2+l3)` (and one more level for 8 lanes). This is
+            /// NOT a left-to-right fold: a scalar fallback must reproduce
+            /// the same pairwise tree or its digest diverges — which is
+            /// why detlint R7 demands a justification at every call site.
+            #[inline(always)]
+            pub fn hsum(self) -> $elem {
+                let mut acc = self.0;
+                let mut width = $lanes / 2;
+                while width >= 1 {
+                    for l in 0..width {
+                        acc[l] += acc[l + width];
+                    }
+                    width /= 2;
+                }
+                acc[0]
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            #[inline(always)]
+            fn add(self, rhs: $name) -> $name {
+                let mut out = self.0;
+                for l in 0..$lanes {
+                    out[l] += rhs.0[l];
+                }
+                $name(out)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            #[inline(always)]
+            fn sub(self, rhs: $name) -> $name {
+                let mut out = self.0;
+                for l in 0..$lanes {
+                    out[l] -= rhs.0[l];
+                }
+                $name(out)
+            }
+        }
+
+        impl Mul for $name {
+            type Output = $name;
+            #[inline(always)]
+            fn mul(self, rhs: $name) -> $name {
+                let mut out = self.0;
+                for l in 0..$lanes {
+                    out[l] *= rhs.0[l];
+                }
+                $name(out)
+            }
+        }
+
+        impl Div for $name {
+            type Output = $name;
+            #[inline(always)]
+            fn div(self, rhs: $name) -> $name {
+                let mut out = self.0;
+                for l in 0..$lanes {
+                    out[l] /= rhs.0[l];
+                }
+                $name(out)
+            }
+        }
+
+        impl Neg for $name {
+            type Output = $name;
+            #[inline(always)]
+            fn neg(self) -> $name {
+                let mut out = self.0;
+                for l in 0..$lanes {
+                    out[l] = -out[l];
+                }
+                $name(out)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline(always)]
+            fn add_assign(&mut self, rhs: $name) {
+                *self = *self + rhs;
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline(always)]
+            fn sub_assign(&mut self, rhs: $name) {
+                *self = *self - rhs;
+            }
+        }
+
+        impl MulAssign for $name {
+            #[inline(always)]
+            fn mul_assign(&mut self, rhs: $name) {
+                *self = *self * rhs;
+            }
+        }
+
+        impl Mul<$elem> for $name {
+            type Output = $name;
+            #[inline(always)]
+            fn mul(self, rhs: $elem) -> $name {
+                self * $name::splat(rhs)
+            }
+        }
+
+        impl Add<$elem> for $name {
+            type Output = $name;
+            #[inline(always)]
+            fn add(self, rhs: $elem) -> $name {
+                self + $name::splat(rhs)
+            }
+        }
+    };
+}
+
+lane_type!(
+    /// Four `f64` lanes (one 256-bit vector, or two 128-bit on SSE2).
+    F64x4,
+    f64,
+    4,
+    32
+);
+lane_type!(
+    /// Eight `f32` lanes (one 256-bit vector, or two 128-bit on SSE2).
+    F32x8,
+    f32,
+    8,
+    32
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lanewise_ops_match_scalar_bits() {
+        let a = F64x4([1.1, -2.5e300, 3.75, f64::MIN_POSITIVE]);
+        let b = F64x4([0.3, 4.0, -1e-17, 2.0]);
+        let sum = (a + b).to_array();
+        let prod = (a * b).to_array();
+        let quot = (a / b).to_array();
+        for l in 0..4 {
+            assert_eq!(sum[l].to_bits(), (a.0[l] + b.0[l]).to_bits());
+            assert_eq!(prod[l].to_bits(), (a.0[l] * b.0[l]).to_bits());
+            assert_eq!(quot[l].to_bits(), (a.0[l] / b.0[l]).to_bits());
+        }
+    }
+
+    #[test]
+    fn max_follows_ieee_scalar_max() {
+        let a = F64x4([1.0, f64::NAN, -0.0, 5.0]);
+        let b = F64x4([2.0, 3.0, 0.0, f64::NAN]);
+        let m = a.max(b).to_array();
+        assert_eq!(m[0], 2.0);
+        assert_eq!(m[1], 3.0, "f64::max ignores the NaN side");
+        assert_eq!(m[3], 5.0);
+    }
+
+    #[test]
+    fn hsum_is_the_documented_pairwise_tree() {
+        let v = F64x4([1e16, 1.0, -1e16, 1.0]);
+        // (1e16 + (-1e16)) + (1.0 + 1.0) per the width-halving tree
+        let expect = (v.0[0] + v.0[2]) + (v.0[1] + v.0[3]);
+        assert_eq!(v.hsum().to_bits(), expect.to_bits());
+        let w = F32x8([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(w.hsum(), 36.0);
+    }
+
+    #[test]
+    fn sqrt_matches_scalar_bits() {
+        let a = F64x4([2.0, 1e-300, 3.9e17, 0.0]);
+        let r = a.sqrt().to_array();
+        for (l, lane) in r.iter().enumerate() {
+            assert_eq!(lane.to_bits(), a.0[l].sqrt().to_bits());
+        }
+    }
+
+    #[test]
+    fn slice_round_trip() {
+        let data = [9.0, 8.0, 7.0, 6.0, 5.0];
+        let v = F64x4::from_slice(&data);
+        let mut out = [0.0; 4];
+        v.write_to(&mut out);
+        assert_eq!(out, [9.0, 8.0, 7.0, 6.0]);
+    }
+
+    #[test]
+    fn backend_label_is_stable() {
+        assert_eq!(Backend::Scalar.label(), "scalar");
+        assert_eq!(Backend::Simd.label(), "simd");
+        // whatever the ambient env says, the cached answer is self-consistent
+        assert_eq!(simd_enabled(), backend() == Backend::Simd);
+    }
+}
