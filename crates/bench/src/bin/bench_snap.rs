@@ -1,5 +1,5 @@
-//! Run the four gated perf workloads and write `BENCH_{lbm,pool,monitor,
-//! fanout}.json` snapshots (per-cell wall time + timing-free result
+//! Run the five gated perf workloads and write `BENCH_{lbm,pool,monitor,
+//! fanout,ckpt}.json` snapshots (per-cell wall time + timing-free result
 //! digest) into `BENCH_JSON_DIR` (default: current directory).
 //!
 //! Committed baselines live under `baselines/`; `bench_gate` compares a

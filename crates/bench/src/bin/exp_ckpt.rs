@@ -1,0 +1,24 @@
+//! Checkpoint-codec experiment: run the gated `ckpt` workload (full
+//! encode, delta encode, decode + restore over a demo-scale 32³ LBM
+//! field) and write `BENCH_ckpt.json` into `BENCH_JSON_DIR` (default:
+//! current directory).
+//!
+//! The committed baseline lives under `baselines/`; `bench_gate` compares
+//! a fresh run against it alongside the other gated workloads.
+
+fn main() {
+    let dir = std::env::var("BENCH_JSON_DIR").unwrap_or_else(|_| ".".to_string());
+    let dir = std::path::PathBuf::from(dir);
+    let report = gridsteer_bench::gate::snap_ckpt();
+    for cell in &report.cells {
+        println!(
+            "{} {:<28} {:>10.1} us  digest {}",
+            report.id, cell.cell, cell.wall_us, cell.digest
+        );
+    }
+    if let Err(e) = gridsteer_bench::gate::write_report(&dir, &report) {
+        eprintln!("exp_ckpt: cannot write BENCH_ckpt.json: {e}");
+        std::process::exit(1);
+    }
+    println!("exp_ckpt: wrote BENCH_ckpt.json to {}", dir.display());
+}

@@ -18,10 +18,11 @@
 //!   in. Compared byte-exactly: any drift is a determinism break, not a
 //!   perf question, and fails the gate outright.
 //!
-//! [`snapshot_all`] runs the four gated workloads — LBM collide/stream
+//! [`snapshot_all`] runs the five gated workloads — LBM collide/stream
 //! (the scalar×SIMD / 1×8-thread matrix, whose four digests must agree),
 //! the exec-pool chunk kernel, the monitor publish path (owned vs
-//! borrowed, same digest), and hub fan-out over encoding subscribers.
+//! borrowed, same digest), hub fan-out over encoding subscribers, and the
+//! checkpoint codec (full encode, delta encode, decode + restore).
 
 use gridsteer_bus::{MonitorCaps, MonitorEndpoint, MonitorError, MonitorFrame, MonitorHub};
 use serde::{Deserialize, Serialize};
@@ -44,14 +45,14 @@ pub struct GateCell {
 /// One snapshot file (`BENCH_<id>.json`).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GateReport {
-    /// Snapshot id: `lbm`, `pool`, `monitor`, `fanout`.
+    /// Snapshot id: `lbm`, `pool`, `monitor`, `fanout`, `ckpt`.
     pub id: String,
     /// Measured cells, in a fixed order.
     pub cells: Vec<GateCell>,
 }
 
-/// The four gated snapshot ids, in run order.
-pub const GATE_IDS: [&str; 4] = ["lbm", "pool", "monitor", "fanout"];
+/// The five gated snapshot ids, in run order.
+pub const GATE_IDS: [&str; 5] = ["lbm", "pool", "monitor", "fanout", "ckpt"];
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -332,9 +333,87 @@ pub fn snap_fanout() -> GateReport {
     }
 }
 
-/// Run all four gated workloads, in [`GATE_IDS`] order.
+/// The checkpoint codec over a demo-scale LBM field (32³): full-snapshot
+/// encode, delta encode after one more step, and full decode + restore.
+/// Digests fold the encoded blob bytes (full/delta) and the restored
+/// field's distribution bits (restore) — all byte-stable for a fixed
+/// field, so any drift is a codec determinism break.
+pub fn snap_ckpt() -> GateReport {
+    use gridsteer_ckpt::Snapshot;
+    const ROUNDS: usize = 8;
+    let mut sim = lbm::TwoFluidLbm::new(lbm::LbmConfig {
+        nx: 32,
+        ny: 32,
+        nz: 32,
+        threads: 1,
+        ..Default::default()
+    });
+    sim.step_n(2);
+    let mut base = Snapshot::new(0, 0);
+    sim.save_sections(&mut base);
+    sim.step_n(1);
+    let mut next = Snapshot::new(1, 1);
+    sim.save_sections(&mut next);
+    let mut cells = Vec::new();
+    // full encode
+    let blob = base.encode(); // warm-up
+    let t0 = Instant::now();
+    let mut full = blob;
+    for _ in 0..ROUNDS {
+        full = base.encode();
+    }
+    let wall_us = t0.elapsed().as_secs_f64() * 1e6 / ROUNDS as f64;
+    cells.push(GateCell {
+        cell: "encode_full_32c".into(),
+        wall_us,
+        digest: hex(fold(FNV_OFFSET, &full)),
+    });
+    // delta encode against the previous cut
+    let mut delta = next.encode_delta(&base); // warm-up
+    let t0 = Instant::now();
+    for _ in 0..ROUNDS {
+        delta = next.encode_delta(&base);
+    }
+    let wall_us = t0.elapsed().as_secs_f64() * 1e6 / ROUNDS as f64;
+    cells.push(GateCell {
+        cell: "encode_delta_32c".into(),
+        wall_us,
+        digest: hex(fold(FNV_OFFSET, &delta)),
+    });
+    // decode + restore into a fresh simulation
+    let restored = lbm::TwoFluidLbm::from_snapshot(&Snapshot::decode(&full).unwrap()).unwrap();
+    let t0 = Instant::now();
+    let mut restored = restored;
+    for _ in 0..ROUNDS {
+        let decoded = Snapshot::decode(&full).expect("gate blob decodes");
+        restored = lbm::TwoFluidLbm::from_snapshot(&decoded).expect("gate blob restores");
+    }
+    let wall_us = t0.elapsed().as_secs_f64() * 1e6 / ROUNDS as f64;
+    let ck = restored.checkpoint();
+    let mut h = FNV_OFFSET;
+    for v in ck.fa.iter().chain(ck.fb.iter()) {
+        h = fold(h, &v.to_bits().to_le_bytes());
+    }
+    cells.push(GateCell {
+        cell: "decode_restore_32c".into(),
+        wall_us,
+        digest: hex(h),
+    });
+    GateReport {
+        id: "ckpt".into(),
+        cells,
+    }
+}
+
+/// Run all five gated workloads, in [`GATE_IDS`] order.
 pub fn snapshot_all() -> Vec<GateReport> {
-    vec![snap_lbm(), snap_pool(), snap_monitor(), snap_fanout()]
+    vec![
+        snap_lbm(),
+        snap_pool(),
+        snap_monitor(),
+        snap_fanout(),
+        snap_ckpt(),
+    ]
 }
 
 // ---------------------------------------------------------------------------
@@ -425,6 +504,7 @@ mod tests {
             report("pool", &[("c", 40.0, "d3")]),
             report("monitor", &[("d", 30.0, "d4"), ("e", 20.0, "d5")]),
             report("fanout", &[("f", 60.0, "d6")]),
+            report("ckpt", &[("g", 25.0, "d7")]),
         ];
         for r in &mut reports {
             for cell in &mut r.cells {
@@ -472,6 +552,8 @@ mod tests {
         write_report(&cur, &r).unwrap();
         r = report("fanout", &[("f", 60.0, "d6")]);
         write_report(&cur, &r).unwrap();
+        r = report("ckpt", &[("g", 25.0, "d7")]);
+        write_report(&cur, &r).unwrap();
         let v = compare(&base, &cur);
         assert_eq!(v.len(), 1, "{v:?}");
         assert!(v[0].contains("digest drift"), "{}", v[0]);
@@ -490,6 +572,7 @@ mod tests {
         .unwrap();
         write_report(&cur, &report("pool", &[("c", 40.0, "d3")])).unwrap();
         write_report(&cur, &report("monitor", &[("d", 30.0, "d4")])).unwrap();
+        write_report(&cur, &report("ckpt", &[("g", 25.0, "d7")])).unwrap();
         let v = compare(&base, &cur);
         assert!(v.iter().any(|m| m.contains("cell e missing")), "{v:?}");
         assert!(

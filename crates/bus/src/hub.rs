@@ -14,6 +14,7 @@ use crate::endpoint::{Capabilities, Subscription};
 use crate::registry::{ParamRegistry, SharedRegistry};
 use crate::spec::ParamSpec;
 use crate::value::ParamValue;
+use gridsteer_ckpt::{CkptError, SectionWriter, Snapshot};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::{Arc, Weak};
@@ -187,6 +188,81 @@ impl SteerHub {
         let registry = self.registry.clone();
         self.commit_with(|_batch, cmd| registry.set_value(&cmd.param, &cmd.value))
     }
+
+    /// Serialize the full hub state — registry (specs, values, change
+    /// log, counter), staged batches, batch/commit sequence counters and
+    /// the handshake audit log — into snapshot section `name`.
+    /// Subscriber notice queues are process-local and are not
+    /// serialized: endpoints re-subscribe after a restore.
+    pub fn save_sections(&self, snap: &mut Snapshot, name: &str) {
+        let mut w = SectionWriter::new();
+        self.registry.save_into(&mut w);
+        let st = self.state.lock();
+        w.put_u64(st.next_batch);
+        w.put_u64(st.commit_seq);
+        w.put_u32(st.staged.len() as u32);
+        for b in &st.staged {
+            w.put_u64(b.seq);
+            w.put_str(&b.origin);
+            w.put_str(b.transport);
+            w.put_u32(b.commands.len() as u32);
+            for c in &b.commands {
+                crate::ckpt::put_command(&mut w, c);
+            }
+        }
+        w.put_u32(st.handshakes.len() as u32);
+        for h in &st.handshakes {
+            w.put_str(h);
+        }
+        drop(st);
+        snap.push(name, 0, w.finish());
+    }
+
+    /// Restore hub state from snapshot section `name`, replacing the
+    /// registry contents, staged batches, counters and handshake log
+    /// behind the existing shared handles — clones held by sessions and
+    /// endpoints observe the restored state. Subscribers are cleared
+    /// (their queues did not survive the process); endpoints
+    /// re-subscribe on reattach. Batch and commit numbering resume
+    /// exactly where the checkpoint cut them.
+    pub fn restore_sections(&self, snap: &Snapshot, name: &str) -> Result<(), CkptError> {
+        let mut r = snap.reader(name)?;
+        let registry = ParamRegistry::restore_from(&mut r)?;
+        let next_batch = r.get_u64()?;
+        let commit_seq = r.get_u64()?;
+        let nbatches = r.get_u32()?;
+        let mut staged = Vec::new();
+        for _ in 0..nbatches {
+            let seq = r.get_u64()?;
+            let origin = r.get_str()?;
+            let transport = crate::ckpt::intern_label(&r.get_str()?);
+            let ncmds = r.get_u32()?;
+            let mut commands = Vec::new();
+            for _ in 0..ncmds {
+                commands.push(crate::ckpt::get_command(&mut r, "staged command")?);
+            }
+            staged.push(CommandBatch {
+                seq,
+                origin,
+                transport,
+                commands,
+            });
+        }
+        let nhs = r.get_u32()?;
+        let mut handshakes = Vec::new();
+        for _ in 0..nhs {
+            handshakes.push(r.get_str()?);
+        }
+        r.expect_end()?;
+        self.registry.replace(registry);
+        let mut st = self.state.lock();
+        st.staged = staged;
+        st.next_batch = next_batch;
+        st.commit_seq = commit_seq;
+        st.handshakes = handshakes;
+        st.subscribers.clear();
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -322,6 +398,53 @@ mod tests {
             crate::endpoint::MAX_PENDING_NOTICES,
             "oldest notices must be shed at the cap"
         );
+    }
+
+    #[test]
+    fn hub_state_survives_snapshot_roundtrip() {
+        let h = hub();
+        h.record_handshake("alice", &Capabilities::full("visit", 64));
+        h.stage("alice", "visit", vec![SteerCommand::f64("gain", 2.0)])
+            .unwrap();
+        h.commit();
+        // leave one batch staged-but-uncommitted across the checkpoint
+        h.stage("bob", "ogsa", vec![SteerCommand::f64("miscibility", 0.5)])
+            .unwrap();
+        let mut snap = Snapshot::new(1, 0);
+        h.save_sections(&mut snap, "steer");
+        let snap = Snapshot::decode(&snap.encode()).unwrap();
+
+        let restored = SteerHub::default();
+        restored.restore_sections(&snap, "steer").unwrap();
+        assert_eq!(restored.describe(), h.describe());
+        assert_eq!(restored.get("gain"), Some(ParamValue::F64(2.0)));
+        assert_eq!(restored.pending(), 1, "staged batch survives");
+        assert_eq!(restored.handshakes(), h.handshakes());
+        assert_eq!(restored.registry.history(), h.registry.history());
+        // numbering resumes, not restarts: the next batch seq is unique
+        let s = restored
+            .stage("carol", "loopback", vec![SteerCommand::f64("gain", 3.0)])
+            .unwrap();
+        assert_eq!(s, 3, "two batches staged pre-checkpoint");
+        let out = restored.commit();
+        assert_eq!(out.commit, 2, "commit numbering continues");
+        assert_eq!(out.applied, 2, "staged batch applied with the new one");
+        assert_eq!(restored.get("miscibility"), Some(ParamValue::F64(0.5)));
+    }
+
+    #[test]
+    fn restore_rejects_missing_section_and_truncation() {
+        let h = hub();
+        let mut snap = Snapshot::new(1, 0);
+        h.save_sections(&mut snap, "steer");
+        assert!(matches!(
+            h.restore_sections(&snap, "ghost"),
+            Err(CkptError::MissingSection { .. })
+        ));
+        let body = snap.section("steer").unwrap();
+        let mut cut = Snapshot::new(1, 0);
+        cut.push("steer", 0, body[..body.len() - 4].to_vec());
+        assert!(h.restore_sections(&cut, "steer").is_err());
     }
 
     #[test]

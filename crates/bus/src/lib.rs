@@ -42,6 +42,7 @@
 //! [`MonitorFrame`]s fanned out by a [`MonitorHub`] to capability-
 //! negotiated [`MonitorEndpoint`] subscribers.
 
+pub mod ckpt;
 pub mod command;
 pub mod covise_ep;
 pub mod endpoint;

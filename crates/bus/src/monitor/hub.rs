@@ -18,6 +18,7 @@
 
 use crate::monitor::endpoint::{FrameBytesCell, FrameChunk, MonitorCaps, MonitorEndpoint};
 use crate::monitor::frame::{MonitorFrame, MonitorPayload};
+use gridsteer_ckpt::{CkptError, SectionWriter, Snapshot};
 use parking_lot::Mutex;
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -300,6 +301,105 @@ impl MonitorHub {
             .find(|s| s.name == name)
             .map(|s| s.stats)
     }
+
+    /// Serialize the full hub state — sequence counters, handshake audit
+    /// log, and every subscriber's negotiated caps, decimation phase,
+    /// send budget, keyframe bookkeeping and delivery statistics — into
+    /// snapshot section `name`. Endpoint objects themselves are
+    /// process-local middleware handles and are not serialized; restore
+    /// rebuilds them through a resolver.
+    pub fn save_sections(&self, snap: &mut Snapshot, name: &str) {
+        let mut w = SectionWriter::new();
+        let st = self.state.lock();
+        w.put_u64(st.next_seq);
+        w.put_u64(st.published);
+        w.put_u32(st.handshakes.len() as u32);
+        for h in &st.handshakes {
+            w.put_str(h);
+        }
+        w.put_u32(st.subs.len() as u32);
+        for sub in &st.subs {
+            w.put_str(&sub.name);
+            crate::ckpt::put_caps(&mut w, &sub.caps);
+            w.put_u64(sub.admissible);
+            w.put_bool(sub.budget.is_some());
+            w.put_u64(sub.budget.unwrap_or(0) as u64);
+            w.put_u32(sub.keyframes_served.len() as u32);
+            for c in &sub.keyframes_served {
+                w.put_str(c);
+            }
+            let s = &sub.stats;
+            for v in [s.delivered, s.decimated, s.filtered, s.errors, s.shed] {
+                w.put_u64(v);
+            }
+        }
+        drop(st);
+        snap.push(name, 0, w.finish());
+    }
+
+    /// Restore hub state from snapshot section `name`. The `resolver`
+    /// builds a fresh endpoint per `(subscriber name, saved caps)`; the
+    /// endpoint negotiates against the saved caps and the *saved* set
+    /// then stands as the subscriber's negotiated result. Restore pushes
+    /// no new handshake lines and perturbs no counters, so a restored
+    /// hub's delivery schedule (decimation phase, sequence numbers,
+    /// per-subscriber stats) continues exactly where the checkpoint cut
+    /// it — that is what keeps a crashed-and-restored scenario digest
+    /// byte-identical to an uncrashed one.
+    pub fn restore_sections(
+        &self,
+        snap: &Snapshot,
+        name: &str,
+        resolver: &mut dyn FnMut(&str, &MonitorCaps) -> Box<dyn MonitorEndpoint>,
+    ) -> Result<(), CkptError> {
+        let mut r = snap.reader(name)?;
+        let next_seq = r.get_u64()?;
+        let published = r.get_u64()?;
+        let nhs = r.get_u32()?;
+        let mut handshakes = Vec::new();
+        for _ in 0..nhs {
+            handshakes.push(r.get_str()?);
+        }
+        let nsubs = r.get_u32()?;
+        let mut subs = Vec::new();
+        for _ in 0..nsubs {
+            let sub_name = r.get_str()?;
+            let caps = crate::ckpt::get_caps(&mut r)?;
+            let admissible = r.get_u64()?;
+            let has_budget = r.get_bool()?;
+            let budget_raw = r.get_u64()?;
+            let nkf = r.get_u32()?;
+            let mut keyframes_served = BTreeSet::new();
+            for _ in 0..nkf {
+                keyframes_served.insert(r.get_str()?);
+            }
+            let stats = MonitorStats {
+                delivered: r.get_u64()?,
+                decimated: r.get_u64()?,
+                filtered: r.get_u64()?,
+                errors: r.get_u64()?,
+                shed: r.get_u64()?,
+            };
+            let mut ep = resolver(&sub_name, &caps);
+            ep.negotiate(&caps);
+            subs.push(SubEntry {
+                name: sub_name,
+                ep,
+                caps,
+                admissible,
+                budget: has_budget.then_some(budget_raw as usize),
+                keyframes_served,
+                stats,
+            });
+        }
+        r.expect_end()?;
+        let mut st = self.state.lock();
+        st.subs = subs;
+        st.next_seq = next_seq;
+        st.published = published;
+        st.handshakes = handshakes;
+        Ok(())
+    }
 }
 
 /// Fan a frame batch out to every subscriber: filter by negotiated kinds,
@@ -564,6 +664,74 @@ mod tests {
         let got = relay.recv("child");
         assert_eq!(got, upstream, "seq numbers survive the relay tier");
         assert_eq!(relay.frames_published(), 2);
+    }
+
+    #[test]
+    fn restored_hub_continues_the_delivery_schedule_exactly() {
+        // an uninterrupted hub is the reference
+        let reference = MonitorHub::new();
+        let caps = MonitorCaps::full("viewer", 64).every(2);
+        reference.attach_endpoint("v", Box::new(LoopbackMonitor::new()), &caps);
+        let publish_phase = |hub: &MonitorHub, base: u64| {
+            for i in 0..5u64 {
+                hub.publish(base + i, MonitorPayload::scalar("x", (base + i) as f64));
+            }
+        };
+        publish_phase(&reference, 0);
+
+        // the checkpointed hub publishes the same first phase, snapshots,
+        // restores into a *fresh* hub, then publishes the second phase
+        let before = MonitorHub::new();
+        before.attach_endpoint("v", Box::new(LoopbackMonitor::new()), &caps);
+        publish_phase(&before, 0);
+        assert!(before.take_keyframe_request("x"), "first request pends");
+        let drained_before = before.recv("v");
+        let mut snap = Snapshot::new(1, 0);
+        before.save_sections(&mut snap, "mon");
+        let snap = Snapshot::decode(&snap.encode()).unwrap();
+        let restored = MonitorHub::new();
+        restored
+            .restore_sections(&snap, "mon", &mut |_, _| Box::new(LoopbackMonitor::new()))
+            .unwrap();
+
+        publish_phase(&reference, 5);
+        publish_phase(&restored, 5);
+        assert_eq!(restored.handshakes(), reference.handshakes());
+        assert_eq!(restored.stats_of("v"), reference.stats_of("v"));
+        assert_eq!(restored.frames_published(), reference.frames_published());
+        // decimation phase survived: drained frames concatenate to the
+        // reference's uninterrupted stream
+        let mut all = drained_before;
+        all.extend(restored.recv("v"));
+        assert_eq!(all, reference.recv("v"));
+        assert!(
+            !restored.take_keyframe_request("x"),
+            "restored subscriber keeps its served-keyframe state"
+        );
+    }
+
+    #[test]
+    fn restore_rejects_bad_caps_kind_byte() {
+        let hub = hub_with(&["v"]);
+        let mut snap = Snapshot::new(1, 0);
+        hub.save_sections(&mut snap, "mon");
+        // poison every byte in turn; decode must fail typed, never panic
+        let body = snap.section("mon").unwrap().to_vec();
+        let mut saw_err = false;
+        for i in 0..body.len() {
+            let mut poisoned = body.clone();
+            poisoned[i] = 0xff;
+            let mut s = Snapshot::new(1, 0);
+            s.push("mon", 0, poisoned);
+            let fresh = MonitorHub::new();
+            if fresh
+                .restore_sections(&s, "mon", &mut |_, _| Box::new(LoopbackMonitor::new()))
+                .is_err()
+            {
+                saw_err = true;
+            }
+        }
+        assert!(saw_err, "no poisoned byte produced a typed error");
     }
 
     #[test]

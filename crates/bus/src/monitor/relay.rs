@@ -35,6 +35,7 @@
 use crate::monitor::endpoint::{check_delivery, MonitorCaps, MonitorEndpoint, MonitorError};
 use crate::monitor::frame::{MonitorFrame, MonitorPayload};
 use crate::monitor::hub::{MonitorHub, MonitorStats};
+use gridsteer_ckpt::{CkptError, SectionWriter, Snapshot};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -260,6 +261,88 @@ impl RelayHub {
             shed: self.children.stats().iter().map(|(_, s)| s.shed).sum(),
             keyframes_served: core.keyframes_served,
         }
+    }
+
+    /// Serialize this tier's state under `prefix`: `{prefix}/core` holds
+    /// the forwarding policy, decimation phase, keyframe cache, unpumped
+    /// ingress frames and accounting counters; `{prefix}/children` holds
+    /// the child hub (names, caps, schedules — see
+    /// [`MonitorHub::save_sections`]). Scenarios run several relays, so
+    /// the prefix keeps their sections distinct.
+    pub fn save_sections(&self, snap: &mut Snapshot, prefix: &str) {
+        let mut w = SectionWriter::new();
+        let core = self.core.lock();
+        w.put_u32(core.policy.deliver_every);
+        w.put_bool(core.policy.default_child_budget.is_some());
+        w.put_u64(core.policy.default_child_budget.unwrap_or(0) as u64);
+        w.put_u64(core.admissible);
+        w.put_u64(core.ingested);
+        w.put_u64(core.forwarded);
+        w.put_u64(core.decimated);
+        w.put_u64(core.keyframes_served);
+        w.put_u32(core.ingress.len() as u32);
+        for f in &core.ingress {
+            crate::ckpt::put_frame(&mut w, f);
+        }
+        w.put_u32(core.cache.len() as u32);
+        for f in core.cache.values() {
+            crate::ckpt::put_frame(&mut w, f);
+        }
+        drop(core);
+        snap.push(&format!("{prefix}/core"), 0, w.finish());
+        self.children
+            .save_sections(snap, &format!("{prefix}/children"));
+    }
+
+    /// Restore this tier from the `{prefix}/…` sections, rebuilding
+    /// child endpoints through `resolver` (see
+    /// [`MonitorHub::restore_sections`]). The keyframe cache comes back
+    /// intact, so a late joiner attaching *after* a restore is still
+    /// served at the edge without a request travelling upstream.
+    pub fn restore_sections(
+        &self,
+        snap: &Snapshot,
+        prefix: &str,
+        resolver: &mut dyn FnMut(&str, &MonitorCaps) -> Box<dyn MonitorEndpoint>,
+    ) -> Result<(), CkptError> {
+        let section = format!("{prefix}/core");
+        let mut r = snap.reader(&section)?;
+        let deliver_every = r.get_u32()?;
+        let has_budget = r.get_bool()?;
+        let budget_raw = r.get_u64()?;
+        let policy = RelayPolicy {
+            deliver_every,
+            default_child_budget: has_budget.then_some(budget_raw as usize),
+        };
+        let admissible = r.get_u64()?;
+        let ingested = r.get_u64()?;
+        let forwarded = r.get_u64()?;
+        let decimated = r.get_u64()?;
+        let keyframes_served = r.get_u64()?;
+        let ningress = r.get_u32()?;
+        let mut ingress = Vec::new();
+        for _ in 0..ningress {
+            ingress.push(crate::ckpt::get_frame(&mut r, "relay ingress frame")?);
+        }
+        let ncache = r.get_u32()?;
+        let mut cache = BTreeMap::new();
+        for _ in 0..ncache {
+            let f = crate::ckpt::get_frame(&mut r, "relay cached keyframe")?;
+            cache.insert(f.payload.name().to_string(), f);
+        }
+        r.expect_end()?;
+        self.children
+            .restore_sections(snap, &format!("{prefix}/children"), resolver)?;
+        let mut core = self.core.lock();
+        core.policy = policy;
+        core.admissible = admissible;
+        core.ingested = ingested;
+        core.forwarded = forwarded;
+        core.decimated = decimated;
+        core.keyframes_served = keyframes_served;
+        core.ingress = ingress;
+        core.cache = cache;
+        Ok(())
     }
 }
 
@@ -490,6 +573,50 @@ mod tests {
         assert_eq!(relay.pump(), 1);
         assert_eq!(relay.recv_child("leaf").len(), 1);
         assert_eq!(relay.pump(), 0, "ingress drained");
+    }
+
+    #[test]
+    fn restored_relay_keeps_cache_schedule_and_counters() {
+        let origin = MonitorHub::new();
+        let relay = RelayHub::new(RelayPolicy {
+            deliver_every: 2,
+            default_child_budget: Some(8),
+        });
+        relay.attach_to(&origin, "r");
+        relay.attach_child("leaf", Box::new(LoopbackMonitor::new()), &viewer_caps());
+        for i in 0..5u64 {
+            origin.publish(i, scalar(i as f64));
+        }
+        origin.publish(5, viz_frame(true, 7));
+        relay.pump();
+        let _ = relay.recv_child("leaf");
+        // one frame delivered through the uplink but not yet pumped —
+        // the checkpoint must carry it or the restored run loses it
+        origin.publish(6, scalar(6.0));
+
+        let mut snap = gridsteer_ckpt::Snapshot::new(1, 0);
+        relay.save_sections(&mut snap, "relay/r0");
+        let snap = gridsteer_ckpt::Snapshot::decode(&snap.encode()).unwrap();
+        let restored = RelayHub::new(RelayPolicy::default());
+        restored
+            .restore_sections(&snap, "relay/r0", &mut |_, _| {
+                Box::new(LoopbackMonitor::new())
+            })
+            .unwrap();
+
+        assert_eq!(restored.report(), relay.report());
+        assert_eq!(restored.cached_channels(), relay.cached_channels());
+        assert_eq!(restored.children_count(), 1);
+        assert_eq!(restored.handshakes(), relay.handshakes());
+        // the unpumped ingress frame survives and fans out after restore
+        relay.pump();
+        restored.pump();
+        assert_eq!(restored.recv_child("leaf"), relay.recv_child("leaf"));
+        assert_eq!(restored.report(), relay.report());
+        // a late joiner is still served from the restored edge cache
+        restored.attach_child("late", Box::new(LoopbackMonitor::new()), &viewer_caps());
+        let got = restored.recv_child("late");
+        assert_eq!(got.len(), restored.cached_channels().len());
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use crate::spec::ParamSpec;
 use crate::value::ParamValue;
+use gridsteer_ckpt::{CkptError, SectionReader, SectionWriter};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -86,6 +87,53 @@ impl ParamRegistry {
     pub fn seq(&self) -> u64 {
         self.seq
     }
+
+    /// Serialize specs, current values, the change log and the change
+    /// counter into a section body (checkpoint path — see
+    /// [`SteerHub::save_sections`](crate::SteerHub::save_sections)).
+    pub fn save_into(&self, w: &mut SectionWriter) {
+        w.put_u32(self.specs.len() as u32);
+        for spec in self.specs.values() {
+            crate::ckpt::put_spec(w, spec);
+        }
+        w.put_u32(self.values.len() as u32);
+        for (name, v) in &self.values {
+            w.put_str(name);
+            crate::ckpt::put_value(w, v);
+        }
+        w.put_u32(self.history.len() as u32);
+        for (seq, name, v) in &self.history {
+            w.put_u64(*seq);
+            w.put_str(name);
+            crate::ckpt::put_value(w, v);
+        }
+        w.put_u64(self.seq);
+    }
+
+    /// Decode the [`save_into`](ParamRegistry::save_into) layout back
+    /// into a registry. Values and history are restored verbatim —
+    /// *not* re-declared through [`declare`](ParamRegistry::declare),
+    /// which would reset values to their initials.
+    pub fn restore_from(r: &mut SectionReader<'_>) -> Result<ParamRegistry, CkptError> {
+        let mut reg = ParamRegistry::new();
+        for _ in 0..r.get_u32()? {
+            let spec = crate::ckpt::get_spec(r)?;
+            reg.specs.insert(spec.name.clone(), spec);
+        }
+        for _ in 0..r.get_u32()? {
+            let name = r.get_str()?;
+            let v = crate::ckpt::get_value(r, "registry value")?;
+            reg.values.insert(name, v);
+        }
+        for _ in 0..r.get_u32()? {
+            let seq = r.get_u64()?;
+            let name = r.get_str()?;
+            let v = crate::ckpt::get_value(r, "registry history")?;
+            reg.history.push((seq, name, v));
+        }
+        reg.seq = r.get_u64()?;
+        Ok(reg)
+    }
 }
 
 /// A cloneable, internally-locked handle to one shared [`ParamRegistry`]
@@ -149,6 +197,17 @@ impl SharedRegistry {
     pub fn seq(&self) -> u64 {
         self.inner.lock().seq()
     }
+
+    /// Serialize the registry into a section body (checkpoint path).
+    pub fn save_into(&self, w: &mut SectionWriter) {
+        self.inner.lock().save_into(w);
+    }
+
+    /// Replace the registry contents behind this shared handle (restore
+    /// path) — every clone observes the restored state.
+    pub fn replace(&self, registry: ParamRegistry) {
+        *self.inner.lock() = registry;
+    }
 }
 
 #[cfg(test)]
@@ -209,6 +268,34 @@ mod tests {
         assert_eq!(shared.get_value("x"), Some(ParamValue::F64(0.75)));
         assert_eq!(shared.seq(), 1);
         assert_eq!(shared.spec("x").unwrap().policy, BoundsPolicy::Reject);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_values_history_and_seq() {
+        let mut r = ParamRegistry::new();
+        r.declare(ParamSpec::f64("miscibility", 0.0, 1.0, 1.0));
+        r.declare(ParamSpec::text("site", "london"));
+        r.set_value("miscibility", &ParamValue::F64(0.25)).unwrap();
+        r.set_value("site", &ParamValue::Str("phoenix".into()))
+            .unwrap();
+        let mut w = SectionWriter::new();
+        r.save_into(&mut w);
+        let body = w.finish();
+        let mut rd = SectionReader::new(&body, "registry");
+        let back = ParamRegistry::restore_from(&mut rd).unwrap();
+        rd.expect_end().unwrap();
+        assert_eq!(back.specs(), r.specs());
+        assert_eq!(back.history(), r.history());
+        assert_eq!(back.seq(), r.seq());
+        assert_eq!(
+            back.get_value("miscibility"),
+            Some(&ParamValue::F64(0.25)),
+            "restored value is the steered one, not the initial"
+        );
+        assert_eq!(
+            back.get_value("site"),
+            Some(&ParamValue::Str("phoenix".into()))
+        );
     }
 
     /// The typed API preserves what the removed f64 shims threw away:

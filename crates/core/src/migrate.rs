@@ -8,7 +8,14 @@
 //! at the destination — and report the *frame gap* the participating
 //! clients would observe (experiment EM1 checks it against the §4.4
 //! budget).
+//!
+//! The transfer artifact is a [`gridsteer_ckpt::Snapshot`] — the same
+//! versioned, endianness-explicit format crash recovery uses — so the
+//! moved byte count is the *actual* encoded size (magic, version,
+//! section framing and all), not an estimate, and the destination
+//! restores through the same validated decode path as a crash restore.
 
+use gridsteer_ckpt::Snapshot;
 use lbm::TwoFluidLbm;
 use netsim::{NetModel, SimTime, SiteId};
 
@@ -57,14 +64,18 @@ impl<'a> Migrator<'a> {
         from: SiteId,
         to: SiteId,
     ) -> (TwoFluidLbm, MigrationReport) {
-        let ck = sim.checkpoint();
-        let bytes = ck.byte_size();
+        let mut snap = Snapshot::new(0, 0);
+        sim.save_sections(&mut snap);
+        let blob = snap.encode();
+        let bytes = blob.len();
         let mut link = self.net.link(from, to);
         let transfer_done = link
             .deliver(SimTime::ZERO, bytes)
             .unwrap_or_else(|| link.nominal_arrival(SimTime::ZERO, bytes));
         let frame_gap = transfer_done + self.restart_overhead;
-        let resumed = TwoFluidLbm::from_checkpoint(ck);
+        let shipped = Snapshot::decode(&blob).expect("self-encoded snapshot must decode");
+        let resumed =
+            TwoFluidLbm::from_snapshot(&shipped).expect("self-saved sections must restore");
         (
             resumed,
             MigrationReport {

@@ -9,6 +9,7 @@
 
 use crate::params::{ParamRegistry, ParamValue, SharedRegistry};
 use gridsteer_bus::SteerCommand;
+use gridsteer_ckpt::{CkptError, SectionReader, SectionWriter, Snapshot};
 use netsim::SimTime;
 
 /// What a participant may do.
@@ -307,6 +308,86 @@ impl SteeringSession {
         &self.events
     }
 
+    /// Serialize the session — participants (names, roles, seniority,
+    /// per-participant sample counts), the audit log, and the sample /
+    /// join / fan-out counters — into snapshot section `name`. The
+    /// parameter registry is *not* serialized here: it is shared with
+    /// the steering hub, which owns its checkpoint section.
+    pub fn save_sections(&self, snap: &mut Snapshot, name: &str) {
+        let mut w = SectionWriter::new();
+        w.put_u64(self.sample_seq);
+        w.put_u64(self.join_counter);
+        w.put_u64(self.fanout_bytes);
+        w.put_u32(self.participants.len() as u32);
+        for p in &self.participants {
+            w.put_str(&p.name);
+            w.put_u8(match p.role {
+                Role::Master => 0,
+                Role::Steerer => 1,
+                Role::Viewer => 2,
+            });
+            w.put_u64(p.samples_received);
+            w.put_u64(p.joined_seq);
+        }
+        w.put_u32(self.events.len() as u32);
+        for e in &self.events {
+            put_event(&mut w, e);
+        }
+        snap.push(name, 0, w.finish());
+    }
+
+    /// Rebuild a session from snapshot section `name` around `params`
+    /// (the restored hub's shared registry, so the session and the bus
+    /// stay one authority). Roles, seniority, the audit log and every
+    /// counter resume exactly where the checkpoint cut them — a
+    /// rejoining participant still gets a fresh `joined_seq`, and the
+    /// next sample broadcast continues the sequence.
+    pub fn restore_sections(
+        snap: &Snapshot,
+        name: &str,
+        params: SharedRegistry,
+    ) -> Result<SteeringSession, CkptError> {
+        let mut r = snap.reader(name)?;
+        let sample_seq = r.get_u64()?;
+        let join_counter = r.get_u64()?;
+        let fanout_bytes = r.get_u64()?;
+        let nparts = r.get_u32()?;
+        let mut participants = Vec::new();
+        for _ in 0..nparts {
+            let pname = r.get_str()?;
+            let role = match r.get_u8()? {
+                0 => Role::Master,
+                1 => Role::Steerer,
+                2 => Role::Viewer,
+                _ => {
+                    return Err(CkptError::Corrupt {
+                        context: format!("session {name}: role byte"),
+                    })
+                }
+            };
+            participants.push(Participant {
+                name: pname,
+                role,
+                samples_received: r.get_u64()?,
+                joined_seq: r.get_u64()?,
+            });
+        }
+        let nevents = r.get_u32()?;
+        let mut events = Vec::new();
+        for _ in 0..nevents {
+            events.push(get_event(&mut r, name)?);
+        }
+        r.expect_end()?;
+        Ok(SteeringSession {
+            participants,
+            params,
+            events,
+            sample_seq,
+            join_counter,
+            fanout_bytes,
+        })
+    }
+
     /// §4.4's tolerance rule: the acceptable simulation-loop delay is
     /// ~60 s, and "this tolerance can even be increased if intermediate
     /// results … are displayed in-between". Returns the effective budget
@@ -320,6 +401,71 @@ impl SteeringSession {
             base
         }
     }
+}
+
+fn put_event(w: &mut SectionWriter, e: &SessionEvent) {
+    match e {
+        SessionEvent::Joined(name) => {
+            w.put_u8(0);
+            w.put_str(name);
+        }
+        SessionEvent::Left(name) => {
+            w.put_u8(1);
+            w.put_str(name);
+        }
+        SessionEvent::MasterPassed { from, to } => {
+            w.put_u8(2);
+            w.put_str(from);
+            w.put_str(to);
+        }
+        SessionEvent::Steered { who, param, value } => {
+            w.put_u8(3);
+            w.put_str(who);
+            w.put_str(param);
+            gridsteer_bus::ckpt::put_value(w, value);
+        }
+        SessionEvent::SteerRefused { who, param, reason } => {
+            w.put_u8(4);
+            w.put_str(who);
+            w.put_str(param);
+            w.put_str(reason);
+        }
+        SessionEvent::SampleBroadcast { seq, bytes } => {
+            w.put_u8(5);
+            w.put_u64(*seq);
+            w.put_u64(*bytes as u64);
+        }
+    }
+}
+
+fn get_event(r: &mut SectionReader<'_>, section: &str) -> Result<SessionEvent, CkptError> {
+    Ok(match r.get_u8()? {
+        0 => SessionEvent::Joined(r.get_str()?),
+        1 => SessionEvent::Left(r.get_str()?),
+        2 => SessionEvent::MasterPassed {
+            from: r.get_str()?,
+            to: r.get_str()?,
+        },
+        3 => SessionEvent::Steered {
+            who: r.get_str()?,
+            param: r.get_str()?,
+            value: gridsteer_bus::ckpt::get_value(r, "session event value")?,
+        },
+        4 => SessionEvent::SteerRefused {
+            who: r.get_str()?,
+            param: r.get_str()?,
+            reason: r.get_str()?,
+        },
+        5 => SessionEvent::SampleBroadcast {
+            seq: r.get_u64()?,
+            bytes: r.get_u64()? as usize,
+        },
+        _ => {
+            return Err(CkptError::Corrupt {
+                context: format!("session {section}: event tag"),
+            })
+        }
+    })
 }
 
 #[cfg(test)]
@@ -564,6 +710,57 @@ mod tests {
         assert_eq!(s.master(), None);
         s.leave(0); // no panic
         assert!(s.steer(0, "miscibility", 0.5).is_err());
+    }
+
+    #[test]
+    fn session_survives_snapshot_roundtrip_and_resumes_numbering() {
+        let mut s = session();
+        let a = s.join("a");
+        let b = s.join("b");
+        s.steer(a, "miscibility", 0.4).unwrap();
+        assert!(s.steer(b, "miscibility", 0.1).is_err());
+        s.pass_master(a, b);
+        s.broadcast_sample(512);
+        s.leave_by_name("a");
+
+        let mut snap = Snapshot::new(1, 0);
+        s.save_sections(&mut snap, "session/main");
+        let snap = Snapshot::decode(&snap.encode()).unwrap();
+        let mut restored =
+            SteeringSession::restore_sections(&snap, "session/main", s.params.clone()).unwrap();
+
+        assert_eq!(restored.len(), 1);
+        assert_eq!(restored.master(), restored.index_of("b"));
+        assert_eq!(restored.events(), s.events());
+        assert_eq!(restored.fanout_bytes, s.fanout_bytes);
+        // counters resume, not restart
+        assert_eq!(restored.broadcast_sample(100), 2);
+        let idx = restored.join("a");
+        let rejoined = restored.participant(idx).unwrap();
+        assert_eq!(rejoined.joined_seq, 2, "join counter survived the restore");
+        assert_eq!(rejoined.role, Role::Viewer, "b still holds the token");
+    }
+
+    #[test]
+    fn session_restore_rejects_bad_role_and_event_tags() {
+        let s = session();
+        let mut snap = Snapshot::new(1, 0);
+        s.save_sections(&mut snap, "session/main");
+        let body = snap.section("session/main").unwrap().to_vec();
+        let mut poisoned = Snapshot::new(1, 0);
+        // truncating mid-structure is a typed error, never a panic
+        poisoned.push(
+            "session/main",
+            0,
+            body[..body.len().saturating_sub(2)].to_vec(),
+        );
+        assert!(
+            SteeringSession::restore_sections(&poisoned, "session/main", s.params.clone()).is_err()
+        );
+        assert!(matches!(
+            SteeringSession::restore_sections(&poisoned, "ghost", s.params.clone()),
+            Err(CkptError::MissingSection { .. })
+        ));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! LB two-fluid mixture (§2.2) and the PEPC plasma (§3.4) — behind one
 //! object-safe trait so scenarios are written once and run against either.
 
+use gridsteer_ckpt::{CkptError, Snapshot};
 use gridsteer_exec::ExecPool;
 use lbm::{LbmConfig, TwoFluidLbm};
 use pepc::{PepcConfig, PepcSim};
@@ -47,12 +48,29 @@ pub trait ScenarioBackend {
     /// Size of one sample on the wire, in bytes.
     fn sample_bytes(&self) -> usize;
 
-    /// Checkpoint the state and restore from that checkpoint, returning the
-    /// checkpoint size in bytes. For backends with real checkpoints (LBM)
-    /// this round-trips the state — proving a migration moves *state*, not
-    /// just accounting; backends without one return the wire size of their
-    /// full state (cost model only).
-    fn checkpoint_roundtrip(&mut self) -> usize;
+    /// Serialize the backend's full simulation state into the snapshot
+    /// (the `gridsteer_ckpt` versioned format — float fields as raw bits,
+    /// so a restore is bit-exact).
+    fn save_sections(&self, snap: &mut Snapshot);
+
+    /// Replace the simulation state with the snapshot's, keeping the
+    /// scenario's executor pool. Typed error on a corrupt or mismatched
+    /// snapshot; the live state is untouched on failure.
+    fn restore_sections(&mut self, snap: &Snapshot) -> Result<(), CkptError>;
+
+    /// Checkpoint the state through the snapshot wire format — encode,
+    /// decode, restore — and return the encoded size in bytes. Both
+    /// backends round-trip their real state (the migration cost model
+    /// moves the same bytes a crash recovery would).
+    fn checkpoint_roundtrip(&mut self) -> usize {
+        let mut snap = Snapshot::new(0, 0);
+        self.save_sections(&mut snap);
+        let blob = snap.encode();
+        let decoded = Snapshot::decode(&blob).expect("self-encoded snapshot decodes");
+        self.restore_sections(&decoded)
+            .expect("self-saved snapshot restores");
+        blob.len()
+    }
 
     /// Monotone progress counter (simulation steps taken).
     fn progress(&self) -> u64;
@@ -60,9 +78,7 @@ pub trait ScenarioBackend {
 
 /// The LB two-fluid mixture with the miscibility steering parameter.
 pub struct LbmBackend {
-    // Option so checkpoint_roundtrip can move the sim through its
-    // by-value checkpoint/restore API.
-    sim: Option<TwoFluidLbm>,
+    sim: TwoFluidLbm,
     monitor: GenericMonitorAdapter<TwoFluidLbm>,
 }
 
@@ -70,14 +86,14 @@ impl LbmBackend {
     /// A backend over a fresh simulation.
     pub fn new(cfg: LbmConfig) -> Self {
         LbmBackend {
-            sim: Some(TwoFluidLbm::new(cfg)),
+            sim: TwoFluidLbm::new(cfg),
             monitor: GenericMonitorAdapter::new(),
         }
     }
 
     /// The underlying simulation.
     pub fn sim(&self) -> &TwoFluidLbm {
-        self.sim.as_ref().expect("sim present outside checkpoint")
+        &self.sim
     }
 }
 
@@ -87,7 +103,7 @@ impl ScenarioBackend for LbmBackend {
     }
 
     fn set_pool(&mut self, pool: Arc<ExecPool>) {
-        self.sim.as_mut().expect("sim present").set_pool(pool);
+        self.sim.set_pool(pool);
     }
 
     fn param_specs(&self) -> Vec<ParamSpec> {
@@ -96,39 +112,35 @@ impl ScenarioBackend for LbmBackend {
 
     fn apply_steer(&mut self, param: &str, value: &ParamValue) {
         // unknown names were already refused by the registry; ignore them
-        let _ = self.sim.as_mut().unwrap().write(param, value);
+        let _ = self.sim.write(param, value);
     }
 
     fn advance(&mut self, steps: usize) {
-        self.sim.as_mut().unwrap().step_n(steps);
+        self.sim.step_n(steps);
     }
 
     fn publish_monitor(&mut self, hub: &MonitorHub) -> u64 {
-        self.monitor
-            .publish(self.sim.as_ref().expect("sim present"), hub)
+        self.monitor.publish(&self.sim, hub)
     }
 
     fn sample_bytes(&self) -> usize {
         // one f32 order-parameter scalar per node — what the Figure-1
         // pipeline ships to the isosurface stage
-        let (nx, ny, nz) = self.sim().dims();
+        let (nx, ny, nz) = self.sim.dims();
         nx * ny * nz * 4
     }
 
-    fn checkpoint_roundtrip(&mut self) -> usize {
-        let sim = self.sim.take().expect("sim present");
-        let pool = sim.pool().clone();
-        let ck = sim.checkpoint();
-        let bytes = ck.byte_size();
-        let mut restored = TwoFluidLbm::from_checkpoint(ck);
+    fn save_sections(&self, snap: &mut Snapshot) {
+        self.sim.save_sections(snap);
+    }
+
+    fn restore_sections(&mut self, snap: &Snapshot) -> Result<(), CkptError> {
         // the restored run keeps dispatching on the scenario's pool
-        restored.set_pool(pool);
-        self.sim = Some(restored);
-        bytes
+        self.sim.restore_sections(snap)
     }
 
     fn progress(&self) -> u64 {
-        self.sim().steps()
+        self.sim.steps()
     }
 }
 
@@ -187,10 +199,12 @@ impl ScenarioBackend for PepcBackend {
         self.sim.len() * PEPC_PARTICLE_BYTES
     }
 
-    fn checkpoint_roundtrip(&mut self) -> usize {
-        // PEPC has no checkpoint/restore API; the full particle set is the
-        // state that would move, so its wire size is the transfer cost.
-        self.sim.len() * PEPC_PARTICLE_BYTES
+    fn save_sections(&self, snap: &mut Snapshot) {
+        self.sim.save_sections(snap);
+    }
+
+    fn restore_sections(&mut self, snap: &Snapshot) -> Result<(), CkptError> {
+        self.sim.restore_sections(snap)
     }
 
     fn progress(&self) -> u64 {
@@ -266,9 +280,31 @@ mod tests {
     fn pepc_backend_sample_scales_with_particles() {
         let mut b = PepcBackend::new(tiny_pepc());
         assert_eq!(b.sample_bytes(), b.sim().len() * PEPC_PARTICLE_BYTES);
-        assert_eq!(b.checkpoint_roundtrip(), b.sample_bytes());
         b.advance(2);
         assert_eq!(b.progress(), 2);
+    }
+
+    #[test]
+    fn pepc_checkpoint_roundtrip_preserves_state() {
+        // PEPC now round-trips its real particle state through the
+        // snapshot format, just like LBM — a migration moves the same
+        // bytes a crash recovery would, not a wire-size estimate.
+        let mut b = PepcBackend::new(tiny_pepc());
+        b.apply_steer("damping", &ParamValue::F64(0.4));
+        b.advance(3);
+        let before: Vec<_> = b.sim().particles().to_vec();
+        let bytes = b.checkpoint_roundtrip();
+        assert!(bytes > b.sample_bytes(), "snapshot carries full f64 state");
+        assert_eq!(b.progress(), 3);
+        assert_eq!(b.sim().params().damping, 0.4);
+        assert_eq!(b.sim().particles(), &before[..]);
+        // the restored sim keeps stepping bit-identically to a twin
+        let mut twin = PepcBackend::new(tiny_pepc());
+        twin.apply_steer("damping", &ParamValue::F64(0.4));
+        twin.advance(3);
+        b.advance(3);
+        twin.advance(3);
+        assert_eq!(b.sim().particles(), twin.sim().particles());
     }
 
     #[test]

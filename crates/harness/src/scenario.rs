@@ -54,9 +54,10 @@
 use crate::backend::{LbmBackend, PepcBackend, ScenarioBackend};
 use crate::report::{MigrationRecord, RelayRecord, ScenarioReport, ViewerRecord};
 use gridsteer_bus::{
-    Capabilities, LoopbackMonitor, MonitorCaps, MonitorHub, MonitorStats, RelayHub, RelayPolicy,
-    SteerCommand, SteerEndpoint, SteerHub, Transport,
+    Capabilities, LoopbackMonitor, MonitorCaps, MonitorEndpoint, MonitorHub, MonitorStats,
+    RelayHub, RelayPolicy, SteerCommand, SteerEndpoint, SteerHub, Transport,
 };
+use gridsteer_ckpt::Snapshot;
 use lbm::LbmConfig;
 use netsim::{EventQueue, FaultyLink, Link, NetModel, SimTime};
 use pepc::PepcConfig;
@@ -166,6 +167,22 @@ pub enum Action {
         /// Relay tier to attach under (`None` = the origin hub).
         relay: Option<String>,
     },
+    /// The simulation process dies: backend, steer hub, sessions and
+    /// monitor hubs are lost; sample ticks black out (counted in
+    /// `broadcasts_skipped`) until a [`Action::Restore`]. The crash
+    /// itself is deliberately silent — no engine event, no counter — so
+    /// that a recovery from an up-to-date checkpoint leaves the report
+    /// byte-identical to an uncrashed run.
+    Crash,
+    /// Restart from the latest checkpoint chain (requires
+    /// [`Scenario::checkpoint_every`]): the full snapshot plus every
+    /// delta is decoded and the whole process state — backend fields,
+    /// steer hub, session shards, monitor hub, relay tiers — is rebuilt
+    /// from it. Steering clients and viewers reconnect over their
+    /// declared transports; sequence numbering and delivery schedules
+    /// resume exactly where the checkpoint cut them. Panics if no crash
+    /// is in progress or no checkpoint was ever cut (builder misuse).
+    Restore,
 }
 
 #[derive(Debug, Clone)]
@@ -222,6 +239,9 @@ pub struct Scenario {
     sample_every: SimTime,
     steps_per_sample: usize,
     duration: SimTime,
+    /// Cut a process checkpoint at the first sample tick at/after every
+    /// multiple of this interval (`None` = no checkpoints).
+    checkpoint_every: Option<SimTime>,
     /// Executor pool the backend dispatches onto (`None` = the shared pool
     /// for the backend config's thread count). Never affects results.
     pool: Option<std::sync::Arc<gridsteer_exec::ExecPool>>,
@@ -232,6 +252,9 @@ pub struct Scenario {
 struct ViewerState {
     name: String,
     transport: &'static str,
+    /// The transport variant itself — a restore reconnects the viewer's
+    /// monitor endpoint through it.
+    kind: Transport,
     budget: LoopBudget,
     link: FaultyLink,
     monitor: LoopMonitor,
@@ -308,6 +331,7 @@ impl Scenario {
             sample_every: SimTime::from_millis(100),
             steps_per_sample: 1,
             duration: SimTime::from_secs(3),
+            checkpoint_every: None,
             pool: None,
         }
     }
@@ -512,6 +536,19 @@ impl Scenario {
         self
     }
 
+    /// Cut a process checkpoint every `t` of virtual time (at the end of
+    /// the first sample tick at/after each due point). The first cut is
+    /// a full snapshot in the `gridsteer_ckpt` wire format; later cuts
+    /// are dirty-chunk deltas against the previous one. Cutting is
+    /// side-effect free: it draws no randomness, logs nothing, and never
+    /// changes the report — a run with checkpoints enabled digests
+    /// byte-identically to one without.
+    pub fn checkpoint_every(mut self, t: SimTime) -> Self {
+        assert!(t > SimTime::ZERO, "checkpoint interval must be positive");
+        self.checkpoint_every = Some(t);
+        self
+    }
+
     /// Schedule a raw [`Action`] at virtual time `t`.
     pub fn at(mut self, t: SimTime, action: Action) -> Self {
         self.actions.push((t, action));
@@ -607,6 +644,16 @@ impl Scenario {
                 jitter,
             },
         )
+    }
+
+    /// Sugar: the simulation process crashes at `t`.
+    pub fn crash_at(self, t: SimTime) -> Self {
+        self.at(t, Action::Crash)
+    }
+
+    /// Sugar: the process restarts from the latest checkpoint at `t`.
+    pub fn restore_at(self, t: SimTime) -> Self {
+        self.at(t, Action::Restore)
     }
 
     /// Sugar: migrate the computation between `sc2003` sites.
@@ -803,6 +850,12 @@ impl Scenario {
         let mut steers_lost = 0u64;
         let mut pause_until = SimTime::ZERO;
         let mut processed = 0usize;
+        // crash-recovery state: while `crashed`, sample ticks black out;
+        // the checkpoint chain is one full snapshot blob plus deltas
+        let mut crashed = false;
+        let mut ckpt_chain: Vec<Vec<u8>> = Vec::new();
+        let mut last_snap: Option<Snapshot> = None;
+        let mut last_ckpt: Option<SimTime> = None;
 
         while let Some(ev) = queue.pop() {
             processed += 1;
@@ -816,7 +869,7 @@ impl Scenario {
                     if now + self.sample_every <= self.duration {
                         queue.schedule(now + self.sample_every, Ev::Sample);
                     }
-                    if now < pause_until {
+                    if crashed || now < pause_until {
                         skipped += 1;
                         continue;
                     }
@@ -914,6 +967,32 @@ impl Scenario {
                             }
                         }
                     }
+                    // checkpoint cut, at the very end of the tick: the
+                    // boundary state (post-commit, post-advance,
+                    // post-fanout, queues drained) is exactly what a
+                    // restore resumes from. Cutting reads state under
+                    // locks and nothing else — no RNG draws, no events.
+                    if let Some(interval) = self.checkpoint_every {
+                        let due = last_ckpt.map_or(interval, |t| t + interval);
+                        if now >= due {
+                            let mut snap = Snapshot::new(ckpt_chain.len() as u64, now.as_nanos());
+                            save_process(
+                                &mut snap,
+                                backend.as_ref(),
+                                &hub,
+                                &sessions,
+                                &mhub,
+                                &relays,
+                            );
+                            let blob = match &last_snap {
+                                None => snap.encode(),
+                                Some(base) => snap.encode_delta(base),
+                            };
+                            ckpt_chain.push(blob);
+                            last_snap = Some(snap);
+                            last_ckpt = Some(now);
+                        }
+                    }
                 }
                 Ev::Act(i) => {
                     let action = self.actions[i].1.clone();
@@ -939,6 +1018,8 @@ impl Scenario {
                         endpoints: &mut endpoints,
                         hub: &hub,
                         transports: &self.transports,
+                        crashed: &mut crashed,
+                        ckpt_chain: &ckpt_chain,
                     });
                 }
                 Ev::ApplySteer { who, param, value } => {
@@ -1097,6 +1178,8 @@ struct ActionCtx<'a> {
     endpoints: &'a mut BTreeMap<String, Box<dyn SteerEndpoint>>,
     hub: &'a SteerHub,
     transports: &'a BTreeMap<String, Transport>,
+    crashed: &'a mut bool,
+    ckpt_chain: &'a [Vec<u8>],
 }
 
 fn apply_action(ctx: ActionCtx<'_>) {
@@ -1122,6 +1205,8 @@ fn apply_action(ctx: ActionCtx<'_>) {
         endpoints,
         hub,
         transports,
+        crashed,
+        ckpt_chain,
     } = ctx;
     match action {
         Action::Join { name, link } => {
@@ -1255,6 +1340,26 @@ fn apply_action(ctx: ActionCtx<'_>) {
                 None => engine_events.push(format!("{now} viewer-leave-miss {name}")),
             }
         }
+        Action::Crash => {
+            // the process dies silently: no event, no counter — transparent
+            // recovery means the report cannot record the crash itself
+            *crashed = true;
+        }
+        Action::Restore => {
+            assert!(*crashed, "restore_at without a preceding crash_at");
+            restore_process(RestoreCtx {
+                chain: ckpt_chain,
+                backend,
+                hub,
+                sessions,
+                endpoints,
+                transports,
+                mhub,
+                relays,
+                viewers,
+            });
+            *crashed = false;
+        }
         Action::ViewerJoin {
             name,
             link,
@@ -1285,6 +1390,114 @@ fn apply_action(ctx: ActionCtx<'_>) {
                 );
             }
         }
+    }
+}
+
+/// Serialize the whole simulation-process state into one snapshot:
+/// backend fields (raw float bits), the steer hub (registry, staged
+/// batches, counters), every session shard, the monitor hub and each
+/// relay tier. Pure reads — the running state is not perturbed.
+fn save_process(
+    snap: &mut Snapshot,
+    backend: &dyn ScenarioBackend,
+    hub: &SteerHub,
+    sessions: &[SteeringSession],
+    mhub: &MonitorHub,
+    relays: &[RelayNode],
+) {
+    backend.save_sections(snap);
+    hub.save_sections(snap, "steer");
+    for (i, s) in sessions.iter().enumerate() {
+        s.save_sections(snap, &format!("session/{i}"));
+    }
+    mhub.save_sections(snap, "monitor");
+    for r in relays {
+        r.hub.save_sections(snap, &format!("relay/{}", r.name));
+    }
+}
+
+/// Everything a process restore rebuilds.
+struct RestoreCtx<'a> {
+    chain: &'a [Vec<u8>],
+    backend: &'a mut dyn ScenarioBackend,
+    hub: &'a SteerHub,
+    sessions: &'a mut [SteeringSession],
+    endpoints: &'a mut BTreeMap<String, Box<dyn SteerEndpoint>>,
+    transports: &'a BTreeMap<String, Transport>,
+    mhub: &'a MonitorHub,
+    relays: &'a [RelayNode],
+    viewers: &'a [ViewerState],
+}
+
+/// Rebuild the crashed process from its checkpoint chain: decode the
+/// full snapshot, apply every delta, then restore state behind the
+/// existing shared handles (backend in place, hub registry and state,
+/// session shards, monitor hub, relay tiers). Steering clients and
+/// monitor viewers reconnect — fresh endpoints over their declared
+/// transports, negotiated against the *saved* capability sets — so
+/// sequence numbering and delivery schedules continue exactly where the
+/// checkpoint cut them. Draws no randomness and logs nothing: recovery
+/// from an up-to-date checkpoint is invisible in the report.
+fn restore_process(ctx: RestoreCtx<'_>) {
+    let RestoreCtx {
+        chain,
+        backend,
+        hub,
+        sessions,
+        endpoints,
+        transports,
+        mhub,
+        relays,
+        viewers,
+    } = ctx;
+    assert!(
+        !chain.is_empty(),
+        "restore_at: no checkpoint was cut — set checkpoint_every on the scenario"
+    );
+    let mut snap = Snapshot::decode(&chain[0]).expect("checkpoint chain head decodes");
+    for delta in &chain[1..] {
+        snap = Snapshot::decode_delta(delta, &snap).expect("checkpoint delta chain applies");
+    }
+    backend
+        .restore_sections(&snap)
+        .expect("backend state restores");
+    hub.restore_sections(&snap, "steer")
+        .expect("steer hub restores");
+    for (i, s) in sessions.iter_mut().enumerate() {
+        *s = SteeringSession::restore_sections(&snap, &format!("session/{i}"), hub.registry())
+            .expect("session shard restores");
+    }
+    // the steering clients are remote and reconnect: fresh endpoints,
+    // re-subscribed to the restored hub (the old subscriptions died with
+    // the process). The handshake is the same one the original attach
+    // negotiated, so nothing new reaches the report.
+    for (name, ep) in endpoints.iter_mut() {
+        let transport = transports.get(name).copied().unwrap_or_default();
+        let mut fresh = transport.attach(hub, name);
+        fresh.negotiate(&Capabilities::full("scenario-client", 64));
+        *ep = fresh;
+    }
+    // monitor side: relay tiers re-feed through loopback collectors,
+    // viewers reconnect over their declared transports; both negotiate
+    // against the saved caps inside restore_sections
+    let relay_names: Vec<&str> = relays.iter().map(|r| r.name.as_str()).collect();
+    let mut resolver = |sub: &str, _caps: &MonitorCaps| -> Box<dyn MonitorEndpoint> {
+        if relay_names.contains(&sub) {
+            Box::new(LoopbackMonitor::new())
+        } else {
+            viewers
+                .iter()
+                .find(|v| v.name == sub)
+                .map(|v| v.kind.attach_monitor(sub))
+                .unwrap_or_else(|| Box::new(LoopbackMonitor::new()))
+        }
+    };
+    mhub.restore_sections(&snap, "monitor", &mut resolver)
+        .expect("monitor hub restores");
+    for r in relays {
+        r.hub
+            .restore_sections(&snap, &format!("relay/{}", r.name), &mut resolver)
+            .expect("relay tier restores");
     }
 }
 
@@ -1354,6 +1567,7 @@ fn attach_viewer(
     match viewers.iter_mut().find(|v| v.name == spec.name) {
         Some(v) => {
             v.link = link;
+            v.kind = spec.transport;
             v.relay = relay_idx;
             v.online = true;
             v.final_stats = None;
@@ -1361,6 +1575,7 @@ fn attach_viewer(
         None => viewers.push(ViewerState {
             name: spec.name.clone(),
             transport: spec.transport.label(),
+            kind: spec.transport,
             budget: spec.budget,
             link,
             monitor: LoopMonitor::new(spec.budget),
@@ -1944,6 +2159,115 @@ mod tests {
     fn zero_sample_interval_panics() {
         let s = tiny("bad").sample_every(SimTime::ZERO);
         // AssertUnwindSafe: the optional pool handle holds sync primitives
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || s.run())).is_err());
+    }
+
+    #[test]
+    fn checkpoint_cutting_is_invisible_in_the_report() {
+        // cutting snapshots is pure observation: no rng draws, no events,
+        // no counter changes — a checkpointed run renders byte-identically
+        // to one that never checkpoints
+        let plain = tiny("ckpt-inv").run();
+        let cut = tiny("ckpt-inv")
+            .checkpoint_every(SimTime::from_millis(300))
+            .run();
+        assert_eq!(plain.render(), cut.render());
+    }
+
+    #[test]
+    fn crash_restore_replays_byte_identical_to_uncrashed() {
+        // checkpoints at 500ms and 1000ms; the process dies at 1050ms and
+        // is rebuilt at 1080ms from the 1000ms cut. Nothing happened in
+        // between, so recovery is invisible: every sample, delivery,
+        // viewer frame and post-restore steer replays byte-for-byte.
+        let build = || {
+            tiny("recover")
+                .duration(SimTime::from_secs(2))
+                .shards(2)
+                .relay("region", Link::campus())
+                .viewer_at_relay("leaf", "region", Link::uk_janet(), Transport::Visit)
+                .viewer_via("direct", Link::gwin(), Transport::Covise)
+                .checkpoint_every(SimTime::from_millis(500))
+                .steer_at(SimTime::from_millis(250), "alice", "miscibility", 0.4)
+                .steer_at(SimTime::from_millis(1450), "alice", "miscibility", 0.2)
+        };
+        let smooth = build().run();
+        let recovered = build()
+            .crash_at(SimTime::from_millis(1050))
+            .restore_at(SimTime::from_millis(1080))
+            .run();
+        assert_eq!(smooth.render(), recovered.render());
+        assert_eq!(smooth.digest(), recovered.digest());
+    }
+
+    #[test]
+    fn stale_checkpoint_restore_rewinds_state() {
+        // sample ticks at 1100ms and 1200ms ran *past* the 1000ms cut
+        // before the crash, so the restore rewinds the backend: progress
+        // replays from the checkpoint and the report diverges
+        let build = || {
+            tiny("stale")
+                .duration(SimTime::from_secs(2))
+                .checkpoint_every(SimTime::from_millis(500))
+        };
+        let smooth = build().run();
+        let rewound = build()
+            .crash_at(SimTime::from_millis(1250))
+            .restore_at(SimTime::from_millis(1280))
+            .run();
+        assert_ne!(smooth.digest(), rewound.digest());
+        assert!(
+            rewound.final_progress < smooth.final_progress,
+            "rewound {} vs smooth {}",
+            rewound.final_progress,
+            smooth.final_progress
+        );
+    }
+
+    #[test]
+    fn crash_without_restore_blacks_out_sampling() {
+        let r = tiny("dead").crash_at(SimTime::from_millis(550)).run();
+        assert_eq!(r.broadcasts, 5, "ticks 100..500 ran");
+        assert_eq!(
+            r.broadcasts_skipped, 5,
+            "ticks 600..1000 hit a dead process"
+        );
+    }
+
+    #[test]
+    fn delta_checkpoint_chain_restores_identically() {
+        // 200ms cadence: full snapshot at 200ms, sparse deltas at 400,
+        // 600 and 800ms. The restore at 880ms decodes the head and folds
+        // every delta — and still replays byte-identically to a run that
+        // never checkpointed at all.
+        let build = || {
+            tiny("delta")
+                .duration(SimTime::from_secs(2))
+                .viewer_via("v", Link::uk_janet(), Transport::Visit)
+                .steer_at(SimTime::from_millis(250), "alice", "miscibility", 0.35)
+        };
+        let smooth = build().run();
+        let recovered = build()
+            .checkpoint_every(SimTime::from_millis(200))
+            .crash_at(SimTime::from_millis(850))
+            .restore_at(SimTime::from_millis(880))
+            .run();
+        assert_eq!(smooth.render(), recovered.render());
+    }
+
+    #[test]
+    fn restore_without_crash_panics() {
+        let s = tiny("no-crash")
+            .checkpoint_every(SimTime::from_millis(300))
+            .restore_at(SimTime::from_millis(500));
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || s.run())).is_err());
+    }
+
+    #[test]
+    fn restore_without_checkpoint_panics() {
+        let s = tiny("no-ckpt")
+            .crash_at(SimTime::from_millis(300))
+            .restore_at(SimTime::from_millis(400));
         assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || s.run())).is_err());
     }
 }

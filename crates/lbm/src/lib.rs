@@ -27,4 +27,7 @@ pub mod lattice;
 pub mod sim;
 
 pub use lattice::{CX, CY, CZ, OPPOSITE, Q, WEIGHTS};
-pub use sim::{demix_of, demix_of_slice, LbmCheckpoint, LbmConfig, TwoFluidLbm};
+pub use sim::{
+    demix_of, demix_of_slice, LbmCheckpoint, LbmConfig, TwoFluidLbm, SEC_LBM_FA, SEC_LBM_FB,
+    SEC_LBM_META,
+};

@@ -166,6 +166,18 @@ impl Link {
             .build()
     }
 
+    /// A generic wide-area link between European national networks —
+    /// the tier a restored process reconnects its remote clients over:
+    /// ~25 ms one way, 100 Mbit, noticeable jitter, trace loss.
+    pub fn wan() -> Link {
+        Link::builder()
+            .latency_ms(25)
+            .bandwidth_mbit(100)
+            .jitter(SimTime::from_millis(2))
+            .loss_ppm(50)
+            .build()
+    }
+
     /// A transatlantic link (Europe–Phoenix show floor): ~75 ms one way,
     /// 45 Mbit effective, mild loss — the worst case in the paper's demos.
     pub fn transatlantic() -> Link {
@@ -305,6 +317,8 @@ mod tests {
     fn presets_are_ordered_by_distance() {
         assert!(Link::campus().latency < Link::uk_janet().latency);
         assert!(Link::uk_janet().latency < Link::gwin().latency);
-        assert!(Link::gwin().latency < Link::transatlantic().latency);
+        assert!(Link::gwin().latency < Link::wan().latency);
+        assert!(Link::wan().latency < Link::transatlantic().latency);
+        assert!(Link::wan().bandwidth_bps > Link::transatlantic().bandwidth_bps);
     }
 }

@@ -32,7 +32,7 @@ pub mod tree;
 
 pub use direct::direct_forces;
 pub use morton::{decompose, morton_key, morton_unkey, Domain};
-pub use sim::{PepcConfig, PepcSim};
+pub use sim::{PepcConfig, PepcSim, SEC_PEPC_FORCES, SEC_PEPC_META, SEC_PEPC_PARTICLES};
 pub use tree::{Octree, TreeConfig};
 
 /// A charged particle. The paper ships "particle data-space comprising

@@ -19,6 +19,7 @@
 use crate::morton::{decompose, Domain};
 use crate::tree::{Octree, TreeConfig};
 use crate::Particle;
+use gridsteer_ckpt::{CkptError, SectionWriter, Snapshot as CkptSnapshot};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -413,7 +414,158 @@ impl PepcSim {
     pub fn particles(&self) -> &[Particle] {
         &self.particles
     }
+
+    /// Lay the full simulation state into `snap` as the sections
+    /// `pepc/meta` + `pepc/particles` + `pepc/forces`. Particles are
+    /// serialized in their *current* array order — [`PepcSim::snapshot`]
+    /// Morton-sorts them, so order is part of the observable state — and
+    /// cached forces ride along because they feed the next half-kick.
+    pub fn save_sections(&self, snap: &mut CkptSnapshot) {
+        let mut w = SectionWriter::with_capacity(160);
+        w.put_u64(self.cfg.n_target as u64);
+        w.put_f64(self.cfg.target_radius);
+        w.put_f64(self.cfg.dt);
+        w.put_f64(self.cfg.tree.theta);
+        w.put_f64(self.cfg.tree.eps);
+        w.put_u64(self.cfg.tree.leaf_cap as u64);
+        w.put_u64(self.cfg.tree.threads as u64);
+        w.put_u16(self.cfg.ranks);
+        w.put_u64(self.cfg.seed);
+        w.put_f64(self.params.beam_intensity);
+        for c in self.params.beam_dir {
+            w.put_f64(c);
+        }
+        w.put_f64(self.params.beam_charge);
+        w.put_f64(self.params.laser_amplitude);
+        w.put_f64(self.params.laser_omega);
+        w.put_f64(self.params.damping);
+        w.put_f64(self.time);
+        w.put_u64(self.step);
+        w.put_u32(self.next_label);
+        w.put_u32(self.beam_label_start);
+        w.put_u64(self.last_interactions);
+        snap.push(SEC_PEPC_META, 0, w.finish());
+        let mut w = SectionWriter::with_capacity(self.particles.len() * PARTICLE_REC + 8);
+        w.put_u64(self.particles.len() as u64);
+        for p in &self.particles {
+            for c in p.pos {
+                w.put_f64(c);
+            }
+            for c in p.vel {
+                w.put_f64(c);
+            }
+            w.put_f64(p.charge);
+            w.put_f64(p.mass);
+            w.put_u32(p.label);
+            w.put_u16(p.rank);
+        }
+        snap.push(SEC_PEPC_PARTICLES, PARTICLE_CHUNK, w.finish());
+        let mut w = SectionWriter::with_capacity(self.forces.len() * 24 + 8);
+        w.put_u64(self.forces.len() as u64);
+        for f in &self.forces {
+            for c in f {
+                w.put_f64(*c);
+            }
+        }
+        snap.push(SEC_PEPC_FORCES, FORCE_CHUNK, w.finish());
+    }
+
+    /// Rebuild a simulation from the `pepc/*` sections of `snap` — the
+    /// fresh-process restore path. Makes no RNG draws and no force
+    /// evaluation: the cached forces come from the snapshot.
+    pub fn from_snapshot(snap: &CkptSnapshot) -> Result<PepcSim, CkptError> {
+        let mut r = snap.reader(SEC_PEPC_META)?;
+        let cfg = PepcConfig {
+            n_target: r.get_u64()? as usize,
+            target_radius: r.get_f64()?,
+            dt: r.get_f64()?,
+            tree: TreeConfig {
+                theta: r.get_f64()?,
+                eps: r.get_f64()?,
+                leaf_cap: r.get_u64()? as usize,
+                threads: r.get_u64()? as usize,
+            },
+            ranks: r.get_u16()?,
+            seed: r.get_u64()?,
+        };
+        let params = SteerParams {
+            beam_intensity: r.get_f64()?,
+            beam_dir: [r.get_f64()?, r.get_f64()?, r.get_f64()?],
+            beam_charge: r.get_f64()?,
+            laser_amplitude: r.get_f64()?,
+            laser_omega: r.get_f64()?,
+            damping: r.get_f64()?,
+        };
+        let time = r.get_f64()?;
+        let step = r.get_u64()?;
+        let next_label = r.get_u32()?;
+        let beam_label_start = r.get_u32()?;
+        let last_interactions = r.get_u64()?;
+        r.expect_end()?;
+        let mut r = snap.reader(SEC_PEPC_PARTICLES)?;
+        let count = r.get_u64()? as usize;
+        let mut particles = Vec::with_capacity(count);
+        for _ in 0..count {
+            particles.push(Particle {
+                pos: [r.get_f64()?, r.get_f64()?, r.get_f64()?],
+                vel: [r.get_f64()?, r.get_f64()?, r.get_f64()?],
+                charge: r.get_f64()?,
+                mass: r.get_f64()?,
+                label: r.get_u32()?,
+                rank: r.get_u16()?,
+            });
+        }
+        r.expect_end()?;
+        let mut r = snap.reader(SEC_PEPC_FORCES)?;
+        let fcount = r.get_u64()? as usize;
+        if fcount != count {
+            return Err(CkptError::Corrupt {
+                context: format!("{SEC_PEPC_FORCES}: {fcount} forces for {count} particles"),
+            });
+        }
+        let mut forces = Vec::with_capacity(fcount);
+        for _ in 0..fcount {
+            forces.push([r.get_f64()?, r.get_f64()?, r.get_f64()?]);
+        }
+        r.expect_end()?;
+        Ok(PepcSim {
+            pool: gridsteer_exec::shared(cfg.tree.threads),
+            particles,
+            forces,
+            params,
+            time,
+            step,
+            next_label,
+            beam_label_start,
+            cfg,
+            last_interactions,
+        })
+    }
+
+    /// Replace this simulation's state from the `pepc/*` sections of
+    /// `snap`, keeping the current pool — the in-process restore path.
+    pub fn restore_sections(&mut self, snap: &CkptSnapshot) -> Result<(), CkptError> {
+        let mut fresh = PepcSim::from_snapshot(snap)?;
+        fresh.pool = std::sync::Arc::clone(&self.pool);
+        *self = fresh;
+        Ok(())
+    }
 }
+
+/// Snapshot section names for the plasma simulation.
+pub const SEC_PEPC_META: &str = "pepc/meta";
+/// In-order particle records (pos+vel+charge+mass as raw f64 bits,
+/// label, rank).
+pub const SEC_PEPC_PARTICLES: &str = "pepc/particles";
+/// Cached forces from the last evaluation (feed the next half-kick).
+pub const SEC_PEPC_FORCES: &str = "pepc/forces";
+
+/// Serialized particle record size: 8 f64 + label u32 + rank u16.
+const PARTICLE_REC: usize = 8 * 8 + 4 + 2;
+/// Delta grain: 64 particle records per dirty chunk.
+const PARTICLE_CHUNK: u32 = (PARTICLE_REC * 64) as u32;
+/// Delta grain for the force cache: 64 triples per dirty chunk.
+const FORCE_CHUNK: u32 = 24 * 64;
 
 #[cfg(test)]
 mod tests {
@@ -529,6 +681,65 @@ mod tests {
         sim.step_n(5);
         let labels1: Vec<u32> = sim.particles().iter().map(|p| p.label).collect();
         assert_eq!(labels0, labels1);
+    }
+
+    #[test]
+    fn ckpt_sections_roundtrip_bit_identical() {
+        let mut a = PepcSim::new(PepcConfig::small());
+        let mut p = a.params();
+        p.beam_intensity = 1.0;
+        a.set_params(p);
+        a.inject_beam(10, 2.0);
+        a.step_n(5);
+        let mut snap = CkptSnapshot::new(1, 0);
+        a.save_sections(&mut snap);
+        let decoded = CkptSnapshot::decode(&snap.encode()).unwrap();
+        let mut b = PepcSim::from_snapshot(&decoded).unwrap();
+        assert_eq!(b.step_count(), 5);
+        assert_eq!(b.params(), a.params());
+        assert_eq!(b.beam_count(), 10);
+        a.step_n(5);
+        b.step_n(5);
+        let bits = |s: &PepcSim| {
+            s.particles()
+                .iter()
+                .flat_map(|p| p.pos.iter().chain(&p.vel).map(|v| v.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(bits(&a), bits(&b), "restored run diverged");
+    }
+
+    #[test]
+    fn ckpt_preserves_particle_order_after_morton_sort() {
+        let mut a = PepcSim::new(PepcConfig::small());
+        a.step_n(2);
+        let _ = a.snapshot(); // Morton-sorts and restamps ranks
+        let order: Vec<u32> = a.particles().iter().map(|p| p.label).collect();
+        let mut snap = CkptSnapshot::new(1, 0);
+        a.save_sections(&mut snap);
+        let b = PepcSim::from_snapshot(&snap).unwrap();
+        let restored: Vec<u32> = b.particles().iter().map(|p| p.label).collect();
+        assert_eq!(order, restored);
+    }
+
+    #[test]
+    fn ckpt_force_particle_count_mismatch_is_corrupt() {
+        let sim = PepcSim::new(PepcConfig::small());
+        let mut snap = CkptSnapshot::new(1, 0);
+        sim.save_sections(&mut snap);
+        // drop one force triple: count prefix now disagrees with particles
+        let forces = snap
+            .sections
+            .iter_mut()
+            .find(|s| s.name == SEC_PEPC_FORCES)
+            .unwrap();
+        let n = u64::from_le_bytes(forces.bytes[..8].try_into().unwrap());
+        forces.bytes[..8].copy_from_slice(&(n - 1).to_le_bytes());
+        forces.bytes.truncate(forces.bytes.len() - 24);
+        assert!(matches!(
+            PepcSim::from_snapshot(&snap),
+            Err(CkptError::Corrupt { .. })
+        ));
     }
 
     #[test]

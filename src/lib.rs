@@ -31,6 +31,7 @@
 pub use accessgrid;
 pub use covise;
 pub use gridsteer_bus as bus;
+pub use gridsteer_ckpt as ckpt;
 pub use gridsteer_harness as harness;
 pub use lbm;
 pub use netsim;

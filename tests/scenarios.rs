@@ -663,3 +663,105 @@ fn s14_relay_tier_fanout_under_faults() {
     assert_eq!(r1.steers_applied, 1);
     assert!(r1.monitor_frames > 0);
 }
+
+/// S15 — crash + restore (ISSUE 9 tentpole): the whole process state is
+/// checkpointed every 500 ms on the virtual clock; the process dies at
+/// 1050 ms and is rebuilt at 1080 ms from the 1000 ms snapshot — backend
+/// field state from raw float bits, hub registry and counters, session
+/// shards, monitor fan-out — with the WAN clients and viewer
+/// reconnecting. Nothing happened between cut and crash, so the restored
+/// run's report digest is byte-identical to an uncrashed twin, across
+/// re-runs and executor pool sizes. A *stale* checkpoint (sample ticks
+/// ran past the cut before the crash) must observably rewind instead.
+#[test]
+fn s15_crash_restore_digest_equivalent_resume() {
+    use gridsteer::harness::Transport;
+    let build = || {
+        Scenario::named("s15-crash-restore")
+            .seed(115)
+            .lbm(tiny_lbm())
+            .participant("alice", Link::wan())
+            .participant("bob", Link::wan())
+            .viewer_via("desk", Link::wan(), Transport::Visit)
+            .duration(SimTime::from_secs(3))
+            .checkpoint_every(ms(500))
+            .steer_at(ms(250), "alice", "miscibility", 0.4)
+            .steer_at(ms(1450), "alice", "miscibility", 0.2)
+    };
+    let smooth = build().run();
+    let recovered = || build().crash_at(ms(1050)).restore_at(ms(1080));
+    let r1 = recovered().run();
+    assert_eq!(
+        smooth.render(),
+        r1.render(),
+        "recovery from an up-to-date checkpoint must be invisible"
+    );
+    assert_eq!(smooth.digest(), r1.digest());
+    // …and stays invisible across re-runs and pool sizes
+    let r2 = recovered().run();
+    let r_serial = recovered().pool(gridsteer_exec::shared(1)).run();
+    let r_wide = recovered().pool(gridsteer_exec::shared(8)).run();
+    assert_eq!(r1.render(), r2.render());
+    assert_eq!(r1.digest(), r_serial.digest());
+    assert_eq!(r1.digest(), r_wide.digest());
+    // both steers landed — including the one issued *after* the restore,
+    // through a reconnected endpoint
+    assert_eq!(r1.steers_applied, 2);
+    // negative control: crash at 1250 ms leaves ticks 1100/1200 stranded
+    // past the 1000 ms cut; the restore rewinds the backend, the report
+    // diverges and progress is provably lost
+    let stale = build().crash_at(ms(1250)).restore_at(ms(1280)).run();
+    assert_ne!(smooth.digest(), stale.digest());
+    assert!(
+        stale.final_progress < smooth.final_progress,
+        "stale restore must rewind: {} vs {}",
+        stale.final_progress,
+        smooth.final_progress
+    );
+}
+
+/// S16 — delta-checkpoint restore (ISSUE 9): a 300 ms cadence cuts a full
+/// snapshot at 300 ms and dirty-chunk deltas at 600 ms and 900 ms. The
+/// crash at 950 ms is recovered at 980 ms by decoding the head and
+/// folding both deltas — and still replays byte-identically to a run
+/// that never checkpointed at all, across pool sizes, with relay-tier
+/// monitor state restored mid-stream.
+#[test]
+fn s16_delta_checkpoint_chain_restore() {
+    use gridsteer::harness::Transport;
+    let build = || {
+        Scenario::named("s16-delta-restore")
+            .seed(116)
+            .lbm(tiny_lbm())
+            .participant("alice", Link::wan())
+            .relay("region", Link::campus())
+            .viewer_at_relay("leaf", "region", Link::wan(), Transport::Visit)
+            .viewer_via("direct", Link::wan(), Transport::Covise)
+            .duration(SimTime::from_secs(3))
+            .steer_at(ms(250), "alice", "miscibility", 0.35)
+            .steer_at(ms(1150), "alice", "miscibility", 0.15)
+    };
+    let smooth = build().run();
+    let recovered = || {
+        build()
+            .checkpoint_every(ms(300))
+            .crash_at(ms(950))
+            .restore_at(ms(980))
+    };
+    let r1 = recovered().run();
+    assert_eq!(
+        smooth.render(),
+        r1.render(),
+        "delta-chain recovery must be invisible"
+    );
+    let r_serial = recovered().pool(gridsteer_exec::shared(1)).run();
+    let r_wide = recovered().pool(gridsteer_exec::shared(8)).run();
+    assert_eq!(r1.digest(), r_serial.digest());
+    assert_eq!(r1.digest(), r_wide.digest());
+    assert_eq!(r1.steers_applied, 2, "post-restore steer must land");
+    // the relay tier kept streaming across the restore
+    let region = r1.relay("region").unwrap();
+    assert!(region.ingested > 0);
+    assert_eq!(region.ingested, region.forwarded + region.decimated);
+    assert_ne!(r1.viewer("leaf").unwrap().frames_digest, "0000000000000000");
+}
