@@ -1,0 +1,6 @@
+//! Experiment binary — see DESIGN.md §4 and EXPERIMENTS.md.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    gridsteer_bench::cli::run(gridsteer_bench::exp_fuzz_soak)
+}

@@ -1161,6 +1161,92 @@ pub fn exp_fanout_scale() -> ExpResult {
     )
 }
 
+/// FUZZ — generative scenario soak: run the invariant oracle over a
+/// window of generated seeds (`FUZZ_SEED_START`, default 0, and
+/// `FUZZ_SEEDS`, default 500) and report pass/fail counts, a fold of the
+/// per-seed report digests, and the generated action mix. Every row but
+/// the final wall-clock rate row is deterministic for a fixed window, so
+/// CI diffs the output between `GRIDSTEER_SIMD=0` and `=1` runs — the
+/// cross-process half of the scalar-vs-SIMD digest invariant (the SIMD
+/// switch is a process-wide `OnceLock`, so one process can't compare
+/// both). `FUZZ_TIME_BUDGET_MS` (default 0 = unlimited) stops the sweep
+/// early on slow machines; the cut is recorded in its own row so a
+/// budget-stopped run is visibly not comparable.
+pub fn exp_fuzz_soak() -> ExpResult {
+    let env_u64 = |key: &str, default: u64| {
+        std::env::var(key)
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(default)
+    };
+    let start = env_u64("FUZZ_SEED_START", 0);
+    let count = env_u64("FUZZ_SEEDS", 500);
+    let budget_ms = env_u64("FUZZ_TIME_BUDGET_MS", 0);
+    let cfg = gridsteer_fuzz::FuzzConfig::default();
+    let runner = gridsteer_fuzz::PoolRunner;
+
+    let t0 = Instant::now();
+    let mut pass = 0u64;
+    let mut fail = 0u64;
+    let mut digest_fold = FNV_OFFSET;
+    let mut mix: std::collections::BTreeMap<&'static str, u64> = std::collections::BTreeMap::new();
+    let mut failures: Vec<String> = Vec::new();
+    let mut ran = 0u64;
+    let mut cut = false;
+    for seed in start..start + count {
+        if budget_ms > 0 && t0.elapsed() >= Duration::from_millis(budget_ms) {
+            cut = true;
+            break;
+        }
+        let s = gridsteer_fuzz::generate(seed, &cfg);
+        for (_, a) in s.actions() {
+            *mix.entry(a.label()).or_insert(0) += 1;
+        }
+        let audit = gridsteer_fuzz::audit_with(&runner, &s);
+        digest_fold = fnv1a64_with(digest_fold, audit.digest.as_bytes());
+        if audit.violations.is_empty() {
+            pass += 1;
+        } else {
+            fail += 1;
+            if failures.len() < 5 {
+                for v in &audit.violations {
+                    failures.push(format!("seed {seed}: {v}"));
+                }
+            }
+        }
+        ran += 1;
+    }
+
+    let mut rows = vec![format!(
+        "seeds {start}..{}: pass={pass} fail={fail} digest={digest_fold:016x}",
+        start + ran
+    )];
+    rows.push(format!(
+        "action mix: {}",
+        mix.iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    ));
+    rows.extend(failures);
+    if cut {
+        rows.push(format!(
+            "time budget {budget_ms}ms cut the sweep after {ran} of {count} seeds"
+        ));
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    rows.push(format!(
+        "wall: {ran} scenarios in {:.0} ms ({:.1}/s)",
+        secs * 1e3,
+        ran as f64 / secs.max(1e-9)
+    ));
+    emit(
+        "fuzz",
+        "generative scenario soak: invariant oracle over a seeded window",
+        rows,
+    )
+}
+
 /// Every experiment in index order (driven by [`crate::cli::run_all`],
 /// which times each entry and emits its `BENCH_*.json`).
 pub const ALL: &[fn() -> ExpResult] = &[
@@ -1182,6 +1268,7 @@ pub const ALL: &[fn() -> ExpResult] = &[
     exp_bus,
     exp_monitor_fanout,
     exp_fanout_scale,
+    exp_fuzz_soak,
 ];
 
 #[cfg(test)]

@@ -28,6 +28,14 @@ struct HubState {
     /// are pruned at each commit).
     subscribers: Vec<Weak<Mutex<VecDeque<SteerNotice>>>>,
     handshakes: Vec<String>,
+    /// Oracle probe: per-origin high-water mark of committed batch seqs.
+    /// Cleared on restore — a restored process legitimately replays the
+    /// staged batches the checkpoint captured.
+    last_committed: std::collections::BTreeMap<String, u64>,
+    /// Oracle probe: stale-seq commits observed (a batch applied at or
+    /// below its origin's high-water mark). Survives restores — the
+    /// violation happened in this process's history.
+    probe_violations: Vec<String>,
 }
 
 /// The shared steering hub. Cheap to clone; all clones are one hub.
@@ -133,7 +141,20 @@ impl SteerHub {
                 return CommitOutcome::default();
             }
             st.commit_seq += 1;
-            (std::mem::take(&mut st.staged), st.commit_seq)
+            let batches = std::mem::take(&mut st.staged);
+            for b in &batches {
+                let hw = st.last_committed.get(&b.origin).copied().unwrap_or(0);
+                if b.seq <= hw {
+                    let v = format!(
+                        "stale-seq commit: origin {} batch seq {} at/below high-water {}",
+                        b.origin, b.seq, hw
+                    );
+                    st.probe_violations.push(v);
+                } else {
+                    st.last_committed.insert(b.origin.clone(), b.seq);
+                }
+            }
+            (batches, st.commit_seq)
         };
         let mut outcome = CommitOutcome {
             commit,
@@ -180,6 +201,13 @@ impl SteerHub {
             }
         }
         outcome
+    }
+
+    /// Stale-seq violations observed so far (oracle probe): commits that
+    /// applied a batch at or below its origin's previously-committed
+    /// high-water seq. Empty on every healthy run.
+    pub fn probe_violations(&self) -> Vec<String> {
+        self.state.lock().probe_violations.clone()
     }
 
     /// Commit with the hub's own registry as the only authority (no role
@@ -261,6 +289,9 @@ impl SteerHub {
         st.commit_seq = commit_seq;
         st.handshakes = handshakes;
         st.subscribers.clear();
+        // batch numbering may rewind past commits the pre-crash process
+        // made — replaying them is correct recovery, not a stale commit
+        st.last_committed.clear();
         Ok(())
     }
 }

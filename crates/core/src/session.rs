@@ -176,6 +176,17 @@ impl SteeringSession {
             .position(|p| p.role == Role::Master)
     }
 
+    /// Number of participants holding the master role. The session
+    /// maintains exactly one whenever anyone is present and zero when
+    /// empty — an invariant-oracle probe, not a lookup (use
+    /// [`SteeringSession::master`] for that).
+    pub fn master_count(&self) -> usize {
+        self.participants
+            .iter()
+            .filter(|p| p.role == Role::Master)
+            .count()
+    }
+
     /// Pass the master token. Only the current master may pass it, and
     /// only to a present participant.
     pub fn pass_master(&mut self, from: usize, to: usize) -> bool {

@@ -1,0 +1,402 @@
+//! The invariant oracle: replay a scenario, judge its report.
+//!
+//! [`audit_with`] runs one scenario twice — on a 1-thread and an 8-thread
+//! executor pool — and checks every invariant the harness promises. The
+//! in-run structural probes (master-token uniqueness, monitor seq
+//! monotonicity, stale-seq commits) ride in
+//! [`ScenarioReport::probe_violations`], which is deliberately excluded
+//! from the digest, so probing never perturbs what it measures.
+//!
+//! The [`Runner`] seam exists for the shrinker's tests: a sabotaged runner
+//! injects a fault (e.g. an extra applied steer on the wide pool) and the
+//! whole catch → shrink → corpus pipeline is exercised against it without
+//! touching the real engine.
+
+use gridsteer_harness::{Action, Scenario, ScenarioReport};
+use netsim::SimTime;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Quiet margin a clean crash chain requires between the last ordinary
+/// action and the checkpoint cut: worst-case transit on the slowest preset
+/// link (75 ms transatlantic) plus generated jitter, rounded up hard.
+pub const CHAIN_MARGIN: SimTime = SimTime::from_millis(200);
+
+/// The properties the oracle checks on every generated scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Invariant {
+    /// Report digest identical at 1 and 8 executor threads.
+    ThreadDigest,
+    /// Exactly one master per non-empty shard at every sample tick.
+    MasterToken,
+    /// No steer batch commits at/below its origin's high-water seq.
+    StaleSeq,
+    /// `broadcasts + broadcasts_skipped` equals the scheduled tick count.
+    LoopAccounting,
+    /// Viewer frame seqs strictly increase between (re)attachments.
+    MonitorSeq,
+    /// A clean checkpoint/crash/restore chain replays byte-identically
+    /// to the same scenario without the crash.
+    CrashRestore,
+}
+
+impl Invariant {
+    /// Every invariant, in a fixed order.
+    pub const ALL: [Invariant; 6] = [
+        Invariant::ThreadDigest,
+        Invariant::MasterToken,
+        Invariant::StaleSeq,
+        Invariant::LoopAccounting,
+        Invariant::MonitorSeq,
+        Invariant::CrashRestore,
+    ];
+
+    /// Stable name, used in corpus `#! check:` headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            Invariant::ThreadDigest => "thread-digest",
+            Invariant::MasterToken => "master-token",
+            Invariant::StaleSeq => "stale-seq",
+            Invariant::LoopAccounting => "loop-accounting",
+            Invariant::MonitorSeq => "monitor-seq",
+            Invariant::CrashRestore => "crash-restore",
+        }
+    }
+
+    /// Inverse of [`Invariant::name`].
+    pub fn from_name(name: &str) -> Option<Invariant> {
+        Invariant::ALL.into_iter().find(|i| i.name() == name)
+    }
+}
+
+impl fmt::Display for Invariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One observed invariant violation.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which invariant broke.
+    pub invariant: Invariant,
+    /// Human-readable evidence (probe string, digest pair, counts).
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.invariant, self.detail)
+    }
+}
+
+/// How the oracle executes a scenario. The seam the shrinker tests use to
+/// inject faults.
+pub trait Runner {
+    /// Run `s` on an executor pool of the given width.
+    fn run(&self, s: &Scenario, threads: usize) -> ScenarioReport;
+}
+
+/// The real engine: `Scenario::run` on a shared [`gridsteer_exec`] pool.
+pub struct PoolRunner;
+
+impl Runner for PoolRunner {
+    fn run(&self, s: &Scenario, threads: usize) -> ScenarioReport {
+        s.clone().pool(gridsteer_exec::shared(threads)).run()
+    }
+}
+
+/// The oracle's full verdict on one scenario.
+#[derive(Debug, Clone)]
+pub struct Audit {
+    /// The serial (1-thread) report digest — the scenario's identity for
+    /// cross-process comparison (soak folds these).
+    pub digest: String,
+    /// Every invariant violation found; empty on a healthy scenario.
+    pub violations: Vec<Violation>,
+}
+
+/// [`audit_with`] on the real engine, violations only.
+pub fn check(s: &Scenario) -> Vec<Violation> {
+    audit_with(&PoolRunner, s).violations
+}
+
+/// [`audit_with`] on a custom runner, violations only.
+pub fn check_with<R: Runner + ?Sized>(runner: &R, s: &Scenario) -> Vec<Violation> {
+    audit_with(runner, s).violations
+}
+
+/// Run the full invariant suite against one well-formed scenario.
+///
+/// Panics if `s.validate()` fails — generate feeds this only valid
+/// scenarios, and corpus files are validated at parse time.
+pub fn audit_with<R: Runner + ?Sized>(runner: &R, s: &Scenario) -> Audit {
+    s.validate()
+        .expect("oracle requires a well-formed scenario");
+    let r1 = runner.run(s, 1);
+    let r8 = runner.run(s, 8);
+    let mut violations = Vec::new();
+
+    if r1.digest() != r8.digest() {
+        violations.push(Violation {
+            invariant: Invariant::ThreadDigest,
+            detail: format!(
+                "digest {} at 1 thread vs {} at 8 threads",
+                r1.digest(),
+                r8.digest()
+            ),
+        });
+    }
+
+    // structural probes from either run (probe strings are not part of
+    // the digest, so a wide-pool-only violation needs its own scan)
+    let probes: BTreeSet<&str> = r1
+        .probe_violations
+        .iter()
+        .chain(r8.probe_violations.iter())
+        .map(String::as_str)
+        .collect();
+    for probe in probes {
+        let invariant = if probe.contains("masters") {
+            Invariant::MasterToken
+        } else if probe.contains("stale-seq") {
+            Invariant::StaleSeq
+        } else {
+            Invariant::MonitorSeq
+        };
+        violations.push(Violation {
+            invariant,
+            detail: probe.to_string(),
+        });
+    }
+
+    let scheduled = s.ticks();
+    if r1.broadcasts + r1.broadcasts_skipped != scheduled {
+        violations.push(Violation {
+            invariant: Invariant::LoopAccounting,
+            detail: format!(
+                "{} broadcasts + {} skipped != {scheduled} scheduled ticks",
+                r1.broadcasts, r1.broadcasts_skipped
+            ),
+        });
+    }
+
+    if clean_crash_chain(s) {
+        let twin = strip_crash_chain(s);
+        let rt = runner.run(&twin, 1);
+        if rt.digest() != r1.digest() {
+            violations.push(Violation {
+                invariant: Invariant::CrashRestore,
+                detail: format!(
+                    "recovered digest {} != uncrashed twin {}",
+                    r1.digest(),
+                    rt.digest()
+                ),
+            });
+        }
+    }
+
+    Audit {
+        digest: r1.digest(),
+        violations,
+    }
+}
+
+/// True when a scenario's crash/restore shape is clean enough that
+/// recovery must be byte-invisible (the `crash-restore` invariant):
+///
+/// * a checkpoint cadence that is a whole multiple of the sample interval;
+/// * exactly one crash and one restore, crash before restore, both
+///   strictly inside a single sample window;
+/// * the window opens on a tick where a checkpoint is due (so the cut is
+///   up-to-date when the process dies);
+/// * no migrations (their pauses shift which tick cuts);
+/// * every other action at least [`CHAIN_MARGIN`] before the cut, so no
+///   steer or frame is in flight across it.
+pub fn clean_crash_chain(s: &Scenario) -> bool {
+    let sns = s.sample_interval().as_nanos();
+    if sns == 0 {
+        return false;
+    }
+    let Some(ck) = s.checkpoint_interval() else {
+        return false;
+    };
+    if ck.as_nanos() == 0 || !ck.as_nanos().is_multiple_of(sns) {
+        return false;
+    }
+    let mut crash = None;
+    let mut restore = None;
+    for (t, a) in s.actions() {
+        match a {
+            Action::Crash if crash.is_some() => return false,
+            Action::Crash => crash = Some(*t),
+            Action::Restore if restore.is_some() => return false,
+            Action::Restore => restore = Some(*t),
+            Action::Migrate { .. } => return false,
+            _ => {}
+        }
+    }
+    let (Some(c), Some(r)) = (crash, restore) else {
+        return false;
+    };
+    if c >= r {
+        return false;
+    }
+    let window = c.as_nanos() / sns;
+    if r.as_nanos() / sns != window {
+        return false;
+    }
+    let ws = window * sns;
+    if c.as_nanos() == ws {
+        return false; // at the boundary the tick pops first (FIFO)
+    }
+    if ws == 0 || !ws.is_multiple_of(ck.as_nanos()) {
+        return false;
+    }
+    for (t, a) in s.actions() {
+        if matches!(a, Action::Crash | Action::Restore) {
+            continue;
+        }
+        if t.as_nanos() + CHAIN_MARGIN.as_nanos() > ws {
+            return false;
+        }
+    }
+    true
+}
+
+/// The crash-free twin: same scenario minus every crash/restore action
+/// (the checkpoint cadence stays — cutting must be invisible too).
+fn strip_crash_chain(s: &Scenario) -> Scenario {
+    let mut t = s.clone();
+    while let Some(i) = t
+        .actions()
+        .iter()
+        .position(|(_, a)| matches!(a, Action::Crash | Action::Restore))
+    {
+        t = t.without_action(i);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridsteer_harness::Scenario;
+    use lbm::LbmConfig;
+    use netsim::Link;
+
+    fn base(name: &str) -> Scenario {
+        Scenario::named(name)
+            .seed(9)
+            .lbm(LbmConfig {
+                nx: 6,
+                ny: 6,
+                nz: 6,
+                ..LbmConfig::default()
+            })
+            .participant("p0", Link::uk_janet())
+            .participant("p1", Link::wan())
+            .duration(SimTime::from_secs(1))
+    }
+
+    #[test]
+    fn invariant_names_roundtrip() {
+        for i in Invariant::ALL {
+            assert_eq!(Invariant::from_name(i.name()), Some(i));
+        }
+        assert_eq!(Invariant::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn a_healthy_scenario_audits_clean() {
+        let s = base("oracle-clean")
+            .steer_at(SimTime::from_millis(250), "p0", "miscibility", 0.4)
+            .partition_at(SimTime::from_millis(400), "p1")
+            .checkpoint_every(SimTime::from_millis(200));
+        let audit = audit_with(&PoolRunner, &s);
+        assert_eq!(audit.digest.len(), 16);
+        assert!(
+            audit.violations.is_empty(),
+            "healthy scenario flagged: {:?}",
+            audit.violations
+        );
+    }
+
+    #[test]
+    fn clean_chain_predicate_draws_the_line() {
+        let chain = |s: Scenario| {
+            s.checkpoint_every(SimTime::from_millis(200))
+                .crash_at(SimTime::from_millis(820))
+                .restore_at(SimTime::from_millis(860))
+        };
+        assert!(clean_crash_chain(&chain(base("yes"))));
+        // a steer too close to the cut breaks the quiet margin
+        assert!(!clean_crash_chain(&chain(base("late-steer").steer_at(
+            SimTime::from_millis(700),
+            "p0",
+            "miscibility",
+            0.1
+        ))));
+        // a migration disqualifies outright
+        assert!(!clean_crash_chain(&chain(base("mig").migrate_at(
+            SimTime::from_millis(100),
+            "london",
+            "manchester"
+        ))));
+        // crash exactly on the tick boundary is not strictly inside
+        assert!(!clean_crash_chain(
+            &base("on-tick")
+                .checkpoint_every(SimTime::from_millis(200))
+                .crash_at(SimTime::from_millis(800))
+                .restore_at(SimTime::from_millis(860))
+        ));
+        // restore spilling into the next window
+        assert!(!clean_crash_chain(
+            &base("spill")
+                .checkpoint_every(SimTime::from_millis(200))
+                .crash_at(SimTime::from_millis(820))
+                .restore_at(SimTime::from_millis(910))
+        ));
+        // cadence not aligned to the sample interval
+        assert!(!clean_crash_chain(
+            &base("skew")
+                .checkpoint_every(SimTime::from_millis(250))
+                .crash_at(SimTime::from_millis(820))
+                .restore_at(SimTime::from_millis(860))
+        ));
+        // no checkpointing at all
+        assert!(!clean_crash_chain(&base("none")));
+    }
+
+    #[test]
+    fn a_clean_chain_audits_green_on_the_real_engine() {
+        let s = base("oracle-chain")
+            .steer_at(SimTime::from_millis(250), "p0", "miscibility", 0.35)
+            .checkpoint_every(SimTime::from_millis(200))
+            .crash_at(SimTime::from_millis(820))
+            .restore_at(SimTime::from_millis(860));
+        assert!(clean_crash_chain(&s));
+        let v = check(&s);
+        assert!(v.is_empty(), "clean chain flagged: {v:?}");
+    }
+
+    #[test]
+    fn a_sabotaged_runner_is_caught_as_a_thread_digest_violation() {
+        struct Skewed;
+        impl Runner for Skewed {
+            fn run(&self, s: &Scenario, threads: usize) -> ScenarioReport {
+                let mut r = PoolRunner.run(s, threads);
+                if threads > 1 {
+                    r.steers_applied += 1;
+                }
+                r
+            }
+        }
+        let s = base("oracle-sab");
+        let v = check_with(&Skewed, &s);
+        assert!(
+            v.iter().any(|v| v.invariant == Invariant::ThreadDigest),
+            "sabotage not caught: {v:?}"
+        );
+    }
+}

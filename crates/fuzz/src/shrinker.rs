@@ -1,0 +1,180 @@
+//! Greedy fixpoint shrinker: minimize a failing scenario while the same
+//! invariant keeps failing.
+//!
+//! Each pass tries one structural reduction at a time — drop an action
+//! (last first), drop a viewer, drop a relay (children before parents),
+//! drop a participant, drop the checkpoint cadence, collapse shards,
+//! halve the duration — and keeps a candidate only if it still validates
+//! **and** still fails the target invariant under the same [`Runner`].
+//! Passes repeat until none of the reductions stick. Every accepted step
+//! strictly shrinks some bounded quantity, so the loop terminates.
+
+use crate::oracle::{check_with, Invariant, Runner};
+use gridsteer_harness::Scenario;
+use netsim::SimTime;
+
+/// Minimize `scenario` while `target` still fails under `runner`.
+///
+/// Panics if the input does not fail `target` in the first place — a
+/// shrink without a reproducer is a bug in the caller.
+pub fn shrink<R: Runner + ?Sized>(runner: &R, scenario: &Scenario, target: Invariant) -> Scenario {
+    let fails = |c: &Scenario| {
+        c.validate().is_ok() && check_with(runner, c).iter().any(|v| v.invariant == target)
+    };
+    assert!(
+        fails(scenario),
+        "shrink needs a scenario that fails {target}"
+    );
+    let mut cur = scenario.clone();
+    loop {
+        let mut progressed = false;
+
+        // drop actions, newest first (late actions are most often noise)
+        let mut i = cur.actions().len();
+        while i > 0 {
+            i -= 1;
+            let cand = cur.without_action(i);
+            if fails(&cand) {
+                cur = cand;
+                progressed = true;
+            }
+        }
+
+        // drop viewers
+        for name in cur
+            .viewer_names()
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+        {
+            let cand = cur.without_viewer(&name);
+            if fails(&cand) {
+                cur = cand;
+                progressed = true;
+            }
+        }
+
+        // drop relays, children (declared later) before parents — dropping
+        // a parent that still has children fails validation and is skipped
+        for name in cur
+            .relay_names()
+            .iter()
+            .rev()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+        {
+            let cand = cur.without_relay(&name);
+            if fails(&cand) {
+                cur = cand;
+                progressed = true;
+            }
+        }
+
+        // drop participants
+        for name in cur
+            .participant_names()
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+        {
+            let cand = cur.without_participant(&name);
+            if fails(&cand) {
+                cur = cand;
+                progressed = true;
+            }
+        }
+
+        // drop the checkpoint cadence (invalid while a restore remains)
+        if cur.checkpoint_interval().is_some() {
+            let cand = cur.without_checkpoints();
+            if fails(&cand) {
+                cur = cand;
+                progressed = true;
+            }
+        }
+
+        // collapse shards
+        if cur.shard_count() > 1 {
+            let cand = cur.clone().shards(1);
+            if fails(&cand) {
+                cur = cand;
+                progressed = true;
+            }
+        }
+
+        // halve the duration, rounded down to whole sample windows —
+        // actions past the new end fail validation and the candidate dies
+        let ticks = cur.ticks();
+        if ticks > 1 {
+            let half = SimTime::from_nanos((ticks / 2) * cur.sample_interval().as_nanos());
+            let cand = cur.clone().duration(half);
+            if fails(&cand) {
+                cur = cand;
+                progressed = true;
+            }
+        }
+
+        if !progressed {
+            return cur;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, FuzzConfig};
+    use crate::oracle::PoolRunner;
+    use gridsteer_harness::ScenarioReport;
+
+    /// Fails ThreadDigest whenever any steer landed: the wide pool
+    /// double-applies. The minimal reproducer therefore needs exactly one
+    /// participant and one landing steer.
+    struct DoubleApply;
+    impl Runner for DoubleApply {
+        fn run(&self, s: &Scenario, threads: usize) -> ScenarioReport {
+            let mut r = PoolRunner.run(s, threads);
+            if threads > 1 && r.steers_applied > 0 {
+                r.steers_applied += 1;
+            }
+            r
+        }
+    }
+
+    #[test]
+    fn shrinking_keeps_only_what_the_fault_needs() {
+        let cfg = FuzzConfig::default();
+        let fat = (0..64)
+            .map(|seed| generate(seed, &cfg))
+            .find(|s| {
+                check_with(&DoubleApply, s)
+                    .iter()
+                    .any(|v| v.invariant == Invariant::ThreadDigest)
+            })
+            .expect("no seed in 0..64 lands a steer");
+        let small = shrink(&DoubleApply, &fat, Invariant::ThreadDigest);
+        assert!(small.actions().len() <= fat.actions().len());
+        assert!(
+            small.actions().len() <= 2,
+            "a double-apply repro needs one landing steer, got {} actions:\n{}",
+            small.actions().len(),
+            small.to_script()
+        );
+        assert!(small.viewer_names().is_empty());
+        assert!(small.relay_names().is_empty());
+        // the sender survives either as a t=0 declaration or a join action
+        assert!(small.participant_names().len() <= 1);
+        // still a reproducer, and clean on the real engine
+        assert!(check_with(&DoubleApply, &small)
+            .iter()
+            .any(|v| v.invariant == Invariant::ThreadDigest));
+        assert!(check_with(&PoolRunner, &small).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "shrink needs a scenario")]
+    fn shrinking_a_healthy_scenario_panics() {
+        let s = generate(0, &FuzzConfig::default());
+        let _ = shrink(&PoolRunner, &s, Invariant::ThreadDigest);
+    }
+}

@@ -24,10 +24,14 @@
 //! matrix and the README's "Scenario harness" section for how to add one.
 
 pub mod backend;
+pub mod error;
 pub mod report;
 pub mod scenario;
+pub mod script;
 
 pub use backend::{LbmBackend, PepcBackend, ScenarioBackend};
+pub use error::ScenarioError;
 pub use gridsteer_bus::Transport;
 pub use report::{MigrationRecord, RelayRecord, ScenarioReport, ViewerRecord};
 pub use scenario::{Action, Scenario};
+pub use script::ScriptError;

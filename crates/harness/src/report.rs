@@ -123,6 +123,11 @@ pub struct ScenarioReport {
     pub engine_events: Vec<String>,
     /// Backend progress (simulation steps) at the end of the run.
     pub final_progress: u64,
+    /// Invariant-oracle probe violations observed during the run
+    /// (master-token uniqueness, monitor seq monotonicity, stale-seq
+    /// commits). Deliberately NOT part of [`ScenarioReport::render`]:
+    /// probes must never move a digest. Empty on every healthy run.
+    pub probe_violations: Vec<String>,
 }
 
 impl ScenarioReport {
@@ -329,6 +334,7 @@ mod tests {
             session_events: vec!["Joined(alice)".into()],
             engine_events: vec!["1.000s partition alice".into()],
             final_progress: 10,
+            probe_violations: Vec::new(),
         }
     }
 
@@ -348,6 +354,16 @@ mod tests {
         let mut r3 = r.clone();
         r3.seed = 2;
         assert_ne!(r.digest(), r3.digest());
+    }
+
+    #[test]
+    fn probe_violations_never_move_the_digest() {
+        let r = sample_report();
+        let mut v = r.clone();
+        v.probe_violations
+            .push("1.000s shard 0: 2 masters among 3 participants".into());
+        assert_eq!(r.digest(), v.digest(), "probes must stay out of render()");
+        assert!(!v.render().contains("masters"));
     }
 
     #[test]

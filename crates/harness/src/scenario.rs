@@ -52,6 +52,7 @@
 //! ```
 
 use crate::backend::{LbmBackend, PepcBackend, ScenarioBackend};
+use crate::error::ScenarioError;
 use crate::report::{MigrationRecord, RelayRecord, ScenarioReport, ViewerRecord};
 use gridsteer_bus::{
     Capabilities, LoopbackMonitor, MonitorCaps, MonitorEndpoint, MonitorHub, MonitorStats,
@@ -185,8 +186,30 @@ pub enum Action {
     Restore,
 }
 
+impl Action {
+    /// Stable kind label — validation messages, the fuzzer's action-mix
+    /// histogram, and the script text form all use these names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Action::Join { .. } => "join",
+            Action::Leave { .. } => "leave",
+            Action::PassMaster { .. } => "pass",
+            Action::Steer { .. } => "steer",
+            Action::Partition { .. } => "partition",
+            Action::Heal { .. } => "heal",
+            Action::SetLoss { .. } => "loss",
+            Action::SetJitter { .. } => "jitter",
+            Action::Migrate { .. } => "migrate",
+            Action::ViewerLeave { .. } => "viewer-leave",
+            Action::ViewerJoin { .. } => "viewer-join",
+            Action::Crash => "crash",
+            Action::Restore => "restore",
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
-enum BackendSpec {
+pub(crate) enum BackendSpec {
     Lbm(LbmConfig),
     Pepc(PepcConfig),
 }
@@ -195,56 +218,56 @@ enum BackendSpec {
 /// monitored output over a chosen transport, scored against a reaction
 /// budget.
 #[derive(Debug, Clone)]
-struct ViewerSpec {
-    name: String,
-    link: Link,
-    transport: Transport,
-    budget: LoopBudget,
+pub(crate) struct ViewerSpec {
+    pub(crate) name: String,
+    pub(crate) link: Link,
+    pub(crate) transport: Transport,
+    pub(crate) budget: LoopBudget,
     /// Requested decimation (accept every Nth admissible frame).
-    every: u32,
+    pub(crate) every: u32,
     /// Relay tier this viewer hangs off (`None` = the origin hub).
-    relay: Option<String>,
+    pub(crate) relay: Option<String>,
 }
 
 /// A declared relay tier: a [`RelayHub`] fed over its own (faultable)
 /// uplink, fanning the stream to children — deeper relays or viewers.
 #[derive(Debug, Clone)]
-struct RelaySpec {
-    name: String,
+pub(crate) struct RelaySpec {
+    pub(crate) name: String,
     /// Parent relay name (`None` = fed directly by the origin hub).
-    parent: Option<String>,
-    uplink: Link,
+    pub(crate) parent: Option<String>,
+    pub(crate) uplink: Link,
     /// This tier's decimation rate (forward every Nth frame).
-    every: u32,
+    pub(crate) every: u32,
     /// Default per-delivery send budget for children at this tier.
-    child_budget: Option<usize>,
+    pub(crate) child_budget: Option<usize>,
 }
 
 /// A deterministic end-to-end steering scenario (builder).
 #[derive(Debug, Clone)]
 pub struct Scenario {
-    name: String,
-    seed: u64,
-    backend: BackendSpec,
-    participants: Vec<(String, Link)>,
+    pub(crate) name: String,
+    pub(crate) seed: u64,
+    pub(crate) backend: BackendSpec,
+    pub(crate) participants: Vec<(String, Link)>,
     /// Steering transport per participant (absent = loopback).
-    transports: BTreeMap<String, Transport>,
+    pub(crate) transports: BTreeMap<String, Transport>,
     /// Monitor-bus viewers, in declaration order.
-    viewers: Vec<ViewerSpec>,
+    pub(crate) viewers: Vec<ViewerSpec>,
     /// Relay tiers, in declaration order (parents before children).
-    relays: Vec<RelaySpec>,
+    pub(crate) relays: Vec<RelaySpec>,
     /// Steering-session shards sharing one parameter authority.
-    shards: usize,
-    actions: Vec<(SimTime, Action)>,
-    sample_every: SimTime,
-    steps_per_sample: usize,
-    duration: SimTime,
+    pub(crate) shards: usize,
+    pub(crate) actions: Vec<(SimTime, Action)>,
+    pub(crate) sample_every: SimTime,
+    pub(crate) steps_per_sample: usize,
+    pub(crate) duration: SimTime,
     /// Cut a process checkpoint at the first sample tick at/after every
     /// multiple of this interval (`None` = no checkpoints).
-    checkpoint_every: Option<SimTime>,
+    pub(crate) checkpoint_every: Option<SimTime>,
     /// Executor pool the backend dispatches onto (`None` = the shared pool
     /// for the backend config's thread count). Never affects results.
-    pool: Option<std::sync::Arc<gridsteer_exec::ExecPool>>,
+    pub(crate) pool: Option<std::sync::Arc<gridsteer_exec::ExecPool>>,
 }
 
 /// One live monitor-bus viewer: its faulted link, its reaction-budget
@@ -263,6 +286,12 @@ struct ViewerState {
     digest: u64,
     /// Index into the engine's relay table (`None` = origin-attached).
     relay: Option<usize>,
+    /// Oracle probe: hub-assigned seq of the last frame this viewer saw.
+    last_seq: Option<u64>,
+    /// Oracle probe: skip the seq-monotonicity check for the first
+    /// delivery batch after an attach or a restore — keyframe-cache
+    /// serves and stale-restore rewinds legitimately replay old seqs.
+    fresh_attach: bool,
     /// False after a [`Action::ViewerLeave`] detached the subscription.
     online: bool,
     /// Hub-side statistics frozen at detach time (a live viewer reads
@@ -710,13 +739,213 @@ impl Scenario {
         )
     }
 
+    /// Check the built script for structural defects — duplicate
+    /// declarations, dangling relay references, actions scheduled past the
+    /// duration, a restore with no checkpoint chain or no crash in effect.
+    /// [`Scenario::run`] calls this first and panics with the error; the
+    /// fuzzer calls it directly to keep its valid/invalid boundary crisp.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        if self.sample_every <= SimTime::ZERO {
+            return Err(ScenarioError::ZeroSampleInterval);
+        }
+        let mut participant_names: Vec<&str> = Vec::new();
+        for (name, _) in &self.participants {
+            if participant_names.contains(&name.as_str()) {
+                return Err(ScenarioError::DuplicateParticipant(name.clone()));
+            }
+            participant_names.push(name);
+        }
+        let mut viewer_names: Vec<&str> = Vec::new();
+        for v in &self.viewers {
+            if viewer_names.contains(&v.name.as_str()) {
+                return Err(ScenarioError::DuplicateViewer(v.name.clone()));
+            }
+            viewer_names.push(&v.name);
+        }
+        let mut relay_names: Vec<&str> = Vec::new();
+        for r in &self.relays {
+            if relay_names.contains(&r.name.as_str()) {
+                return Err(ScenarioError::DuplicateRelay(r.name.clone()));
+            }
+            if let Some(parent) = &r.parent {
+                // declaration order is pump order: parents must come first
+                if !relay_names.contains(&parent.as_str()) {
+                    return Err(ScenarioError::UnknownRelayParent {
+                        relay: r.name.clone(),
+                        parent: parent.clone(),
+                    });
+                }
+            }
+            relay_names.push(&r.name);
+        }
+        // fault actions resolve targets across one shared namespace
+        for v in &viewer_names {
+            if participant_names.contains(v) {
+                return Err(ScenarioError::NameCollision(v.to_string()));
+            }
+        }
+        for r in &relay_names {
+            if participant_names.contains(r) || viewer_names.contains(r) {
+                return Err(ScenarioError::NameCollision(r.to_string()));
+            }
+        }
+        for v in &self.viewers {
+            if let Some(relay) = &v.relay {
+                if !relay_names.contains(&relay.as_str()) {
+                    return Err(ScenarioError::UnknownRelay {
+                        viewer: v.name.clone(),
+                        relay: relay.clone(),
+                    });
+                }
+            }
+        }
+        // replay the schedule in engine order (time, then insertion) to
+        // check the crash/restore protocol statically
+        let mut order: Vec<usize> = (0..self.actions.len()).collect();
+        order.sort_by_key(|&i| self.actions[i].0);
+        let mut crashed = false;
+        for &i in &order {
+            let (t, action) = &self.actions[i];
+            if *t > self.duration {
+                return Err(ScenarioError::ActionAfterEnd {
+                    at: *t,
+                    action: action.label(),
+                    duration: self.duration,
+                });
+            }
+            match action {
+                Action::Crash => crashed = true,
+                Action::Restore => {
+                    if self.checkpoint_every.is_none() {
+                        return Err(ScenarioError::RestoreWithoutCheckpoint);
+                    }
+                    if !crashed {
+                        return Err(ScenarioError::RestoreWithoutCrash { at: *t });
+                    }
+                    crashed = false;
+                }
+                Action::ViewerJoin {
+                    name,
+                    relay: Some(relay),
+                    ..
+                } if !relay_names.contains(&relay.as_str()) => {
+                    return Err(ScenarioError::UnknownRelay {
+                        viewer: name.clone(),
+                        relay: relay.clone(),
+                    });
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// The scenario's name.
+    pub fn label(&self) -> &str {
+        &self.name
+    }
+
+    /// The scheduled actions, in insertion order (script introspection for
+    /// the fuzzer/shrinker).
+    pub fn actions(&self) -> &[(SimTime, Action)] {
+        &self.actions
+    }
+
+    /// The sample interval.
+    pub fn sample_interval(&self) -> SimTime {
+        self.sample_every
+    }
+
+    /// The scripted run length.
+    pub fn duration_of(&self) -> SimTime {
+        self.duration
+    }
+
+    /// The checkpoint cadence, if checkpointing is on.
+    pub fn checkpoint_interval(&self) -> Option<SimTime> {
+        self.checkpoint_every
+    }
+
+    /// Number of sample ticks the engine will schedule: every run ends
+    /// with `broadcasts + broadcasts_skipped` equal to this (the fuzzer's
+    /// loop-accounting invariant).
+    pub fn ticks(&self) -> u64 {
+        if self.sample_every <= SimTime::ZERO {
+            return 0;
+        }
+        self.duration.as_nanos() / self.sample_every.as_nanos()
+    }
+
+    /// Number of session shards the run is split into.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// Declared t=0 participant names, in declaration order.
+    pub fn participant_names(&self) -> Vec<&str> {
+        self.participants.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Declared viewer names, in declaration order.
+    pub fn viewer_names(&self) -> Vec<&str> {
+        self.viewers.iter().map(|v| v.name.as_str()).collect()
+    }
+
+    /// Declared relay names, in declaration order.
+    pub fn relay_names(&self) -> Vec<&str> {
+        self.relays.iter().map(|r| r.name.as_str()).collect()
+    }
+
+    /// A copy without the `idx`th scheduled action (shrinker hook; no-op
+    /// copy if out of range).
+    pub fn without_action(&self, idx: usize) -> Scenario {
+        let mut s = self.clone();
+        if idx < s.actions.len() {
+            s.actions.remove(idx);
+        }
+        s
+    }
+
+    /// A copy without one t=0 participant declaration (shrinker hook).
+    /// Actions that reference the name stay — the engine logs them as
+    /// misses, which is valid behaviour.
+    pub fn without_participant(&self, name: &str) -> Scenario {
+        let mut s = self.clone();
+        s.participants.retain(|(n, _)| n != name);
+        s.transports.remove(name);
+        s
+    }
+
+    /// A copy without one declared viewer (shrinker hook).
+    pub fn without_viewer(&self, name: &str) -> Scenario {
+        let mut s = self.clone();
+        s.viewers.retain(|v| v.name != name);
+        s
+    }
+
+    /// A copy without one declared relay tier (shrinker hook). The copy
+    /// may fail [`Scenario::validate`] if children still reference the
+    /// tier — the shrinker skips such candidates.
+    pub fn without_relay(&self, name: &str) -> Scenario {
+        let mut s = self.clone();
+        s.relays.retain(|r| r.name != name);
+        s
+    }
+
+    /// A copy with checkpointing off (shrinker hook). The copy fails
+    /// validation if a restore action remains.
+    pub fn without_checkpoints(&self) -> Scenario {
+        let mut s = self.clone();
+        s.checkpoint_every = None;
+        s
+    }
+
     /// Execute the scenario and return its report. Running the same built
     /// scenario twice yields byte-identical reports.
     pub fn run(&self) -> ScenarioReport {
-        assert!(
-            self.sample_every > SimTime::ZERO,
-            "sample interval must be positive"
-        );
+        if let Err(e) = self.validate() {
+            panic!("scenario {:?} is malformed: {e}", self.name);
+        }
         let mut rng = StdRng::seed_from_u64(self.seed);
         let backend_seed = rng.next_u64();
         let mut backend: Box<dyn ScenarioBackend> = match &self.backend {
@@ -850,6 +1079,10 @@ impl Scenario {
         let mut steers_lost = 0u64;
         let mut pause_until = SimTime::ZERO;
         let mut processed = 0usize;
+        // invariant-oracle probes: structural properties checked as the
+        // run unfolds. Not part of the rendered report (digests are
+        // unchanged) — the fuzzer reads them off the report afterwards.
+        let mut probe_violations: Vec<String> = Vec::new();
         // crash-recovery state: while `crashed`, sample ticks black out;
         // the checkpoint chain is one full snapshot blob plus deltas
         let mut crashed = false;
@@ -885,6 +1118,18 @@ impl Scenario {
                         &mut engine_events,
                         now,
                     );
+                    // oracle probe: the steering invariant — exactly one
+                    // master per non-empty shard — must hold at every
+                    // observable step boundary
+                    for (si, s) in sessions.iter().enumerate() {
+                        let masters = s.master_count();
+                        if masters != usize::from(!s.is_empty()) {
+                            probe_violations.push(format!(
+                                "{now} shard {si}: {masters} masters among {} participants",
+                                s.len()
+                            ));
+                        }
+                    }
                     backend.advance(self.steps_per_sample);
                     let bytes = backend.sample_bytes();
                     for s in sessions.iter_mut() {
@@ -956,15 +1201,33 @@ impl Scenario {
                                 relays[i].arrival.unwrap_or(now),
                             ),
                         };
+                        let had_frames = !frames.is_empty();
                         for frame in frames {
                             match v.link.deliver(depart, frame.wire_size()) {
                                 Some(arrival) => {
+                                    // oracle probe: hub seqs must reach a
+                                    // subscriber strictly increasing
+                                    // (gaps from decimation/loss are fine)
+                                    if !v.fresh_attach {
+                                        if let Some(prev) = v.last_seq {
+                                            if frame.seq <= prev {
+                                                probe_violations.push(format!(
+                                                    "{now} viewer {}: seq {} after {}",
+                                                    v.name, frame.seq, prev
+                                                ));
+                                            }
+                                        }
+                                    }
+                                    v.last_seq = Some(frame.seq);
                                     v.monitor.record(arrival.saturating_since(now));
                                     v.delivered += 1;
                                     v.digest = frame.fold_fnv(v.digest);
                                 }
                                 None => v.dropped += 1,
                             }
+                        }
+                        if had_frames {
+                            v.fresh_attach = false;
                         }
                     }
                     // checkpoint cut, at the very end of the tick: the
@@ -1150,6 +1413,10 @@ impl Scenario {
             session_events,
             engine_events,
             final_progress: backend.progress(),
+            probe_violations: {
+                probe_violations.extend(hub.probe_violations());
+                probe_violations
+            },
         }
     }
 }
@@ -1358,6 +1625,13 @@ fn apply_action(ctx: ActionCtx<'_>) {
                 relays,
                 viewers,
             });
+            // a stale restore rewinds hub seq numbering — the first
+            // delivery batch each viewer sees afterwards may replay
+            // seqs, which is recovery, not a monotonicity violation
+            for v in viewers.iter_mut() {
+                v.last_seq = None;
+                v.fresh_attach = true;
+            }
             *crashed = false;
         }
         Action::ViewerJoin {
@@ -1569,6 +1843,8 @@ fn attach_viewer(
             v.link = link;
             v.kind = spec.transport;
             v.relay = relay_idx;
+            v.last_seq = None;
+            v.fresh_attach = true;
             v.online = true;
             v.final_stats = None;
         }
@@ -1583,6 +1859,8 @@ fn attach_viewer(
             dropped: 0,
             digest: 0xcbf2_9ce4_8422_2325,
             relay: relay_idx,
+            last_seq: None,
+            fresh_attach: true,
             online: true,
             final_stats: None,
         }),
@@ -2269,5 +2547,133 @@ mod tests {
             .crash_at(SimTime::from_millis(300))
             .restore_at(SimTime::from_millis(400));
         assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || s.run())).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_each_misuse_with_a_typed_error() {
+        use crate::error::ScenarioError as E;
+        assert_eq!(tiny("ok").validate(), Ok(()));
+        assert_eq!(
+            tiny("zero").sample_every(SimTime::ZERO).validate(),
+            Err(E::ZeroSampleInterval)
+        );
+        assert_eq!(
+            tiny("dup-p").participant("alice", Link::wan()).validate(),
+            Err(E::DuplicateParticipant("alice".into()))
+        );
+        assert_eq!(
+            tiny("dup-v")
+                .viewer_via("desk", Link::wan(), Transport::Visit)
+                .viewer_via("desk", Link::gwin(), Transport::Ogsa)
+                .validate(),
+            Err(E::DuplicateViewer("desk".into()))
+        );
+        assert_eq!(
+            tiny("dup-r")
+                .relay("region", Link::campus())
+                .relay("region", Link::wan())
+                .validate(),
+            Err(E::DuplicateRelay("region".into()))
+        );
+        assert_eq!(
+            tiny("collide")
+                .viewer_via("alice", Link::wan(), Transport::Visit)
+                .validate(),
+            Err(E::NameCollision("alice".into()))
+        );
+        assert_eq!(
+            tiny("ghost-parent")
+                .relay_under("edge", "region", Link::wan())
+                .validate(),
+            Err(E::UnknownRelayParent {
+                relay: "edge".into(),
+                parent: "region".into()
+            })
+        );
+        assert_eq!(
+            tiny("ghost-relay")
+                .viewer_at_relay("desk", "region", Link::wan(), Transport::Visit)
+                .validate(),
+            Err(E::UnknownRelay {
+                viewer: "desk".into(),
+                relay: "region".into()
+            })
+        );
+        assert_eq!(
+            tiny("ghost-relay-join")
+                .viewer_join_relay_at(
+                    SimTime::from_millis(200),
+                    "desk",
+                    "region",
+                    Link::wan(),
+                    Transport::Visit
+                )
+                .validate(),
+            Err(E::UnknownRelay {
+                viewer: "desk".into(),
+                relay: "region".into()
+            })
+        );
+        assert_eq!(
+            tiny("late")
+                .partition_at(SimTime::from_secs(2), "bob")
+                .validate(),
+            Err(E::ActionAfterEnd {
+                at: SimTime::from_secs(2),
+                action: "partition",
+                duration: SimTime::from_secs(1)
+            })
+        );
+        assert_eq!(
+            tiny("no-ckpt")
+                .crash_at(SimTime::from_millis(300))
+                .restore_at(SimTime::from_millis(400))
+                .validate(),
+            Err(E::RestoreWithoutCheckpoint)
+        );
+        assert_eq!(
+            tiny("no-crash")
+                .checkpoint_every(SimTime::from_millis(300))
+                .restore_at(SimTime::from_millis(500))
+                .validate(),
+            Err(E::RestoreWithoutCrash {
+                at: SimTime::from_millis(500)
+            })
+        );
+        // order of builder calls must not matter: restore scheduled
+        // before the crash textually, but after it in virtual time
+        assert_eq!(
+            tiny("order")
+                .checkpoint_every(SimTime::from_millis(300))
+                .restore_at(SimTime::from_millis(600))
+                .crash_at(SimTime::from_millis(500))
+                .validate(),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn probes_stay_quiet_on_a_stormy_but_healthy_run() {
+        let r = tiny("probe-clean")
+            .shards(2)
+            .viewer_via("desk", Link::wan(), Transport::Visit)
+            .relay("region", Link::campus())
+            .viewer_at_relay("cave", "region", Link::gwin(), Transport::Covise)
+            .join_at(SimTime::from_millis(150), "carol", Link::wan())
+            .leave_at(SimTime::from_millis(350), "alice")
+            .steer_at(SimTime::from_millis(250), "bob", "miscibility", 0.4)
+            .viewer_leave_at(SimTime::from_millis(400), "desk")
+            .viewer_join_at(
+                SimTime::from_millis(600),
+                "desk",
+                Link::wan(),
+                Transport::Visit,
+            )
+            .checkpoint_every(SimTime::from_millis(300))
+            .crash_at(SimTime::from_millis(650))
+            .restore_at(SimTime::from_millis(680))
+            .run();
+        assert_eq!(r.probe_violations, Vec::<String>::new());
+        assert!(r.broadcasts > 0);
     }
 }
